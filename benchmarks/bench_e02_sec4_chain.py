@@ -1,0 +1,52 @@
+"""E2 — the Section-4 block-interference chain.
+
+Paper artifact: the parametric instance opening Section 4; certain iff the
+last block's marker □ equals c, and dropping O(1) always gives a
+no-instance.  Timings: the P-time dual-Horn solver scales linearly in the
+chain length while the exact ⊕-oracle explodes — the concrete cost of
+block-interference.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.repairs import OracleConfig, certain_answer
+from repro.solvers import certain_by_dual_horn
+from repro.workloads import (
+    ChainParams,
+    chain_instance,
+    chain_problem,
+    expected_certainty,
+)
+
+
+def test_e02_report():
+    rows = []
+    for n in (4, 16, 64, 256, 1024, 2048):
+        for marker in ("c", "d"):
+            params = ChainParams(n, marker)
+            db = chain_instance(params)
+            got = certain_by_dual_horn(db, "c")
+            rows.append((n, marker, got, expected_certainty(params)))
+    seedless = ChainParams(16, "c", with_seed_fact=False)
+    rows.append(("16 (no O(1))", "c",
+                 certain_by_dual_horn(chain_instance(seedless), "c"),
+                 expected_certainty(seedless)))
+    report("E2: Section-4 chain, certain iff □ = c", rows,
+           ("n", "□", "certain", "expected"))
+    assert all(got == want for *_, got, want in rows)
+
+
+@pytest.mark.parametrize("n", [16, 128, 1024])
+def test_e02_dual_horn_scaling(benchmark, n):
+    db = chain_instance(ChainParams(n, "c"))
+    benchmark(lambda: certain_by_dual_horn(db, "c"))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_e02_oracle_explodes(benchmark, n):
+    """The exponential comparator: keep-choice space is ~3^n·2."""
+    q, fks = chain_problem()
+    db = chain_instance(ChainParams(n, "c"))
+    config = OracleConfig(max_keep_choices=10_000_000)
+    benchmark(lambda: certain_answer(q, fks, db, config).certain)

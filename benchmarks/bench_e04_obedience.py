@@ -1,0 +1,76 @@
+"""E4 — obedience: Theorem 7's syntactic test vs the semantic chase test.
+
+Paper artifact: Examples 6 and 10/11 (obedience verdicts driving
+block-interference).  The ablation DESIGN.md calls out: the syntactic
+characterization is orders of magnitude cheaper than deciding Definition 5
+by the chase, while agreeing everywhere.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.foreign_keys import fk_set
+from repro.core.obedience import (
+    nonkey_positions,
+    semantic_obedient,
+    syntactic_obedient,
+    syntactic_verdict,
+)
+from repro.core.query import parse_query
+
+CONFIGS = [
+    ("example6-P0", ["N(x | 'c', y)", "O(y |)"], ["N[3]->O"], [("N", 2)]),
+    ("example6-P1", ["N(x | 'c', y)", "O(y |)"], ["N[3]->O"], [("N", 3)]),
+    ("shared-var", ["N(x | y)", "O(y |)", "P(y |)"], ["N[2]->O"], [("N", 2)]),
+    ("repeated", ["N(x | y)", "O(y | z, z)"], ["N[2]->O"], [("N", 2)]),
+    ("clean", ["N(x | y)", "O(y | w)"], ["N[2]->O"], [("N", 2)]),
+    ("two-hops", ["N(x | y)", "O(y | z)", "T(z | w)"],
+     ["N[2]->O", "O[2]->T"], [("N", 2)]),
+]
+
+
+def test_e04_report():
+    rows = []
+    for label, atoms, fk_texts, positions in CONFIGS:
+        q = parse_query(*atoms)
+        fks = fk_set(q, *fk_texts)
+        verdict = syntactic_verdict(q, fks, positions)
+        semantic = semantic_obedient(q, fks, positions)
+        rows.append(
+            (label, verdict.obedient, verdict.violated or "-", semantic)
+        )
+        assert verdict.obedient == semantic
+    report("E4: obedience, Theorem 7 vs Definition 5 (chase)", rows,
+           ("config", "syntactic", "violated", "semantic"))
+
+
+@pytest.mark.parametrize("label,atoms,fk_texts,positions", CONFIGS,
+                         ids=[c[0] for c in CONFIGS])
+def test_e04_syntactic_speed(benchmark, label, atoms, fk_texts, positions):
+    q = parse_query(*atoms)
+    fks = fk_set(q, *fk_texts)
+    benchmark(lambda: syntactic_obedient(q, fks, positions))
+
+
+@pytest.mark.parametrize("label,atoms,fk_texts,positions", CONFIGS[:3],
+                         ids=[c[0] for c in CONFIGS[:3]])
+def test_e04_semantic_speed(benchmark, label, atoms, fk_texts, positions):
+    q = parse_query(*atoms)
+    fks = fk_set(q, *fk_texts)
+    benchmark(lambda: semantic_obedient(q, fks, positions))
+
+
+def test_e04_full_atom_scan(benchmark):
+    """Classifying every non-key position set of a wider query."""
+    q = parse_query(
+        "A(x | a1, a2)", "B(a1 | b1)", "C(a2 | c1)", "D(b1 | d1)",
+    )
+    fks = fk_set(q, "A[2]->B", "A[3]->C", "B[2]->D")
+
+    def scan():
+        return [
+            syntactic_obedient(q, fks, nonkey_positions(atom))
+            for atom in q.atoms
+        ]
+
+    benchmark(scan)

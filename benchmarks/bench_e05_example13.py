@@ -1,0 +1,69 @@
+"""E5 — Example 13: the constant-substitution complexity seesaw.
+
+Paper artifact: q1 (FO), q2 = q1[u→c] (NL-hard), q3 = q1[u,w→c,c] (FO),
+plus the two-row instance separating CERTAINTY(q1, FK) from CERTAINTY(q1).
+Timings: classification and (where admitted) rewriting construction and
+evaluation for each of the three queries.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.classify import classify
+from repro.core.rewriting import consistent_rewriting
+from repro.core.rewriting_pk import rewrite_primary_keys
+from repro.exceptions import NotInFOError
+from repro.fo import evaluate
+from repro.workloads import example13_problems, q1_distinguishing_instance
+
+
+def test_e05_report():
+    rows = []
+    for label, query, fks, expected in example13_problems():
+        verdict = classify(query, fks).verdict
+        rows.append((label, verdict.name, expected.name))
+        assert verdict == expected
+    report("E5: Example 13 classification seesaw", rows,
+           ("query", "verdict", "paper"))
+
+    label, q1, fks1, _ = example13_problems()[0]
+    db = q1_distinguishing_instance()
+    with_fk = evaluate(consistent_rewriting(q1, fks1).formula, db)
+    without_fk = evaluate(rewrite_primary_keys(q1), db)
+    report(
+        "E5: the instance separating CERTAINTY(q1, FK) from CERTAINTY(q1)",
+        [("two-row N + one O", with_fk, without_fk)],
+        ("instance", "with FK", "without FK"),
+    )
+    assert with_fk and not without_fk
+
+
+@pytest.mark.parametrize(
+    "entry", example13_problems(), ids=lambda e: e[0]
+)
+def test_e05_classification_speed(benchmark, entry):
+    _, query, fks, _ = entry
+    benchmark(lambda: classify(query, fks))
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in example13_problems() if e[3].in_fo],
+    ids=lambda e: e[0],
+)
+def test_e05_rewriting_speed(benchmark, entry):
+    _, query, fks, _ = entry
+    benchmark(lambda: consistent_rewriting(query, fks))
+
+
+def test_e05_nl_hard_raises(benchmark):
+    _, q2, fks2, _ = example13_problems()[1]
+
+    def attempt():
+        try:
+            consistent_rewriting(q2, fks2)
+        except NotInFOError:
+            return True
+        return False
+
+    assert benchmark(attempt)

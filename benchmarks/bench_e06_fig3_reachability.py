@@ -1,0 +1,79 @@
+"""E6 — the Fig. 3 / Lemma 15 reduction from graph reachability.
+
+Paper artifact: reachability on (acyclic) digraphs reduces to the
+complement of CERTAINTY({N(x,c,y), O(y)}, {N[3]→O}).  The report sweeps
+random DAGs and layered DAGs with forced/blocked paths, confirming
+answer preservation; timings scale the reduction plus the P-time solver to
+512-vertex graphs.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.hardness import (
+    ReachabilityInstance,
+    random_dag,
+    reduce_reachability,
+)
+from repro.solvers import certain_by_dual_horn
+from repro.workloads import layered_dag
+
+
+def test_e06_report():
+    rng = random.Random(606)
+    rows = []
+    for layers, width, force in [
+        (3, 2, True), (3, 2, False), (5, 3, True), (5, 3, False),
+        (8, 4, True), (8, 4, False),
+    ]:
+        graph, source, target = layered_dag(
+            layers, width, rng, guarantee_path=force
+        )
+        instance = ReachabilityInstance(graph, source, target)
+        db = reduce_reachability(instance)
+        via_cqa = not certain_by_dual_horn(db, "c")
+        rows.append(
+            (f"{layers}×{width}", force, len(graph.edges), db.size,
+             instance.answer, via_cqa)
+        )
+        assert instance.answer == via_cqa
+    report("E6: Fig. 3 reduction preserves reachability", rows,
+           ("graph", "forced", "edges", "|db|", "bfs", "via CQA"))
+
+
+def test_e06_random_dag_agreement():
+    rng = random.Random(66)
+    agreements = 0
+    for _ in range(60):
+        graph = random_dag(rng.randint(3, 9), 0.3, rng)
+        vertices = graph.vertices
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        instance = ReachabilityInstance(graph, s, t)
+        db = reduce_reachability(instance)
+        assert (not certain_by_dual_horn(db, "c")) == instance.answer
+        agreements += 1
+    print(f"\nE6: {agreements}/60 random DAGs agree")
+
+
+@pytest.mark.parametrize("n_vertices", [8, 64, 512])
+def test_e06_reduction_scaling(benchmark, n_vertices):
+    rng = random.Random(n_vertices)
+    graph = random_dag(n_vertices, 4.0 / n_vertices, rng)
+    instance = ReachabilityInstance(graph, 0, n_vertices - 1)
+
+    def roundtrip():
+        db = reduce_reachability(instance)
+        return certain_by_dual_horn(db, "c")
+
+    benchmark(roundtrip)
+
+
+@pytest.mark.parametrize("density", [0.05, 0.2, 0.5])
+def test_e06_density_sweep(benchmark, density):
+    rng = random.Random(int(density * 100))
+    graph = random_dag(64, density, rng)
+    instance = ReachabilityInstance(graph, 0, 63)
+    db = reduce_reachability(instance)
+    benchmark(lambda: certain_by_dual_horn(db, "c"))

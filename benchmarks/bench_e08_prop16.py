@@ -1,0 +1,57 @@
+"""E8 — Proposition 16: the NL-complete problem and its linear-time solver.
+
+Paper artifact: ``CERTAINTY({N(x,x), O(x)}, {N[2]→O})`` is NL-complete via
+graph reachability.  The report validates the reachability algorithm
+against the exact oracle on small instances; timings sweep instance sizes
+for the solver and show the oracle's exponential comparator.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.repairs import certain_answer
+from repro.solvers import (
+    build_reachability_graph,
+    certain_by_reachability,
+    proposition16_query,
+)
+from repro.workloads import proposition16_instance
+
+
+def test_e08_report():
+    q, fks = proposition16_query()
+    rng = random.Random(808)
+    rows = []
+    agree = 0
+    for trial in range(8):
+        db = proposition16_instance(rng.randint(2, 4), rng)
+        fast = certain_by_reachability(db)
+        exact = certain_answer(q, fks, db).certain
+        agree += fast == exact
+        graph = build_reachability_graph(db)
+        rows.append(
+            (trial, db.size, len(graph.vertices) - 1, len(graph.marked),
+             fast, exact)
+        )
+        assert fast == exact
+    report("E8: Proposition 16 solver vs ⊕-oracle", rows,
+           ("trial", "|db|", "vertices", "marked", "NL solver", "oracle"))
+    print(f"  agreement: {agree}/8")
+
+
+@pytest.mark.parametrize("n_vertices", [16, 128, 1024])
+def test_e08_solver_scaling(benchmark, n_vertices):
+    rng = random.Random(n_vertices)
+    db = proposition16_instance(
+        n_vertices, rng, edge_probability=4.0 / n_vertices
+    )
+    benchmark(lambda: certain_by_reachability(db))
+
+
+def test_e08_oracle_comparator(benchmark):
+    q, fks = proposition16_query()
+    rng = random.Random(4)
+    db = proposition16_instance(4, rng)
+    benchmark(lambda: certain_answer(q, fks, db).certain)

@@ -1,0 +1,67 @@
+"""E9 — Proposition 17: the P-complete problem and the dual-Horn loop.
+
+Paper artifact: ``CERTAINTY({N(x,c,y), O(y)}, {N[3]→O})`` is P-complete by
+mutual reduction with DUAL HORN SAT (Appendix D.3).  The report round-trips
+random dual-Horn formulas through the database encoding and back; timings
+sweep chain and branching-chain instances through the unit-propagation
+solver.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.hardness import reduce_dual_horn
+from repro.solvers import (
+    Clause,
+    DualHornFormula,
+    certain_by_dual_horn,
+    instance_to_dual_horn,
+    solve_dual_horn,
+)
+from repro.workloads import ChainParams, branching_chain_instance, chain_instance
+
+
+def _random_formula(rng, n_vars, n_clauses):
+    clauses = []
+    for _ in range(n_clauses):
+        positives = tuple(
+            ("p", i)
+            for i in rng.sample(range(n_vars), rng.randint(0, min(3, n_vars)))
+        )
+        negative = ("p", rng.randrange(n_vars)) if rng.random() < 0.5 else None
+        clauses.append(Clause(positives, negative))
+    return DualHornFormula(clauses)
+
+
+def test_e09_report():
+    rng = random.Random(909)
+    rows = []
+    for trial in range(8):
+        formula = _random_formula(rng, rng.randint(2, 6), rng.randint(1, 6))
+        direct = solve_dual_horn(formula).satisfiable
+        db = reduce_dual_horn(formula)
+        back = instance_to_dual_horn(db, "c")
+        roundtrip = solve_dual_horn(back).satisfiable
+        rows.append((trial, len(formula), db.size, direct, roundtrip))
+        assert direct == roundtrip
+    report("E9: dual-Horn ↔ CERTAINTY round trip", rows,
+           ("trial", "clauses", "|db|", "SAT", "SAT via db"))
+
+
+@pytest.mark.parametrize("n", [64, 512, 4096])
+def test_e09_chain_scaling(benchmark, n):
+    db = chain_instance(ChainParams(n, "c"))
+    assert benchmark(lambda: certain_by_dual_horn(db, "c"))
+
+
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_e09_branching_width(benchmark, width):
+    db = branching_chain_instance(32, width, "c")
+    assert benchmark(lambda: certain_by_dual_horn(db, "c"))
+
+
+def test_e09_encoding_cost(benchmark):
+    db = chain_instance(ChainParams(2048, "c"))
+    benchmark(lambda: instance_to_dual_horn(db, "c"))

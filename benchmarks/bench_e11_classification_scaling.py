@@ -1,0 +1,68 @@
+"""E11 — decidability of Theorem 12: classification cost vs query size.
+
+Paper artifact: "it can be decided, given q and FK, which case applies" —
+attack-graph acyclicity is quadratic-time, block-interference polynomial.
+The report classifies growing star/chain queries; timings sweep the query
+size and split the cost between the attack graph and the interference
+check.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.attack_graph import AttackGraph
+from repro.core.classify import classify
+from repro.core.foreign_keys import fk_set
+from repro.core.interference import find_block_interference
+from repro.core.query import parse_query
+
+
+def _chain_query(n_atoms):
+    """R0(x0|x1), R1(x1|x2), … with FK Ri[2]→Ri+1 — all o→o, FO."""
+    atoms = [f"R{i}(x{i} | x{i + 1})" for i in range(n_atoms)]
+    fk_texts = [f"R{i}[2]->R{i + 1}" for i in range(n_atoms - 1)]
+    q = parse_query(*atoms)
+    return q, fk_set(q, *fk_texts)
+
+
+def _star_query(n_atoms):
+    """Hub H(x|y1..yn) with spokes Si(yi|zi) and FK H[i+1]→Si."""
+    spokes = " , ".join(f"y{i}" for i in range(n_atoms))
+    q = parse_query(
+        f"H(x | {spokes})",
+        *[f"S{i}(y{i} | z{i})" for i in range(n_atoms)],
+    )
+    fk_texts = [f"H[{i + 2}]->S{i}" for i in range(n_atoms)]
+    return q, fk_set(q, *fk_texts)
+
+
+def test_e11_report():
+    rows = []
+    for n in (2, 4, 8, 16, 24):
+        q, fks = _chain_query(n)
+        result = classify(q, fks)
+        rows.append((f"chain-{n}", len(q), len(fks), result.verdict.name))
+    for n in (2, 4, 8):
+        q, fks = _star_query(n)
+        result = classify(q, fks)
+        rows.append((f"star-{n}", len(q), len(fks), result.verdict.name))
+    report("E11: classification across query sizes", rows,
+           ("query", "|q|", "|FK|", "verdict"))
+
+
+@pytest.mark.parametrize("n_atoms", [4, 8, 16, 24])
+def test_e11_classify_chain(benchmark, n_atoms):
+    q, fks = _chain_query(n_atoms)
+    benchmark(lambda: classify(q, fks))
+
+
+@pytest.mark.parametrize("n_atoms", [4, 8, 16])
+def test_e11_attack_graph_only(benchmark, n_atoms):
+    q, _ = _chain_query(n_atoms)
+    benchmark(lambda: AttackGraph(q).is_acyclic())
+
+
+@pytest.mark.parametrize("n_atoms", [4, 8, 16])
+def test_e11_interference_only(benchmark, n_atoms):
+    q, fks = _chain_query(n_atoms)
+    benchmark(lambda: find_block_interference(q, fks))

@@ -1,0 +1,53 @@
+"""E14 — the FK = ∅ trichotomy backdrop (paper Section 2).
+
+Extension experiment: the paper's starting point is the Koutris–Wijsen
+trichotomy for ``CERTAINTY(q)`` — FO / L-complete / coNP-complete, read off
+the attack graph.  The report classifies the classical examples and shows
+how adding foreign keys refines the FO region (Example 13's seesaw);
+timings measure trichotomy classification across query sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.classify import PkTrichotomy, classify, pk_trichotomy
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+
+CASES = [
+    ("path-2", ["R(x | y)", "S(y | z)"], PkTrichotomy.FO),
+    ("key-cycle", ["R(x | y)", "S(y | x)"], PkTrichotomy.L_COMPLETE),
+    ("nonkey-join", ["R(x | z)", "S(y | z)"], PkTrichotomy.CONP_COMPLETE),
+    ("key-triangle", ["R(x | y)", "S(y | z)", "T(z | x)"],
+     PkTrichotomy.L_COMPLETE),
+]
+
+
+def test_e14_report():
+    rows = []
+    for label, atoms, expected in CASES:
+        q = parse_query(*atoms)
+        verdict = pk_trichotomy(q)
+        rows.append((label, verdict.name, expected.name))
+        assert verdict == expected
+    report("E14: FK = ∅ trichotomy", rows, ("query", "verdict", "expected"))
+
+    # foreign keys refine only the FO region: adding FKs to a hard query
+    # never makes it FO (Theorem 12 item 2)
+    q = parse_query("R(x | y)", "S(y | x)")
+    with_fk = classify(q, fk_set(q, "R[2]->S", "S[2]->R"))
+    report(
+        "E14: L-hardness survives foreign keys (Lemma 14)",
+        [("key-cycle + both FKs", with_fk.verdict.name)],
+        ("problem", "verdict"),
+    )
+    assert not with_fk.in_fo
+
+
+@pytest.mark.parametrize("n_atoms", [4, 8, 16])
+def test_e14_trichotomy_scaling(benchmark, n_atoms):
+    atoms = [f"R{i}(x{i} | x{i + 1})" for i in range(n_atoms - 1)]
+    atoms.append(f"R{n_atoms - 1}(x{n_atoms - 1} | x0)")  # close the cycle
+    q = parse_query(*atoms)
+    result = benchmark(lambda: pk_trichotomy(q))
+    assert result == PkTrichotomy.L_COMPLETE

@@ -1,0 +1,22 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment id of DESIGN.md §4 and
+prints the series the paper's artifact defines (correctness rows) besides
+timing the relevant code paths with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list[tuple], header: tuple[str, ...]) -> None:
+    """Print a small aligned table (shown with ``pytest -s`` and captured in
+    bench_output.txt)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(h)
+        for i, h in enumerate(header)
+    ]
+    print()
+    print(title)
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Auditing a dirty bibliography with CQA instead of cleaning it first.
+
+The paper's pitch (Section 1): while data cleaning is still deciding which
+repair is the right one, consistent query answering already returns the
+answers that hold in *every* repair.  This example generates a synthetic
+bibliography with duplicate author rows and dangling authorship facts and
+audits a set of yes/no questions three ways:
+
+* naive evaluation on the dirty data (what a plain SQL engine would say),
+* the consistent answer via the constructed FO rewriting,
+* the fraction of subset repairs supporting the answer (a data-quality
+  signal in the spirit of the approximation work cited as [19]).
+
+Run:  python examples/referential_integrity_audit.py
+"""
+
+from repro import consistent_rewriting, parse_query
+from repro.core.foreign_keys import fk_set
+from repro.db import satisfies
+from repro.fo import evaluate
+from repro.repairs import frequency_of_satisfaction
+from repro.workloads import BibliographyParams, synthetic_bibliography
+
+
+def audit_questions():
+    """(label, query, fks) triples over the bibliographic schema."""
+    questions = []
+    for year in ("2015", "2016"):
+        for first in ("Jeff", "Ada"):
+            q = parse_query(
+                f"DOCS(x | t, '{year}')",
+                "R(x, y |)",
+                f"AUTHORS(y | '{first}', z)",
+            )
+            questions.append(
+                (
+                    f"some {year} paper by a '{first}'",
+                    q,
+                    fk_set(q, "R[1]->DOCS", "R[2]->AUTHORS"),
+                )
+            )
+    return questions
+
+
+def main() -> None:
+    params = BibliographyParams(
+        n_docs=12, n_authors=10, n_authorships=25,
+        duplicate_author_rate=0.4, dangling_rate=0.3,
+    )
+    db = synthetic_bibliography(params, seed=7)
+    n_violating_blocks = len(db.key_violations())
+    print(
+        f"bibliography: {db.size} facts, "
+        f"{n_violating_blocks} key-violating blocks"
+    )
+    print()
+    header = f"{'question':34s} {'dirty':>6s} {'certain':>8s} {'support':>9s}"
+    print(header)
+    print("-" * len(header))
+    for label, query, fks in audit_questions():
+        dirty = satisfies(query, db)
+        rewriting = consistent_rewriting(query, fks)
+        certain_answer = evaluate(rewriting.formula, db)
+        satisfying, total = frequency_of_satisfaction(query, db, limit=4096)
+        support = satisfying / total if total else 0.0
+        print(
+            f"{label:34s} {str(dirty):>6s} {str(certain_answer):>8s} "
+            f"{support:8.0%}"
+        )
+    print()
+    print(
+        "Reading: 'dirty' can overreport (it may rely on facts every repair"
+        " deletes);\n'certain' only claims what survives all repairs;"
+        " 'support' is the fraction of\nsubset repairs agreeing with the"
+        " dirty answer — a cleaning-priority signal."
+    )
+
+
+if __name__ == "__main__":
+    main()

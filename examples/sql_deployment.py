@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Deploying a consistent rewriting as plain SQL on a live SQLite database.
+
+CQA's selling point for practitioners (the ConQuer line of systems the
+paper cites): once ``CERTAINTY(q, FK)`` is in FO, the certain answer is
+*one SQL query away* — no repair enumeration, no solver, just the dirty
+tables.  This example
+
+1. loads the Fig. 1 bibliography into an in-memory SQLite database,
+2. compiles the consistent rewriting of the intro query q0 to SQL,
+3. runs it, showing the naive answer vs the certain answer,
+4. repeats after the data-cleaning step the paper sketches.
+
+Run:  python examples/sql_deployment.py
+"""
+
+import sqlite3
+
+from repro import consistent_rewriting
+from repro.fo.sql import create_table_statements, insert_statements, to_sql
+from repro.workloads import fig1_instance, intro_query_q0
+
+
+def load_sqlite(db):
+    connection = sqlite3.connect(":memory:")
+    for ddl in create_table_statements(db.schema()):
+        connection.execute(ddl)
+    for statement, values in insert_statements(db):
+        connection.execute(statement, values)
+    return connection
+
+
+def main() -> None:
+    query, fks = intro_query_q0()
+    rewriting = consistent_rewriting(query, fks)
+    sql = to_sql(rewriting.formula, query.schema())
+
+    naive_sql = """
+        SELECT EXISTS (
+            SELECT 1 FROM DOCS d
+            JOIN R r ON r.c1 = d.c1
+            JOIN AUTHORS a ON a.c1 = r.c2
+            WHERE d.c3 = '2016' AND a.c2 = 'Jeff'
+        )
+    """
+
+    print("=== the compiled consistent rewriting (q0) ===")
+    print(sql)
+    print()
+
+    db = fig1_instance()
+    connection = load_sqlite(db)
+    (naive,) = connection.execute(naive_sql).fetchone()
+    (certain,) = connection.execute(sql).fetchone()
+    print("on the dirty Fig. 1 database:")
+    print(f"  naive SQL answer:   {bool(naive)}   (trusts every dirty row)")
+    print(f"  certain SQL answer: {bool(certain)}   (holds in every repair)")
+    connection.close()
+    print()
+
+    cleaned = db.difference(
+        [
+            next(
+                f for f in db.relation_facts("AUTHORS")
+                if f.values[1] == "Jeffrey"
+            ),
+            next(
+                f for f in db.relation_facts("R") if f.values[1] == "o3"
+            ),
+        ]
+    )
+    connection = load_sqlite(cleaned)
+    (certain_clean,) = connection.execute(sql).fetchone()
+    print("after cleaning (keep 'Jeff', drop the dangling authorship):")
+    print(f"  certain SQL answer: {bool(certain_clean)}")
+    connection.close()
+    print()
+    print(
+        "The same SQL string answered both states — the formula is data-"
+        "independent,\nwhich is exactly what membership in FO buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so that `python setup.py develop` works in offline
+environments lacking the `wheel` package (PEP 660 editable installs need it).
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — reproduction of Hannula & Wijsen, "A Dichotomy in Consistent
+Query Answering for Primary Keys and Unary Foreign Keys" (PODS 2022).
+
+Public API quick reference
+--------------------------
+
+* :func:`repro.parse_query`, :func:`repro.fk_set` — build queries and
+  foreign-key sets from compact text.
+* :func:`repro.classify` — the Theorem 12 decision procedure (FO / L-hard /
+  NL-hard).
+* :func:`repro.consistent_rewriting` — construct the consistent first-order
+  rewriting when it exists (Theorem 1).
+* :func:`repro.certain` — one-shot consistent query answering on an
+  instance, automatically picking the rewriting or the exact oracle.
+* :mod:`repro.repairs` — subset repairs and the exact ⊕-repair oracle.
+* :mod:`repro.solvers` — the Proposition 16/17 polynomial algorithms and
+  baselines.
+* :mod:`repro.workloads` — every instance family used in the paper.
+"""
+
+from .core import (
+    Atom,
+    AttackGraph,
+    Classification,
+    ComplexityVerdict,
+    ConjunctiveQuery,
+    Constant,
+    ForeignKey,
+    ForeignKeySet,
+    Parameter,
+    RewritingResult,
+    Schema,
+    Variable,
+    classify,
+    consistent_rewriting,
+    decide,
+    fk_set,
+    is_in_fo,
+    parse_atom,
+    parse_foreign_key,
+    parse_query,
+)
+from .db import DatabaseInstance, Fact
+from .exceptions import (
+    EvaluationError,
+    ForeignKeyError,
+    NotInFOError,
+    OracleLimitation,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from .fo import evaluate, render
+from .version import __version__
+
+
+def certain(query, fks, db):
+    """Decide ``CERTAINTY(q, FK)`` on *db*.
+
+    Uses the consistent first-order rewriting when Theorem 12 admits one,
+    and falls back to the exact ⊕-repair oracle otherwise (exponential in
+    the number of blocks — fine for moderate instances).
+    """
+    from .core.classify import classify as _classify
+    from .core.decision import decide as _decide
+    from .repairs import is_certain as _oracle
+
+    if _classify(query, fks).in_fo:
+        return _decide(query, fks, db, check_classification=False)
+    return _oracle(query, fks, db)
+
+
+__all__ = [
+    "Atom", "AttackGraph", "Classification", "ComplexityVerdict",
+    "ConjunctiveQuery", "Constant", "DatabaseInstance", "EvaluationError",
+    "Fact", "ForeignKey", "ForeignKeyError", "ForeignKeySet", "NotInFOError",
+    "OracleLimitation", "Parameter", "QueryError", "ReproError",
+    "RewritingResult", "Schema", "SchemaError", "Variable", "__version__",
+    "certain", "classify", "consistent_rewriting", "decide", "evaluate",
+    "fk_set", "is_in_fo", "parse_atom", "parse_foreign_key", "parse_query",
+    "render",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+
+``classify``   run the Theorem 12 decision procedure on a problem;
+``rewrite``    print the consistent first-order rewriting (FO cases);
+``decide``     answer ``CERTAINTY(q, FK)`` on an instance file;
+``repairs``    enumerate the canonical ⊕-repairs of an instance;
+``violations`` report primary/foreign-key violations of an instance.
+
+Queries are given as one ``-a/--atom`` per atom (key positions before the
+``|``) and foreign keys as ``-k/--fk R[2]->S``; instances are text files in
+the :mod:`repro.db.io` format.  Example::
+
+    python -m repro classify -a "N(x | 'c', y)" -a "O(y |)" -k "N[3]->O"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.classify import classify
+from .core.decision import decide
+from .core.foreign_keys import ForeignKeySet, parse_foreign_key
+from .core.query import ConjunctiveQuery, parse_atom
+from .core.rewriting import consistent_rewriting
+from .db import violation_report
+from .db.io import load
+from .exceptions import NotInFOError, ReproError
+from .fo.render import render, render_tree
+from .repairs import canonical_repairs, certain_answer
+
+
+def _build_problem(args) -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    query = ConjunctiveQuery([parse_atom(a) for a in args.atom])
+    fks = ForeignKeySet(
+        [parse_foreign_key(k) for k in args.fk or []], query.schema()
+    )
+    fks.require_about(query)
+    return query, fks
+
+
+def _add_problem_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-a", "--atom", action="append", required=True,
+        help="one query atom, e.g. \"R(x | y)\" (repeatable)",
+    )
+    parser.add_argument(
+        "-k", "--fk", action="append", default=[],
+        help="one unary foreign key, e.g. \"R[2]->S\" (repeatable)",
+    )
+
+
+def _cmd_classify(args) -> int:
+    query, fks = _build_problem(args)
+    result = classify(query, fks)
+    print(result.explain())
+    return 0 if result.in_fo else 1
+
+
+def _cmd_rewrite(args) -> int:
+    query, fks = _build_problem(args)
+    try:
+        result = consistent_rewriting(query, fks)
+    except NotInFOError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if args.tree:
+        print(render_tree(result.formula))
+    else:
+        print(render(result.formula))
+    if args.trace:
+        print("pipeline:", " → ".join(result.lemma_trace) or "(direct)")
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    from .fo.sql import to_sql
+
+    query, fks = _build_problem(args)
+    try:
+        result = consistent_rewriting(query, fks)
+    except NotInFOError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(to_sql(result.formula, query.schema()))
+    return 0
+
+
+def _cmd_decide(args) -> int:
+    query, fks = _build_problem(args)
+    db = load(args.database)
+    if classify(query, fks).in_fo:
+        answer = decide(query, fks, db, check_classification=False)
+        method = "consistent FO rewriting"
+    else:
+        answer = certain_answer(query, fks, db).certain
+        method = "exact ⊕-repair oracle"
+    print(f"certain: {answer}   (via {method})")
+    return 0 if answer else 1
+
+
+def _cmd_repairs(args) -> int:
+    query, fks = _build_problem(args)
+    db = load(args.database)
+    for index, repair in enumerate(canonical_repairs(db, fks), start=1):
+        print(f"--- repair {index} ({repair.size} facts)")
+        print(repair.pretty() or "  (empty)")
+        if args.limit and index >= args.limit:
+            print("--- (limit reached)")
+            break
+    return 0
+
+
+def _cmd_violations(args) -> int:
+    query, fks = _build_problem(args)
+    db = load(args.database)
+    report = violation_report(db, fks)
+    print(report)
+    return 0 if report == "consistent" else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Consistent query answering for primary keys and unary foreign "
+            "keys (Hannula & Wijsen, PODS 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="Theorem 12 decision procedure")
+    _add_problem_arguments(p)
+    p.set_defaults(handler=_cmd_classify)
+
+    p = sub.add_parser("rewrite", help="construct the consistent rewriting")
+    _add_problem_arguments(p)
+    p.add_argument("--tree", action="store_true", help="multi-line layout")
+    p.add_argument("--trace", action="store_true",
+                   help="show which lemmas fired")
+    p.set_defaults(handler=_cmd_rewrite)
+
+    p = sub.add_parser(
+        "sql", help="compile the consistent rewriting to a SQL query"
+    )
+    _add_problem_arguments(p)
+    p.set_defaults(handler=_cmd_sql)
+
+    p = sub.add_parser("decide", help="answer CERTAINTY(q, FK) on a file")
+    _add_problem_arguments(p)
+    p.add_argument("database", help="instance file (repro.db.io format)")
+    p.set_defaults(handler=_cmd_decide)
+
+    p = sub.add_parser("repairs", help="enumerate canonical ⊕-repairs")
+    _add_problem_arguments(p)
+    p.add_argument("database", help="instance file")
+    p.add_argument("--limit", type=int, default=20,
+                   help="stop after this many repairs")
+    p.set_defaults(handler=_cmd_repairs)
+
+    p = sub.add_parser("violations", help="report constraint violations")
+    _add_problem_arguments(p)
+    p.add_argument("database", help="instance file")
+    p.set_defaults(handler=_cmd_violations)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Core: the paper's query model and decision machinery."""
+
+from .atoms import Atom
+from .attack_graph import Attack, AttackGraph
+from .classify import (
+    Classification,
+    ComplexityVerdict,
+    PkTrichotomy,
+    classify,
+    is_in_fo,
+    pk_trichotomy,
+)
+from .decision import decide
+from .fds import FDSet, FunctionalDependency, free_variables
+from .foreign_keys import (
+    ForeignKey,
+    ForeignKeySet,
+    fk_set,
+    parse_foreign_key,
+)
+from .interference import (
+    InterferenceWitness,
+    find_block_interference,
+    has_block_interference,
+    is_block_interfering,
+)
+from .obedience import (
+    ObedienceVerdict,
+    atom_obedient,
+    nonkey_positions,
+    obedience_test_query,
+    semantic_obedient,
+    subquery_for_positions,
+    subquery_for_relation,
+    syntactic_obedient,
+    syntactic_verdict,
+)
+from .query import ConjunctiveQuery, parse_atom, parse_query, query_of
+from .reductions import ReductionStep, fk_type
+from .rewriting import RewritingResult, consistent_rewriting
+from .rewriting_pk import rewrite_primary_keys
+from .schema import Schema, Signature
+from .terms import (
+    Constant,
+    FreshConstantFactory,
+    FreshVariableFactory,
+    Parameter,
+    Term,
+    Variable,
+)
+
+__all__ = [
+    "Atom", "Attack", "AttackGraph", "Classification", "ComplexityVerdict",
+    "ConjunctiveQuery", "Constant", "FDSet", "ForeignKey", "ForeignKeySet",
+    "FreshConstantFactory", "FreshVariableFactory", "FunctionalDependency",
+    "InterferenceWitness", "ObedienceVerdict", "Parameter", "PkTrichotomy", "ReductionStep",
+    "RewritingResult", "Schema", "Signature", "Term", "Variable",
+    "atom_obedient", "classify", "consistent_rewriting", "decide",
+    "find_block_interference", "fk_set", "fk_type", "free_variables",
+    "has_block_interference", "is_block_interfering", "is_in_fo",
+    "nonkey_positions", "obedience_test_query", "parse_atom",
+    "parse_foreign_key", "parse_query", "pk_trichotomy", "query_of",
+    "rewrite_primary_keys",
+    "semantic_obedient", "subquery_for_positions", "subquery_for_relation",
+    "syntactic_obedient", "syntactic_verdict",
+]

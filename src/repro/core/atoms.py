@@ -1,0 +1,129 @@
+"""Atoms: relation names applied to terms, with key/non-key structure.
+
+An atom ``R(t1, …, tk, t(k+1), …, tn)`` (Section 3.1) carries its relation
+name, its term tuple and its signature.  ``key(F)`` is the set of *variables*
+occurring at primary-key positions; ``vars(F)`` the set of all variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..exceptions import QueryError
+from .schema import Signature
+from .terms import Constant, Parameter, Term, Variable, is_variable
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An ``R``-atom over a signature ``[n, k]``.
+
+    Positions are 1-based throughout, matching the paper's ``R[i]`` notation.
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+    key_size: int
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError(f"atom {self.relation} must have positive arity")
+        if not 1 <= self.key_size <= len(self.terms):
+            raise QueryError(
+                f"atom {self.relation}: key size {self.key_size} outside "
+                f"[1, {len(self.terms)}]"
+            )
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def signature(self) -> Signature:
+        return Signature(self.arity, self.key_size)
+
+    @property
+    def key_terms(self) -> tuple[Term, ...]:
+        """Terms at primary-key positions ``1..k``."""
+        return self.terms[: self.key_size]
+
+    @property
+    def nonkey_terms(self) -> tuple[Term, ...]:
+        """Terms at non-primary-key positions ``k+1..n``."""
+        return self.terms[self.key_size:]
+
+    def term_at(self, position: int) -> Term:
+        """The term at 1-based *position*."""
+        if not 1 <= position <= self.arity:
+            raise QueryError(
+                f"{self.relation} has arity {self.arity}; no position {position}"
+            )
+        return self.terms[position - 1]
+
+    def positions_of(self, term: Term) -> list[int]:
+        """All 1-based positions where *term* occurs."""
+        return [i + 1 for i, t in enumerate(self.terms) if t == term]
+
+    def is_key_position(self, position: int) -> bool:
+        return 1 <= position <= self.key_size
+
+    # -- variables ----------------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``vars(F)``: variables occurring in the atom."""
+        return frozenset(t for t in self.terms if is_variable(t))
+
+    @property
+    def key_variables(self) -> frozenset[Variable]:
+        """``key(F)``: variables occurring at primary-key positions."""
+        return frozenset(t for t in self.key_terms if is_variable(t))
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        return frozenset(t for t in self.terms if isinstance(t, Constant))
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset(t for t in self.terms if isinstance(t, Parameter))
+
+    @property
+    def is_fact_shaped(self) -> bool:
+        """True iff the atom contains no variables (it denotes a fact)."""
+        return not self.variables
+
+    # -- transformation -----------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Replace variables according to *mapping* (missing ones kept)."""
+        return Atom(
+            self.relation,
+            tuple(mapping.get(t, t) if is_variable(t) else t for t in self.terms),
+            self.key_size,
+        )
+
+    def replace_position(self, position: int, term: Term) -> "Atom":
+        """Return a copy with the term at 1-based *position* replaced.
+
+        This is the paper's ``J[i→u]`` notation (proof of Lemma 15).
+        """
+        if not 1 <= position <= self.arity:
+            raise QueryError(
+                f"{self.relation} has arity {self.arity}; no position {position}"
+            )
+        terms = list(self.terms)
+        terms[position - 1] = term
+        return Atom(self.relation, tuple(terms), self.key_size)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.terms)
+
+    def __repr__(self) -> str:
+        key = ",".join(map(str, self.key_terms))
+        rest = ",".join(map(str, self.nonkey_terms))
+        if rest:
+            return f"{self.relation}({key}|{rest})"
+        return f"{self.relation}({key})"

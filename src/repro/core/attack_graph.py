@@ -1,0 +1,200 @@
+"""The attack graph of Koutris and Wijsen.
+
+For a query ``q`` in sjfBCQ and ``F ∈ q`` (Section 3.1):
+
+* ``F^{+,q} = {x ∈ vars(q) | K(q \\ {F}) ⊨ key(F) → x}``;
+* ``F`` *attacks* ``G`` (written ``F ⇝ G``) iff ``F ≠ G`` and there is a
+  sequence of variables, all outside ``F^{+,q}``, starting in ``vars(F)``,
+  ending in ``vars(G)``, adjacent ones co-occurring in an atom of ``q``;
+* ``F`` attacks every variable on such a sequence.
+
+Theorem 2: acyclic attack graph ⟺ ``CERTAINTY(q)`` ∈ FO (else L-hard).
+Koutris–Wijsen also show that a cyclic attack graph always contains a cycle
+of length two; :func:`two_cycle` exposes one, which the L-hardness gadget of
+Lemma 14 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .atoms import Atom
+from .fds import FDSet
+from .query import ConjunctiveQuery
+from .terms import Variable
+
+
+@dataclass(frozen=True)
+class Attack:
+    """A directed attack ``source ⇝ target``."""
+
+    source: Atom
+    target: Atom
+
+    def __repr__(self) -> str:
+        return f"{self.source!r} ⇝ {self.target!r}"
+
+
+class AttackGraph:
+    """The attack graph of a self-join-free Boolean conjunctive query."""
+
+    def __init__(self, query: ConjunctiveQuery):
+        self._query = query
+        self._plus: dict[str, frozenset[Variable]] = {}
+        self._edges: dict[str, set[str]] = {}
+        for atom in query.atoms:
+            self._plus[atom.relation] = self._compute_plus(atom)
+        for atom in query.atoms:
+            self._edges[atom.relation] = {
+                other.relation
+                for other in query.atoms
+                if other.relation != atom.relation and self._attacks(atom, other)
+            }
+
+    def _compute_plus(self, atom: Atom) -> frozenset[Variable]:
+        """``F^{+,q}``: variables determined by ``key(F)`` via ``K(q \\ {F})``."""
+        rest = self._query.without(atom.relation)
+        fds = FDSet.of_query(rest)
+        return fds.closure(atom.key_variables)
+
+    def _reachable(self, atom: Atom) -> frozenset[Variable]:
+        """Variables attacked by *atom*: connected to ``vars(F) \\ F^+`` in the
+        Gaifman graph restricted to ``vars(q) \\ F^{+,q}``."""
+        plus = self._plus[atom.relation]
+        allowed = frozenset(v for v in self._query.variables if v not in plus)
+        sources = [v for v in atom.variables if v in allowed]
+        if not sources:
+            return frozenset()
+        adjacency = self._query.gaifman_edges(allowed)
+        seen: set[Variable] = set(sources)
+        frontier = list(sources)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return frozenset(seen)
+
+    def _attacks(self, source: Atom, target: Atom) -> bool:
+        return bool(self._reachable(source) & target.variables)
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self._query
+
+    def plus(self, relation: str) -> frozenset[Variable]:
+        """``F^{+,q}`` for the atom of *relation*."""
+        return self._plus[relation]
+
+    def attacks(self, source: str, target: str) -> bool:
+        """Does the *source*-atom attack the *target*-atom?"""
+        return target in self._edges.get(source, ())
+
+    def attacks_variable(self, source: str, variable: Variable) -> bool:
+        """Does the *source*-atom attack *variable*?"""
+        return variable in self._reachable(self._query.atom(source))
+
+    def edges(self) -> list[Attack]:
+        return [
+            Attack(self._query.atom(src), self._query.atom(dst))
+            for src, targets in sorted(self._edges.items())
+            for dst in sorted(targets)
+        ]
+
+    def is_acyclic(self) -> bool:
+        """No directed cycle (depth-first three-colouring)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        colour = {relation: WHITE for relation in self._edges}
+
+        def visit(node: str) -> bool:
+            colour[node] = GRAY
+            for succ in self._edges[node]:
+                if colour[succ] == GRAY:
+                    return False
+                if colour[succ] == WHITE and not visit(succ):
+                    return False
+            colour[node] = BLACK
+            return True
+
+        return all(
+            visit(node) for node in self._edges if colour[node] == WHITE
+        )
+
+    def two_cycle(self) -> tuple[Atom, Atom] | None:
+        """Atoms ``F, G`` with ``F ⇝ G ⇝ F``, if any.
+
+        By [Koutris–Wijsen, Lemma 3.6] a cyclic attack graph always contains
+        such a pair, so ``two_cycle() is None ⟺ is_acyclic()`` — an identity
+        the test suite checks on random queries.
+        """
+        for source, targets in sorted(self._edges.items()):
+            for target in sorted(targets):
+                if source in self._edges.get(target, ()):
+                    return (self._query.atom(source), self._query.atom(target))
+        return None
+
+    def is_weak_attack(self, source: str, target: str) -> bool:
+        """Is the attack ``F ⇝ G`` weak, i.e. ``K(q) ⊨ key(F) → key(G)``?
+
+        Attack strength drives the Koutris–Wijsen trichotomy for
+        ``CERTAINTY(q)`` (the paper's Section 2): a cycle whose attacks are
+        all weak gives L-completeness, a 2-cycle of strong attacks gives
+        coNP-completeness.
+        """
+        if not self.attacks(source, target):
+            raise ValueError(f"{source} does not attack {target}")
+        fds = FDSet.of_query(self._query)
+        return fds.implies(
+            self._query.atom(source).key_variables,
+            self._query.atom(target).key_variables,
+        )
+
+    def strong_two_cycle(self) -> tuple[Atom, Atom] | None:
+        """Atoms ``F, G`` attacking each other strongly, if any."""
+        for source, targets in sorted(self._edges.items()):
+            for target in sorted(targets):
+                if source in self._edges.get(target, ()):
+                    if not self.is_weak_attack(
+                        source, target
+                    ) and not self.is_weak_attack(target, source):
+                        return (
+                            self._query.atom(source),
+                            self._query.atom(target),
+                        )
+        return None
+
+    def unattacked_atoms(self) -> list[Atom]:
+        """Atoms with in-degree zero (candidates for the rewriting step)."""
+        attacked = {dst for targets in self._edges.values() for dst in targets}
+        return [a for a in self._query.atoms if a.relation not in attacked]
+
+    def topological_order(self) -> list[Atom] | None:
+        """A topological order of the atoms, or ``None`` if cyclic."""
+        indegree: dict[str, int] = {r: 0 for r in self._edges}
+        for targets in self._edges.values():
+            for dst in targets:
+                indegree[dst] += 1
+        queue = sorted(r for r, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            for succ in sorted(self._edges[node]):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+            queue.sort()
+        if len(order) != len(self._edges):
+            return None
+        return [self._query.atom(r) for r in order]
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{src}⇝{dst}"
+            for src, targets in sorted(self._edges.items())
+            for dst in sorted(targets)
+        ]
+        return "AttackGraph{" + ", ".join(parts) + "}"

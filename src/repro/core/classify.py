@@ -1,0 +1,134 @@
+"""The dichotomy classifier (Theorem 12).
+
+Given a self-join-free Boolean conjunctive query ``q`` and a set ``FK`` of
+unary foreign keys about ``q``:
+
+1. attack graph acyclic and no block-interference ⟹ ``CERTAINTY(q, FK)`` is
+   in FO (a consistent first-order rewriting is effectively constructible);
+2. attack graph cyclic ⟹ L-hard (Lemma 14), hence not in FO;
+3. block-interference ⟹ NL-hard (Lemma 15), hence not in FO.
+
+All three conditions are decidable; the classifier reports which hold,
+together with machine-checkable witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .atoms import Atom
+from .attack_graph import AttackGraph
+from .foreign_keys import ForeignKeySet
+from .interference import InterferenceWitness, find_block_interference
+from .query import ConjunctiveQuery
+
+
+class ComplexityVerdict(Enum):
+    """Where Theorem 12 places ``CERTAINTY(q, FK)``."""
+
+    FO = "in FO"
+    L_HARD = "L-hard (cyclic attack graph), not in FO"
+    NL_HARD = "NL-hard (block-interference), not in FO"
+
+    @property
+    def in_fo(self) -> bool:
+        return self is ComplexityVerdict.FO
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Full outcome of the Theorem 12 decision procedure."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    attack_graph_cyclic: bool
+    attack_cycle: tuple[Atom, Atom] | None
+    interference: InterferenceWitness | None
+    verdict: ComplexityVerdict
+
+    @property
+    def in_fo(self) -> bool:
+        return self.verdict.in_fo
+
+    def explain(self) -> str:
+        """A one-paragraph human-readable explanation."""
+        lines = [f"CERTAINTY(q, FK) for q = {self.query!r}, FK = {self.fks!r}:"]
+        if self.attack_graph_cyclic:
+            assert self.attack_cycle is not None
+            f, g = self.attack_cycle
+            lines.append(
+                f"  attack graph is cyclic ({f!r} ⇝ {g!r} ⇝ {f!r}) — "
+                "L-hard by Lemma 14"
+            )
+        else:
+            lines.append("  attack graph is acyclic")
+        if self.interference is not None:
+            lines.append(
+                f"  block-interference: {self.interference!r} — "
+                "NL-hard by Lemma 15"
+            )
+        else:
+            lines.append("  no block-interference")
+        lines.append(f"  verdict: {self.verdict.value}")
+        return "\n".join(lines)
+
+
+def classify(query: ConjunctiveQuery, fks: ForeignKeySet) -> Classification:
+    """Run the Theorem 12 decision procedure.
+
+    Raises :class:`repro.exceptions.ForeignKeyError` when *fks* is not about
+    *query* (the paper's standing assumption; see Proposition 19 for what can
+    happen without it).
+    """
+    fks.require_about(query)
+    graph = AttackGraph(query)
+    cycle = graph.two_cycle()
+    cyclic = cycle is not None
+    witness = find_block_interference(query, fks)
+    if witness is not None:
+        # NL-hardness subsumes L-hardness (L ⊆ NL), so report the stronger
+        # lower bound when both apply.
+        verdict = ComplexityVerdict.NL_HARD
+    elif cyclic:
+        verdict = ComplexityVerdict.L_HARD
+    else:
+        verdict = ComplexityVerdict.FO
+    return Classification(
+        query=query,
+        fks=fks,
+        attack_graph_cyclic=cyclic,
+        attack_cycle=cycle,
+        interference=witness,
+        verdict=verdict,
+    )
+
+
+def is_in_fo(query: ConjunctiveQuery, fks: ForeignKeySet) -> bool:
+    """Shorthand: does ``CERTAINTY(q, FK)`` admit a consistent FO rewriting?"""
+    return classify(query, fks).in_fo
+
+
+class PkTrichotomy(Enum):
+    """The Koutris–Wijsen trichotomy for ``CERTAINTY(q)`` (``FK = ∅``).
+
+    Background the paper builds on (its Section 2): for every sjfBCQ,
+    ``CERTAINTY(q)`` is in FO, L-complete, or coNP-complete, and the case is
+    read off the attack graph — acyclic ⇒ FO; cyclic with no strong
+    2-cycle ⇒ L-complete; some 2-cycle of two strong attacks ⇒
+    coNP-complete.
+    """
+
+    FO = "in FO"
+    L_COMPLETE = "L-complete"
+    CONP_COMPLETE = "coNP-complete"
+
+
+def pk_trichotomy(query: ConjunctiveQuery) -> PkTrichotomy:
+    """Classify ``CERTAINTY(q)`` (primary keys only) into the trichotomy."""
+    graph = AttackGraph(query)
+    if graph.is_acyclic():
+        return PkTrichotomy.FO
+    if graph.strong_two_cycle() is not None:
+        return PkTrichotomy.CONP_COMPLETE
+    return PkTrichotomy.L_COMPLETE

@@ -1,0 +1,164 @@
+"""Procedural decision of ``CERTAINTY(q, FK)`` in the FO case.
+
+This is the *forward* realization of the Lemma 18 pipeline: instead of
+composing one closed formula, each reduction step transforms the input
+instance (`ReductionStep.transform_instance`), and the Lemma 45 case split
+iterates over the facts of the constant block, recursing with the atom's
+variables bound in a parameter environment.  The final foreign-key-free
+problem is decided by the Koutris–Wijsen rewriting.
+
+The composed-formula path (:mod:`repro.core.rewriting`) and this procedural
+path are two independent implementations of the same decision procedure;
+the test suite checks they agree with each other and with the ⊕-repair
+oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..db.constraints import dangling_keys_of
+from ..db.instance import DatabaseInstance
+from ..exceptions import EvaluationError, ForeignKeyError, NotInFOError
+from ..fo.evaluator import Evaluator
+from .classify import classify
+from .foreign_keys import ForeignKeySet
+from .query import ConjunctiveQuery
+from .reductions import (
+    dd_removal_step,
+    do_removal_step,
+    empty_key_case,
+    fk_type,
+    oo_removal_step,
+    trivial_removal_step,
+    weak_removal_step,
+)
+from .rewriting import _pick_empty_key, _pick_oo, _pick_weak_target
+from .rewriting_pk import rewrite_primary_keys
+from .terms import Constant, FreshVariableFactory, Parameter
+
+
+def _resolve_terms(terms, env: Mapping[Parameter, object]) -> tuple[object, ...]:
+    values = []
+    for term in terms:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        elif isinstance(term, Parameter):
+            if term not in env:
+                raise EvaluationError(f"unbound parameter {term!r}")
+            values.append(env[term])
+        else:
+            raise EvaluationError(
+                f"unexpected free variable {term!r} in a Lemma 45 key"
+            )
+    return tuple(values)
+
+
+def decide(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    check_classification: bool = True,
+) -> bool:
+    """Decide ``CERTAINTY(q, FK)`` on *db* procedurally (FO cases only)."""
+    if check_classification:
+        classification = classify(query, fks)
+        if not classification.in_fo:
+            raise NotInFOError(classification.explain())
+    fresh = FreshVariableFactory(
+        {v.name for v in query.variables}
+        | {p.name for p in query.parameters}
+    )
+    return _decide(
+        query,
+        fks.implication_closure(),
+        db.restrict_relations(query.relations),
+        {},
+        fresh,
+    )
+
+
+def _decide(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    env: dict[Parameter, object],
+    fresh: FreshVariableFactory,
+) -> bool:
+    while len(fks) > 0:
+        weak_target = _pick_weak_target(query, fks)
+        if weak_target is not None:
+            step = weak_removal_step(query, fks, weak_target)
+        elif any(fks.is_trivial(fk) for fk in fks):
+            step = trivial_removal_step(query, fks)
+        else:
+            types = {fk: fk_type(query, fks, fk) for fk in fks}
+            oo = _pick_oo(query, fks, types)
+            dd = next(
+                (fk for fk in sorted(fks, key=repr) if types[fk] == "dd"),
+                None,
+            )
+            if oo is not None:
+                step = oo_removal_step(query, fks, oo, fresh)
+            elif dd is not None:
+                step = dd_removal_step(query, fks, dd)
+            else:
+                empty = _pick_empty_key(query)
+                if empty is not None:
+                    return _decide_empty_key(query, fks, db, env, fresh, empty)
+                do = next(
+                    (fk for fk in sorted(fks, key=repr) if types[fk] == "do"),
+                    None,
+                )
+                if do is None:
+                    raise ForeignKeyError(
+                        f"no applicable reduction for {fks!r}"
+                    )
+                step = do_removal_step(query, fks, do, fresh)
+        assert step.transform_instance is not None
+        db = step.transform_instance(db, env)
+        query, fks = step.query_after, step.fks_after
+    formula = rewrite_primary_keys(query, fresh)
+    return Evaluator(db).evaluate(formula, env)
+
+
+def _decide_empty_key(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    env: dict[Parameter, object],
+    fresh: FreshVariableFactory,
+    relation: str,
+) -> bool:
+    """The Lemma 45 case split, executed over the concrete instance."""
+    case = empty_key_case(query, fks, relation)
+    atom = case.atom
+    key_values = _resolve_terms(atom.key_terms, env)
+    block = db.block_of(relation, key_values)
+    # Witness: some block fact not dangling with respect to FK[N→].
+    if not any(
+        not dangling_keys_of(fact, fks, db) for fact in block
+    ):
+        return False
+    # Pattern of non-key terms, resolved against the environment.
+    inner_db = db.restrict_relations(case.inner_query.relations)
+    for fact in sorted(block, key=repr):
+        extended = dict(env)
+        for term, value in zip(atom.nonkey_terms, fact.nonkey):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return False
+            elif isinstance(term, Parameter):
+                if extended.get(term, value) != value:
+                    return False
+                extended[term] = value
+            else:  # a variable of x⃗: freeze it to this fact's value
+                parameter = case.frozen[term]
+                if extended.get(parameter, value) != value:
+                    return False
+                extended[parameter] = value
+        if not _decide(
+            case.inner_query, case.inner_fks, inner_db, extended, fresh
+        ):
+            return False
+    return True

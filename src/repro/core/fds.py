@@ -1,0 +1,81 @@
+"""Functional dependencies over query variables.
+
+``K(q)`` (Section 3.1) is the set ``{key(F) → vars(F) | F ∈ q}`` of
+functional dependencies over ``vars(q)``.  The attack graph and the set
+``V`` of Definition 9 are defined through implication of such dependencies,
+decided by the textbook attribute-set closure algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .query import ConjunctiveQuery
+from .terms import Variable
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``lhs → rhs`` over variables."""
+
+    lhs: frozenset[Variable]
+    rhs: frozenset[Variable]
+
+    def __repr__(self) -> str:
+        left = ",".join(sorted(v.name for v in self.lhs)) or "∅"
+        right = ",".join(sorted(v.name for v in self.rhs)) or "∅"
+        return f"{left} → {right}"
+
+
+class FDSet:
+    """A set of functional dependencies with implication via closure."""
+
+    def __init__(self, fds: Iterable[FunctionalDependency]):
+        self._fds = tuple(fds)
+
+    @classmethod
+    def of_query(cls, query: ConjunctiveQuery) -> "FDSet":
+        """``K(q) = {key(F) → vars(F) | F ∈ q}``."""
+        return cls(
+            FunctionalDependency(atom.key_variables, atom.variables)
+            for atom in query.atoms
+        )
+
+    @property
+    def dependencies(self) -> tuple[FunctionalDependency, ...]:
+        return self._fds
+
+    def closure(self, attributes: Iterable[Variable]) -> frozenset[Variable]:
+        """All variables functionally determined by *attributes*."""
+        closed: set[Variable] = set(attributes)
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= closed and not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+        return frozenset(closed)
+
+    def implies(self, lhs: Iterable[Variable], rhs: Iterable[Variable]) -> bool:
+        """``K ⊨ lhs → rhs``."""
+        return frozenset(rhs) <= self.closure(lhs)
+
+    def determines(self, variable: Variable) -> bool:
+        """``K ⊨ ∅ → {variable}``: the variable has a forced value."""
+        return variable in self.closure(())
+
+    def constant_variables(self) -> frozenset[Variable]:
+        """``{v | K ⊨ ∅ → v}`` — the set ``C`` of the Lemma 15 proof."""
+        return self.closure(())
+
+    def __repr__(self) -> str:
+        return "K{" + "; ".join(map(repr, self._fds)) + "}"
+
+
+def free_variables(query: ConjunctiveQuery) -> frozenset[Variable]:
+    """``V = {v ∈ vars(q) | K(q) ̸⊨ ∅ → v}`` (Definition 9's vertex pool)."""
+    fds = FDSet.of_query(query)
+    forced = fds.constant_variables()
+    return frozenset(v for v in query.variables if v not in forced)

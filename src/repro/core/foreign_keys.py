@@ -1,0 +1,292 @@
+"""Unary foreign keys, dependency graphs and position closures.
+
+Implements Section 3.2: a foreign key is an expression ``R[i] → S`` where
+``S`` has signature ``[m, 1]``; it is *weak* if ``i ≤ k`` (the key size of
+``R``) and *strong* otherwise.  The *dependency graph* of a set ``FK`` has a
+vertex for every position of every relation occurring in ``FK`` and, for
+each ``R[i] → S``, edges from ``(R, i)`` to every position ``(S, j)``;
+edges into ``j ≠ 1`` are *special*.  ``P_FK`` is the forward closure of a
+position set ``P`` in this graph; the complement is taken with respect to
+all positions of the schema under consideration.
+
+``FK*`` — the set of foreign keys logically implied by ``FK`` — is computed
+by the complete axiomatization of unary inclusion dependencies
+(Casanova–Fagin–Papadimitriou): reflexivity (the *trivial* keys ``R[1] → R``
+for relations with key size 1) and transitivity through referenced primary
+keys (``R[i] → S`` and ``S[1] → T`` yield ``R[i] → T``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..exceptions import ForeignKeyError
+from .query import ConjunctiveQuery
+from .schema import Schema
+
+Position = tuple[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """``source[position] → target`` with 1-based *position*."""
+
+    source: str
+    position: int
+    target: str
+
+    def __repr__(self) -> str:
+        return f"{self.source}[{self.position}]->{self.target}"
+
+    @property
+    def source_position(self) -> Position:
+        return (self.source, self.position)
+
+
+class ForeignKeySet:
+    """A set of unary foreign keys over a schema.
+
+    The schema must cover every relation mentioned by a foreign key; it may
+    contain further relations (those of the query), which matters for the
+    complement ``P^co_FK`` of a position closure.
+    """
+
+    def __init__(self, fks: Iterable[ForeignKey], schema: Schema):
+        self._fks = frozenset(fks)
+        self._schema = schema
+        for fk in self._fks:
+            self._validate(fk)
+        self._edges: dict[Position, set[Position]] | None = None
+
+    def _validate(self, fk: ForeignKey) -> None:
+        if fk.source not in self._schema:
+            raise ForeignKeyError(f"{fk}: unknown source relation {fk.source!r}")
+        if fk.target not in self._schema:
+            raise ForeignKeyError(f"{fk}: unknown target relation {fk.target!r}")
+        source_sig = self._schema[fk.source]
+        target_sig = self._schema[fk.target]
+        if not 1 <= fk.position <= source_sig.arity:
+            raise ForeignKeyError(
+                f"{fk}: position outside [1, {source_sig.arity}]"
+            )
+        if target_sig.key_size != 1:
+            raise ForeignKeyError(
+                f"{fk}: referenced relation must have signature [m, 1], "
+                f"got {target_sig}"
+            )
+
+    # -- basic access ----------------------------------------------------------
+
+    @property
+    def foreign_keys(self) -> frozenset[ForeignKey]:
+        return self._fks
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def is_weak(self, fk: ForeignKey) -> bool:
+        """``R[i] → S`` is weak iff ``i ≤ k`` for ``R`` of signature ``[n, k]``."""
+        return fk.position <= self._schema[fk.source].key_size
+
+    def is_strong(self, fk: ForeignKey) -> bool:
+        return not self.is_weak(fk)
+
+    def is_trivial(self, fk: ForeignKey) -> bool:
+        """``R[1] → R`` for ``R`` of signature ``[n, 1]`` cannot be falsified."""
+        return (
+            fk.source == fk.target
+            and fk.position == 1
+            and self._schema[fk.source].key_size == 1
+        )
+
+    def weak_keys(self) -> frozenset[ForeignKey]:
+        return frozenset(fk for fk in self._fks if self.is_weak(fk))
+
+    def strong_keys(self) -> frozenset[ForeignKey]:
+        return frozenset(fk for fk in self._fks if self.is_strong(fk))
+
+    def outgoing(self, relation: str) -> frozenset[ForeignKey]:
+        """``FK[R →]``: foreign keys outgoing from *relation*."""
+        return frozenset(fk for fk in self._fks if fk.source == relation)
+
+    def referencing(self, relation: str) -> frozenset[ForeignKey]:
+        """``FK[→ R]``: foreign keys referencing *relation*."""
+        return frozenset(fk for fk in self._fks if fk.target == relation)
+
+    # -- derived sets --------------------------------------------------------------
+
+    def without(self, *removed: ForeignKey) -> "ForeignKeySet":
+        return ForeignKeySet(self._fks - set(removed), self._schema)
+
+    def restrict_to_query(self, query: ConjunctiveQuery) -> "ForeignKeySet":
+        """``FK ↾ q``: keys whose relations all occur in *query*."""
+        names = query.relations
+        kept = {
+            fk for fk in self._fks if fk.source in names and fk.target in names
+        }
+        return ForeignKeySet(kept, self._schema)
+
+    def with_schema(self, schema: Schema) -> "ForeignKeySet":
+        return ForeignKeySet(self._fks, schema)
+
+    def implication_closure(self) -> "ForeignKeySet":
+        """``FK*``: all implied foreign keys over the schema's relations.
+
+        Reflexivity contributes ``R[1] → R`` for every relation of key size 1
+        occurring in the schema; transitivity saturates through referenced
+        primary keys.
+        """
+        closure: set[ForeignKey] = set(self._fks)
+        for relation in self._schema:
+            if self._schema[relation].key_size == 1:
+                closure.add(ForeignKey(relation, 1, relation))
+        changed = True
+        while changed:
+            changed = False
+            by_source_pos1: dict[str, set[str]] = defaultdict(set)
+            for fk in closure:
+                if fk.position == 1:
+                    by_source_pos1[fk.source].add(fk.target)
+            new: set[ForeignKey] = set()
+            for fk in closure:
+                for target in by_source_pos1.get(fk.target, ()):
+                    candidate = ForeignKey(fk.source, fk.position, target)
+                    if candidate not in closure:
+                        new.add(candidate)
+            if new:
+                closure |= new
+                changed = True
+        return ForeignKeySet(closure, self._schema)
+
+    # -- dependency graph ---------------------------------------------------------------
+
+    def dependency_edges(self) -> dict[Position, set[Position]]:
+        """Adjacency of the dependency graph (Section 3.2)."""
+        if self._edges is None:
+            edges: dict[Position, set[Position]] = defaultdict(set)
+            for fk in self._fks:
+                target_arity = self._schema[fk.target].arity
+                for j in range(1, target_arity + 1):
+                    edges[fk.source_position].add((fk.target, j))
+            self._edges = edges
+        return self._edges
+
+    def closure(self, positions: Iterable[Position]) -> frozenset[Position]:
+        """``P_FK``: forward closure of *positions* (paths of length ≥ 0)."""
+        edges = self.dependency_edges()
+        seen: set[Position] = set(positions)
+        frontier = deque(seen)
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in edges.get(current, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return frozenset(seen)
+
+    def complement(self, positions: Iterable[Position]) -> frozenset[Position]:
+        """``P^co_FK``: schema positions outside the closure of *positions*."""
+        closed = self.closure(positions)
+        return frozenset(p for p in self._schema.positions() if p not in closed)
+
+    def position_on_cycle(self, position: Position) -> bool:
+        """True iff *position* lies on a cycle of the dependency graph.
+
+        Implemented as: some strict successor of *position* reaches it back.
+        """
+        edges = self.dependency_edges()
+        if position not in edges and all(
+            position not in succ for succ in edges.values()
+        ):
+            return False
+        frontier = deque(edges.get(position, ()))
+        seen: set[Position] = set(frontier)
+        while frontier:
+            current = frontier.popleft()
+            if current == position:
+                return True
+            for neighbour in edges.get(current, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return False
+
+    # -- relationship with a query ----------------------------------------------------------
+
+    def satisfied_by_query(self, query: ConjunctiveQuery) -> bool:
+        """Is every key satisfied by *query* viewed as a database instance?
+
+        Distinct variables are treated as distinct constants: the unique
+        ``R``-atom's term at position ``i`` must literally equal the unique
+        ``S``-atom's term at position 1.
+        """
+        for fk in self._fks:
+            if not query.has_relation(fk.source):
+                continue
+            source_atom = query.atom(fk.source)
+            if not query.has_relation(fk.target):
+                return False
+            target_atom = query.atom(fk.target)
+            if source_atom.term_at(fk.position) != target_atom.term_at(1):
+                return False
+        return True
+
+    def is_about(self, query: ConjunctiveQuery) -> bool:
+        """``FK`` is *about* ``q``: satisfied by ``q`` and every relation of
+        ``FK`` occurs in ``q`` (Section 3.2)."""
+        names = query.relations
+        for fk in self._fks:
+            if fk.source not in names or fk.target not in names:
+                return False
+        return self.satisfied_by_query(query)
+
+    def require_about(self, query: ConjunctiveQuery) -> None:
+        """Raise :class:`ForeignKeyError` unless the set is about *query*."""
+        if not self.is_about(query):
+            raise ForeignKeyError(
+                f"foreign keys {sorted(map(repr, self._fks))} are not about "
+                f"the query {query!r}"
+            )
+
+    # -- dunder -------------------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[ForeignKey]:
+        return iter(sorted(self._fks, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._fks)
+
+    def __contains__(self, fk: ForeignKey) -> bool:
+        return fk in self._fks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ForeignKeySet):
+            return NotImplemented
+        return self._fks == other._fks and self._schema == other._schema
+
+    def __repr__(self) -> str:
+        return "FK{" + ", ".join(map(repr, self)) + "}"
+
+
+def parse_foreign_key(text: str) -> ForeignKey:
+    """Parse ``"R[2]->S"`` into a :class:`ForeignKey`."""
+    import re
+
+    match = re.fullmatch(
+        r"\s*([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]\s*->\s*([A-Za-z_]\w*)\s*", text
+    )
+    if not match:
+        raise ForeignKeyError(f"cannot parse foreign key {text!r}")
+    return ForeignKey(match.group(1), int(match.group(2)), match.group(3))
+
+
+def fk_set(query: ConjunctiveQuery, *texts: str,
+           extra_schema: Schema | None = None) -> ForeignKeySet:
+    """Build a :class:`ForeignKeySet` over *query*'s schema from text keys."""
+    schema = query.schema()
+    if extra_schema is not None:
+        schema = schema.merge(extra_schema)
+    return ForeignKeySet([parse_foreign_key(t) for t in texts], schema)

@@ -1,0 +1,100 @@
+"""Block-interference (Definition 9).
+
+A strong foreign key ``N[j] → O`` of ``FK*`` is *block-interfering* in ``q``
+iff
+
+1. the ``O``-atom of ``q`` is obedient;
+2. the term ``t_j`` (at position ``(N, j)``) is a variable of
+   ``V = {v ∈ vars(q') | K(q) ̸⊨ ∅ → v}`` where ``q' = q ∖ {N-atom}``; and
+3. (a) the remaining non-key positions of ``N`` form a disobedient set, or
+   (b) some key term ``t_i`` of ``N`` is a variable connected to ``t_j``
+   in the restricted Gaifman graph ``G_V(q')``.
+
+``(q, FK)`` *has block-interference* iff some key of ``FK*`` is
+block-interfering.  Block-interference is what pushes ``CERTAINTY(q, FK)``
+out of FO (Theorem 12, item 3: NL-hardness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fds import FDSet
+from .foreign_keys import ForeignKey, ForeignKeySet
+from .obedience import atom_obedient, nonkey_positions, syntactic_obedient
+from .query import ConjunctiveQuery
+from .terms import Variable, is_variable
+
+
+@dataclass(frozen=True)
+class InterferenceWitness:
+    """A block-interfering foreign key together with which clause fired.
+
+    ``via`` is ``"3a"`` (disobedient remainder) or ``"3b"`` (key connected
+    to the referencing variable); both may hold, in which case ``"3a"`` is
+    reported first.
+    """
+
+    foreign_key: ForeignKey
+    via: str
+    variable: Variable
+
+    def __repr__(self) -> str:
+        return f"{self.foreign_key!r} block-interferes via ({self.via}) on {self.variable}"
+
+
+def is_block_interfering(
+    query: ConjunctiveQuery, fks: ForeignKeySet, fk: ForeignKey
+) -> InterferenceWitness | None:
+    """Check Definition 9 for one strong foreign key (of ``FK*``)."""
+    if not fks.schema[fk.source].key_size < fk.position:
+        return None  # weak keys are never block-interfering
+    if not (query.has_relation(fk.source) and query.has_relation(fk.target)):
+        return None
+    n_atom = query.atom(fk.source)
+    t_j = n_atom.term_at(fk.position)
+    # Condition 1: the O-atom is obedient.
+    if not atom_obedient(query, fks, fk.target):
+        return None
+    # Condition 2: t_j is a variable of V (q' = q without the N-atom).
+    if not is_variable(t_j):
+        return None
+    q_prime = query.without(fk.source)
+    if t_j not in q_prime.variables:
+        return None
+    forced = FDSet.of_query(query).constant_variables()
+    if t_j in forced:
+        return None
+    v_pool = frozenset(v for v in q_prime.variables if v not in forced)
+    # Condition 3a: remaining non-key positions of N are disobedient.
+    remainder = nonkey_positions(n_atom) - {fk.source_position}
+    if remainder and not syntactic_obedient(query, fks, remainder):
+        return InterferenceWitness(fk, "3a", t_j)
+    # Condition 3b: some key term of N is a variable connected to t_j in
+    # G_V(q').
+    for key_term in n_atom.key_terms:
+        if is_variable(key_term) and q_prime.connected(
+            key_term, t_j, restrict_to=v_pool
+        ):
+            return InterferenceWitness(fk, "3b", t_j)
+    return None
+
+
+def find_block_interference(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> InterferenceWitness | None:
+    """The first block-interfering key of ``FK*``, in deterministic order."""
+    closure = fks.implication_closure()
+    query_relations = query.relations
+    for fk in closure:
+        if fk.source not in query_relations or fk.target not in query_relations:
+            continue
+        witness = is_block_interfering(query, fks, fk)
+        if witness is not None:
+            return witness
+    return None
+
+
+def has_block_interference(query: ConjunctiveQuery, fks: ForeignKeySet) -> bool:
+    """Does ``(q, FK)`` have block-interference?"""
+    return find_block_interference(query, fks) is not None

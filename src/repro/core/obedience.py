@@ -1,0 +1,202 @@
+"""Obedience of position sets and atoms (Definition 5, Theorem 7).
+
+A set ``P`` of non-primary-key positions of a relation ``R`` is *obedient*
+over ``FK`` and ``q`` if replacing the terms of ``q``'s ``R``-atom at the
+positions of ``P`` by fresh variables, and dropping the subquery
+``q^FK_P`` reachable from ``P`` in the dependency graph, yields a query
+equivalent to ``q`` under ``FK``.  Theorem 7 characterizes this syntactically
+by four conditions, which :func:`syntactic_obedient` implements; the
+semantic definition is implemented by :func:`semantic_obedient` through the
+chase and is used to cross-validate the theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..exceptions import ForeignKeyError
+from .atoms import Atom
+from .foreign_keys import ForeignKeySet, Position
+from .query import ConjunctiveQuery
+from .terms import FreshVariableFactory, Term, is_constantlike, is_variable
+
+
+def nonkey_positions(atom: Atom) -> frozenset[Position]:
+    """``P_R = {(R, i) | i ∈ {k+1, …, n}}``."""
+    return frozenset((atom.relation, i) for i in atom.signature.nonkey_positions)
+
+
+def subquery_for_positions(
+    query: ConjunctiveQuery, fks: ForeignKeySet, positions: Iterable[Position]
+) -> ConjunctiveQuery:
+    """``q^FK_P``: the atoms of relations reachable from *positions*.
+
+    The smallest subset of *query* containing the ``S``-atom whenever the
+    closure ``P_FK`` contains some position ``(S, j)``.
+    """
+    closed = fks.closure(positions)
+    names = {relation for relation, _ in closed}
+    return query.restrict(names)
+
+
+def subquery_for_relation(
+    query: ConjunctiveQuery, fks: ForeignKeySet, relation: str
+) -> ConjunctiveQuery:
+    """``q^FK_R``: shorthand for ``q^FK_{P_R}``."""
+    return subquery_for_positions(
+        query, fks, nonkey_positions(query.atom(relation))
+    )
+
+
+@dataclass(frozen=True)
+class ObedienceVerdict:
+    """Outcome of the syntactic check, with the violated condition if any.
+
+    ``violated`` is one of ``None`` (obedient), ``"I"`` (cycle), ``"II"``
+    (constant in the closure), ``"III"`` (variable shared between closure and
+    complement), ``"IV"`` (variable repeated at two non-key closure
+    positions) — matching Theorem 7's numbering.
+    """
+
+    obedient: bool
+    violated: str | None = None
+    witness: tuple[Position, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.obedient
+
+
+def _term_at(query: ConjunctiveQuery, position: Position) -> Term | None:
+    relation, index = position
+    if not query.has_relation(relation):
+        return None
+    return query.atom(relation).term_at(index)
+
+
+def syntactic_verdict(
+    query: ConjunctiveQuery, fks: ForeignKeySet, positions: Iterable[Position]
+) -> ObedienceVerdict:
+    """Theorem 7's four conditions, reporting the first violation found."""
+    position_set = frozenset(positions)
+    for relation, index in position_set:
+        atom = query.atom(relation)
+        if index <= atom.key_size:
+            raise ForeignKeyError(
+                f"position ({relation},{index}) is a primary-key position; "
+                "obedience is defined for non-primary-key positions only"
+            )
+    # (I) no position of P on a cycle of the dependency graph.
+    for position in sorted(position_set):
+        if fks.position_on_cycle(position):
+            return ObedienceVerdict(False, "I", (position,))
+    closed = fks.closure(position_set)
+    complement = fks.complement(position_set)
+    # (II) no constant (or parameter) of q at a position of the closure.
+    for position in sorted(closed):
+        term = _term_at(query, position)
+        if term is not None and is_constantlike(term):
+            return ObedienceVerdict(False, "II", (position,))
+    # (III) no variable both in the closure and in the complement.
+    closure_vars = {}
+    for position in sorted(closed):
+        term = _term_at(query, position)
+        if term is not None and is_variable(term):
+            closure_vars.setdefault(term, position)
+    for position in sorted(complement):
+        term = _term_at(query, position)
+        if term is not None and is_variable(term) and term in closure_vars:
+            return ObedienceVerdict(
+                False, "III", (closure_vars[term], position)
+            )
+    # (IV) no variable at two distinct non-primary-key positions of the closure.
+    seen: dict[object, Position] = {}
+    for position in sorted(closed):
+        relation, index = position
+        if not query.has_relation(relation):
+            continue
+        atom = query.atom(relation)
+        if index <= atom.key_size:
+            continue
+        term = atom.term_at(index)
+        if is_variable(term):
+            if term in seen:
+                return ObedienceVerdict(False, "IV", (seen[term], position))
+            seen[term] = position
+    return ObedienceVerdict(True)
+
+
+def syntactic_obedient(
+    query: ConjunctiveQuery, fks: ForeignKeySet, positions: Iterable[Position]
+) -> bool:
+    """Is the position set obedient, by the Theorem 7 characterization?"""
+    return syntactic_verdict(query, fks, positions).obedient
+
+
+def atom_obedient(query: ConjunctiveQuery, fks: ForeignKeySet,
+                  relation: str) -> bool:
+    """Is the *relation*-atom obedient (all its non-key positions together)?
+
+    By Corollary 8 this is equivalent to every singleton being obedient.
+    Atoms without non-primary-key positions are trivially obedient.
+    """
+    return syntactic_obedient(
+        query, fks, nonkey_positions(query.atom(relation))
+    )
+
+
+def replaced_atom(atom: Atom, positions: Iterable[Position],
+                  fresh: FreshVariableFactory) -> Atom:
+    """``F_P``: *atom* with the terms at *positions* replaced by fresh variables."""
+    indices = {i for (_, i) in positions}
+    terms = [
+        fresh.fresh("obd") if index in indices else term
+        for index, term in enumerate(atom.terms, start=1)
+    ]
+    return Atom(atom.relation, tuple(terms), atom.key_size)
+
+
+def obedience_test_query(
+    query: ConjunctiveQuery, fks: ForeignKeySet, positions: Iterable[Position]
+) -> ConjunctiveQuery:
+    """``(q \\ q^FK_P) ∪ {F_P}`` — the left-hand side of condition (2) in
+    Definition 5 (whose ``FK``-entailment of ``q`` defines obedience)."""
+    position_set = frozenset(positions)
+    if not position_set:
+        return query
+    relations = {r for (r, _) in position_set}
+    if len(relations) != 1:
+        raise ForeignKeyError(
+            "obedience is defined for positions of a single relation"
+        )
+    (relation,) = relations
+    atom = query.atom(relation)
+    fresh = FreshVariableFactory({v.name for v in query.variables})
+    reduced = query.without(
+        *subquery_for_positions(query, fks, position_set).relations
+    )
+    return reduced.with_atom(replaced_atom(atom, position_set, fresh))
+
+
+def semantic_obedient(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    positions: Iterable[Position],
+    chase_bound: int = 200,
+) -> bool:
+    """Definition 5's semantic obedience, decided by the chase.
+
+    ``q' ⊨_FK q`` for Boolean conjunctive queries holds iff the chase of the
+    canonical instance of ``q'`` with the foreign keys satisfies ``q``.  The
+    chase of unary inclusion dependencies may be infinite on cyclic
+    dependency graphs; beyond *chase_bound* inserted facts we raise
+    :class:`ForeignKeyError` (tests only use this routine on terminating
+    configurations; the production check is :func:`syntactic_obedient`).
+    """
+    from ..db import chase_entails  # local import: db depends on core
+
+    position_set = frozenset(positions)
+    if not position_set:
+        return True
+    test_query = obedience_test_query(query, fks, position_set)
+    return chase_entails(test_query, fks, query, bound=chase_bound)

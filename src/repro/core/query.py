@@ -1,0 +1,269 @@
+"""Self-join-free Boolean conjunctive queries (sjfBCQ).
+
+A Boolean conjunctive query is a finite set of atoms (Section 3.1).  The
+class :class:`ConjunctiveQuery` stores the atoms in a canonical order,
+enforces self-join-freeness on request, and provides the derived notions
+used throughout the paper: ``vars(q)``, ``const(q)``, substitution
+``q[x→c]``, the per-relation atom lookup ("in contexts where a query q is
+understood, a relation name stands for its unique atom"), variable
+connectivity, and the restricted Gaifman graph ``G_V(q)`` of Definition 9.
+
+A compact text syntax is provided for tests and examples::
+
+    parse_query("R(x, y)", "S(y | z, 'c')")
+
+* bare identifiers are variables,
+* ``'quoted'`` tokens and integer literals are constants,
+* ``$name`` tokens are parameters (frozen variables),
+* the ``|`` separates primary-key positions from the rest; without a ``|``
+  the key is the first position (signature ``[n, 1]``); a trailing ``|``
+  makes every position part of the key (signature ``[n, n]``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import QueryError
+from .atoms import Atom
+from .schema import Schema
+from .terms import Constant, Parameter, Term, Variable, is_variable
+
+_TOKEN = re.compile(r"\s*(\$?[A-Za-z_][A-Za-z0-9_]*|'[^']*'|-?\d+|\|)\s*")
+_ATOM = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$", re.S)
+
+
+def parse_term(token: str) -> Term:
+    """Parse a single term token (see module docstring for the syntax)."""
+    token = token.strip()
+    if token.startswith("$"):
+        return Parameter(token[1:])
+    if token.startswith("'") and token.endswith("'"):
+        return Constant(token[1:-1])
+    if re.fullmatch(r"-?\d+", token):
+        return Constant(int(token))
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return Variable(token)
+    raise QueryError(f"cannot parse term {token!r}")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse one atom, e.g. ``"R(x, 'c' | y)"``."""
+    match = _ATOM.match(text)
+    if not match:
+        raise QueryError(f"cannot parse atom {text!r}")
+    relation, body = match.group(1), match.group(2)
+    tokens = [t.strip() for t in _split_args(body)]
+    key_size: int | None = None
+    terms: list[Term] = []
+    for token in tokens:
+        if token == "|":
+            if key_size is not None:
+                raise QueryError(f"two '|' separators in atom {text!r}")
+            key_size = len(terms)
+        elif token:
+            terms.append(parse_term(token))
+    if key_size is None:
+        key_size = 1
+    if key_size == 0:
+        raise QueryError(f"empty primary key in atom {text!r}")
+    return Atom(relation, tuple(terms), key_size)
+
+
+def _split_args(body: str) -> Iterator[str]:
+    """Split an atom body on commas and pipes, respecting quotes."""
+    depth_quote = False
+    current: list[str] = []
+    for char in body:
+        if char == "'":
+            depth_quote = not depth_quote
+            current.append(char)
+        elif char == "," and not depth_quote:
+            yield "".join(current)
+            current = []
+        elif char == "|" and not depth_quote:
+            yield "".join(current)
+            yield "|"
+            current = []
+        else:
+            current.append(char)
+    yield "".join(current)
+
+
+class ConjunctiveQuery:
+    """A Boolean conjunctive query, optionally checked self-join-free."""
+
+    def __init__(self, atoms: Iterable[Atom], require_sjf: bool = True):
+        self._atoms: tuple[Atom, ...] = tuple(atoms)
+        if require_sjf:
+            seen: set[str] = set()
+            for atom in self._atoms:
+                if atom.relation in seen:
+                    raise QueryError(
+                        f"query is not self-join-free: two {atom.relation}-atoms"
+                    )
+                seen.add(atom.relation)
+
+    # -- basic structure ----------------------------------------------------
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        return self._atoms
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(a.relation for a in self._atoms)
+
+    def atom(self, relation: str) -> Atom:
+        """The unique atom with the given relation name."""
+        for atom in self._atoms:
+            if atom.relation == relation:
+                return atom
+        raise QueryError(f"query has no {relation}-atom")
+
+    def has_relation(self, relation: str) -> bool:
+        return any(a.relation == relation for a in self._atoms)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``vars(q)``."""
+        return frozenset(v for a in self._atoms for v in a.variables)
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        """``const(q)``."""
+        return frozenset(c for a in self._atoms for c in a.constants)
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset(p for a in self._atoms for p in a.parameters)
+
+    def schema(self) -> Schema:
+        """The schema induced by the query's atoms."""
+        schema = Schema()
+        for atom in self._atoms:
+            schema = schema.add(atom.relation, atom.arity, atom.key_size)
+        return schema
+
+    # -- set-like operations --------------------------------------------------
+
+    def without(self, *removed: Atom | str) -> "ConjunctiveQuery":
+        """``q \\ {F}`` for atoms or relation names *removed*."""
+        names = {r if isinstance(r, str) else r.relation for r in removed}
+        return ConjunctiveQuery(
+            (a for a in self._atoms if a.relation not in names), require_sjf=False
+        )
+
+    def with_atom(self, atom: Atom) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(self._atoms + (atom,), require_sjf=False)
+
+    def replace_atom(self, relation: str, new_atom: Atom) -> "ConjunctiveQuery":
+        """Swap the unique *relation*-atom for *new_atom*."""
+        if not self.has_relation(relation):
+            raise QueryError(f"query has no {relation}-atom")
+        return ConjunctiveQuery(
+            tuple(new_atom if a.relation == relation else a for a in self._atoms),
+            require_sjf=False,
+        )
+
+    def restrict(self, relations: Iterable[str]) -> "ConjunctiveQuery":
+        """``q ↾ relations``."""
+        keep = set(relations)
+        return ConjunctiveQuery(
+            (a for a in self._atoms if a.relation in keep), require_sjf=False
+        )
+
+    # -- substitution ---------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        """``q[x→c]`` extended to arbitrary variable maps."""
+        return ConjunctiveQuery(
+            (a.substitute(mapping) for a in self._atoms), require_sjf=False
+        )
+
+    def freeze(self, variables: Iterable[Variable]) -> "ConjunctiveQuery":
+        """Replace each variable by a :class:`Parameter` of the same name."""
+        mapping = {v: Parameter(v.name) for v in variables}
+        return self.substitute(mapping)
+
+    # -- connectivity ---------------------------------------------------------
+
+    def gaifman_edges(
+        self, restrict_to: frozenset[Variable] | None = None
+    ) -> dict[Variable, set[Variable]]:
+        """Adjacency of the Gaifman graph ``G_V(q)`` (Definition 9).
+
+        Vertices are the variables of *restrict_to* (default: all variables);
+        ``{x, y}`` is an edge iff some atom contains both (within the
+        restriction).  Self-loops are implicit.
+        """
+        vertices = self.variables if restrict_to is None else restrict_to
+        adjacency: dict[Variable, set[Variable]] = {v: set() for v in vertices}
+        for atom in self._atoms:
+            atom_vars = [v for v in atom.variables if v in vertices]
+            for i, x in enumerate(atom_vars):
+                for y in atom_vars[i + 1:]:
+                    adjacency[x].add(y)
+                    adjacency[y].add(x)
+        return adjacency
+
+    def connected(
+        self,
+        x: Variable,
+        y: Variable,
+        restrict_to: frozenset[Variable] | None = None,
+    ) -> bool:
+        """True iff *x* and *y* are connected in ``G_V(q)``.
+
+        A variable is vacuously connected to itself (paths of length 0),
+        provided it belongs to the vertex set.
+        """
+        vertices = self.variables if restrict_to is None else restrict_to
+        if x not in vertices or y not in vertices:
+            return False
+        if x == y:
+            return True
+        adjacency = self.gaifman_edges(vertices)
+        frontier, seen = [x], {x}
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour == y:
+                    return True
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return False
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return frozenset(self._atoms) == frozenset(other._atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._atoms))
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(map(repr, self._atoms)) + "}"
+
+
+def parse_query(*atom_texts: str) -> ConjunctiveQuery:
+    """Parse a self-join-free query from one atom string per argument."""
+    return ConjunctiveQuery(parse_atom(t) for t in atom_texts)
+
+
+def query_of(atoms: Sequence[Atom]) -> ConjunctiveQuery:
+    """Build a query from already-constructed atoms (checked sjf)."""
+    return ConjunctiveQuery(atoms)

@@ -1,0 +1,497 @@
+"""The foreign-key removal pipeline of Appendix E (Fig. 4).
+
+``CERTAINTY(q, FK)`` with an acyclic attack graph and no block-interference
+is reduced, foreign key by foreign key, to ``CERTAINTY(q'', ∅)``:
+
+* **Lemma 36** — all weak foreign keys referencing one relation are removed;
+  the instance reduction is the identity.
+* **Lemma 37** — a strong ``o→o`` key ``R[i] → S`` whose target has no
+  outgoing keys is removed together with the ``S``-atom; the instance keeps
+  only the ``R``-blocks *relevant* for ``q^FK_R``.
+* **Lemma 39** — a strong ``d→d`` key is simply dropped (identity
+  reduction).
+* **Lemma 45** — an atom ``N`` with ``key(N) = ∅`` triggers a case split
+  over the facts of the constant block ``N(c⃗, ∗)``; the subquery
+  ``q^FK_N`` is removed and ``N``'s variables are frozen to parameters.
+* **Lemma 40** — a strong ``d→o`` key ``N[i] → O`` is removed together with
+  the ``O``-atom; the instance keeps only the ``N``-blocks containing a
+  fact that is not dangling with respect to ``FK[N→]``.
+
+Each step is materialized twice, and the test suite checks the two agree:
+
+* :meth:`ReductionStep.transform_instance` — the forward first-order
+  reduction on database instances (Lemma 45 excepted: it is a case split,
+  handled by the procedural decider in :mod:`repro.core.decision`);
+* :meth:`ReductionStep.translate` — the backward formula transformation
+  that turns a rewriting over the reduced schema into one over the original
+  schema (relativization by relevance guards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..db.constraints import dangling_keys_of
+from ..db.instance import DatabaseInstance
+from ..db.matching import relevant_blocks
+from ..exceptions import ForeignKeyError, NotInFOError
+from ..fo.formula import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+    conj,
+    equality,
+    exists,
+    forall,
+    implies,
+)
+from ..fo.substitute import substitute_terms
+from .atoms import Atom
+from .foreign_keys import ForeignKey, ForeignKeySet
+from .obedience import atom_obedient, subquery_for_relation
+from .query import ConjunctiveQuery
+from .terms import (
+    FreshVariableFactory,
+    Parameter,
+    Term,
+    Variable,
+    is_constantlike,
+    is_variable,
+)
+
+
+# ---------------------------------------------------------------------------
+# Foreign-key typing (Fig. 4)
+# ---------------------------------------------------------------------------
+
+
+def fk_type(query: ConjunctiveQuery, fks: ForeignKeySet, fk: ForeignKey) -> str:
+    """The Fig. 4 type of *fk*: ``"weak"``, ``"oo"``, ``"dd"``, ``"do"``.
+
+    The impossible strong type ``o→d`` raises (its absence is a theorem;
+    the assertion guards the implementation).
+    """
+    if fks.is_weak(fk):
+        return "weak"
+    source_obedient = atom_obedient(query, fks, fk.source)
+    target_obedient = atom_obedient(query, fks, fk.target)
+    if source_obedient and target_obedient:
+        return "oo"
+    if not source_obedient and not target_obedient:
+        return "dd"
+    if not source_obedient and target_obedient:
+        return "do"
+    raise ForeignKeyError(
+        f"{fk!r} has impossible type o→d (obedient source, disobedient "
+        "target) — this contradicts Section 8 of the paper"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Step records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReductionStep:
+    """One fired reduction, with both realizations.
+
+    ``translate`` maps a formula over the *reduced* schema to one over this
+    step's input schema.  ``transform_instance`` maps an input instance to a
+    reduced instance (``None`` for the Lemma 45 case split).
+    """
+
+    lemma: str
+    description: str
+    removed_fks: tuple[ForeignKey, ...]
+    removed_atoms: tuple[str, ...]
+    query_after: ConjunctiveQuery
+    fks_after: ForeignKeySet
+    translate: Callable[[Formula], Formula]
+    transform_instance: Callable[
+        [DatabaseInstance, Mapping[Parameter, object]], DatabaseInstance
+    ] | None
+
+    def __repr__(self) -> str:
+        return f"<{self.lemma}: {self.description}>"
+
+
+def _identity_translate(formula: Formula) -> Formula:
+    return formula
+
+
+def _identity_transform(
+    db: DatabaseInstance, env: Mapping[Parameter, object]
+) -> DatabaseInstance:
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Relativization helpers
+# ---------------------------------------------------------------------------
+
+
+def _wrap_relation(
+    formula: Formula,
+    relation: str,
+    guard: Callable[[tuple[Term, ...]], Formula],
+) -> Formula:
+    """Conjoin ``guard(terms)`` to every ``relation``-atom of *formula*."""
+    if isinstance(formula, Rel):
+        if formula.relation == relation:
+            return And((formula, guard(formula.terms)))
+        return formula
+    if isinstance(formula, (TrueFormula, FalseFormula, Eq)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_wrap_relation(formula.body, relation, guard))
+    if isinstance(formula, And):
+        return And(
+            tuple(_wrap_relation(p, relation, guard) for p in formula.parts)
+        )
+    if isinstance(formula, Or):
+        return Or(
+            tuple(_wrap_relation(p, relation, guard) for p in formula.parts)
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            _wrap_relation(formula.premise, relation, guard),
+            _wrap_relation(formula.conclusion, relation, guard),
+        )
+    if isinstance(formula, Exists):
+        return Exists(
+            formula.variables,
+            _wrap_relation(formula.body, relation, guard),
+        )
+    if isinstance(formula, Forall):
+        return Forall(
+            formula.variables,
+            _wrap_relation(formula.body, relation, guard),
+        )
+    raise NotInFOError(f"unknown formula node {formula!r}")
+
+
+def _atom_to_rel(atom: Atom) -> Rel:
+    return Rel(atom.relation, atom.terms, atom.key_size)
+
+
+def _embedding_formula(
+    subquery: ConjunctiveQuery,
+    anchor: str,
+    anchor_key_terms: tuple[Term, ...],
+    fresh: FreshVariableFactory,
+) -> Formula:
+    """``∃… ⋀ subquery`` with the *anchor* atom's key equated to the given
+    terms — the "this block is relevant for *subquery*" guard of Lemma 37.
+    """
+    renaming = {v: fresh.fresh(f"g_{v.name}") for v in subquery.variables}
+    renamed = subquery.substitute(renaming)
+    anchor_atom = renamed.atom(anchor)
+    equalities: list[Formula] = []
+    binding: dict[Term, Term] = {}
+    for term, actual in zip(anchor_atom.key_terms, anchor_key_terms):
+        if is_variable(term) and term not in binding:
+            binding[term] = actual
+        else:
+            resolved = binding.get(term, term)
+            equalities.append(equality(resolved, actual))
+    atoms = [
+        substitute_terms(_atom_to_rel(a), binding) for a in renamed.atoms
+    ]
+    bound_vars = [
+        v for v in renaming.values() if v not in binding
+    ]
+    return exists(bound_vars, conj(list(atoms) + equalities))
+
+
+def _nondangling_formula(
+    atom: Atom,
+    value_terms: tuple[Term, ...],
+    outgoing: list[ForeignKey],
+    schema_lookup: ForeignKeySet,
+    fresh: FreshVariableFactory,
+) -> Formula:
+    """``⋀_{N[i]→O} ∃z⃗ O(value_i, z⃗)`` for a fact pattern of *atom*."""
+    parts: list[Formula] = []
+    for fk in outgoing:
+        target_sig = schema_lookup.schema[fk.target]
+        z_vars = [fresh.fresh("z") for _ in range(target_sig.arity - 1)]
+        referenced = value_terms[fk.position - 1]
+        parts.append(
+            exists(
+                z_vars,
+                Rel(
+                    fk.target,
+                    (referenced, *z_vars),
+                    target_sig.key_size,
+                ),
+            )
+        )
+    return conj(parts)
+
+
+# ---------------------------------------------------------------------------
+# Individual steps
+# ---------------------------------------------------------------------------
+
+
+def weak_removal_step(
+    query: ConjunctiveQuery, fks: ForeignKeySet, target: str
+) -> ReductionStep:
+    """Lemma 36: drop ``FK_weak[→ target]``; identity reduction."""
+    removed = tuple(
+        fk for fk in fks.referencing(target) if fks.is_weak(fk)
+    )
+    fks_after = fks.without(*removed)
+    return ReductionStep(
+        lemma="Lemma 36",
+        description=f"remove weak foreign keys referencing {target}",
+        removed_fks=removed,
+        removed_atoms=(),
+        query_after=query,
+        fks_after=fks_after,
+        translate=_identity_translate,
+        transform_instance=_identity_transform,
+    )
+
+
+def trivial_removal_step(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> ReductionStep:
+    """Drop the unfalsifiable keys ``R[1] → R``; trivially sound."""
+    removed = tuple(fk for fk in fks if fks.is_trivial(fk))
+    return ReductionStep(
+        lemma="triviality",
+        description="remove trivial foreign keys R[1]→R",
+        removed_fks=removed,
+        removed_atoms=(),
+        query_after=query,
+        fks_after=fks.without(*removed),
+        translate=_identity_translate,
+        transform_instance=_identity_transform,
+    )
+
+
+def oo_removal_step(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    fk: ForeignKey,
+    fresh: FreshVariableFactory,
+) -> ReductionStep:
+    """Lemma 37: remove a strong ``o→o`` key and its target atom."""
+    source = fk.source
+    relevance_query = subquery_for_relation(query, fks, source)
+    query_after = query.without(fk.target)
+    fks_after = fks.without(fk)
+    source_atom = query.atom(source)
+    key_size = source_atom.key_size
+
+    def guard(terms: tuple[Term, ...]) -> Formula:
+        return _embedding_formula(
+            relevance_query, source, terms[:key_size], fresh
+        )
+
+    def translate(formula: Formula) -> Formula:
+        return _wrap_relation(formula, source, guard)
+
+    def transform(
+        db: DatabaseInstance, env: Mapping[Parameter, object]
+    ) -> DatabaseInstance:
+        kept_blocks = relevant_blocks(relevance_query, db, source, env=env)
+
+        def keep(fact) -> bool:
+            if fact.relation == fk.target:
+                return False
+            if fact.relation == source:
+                return fact.block_id in kept_blocks
+            return True
+
+        return db.filter(keep).restrict_relations(query_after.relations)
+
+    return ReductionStep(
+        lemma="Lemma 37",
+        description=f"remove o→o key {fk!r} and atom {fk.target}",
+        removed_fks=(fk,),
+        removed_atoms=(fk.target,),
+        query_after=query_after,
+        fks_after=fks_after.restrict_to_query(query_after),
+        translate=translate,
+        transform_instance=transform,
+    )
+
+
+def dd_removal_step(
+    query: ConjunctiveQuery, fks: ForeignKeySet, fk: ForeignKey
+) -> ReductionStep:
+    """Lemma 39: remove a strong ``d→d`` key; identity reduction."""
+    return ReductionStep(
+        lemma="Lemma 39",
+        description=f"remove d→d key {fk!r}",
+        removed_fks=(fk,),
+        removed_atoms=(),
+        query_after=query,
+        fks_after=fks.without(fk),
+        translate=_identity_translate,
+        transform_instance=_identity_transform,
+    )
+
+
+def do_removal_step(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    fk: ForeignKey,
+    fresh: FreshVariableFactory,
+) -> ReductionStep:
+    """Lemma 40: remove a strong ``d→o`` key and its target atom."""
+    source = fk.source
+    outgoing = sorted(fks.outgoing(source), key=repr)
+    source_atom = query.atom(source)
+    key_size = source_atom.key_size
+    arity = source_atom.arity
+    query_after = query.without(fk.target)
+    fks_after = fks.without(fk).restrict_to_query(query_after)
+
+    def guard(terms: tuple[Term, ...]) -> Formula:
+        b_vars = [fresh.fresh("b") for _ in range(arity - key_size)]
+        pattern = tuple(terms[:key_size]) + tuple(b_vars)
+        body = conj(
+            [Rel(source, pattern, key_size)]
+            + [
+                _nondangling_formula(
+                    source_atom, pattern, [g], fks, fresh
+                )
+                for g in outgoing
+            ]
+        )
+        return exists(b_vars, body)
+
+    def translate(formula: Formula) -> Formula:
+        return _wrap_relation(formula, source, guard)
+
+    def transform(
+        db: DatabaseInstance, env: Mapping[Parameter, object]
+    ) -> DatabaseInstance:
+        good_blocks = {
+            fact.block_id
+            for fact in db.relation_facts(source)
+            if not any(
+                dangling_keys_of(fact, fks, db)
+            )
+        }
+
+        def keep(fact) -> bool:
+            if fact.relation == fk.target:
+                return False
+            if fact.relation == source:
+                return fact.block_id in good_blocks
+            return True
+
+        return db.filter(keep).restrict_relations(query_after.relations)
+
+    return ReductionStep(
+        lemma="Lemma 40",
+        description=f"remove d→o key {fk!r} and atom {fk.target}",
+        removed_fks=(fk,),
+        removed_atoms=(fk.target,),
+        query_after=query_after,
+        fks_after=fks_after,
+        translate=translate,
+        transform_instance=transform,
+    )
+
+
+@dataclass
+class EmptyKeyCase:
+    """The Lemma 45 case split: everything the driver needs to recurse."""
+
+    atom: Atom
+    removed_relations: tuple[str, ...]
+    inner_query: ConjunctiveQuery
+    inner_fks: ForeignKeySet
+    frozen: dict[Variable, Parameter]
+    outgoing: tuple[ForeignKey, ...]
+
+
+def empty_key_case(
+    query: ConjunctiveQuery, fks: ForeignKeySet, relation: str
+) -> EmptyKeyCase:
+    """Prepare the Lemma 45 split for the empty-key atom of *relation*."""
+    atom = query.atom(relation)
+    if atom.key_variables:
+        raise ForeignKeyError(f"{relation}-atom has key variables")
+    removal = subquery_for_relation(query, fks, relation).relations | {relation}
+    inner_query = query.without(*removal)
+    frozen = {v: Parameter(v.name) for v in atom.variables}
+    inner_query = inner_query.substitute(frozen)
+    inner_fks = fks.restrict_to_query(inner_query)
+    outgoing = tuple(sorted(fks.outgoing(relation), key=repr))
+    return EmptyKeyCase(
+        atom=atom,
+        removed_relations=tuple(sorted(removal)),
+        inner_query=inner_query,
+        inner_fks=inner_fks,
+        frozen=frozen,
+        outgoing=outgoing,
+    )
+
+
+def empty_key_formula(
+    case: EmptyKeyCase,
+    inner_formula: Formula,
+    fks: ForeignKeySet,
+    fresh: FreshVariableFactory,
+) -> Formula:
+    """Assemble the Lemma 45 formula around a rewriting of the inner problem.
+
+    ``∃b⃗ (N(c⃗, b⃗) ∧ nondangling(b⃗)) ∧ ∀d⃗ (N(c⃗, d⃗) → match(d⃗) ∧ φ_inner[x⃗→d⃗])``
+    """
+    atom = case.atom
+    key_terms = atom.key_terms
+    arity_rest = atom.arity - atom.key_size
+    # Witness: some block fact that is not dangling w.r.t. FK[N→].
+    b_vars = [fresh.fresh("b") for _ in range(arity_rest)]
+    witness_pattern = tuple(key_terms) + tuple(b_vars)
+    witness = exists(
+        b_vars,
+        conj(
+            [Rel(atom.relation, witness_pattern, atom.key_size)]
+            + [
+                _nondangling_formula(
+                    atom, witness_pattern, [g], fks, fresh
+                )
+                for g in case.outgoing
+            ]
+        ),
+    )
+    # Case split: every block fact must match the pattern and make the inner
+    # problem certain.
+    d_vars = [fresh.fresh("d") for _ in range(arity_rest)]
+    matches: list[Formula] = []
+    binder: dict[Term, Term] = {}
+    for d_var, term in zip(d_vars, atom.nonkey_terms):
+        if is_variable(term):
+            parameter = case.frozen[term]
+            if parameter in binder:
+                matches.append(equality(d_var, binder[parameter]))
+            else:
+                binder[parameter] = d_var
+        else:
+            matches.append(equality(d_var, term))
+    bound_inner = substitute_terms(inner_formula, binder)
+    split = forall(
+        d_vars,
+        implies(
+            Rel(atom.relation, tuple(key_terms) + tuple(d_vars), atom.key_size),
+            conj(matches + [bound_inner]),
+        ),
+    )
+    return conj([witness, split])

@@ -1,0 +1,203 @@
+"""Construction of consistent first-order rewritings (Theorem 1 / Lemma 18).
+
+The driver below implements the proof plan of Lemma 18: close ``FK`` under
+implication, then repeatedly fire the first applicable reduction —
+
+1. Lemma 36 while a non-trivial weak key exists,
+2. drop trivial keys,
+3. Lemma 37 for a strong ``o→o`` key whose target has no outgoing keys,
+4. Lemma 39 for a strong ``d→d`` key,
+5. Lemma 45 when some atom has no key variable (a case split that recurses
+   into a parameterized subproblem),
+6. Lemma 40 for a strong ``d→o`` key —
+
+until no foreign key remains, finishing with the Koutris–Wijsen rewriting
+of :mod:`repro.core.rewriting_pk`.  The formula is assembled by composing
+each step's backward ``translate`` around the inner rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ForeignKeyError, NotInFOError
+from ..fo.formula import Formula
+from ..fo.simplify import simplify
+from .classify import Classification, classify
+from .foreign_keys import ForeignKey, ForeignKeySet
+from .interference import has_block_interference
+from .obedience import subquery_for_relation
+from .query import ConjunctiveQuery
+from .reductions import (
+    ReductionStep,
+    dd_removal_step,
+    do_removal_step,
+    empty_key_case,
+    empty_key_formula,
+    fk_type,
+    oo_removal_step,
+    trivial_removal_step,
+    weak_removal_step,
+)
+from .rewriting_pk import rewrite_primary_keys
+from .terms import FreshVariableFactory
+
+
+@dataclass
+class RewritingResult:
+    """A constructed consistent first-order rewriting with its provenance."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    formula: Formula
+    classification: Classification
+    steps: list[ReductionStep] = field(default_factory=list)
+
+    @property
+    def lemma_trace(self) -> list[str]:
+        """Which helping lemma fired at each pipeline step (bench E7)."""
+        return [step.lemma for step in self.steps]
+
+
+def _identity_translate_45(formula: Formula) -> Formula:
+    """Placeholder translator for the Lemma 45 record: the actual formula
+    assembly happens in :func:`repro.core.reductions.empty_key_formula`."""
+    return formula
+
+
+def _pick_weak_target(query: ConjunctiveQuery,
+                      fks: ForeignKeySet) -> str | None:
+    """A relation referenced by a non-trivial weak key, if any (Lemma 36)."""
+    for fk in fks:
+        if fks.is_weak(fk) and not fks.is_trivial(fk):
+            return fk.target
+    return None
+
+
+def _pick_oo(query: ConjunctiveQuery, fks: ForeignKeySet,
+             types: dict[ForeignKey, str]) -> ForeignKey | None:
+    """An ``o→o`` key whose target has no outgoing keys (``q^FK_S = {S}``)."""
+    candidates = [fk for fk, t in types.items() if t == "oo"]
+    for fk in sorted(candidates, key=repr):
+        if not fks.outgoing(fk.target):
+            return fk
+    if candidates:
+        raise ForeignKeyError(
+            "o→o foreign keys form a cycle among obedient atoms — "
+            "contradicts Theorem 7 (I)"
+        )
+    return None
+
+
+def _pick_empty_key(query: ConjunctiveQuery) -> str | None:
+    """A relation whose atom has no key variables (Lemma 45 trigger)."""
+    for atom in query.atoms:
+        if not atom.key_variables:
+            return atom.relation
+    return None
+
+
+def _build(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    fresh: FreshVariableFactory,
+    steps: list[ReductionStep],
+) -> Formula:
+    """Rewrite ``CERTAINTY(q, FK)`` assuming the FO conditions hold.
+
+    Parameters in *query* stay free in the result.
+    """
+    translators = []
+    while len(fks) > 0:
+        weak_target = _pick_weak_target(query, fks)
+        if weak_target is not None:
+            step = weak_removal_step(query, fks, weak_target)
+        elif any(fks.is_trivial(fk) for fk in fks):
+            step = trivial_removal_step(query, fks)
+        else:
+            types = {fk: fk_type(query, fks, fk) for fk in fks}
+            oo = _pick_oo(query, fks, types)
+            dd = next(
+                (fk for fk in sorted(fks, key=repr) if types[fk] == "dd"),
+                None,
+            )
+            if oo is not None:
+                step = oo_removal_step(query, fks, oo, fresh)
+            elif dd is not None:
+                step = dd_removal_step(query, fks, dd)
+            else:
+                empty = _pick_empty_key(query)
+                if empty is not None:
+                    case = empty_key_case(query, fks, empty)
+                    steps.append(
+                        ReductionStep(
+                            lemma="Lemma 45",
+                            description=(
+                                f"case split on the constant block of {empty}; "
+                                f"remove {case.removed_relations}"
+                            ),
+                            removed_fks=tuple(
+                                fk for fk in fks if fk not in case.inner_fks
+                            ),
+                            removed_atoms=case.removed_relations,
+                            query_after=case.inner_query,
+                            fks_after=case.inner_fks,
+                            translate=_identity_translate_45,
+                            transform_instance=None,
+                        )
+                    )
+                    inner = _build(
+                        case.inner_query, case.inner_fks, fresh, steps
+                    )
+                    formula = empty_key_formula(case, inner, fks, fresh)
+                    for translate in reversed(translators):
+                        formula = translate(formula)
+                    return formula
+                do = next(
+                    (fk for fk in sorted(fks, key=repr) if types[fk] == "do"),
+                    None,
+                )
+                if do is None:
+                    raise ForeignKeyError(
+                        f"no applicable reduction for {fks!r} — should be "
+                        "unreachable"
+                    )
+                step = do_removal_step(query, fks, do, fresh)
+        steps.append(step)
+        translators.append(step.translate)
+        query, fks = step.query_after, step.fks_after
+    formula = rewrite_primary_keys(query, fresh)
+    for translate in reversed(translators):
+        formula = translate(formula)
+    return formula
+
+
+def consistent_rewriting(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    simplify_result: bool = True,
+) -> RewritingResult:
+    """Construct the consistent FO rewriting of ``CERTAINTY(q, FK)``.
+
+    Raises :class:`NotInFOError` when Theorem 12 places the problem outside
+    FO, and :class:`ForeignKeyError` when *fks* is not about *query*.
+    """
+    classification = classify(query, fks)
+    if not classification.in_fo:
+        raise NotInFOError(classification.explain())
+    fresh = FreshVariableFactory(
+        {v.name for v in query.variables}
+        | {p.name for p in query.parameters}
+    )
+    closed = fks.implication_closure()
+    steps: list[ReductionStep] = []
+    formula = _build(query, closed, fresh, steps)
+    if simplify_result:
+        formula = simplify(formula)
+    return RewritingResult(
+        query=query,
+        fks=fks,
+        formula=formula,
+        classification=classification,
+        steps=steps,
+    )

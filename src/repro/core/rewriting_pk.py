@@ -1,0 +1,129 @@
+"""Consistent first-order rewriting for primary keys only (Theorem 2).
+
+Implements the Koutris–Wijsen / Fuxman–Miller rewriting for a query with an
+acyclic attack graph: repeatedly pick an *unattacked* atom
+``F = R(t1..tk | tk+1..tn)`` and emit
+
+    ∃u⃗ [ ∃v⃗ R(u⃗, v⃗) ∧ ∀w⃗ ( R(u⃗, w⃗) → match(w⃗, t⃗) ∧ φ' ) ]
+
+where ``u⃗`` quantifies the distinct key variables (key constants are kept
+in place), ``match`` equates each universally quantified non-key position
+with its constant / repeated-variable pattern, and ``φ'`` recursively
+rewrites the remaining query with ``F``'s variables *frozen* to the
+quantified values.  Freezing uses :class:`Parameter` terms so the recursive
+attack graph treats them as constants; the parameters are replaced by the
+quantified variables when the level is assembled.
+
+The construction supports free parameters in the input query (needed by the
+Lemma 45 case split of the foreign-key pipeline); those remain free in the
+output formula.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import NotInFOError
+from ..fo.formula import (
+    Formula,
+    Rel,
+    TRUE,
+    conj,
+    equality,
+    exists,
+    forall,
+    implies,
+)
+from ..fo.substitute import substitute_terms
+from .atoms import Atom
+from .attack_graph import AttackGraph
+from .query import ConjunctiveQuery
+from .terms import (
+    FreshVariableFactory,
+    Parameter,
+    Term,
+    Variable,
+    is_variable,
+)
+
+
+def rewrite_primary_keys(
+    query: ConjunctiveQuery,
+    fresh: FreshVariableFactory | None = None,
+) -> Formula:
+    """The consistent FO rewriting of ``CERTAINTY(q)`` (no foreign keys).
+
+    Raises :class:`NotInFOError` when the attack graph is cyclic.
+    """
+    if fresh is None:
+        fresh = FreshVariableFactory(
+            {v.name for v in query.variables}
+            | {p.name for p in query.parameters}
+        )
+    return _rewrite(query, fresh)
+
+
+def _rewrite(query: ConjunctiveQuery, fresh: FreshVariableFactory) -> Formula:
+    if not query.atoms:
+        return TRUE
+    graph = AttackGraph(query)
+    unattacked = graph.unattacked_atoms()
+    if not unattacked:
+        raise NotInFOError(
+            f"attack graph of {query!r} is cyclic: CERTAINTY(q) is L-hard "
+            "and admits no consistent first-order rewriting"
+        )
+    atom = min(unattacked, key=lambda a: a.relation)
+    return _rewrite_step(query, atom, fresh)
+
+
+def _rewrite_step(
+    query: ConjunctiveQuery, atom: Atom, fresh: FreshVariableFactory
+) -> Formula:
+    # Substitution freezing this atom's variables for the recursive call,
+    # expressed with parameters carrying the quantified variables' names.
+    freeze: dict[Variable, Parameter] = {}
+    # -- key positions: quantify each distinct key variable once.
+    key_out: list[Term] = []
+    key_vars: list[Variable] = []
+    for term in atom.key_terms:
+        if is_variable(term):
+            if term not in freeze:
+                u = fresh.fresh(f"u_{term.name}")
+                freeze[term] = Parameter(u.name)
+                key_vars.append(u)
+            key_out.append(freeze[term])
+        else:
+            key_out.append(term)
+    # -- universal part: ∀w⃗ (R(u⃗, w⃗) → match ∧ φ').
+    w_vars = [fresh.fresh("w") for _ in atom.nonkey_terms]
+    matches: list[Formula] = []
+    for w, term in zip(w_vars, atom.nonkey_terms):
+        if is_variable(term):
+            if term in freeze:
+                matches.append(equality(w, freeze[term]))
+            else:
+                freeze[term] = Parameter(w.name)
+        else:
+            matches.append(equality(w, term))
+    rest = query.without(atom.relation).substitute(freeze)
+    sub_formula = _rewrite(rest, fresh)
+    # Bind this level's parameters to the quantified variables *before*
+    # wrapping the quantifier blocks (the parameters stand for exactly these
+    # bound values, so the "capture" is the point).
+    binder: dict[Term, Term] = {Parameter(u.name): u for u in key_vars}
+    binder.update({Parameter(w.name): w for w in w_vars})
+    body = substitute_terms(conj(matches + [sub_formula]), binder)
+    key_bound = tuple(binder.get(t, t) for t in key_out)
+    universal = forall(
+        w_vars,
+        implies(
+            Rel(atom.relation, key_bound + tuple(w_vars), atom.key_size),
+            body,
+        ),
+    )
+    # -- witness part: ∃v⃗ R(u⃗, v⃗) with unconstrained fresh non-keys.
+    v_vars = [fresh.fresh("v") for _ in atom.nonkey_terms]
+    witness = exists(
+        v_vars,
+        Rel(atom.relation, key_bound + tuple(v_vars), atom.key_size),
+    )
+    return exists(key_vars, conj([witness, universal]))

@@ -1,0 +1,130 @@
+"""Relation signatures and database schemas.
+
+Every relation name is associated with a *signature* ``[n, k]`` (Section 3):
+``n`` is the arity and the first ``k`` positions form the primary key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..exceptions import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """A signature ``[n, k]``: arity ``n``, primary key ``[k]`` with ``k ≤ n``."""
+
+    arity: int
+    key_size: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise SchemaError(f"arity must be positive, got {self.arity}")
+        if not 1 <= self.key_size <= self.arity:
+            raise SchemaError(
+                f"key size must lie in [1, {self.arity}], got {self.key_size}"
+            )
+
+    @property
+    def key_positions(self) -> range:
+        """1-based primary-key positions ``1..k``."""
+        return range(1, self.key_size + 1)
+
+    @property
+    def nonkey_positions(self) -> range:
+        """1-based non-primary-key positions ``k+1..n``."""
+        return range(self.key_size + 1, self.arity + 1)
+
+    @property
+    def is_all_key(self) -> bool:
+        """True iff every position is part of the primary key."""
+        return self.key_size == self.arity
+
+    def __repr__(self) -> str:
+        return f"[{self.arity},{self.key_size}]"
+
+
+class Schema:
+    """A finite map from relation names to signatures.
+
+    The paper fixes a database schema up front; we thread an explicit
+    ``Schema`` object through queries, instances and constraint sets so that
+    all parties agree on the signatures.
+    """
+
+    def __init__(self, signatures: dict[str, Signature] | None = None):
+        self._signatures: dict[str, Signature] = dict(signatures or {})
+
+    @classmethod
+    def of(cls, **relations: tuple[int, int]) -> "Schema":
+        """Build a schema from ``name=(arity, key_size)`` keyword pairs.
+
+        >>> Schema.of(R=(2, 1), S=(3, 2))["R"].arity
+        2
+        """
+        return cls({name: Signature(*sig) for name, sig in relations.items()})
+
+    def add(self, name: str, arity: int, key_size: int) -> "Schema":
+        """Return a new schema extended with relation *name*."""
+        if name in self._signatures:
+            existing = self._signatures[name]
+            if existing != Signature(arity, key_size):
+                raise SchemaError(
+                    f"relation {name!r} already declared with signature "
+                    f"{existing}, cannot redeclare as [{arity},{key_size}]"
+                )
+            return self
+        merged = dict(self._signatures)
+        merged[name] = Signature(arity, key_size)
+        return Schema(merged)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Union of two schemas; clashing signatures raise :class:`SchemaError`."""
+        merged = dict(self._signatures)
+        for name, sig in other._signatures.items():
+            if name in merged and merged[name] != sig:
+                raise SchemaError(
+                    f"relation {name!r} has conflicting signatures "
+                    f"{merged[name]} and {sig}"
+                )
+            merged[name] = sig
+        return Schema(merged)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Return the sub-schema on the given relation names."""
+        keep = set(names)
+        return Schema({n: s for n, s in self._signatures.items() if n in keep})
+
+    def positions(self) -> list[tuple[str, int]]:
+        """All positions ``(R, i)`` of the schema, 1-based."""
+        return [
+            (name, i)
+            for name, sig in self._signatures.items()
+            for i in range(1, sig.arity + 1)
+        ]
+
+    def __getitem__(self, name: str) -> Signature:
+        try:
+            return self._signatures[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._signatures)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._signatures == other._signatures
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}{s}" for n, s in sorted(self._signatures.items()))
+        return f"Schema({inner})"

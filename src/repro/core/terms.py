@@ -1,0 +1,146 @@
+"""Terms: variables, constants and parameters.
+
+The paper (Section 3) assumes denumerable sets of *variables* and
+*constants*; a *term* is either of the two.  We add a third kind,
+:class:`Parameter`, used internally by the rewriting pipeline (Appendix E,
+Lemma 45): a parameter is a term that behaves exactly like a constant for
+every syntactic notion of the paper (obedience, attacks, block-interference)
+but is rendered as a *free variable* in the constructed first-order
+rewriting.  Freezing a variable into a parameter is how the pipeline
+implements substitutions such as ``q0[x -> theta(x)]`` without committing to
+a concrete value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant.  Values are ordinary hashable Python objects."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """A frozen variable: a constant-like term standing for an unknown value.
+
+    Parameters arise when the rewriting pipeline substitutes the non-key
+    values of a block for the variables of a query (Lemma 45).  Every
+    classification routine treats a parameter as a constant; the formula
+    builder turns it back into a free first-order variable.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+Term = Union[Variable, Constant, Parameter]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` iff *term* is a genuine (unfrozen) variable."""
+    return isinstance(term, Variable)
+
+
+def is_constantlike(term: Term) -> bool:
+    """Return ``True`` iff *term* acts as a constant (constant or parameter).
+
+    The paper's phrase "when distinct variables are treated as distinct
+    constants" is implemented by this predicate together with term equality.
+    """
+    return isinstance(term, (Constant, Parameter))
+
+
+class FreshVariableFactory:
+    """Produce variables guaranteed not to clash with a reserved set of names.
+
+    The rewriting construction needs a stream of fresh variables (for the
+    universally quantified copies of non-key positions, Lemma 45 parameters,
+    obedience tests, ...).  One factory is threaded through a construction so
+    that freshness is global to it.
+    """
+
+    def __init__(self, reserved: set[str] | None = None, prefix: str = "v"):
+        self._reserved = set(reserved or ())
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def reserve(self, names: set[str]) -> None:
+        """Add *names* to the set this factory will never emit."""
+        self._reserved.update(names)
+
+    def fresh(self, hint: str | None = None) -> Variable:
+        """Return a new :class:`Variable` whose name was never emitted."""
+        base = hint or self._prefix
+        while True:
+            name = f"{base}_{next(self._counter)}"
+            if name not in self._reserved:
+                self._reserved.add(name)
+                return Variable(name)
+
+    def fresh_parameter(self, hint: str | None = None) -> Parameter:
+        """Return a new :class:`Parameter` with a never-emitted name."""
+        return Parameter(self.fresh(hint).name)
+
+
+class FreshConstantFactory:
+    """Produce constants outside a given active domain.
+
+    Used by the chase (Appendix B) and the ⊕-repair oracle, which must invent
+    values that do not occur in the database or the query.  Fresh constants
+    are tagged with a private class so that tests can recognize them.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str = "u") -> Constant:
+        return Constant(FreshValue(hint, next(self._counter)))
+
+
+@dataclass(frozen=True, slots=True)
+class FreshValue:
+    """The value payload of an invented constant.
+
+    Distinct instances compare unequal to every ordinary value, which is what
+    makes them "fresh" with respect to any active domain built from ordinary
+    Python values.
+    """
+
+    hint: str
+    serial: int
+
+    def __repr__(self) -> str:
+        return f"<{self.hint}#{self.serial}>"
+
+    def __str__(self) -> str:
+        return f"<{self.hint}#{self.serial}>"

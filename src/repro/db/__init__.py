@@ -1,0 +1,55 @@
+"""In-memory relational database substrate.
+
+Facts, instances with block/value indexes, conjunctive-query evaluation,
+constraint checking and chase-based containment.
+"""
+
+from .constraints import (
+    dangling_facts,
+    dangling_keys_of,
+    is_consistent,
+    is_dangling,
+    orphan_constants,
+    satisfies_foreign_keys,
+    satisfies_primary_keys,
+    violation_report,
+)
+from .containment import (
+    canonical_instance,
+    chase,
+    chase_entails,
+    equivalent_under,
+)
+from .facts import Fact
+from .instance import DatabaseInstance
+from .matching import (
+    apply_valuation,
+    is_fact_relevant,
+    relevant_blocks,
+    relevant_facts,
+    satisfies,
+    valuations,
+)
+
+__all__ = [
+    "DatabaseInstance",
+    "Fact",
+    "apply_valuation",
+    "canonical_instance",
+    "chase",
+    "chase_entails",
+    "dangling_facts",
+    "dangling_keys_of",
+    "equivalent_under",
+    "is_consistent",
+    "is_dangling",
+    "is_fact_relevant",
+    "orphan_constants",
+    "relevant_blocks",
+    "relevant_facts",
+    "satisfies",
+    "satisfies_foreign_keys",
+    "satisfies_primary_keys",
+    "valuations",
+    "violation_report",
+]

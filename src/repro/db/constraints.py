@@ -1,0 +1,91 @@
+"""Constraint checking over database instances.
+
+Primary keys (the set ``PK`` of formulas (1) in Section 3.1) and dangling
+facts with respect to unary foreign keys (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.foreign_keys import ForeignKey, ForeignKeySet
+from .facts import Fact
+from .instance import DatabaseInstance
+
+
+def is_dangling(fact: Fact, fk: ForeignKey, db: DatabaseInstance) -> bool:
+    """Is *fact* dangling in *db* with respect to ``R[i] → S``?
+
+    A fact ``R(a1, …, an)`` is dangling iff *db* contains no ``S``-fact whose
+    first (primary-key) value equals ``ai``.
+    """
+    if fact.relation != fk.source:
+        return False
+    return not db.has_fact_with_key_prefix(fk.target, fact.value_at(fk.position))
+
+
+def dangling_keys_of(fact: Fact, fks: ForeignKeySet,
+                     db: DatabaseInstance) -> list[ForeignKey]:
+    """The foreign keys of *fks* with respect to which *fact* dangles in *db*."""
+    return [fk for fk in fks.outgoing(fact.relation) if is_dangling(fact, fk, db)]
+
+
+def dangling_facts(db: DatabaseInstance, fks: ForeignKeySet,
+                   within: DatabaseInstance | None = None) -> set[Fact]:
+    """Facts of *db* dangling with respect to some key of *fks*.
+
+    References are resolved against *within* (default: *db* itself); passing
+    a larger instance implements "dangling in r ∪ db" style checks.
+    """
+    scope = within if within is not None else db
+    result: set[Fact] = set()
+    for fact in db.facts:
+        if dangling_keys_of(fact, fks, scope):
+            result.add(fact)
+    return result
+
+
+def satisfies_foreign_keys(db: DatabaseInstance, fks: ForeignKeySet) -> bool:
+    """``db |= FK``: no fact of *db* is dangling."""
+    return not dangling_facts(db, fks)
+
+
+def satisfies_primary_keys(db: DatabaseInstance) -> bool:
+    """``db |= PK``: no block contains two distinct facts."""
+    return not db.violates_primary_keys()
+
+def is_consistent(db: DatabaseInstance, fks: ForeignKeySet) -> bool:
+    """``db |= PK ∪ FK``."""
+    return satisfies_primary_keys(db) and satisfies_foreign_keys(db, fks)
+
+
+def orphan_constants(db: DatabaseInstance) -> set[object]:
+    """Constants occurring exactly once in *db*, at a non-key position.
+
+    This is the *orphan constant* notion of Appendix A, used by the
+    pre-repair machinery (Definition 29).
+    """
+    counts: dict[object, int] = {}
+    nonkey_only: dict[object, bool] = {}
+    for fact in db.facts:
+        for position, value in enumerate(fact.values, start=1):
+            counts[value] = counts.get(value, 0) + 1
+            at_key = position <= fact.key_size
+            nonkey_only[value] = nonkey_only.get(value, True) and not at_key
+    return {
+        value
+        for value, count in counts.items()
+        if count == 1 and nonkey_only[value]
+    }
+
+
+def violation_report(db: DatabaseInstance, fks: ForeignKeySet) -> str:
+    """A human-readable summary of all constraint violations in *db*."""
+    lines: list[str] = []
+    for block in db.key_violations():
+        sample = ", ".join(map(repr, sorted(block, key=repr)))
+        lines.append(f"primary-key violation: {sample}")
+    for fact in sorted(dangling_facts(db, fks), key=repr):
+        for fk in dangling_keys_of(fact, fks, db):
+            lines.append(f"dangling: {fact!r} w.r.t. {fk!r}")
+    return "\n".join(lines) if lines else "consistent"

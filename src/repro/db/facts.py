@@ -1,0 +1,66 @@
+"""Facts and key-equality.
+
+A *fact* is an atom without variables (Section 3.1).  We store facts as a
+relation name plus a tuple of plain values together with the key size, so
+that key-equality ``A ∼ B`` (same relation, agreeing on all primary-key
+positions) is a cheap tuple comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground tuple ``R(a1, …, an)`` with primary key ``a1..ak``."""
+
+    relation: str
+    values: tuple[object, ...]
+    key_size: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.key_size <= len(self.values):
+            raise SchemaError(
+                f"fact {self.relation}{self.values}: key size {self.key_size} "
+                f"outside [1, {len(self.values)}]"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    @property
+    def key(self) -> tuple[object, ...]:
+        """The primary-key value tuple."""
+        return self.values[: self.key_size]
+
+    @property
+    def nonkey(self) -> tuple[object, ...]:
+        return self.values[self.key_size:]
+
+    @property
+    def block_id(self) -> tuple[str, tuple[object, ...]]:
+        """Identifier of the block this fact belongs to: ``(R, key)``."""
+        return (self.relation, self.key)
+
+    def value_at(self, position: int) -> object:
+        """Value at 1-based *position*."""
+        return self.values[position - 1]
+
+    def key_equal(self, other: "Fact") -> bool:
+        """``A ∼ B``: same relation name and same primary-key values."""
+        return self.relation == other.relation and self.key == other.key
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    def __repr__(self) -> str:
+        key = ",".join(map(str, self.key))
+        rest = ",".join(map(str, self.nonkey))
+        if rest:
+            return f"{self.relation}({key}|{rest})"
+        return f"{self.relation}({key})"

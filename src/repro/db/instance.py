@@ -1,0 +1,229 @@
+"""Database instances: finite sets of facts with block and key indexes.
+
+A database instance is a finite set of facts (Section 3.1).  This class is
+the workhorse substrate: it maintains
+
+* a per-relation store,
+* a *block* index (``block(A, db)``, the maximal set of key-equal facts),
+* a per-(relation, position) value index used by the conjunctive-query
+  evaluator and by dangling-fact checks,
+
+and offers the set algebra the repair machinery needs (union, difference,
+symmetric difference ``⊕``) plus the ``⪯_db`` closeness preorder.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..core.schema import Schema
+from ..exceptions import SchemaError
+from .facts import Fact
+
+
+class DatabaseInstance:
+    """An immutable finite set of facts.
+
+    Instances are value objects: all mutating operations return new
+    instances.  Construction validates that facts of the same relation agree
+    on arity and key size.
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: frozenset[Fact] = frozenset(facts)
+        self._by_relation: dict[str, set[Fact]] = defaultdict(set)
+        self._blocks: dict[tuple[str, tuple[object, ...]], set[Fact]] = defaultdict(set)
+        self._signatures: dict[str, tuple[int, int]] = {}
+        for fact in self._facts:
+            sig = (fact.arity, fact.key_size)
+            known = self._signatures.setdefault(fact.relation, sig)
+            if known != sig:
+                raise SchemaError(
+                    f"facts of {fact.relation} disagree on signature: "
+                    f"{known} vs {sig}"
+                )
+            self._by_relation[fact.relation].add(fact)
+            self._blocks[fact.block_id].add(fact)
+        # (relation, position) -> value -> facts; built lazily.
+        self._value_index: dict[tuple[str, int], dict[object, set[Fact]]] = {}
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, schema: Schema, rows: Mapping[str, Iterable[tuple[object, ...]]]
+    ) -> "DatabaseInstance":
+        """Build an instance from a schema and raw value rows.
+
+        >>> schema = Schema.of(R=(2, 1))
+        >>> DatabaseInstance.build(schema, {"R": [(1, 2), (1, 3)]}).size
+        2
+        """
+        facts = []
+        for relation, tuples in rows.items():
+            sig = schema[relation]
+            for row in tuples:
+                if len(row) != sig.arity:
+                    raise SchemaError(
+                        f"row {row} has arity {len(row)}, expected "
+                        f"{sig.arity} for {relation}"
+                    )
+                facts.append(Fact(relation, tuple(row), sig.key_size))
+        return cls(facts)
+
+    # -- basic access ----------------------------------------------------------
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return self._facts
+
+    @property
+    def size(self) -> int:
+        return len(self._facts)
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(self._by_relation)
+
+    def relation_facts(self, relation: str) -> frozenset[Fact]:
+        return frozenset(self._by_relation.get(relation, ()))
+
+    def schema(self) -> Schema:
+        """The schema induced by the stored facts."""
+        schema = Schema()
+        for relation, (arity, key_size) in self._signatures.items():
+            schema = schema.add(relation, arity, key_size)
+        return schema
+
+    def active_domain(self) -> frozenset[object]:
+        """``adom(db)``: all constants occurring in the instance."""
+        return frozenset(v for f in self._facts for v in f.values)
+
+    def key_constants(self) -> frozenset[object]:
+        """``keyconst(db)``: constants at primary-key positions (Appendix B)."""
+        return frozenset(v for f in self._facts for v in f.key)
+
+    # -- blocks ------------------------------------------------------------------
+
+    def block(self, fact: Fact) -> frozenset[Fact]:
+        """``block(A, db)``: the facts of this instance key-equal to *fact*."""
+        return frozenset(self._blocks.get(fact.block_id, ()))
+
+    def block_of(self, relation: str, key: tuple[object, ...]) -> frozenset[Fact]:
+        """The block ``R(key, ∗)``."""
+        return frozenset(self._blocks.get((relation, key), ()))
+
+    def blocks(self, relation: str | None = None) -> list[frozenset[Fact]]:
+        """All blocks, optionally of one relation, in deterministic order."""
+        items = sorted(
+            (
+                (bid, facts)
+                for bid, facts in self._blocks.items()
+                if relation is None or bid[0] == relation
+            ),
+            key=lambda item: repr(item[0]),
+        )
+        return [frozenset(facts) for _, facts in items]
+
+    def violates_primary_keys(self) -> bool:
+        """True iff some block contains two distinct facts."""
+        return any(len(b) > 1 for b in self._blocks.values())
+
+    def key_violations(self) -> list[frozenset[Fact]]:
+        """The blocks with more than one fact."""
+        return [frozenset(b) for b in self._blocks.values() if len(b) > 1]
+
+    # -- value index ---------------------------------------------------------------
+
+    def facts_with_value(self, relation: str, position: int, value: object) -> frozenset[Fact]:
+        """Facts of *relation* carrying *value* at 1-based *position*."""
+        key = (relation, position)
+        index = self._value_index.get(key)
+        if index is None:
+            index = defaultdict(set)
+            for fact in self._by_relation.get(relation, ()):
+                index[fact.value_at(position)].add(fact)
+            self._value_index[key] = index
+        return frozenset(index.get(value, ()))
+
+    def has_fact_with_key_prefix(self, relation: str, value: object) -> bool:
+        """True iff some *relation*-fact has *value* at position 1.
+
+        This is the referenced-fact test for a unary foreign key ``R[i] → S``:
+        the fact ``S(b1, …)`` must satisfy ``ai = b1``.
+        """
+        return bool(self.facts_with_value(relation, 1, value))
+
+    # -- set algebra ------------------------------------------------------------------
+
+    def union(self, other: "DatabaseInstance | Iterable[Fact]") -> "DatabaseInstance":
+        other_facts = other.facts if isinstance(other, DatabaseInstance) else other
+        return DatabaseInstance(self._facts | frozenset(other_facts))
+
+    def difference(self, other: "DatabaseInstance | Iterable[Fact]") -> "DatabaseInstance":
+        other_facts = other.facts if isinstance(other, DatabaseInstance) else other
+        return DatabaseInstance(self._facts - frozenset(other_facts))
+
+    def intersection(self, other: "DatabaseInstance | Iterable[Fact]") -> "DatabaseInstance":
+        other_facts = other.facts if isinstance(other, DatabaseInstance) else other
+        return DatabaseInstance(self._facts & frozenset(other_facts))
+
+    def symmetric_difference(self, other: "DatabaseInstance") -> frozenset[Fact]:
+        """``db ⊕ r`` as a plain fact set."""
+        return self._facts ^ other._facts
+
+    def restrict_relations(self, relations: Iterable[str]) -> "DatabaseInstance":
+        """``db ↾ relations``: facts whose relation name is listed."""
+        keep = set(relations)
+        return DatabaseInstance(f for f in self._facts if f.relation in keep)
+
+    def filter(self, predicate: Callable[[Fact], bool]) -> "DatabaseInstance":
+        return DatabaseInstance(f for f in self._facts if predicate(f))
+
+    # -- the ⊕-closeness preorder -------------------------------------------------------
+
+    def closer_or_equal(self, r: "DatabaseInstance", s: "DatabaseInstance") -> bool:
+        """``r ⪯_db s``: ``db ⊕ r ⊆ db ⊕ s`` (Section 3.3), with *self* as db."""
+        return self.symmetric_difference(r) <= self.symmetric_difference(s)
+
+    def strictly_closer(self, r: "DatabaseInstance", s: "DatabaseInstance") -> bool:
+        """``r ≺_db s``."""
+        return self.closer_or_equal(r, s) and r._facts != s._facts
+
+    # -- dunder ------------------------------------------------------------------------
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts, key=lambda f: (f.relation, str(f.values))))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __repr__(self) -> str:
+        if self.size > 12:
+            return f"DatabaseInstance(<{self.size} facts>)"
+        return "DatabaseInstance({" + ", ".join(map(repr, self)) + "})"
+
+    def pretty(self) -> str:
+        """A tabular rendering, one section per relation."""
+        lines: list[str] = []
+        for relation in sorted(self._by_relation):
+            lines.append(relation)
+            for fact in sorted(
+                self._by_relation[relation], key=lambda f: str(f.values)
+            ):
+                key = ", ".join(map(str, fact.key))
+                rest = ", ".join(map(str, fact.nonkey))
+                lines.append(f"  ({key} | {rest})" if rest else f"  ({key})")
+        return "\n".join(lines)

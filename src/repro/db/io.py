@@ -1,0 +1,75 @@
+"""Text serialization of database instances.
+
+The format is one fact per line in the query-atom syntax with ground
+terms::
+
+    AUTHORS('o1' | 'Jeff', 'Ullman')
+    R('d1', 'o3' |)
+    DOCS('d1' | 'Some pairs problems', 2016)
+
+Key positions come before the ``|`` exactly as in queries; blank lines and
+``#`` comments are ignored.  Round-trips through :func:`dumps`/:func:`loads`
+preserve the instance (ordinary string/int values only — invented repair
+constants are not serializable by design).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.query import parse_atom
+from ..core.terms import Constant
+from ..exceptions import QueryError
+from .facts import Fact
+from .instance import DatabaseInstance
+
+
+def _value_to_text(value: object) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "’") + "'"
+    raise QueryError(
+        f"cannot serialize value {value!r}: only strings and integers have "
+        "a text form"
+    )
+
+
+def dumps(db: DatabaseInstance) -> str:
+    """Serialize an instance, one fact per line, deterministically ordered."""
+    lines = []
+    for fact in db:
+        key = ", ".join(_value_to_text(v) for v in fact.key)
+        rest = ", ".join(_value_to_text(v) for v in fact.nonkey)
+        lines.append(f"{fact.relation}({key} | {rest})")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads(text: str) -> DatabaseInstance:
+    """Parse an instance from its text form."""
+    facts = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        atom = parse_atom(line)
+        values = []
+        for term in atom.terms:
+            if not isinstance(term, Constant):
+                raise QueryError(
+                    f"line {line_number}: facts must be ground, found "
+                    f"{term!r}"
+                )
+            values.append(term.value)
+        facts.append(Fact(atom.relation, tuple(values), atom.key_size))
+    return DatabaseInstance(facts)
+
+
+def load(path: str | Path) -> DatabaseInstance:
+    """Read an instance from a file."""
+    return loads(Path(path).read_text())
+
+
+def dump(db: DatabaseInstance, path: str | Path) -> None:
+    """Write an instance to a file."""
+    Path(path).write_text(dumps(db))

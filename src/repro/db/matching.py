@@ -1,0 +1,199 @@
+"""Conjunctive-query evaluation over database instances.
+
+Implements valuations (Section 3.1): a query ``q`` is satisfied by ``db``
+iff some total mapping of its variables to constants sends every atom into
+``db``.  The evaluator is a backtracking join: atoms are chosen greedily by
+how many of their positions are already bound (bound key positions weigh
+more, since the block index makes those lookups cheap), and candidate facts
+are fetched through the instance's value indexes.
+
+Also provides *relevance* (Appendix A): a fact is relevant for ``q`` in
+``db`` if some valuation embeds ``q`` into ``db`` through it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..core.atoms import Atom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Parameter, Term, Variable
+from ..exceptions import EvaluationError
+from .facts import Fact
+from .instance import DatabaseInstance
+
+Valuation = dict[Variable, object]
+
+
+def _resolve(term: Term, valuation: Mapping[Variable, object],
+             env: Mapping[Parameter, object]) -> tuple[bool, object]:
+    """Return ``(is_bound, value)`` for *term* under the current bindings."""
+    if isinstance(term, Constant):
+        return True, term.value
+    if isinstance(term, Parameter):
+        if term not in env:
+            raise EvaluationError(f"unbound parameter {term}")
+        return True, env[term]
+    if term in valuation:
+        return True, valuation[term]
+    return False, None
+
+
+def _bound_score(atom: Atom, valuation: Mapping[Variable, object],
+                 env: Mapping[Parameter, object]) -> int:
+    """Heuristic: prefer atoms with many bound positions, keys weighing double."""
+    score = 0
+    for position, term in enumerate(atom.terms, start=1):
+        bound, _ = _resolve(term, valuation, env)
+        if bound:
+            score += 2 if atom.is_key_position(position) else 1
+    return score
+
+
+def _candidates(db: DatabaseInstance, atom: Atom,
+                valuation: Mapping[Variable, object],
+                env: Mapping[Parameter, object]) -> Iterator[Fact]:
+    """Facts of *db* that could match *atom* under the current bindings."""
+    best: frozenset[Fact] | None = None
+    for position, term in enumerate(atom.terms, start=1):
+        bound, value = _resolve(term, valuation, env)
+        if bound:
+            facts = db.facts_with_value(atom.relation, position, value)
+            if best is None or len(facts) < len(best):
+                best = facts
+            if not best:
+                return iter(())
+    if best is None:
+        best = db.relation_facts(atom.relation)
+    return iter(best)
+
+
+def _try_extend(atom: Atom, fact: Fact, valuation: Valuation,
+                env: Mapping[Parameter, object]) -> Valuation | None:
+    """Extend *valuation* so that the atom maps onto *fact*, or ``None``."""
+    if fact.relation != atom.relation or fact.arity != atom.arity:
+        return None
+    extended = dict(valuation)
+    for term, value in zip(atom.terms, fact.values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        elif isinstance(term, Parameter):
+            if env.get(term, _MISSING) != value:
+                return None
+        else:
+            current = extended.get(term, _MISSING)
+            if current is _MISSING:
+                extended[term] = value
+            elif current != value:
+                return None
+    return extended
+
+
+_MISSING = object()
+
+
+def valuations(
+    query: ConjunctiveQuery,
+    db: DatabaseInstance,
+    env: Mapping[Parameter, object] | None = None,
+    partial: Mapping[Variable, object] | None = None,
+) -> Iterator[Valuation]:
+    """Yield every valuation θ over ``vars(q)`` with ``θ(q) ⊆ db``.
+
+    *env* binds parameters; *partial* pre-binds some variables.
+    """
+    env = env or {}
+    remaining = list(query.atoms)
+    valuation: Valuation = dict(partial or {})
+
+    def backtrack(pending: list[Atom], current: Valuation) -> Iterator[Valuation]:
+        if not pending:
+            yield dict(current)
+            return
+        atom = max(pending, key=lambda a: _bound_score(a, current, env))
+        rest = [a for a in pending if a is not atom]
+        for fact in _candidates(db, atom, current, env):
+            extended = _try_extend(atom, fact, current, env)
+            if extended is not None:
+                yield from backtrack(rest, extended)
+
+    yield from backtrack(remaining, valuation)
+
+
+def satisfies(
+    query: ConjunctiveQuery,
+    db: DatabaseInstance,
+    env: Mapping[Parameter, object] | None = None,
+    partial: Mapping[Variable, object] | None = None,
+) -> bool:
+    """``db |= q``: does some valuation embed the query?"""
+    return next(valuations(query, db, env=env, partial=partial), None) is not None
+
+
+def apply_valuation(query: ConjunctiveQuery, valuation: Mapping[Variable, object],
+                    env: Mapping[Parameter, object] | None = None) -> set[Fact]:
+    """``θ(q)`` as a set of facts (valuation must be total on ``vars(q)``)."""
+    env = env or {}
+    facts: set[Fact] = set()
+    for atom in query.atoms:
+        values: list[object] = []
+        for term in atom.terms:
+            bound, value = _resolve(term, valuation, env)
+            if not bound:
+                raise EvaluationError(f"valuation misses variable {term}")
+            values.append(value)
+        facts.add(Fact(atom.relation, tuple(values), atom.key_size))
+    return facts
+
+
+def relevant_facts(
+    query: ConjunctiveQuery,
+    db: DatabaseInstance,
+    relation: str | None = None,
+    env: Mapping[Parameter, object] | None = None,
+) -> set[Fact]:
+    """Facts of *db* relevant for *query* in *db* (Appendix A).
+
+    A fact ``A`` is relevant iff some valuation θ has ``A ∈ θ(q) ⊆ db``.
+    If *relation* is given, only facts of that relation are reported.
+    """
+    relevant: set[Fact] = set()
+    for valuation in valuations(query, db, env=env):
+        for fact in apply_valuation(query, valuation, env=env):
+            if relation is None or fact.relation == relation:
+                relevant.add(fact)
+    return relevant
+
+
+def relevant_blocks(
+    query: ConjunctiveQuery,
+    db: DatabaseInstance,
+    relation: str,
+    env: Mapping[Parameter, object] | None = None,
+) -> set[tuple[str, tuple[object, ...]]]:
+    """Block ids of *relation* containing at least one relevant fact."""
+    return {f.block_id for f in relevant_facts(query, db, relation, env=env)}
+
+
+def is_fact_relevant(
+    fact: Fact,
+    query: ConjunctiveQuery,
+    db: DatabaseInstance,
+    env: Mapping[Parameter, object] | None = None,
+) -> bool:
+    """Membership test in :func:`relevant_facts`, short-circuiting.
+
+    Tries to match the query's atom of the fact's relation onto the fact and
+    complete the embedding from there.
+    """
+    if not query.has_relation(fact.relation):
+        return False
+    atom = query.atom(fact.relation)
+    seed = _try_extend(atom, fact, {}, env or {})
+    if seed is None:
+        return False
+    rest = query.without(fact.relation)
+    for _ in valuations(rest, db, env=env, partial=seed):
+        return True
+    return False

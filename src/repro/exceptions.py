@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Malformed signature, unknown relation, or conflicting declarations."""
+
+
+class QueryError(ReproError):
+    """Malformed query: self-joins where forbidden, arity mismatches, ..."""
+
+
+class ForeignKeyError(ReproError):
+    """Malformed foreign key, or a foreign-key set that is not *about* a query."""
+
+
+class NotInFOError(ReproError):
+    """Raised when a consistent first-order rewriting is requested for a
+    problem ``CERTAINTY(q, FK)`` that Theorem 12 places outside FO."""
+
+
+class OracleLimitation(ReproError):
+    """The exact ⊕-repair oracle hit its configured search bound without
+    being able to certify an answer (only possible on schemas with cyclic
+    foreign-key dependency graphs and very deep insertion chains)."""
+
+
+class EvaluationError(ReproError):
+    """A first-order formula could not be evaluated (unsafe quantification,
+    unknown relation, arity mismatch)."""

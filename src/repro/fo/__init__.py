@@ -1,0 +1,47 @@
+"""First-order logic substrate: formulas, evaluation, simplification."""
+
+from .evaluator import Evaluator, evaluate
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+    conj,
+    constants_of,
+    disj,
+    equality,
+    exists,
+    forall,
+    implies,
+    negate,
+    relations_of,
+    walk,
+)
+from .render import render, render_tree
+from .simplify import quantifier_depth, simplify, size
+from .sql import (
+    certain_answer_via_sqlite,
+    create_table_statements,
+    insert_statements,
+    to_sql,
+)
+from .substitute import expand_relations, substitute_terms
+
+__all__ = [
+    "And", "Eq", "Evaluator", "Exists", "FALSE", "FalseFormula", "Forall",
+    "Formula", "Implies", "Not", "Or", "Rel", "TRUE", "TrueFormula",
+    "conj", "constants_of", "disj", "equality", "evaluate", "exists",
+    "expand_relations", "forall", "implies", "negate", "quantifier_depth",
+    "relations_of", "render", "render_tree", "simplify", "size",
+    "substitute_terms", "to_sql", "certain_answer_via_sqlite",
+    "create_table_statements", "insert_statements", "walk",
+]

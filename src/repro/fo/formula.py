@@ -1,0 +1,341 @@
+"""First-order formula AST.
+
+The consistent first-order rewritings constructed by this library are
+objects of this small AST: relation atoms, equalities, the Boolean
+connectives, and quantifiers.  Terms inside formulas are the same
+:mod:`repro.core.terms` objects used by queries; a :class:`Parameter`
+occurring in a formula is a *free variable* that must be bound by the
+caller at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..core.terms import Constant, Parameter, Term, Variable
+
+
+class Formula:
+    """Base class; use the concrete node classes below."""
+
+    def free_terms(self) -> frozenset[Term]:
+        """Free variables and parameters of the formula."""
+        raise NotImplementedError
+
+    # convenience builders -------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ⊤."""
+
+    def free_terms(self) -> frozenset[Term]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The constant ⊥."""
+
+    def free_terms(self) -> frozenset[Term]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Rel(Formula):
+    """A relation atom ``R(t1, …, tn)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+    key_size: int = 1
+
+    def free_terms(self) -> frozenset[Term]:
+        return frozenset(
+            t for t in self.terms if isinstance(t, (Variable, Parameter))
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.relation}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def free_terms(self) -> frozenset[Term]:
+        return frozenset(
+            t for t in (self.left, self.right)
+            if isinstance(t, (Variable, Parameter))
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``¬φ``."""
+
+    body: Formula
+
+    def free_terms(self) -> frozenset[Term]:
+        return self.body.free_terms()
+
+    def __repr__(self) -> str:
+        return f"¬({self.body!r})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of *parts* (use :func:`conj` to build simplified ones)."""
+
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def free_terms(self) -> frozenset[Term]:
+        out: frozenset[Term] = frozenset()
+        for part in self.parts:
+            out |= part.free_terms()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of *parts* (use :func:`disj` to build simplified ones)."""
+
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def free_terms(self) -> frozenset[Term]:
+        out: frozenset[Term] = frozenset()
+        for part in self.parts:
+            out |= part.free_terms()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``premise → conclusion``."""
+
+    premise: Formula
+    conclusion: Formula
+
+    def free_terms(self) -> frozenset[Term]:
+        return self.premise.free_terms() | self.conclusion.free_terms()
+
+    def __repr__(self) -> str:
+        return f"({self.premise!r} → {self.conclusion!r})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential block ``∃x⃗ φ``."""
+
+    variables: tuple[Variable, ...]
+    body: Formula
+
+    def __init__(self, variables: Iterable[Variable], body: Formula):
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "body", body)
+
+    def free_terms(self) -> frozenset[Term]:
+        return self.body.free_terms() - frozenset(self.variables)
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"∃{names}({self.body!r})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal block ``∀x⃗ φ``."""
+
+    variables: tuple[Variable, ...]
+    body: Formula
+
+    def __init__(self, variables: Iterable[Variable], body: Formula):
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "body", body)
+
+    def free_terms(self) -> frozenset[Term]:
+        return self.body.free_terms() - frozenset(self.variables)
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"∀{names}({self.body!r})"
+
+
+# -- smart constructors ------------------------------------------------------
+
+
+def conj(parts: Iterable[Formula]) -> Formula:
+    """Conjunction with unit/absorbing-element simplification and flattening."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, TrueFormula):
+            continue
+        if isinstance(part, FalseFormula):
+            return FALSE
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def disj(parts: Iterable[Formula]) -> Formula:
+    """Disjunction with unit/absorbing-element simplification and flattening."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, FalseFormula):
+            continue
+        if isinstance(part, TrueFormula):
+            return TRUE
+        if isinstance(part, Or):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def exists(variables: Iterable[Variable], body: Formula) -> Formula:
+    """∃ with empty-prefix and constant-body simplification."""
+    variables = tuple(dict.fromkeys(variables))
+    if isinstance(body, (TrueFormula, FalseFormula)):
+        return body
+    used = body.free_terms()
+    variables = tuple(v for v in variables if v in used)
+    if not variables:
+        return body
+    if isinstance(body, Exists):
+        return Exists(variables + body.variables, body.body)
+    return Exists(variables, body)
+
+
+def forall(variables: Iterable[Variable], body: Formula) -> Formula:
+    """∀ with empty-prefix and constant-body simplification."""
+    variables = tuple(dict.fromkeys(variables))
+    if isinstance(body, (TrueFormula, FalseFormula)):
+        return body
+    used = body.free_terms()
+    variables = tuple(v for v in variables if v in used)
+    if not variables:
+        return body
+    if isinstance(body, Forall):
+        return Forall(variables + body.variables, body.body)
+    return Forall(variables, body)
+
+
+def implies(premise: Formula, conclusion: Formula) -> Formula:
+    """Implication with unit simplification."""
+    if isinstance(premise, FalseFormula) or isinstance(conclusion, TrueFormula):
+        return TRUE
+    if isinstance(premise, TrueFormula):
+        return conclusion
+    return Implies(premise, conclusion)
+
+
+def equality(left: Term, right: Term) -> Formula:
+    """Equality with ground folding (``c = c`` → ⊤, distinct constants → ⊥)."""
+    if left == right:
+        return TRUE
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return FALSE
+    return Eq(left, right)
+
+
+def negate(formula: Formula) -> Formula:
+    """One-level negation push (used by the evaluator to expose guards)."""
+    if isinstance(formula, Not):
+        return formula.body
+    if isinstance(formula, TrueFormula):
+        return FALSE
+    if isinstance(formula, FalseFormula):
+        return TRUE
+    if isinstance(formula, And):
+        return Or(tuple(Not(p) for p in formula.parts))
+    if isinstance(formula, Or):
+        return And(tuple(Not(p) for p in formula.parts))
+    if isinstance(formula, Implies):
+        return And((formula.premise, Not(formula.conclusion)))
+    if isinstance(formula, Forall):
+        return Exists(formula.variables, Not(formula.body))
+    if isinstance(formula, Exists):
+        return Forall(formula.variables, Not(formula.body))
+    return Not(formula)
+
+
+def walk(formula: Formula) -> Iterator[Formula]:
+    """Yield every sub-formula, pre-order."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from walk(formula.body)
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            yield from walk(part)
+    elif isinstance(formula, Implies):
+        yield from walk(formula.premise)
+        yield from walk(formula.conclusion)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from walk(formula.body)
+
+
+def relations_of(formula: Formula) -> frozenset[str]:
+    """Relation names occurring in *formula*."""
+    return frozenset(
+        node.relation for node in walk(formula) if isinstance(node, Rel)
+    )
+
+
+def constants_of(formula: Formula) -> frozenset[Constant]:
+    """Constants occurring in *formula*."""
+    out: set[Constant] = set()
+    for node in walk(formula):
+        if isinstance(node, Rel):
+            out.update(t for t in node.terms if isinstance(t, Constant))
+        elif isinstance(node, Eq):
+            out.update(
+                t for t in (node.left, node.right) if isinstance(t, Constant)
+            )
+    return frozenset(out)

@@ -1,0 +1,102 @@
+"""Pretty-printing of first-order formulas.
+
+Two renderers: :func:`render` produces a compact single-line Unicode string
+(close to the paper's notation), :func:`render_tree` an indented multi-line
+layout for large rewritings.
+"""
+
+from __future__ import annotations
+
+from .formula import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+)
+
+
+def render(formula: Formula) -> str:
+    """Compact single-line rendering."""
+    return _render(formula, parent_priority=0)
+
+
+_PRIORITY = {"or": 1, "implies": 1, "and": 2, "not": 3, "quant": 3, "atom": 4}
+
+
+def _wrap(text: str, own: int, parent: int) -> str:
+    return f"({text})" if own < parent else text
+
+
+def _render(formula: Formula, parent_priority: int) -> str:
+    if isinstance(formula, TrueFormula):
+        return "⊤"
+    if isinstance(formula, FalseFormula):
+        return "⊥"
+    if isinstance(formula, Rel):
+        return f"{formula.relation}({', '.join(map(str, formula.terms))})"
+    if isinstance(formula, Eq):
+        return f"{formula.left} = {formula.right}"
+    if isinstance(formula, Not):
+        inner = _render(formula.body, _PRIORITY["not"])
+        return _wrap(f"¬{inner}", _PRIORITY["not"], parent_priority)
+    if isinstance(formula, And):
+        own = _PRIORITY["and"]
+        inner = " ∧ ".join(_render(p, own + 1) for p in formula.parts)
+        return _wrap(inner, own, parent_priority)
+    if isinstance(formula, Or):
+        own = _PRIORITY["or"]
+        inner = " ∨ ".join(_render(p, own + 1) for p in formula.parts)
+        return _wrap(inner, own, parent_priority)
+    if isinstance(formula, Implies):
+        own = _PRIORITY["implies"]
+        left = _render(formula.premise, own + 1)
+        right = _render(formula.conclusion, own)
+        return _wrap(f"{left} → {right}", own, parent_priority)
+    if isinstance(formula, Exists):
+        names = " ".join(v.name for v in formula.variables)
+        inner = _render(formula.body, _PRIORITY["quant"])
+        return _wrap(f"∃{names} {inner}", _PRIORITY["quant"], parent_priority)
+    if isinstance(formula, Forall):
+        names = " ".join(v.name for v in formula.variables)
+        inner = _render(formula.body, _PRIORITY["quant"])
+        return _wrap(f"∀{names} {inner}", _PRIORITY["quant"], parent_priority)
+    return repr(formula)
+
+
+def render_tree(formula: Formula, indent: int = 0) -> str:
+    """Indented multi-line rendering for large formulas."""
+    pad = "  " * indent
+    if isinstance(formula, (TrueFormula, FalseFormula, Rel, Eq)):
+        return pad + render(formula)
+    if isinstance(formula, Not):
+        return pad + "¬\n" + render_tree(formula.body, indent + 1)
+    if isinstance(formula, And):
+        lines = [pad + "∧"]
+        lines.extend(render_tree(p, indent + 1) for p in formula.parts)
+        return "\n".join(lines)
+    if isinstance(formula, Or):
+        lines = [pad + "∨"]
+        lines.extend(render_tree(p, indent + 1) for p in formula.parts)
+        return "\n".join(lines)
+    if isinstance(formula, Implies):
+        return "\n".join(
+            [
+                pad + "→",
+                render_tree(formula.premise, indent + 1),
+                render_tree(formula.conclusion, indent + 1),
+            ]
+        )
+    if isinstance(formula, Exists):
+        names = " ".join(v.name for v in formula.variables)
+        return pad + f"∃{names}\n" + render_tree(formula.body, indent + 1)
+    if isinstance(formula, Forall):
+        names = " ".join(v.name for v in formula.variables)
+        return pad + f"∀{names}\n" + render_tree(formula.body, indent + 1)
+    return pad + repr(formula)

@@ -1,0 +1,91 @@
+"""Bottom-up simplification of first-order formulas.
+
+Applies the smart constructors of :mod:`repro.fo.formula` recursively:
+flattens ∧/∨, drops units, short-circuits absorbing elements, removes
+double negations, evaluates ground equalities, and prunes quantifiers whose
+variables do not occur in the body.  Simplification is semantics-preserving
+(property-tested against the evaluator).
+"""
+
+from __future__ import annotations
+
+from .formula import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+    conj,
+    disj,
+    equality,
+    exists,
+    forall,
+    implies,
+)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Return an equivalent, syntactically reduced formula."""
+    if isinstance(formula, (TrueFormula, FalseFormula, Rel)):
+        return formula
+    if isinstance(formula, Eq):
+        return equality(formula.left, formula.right)
+    if isinstance(formula, Not):
+        body = simplify(formula.body)
+        if isinstance(body, TrueFormula):
+            return FalseFormula()
+        if isinstance(body, FalseFormula):
+            return TrueFormula()
+        if isinstance(body, Not):
+            return body.body
+        return Not(body)
+    if isinstance(formula, And):
+        return conj(simplify(p) for p in formula.parts)
+    if isinstance(formula, Or):
+        return disj(simplify(p) for p in formula.parts)
+    if isinstance(formula, Implies):
+        return implies(simplify(formula.premise), simplify(formula.conclusion))
+    if isinstance(formula, Exists):
+        return exists(formula.variables, simplify(formula.body))
+    if isinstance(formula, Forall):
+        return forall(formula.variables, simplify(formula.body))
+    return formula
+
+
+def size(formula: Formula) -> int:
+    """Node count of the formula tree (used by benches and tests)."""
+    if isinstance(formula, (TrueFormula, FalseFormula, Rel, Eq)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + size(formula.body)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(size(p) for p in formula.parts)
+    if isinstance(formula, Implies):
+        return 1 + size(formula.premise) + size(formula.conclusion)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + size(formula.body)
+    return 1
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """Maximum nesting depth of quantifier blocks."""
+    if isinstance(formula, (TrueFormula, FalseFormula, Rel, Eq)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_depth(formula.body)
+    if isinstance(formula, (And, Or)):
+        return max((quantifier_depth(p) for p in formula.parts), default=0)
+    if isinstance(formula, Implies):
+        return max(
+            quantifier_depth(formula.premise),
+            quantifier_depth(formula.conclusion),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + quantifier_depth(formula.body)
+    return 0

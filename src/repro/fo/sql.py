@@ -1,0 +1,309 @@
+"""Compilation of first-order formulas to SQL.
+
+A consistent first-order rewriting is a relational-calculus query; this
+module compiles it to a single SQL ``SELECT`` (SQLite dialect) so the
+certain answer can be obtained from any SQL engine holding the dirty data —
+the deployment mode the CQA systems literature (ConQuer et al.) targets.
+
+Conventions:
+
+* relation ``R`` of arity ``n`` is a table ``R`` with columns ``c1 … cn``;
+* quantifiers range over the active domain, materialized once as a CTE
+  ``adom(v)`` that unions every column of every relation in the schema;
+* the closed formula becomes ``SELECT EXISTS(…)``-style boolean SQL:
+  ``∃x⃗ φ`` → ``EXISTS (SELECT 1 FROM adom a1, … WHERE φ)``,
+  ``∀x⃗ φ`` → ``NOT EXISTS (… WHERE NOT φ)``, atoms become correlated
+  ``EXISTS`` probes.
+
+The translation is validated against the in-memory evaluator through
+SQLite in the test suite.
+"""
+
+from __future__ import annotations
+
+from ..core.schema import Schema
+from ..core.terms import Constant, Parameter, Term, Variable
+from ..exceptions import EvaluationError
+from .formula import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+)
+
+
+def _quote_value(value: object) -> str:
+    if isinstance(value, bool):
+        raise EvaluationError("boolean constants have no SQL form")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise EvaluationError(
+        f"constant {value!r} has no SQL form (strings and integers only)"
+    )
+
+
+def _quote_identifier(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class _SqlBuilder:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh_alias(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def term(self, term: Term, scope: dict[Term, str]) -> str:
+        if isinstance(term, Constant):
+            return _quote_value(term.value)
+        if term in scope:
+            return scope[term]
+        raise EvaluationError(f"unbound term {term!r} in SQL translation")
+
+    def boolean(self, formula: Formula, scope: dict[Term, str]) -> str:
+        if isinstance(formula, TrueFormula):
+            return "1=1"
+        if isinstance(formula, FalseFormula):
+            return "1=0"
+        if isinstance(formula, Rel):
+            alias = self.fresh_alias("t")
+            conditions = [
+                f"{alias}.c{i} = {self.term(t, scope)}"
+                for i, t in enumerate(formula.terms, start=1)
+            ]
+            table = _quote_identifier(formula.relation)
+            return (
+                f"EXISTS (SELECT 1 FROM {table} {alias} WHERE "
+                + " AND ".join(conditions)
+                + ")"
+            )
+        if isinstance(formula, Eq):
+            return (
+                f"{self.term(formula.left, scope)} = "
+                f"{self.term(formula.right, scope)}"
+            )
+        if isinstance(formula, Not):
+            return f"NOT {self._operand(formula.body, scope, 'not')}"
+        if isinstance(formula, And):
+            if not formula.parts:
+                return "1=1"
+            return " AND ".join(
+                self._operand(p, scope, "and") for p in formula.parts
+            )
+        if isinstance(formula, Or):
+            if not formula.parts:
+                return "1=0"
+            return " OR ".join(
+                self._operand(p, scope, "or") for p in formula.parts
+            )
+        if isinstance(formula, Implies):
+            left = self._operand(formula.premise, scope, "not")
+            right = self._operand(formula.conclusion, scope, "or")
+            return f"NOT {left} OR {right}"
+        if isinstance(formula, Exists):
+            return self._quantifier(formula, scope, universal=False)
+        if isinstance(formula, Forall):
+            return self._quantifier(formula, scope, universal=True)
+        raise EvaluationError(f"unknown formula node {formula!r}")
+
+    # SQL boolean precedence: NOT binds tighter than AND, AND tighter than
+    # OR.  Parenthesize a sub-expression only when its top operator binds
+    # more loosely than the context — keeping the nesting depth of the
+    # generated SQL proportional to the semantic depth (SQLite's parser
+    # stack dislikes gratuitous parentheses on deep rewritings).
+    _PRECEDENCE = {"or": 0, "and": 1, "not": 2}
+
+    def _top_level(self, formula: Formula) -> str:
+        if isinstance(formula, Or) and len(formula.parts) > 1:
+            return "or"
+        if isinstance(formula, Implies):
+            return "or"
+        if isinstance(formula, And) and len(formula.parts) > 1:
+            return "and"
+        if isinstance(formula, Not):
+            return "not"
+        return "atom"  # Rel/Eq/quantifier/constant render self-delimited
+
+    def _operand(self, formula: Formula, scope: dict[Term, str],
+                 context: str) -> str:
+        rendered = self.boolean(formula, scope)
+        top = self._top_level(formula)
+        if top == "atom":
+            return rendered
+        if self._PRECEDENCE[top] < self._PRECEDENCE[context] or (
+            context == "not"
+        ):
+            return f"({rendered})"
+        return rendered
+
+    def _quantifier(self, formula: Exists | Forall,
+                    scope: dict[Term, str], universal: bool) -> str:
+        """Translate a quantifier block to (NOT) EXISTS.
+
+        A universal block becomes ``NOT EXISTS`` over the negated body.  A
+        positive relation atom among the top-level conjuncts that mentions
+        quantified variables is pulled into the ``FROM`` clause (the table
+        replaces an ``adom`` product), which keeps the generated SQL shallow
+        and lets the engine drive the quantifier from an index.
+        """
+        from .formula import negate as _negate
+
+        body = _negate(formula.body) if universal else formula.body
+        conjuncts = self._flatten_and(body)
+        inner_scope = dict(scope)
+        froms: list[str] = []
+        conditions: list[str] = []
+        pending = list(formula.variables)
+        used: set[int] = set()
+        # Greedily pull guards: Rel conjuncts binding quantified variables.
+        progress = True
+        while progress:
+            progress = False
+            for index, part in enumerate(conjuncts):
+                if index in used or not isinstance(part, Rel):
+                    continue
+                binds = [
+                    t for t in part.terms
+                    if isinstance(t, Variable) and t in pending
+                ]
+                if not binds:
+                    continue
+                alias = self.fresh_alias("t")
+                froms.append(f"{_quote_identifier(part.relation)} {alias}")
+                for position, term in enumerate(part.terms, start=1):
+                    column = f"{alias}.c{position}"
+                    if isinstance(term, Variable) and term in pending:
+                        inner_scope[term] = column
+                        pending.remove(term)
+                    else:
+                        conditions.append(
+                            f"{column} = {self.term(term, inner_scope)}"
+                        )
+                used.add(index)
+                progress = True
+        for variable in pending:
+            alias = self.fresh_alias("a")
+            froms.append(f"adom {alias}")
+            inner_scope[variable] = f"{alias}.v"
+        rest = [p for i, p in enumerate(conjuncts) if i not in used]
+        for part in rest:
+            conditions.append(self._operand(part, inner_scope, "and"))
+        if not conditions:
+            conditions.append("1=1")
+        sql = (
+            "EXISTS (SELECT 1 FROM "
+            + ", ".join(froms)
+            + " WHERE "
+            + " AND ".join(conditions)
+            + ")"
+        )
+        return f"NOT {sql}" if universal else sql
+
+    @staticmethod
+    def _flatten_and(formula: Formula) -> list[Formula]:
+        if isinstance(formula, And):
+            flat: list[Formula] = []
+            for part in formula.parts:
+                flat.extend(_SqlBuilder._flatten_and(part))
+            return flat
+        return [formula]
+
+
+def _adom_cte(schema: Schema, extra_literals: list[str]) -> str:
+    selects = []
+    for relation in sorted(schema):
+        table = _quote_identifier(relation)
+        for i in range(1, schema[relation].arity + 1):
+            selects.append(f"SELECT c{i} AS v FROM {table}")
+    for literal in extra_literals:
+        selects.append(f"SELECT {literal} AS v")
+    if not selects:
+        selects.append("SELECT NULL AS v WHERE 0")
+    return "adom(v) AS (" + " UNION ".join(selects) + ")"
+
+
+def to_sql(
+    formula: Formula,
+    schema: Schema,
+    parameters: dict[Parameter, object] | None = None,
+) -> str:
+    """Compile a closed formula into one SQL query returning 0 or 1.
+
+    *schema* must cover every relation of the formula (used to build the
+    active-domain CTE); free parameters are inlined as constants.
+    """
+    from .formula import constants_of
+
+    parameters = parameters or {}
+    scope: dict[Term, str] = {
+        p: _quote_value(v) for p, v in parameters.items()
+    }
+    builder = _SqlBuilder()
+    condition = builder.boolean(formula, scope)
+    literals = sorted(
+        {_quote_value(c.value) for c in constants_of(formula)}
+        | set(scope.values())
+    )
+    cte = _adom_cte(schema, literals)
+    return (
+        f"WITH {cte}\n"
+        f"SELECT CASE WHEN {condition} THEN 1 ELSE 0 END AS certain"
+    )
+
+
+def create_table_statements(schema: Schema) -> list[str]:
+    """``CREATE TABLE`` DDL matching the column convention."""
+    statements = []
+    for relation in sorted(schema):
+        columns = ", ".join(
+            f"c{i}" for i in range(1, schema[relation].arity + 1)
+        )
+        statements.append(
+            f"CREATE TABLE {_quote_identifier(relation)} ({columns})"
+        )
+    return statements
+
+
+def insert_statements(db) -> list[tuple[str, tuple[object, ...]]]:
+    """Parameterized ``INSERT`` statements loading an instance."""
+    statements = []
+    for fact in db:
+        placeholders = ", ".join("?" for _ in fact.values)
+        statements.append(
+            (
+                f"INSERT INTO {_quote_identifier(fact.relation)} "
+                f"VALUES ({placeholders})",
+                tuple(fact.values),
+            )
+        )
+    return statements
+
+
+def certain_answer_via_sqlite(formula: Formula, db, schema: Schema | None = None,
+                              parameters=None) -> bool:
+    """Evaluate the compiled SQL against an in-memory SQLite database."""
+    import sqlite3
+
+    schema = schema or db.schema()
+    connection = sqlite3.connect(":memory:")
+    try:
+        for ddl in create_table_statements(schema):
+            connection.execute(ddl)
+        for statement, values in insert_statements(db):
+            connection.execute(statement, values)
+        (result,) = connection.execute(
+            to_sql(formula, schema, parameters)
+        ).fetchone()
+        return bool(result)
+    finally:
+        connection.close()

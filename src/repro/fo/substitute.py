@@ -1,0 +1,122 @@
+"""Capture-avoiding term substitution in formulas.
+
+The rewriting construction builds subformulas whose "constants" are
+:class:`Parameter` terms, then binds them: substituting each parameter by
+the quantified variable of the surrounding block.  Substitution never needs
+to rename binders here because the construction only ever substitutes fresh
+variable names (guaranteed by :class:`FreshVariableFactory`); a defensive
+check raises on capture.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.terms import Term, Variable
+from ..exceptions import EvaluationError
+from .formula import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+)
+
+
+def substitute_terms(formula: Formula, mapping: Mapping[Term, Term]) -> Formula:
+    """Replace free occurrences of the mapped terms.
+
+    Keys may be variables or parameters; values arbitrary terms.  Raises
+    :class:`EvaluationError` if a substituted variable would be captured.
+    """
+    if not mapping:
+        return formula
+    return _subst(formula, dict(mapping))
+
+
+def _subst(formula: Formula, mapping: dict[Term, Term]) -> Formula:
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Rel):
+        return Rel(
+            formula.relation,
+            tuple(mapping.get(t, t) for t in formula.terms),
+            formula.key_size,
+        )
+    if isinstance(formula, Eq):
+        return Eq(
+            mapping.get(formula.left, formula.left),
+            mapping.get(formula.right, formula.right),
+        )
+    if isinstance(formula, Not):
+        return Not(_subst(formula.body, mapping))
+    if isinstance(formula, And):
+        return And(tuple(_subst(p, mapping) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(_subst(p, mapping) for p in formula.parts))
+    if isinstance(formula, Implies):
+        return Implies(
+            _subst(formula.premise, mapping),
+            _subst(formula.conclusion, mapping),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        bound = set(formula.variables)
+        inner = {k: v for k, v in mapping.items() if k not in bound}
+        for value in inner.values():
+            if isinstance(value, Variable) and value in bound:
+                raise EvaluationError(
+                    f"substitution would capture {value!r} under a quantifier"
+                )
+        body = _subst(formula.body, inner)
+        cls = Exists if isinstance(formula, Exists) else Forall
+        return cls(formula.variables, body)
+    raise EvaluationError(f"unknown formula node {formula!r}")
+
+
+def expand_relations(
+    formula: Formula,
+    definitions: Mapping[str, tuple[tuple[Variable, ...], Formula]],
+) -> Formula:
+    """Replace each ``Rel`` atom of a defined relation by its definition.
+
+    ``definitions[R] = (formal_vars, body)``; occurrences ``R(t⃗)`` become
+    ``body[formal_vars → t⃗]``.  Used to compare relativized rewritings with
+    explicitly materialized instance transformations.
+    """
+    if isinstance(formula, Rel) and formula.relation in definitions:
+        formals, body = definitions[formula.relation]
+        if len(formals) != len(formula.terms):
+            raise EvaluationError(
+                f"definition arity mismatch for {formula.relation}"
+            )
+        return substitute_terms(body, dict(zip(formals, formula.terms)))
+    if isinstance(formula, (TrueFormula, FalseFormula, Eq)):
+        return formula
+    if isinstance(formula, Rel):
+        return formula
+    if isinstance(formula, Not):
+        return Not(expand_relations(formula.body, definitions))
+    if isinstance(formula, And):
+        return And(tuple(expand_relations(p, definitions) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(expand_relations(p, definitions) for p in formula.parts))
+    if isinstance(formula, Implies):
+        return Implies(
+            expand_relations(formula.premise, definitions),
+            expand_relations(formula.conclusion, definitions),
+        )
+    if isinstance(formula, Exists):
+        return Exists(
+            formula.variables, expand_relations(formula.body, definitions)
+        )
+    if isinstance(formula, Forall):
+        return Forall(
+            formula.variables, expand_relations(formula.body, definitions)
+        )
+    raise EvaluationError(f"unknown formula node {formula!r}")

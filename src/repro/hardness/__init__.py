@@ -1,0 +1,26 @@
+"""Executable hardness reductions (Lemmas 14 and 15, Propositions 16/17)."""
+
+from .digraph import DiGraph, random_dag
+from .dual_horn_reduction import reduce_dual_horn, satisfiable_via_cqa
+from .generic_interference import GenericReduction, generic_reduction
+from .lhardness import (
+    AttackCycleGadget,
+    build_gadget_instance,
+    find_attack_cycle,
+    theta,
+)
+from .reachability_reduction import (
+    ReachabilityInstance,
+    decide_reachability_via_cqa,
+    fig3_problem,
+    reduce_reachability,
+)
+
+__all__ = [
+    "AttackCycleGadget", "DiGraph", "GenericReduction",
+    "ReachabilityInstance", "generic_reduction",
+    "build_gadget_instance", "decide_reachability_via_cqa",
+    "fig3_problem", "find_attack_cycle", "random_dag",
+    "reduce_dual_horn", "reduce_reachability", "satisfiable_via_cqa",
+    "theta",
+]

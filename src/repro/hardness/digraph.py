@@ -1,0 +1,92 @@
+"""A minimal directed-graph substrate for the hardness reductions."""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+
+@dataclass
+class DiGraph:
+    """Adjacency-set digraph over hashable vertices."""
+
+    _adjacency: dict[Hashable, set[Hashable]] = field(default_factory=dict)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Hashable, Hashable]],
+        vertices: Iterable[Hashable] = (),
+    ) -> "DiGraph":
+        """Build a graph from an edge list plus optional isolated vertices."""
+        graph = cls()
+        for vertex in vertices:
+            graph.add_vertex(vertex)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    def add_vertex(self, vertex: Hashable) -> None:
+        """Ensure *vertex* exists."""
+        self._adjacency.setdefault(vertex, set())
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Insert the directed edge, creating vertices as needed."""
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._adjacency[source].add(target)
+
+    @property
+    def vertices(self) -> list[Hashable]:
+        """Vertices in deterministic order."""
+        return sorted(self._adjacency, key=repr)
+
+    @property
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        """Edges in deterministic order."""
+        return sorted(
+            ((s, t) for s, targets in self._adjacency.items() for t in targets),
+            key=repr,
+        )
+
+    def successors(self, vertex: Hashable) -> set[Hashable]:
+        """Out-neighbours of *vertex*."""
+        return set(self._adjacency.get(vertex, ()))
+
+    def reaches(self, source: Hashable, target: Hashable) -> bool:
+        """Breadth-first reachability (paths of length ≥ 0)."""
+        if source == target:
+            return source in self._adjacency
+        seen = {source}
+        frontier = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for succ in self._adjacency.get(current, ()):
+                if succ == target:
+                    return True
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return False
+
+    def with_edge(self, source: Hashable, target: Hashable) -> "DiGraph":
+        """A copy of the graph with one extra edge (the original is kept)."""
+        clone = DiGraph({v: set(t) for v, t in self._adjacency.items()})
+        clone.add_edge(source, target)
+        return clone
+
+
+def random_dag(
+    n_vertices: int, edge_probability: float, rng: random.Random
+) -> DiGraph:
+    """A random DAG on vertices ``0..n-1`` with edges along the order."""
+    graph = DiGraph()
+    for v in range(n_vertices):
+        graph.add_vertex(v)
+    for source in range(n_vertices):
+        for target in range(source + 1, n_vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(source, target)
+    return graph

@@ -1,0 +1,53 @@
+"""The P-hardness reduction of Proposition 17 (Appendix D.3).
+
+DUAL HORN SAT reduces to the complement of ``CERTAINTY(q, FK)`` for
+``q = {N(x, c, y), O(y)}``, ``FK = {N[3] → O}``:
+
+* one fact ``O(⊤)`` anchors a designated always-true value;
+* a purely positive clause ``p1 ∨ … ∨ pn`` becomes the block
+  ``{N(i, c, ⊤)} ∪ {N(i, d, pj)}`` — the satisfying fact is *obligated*
+  (``O(⊤)`` is present), so a falsifying repair must pick some ``pj``;
+* a clause ``¬q ∨ p1 ∨ … ∨ pn`` becomes ``{N(i, c, q)} ∪ {N(i, d, pj)}`` —
+  the block only obligates once ``O(q)`` has been inserted.
+
+The formula is satisfiable iff the instance is a no-instance; combined with
+:func:`repro.solvers.dual_horn.instance_to_dual_horn` (the membership
+direction) this closes the P-completeness loop, which the test suite checks
+by round-tripping random formulas.
+"""
+
+from __future__ import annotations
+
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..solvers.sat import DualHornFormula
+
+_TOP = ("⊤",)
+
+
+def _lit(variable: object) -> tuple[str, object]:
+    return ("lit", variable)
+
+
+def reduce_dual_horn(
+    formula: DualHornFormula,
+    satisfying_marker: object = "c",
+    falsifying_marker: object = "d",
+) -> DatabaseInstance:
+    """Encode a dual-Horn formula as a Fig.-3-style database instance."""
+    facts: list[Fact] = [Fact("O", (_TOP,), 1)]
+    for index, clause in enumerate(formula.clauses):
+        block_key = ("clause", index)
+        head = _TOP if clause.negative is None else _lit(clause.negative)
+        facts.append(Fact("N", (block_key, satisfying_marker, head), 1))
+        for positive in clause.positives:
+            facts.append(
+                Fact("N", (block_key, falsifying_marker, _lit(positive)), 1)
+            )
+    return DatabaseInstance(facts)
+
+
+def satisfiable_via_cqa(formula: DualHornFormula, certainty_decider) -> bool:
+    """Decide satisfiability through any Fig.-3-problem ``CERTAINTY`` solver."""
+    db = reduce_dual_horn(formula)
+    return not certainty_decider(db)

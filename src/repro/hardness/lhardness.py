@@ -1,0 +1,117 @@
+"""The L-hardness gadget of Lemma 14.
+
+For a query with a cyclic attack graph there are atoms ``F ⇝ G ⇝ F``.  The
+Koutris–Wijsen construction instantiates the query with the valuation
+
+    ``Θ^a_b(x) = a``        if ``x ∈ F⁺ \\ G⁺``,
+    ``Θ^a_b(x) = b``        if ``x ∈ G⁺ \\ F⁺``,
+    ``Θ^a_b(x) = ⊥``        if ``x ∈ F⁺ ∩ G⁺``,
+    ``Θ^a_b(x) = (a, b)``   otherwise,
+
+and, given two binary relations ``R`` and ``S`` of pairs, builds
+
+    ``db_{R,S} = Θ(q∖{F,G})[R∪S] ∪ Θ(F)[R] ∪ Θ(G)[S]``.
+
+Lemma 14 shows ``db_{R,S}`` is a no-instance of ``CERTAINTY(q, PK)`` iff it
+is one of ``CERTAINTY(q, PK ∪ FK)`` — i.e. adding foreign keys does not
+erase the known L-hardness.  This module makes the gadget executable so the
+equivalence can be checked instance by instance against the ⊕-oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.atoms import Atom
+from ..core.attack_graph import AttackGraph
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable, is_variable
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class AttackCycleGadget:
+    """The two mutually attacking atoms and their ``⁺``-closures."""
+
+    query: ConjunctiveQuery
+    f_atom: Atom
+    g_atom: Atom
+    f_plus: frozenset[Variable]
+    g_plus: frozenset[Variable]
+
+
+def find_attack_cycle(query: ConjunctiveQuery) -> AttackCycleGadget:
+    """Locate ``F ⇝ G ⇝ F`` (exists whenever the attack graph is cyclic)."""
+    graph = AttackGraph(query)
+    pair = graph.two_cycle()
+    if pair is None:
+        raise QueryError(f"attack graph of {query!r} is acyclic")
+    f_atom, g_atom = pair
+    return AttackCycleGadget(
+        query=query,
+        f_atom=f_atom,
+        g_atom=g_atom,
+        f_plus=graph.plus(f_atom.relation),
+        g_plus=graph.plus(g_atom.relation),
+    )
+
+
+def theta(gadget: AttackCycleGadget, a: object, b: object):
+    """The valuation ``Θ^a_b`` as a variable → value mapping."""
+
+    def value(variable: Variable) -> object:
+        in_f = variable in gadget.f_plus
+        in_g = variable in gadget.g_plus
+        if in_f and in_g:
+            return ("⊥",)
+        if in_f:
+            a_value = a
+            return a_value
+        if in_g:
+            return b
+        return (a, b)
+
+    return {v: value(v) for v in gadget.query.variables}
+
+
+def _ground(atom: Atom, valuation: dict[Variable, object]) -> Fact:
+    values = []
+    for term in atom.terms:
+        if is_variable(term):
+            values.append(valuation[term])
+        elif isinstance(term, Constant):
+            values.append(term.value)
+        else:
+            raise QueryError(
+                f"Lemma 14 gadget does not support parameters ({term!r})"
+            )
+    return Fact(atom.relation, tuple(values), atom.key_size)
+
+
+def build_gadget_instance(
+    gadget: AttackCycleGadget,
+    r_pairs: Iterable[tuple[object, object]],
+    s_pairs: Iterable[tuple[object, object]],
+) -> DatabaseInstance:
+    """``db_{R,S}`` for the given pair sets."""
+    facts: set[Fact] = set()
+    r_pairs = list(r_pairs)
+    s_pairs = list(s_pairs)
+    others = [
+        atom
+        for atom in gadget.query.atoms
+        if atom.relation
+        not in (gadget.f_atom.relation, gadget.g_atom.relation)
+    ]
+    for a, b in r_pairs + s_pairs:
+        valuation = theta(gadget, a, b)
+        for atom in others:
+            facts.add(_ground(atom, valuation))
+    for a, b in r_pairs:
+        facts.add(_ground(gadget.f_atom, theta(gadget, a, b)))
+    for a, b in s_pairs:
+        facts.add(_ground(gadget.g_atom, theta(gadget, a, b)))
+    return DatabaseInstance(facts)

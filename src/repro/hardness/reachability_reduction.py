@@ -1,0 +1,80 @@
+"""The NL-hardness reduction of Lemma 15, in its Fig. 3 concrete form.
+
+Graph reachability reduces to the **complement** of ``CERTAINTY(q, FK)``
+for the block-interfering problem ``q = {N(x, c, y), O(y)}``,
+``FK = {N[3] → O}``:
+
+* for every vertex ``v ≠ t``: a "satisfying" fact ``N(v, c, v)``;
+* for every edge ``(u, w)``: a "falsifying" fact ``N(u, d, w)``;
+* the fact ``O(s)`` seeds the obligation chain at the source.
+
+There is a directed path ``s → t`` iff the instance is a **no**-instance:
+the falsifying ⊕-repair follows the path, inserting ``O``-facts that keep
+re-triggering blocks until the chain escapes at ``t``.
+
+The same reduction powers Proposition 17's NL-hardness and benchmark E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..solvers.dual_horn import proposition17_query
+from .digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class ReachabilityInstance:
+    """A reachability question ``(graph, source, target)``."""
+
+    graph: DiGraph
+    source: Hashable
+    target: Hashable
+
+    @property
+    def answer(self) -> bool:
+        """Ground truth by BFS."""
+        return self.graph.reaches(self.source, self.target)
+
+
+def fig3_problem() -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """The target problem of the Fig. 3 reduction (same as Proposition 17)."""
+    return proposition17_query("c")
+
+
+def reduce_reachability(
+    instance: ReachabilityInstance,
+    satisfying_marker: object = "c",
+    falsifying_marker: object = "d",
+) -> DatabaseInstance:
+    """Fig. 3: encode a reachability question as a database instance."""
+    facts: list[Fact] = []
+    for vertex in instance.graph.vertices:
+        if vertex != instance.target:
+            facts.append(
+                Fact("N", (("v", vertex), satisfying_marker, ("v", vertex)), 1)
+            )
+    for source, target in instance.graph.edges:
+        facts.append(
+            Fact("N", (("v", source), falsifying_marker, ("v", target)), 1)
+        )
+    facts.append(Fact("O", (("v", instance.source),), 1))
+    return DatabaseInstance(facts)
+
+
+def decide_reachability_via_cqa(
+    instance: ReachabilityInstance,
+    certainty_decider,
+) -> bool:
+    """Answer reachability through any ``CERTAINTY`` decision procedure.
+
+    ``certainty_decider(db) -> bool`` must decide the Fig. 3 problem; there
+    is a path iff the reduced instance is a no-instance.
+    """
+    db = reduce_reachability(instance)
+    return not certainty_decider(db)

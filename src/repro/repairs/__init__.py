@@ -1,0 +1,70 @@
+"""Repair substrate: subset repairs and the exact ⊕-repair oracle."""
+
+from .chase import Completion, PoolValue, fresh_completion, least_needed
+from .minimality import (
+    dominating_instance,
+    is_canonical_repair,
+    verify_repair,
+)
+from .oplus import (
+    CertaintyAnswer,
+    OracleConfig,
+    canonical_repairs,
+    certain_answer,
+    falsifying_repair,
+    is_certain,
+)
+from .subset import (
+    certainty_primary_keys,
+    count_subset_repairs,
+    falsifying_subset_repair,
+    frequency_of_satisfaction,
+    is_subset_repair,
+    subset_repairs,
+)
+
+__all__ = [
+    "CertaintyAnswer",
+    "Completion",
+    "OracleConfig",
+    "PoolValue",
+    "canonical_repairs",
+    "certain_answer",
+    "certainty_primary_keys",
+    "count_subset_repairs",
+    "dominating_instance",
+    "falsifying_repair",
+    "falsifying_subset_repair",
+    "frequency_of_satisfaction",
+    "fresh_completion",
+    "is_canonical_repair",
+    "is_certain",
+    "is_subset_repair",
+    "least_needed",
+    "subset_repairs",
+    "verify_repair",
+]
+
+from .sampling import (  # noqa: E402
+    FrequencyEstimate,
+    estimate_satisfaction_frequency,
+    sample_subset_repair,
+)
+
+__all__ += [
+    "FrequencyEstimate",
+    "estimate_satisfaction_frequency",
+    "sample_subset_repair",
+]
+
+from .prerepair import (  # noqa: E402
+    is_irrelevantly_dangling,
+    is_pre_repair,
+    orphan_positions,
+)
+
+__all__ += [
+    "is_irrelevantly_dangling",
+    "is_pre_repair",
+    "orphan_positions",
+]

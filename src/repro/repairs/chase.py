@@ -1,0 +1,169 @@
+"""Fresh-chase completion of a kept fact set.
+
+Given a set ``K`` of facts (a candidate ``r ∩ db``), the *fresh completion*
+inserts, for every unmet foreign-key reference, the unique missing target
+fact: its primary key carries the referenced value (forced), every other
+position carries a globally fresh constant.  Cascading references are chased
+recursively; on cyclic dependency graphs the cascade would never end, so
+beyond a configurable depth the chase switches to a finite *pool* of
+constants indexed by ``(relation, position, depth mod period)``, which
+closes every chain (the paper's chase restriction (1) in Appendix B uses the
+same idea with the two constants ``⊥, ⊤``).
+
+The resulting insertion set is the unique least fixpoint of "fix every
+dangling fact" for this value strategy — the property the canonical
+⊕-repair search of :mod:`repro.repairs.oplus` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.terms import FreshConstantFactory
+from ..db.facts import Fact
+from ..exceptions import OracleLimitation
+
+
+@dataclass(frozen=True, slots=True)
+class PoolValue:
+    """A deterministic cycle-closing constant.
+
+    Distinct from every ordinary value and every :class:`FreshValue`; equal
+    pool slots compare equal, which is what terminates cyclic cascades.
+    """
+
+    relation: str
+    position: int
+    phase: int
+
+    def __repr__(self) -> str:
+        return f"<pool:{self.relation}.{self.position}.{self.phase}>"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Result of a fresh chase: the inserted facts and how the chase ended."""
+
+    insertions: frozenset[Fact]
+    used_pool: bool
+
+    @property
+    def size(self) -> int:
+        """Number of inserted facts."""
+        return len(self.insertions)
+
+
+def fresh_completion(
+    kept: frozenset[Fact],
+    fks: ForeignKeySet,
+    depth_limit: int = 6,
+    period: int = 2,
+    max_insertions: int = 10_000,
+) -> Completion:
+    """Chase *kept* to foreign-key consistency with canonical fresh values.
+
+    *depth_limit* is the number of cascade levels chased with globally fresh
+    constants before the pool strategy kicks in; *period* the number of pool
+    phases (alternating constants defeat accidental equalities such as a
+    repeated variable ``N(x, x)`` matching a closing loop).
+    """
+    factory = FreshConstantFactory()
+    facts: set[Fact] = set(kept)
+    provided: set[tuple[str, object]] = set()
+    for fact in facts:
+        if fact.key_size == 1:
+            provided.add((fact.relation, fact.value_at(1)))
+        # Non-unary-keyed facts can still *serve* references through their
+        # first position only if their key size is 1; referenced relations
+        # always have signature [m, 1] by the unary-FK definition, so facts
+        # of composite-key relations never serve references.
+    insertions: set[Fact] = set()
+    used_pool = False
+
+    # Worklist of (relation, forced key value, depth).
+    work: list[tuple[str, object, int]] = []
+
+    def enqueue_needs(fact: Fact, depth: int) -> None:
+        for fk in fks.outgoing(fact.relation):
+            value = fact.value_at(fk.position)
+            if (fk.target, value) not in provided:
+                work.append((fk.target, value, depth))
+
+    for fact in sorted(facts, key=repr):
+        enqueue_needs(fact, depth=1)
+
+    while work:
+        relation, value, depth = work.pop()
+        if (relation, value) in provided:
+            continue
+        sig = fks.schema[relation]
+        if depth <= depth_limit:
+            rest = [
+                factory.fresh(f"ins{depth}").value for _ in range(sig.arity - 1)
+            ]
+        else:
+            used_pool = True
+            rest = [
+                PoolValue(relation, i, depth % max(period, 1))
+                for i in range(2, sig.arity + 1)
+            ]
+        new_fact = Fact(relation, tuple([value] + rest), sig.key_size)
+        insertions.add(new_fact)
+        facts.add(new_fact)
+        provided.add((relation, value))
+        if len(insertions) > max_insertions:
+            raise OracleLimitation(
+                f"fresh completion exceeded {max_insertions} insertions"
+            )
+        enqueue_needs(new_fact, depth + 1)
+
+    return Completion(frozenset(insertions), used_pool)
+
+
+def least_needed(
+    base: frozenset[Fact],
+    available: frozenset[Fact],
+    fks: ForeignKeySet,
+) -> frozenset[Fact] | None:
+    """The least subset of *available* whose union with *base* satisfies FK.
+
+    Returns ``None`` when no subset works (some reference is unfixable).
+    Uniqueness holds because *available* contains at most one fact per
+    (relation, key value) — true for fresh completions and enforced here.
+    """
+    by_key: dict[tuple[str, object], Fact] = {}
+    for fact in available:
+        if fact.key_size == 1:
+            key = (fact.relation, fact.value_at(1))
+            if key in by_key:
+                raise OracleLimitation(
+                    "available insertions contain two facts for the same key"
+                )
+            by_key[key] = fact
+
+    present: set[tuple[str, object]] = set()
+    chosen: set[Fact] = set()
+    all_facts: set[Fact] = set(base)
+    for fact in all_facts:
+        if fact.key_size == 1:
+            present.add((fact.relation, fact.value_at(1)))
+
+    work = list(all_facts)
+    while work:
+        fact = work.pop()
+        for fk in fks.outgoing(fact.relation):
+            need = (fk.target, fact.value_at(fk.position))
+            if need in present:
+                continue
+            fixer = by_key.get(need)
+            if fixer is None:
+                return None
+            chosen.add(fixer)
+            all_facts.add(fixer)
+            present.add(need)
+            work.append(fixer)
+    return frozenset(chosen)

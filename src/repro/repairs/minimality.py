@@ -1,0 +1,124 @@
+"""Exact ⊕-minimality checking for canonical repair candidates.
+
+A candidate ``r = K ∪ I`` (kept db-facts plus inserted facts) is a ⊕-repair
+iff no consistent ``s`` is strictly ⊕-closer to ``db``:
+
+    ``s ≺_db r  ⟺  r∩db ⊆ s∩db,  s∖db ⊆ r∖db,  one inclusion strict.``
+
+Because ``s`` must keep at least ``K``, respect primary keys, and draw its
+insertions from ``I``, the check is finite: ``s∩db = K ∪ X`` for a choice
+``X`` of at most one fact from each db-block not represented in ``K`` (facts
+key-equal to an insertion force that insertion out), and for each ``X`` the
+least insertion set ``Y ⊆ I`` restoring foreign-key consistency is unique
+(or absent).  ``r`` is non-minimal iff some such ``s`` exists with ``X ≠ ∅``
+or ``Y ⊊ I``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..core.foreign_keys import ForeignKeySet
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..exceptions import OracleLimitation
+from .chase import least_needed
+
+
+def _unrepresented_blocks(
+    db: DatabaseInstance, kept: frozenset[Fact]
+) -> list[list[Fact]]:
+    represented = {fact.block_id for fact in kept}
+    return [
+        sorted(block, key=repr)
+        for block in db.blocks()
+        if not any(f.block_id in represented for f in block)
+    ]
+
+
+def _extension_choices(
+    blocks: list[list[Fact]], limit: int
+) -> Iterator[tuple[Fact, ...]]:
+    """All ways to add at most one fact per unrepresented block."""
+    options = [[None, *block] for block in blocks]
+    count = 1
+    for opts in options:
+        count *= len(opts)
+    if count > limit:
+        raise OracleLimitation(
+            f"minimality check would enumerate {count} block extensions "
+            f"(limit {limit})"
+        )
+    for choice in itertools.product(*options):
+        yield tuple(fact for fact in choice if fact is not None)
+
+
+def dominating_instance(
+    db: DatabaseInstance,
+    kept: frozenset[Fact],
+    insertions: frozenset[Fact],
+    fks: ForeignKeySet,
+    extension_limit: int = 200_000,
+) -> frozenset[Fact] | None:
+    """A consistent ``s`` with ``s ≺_db (kept ∪ insertions)``, or ``None``.
+
+    ``None`` certifies that the candidate is a genuine ⊕-repair (given that
+    it is itself consistent and that *insertions* is the least fixpoint of
+    its own value strategy, which :func:`repro.repairs.chase.fresh_completion`
+    guarantees).
+    """
+    blocks = _unrepresented_blocks(db, kept)
+    insertion_keys = {
+        (f.relation, f.key): f for f in insertions
+    }
+    for extension in _extension_choices(blocks, extension_limit):
+        # Facts of the extension that are key-equal to an insertion force the
+        # insertion out of the available pool (primary keys).
+        conflicted = {
+            insertion_keys[(f.relation, f.key)]
+            for f in extension
+            if (f.relation, f.key) in insertion_keys
+        }
+        available = insertions - conflicted
+        base = kept | set(extension)
+        needed = least_needed(frozenset(base), frozenset(available), fks)
+        if needed is None:
+            continue
+        strict = bool(extension) or needed < insertions
+        if strict:
+            return frozenset(base) | needed
+    return None
+
+
+def is_canonical_repair(
+    db: DatabaseInstance,
+    kept: frozenset[Fact],
+    insertions: frozenset[Fact],
+    fks: ForeignKeySet,
+    extension_limit: int = 200_000,
+) -> bool:
+    """Is ``kept ∪ insertions`` ⊕-minimal (hence a repair, if consistent)?"""
+    return (
+        dominating_instance(db, kept, insertions, fks, extension_limit) is None
+    )
+
+
+def verify_repair(
+    db: DatabaseInstance,
+    candidate: DatabaseInstance,
+    fks: ForeignKeySet,
+    extension_limit: int = 200_000,
+) -> bool:
+    """Full ⊕-repair verification of an arbitrary candidate.
+
+    Checks consistency and minimality; the candidate's insertions must not
+    contain two facts for the same key (canonical candidates never do).
+    """
+    from ..db.constraints import is_consistent
+
+    if not is_consistent(candidate, fks):
+        return False
+    kept = frozenset(candidate.facts & db.facts)
+    insertions = frozenset(candidate.facts - db.facts)
+    return is_canonical_repair(db, kept, insertions, fks, extension_limit)

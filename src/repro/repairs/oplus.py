@@ -1,0 +1,165 @@
+"""Exact canonical search over ⊕-repairs (the ground-truth oracle).
+
+``CERTAINTY(q, FK)`` quantifies over an infinite space of ⊕-repairs:
+insertions may carry arbitrary constants.  The search below restricts to
+*canonical candidates* and is nevertheless exact for falsifiability:
+
+* a candidate is determined by a **keep-choice** ``K`` — one fact or none
+  from every block of ``db`` — completed by the **fresh chase**
+  (:func:`repro.repairs.chase.fresh_completion`), whose insertions carry the
+  forced key value and fresh constants elsewhere;
+* a candidate is a ⊕-repair iff it passes the exact finite minimality check
+  of :mod:`repro.repairs.minimality`.
+
+Completeness (DESIGN.md §5): if any repair ``r0 = K ∪ I0`` falsifies ``q``,
+the fresh variant ``K ∪ I*`` also falsifies ``q`` — the identity on ``K``
+extends to a homomorphism ``K ∪ I* → K ∪ I0`` because both insertion sets
+realize the same forced key skeleton, and conjunctive queries are preserved
+under homomorphisms — and ``K ∪ I*`` is itself ⊕-minimal, because
+block-extension dominance only depends on that forced key skeleton.  On
+cyclic dependency graphs the fresh chase is truncated into constant pools of
+several periods; all configured periods are tried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..db.matching import satisfies
+from ..exceptions import OracleLimitation
+from .chase import Completion, fresh_completion
+from .minimality import is_canonical_repair
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Search bounds for the canonical ⊕-repair oracle."""
+
+    depth_limit: int = 6
+    periods: tuple[int, ...] = (2, 3, 1)
+    max_keep_choices: int = 4_000_000
+    extension_limit: int = 200_000
+
+
+@dataclass(frozen=True)
+class CertaintyAnswer:
+    """Outcome of an oracle run, with a falsifying repair when one exists."""
+
+    certain: bool
+    falsifying_repair: DatabaseInstance | None = None
+    candidates_examined: int = 0
+
+    def __bool__(self) -> bool:
+        return self.certain
+
+
+def _keep_choices(db: DatabaseInstance,
+                  limit: int) -> Iterator[frozenset[Fact]]:
+    """All keep-choices: one fact or none from every block."""
+    blocks = [sorted(block, key=repr) for block in db.blocks()]
+    count = 1
+    for block in blocks:
+        count *= len(block) + 1
+    if count > limit:
+        raise OracleLimitation(
+            f"oracle would enumerate {count} keep-choices (limit {limit})"
+        )
+
+    def recurse(index: int, chosen: list[Fact]) -> Iterator[frozenset[Fact]]:
+        if index == len(blocks):
+            yield frozenset(chosen)
+            return
+        yield from recurse(index + 1, chosen)  # drop the block
+        for fact in blocks[index]:
+            chosen.append(fact)
+            yield from recurse(index + 1, chosen)
+            chosen.pop()
+
+    yield from recurse(0, [])
+
+
+def _completions(
+    kept: frozenset[Fact], fks: ForeignKeySet, config: OracleConfig
+) -> Iterator[Completion]:
+    """Fresh completions of *kept*; one per period when pools are needed."""
+    first = fresh_completion(
+        kept, fks, depth_limit=config.depth_limit, period=config.periods[0]
+    )
+    yield first
+    if first.used_pool:
+        for period in config.periods[1:]:
+            yield fresh_completion(
+                kept, fks, depth_limit=config.depth_limit, period=period
+            )
+
+
+def canonical_repairs(
+    db: DatabaseInstance,
+    fks: ForeignKeySet,
+    config: OracleConfig | None = None,
+) -> Iterator[DatabaseInstance]:
+    """Enumerate the canonical ⊕-repairs of *db* (deduplicated).
+
+    On acyclic dependency graphs this enumerates, up to renaming of the
+    invented constants, exactly the fresh-valued ⊕-repairs; every reported
+    instance is a genuine ⊕-repair.
+    """
+    config = config or OracleConfig()
+    seen: set[frozenset[Fact]] = set()
+    for kept in _keep_choices(db, config.max_keep_choices):
+        for completion in _completions(kept, fks, config):
+            insertions = completion.insertions
+            if any(fact in db for fact in insertions):
+                # This candidate coincides with a larger keep-choice; it will
+                # be produced (normalized) when that choice is enumerated.
+                continue
+            candidate_facts = kept | insertions
+            if candidate_facts in seen:
+                continue
+            if not is_canonical_repair(
+                db, kept, insertions, fks,
+                extension_limit=config.extension_limit,
+            ):
+                continue
+            seen.add(candidate_facts)
+            yield DatabaseInstance(candidate_facts)
+
+
+def certain_answer(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    config: OracleConfig | None = None,
+) -> CertaintyAnswer:
+    """Decide ``CERTAINTY(q, FK)`` on *db* by exhaustive canonical search."""
+    examined = 0
+    for repair in canonical_repairs(db, fks, config):
+        examined += 1
+        if not satisfies(query, repair):
+            return CertaintyAnswer(False, repair, examined)
+    return CertaintyAnswer(True, None, examined)
+
+
+def is_certain(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    config: OracleConfig | None = None,
+) -> bool:
+    """Boolean shorthand for :func:`certain_answer`."""
+    return certain_answer(query, fks, db, config).certain
+
+
+def falsifying_repair(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    config: OracleConfig | None = None,
+) -> DatabaseInstance | None:
+    """A ⊕-repair falsifying *query*, or ``None`` when the answer is certain."""
+    return certain_answer(query, fks, db, config).falsifying_repair

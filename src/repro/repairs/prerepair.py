@@ -1,0 +1,120 @@
+"""Irrelevantly dangling instances and pre-repairs (Definitions 29–30).
+
+The NL-hardness proof machinery: an instance ``r`` is *irrelevantly
+dangling* with respect to ``(db, FK, q)`` when every fact of ``r`` left
+dangling by some key ``R[j] → S`` could be completed by insertions that are
+irrelevant to ``q`` — formally, the set ``P`` of non-key positions of the
+fact holding constants *orphan* in ``r ∪ db`` and outside ``const(q)`` is
+**disobedient** and contains ``(R, j)``.  A *pre-repair* is a
+``≺∩``-minimal instance satisfying the primary keys and irrelevant
+danglingness; Theorem 32 states that every repair satisfies ``q`` iff every
+pre-repair does.
+
+This module implements the predicates (used by tests to sanity-check the
+oracle's completions against the paper's machinery); pre-repair
+*enumeration* is intentionally not offered — the canonical ⊕-oracle of
+:mod:`repro.repairs.oplus` plays that role.
+"""
+
+from __future__ import annotations
+
+from ..core.foreign_keys import ForeignKeySet, Position
+from ..core.obedience import syntactic_obedient
+from ..core.query import ConjunctiveQuery
+from ..db.constraints import dangling_keys_of, orphan_constants
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+
+
+def orphan_positions(
+    fact: Fact,
+    scope: DatabaseInstance,
+    query: ConjunctiveQuery,
+) -> frozenset[Position]:
+    """The set ``P`` of Definition 29 for *fact* within *scope*.
+
+    Non-primary-key positions of *fact* whose constant occurs exactly once
+    in *scope* (at a non-key position) and does not occur in the query.
+    """
+    orphans = orphan_constants(scope)
+    query_constants = {c.value for c in query.constants}
+    positions = []
+    for index in range(fact.key_size + 1, fact.arity + 1):
+        value = fact.value_at(index)
+        if value in orphans and value not in query_constants:
+            positions.append((fact.relation, index))
+    return frozenset(positions)
+
+
+def is_irrelevantly_dangling(
+    r: DatabaseInstance,
+    db: DatabaseInstance,
+    fks: ForeignKeySet,
+    query: ConjunctiveQuery,
+) -> bool:
+    """Definition 29: every dangling fact of *r* is irrelevantly so."""
+    scope = r.union(db)
+    for fact in r.facts:
+        dangling = dangling_keys_of(fact, fks, r)
+        if not dangling:
+            continue
+        if not query.has_relation(fact.relation):
+            return False
+        positions = orphan_positions(fact, scope, query)
+        if syntactic_obedient(query, fks, positions):
+            return False
+        for fk in dangling:
+            if fk.source_position not in positions:
+                return False
+    return True
+
+
+def is_pre_repair(
+    r: DatabaseInstance,
+    db: DatabaseInstance,
+    fks: ForeignKeySet,
+    query: ConjunctiveQuery,
+    candidate_extensions: int = 200_000,
+) -> bool:
+    """Definition 30, checked within the canonical candidate space.
+
+    ``r`` must satisfy the primary keys, be irrelevantly dangling, and be
+    ``≺∩``-minimal: no instance keeping strictly more db-facts (and using
+    only ``r``'s own insertions) satisfies the two conditions.  The
+    minimality check enumerates block extensions like the ⊕-minimality
+    check of :mod:`repro.repairs.minimality`.
+    """
+    import itertools
+
+    if r.violates_primary_keys():
+        return False
+    if not is_irrelevantly_dangling(r, db, fks, query):
+        return False
+    kept = r.facts & db.facts
+    insertions = r.facts - db.facts
+    represented = {f.block_id for f in kept}
+    open_blocks = [
+        sorted(block, key=repr)
+        for block in db.blocks()
+        if not any(f.block_id in represented for f in block)
+    ]
+    count = 1
+    for block in open_blocks:
+        count *= len(block) + 1
+    if count > candidate_extensions:
+        from ..exceptions import OracleLimitation
+
+        raise OracleLimitation(
+            f"pre-repair minimality would enumerate {count} extensions"
+        )
+    options = [[None, *block] for block in open_blocks]
+    for choice in itertools.product(*options):
+        extension = [f for f in choice if f is not None]
+        if not extension:
+            continue
+        candidate = DatabaseInstance(kept | set(extension) | insertions)
+        if candidate.violates_primary_keys():
+            continue
+        if is_irrelevantly_dangling(candidate, db, fks, query):
+            return False  # a ≺∩-closer instance exists
+    return True

@@ -1,0 +1,93 @@
+"""Randomized repair sampling for approximate consistent answering.
+
+The paper's related work (its reference [19], Calautti–Console–Pieris)
+benchmarks randomized approximation of the *fraction of repairs* satisfying
+a query — a useful data-quality signal when exhaustive enumeration is out
+of reach.  This module provides:
+
+* uniform sampling of subset repairs (primary keys only): each block
+  contributes one uniformly chosen fact, independently — this is exactly
+  uniform over subset repairs;
+* a Monte-Carlo estimate of the satisfaction frequency with a
+  Hoeffding-style confidence half-width.
+
+For primary *and* foreign keys the repair space carries no canonical
+uniform measure (it is infinite); sampling is deliberately not offered
+there — use the exact oracle or the rewriting.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.query import ConjunctiveQuery
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..db.matching import satisfies
+
+
+def sample_subset_repair(
+    db: DatabaseInstance, rng: random.Random
+) -> DatabaseInstance:
+    """One subset repair, uniformly at random."""
+    chosen: list[Fact] = []
+    for block in db.blocks():
+        chosen.append(rng.choice(sorted(block, key=repr)))
+    return DatabaseInstance(chosen)
+
+
+@dataclass(frozen=True)
+class FrequencyEstimate:
+    """A Monte-Carlo estimate of the repair-satisfaction frequency."""
+
+    estimate: float
+    samples: int
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Hoeffding half-width at the configured confidence level."""
+        if self.samples == 0:
+            return 1.0
+        return math.sqrt(
+            math.log(2.0 / (1.0 - self.confidence)) / (2.0 * self.samples)
+        )
+
+    @property
+    def lower(self) -> float:
+        """Lower end of the confidence interval."""
+        return max(0.0, self.estimate - self.half_width)
+
+    @property
+    def upper(self) -> float:
+        """Upper end of the confidence interval."""
+        return min(1.0, self.estimate + self.half_width)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.estimate:.3f} ± {self.half_width:.3f} "
+            f"({self.samples} samples, {self.confidence:.0%} confidence)"
+        )
+
+
+def estimate_satisfaction_frequency(
+    query: ConjunctiveQuery,
+    db: DatabaseInstance,
+    samples: int = 400,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> FrequencyEstimate:
+    """Estimate the fraction of subset repairs satisfying *query*.
+
+    The exact quantity is the one ♯CERTAINTY(q) normalizes; the estimate is
+    unbiased because block choices are independent and uniform.
+    """
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        if satisfies(query, sample_subset_repair(db, rng)):
+            hits += 1
+    estimate = hits / samples if samples else 0.0
+    return FrequencyEstimate(estimate, samples, confidence)

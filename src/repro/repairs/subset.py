@@ -1,0 +1,83 @@
+"""Subset repairs with respect to primary keys only.
+
+When ``FK = ∅``, the ⊕-repairs of ``db`` are exactly the classical *subset
+repairs*: maximal subinstances without two distinct key-equal facts, i.e.
+one fact chosen from every block (Section 3.1).  This module enumerates and
+counts them, and decides ``CERTAINTY(q)`` by brute force — the baseline the
+consistent rewritings are validated against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..core.query import ConjunctiveQuery
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..db.matching import satisfies
+
+
+def subset_repairs(db: DatabaseInstance) -> Iterator[DatabaseInstance]:
+    """Yield every repair of *db* with respect to primary keys.
+
+    The number of repairs is the product of the block sizes; iteration is
+    lazy and deterministic.
+    """
+    blocks = db.blocks()
+    if not blocks:
+        yield DatabaseInstance()
+        return
+    ordered = [sorted(block, key=repr) for block in blocks]
+    for choice in itertools.product(*ordered):
+        yield DatabaseInstance(choice)
+
+
+def count_subset_repairs(db: DatabaseInstance) -> int:
+    """``∏_blocks |block|`` without materializing anything."""
+    count = 1
+    for block in db.blocks():
+        count *= len(block)
+    return count
+
+
+def certainty_primary_keys(query: ConjunctiveQuery,
+                           db: DatabaseInstance) -> bool:
+    """``CERTAINTY(q)``: does every subset repair satisfy *query*?"""
+    return all(satisfies(query, repair) for repair in subset_repairs(db))
+
+
+def falsifying_subset_repair(query: ConjunctiveQuery,
+                             db: DatabaseInstance) -> DatabaseInstance | None:
+    """A subset repair falsifying *query*, or ``None`` (a certainty witness)."""
+    for repair in subset_repairs(db):
+        if not satisfies(query, repair):
+            return repair
+    return None
+
+
+def is_subset_repair(candidate: DatabaseInstance,
+                     db: DatabaseInstance) -> bool:
+    """Is *candidate* a subset repair of *db* (one fact from every block)?"""
+    if not candidate.facts <= db.facts:
+        return False
+    if candidate.violates_primary_keys():
+        return False
+    chosen_blocks = {fact.block_id for fact in candidate.facts}
+    all_blocks = {fact.block_id for fact in db.facts}
+    return chosen_blocks == all_blocks
+
+
+def frequency_of_satisfaction(query: ConjunctiveQuery, db: DatabaseInstance,
+                              limit: int | None = None) -> tuple[int, int]:
+    """``(satisfying, total)`` over subset repairs — the counting problem
+    ♯CERTAINTY(q) of the related work, used by the audit example."""
+    satisfying = 0
+    total = 0
+    for repair in subset_repairs(db):
+        total += 1
+        if satisfies(query, repair):
+            satisfying += 1
+        if limit is not None and total >= limit:
+            break
+    return satisfying, total

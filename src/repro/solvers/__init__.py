@@ -1,0 +1,35 @@
+"""Solvers: rewriting-backed, procedural, exhaustive, and the Proposition
+16/17 polynomial algorithms with their substrates."""
+
+from .base import CertaintySolver, Problem
+from .brute_force import OplusOracleSolver, SubsetRepairSolver
+from .dual_horn import (
+    certain_by_dual_horn,
+    instance_to_dual_horn,
+    proposition17_query,
+)
+from .reachability import (
+    ReachabilityGraph,
+    build_reachability_graph,
+    certain_by_reachability,
+    proposition16_query,
+)
+from .rewriting_solver import ProceduralSolver, RewritingSolver
+from .sat import (
+    Clause,
+    DualHornFormula,
+    NotDualHornError,
+    SatResult,
+    brute_force_satisfiable,
+    solve_dual_horn,
+)
+
+__all__ = [
+    "CertaintySolver", "Clause", "DualHornFormula", "NotDualHornError",
+    "OplusOracleSolver", "Problem", "ProceduralSolver", "ReachabilityGraph",
+    "RewritingSolver", "SatResult", "SubsetRepairSolver",
+    "brute_force_satisfiable", "build_reachability_graph",
+    "certain_by_dual_horn", "certain_by_reachability",
+    "instance_to_dual_horn", "proposition16_query", "proposition17_query",
+    "solve_dual_horn",
+]

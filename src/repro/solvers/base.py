@@ -1,0 +1,40 @@
+"""Common solver interface.
+
+Every solver decides ``CERTAINTY(q, FK)`` for a fixed ``(q, FK)`` on
+arbitrary instances; the benchmark harness and the examples drive them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.instance import DatabaseInstance
+
+
+@runtime_checkable
+class CertaintySolver(Protocol):
+    """A decision procedure for one fixed problem ``CERTAINTY(q, FK)``."""
+
+    name: str
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """The certain answer on *db*."""
+        ...
+
+
+@dataclass
+class Problem:
+    """A ``(q, FK)`` pair — convenience bundle for the harness."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.fks.require_about(self.query)
+        if not self.label:
+            self.label = repr(self.query)

@@ -1,0 +1,41 @@
+"""Baseline solvers: exhaustive repair enumeration.
+
+These are the comparators of benchmark E12 — exponential in the number of
+blocks, exact, and independent of the rewriting machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.instance import DatabaseInstance
+from ..repairs.oplus import OracleConfig, certain_answer
+from ..repairs.subset import certainty_primary_keys
+
+
+@dataclass
+class OplusOracleSolver:
+    """Exact ⊕-repair search (primary *and* foreign keys)."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    config: OracleConfig = field(default_factory=OracleConfig)
+    name: str = "oplus-oracle"
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Exhaustive canonical ⊕-repair search."""
+        return certain_answer(self.query, self.fks, db, self.config).certain
+
+
+@dataclass
+class SubsetRepairSolver:
+    """Exhaustive subset-repair enumeration (primary keys only, ``FK = ∅``)."""
+
+    query: ConjunctiveQuery
+    name: str = "subset-repairs"
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Enumerate all subset repairs and test the query on each."""
+        return certainty_primary_keys(self.query, db)

@@ -1,0 +1,73 @@
+"""The P algorithm of Proposition 17.
+
+For ``q = {N(x, c, y), O(y)}`` with ``FK = {N[3] → O}``, the complement of
+``CERTAINTY(q, FK)`` reduces to DUAL HORN SAT (Appendix D.3):
+
+* every fact ``O(p)`` contributes the positive unit clause ``p``;
+* every ``N``-block with "satisfying" facts ``N(i, c, p1..pn)`` and
+  "falsifying" facts ``N(i, b1, q1), …, N(i, bm, qm)`` (``bj ≠ c``)
+  contributes, for each ``j ∈ [n]``, the clause ``¬pj ∨ q1 ∨ … ∨ qm``.
+
+``db`` is a **no**-instance iff the formula is satisfiable: a satisfying
+assignment selects, per obligated block, a falsifying fact whose inserted
+``O``-value propagates the obligation — exactly the block-interference
+chain of Section 4.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.foreign_keys import ForeignKeySet, fk_set
+from ..core.query import ConjunctiveQuery, parse_query
+from ..db.instance import DatabaseInstance
+from .sat import Clause, DualHornFormula, solve_dual_horn
+
+
+def proposition17_query(
+    constant: object = "c",
+) -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """The fixed problem of Proposition 17: ``{N(x,c,y), O(y)}, N[3]→O``."""
+    query = parse_query(f"N(x | '{constant}', y)", "O(y |)")
+    return query, fk_set(query, "N[3]->O")
+
+
+def instance_to_dual_horn(
+    db: DatabaseInstance, constant: object = "c"
+) -> DualHornFormula:
+    """The Appendix D.3 reduction from an instance to a dual-Horn formula.
+
+    Variables are the values occurring at ``O``'s key position or ``N``'s
+    third position.
+    """
+    formula = DualHornFormula()
+    for fact in sorted(db.relation_facts("O"), key=repr):
+        formula.add(Clause((fact.value_at(1),)))
+    blocks: dict[tuple[object, ...], list] = defaultdict(list)
+    for fact in db.relation_facts("N"):
+        blocks[fact.key].append(fact)
+    for key in sorted(blocks, key=repr):
+        facts = blocks[key]
+        satisfying = sorted(
+            (f.value_at(3) for f in facts if f.value_at(2) == constant),
+            key=repr,
+        )
+        falsifying = tuple(
+            sorted(
+                (f.value_at(3) for f in facts if f.value_at(2) != constant),
+                key=repr,
+            )
+        )
+        for p in satisfying:
+            formula.add(Clause(falsifying, negative=p))
+    return formula
+
+
+def certain_by_dual_horn(db: DatabaseInstance, constant: object = "c") -> bool:
+    """Decide ``CERTAINTY({N(x,c,y), O(y)}, {N[3]→O})`` in P.
+
+    The instance is a *no*-instance iff the dual-Horn encoding is
+    satisfiable, so the certain answer is the negation.
+    """
+    formula = instance_to_dual_horn(db, constant)
+    return not solve_dual_horn(formula).satisfiable

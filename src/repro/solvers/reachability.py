@@ -1,0 +1,110 @@
+"""The NL algorithm of Proposition 16.
+
+For ``q = {N(x, x), O(x)}`` with ``FK = {N[2] → O}``, the complement of
+``CERTAINTY(q, FK)`` reduces to directed graph reachability:
+
+* vertices: ``V = {c | N(c, c) ∈ db} ∪ {⊥}``;
+* for ``c ∈ V`` with block ``N(c, ∗) = {N(c,c), N(c,d1), …, N(c,dn)}``:
+  edges ``(c, di)`` if every ``di ∈ V``, else the single escape edge
+  ``(c, ⊥)``;
+* mark ``c`` when ``O(c) ∈ db`` and ``c ∈ V``.
+
+``db`` is a **no**-instance iff ``⊥`` is reachable from every marked
+vertex.  The graph substrate is a plain BFS; the solver is linear in
+``|db|`` up to indexing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.foreign_keys import ForeignKeySet, fk_set
+from ..core.query import ConjunctiveQuery, parse_query
+from ..db.instance import DatabaseInstance
+
+_BOTTOM = ("⊥",)
+
+
+def proposition16_query() -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """The fixed problem of Proposition 16: ``{N(x,x), O(x)}, N[2]→O``."""
+    query = parse_query("N(x | x)", "O(x |)")
+    return query, fk_set(query, "N[2]->O")
+
+
+@dataclass
+class ReachabilityGraph:
+    """The digraph the Proposition 16 reduction produces."""
+
+    vertices: set[object]
+    edges: dict[object, set[object]]
+    marked: set[object]
+
+    def reaches(self, source: object, target: object) -> bool:
+        """BFS reachability within the reduction graph."""
+        if source == target:
+            return True
+        frontier = deque([source])
+        seen = {source}
+        while frontier:
+            current = frontier.popleft()
+            for succ in self.edges.get(current, ()):
+                if succ == target:
+                    return True
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return False
+
+    def all_marked_reach_bottom(self) -> bool:
+        """Reverse-BFS from ⊥ and compare with the marked set."""
+        reverse: dict[object, set[object]] = {}
+        for src, targets in self.edges.items():
+            for dst in targets:
+                reverse.setdefault(dst, set()).add(src)
+        reached = {_BOTTOM}
+        frontier = deque([_BOTTOM])
+        while frontier:
+            current = frontier.popleft()
+            for pred in reverse.get(current, ()):
+                if pred not in reached:
+                    reached.add(pred)
+                    frontier.append(pred)
+        return self.marked <= reached
+
+
+def build_reachability_graph(db: DatabaseInstance) -> ReachabilityGraph:
+    """The Proposition 16 reduction from an instance to a digraph."""
+    diagonal = {
+        fact.value_at(1)
+        for fact in db.relation_facts("N")
+        if fact.arity == 2 and fact.value_at(1) == fact.value_at(2)
+    }
+    vertices: set[object] = set(diagonal) | {_BOTTOM}
+    edges: dict[object, set[object]] = {}
+    for c in diagonal:
+        others = {
+            fact.value_at(2)
+            for fact in db.block_of("N", (c,))
+            if fact.value_at(2) != c
+        }
+        if others <= diagonal:
+            edges[c] = set(others)
+        else:
+            edges[c] = {_BOTTOM}
+    marked = {
+        fact.value_at(1)
+        for fact in db.relation_facts("O")
+        if fact.value_at(1) in diagonal
+    }
+    return ReachabilityGraph(vertices, edges, marked)
+
+
+def certain_by_reachability(db: DatabaseInstance) -> bool:
+    """Decide ``CERTAINTY({N(x,x), O(x)}, {N[2]→O})`` in NL.
+
+    The instance is a *no*-instance iff every marked vertex reaches ⊥, so
+    the certain answer is the negation.
+    """
+    graph = build_reachability_graph(db)
+    return not graph.all_marked_reach_bottom()

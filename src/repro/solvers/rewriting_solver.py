@@ -1,0 +1,62 @@
+"""Solvers backed by the consistent first-order rewriting.
+
+``RewritingSolver`` constructs the closed formula once (Theorem 1) and
+evaluates it per instance; ``ProceduralSolver`` runs the forward reduction
+pipeline per instance.  Both are polynomial per instance — the payoff the
+FO classification promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.decision import decide
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.rewriting import RewritingResult, consistent_rewriting
+from ..db.instance import DatabaseInstance
+from ..fo.evaluator import Evaluator
+
+
+@dataclass
+class RewritingSolver:
+    """Evaluate the once-constructed consistent FO rewriting."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    name: str = "fo-rewriting"
+    _rewriting: RewritingResult = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rewriting = consistent_rewriting(self.query, self.fks)
+
+    @property
+    def rewriting(self) -> RewritingResult:
+        """The constructed rewriting (formula + pipeline provenance)."""
+        return self._rewriting
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Evaluate the once-built formula on *db*."""
+        return Evaluator(db).evaluate(self._rewriting.formula)
+
+
+@dataclass
+class ProceduralSolver:
+    """Run the Lemma 18 reduction pipeline forward on each instance."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    name: str = "procedural"
+
+    def __post_init__(self) -> None:
+        # Fail fast on non-FO problems, mirroring RewritingSolver.
+        from ..core.classify import classify
+        from ..exceptions import NotInFOError
+
+        classification = classify(self.query, self.fks)
+        if not classification.in_fo:
+            raise NotInFOError(classification.explain())
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Run the forward reduction pipeline on *db*."""
+        return decide(self.query, self.fks, db, check_classification=False)

@@ -1,0 +1,176 @@
+"""A dual-Horn SAT substrate.
+
+Proposition 17 places ``CERTAINTY(q, FK)`` for ``q = {N(x,c,y), O(y)}``,
+``FK = {N[3] → O}`` in P by mutual reduction with DUAL HORN SAT — CNF
+satisfiability where every clause has **at most one negative literal**
+(the dual of Horn; P-complete by Schaefer).  This module implements the
+substrate: formula representation, dual-Horn validation, and a linear-time
+unit-propagation solver computing the *maximal* satisfying assignment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from ..exceptions import ReproError
+
+
+class NotDualHornError(ReproError):
+    """A clause with two or more negative literals was supplied."""
+
+
+@dataclass(frozen=True)
+class Clause:
+    """``¬negative ∨ positives[0] ∨ positives[1] ∨ …`` (negative optional)."""
+
+    positives: tuple[Hashable, ...]
+    negative: Hashable | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.positives)) != len(self.positives):
+            object.__setattr__(
+                self, "positives", tuple(dict.fromkeys(self.positives))
+            )
+
+    @property
+    def variables(self) -> set[Hashable]:
+        """All variables mentioned by the clause."""
+        out = set(self.positives)
+        if self.negative is not None:
+            out.add(self.negative)
+        return out
+
+    def __repr__(self) -> str:
+        parts = [f"¬{self.negative}"] if self.negative is not None else []
+        parts.extend(str(p) for p in self.positives)
+        return " ∨ ".join(parts) if parts else "⊥"
+
+
+@dataclass
+class DualHornFormula:
+    """A conjunction of dual-Horn clauses."""
+
+    clauses: list[Clause] = field(default_factory=list)
+
+    @classmethod
+    def from_literal_lists(
+        cls, clause_literals: Iterable[Iterable[tuple[Hashable, bool]]]
+    ) -> "DualHornFormula":
+        """Build from ``(variable, is_positive)`` literal lists, validating
+        the at-most-one-negative-literal restriction."""
+        formula = cls()
+        for literals in clause_literals:
+            positives: list[Hashable] = []
+            negative: Hashable | None = None
+            for variable, is_positive in literals:
+                if is_positive:
+                    positives.append(variable)
+                elif negative is None:
+                    negative = variable
+                else:
+                    raise NotDualHornError(
+                        "clause has two negative literals: "
+                        f"¬{negative}, ¬{variable}"
+                    )
+            formula.add(Clause(tuple(positives), negative))
+        return formula
+
+    def add(self, clause: Clause) -> None:
+        """Append one clause."""
+        self.clauses.append(clause)
+
+    @property
+    def variables(self) -> set[Hashable]:
+        """All variables mentioned by the formula."""
+        out: set[Hashable] = set()
+        for clause in self.clauses:
+            out |= clause.variables
+        return out
+
+    def evaluate(self, assignment: dict[Hashable, bool]) -> bool:
+        """Truth of the formula under a total assignment."""
+        for clause in self.clauses:
+            satisfied = any(assignment.get(p, False) for p in clause.positives)
+            if clause.negative is not None:
+                satisfied = satisfied or not assignment.get(
+                    clause.negative, False
+                )
+            if not satisfied:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(f"({c!r})" for c in self.clauses) or "⊤"
+
+
+@dataclass(frozen=True)
+class SatResult:
+    """Solver outcome: satisfiability plus the maximal model if satisfiable."""
+
+    satisfiable: bool
+    assignment: dict[Hashable, bool] | None = None
+
+
+def solve_dual_horn(formula: DualHornFormula) -> SatResult:
+    """Decide satisfiability by dual unit propagation.
+
+    Start from the all-true assignment (which satisfies every clause with a
+    positive literal) and propagate *forced-false* variables: a clause
+    ``¬q ∨ p1 ∨ … ∨ pn`` whose positives are all false forces ``q`` false;
+    a purely positive clause with all positives false is a contradiction.
+    The result, when satisfiable, is the unique maximal model — the mirror
+    image of Horn's minimal-model property.
+    """
+    false_set: set[Hashable] = set()
+    # Index clauses by positive literal for efficient counter updates.
+    watching: dict[Hashable, list[int]] = defaultdict(list)
+    open_positives: list[int] = []
+    for index, clause in enumerate(formula.clauses):
+        open_positives.append(len(set(clause.positives)))
+        for positive in set(clause.positives):
+            watching[positive].append(index)
+
+    queue: list[Hashable] = []
+
+    def fire(index: int) -> bool:
+        """A clause ran out of true positives; force or fail."""
+        clause = formula.clauses[index]
+        if clause.negative is None:
+            return False
+        if clause.negative not in false_set:
+            false_set.add(clause.negative)
+            queue.append(clause.negative)
+        return True
+
+    for index, clause in enumerate(formula.clauses):
+        if open_positives[index] == 0 and not fire(index):
+            return SatResult(False)
+
+    while queue:
+        variable = queue.pop()
+        for index in watching[variable]:
+            open_positives[index] -= 1
+            if open_positives[index] == 0 and not fire(index):
+                return SatResult(False)
+
+    assignment = {v: v not in false_set for v in formula.variables}
+    return SatResult(True, assignment)
+
+
+def brute_force_satisfiable(formula: DualHornFormula) -> bool:
+    """Exponential reference check used by the test suite (≤ ~20 vars)."""
+    variables = sorted(formula.variables, key=repr)
+    if len(variables) > 22:
+        raise ReproError("brute-force SAT limited to 22 variables")
+    for mask in range(1 << len(variables)):
+        assignment = {
+            v: bool(mask >> i & 1) for i, v in enumerate(variables)
+        }
+        if formula.evaluate(assignment):
+            return True
+    return False

@@ -1,0 +1,49 @@
+"""Workload generators: every instance family the paper discusses, plus
+parametric synthetic generators for the benchmark harness."""
+
+from .bibliographic import (
+    BibliographyParams,
+    fig1_instance,
+    intro_query_q0,
+    intro_query_q1,
+    synthetic_bibliography,
+)
+from .catalog import (
+    CatalogEntry,
+    fo_catalog,
+    hard_catalog,
+    paper_catalog,
+)
+from .chains import (
+    ChainParams,
+    branching_chain_instance,
+    chain_instance,
+    chain_problem,
+    expected_certainty,
+)
+from .example13 import example13_problems, q1_distinguishing_instance
+from .graphs import layered_dag, proposition16_instance
+from .random_instances import (
+    RandomInstanceParams,
+    random_instance,
+    random_instances_for_query,
+)
+
+__all__ = [
+    "BibliographyParams", "CatalogEntry", "ChainParams",
+    "branching_chain_instance", "chain_instance", "chain_problem",
+    "example13_problems", "expected_certainty", "fig1_instance",
+    "fo_catalog", "hard_catalog", "intro_query_q0", "intro_query_q1",
+    "layered_dag", "paper_catalog", "proposition16_instance",
+    "q1_distinguishing_instance", "random_instance",
+    "random_instances_for_query", "RandomInstanceParams",
+    "synthetic_bibliography",
+]
+
+from .random_problems import (  # noqa: E402
+    ProblemShape,
+    random_fo_problems,
+    random_problem,
+)
+
+__all__ += ["ProblemShape", "random_fo_problems", "random_problem"]

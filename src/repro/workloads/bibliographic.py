@@ -1,0 +1,111 @@
+"""The bibliographic scenario of Fig. 1 and the introduction.
+
+Relations: ``DOCS(doi | title, year)``, ``AUTHORS(orcid | first, last)``,
+``R(doi, orcid |)`` (composite all-key) with foreign keys
+``FK0 = {R[1] → DOCS, R[2] → AUTHORS}``.  The module exposes the exact
+Fig. 1 instance, the two introduction queries ``q0`` and ``q1``, and a
+parametric generator producing larger inconsistent bibliographies with the
+same flavour of violations (duplicate ORCID rows, dangling authorship
+facts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.foreign_keys import ForeignKeySet, fk_set
+from ..core.query import ConjunctiveQuery, parse_query
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+
+
+def fig1_instance() -> DatabaseInstance:
+    """The inconsistent database of Fig. 1, verbatim."""
+    return DatabaseInstance(
+        [
+            Fact("R", ("d1", "o1"), 2),
+            Fact("R", ("d1", "o2"), 2),
+            Fact("R", ("d1", "o3"), 2),
+            Fact("AUTHORS", ("o1", "Jeff", "Ullman"), 1),
+            Fact("AUTHORS", ("o1", "Jeffrey", "Ullman"), 1),
+            Fact("AUTHORS", ("o2", "Jonathan", "Ullman"), 1),
+            Fact("DOCS", ("d1", "Some pairs problems", "2016"), 1),
+        ]
+    )
+
+
+def intro_query_q0() -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """"Does some paper of 2016 have an author with first name Jeff?"."""
+    query = parse_query(
+        "DOCS(x | t, '2016')",
+        "R(x, y |)",
+        "AUTHORS(y | 'Jeff', z)",
+    )
+    return query, fk_set(query, "R[1]->DOCS", "R[2]->AUTHORS")
+
+
+def intro_query_q1() -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """"Did the author with ORCID o1 publish some paper in 2016?"
+
+    Note the third atom: without it, ``FK0`` would not be *about* the query
+    (the paper's discussion under Theorem 1).
+    """
+    query = parse_query(
+        "DOCS(x | t, '2016')",
+        "R(x, 'o1' |)",
+        "AUTHORS('o1' | u, z)",
+    )
+    return query, fk_set(query, "R[1]->DOCS", "R[2]->AUTHORS")
+
+
+@dataclass(frozen=True)
+class BibliographyParams:
+    """Knobs of the synthetic bibliography generator."""
+
+    n_docs: int = 20
+    n_authors: int = 20
+    n_authorships: int = 40
+    duplicate_author_rate: float = 0.2
+    dangling_rate: float = 0.15
+    years: tuple[str, ...] = ("2015", "2016", "2017")
+    first_names: tuple[str, ...] = ("Jeff", "Jeffrey", "Jonathan", "Ada", "Edgar")
+    last_names: tuple[str, ...] = ("Ullman", "Lovelace", "Codd")
+
+
+def synthetic_bibliography(
+    params: BibliographyParams, seed: int = 0
+) -> DatabaseInstance:
+    """A larger inconsistent bibliography with Fig.-1-style violations.
+
+    Primary-key violations come from duplicated AUTHORS rows with diverging
+    first names; foreign-key violations from authorship facts referencing
+    ORCIDs that were never inserted.
+    """
+    rng = random.Random(seed)
+    facts: list[Fact] = []
+    for d in range(params.n_docs):
+        facts.append(
+            Fact(
+                "DOCS",
+                (f"d{d}", f"Title {d}", rng.choice(params.years)),
+                1,
+            )
+        )
+    for o in range(params.n_authors):
+        first = rng.choice(params.first_names)
+        last = rng.choice(params.last_names)
+        facts.append(Fact("AUTHORS", (f"o{o}", first, last), 1))
+        if rng.random() < params.duplicate_author_rate:
+            other = rng.choice(
+                [n for n in params.first_names if n != first]
+            )
+            facts.append(Fact("AUTHORS", (f"o{o}", other, last), 1))
+    for _ in range(params.n_authorships):
+        doc = f"d{rng.randrange(params.n_docs)}"
+        if rng.random() < params.dangling_rate:
+            orcid = f"ghost{rng.randrange(params.n_authors)}"
+        else:
+            orcid = f"o{rng.randrange(params.n_authors)}"
+        facts.append(Fact("R", (doc, orcid), 2))
+    return DatabaseInstance(facts)

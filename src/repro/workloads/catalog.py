@@ -1,0 +1,135 @@
+"""A catalog of classified problems drawn from the paper.
+
+Every worked example, proposition and discussion point of the paper that
+fixes a concrete ``(q, FK)`` pair appears here with its expected Theorem 12
+verdict and the paper location it comes from.  Tests iterate the catalog;
+the complexity-atlas example prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classify import ComplexityVerdict
+from ..core.foreign_keys import ForeignKeySet, fk_set
+from ..core.query import ConjunctiveQuery, parse_query
+
+FO = ComplexityVerdict.FO
+L_HARD = ComplexityVerdict.L_HARD
+NL_HARD = ComplexityVerdict.NL_HARD
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One classified problem with provenance."""
+
+    label: str
+    source: str
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    expected: ComplexityVerdict
+    in_fo: bool
+
+    @property
+    def rewritable(self) -> bool:
+        """Alias of :attr:`in_fo`."""
+        return self.in_fo
+
+
+def _entry(label: str, source: str, atoms: list[str], fk_texts: list[str],
+           expected: ComplexityVerdict) -> CatalogEntry:
+    query = parse_query(*atoms)
+    fks = fk_set(query, *fk_texts)
+    return CatalogEntry(
+        label=label,
+        source=source,
+        query=query,
+        fks=fks,
+        expected=expected,
+        in_fo=expected is FO,
+    )
+
+
+def paper_catalog() -> list[CatalogEntry]:
+    """Every concrete classified problem from the paper."""
+    return [
+        _entry(
+            "intro-q0", "Section 1, Fig. 1",
+            ["DOCS(x | t, '2016')", "R(x, y |)", "AUTHORS(y | 'Jeff', z)"],
+            ["R[1]->DOCS", "R[2]->AUTHORS"], FO,
+        ),
+        _entry(
+            "intro-q1", "Section 1",
+            ["DOCS(x | t, '2016')", "R(x, 'o1' |)", "AUTHORS('o1' | u, z)"],
+            ["R[1]->DOCS", "R[2]->AUTHORS"], FO,
+        ),
+        _entry(
+            "sec4-chain", "Section 4 / Proposition 17",
+            ["N(x | 'c', y)", "O(y |)"], ["N[3]->O"], NL_HARD,
+        ),
+        _entry(
+            "example4", "Example 4",
+            ["R(x | y)", "S(y | z)", "T(z |)"], ["R[2]->S", "S[2]->T"], FO,
+        ),
+        _entry(
+            "example10", "Examples 6 and 10",
+            ["N(x | 'c', y)", "O(y |)"], ["N[3]->O"], NL_HARD,
+        ),
+        _entry(
+            "example11", "Example 11",
+            ["Np(x | y)", "O(y |)", "T(x | y)"], ["Np[2]->O"], NL_HARD,
+        ),
+        _entry(
+            "example11-forced", "Example 11 (with R(a, x))",
+            ["Np(x | y)", "O(y |)", "T(x | y)", "R('a' | x)"],
+            ["Np[2]->O"], FO,
+        ),
+        _entry(
+            "example13-q1", "Example 13",
+            ["N(x | u, y)", "O(y | w)"], ["N[3]->O"], FO,
+        ),
+        _entry(
+            "example13-q2", "Example 13",
+            ["N(x | 'c', y)", "O(y | w)"], ["N[3]->O"], NL_HARD,
+        ),
+        _entry(
+            "example13-q3", "Example 13",
+            ["N(x | 'c', y)", "O(y | 'c')"], ["N[3]->O"], FO,
+        ),
+        _entry(
+            "lemma14-cycle", "Section 6",
+            ["R(x | y)", "S(y | x)"], ["R[2]->S", "S[2]->R"], L_HARD,
+        ),
+        _entry(
+            "lemma14-cycle-nofk", "Section 6 (FK = ∅)",
+            ["R(x | y)", "S(y | x)"], [], L_HARD,
+        ),
+        _entry(
+            "prop16", "Proposition 16",
+            ["N(x | x)", "O(x |)"], ["N[2]->O"], NL_HARD,
+        ),
+        _entry(
+            "sec8-rewriting", "Section 8",
+            ["N('c' | y)", "O(y |)", "P(y |)"], ["N[2]->O"], FO,
+        ),
+        _entry(
+            # Example 27's q = {N(x,x), O(x,y)} with FK = {N[2]->N, N[2]->O};
+            # N[2]->N makes the dependency graph cyclic.
+            "example27-selfloop", "Example 27 (cyclic dependency graph)",
+            ["N(x | x)", "O(x | y)"], ["N[2]->N", "N[2]->O"], NL_HARD,
+        ),
+        _entry(
+            "example43", "Example 43 (Lemma 40 illustration)",
+            ["Y(y |)", "N(x | y, u)", "O(y |)"], ["N[2]->O"], FO,
+        ),
+    ]
+
+
+def fo_catalog() -> list[CatalogEntry]:
+    """The catalog entries admitting a consistent FO rewriting."""
+    return [e for e in paper_catalog() if e.in_fo]
+
+
+def hard_catalog() -> list[CatalogEntry]:
+    """The catalog entries outside FO."""
+    return [e for e in paper_catalog() if not e.in_fo]

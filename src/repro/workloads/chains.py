@@ -1,0 +1,78 @@
+"""The Section-4 block-interference chain family.
+
+For ``q = {N(x, c, y), O(y)}`` with ``FK = {N[3] → O}``, the paper opens
+Section 4 with a parametric instance whose certainty hinges on the very
+last block: the chain
+
+    ``N(b1,c,1), N(b1,d,2), N(b2,c,2), N(b2,d,3), …, N(b_{n+1}, □, n+1)``
+
+plus ``O(1)`` is a *yes*-instance iff ``□ = c``.  Dropping ``O(1)`` always
+yields a *no*-instance (the empty repair).  The family demonstrates the
+non-locality that makes block-interference NL-hard, and scales benchmark
+E2 / E9 workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..solvers.dual_horn import proposition17_query
+
+
+@dataclass(frozen=True)
+class ChainParams:
+    """Length and final-block marker of a Section-4 chain."""
+
+    length: int
+    final_marker: object = "c"   # the □ of the paper; "c" ⇒ yes-instance
+    with_seed_fact: bool = True  # O(1); dropping it ⇒ no-instance
+
+
+def chain_problem() -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """The chain family's fixed problem (same as Proposition 17)."""
+    return proposition17_query("c")
+
+
+def chain_instance(params: ChainParams) -> DatabaseInstance:
+    """The Section-4 database for the given parameters."""
+    facts: list[Fact] = []
+    n = params.length
+    for i in range(1, n + 1):
+        facts.append(Fact("N", (f"b{i}", "c", i), 1))
+        facts.append(Fact("N", (f"b{i}", "d", i + 1), 1))
+    facts.append(Fact("N", (f"b{n + 1}", params.final_marker, n + 1), 1))
+    if params.with_seed_fact:
+        facts.append(Fact("O", (1,), 1))
+    return DatabaseInstance(facts)
+
+
+def expected_certainty(params: ChainParams) -> bool:
+    """The paper's closed-form answer for a chain instance."""
+    return params.with_seed_fact and params.final_marker == "c"
+
+
+def branching_chain_instance(
+    length: int, width: int, final_marker: object = "c"
+) -> DatabaseInstance:
+    """A widened variant: each block offers *width* falsifying successors.
+
+    All falsifying edges of level ``i`` point into level ``i+1`` blocks, so
+    the answer stays the closed form of the linear chain while the dual-Horn
+    encoding gains clauses of width *width* — useful for stressing the
+    Proposition 17 solver.
+    """
+    facts: list[Fact] = []
+    for i in range(1, length + 1):
+        facts.append(Fact("N", ((i, 0), "c", ("o", i)), 1))
+        for w in range(width):
+            facts.append(Fact("N", ((i, 0), "d", ("o", i + 1)), 1))
+            facts.append(Fact("N", ((i, w), "d", ("o", i + 1)), 1))
+            if w:
+                facts.append(Fact("N", ((i, w), "c", ("o", i)), 1))
+    facts.append(Fact("N", ((length + 1, 0), final_marker, ("o", length + 1)), 1))
+    facts.append(Fact("O", (("o", 1),), 1))
+    return DatabaseInstance(facts)

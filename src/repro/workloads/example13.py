@@ -1,0 +1,44 @@
+"""Example 13: three queries a constant apart, three different complexities.
+
+``q1 = {N(x, u, y), O(y, w)}`` is in FO; ``q2 = q1[u→c]`` is NL-hard;
+``q3 = q1[u→c, w→c]`` is back in FO — replacing a variable by a constant
+can move the complexity in either direction, the signature phenomenon of
+foreign keys.  The module also builds the two-row instance the paper uses
+to show that the rewriting of ``CERTAINTY(q1, FK)`` differs from that of
+``CERTAINTY(q1)``.
+"""
+
+from __future__ import annotations
+
+from ..core.classify import ComplexityVerdict
+from ..core.foreign_keys import ForeignKeySet, fk_set
+from ..core.query import ConjunctiveQuery, parse_query
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+
+
+def example13_problems() -> list[
+    tuple[str, ConjunctiveQuery, ForeignKeySet, ComplexityVerdict]
+]:
+    """The three problems with their paper-stated verdicts."""
+    q1 = parse_query("N(x | u, y)", "O(y | w)")
+    q2 = parse_query("N(x | 'c', y)", "O(y | w)")
+    q3 = parse_query("N(x | 'c', y)", "O(y | 'c')")
+    return [
+        ("q1", q1, fk_set(q1, "N[3]->O"), ComplexityVerdict.FO),
+        ("q2", q2, fk_set(q2, "N[3]->O"), ComplexityVerdict.NL_HARD),
+        ("q3", q3, fk_set(q3, "N[3]->O"), ComplexityVerdict.FO),
+    ]
+
+
+def q1_distinguishing_instance() -> DatabaseInstance:
+    """Yes-instance of ``CERTAINTY(q1, FK)`` but no-instance of
+    ``CERTAINTY(q1)`` — the paper's two-row ``N`` table with one ``O``-row.
+    """
+    return DatabaseInstance(
+        [
+            Fact("N", ("c", 1, "a"), 1),
+            Fact("N", ("c", 2, "b"), 1),
+            Fact("O", ("a", 3), 1),
+        ]
+    )

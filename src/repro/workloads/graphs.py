@@ -1,0 +1,80 @@
+"""Graph-shaped workloads for the reachability experiments (E6, E8).
+
+Layered DAGs with controlled path existence (so benchmark series can sweep
+"path exists" against "path misses"), plus direct generators of
+Proposition-16-shaped instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..hardness.digraph import DiGraph
+
+
+def layered_dag(
+    n_layers: int,
+    width: int,
+    rng: random.Random,
+    connect_probability: float = 0.5,
+    guarantee_path: bool | None = None,
+) -> tuple[DiGraph, object, object]:
+    """A layered DAG with distinguished source and target.
+
+    Vertices ``(layer, slot)``; edges only between consecutive layers.
+    With ``guarantee_path=True`` one through-path is forced; with ``False``
+    the target's in-edges are removed.
+    """
+    graph = DiGraph()
+    source = (0, 0)
+    target = (n_layers - 1, 0)
+    for layer in range(n_layers):
+        for slot in range(width):
+            graph.add_vertex((layer, slot))
+    for layer in range(n_layers - 1):
+        for slot in range(width):
+            for nxt in range(width):
+                if rng.random() < connect_probability:
+                    graph.add_edge((layer, slot), (layer + 1, nxt))
+    if guarantee_path is True:
+        for layer in range(n_layers - 1):
+            graph.add_edge((layer, 0), (layer + 1, 0))
+    elif guarantee_path is False:
+        pruned = DiGraph.from_edges(
+            (
+                (s, t)
+                for (s, t) in graph.edges
+                if t != target
+            ),
+            vertices=graph.vertices,
+        )
+        graph = pruned
+    return graph, source, target
+
+
+def proposition16_instance(
+    n_vertices: int,
+    rng: random.Random,
+    edge_probability: float = 0.4,
+    marked_fraction: float = 0.3,
+    escape_fraction: float = 0.2,
+) -> DatabaseInstance:
+    """A random instance of the Proposition 16 problem.
+
+    Diagonal facts ``N(c, c)`` make vertices; off-diagonal facts make
+    obligation edges; a fraction of vertices gets marked by ``O``-facts and
+    a fraction gets an escape successor outside the diagonal.
+    """
+    facts: list[Fact] = []
+    for v in range(n_vertices):
+        facts.append(Fact("N", (v, v), 1))
+        for w in range(n_vertices):
+            if w != v and rng.random() < edge_probability:
+                facts.append(Fact("N", (v, w), 1))
+        if rng.random() < escape_fraction:
+            facts.append(Fact("N", (v, ("esc", v)), 1))
+        if rng.random() < marked_fraction:
+            facts.append(Fact("O", (v,), 1))
+    return DatabaseInstance(facts)

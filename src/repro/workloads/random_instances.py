@@ -1,0 +1,100 @@
+"""Random inconsistent-instance generation for arbitrary problems.
+
+The generator draws facts relation by relation with controllable block
+structure: expected number of blocks, block-size distribution (primary-key
+violations), and — when foreign keys are present — a dangling rate that
+decides how often referenced key values are drawn fresh instead of from the
+referenced relation's key pool.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.schema import Schema
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+
+
+@dataclass(frozen=True)
+class RandomInstanceParams:
+    """Knobs of the random instance generator."""
+
+    blocks_per_relation: int = 3
+    max_block_size: int = 3
+    domain_size: int = 6
+    dangling_rate: float = 0.3
+    constant_pool: tuple[object, ...] = ()
+
+
+def random_instance(
+    schema: Schema,
+    params: RandomInstanceParams,
+    rng: random.Random,
+    fks: ForeignKeySet | None = None,
+) -> DatabaseInstance:
+    """Draw one inconsistent instance over *schema*.
+
+    Values are drawn from ``0..domain_size-1`` plus the *constant_pool*
+    (pass the query's constants so that facts can actually match constant
+    atoms).  When *fks* is given, non-key positions that are foreign-key
+    sources preferentially reuse values that head the referenced relation,
+    unless a ``dangling_rate`` coin flip injects a fresh value.
+    """
+    pool: list[object] = list(range(params.domain_size))
+    pool.extend(params.constant_pool)
+    facts: list[Fact] = []
+    key_heads: dict[str, list[object]] = {}
+
+    ordered = sorted(schema)
+    for relation in ordered:
+        sig = schema[relation]
+        heads: list[object] = []
+        for _ in range(rng.randint(0, params.blocks_per_relation)):
+            key = tuple(rng.choice(pool) for _ in range(sig.key_size))
+            heads.append(key[0])
+            for _ in range(rng.randint(1, params.max_block_size)):
+                rest = tuple(
+                    rng.choice(pool)
+                    for _ in range(sig.arity - sig.key_size)
+                )
+                facts.append(Fact(relation, key + rest, sig.key_size))
+        key_heads[relation] = heads
+
+    if fks is not None and facts:
+        # Rewrite some referencing positions to actually hit referenced keys.
+        rewritten: list[Fact] = []
+        for fact in facts:
+            values = list(fact.values)
+            for fk in fks.outgoing(fact.relation):
+                heads = key_heads.get(fk.target, [])
+                if heads and rng.random() > params.dangling_rate:
+                    values[fk.position - 1] = rng.choice(heads)
+            rewritten.append(Fact(fact.relation, tuple(values), fact.key_size))
+        facts = rewritten
+    return DatabaseInstance(facts)
+
+
+def random_instances_for_query(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet | None,
+    count: int,
+    seed: int = 0,
+    params: RandomInstanceParams | None = None,
+):
+    """Yield *count* random instances tailored to *query*'s constants."""
+    rng = random.Random(seed)
+    base = params or RandomInstanceParams()
+    tailored = RandomInstanceParams(
+        blocks_per_relation=base.blocks_per_relation,
+        max_block_size=base.max_block_size,
+        domain_size=base.domain_size,
+        dangling_rate=base.dangling_rate,
+        constant_pool=tuple(c.value for c in query.constants),
+    )
+    schema = query.schema()
+    for _ in range(count):
+        yield random_instance(schema, tailored, rng, fks)

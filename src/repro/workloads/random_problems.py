@@ -1,0 +1,103 @@
+"""Random ``(q, FK)`` problem generation.
+
+Draws self-join-free queries with controlled shape (arities, key sizes,
+constants, repeated variables) together with unary foreign-key sets that
+are *about* the query by construction: a foreign key ``R[i] → S`` is only
+emitted when the term at ``(R, i)`` equals the term at ``(S, 1)`` and ``S``
+has key size 1 — so the generator picks the shared term first and builds
+both atoms around it.
+
+Used by the fuzzing tests (random FO problems must agree three ways) and
+by benchmark E7/E11 sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.atoms import Atom
+from ..core.foreign_keys import ForeignKey, ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """Knobs of the random problem generator."""
+
+    n_atoms: int = 3
+    max_arity: int = 3
+    n_variables: int = 4
+    constant_probability: float = 0.2
+    fk_probability: float = 0.6
+    composite_key_probability: float = 0.2
+
+
+def random_problem(
+    shape: ProblemShape, rng: random.Random
+) -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    """One random sjfBCQ with a foreign-key set about it."""
+    variable_pool = [Variable(f"x{i}") for i in range(shape.n_variables)]
+    constant_pool = [Constant("c"), Constant("d")]
+
+    def draw_term() -> Term:
+        if rng.random() < shape.constant_probability:
+            return rng.choice(constant_pool)
+        return rng.choice(variable_pool)
+
+    atoms: list[Atom] = []
+    for index in range(shape.n_atoms):
+        arity = rng.randint(1, shape.max_arity)
+        if arity > 1 and rng.random() < shape.composite_key_probability:
+            key_size = rng.randint(2, arity)
+        else:
+            key_size = 1
+        terms = tuple(draw_term() for _ in range(arity))
+        atoms.append(Atom(f"R{index}", terms, key_size))
+    query = ConjunctiveQuery(atoms)
+    schema = query.schema()
+
+    fks: set[ForeignKey] = set()
+    for source in atoms:
+        for position in range(1, source.arity + 1):
+            if rng.random() >= shape.fk_probability:
+                continue
+            term = source.term_at(position)
+            # candidate targets: key-size-1 atoms whose first term matches.
+            targets = [
+                target
+                for target in atoms
+                if target.key_size == 1
+                and target.term_at(1) == term
+            ]
+            if not targets:
+                continue
+            target = rng.choice(targets)
+            if target.relation == source.relation and position == 1:
+                continue  # trivial
+            fks.add(ForeignKey(source.relation, position, target.relation))
+    return query, ForeignKeySet(fks, schema)
+
+
+def random_fo_problems(
+    count: int,
+    shape: ProblemShape | None = None,
+    seed: int = 0,
+    max_attempts: int = 10_000,
+):
+    """Yield *count* random problems classified in FO by Theorem 12."""
+    from ..core.classify import classify
+
+    shape = shape or ProblemShape()
+    rng = random.Random(seed)
+    produced = 0
+    for _ in range(max_attempts):
+        if produced == count:
+            return
+        query, fks = random_problem(shape, rng)
+        if not fks.is_about(query):
+            continue
+        if classify(query, fks).in_fo:
+            produced += 1
+            yield query, fks

@@ -1,0 +1,64 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.foreign_keys import ForeignKeySet
+from repro.core.query import ConjunctiveQuery
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+
+
+def random_db(
+    query: ConjunctiveQuery,
+    rng: random.Random,
+    max_facts_per_relation: int = 3,
+    domain: tuple[object, ...] | None = None,
+) -> DatabaseInstance:
+    """A small random instance over *query*'s schema.
+
+    The value pool always includes the query's constants so that constant
+    atoms are reachable.
+    """
+    if domain is None:
+        domain = (0, 1, 2)
+    pool = list(domain) + [c.value for c in query.constants]
+    schema = query.schema()
+    facts = []
+    for relation in sorted(schema):
+        sig = schema[relation]
+        for _ in range(rng.randint(0, max_facts_per_relation)):
+            facts.append(
+                Fact(
+                    relation,
+                    tuple(rng.choice(pool) for _ in range(sig.arity)),
+                    sig.key_size,
+                )
+            )
+    return DatabaseInstance(facts)
+
+
+def assert_agrees_with_oracle(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    db: DatabaseInstance,
+    decided: bool,
+    context: str = "",
+) -> None:
+    """Compare a decision against the exact ⊕-repair oracle."""
+    from repro.repairs import certain_answer
+
+    oracle = certain_answer(query, fks, db)
+    assert decided == oracle.certain, (
+        f"{context}: decided {decided}, oracle {oracle.certain}\n"
+        f"instance:\n{db.pretty()}\n"
+        f"falsifying repair: {oracle.falsifying_repair}"
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,118 @@
+"""Unit tests for FD closures and the attack graph."""
+
+import random
+
+from repro.core.attack_graph import AttackGraph
+from repro.core.fds import FDSet, FunctionalDependency, free_variables
+from repro.core.query import parse_query
+from repro.core.terms import Variable
+
+
+class TestFDSet:
+    def test_of_query(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fds = FDSet.of_query(q)
+        assert fds.implies([Variable("x")], [Variable("y")])
+        assert fds.implies([Variable("x")], [Variable("z")])
+        assert not fds.implies([Variable("z")], [Variable("x")])
+
+    def test_constant_key_gives_empty_lhs(self):
+        q = parse_query("R('c' | y)")
+        fds = FDSet.of_query(q)
+        assert fds.determines(Variable("y"))
+
+    def test_constant_variables_propagate(self):
+        q = parse_query("R('c' | y)", "S(y | z)")
+        fds = FDSet.of_query(q)
+        assert fds.constant_variables() == {Variable("y"), Variable("z")}
+
+    def test_free_variables(self):
+        q = parse_query("R('c' | y)", "S(u | v)")
+        assert free_variables(q) == {Variable("u"), Variable("v")}
+
+    def test_closure_monotone(self):
+        fds = FDSet(
+            [
+                FunctionalDependency(
+                    frozenset({Variable("a")}), frozenset({Variable("b")})
+                )
+            ]
+        )
+        assert fds.closure([Variable("a")]) >= fds.closure([])
+
+
+class TestAttackGraphPaperExamples:
+    def test_two_atom_cycle(self):
+        """{R(x,y), S(y,x)} has a cyclic attack graph (Section 6)."""
+        q = parse_query("R(x | y)", "S(y | x)")
+        graph = AttackGraph(q)
+        assert not graph.is_acyclic()
+        assert graph.two_cycle() is not None
+
+    def test_path_query_acyclic(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        graph = AttackGraph(q)
+        assert graph.is_acyclic()
+        assert graph.attacks("R", "S")
+        assert not graph.attacks("S", "R")
+
+    def test_plus_set(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        graph = AttackGraph(q)
+        # key(S) = {y}; K(q \ S) = {x→y} so S⁺ = {y}.
+        assert graph.plus("S") == {Variable("y")}
+        # key(R) = {x}; K(q \ R) = {y→z} so R⁺ = {x}.
+        assert graph.plus("R") == {Variable("x")}
+
+    def test_unattacked_atoms(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        graph = AttackGraph(q)
+        assert [a.relation for a in graph.unattacked_atoms()] == ["R"]
+
+    def test_topological_order(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z | w)")
+        graph = AttackGraph(q)
+        order = graph.topological_order()
+        assert order is not None
+        names = [a.relation for a in order]
+        assert names.index("R") < names.index("S") < names.index("T")
+
+    def test_topological_order_none_when_cyclic(self):
+        q = parse_query("R(x | y)", "S(y | x)")
+        assert AttackGraph(q).topological_order() is None
+
+    def test_attacks_variable(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        graph = AttackGraph(q)
+        assert graph.attacks_variable("R", Variable("y"))
+        assert graph.attacks_variable("R", Variable("z"))
+        assert not graph.attacks_variable("R", Variable("x"))
+
+    def test_constants_weaken_attacks(self):
+        """Grounding the join variable removes the attack."""
+        q = parse_query("R(x | 'c')", "S('c' | z)")
+        graph = AttackGraph(q)
+        assert not graph.attacks("R", "S")
+
+
+class TestTwoCycleTheorem:
+    """Koutris–Wijsen: cyclic attack graph ⟺ some 2-cycle exists."""
+
+    def test_on_random_queries(self):
+        rng = random.Random(99)
+        pool = ["x", "y", "z", "u", "v"]
+        for _ in range(300):
+            atoms = []
+            for index in range(rng.randint(2, 4)):
+                arity = rng.randint(1, 3)
+                key = rng.randint(1, arity)
+                terms = ", ".join(rng.choice(pool) for _ in range(arity))
+                parts = terms.split(", ")
+                text = (
+                    f"R{index}({', '.join(parts[:key])} | "
+                    f"{', '.join(parts[key:])})"
+                )
+                atoms.append(text)
+            q = parse_query(*atoms)
+            graph = AttackGraph(q)
+            assert graph.is_acyclic() == (graph.two_cycle() is None)

@@ -1,0 +1,81 @@
+"""Tests for the Theorem 12 classifier against the paper catalog."""
+
+import pytest
+
+from repro.core.classify import ComplexityVerdict, classify, is_in_fo
+from repro.core.foreign_keys import ForeignKey, ForeignKeySet, fk_set
+from repro.core.query import parse_query
+from repro.exceptions import ForeignKeyError
+from repro.workloads import paper_catalog
+
+
+class TestCatalog:
+    @pytest.mark.parametrize(
+        "entry", paper_catalog(), ids=lambda e: e.label
+    )
+    def test_expected_verdict(self, entry):
+        result = classify(entry.query, entry.fks)
+        assert result.verdict == entry.expected
+        assert result.in_fo == entry.in_fo
+
+
+class TestVerdictLogic:
+    def test_interference_beats_cycle(self):
+        """When both lower bounds apply, NL-hard (the stronger) is reported."""
+        q = parse_query("R(x | y)", "S(y | x)", "N(u | 'c', v)", "O(v |)")
+        fks = fk_set(q, "N[3]->O")
+        result = classify(q, fks)
+        assert result.attack_graph_cyclic
+        assert result.interference is not None
+        assert result.verdict == ComplexityVerdict.NL_HARD
+
+    def test_empty_fk_reduces_to_certainty_q(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        assert is_in_fo(q, fk_set(q))
+
+    def test_not_about_raises(self):
+        q = parse_query("E(x | y)")
+        fks = ForeignKeySet([ForeignKey("E", 2, "E")], q.schema())
+        with pytest.raises(ForeignKeyError):
+            classify(q, fks)
+
+    def test_explain_mentions_verdict(self):
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        result = classify(q, fk_set(q, "N[3]->O"))
+        text = result.explain()
+        assert "NL-hard" in text
+        assert "block-interference" in text
+
+    def test_classification_is_pure(self):
+        """Classifying twice gives identical results (no hidden state)."""
+        q = parse_query("N(x | u, y)", "O(y | w)")
+        fks = fk_set(q, "N[3]->O")
+        first = classify(q, fks)
+        second = classify(q, fks)
+        assert first.verdict == second.verdict
+        assert first.attack_graph_cyclic == second.attack_graph_cyclic
+
+
+class TestConstantSubstitutionPhenomenon:
+    """Example 13's punchline: constants can move complexity both ways."""
+
+    def test_grounding_u_raises_complexity(self):
+        q1 = parse_query("N(x | u, y)", "O(y | w)")
+        q2 = parse_query("N(x | 'c', y)", "O(y | w)")
+        assert is_in_fo(q1, fk_set(q1, "N[3]->O"))
+        assert not is_in_fo(q2, fk_set(q2, "N[3]->O"))
+
+    def test_grounding_w_lowers_complexity(self):
+        q2 = parse_query("N(x | 'c', y)", "O(y | w)")
+        q3 = parse_query("N(x | 'c', y)", "O(y | 'c')")
+        assert not is_in_fo(q2, fk_set(q2, "N[3]->O"))
+        assert is_in_fo(q3, fk_set(q3, "N[3]->O"))
+
+    def test_without_fk_all_three_in_fo(self):
+        for atoms in (
+            ["N(x | u, y)", "O(y | w)"],
+            ["N(x | 'c', y)", "O(y | w)"],
+            ["N(x | 'c', y)", "O(y | 'c')"],
+        ):
+            q = parse_query(*atoms)
+            assert is_in_fo(q, fk_set(q))

@@ -1,0 +1,114 @@
+"""Tests for instance serialization and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.db import DatabaseInstance, Fact
+from repro.db.io import dump, dumps, load, loads
+from repro.exceptions import QueryError
+from repro.workloads import fig1_instance
+
+FIG1_ARGS = [
+    "-a", "DOCS(x | t, '2016')",
+    "-a", "R(x, y |)",
+    "-a", "AUTHORS(y | 'Jeff', z)",
+    "-k", "R[1]->DOCS",
+    "-k", "R[2]->AUTHORS",
+]
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.db"
+    dump(fig1_instance(), path)
+    return str(path)
+
+
+class TestIo:
+    def test_roundtrip(self):
+        db = fig1_instance()
+        assert loads(dumps(db)) == db
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\nR(1 | 2)  # trailing\n"
+        db = loads(text)
+        assert db.facts == {Fact("R", (1, 2), 1)}
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(QueryError):
+            loads("R(x | 2)")
+
+    def test_unserializable_value(self):
+        db = DatabaseInstance([Fact("R", ((1, 2),), 1)])
+        with pytest.raises(QueryError):
+            dumps(db)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "db.txt"
+        dump(fig1_instance(), path)
+        assert load(path) == fig1_instance()
+
+    def test_empty_instance(self):
+        assert dumps(DatabaseInstance()) == ""
+        assert loads("") == DatabaseInstance()
+
+
+class TestCli:
+    def test_classify_fo(self, capsys):
+        rc = main(["classify", "-a", "R(x | y)", "-a", "S(y | z)",
+                   "-k", "R[2]->S"])
+        assert rc == 0
+        assert "in FO" in capsys.readouterr().out
+
+    def test_classify_hard_exit_code(self, capsys):
+        rc = main(["classify", "-a", "N(x | 'c', y)", "-a", "O(y |)",
+                   "-k", "N[3]->O"])
+        assert rc == 1
+        assert "NL-hard" in capsys.readouterr().out
+
+    def test_rewrite_prints_formula(self, capsys):
+        rc = main(["rewrite", "--trace", "-a", "N('c' | y)", "-a", "O(y |)",
+                   "-a", "P(y |)", "-k", "N[2]->O"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "∃" in out and "∀" in out and "Lemma 45" in out
+
+    def test_rewrite_hard_fails(self, capsys):
+        rc = main(["rewrite", "-a", "N(x | 'c', y)", "-a", "O(y |)",
+                   "-k", "N[3]->O"])
+        assert rc == 1
+
+    def test_decide_fig1(self, capsys, fig1_file):
+        rc = main(["decide", *FIG1_ARGS, fig1_file])
+        assert rc == 1  # the certain answer is "no"
+        assert "certain: False" in capsys.readouterr().out
+
+    def test_decide_oracle_fallback(self, capsys, tmp_path):
+        path = tmp_path / "chain.db"
+        path.write_text("N('b1' | 'c', 1)\nO(1 |)\n")
+        rc = main(["decide", "-a", "N(x | 'c', y)", "-a", "O(y |)",
+                   "-k", "N[3]->O", str(path)])
+        out = capsys.readouterr().out
+        assert "oracle" in out
+        assert rc == 0  # trapped block: certain
+
+    def test_repairs_listing(self, capsys, tmp_path):
+        path = tmp_path / "ex4.db"
+        path.write_text("R('a' | 'b')\nS('b' | 'c')\n")
+        rc = main(["repairs", "-a", "R(x | y)", "-a", "S(y | z)",
+                   "-a", "T(z |)", "-k", "R[2]->S", "-k", "S[2]->T",
+                   str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("--- repair") == 3
+
+    def test_violations(self, capsys, fig1_file):
+        rc = main(["violations", *FIG1_ARGS, fig1_file])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "primary-key violation" in out and "dangling" in out
+
+    def test_not_about_is_reported(self, capsys):
+        rc = main(["classify", "-a", "E(x | y)", "-k", "E[2]->E"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

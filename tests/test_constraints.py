@@ -1,0 +1,125 @@
+"""Unit tests for constraint checking and the chase-based containment."""
+
+import pytest
+
+from repro.core.foreign_keys import fk_set, parse_foreign_key
+from repro.core.query import parse_query
+from repro.db.constraints import (
+    dangling_facts,
+    dangling_keys_of,
+    is_consistent,
+    is_dangling,
+    orphan_constants,
+    satisfies_foreign_keys,
+    violation_report,
+)
+from repro.db.containment import (
+    canonical_instance,
+    chase,
+    chase_entails,
+    equivalent_under,
+)
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import ForeignKeyError
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+def _fk_context():
+    q = parse_query("R(x | y)", "S(y | z)")
+    return q, fk_set(q, "R[2]->S")
+
+
+class TestDangling:
+    def test_dangling_detection(self):
+        q, fks = _fk_context()
+        (fk,) = fks.foreign_keys
+        db = DatabaseInstance([F("R", 1, 2)])
+        assert is_dangling(F("R", 1, 2), fk, db)
+        db2 = db.union([F("S", 2, 0)])
+        assert not is_dangling(F("R", 1, 2), fk, db2)
+
+    def test_dangling_facts_set(self):
+        q, fks = _fk_context()
+        db = DatabaseInstance([F("R", 1, 2), F("R", 3, 4), F("S", 2, 0)])
+        assert dangling_facts(db, fks) == {F("R", 3, 4)}
+
+    def test_within_scope(self):
+        q, fks = _fk_context()
+        db = DatabaseInstance([F("R", 1, 2)])
+        wider = DatabaseInstance([F("S", 2, 0)])
+        assert dangling_facts(db, fks, within=db.union(wider)) == set()
+
+    def test_consistency(self):
+        q, fks = _fk_context()
+        good = DatabaseInstance([F("R", 1, 2), F("S", 2, 0)])
+        assert is_consistent(good, fks)
+        assert satisfies_foreign_keys(good, fks)
+        bad_pk = good.union([F("S", 2, 9)])
+        assert not is_consistent(bad_pk, fks)
+
+    def test_violation_report_mentions_both_kinds(self):
+        q, fks = _fk_context()
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3), F("S", 2, 0)])
+        report = violation_report(db, fks)
+        assert "primary-key violation" in report
+        assert "dangling" in report
+        assert violation_report(
+            DatabaseInstance([F("R", 1, 2), F("S", 2, 0), F("S", 3, 1)]),
+            fks,
+        ) == "consistent"
+
+
+class TestOrphanConstants:
+    def test_orphans(self):
+        db = DatabaseInstance([F("R", 1, 2), F("S", 2, 3)])
+        # 2 occurs twice; 3 occurs once at a non-key position; 1 is a key.
+        assert orphan_constants(db) == {3}
+
+    def test_key_occurrence_disqualifies(self):
+        db = DatabaseInstance([F("R", 5, 6)])
+        assert orphan_constants(db) == {6}
+
+
+class TestChaseContainment:
+    def test_canonical_instance_freezes_variables(self):
+        q = parse_query("R(x | 'c')")
+        db = canonical_instance(q)
+        assert db.size == 1
+        (fact,) = db.facts
+        assert fact.values == (("var", "x"), "c")
+
+    def test_chase_terminates_on_acyclic(self):
+        q, fks = _fk_context()
+        start = DatabaseInstance([F("R", 1, 2)])
+        result, complete = chase(start, fks, max_levels=5)
+        assert complete
+        assert satisfies_foreign_keys(result, fks)
+
+    def test_paper_equivalence_example(self):
+        """Section 3.2: {R(x)} ≡_FK {R(x), S(x)} for FK = {R[1]→S}."""
+        q_long = parse_query("R(x |)", "S(x |)")
+        fks = fk_set(q_long, "R[1]->S")
+        q_short = parse_query("R(x |)")
+        assert equivalent_under(q_short, q_long, fks)
+
+    def test_non_entailment(self):
+        q_long = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q_long)  # no foreign keys
+        q_short = parse_query("R(x | y)")
+        assert not chase_entails(q_short, fks, q_long)
+        assert chase_entails(q_long, fks, q_short)
+
+    def test_chase_bound_guard(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S", "S[2]->R")  # cyclic dependency graph
+        start = DatabaseInstance([F("R", 1, 2)])
+        result, complete = chase(start, fks, max_levels=3)
+        assert not complete
+
+    def test_parse_foreign_key_errors(self):
+        with pytest.raises(ForeignKeyError):
+            parse_foreign_key("R[->S")

@@ -1,0 +1,106 @@
+"""Tests for the procedural decider (forward pipeline execution)."""
+
+import random
+
+import pytest
+
+from repro.core.decision import decide
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import NotInFOError
+from repro.workloads import fig1_instance, intro_query_q0, intro_query_q1
+from tests.conftest import random_db
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestFig1:
+    def test_q0_is_uncertain(self):
+        q, fks = intro_query_q0()
+        assert not decide(q, fks, fig1_instance())
+
+    def test_q0_certain_after_cleaning(self):
+        """Fixing the first name and the dangling fact makes q0 certain."""
+        q, fks = intro_query_q0()
+        cleaned = (
+            fig1_instance()
+            .difference(
+                [
+                    Fact("AUTHORS", ("o1", "Jeffrey", "Ullman"), 1),
+                    Fact("R", ("d1", "o3"), 2),
+                ]
+            )
+        )
+        assert decide(q, fks, cleaned)
+
+    def test_q1_on_fig1(self):
+        q, fks = intro_query_q1()
+        # o1 authored d1 (2016): R(d1,o1) is never deleted (all-key block),
+        # DOCS(d1) always kept, AUTHORS(o1,·) always has some fact — certain.
+        assert decide(q, fks, fig1_instance())
+
+    def test_q1_uncertain_when_authorship_dangling(self):
+        q, fks = intro_query_q1()
+        db = fig1_instance().difference(
+            [
+                Fact("AUTHORS", ("o1", "Jeff", "Ullman"), 1),
+                Fact("AUTHORS", ("o1", "Jeffrey", "Ullman"), 1),
+            ]
+        )
+        # now R(d1, o1) is dangling: a repair may delete it.
+        assert not decide(q, fks, db)
+
+
+class TestGuards:
+    def test_hard_problem_raises(self):
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        with pytest.raises(NotInFOError):
+            decide(q, fks, DatabaseInstance())
+
+    def test_check_can_be_skipped_only_for_fo(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        assert decide(
+            q, fks, DatabaseInstance([F("R", 1, 2), F("S", 2, 3)]),
+            check_classification=False,
+        )
+
+    def test_irrelevant_relations_ignored(self):
+        """Facts of relations outside the query must not affect the answer."""
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        base = DatabaseInstance([F("R", 1, 2), F("S", 2, 3)])
+        noisy = base.union([F("Z", 9, 9)])
+        assert decide(q, fks, base) == decide(q, fks, noisy) is True
+
+
+class TestNestedLemma45:
+    """Two empty-key atoms trigger nested case splits."""
+
+    def test_two_constant_blocks(self, rng):
+        q = parse_query("N('c' | y)", "O(y |)", "M('d' | z)", "Q(z |)",
+                        "P(y | z2)")
+        fks = fk_set(q, "N[2]->O", "M[2]->Q")
+        from repro.repairs import certain_answer
+
+        for _ in range(50):
+            db = random_db(q, rng, domain=(0, 1, "c", "d"))
+            expected = certain_answer(q, fks, db).certain
+            assert decide(q, fks, db) == expected, db.pretty()
+
+    def test_cascading_freeze(self, rng):
+        """The inner problem of a Lemma 45 split has parameters that a second
+        split must thread through."""
+        q = parse_query("N('c' | y)", "O(y |)", "P(y | w)", "Q(w |)")
+        fks = fk_set(q, "N[2]->O", "P[2]->Q")
+        from repro.repairs import certain_answer
+
+        for _ in range(50):
+            db = random_db(q, rng, domain=(0, "c"))
+            expected = certain_answer(q, fks, db).certain
+            assert decide(q, fks, db) == expected, db.pretty()

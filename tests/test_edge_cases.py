@@ -1,0 +1,138 @@
+"""Edge-case tests across modules: weak keys in the oracle, composite keys,
+self-referencing schemas, exception hierarchy, API invariants."""
+
+import pytest
+
+import repro
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.db import DatabaseInstance, Fact
+from repro.exceptions import (
+    EvaluationError,
+    ForeignKeyError,
+    NotInFOError,
+    OracleLimitation,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.repairs import canonical_repairs, certain_answer, is_certain
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (SchemaError, QueryError, ForeignKeyError, NotInFOError,
+                    OracleLimitation, EvaluationError):
+            assert issubclass(cls, ReproError)
+
+    def test_catching_base_class_works(self):
+        with pytest.raises(ReproError):
+            parse_query("R(x | y)", "R(y | z)")
+
+
+class TestOracleWithWeakKeys:
+    """Weak foreign keys leave the source's key positions dangling-checked,
+    which interacts with all-key blocks (singleton blocks)."""
+
+    def setup_method(self):
+        self.q = parse_query("A(x, y |)", "B(x | z)")
+        self.fks = fk_set(self.q, "A[1]->B")
+
+    def test_keeping_a_requires_b(self):
+        db = DatabaseInstance([F("A", 1, 2, key=2)])
+        # keeping A(1,2) forces inserting B(1,⋅); dropping it is also minimal
+        repairs = list(canonical_repairs(db, self.fks))
+        sizes = sorted(r.size for r in repairs)
+        assert sizes == [0, 2]
+
+    def test_certainty_with_support(self):
+        db = DatabaseInstance([F("A", 1, 2, key=2), F("B", 1, 9)])
+        # A(1,2) is supported by B(1,9): every repair keeps both -> certain
+        assert is_certain(self.q, self.fks, db)
+
+    def test_uncertain_when_dangling(self):
+        db = DatabaseInstance([F("A", 1, 2, key=2)])
+        assert not is_certain(self.q, self.fks, db)
+
+
+class TestCompositeKeyBlocks:
+    def test_composite_key_grouping(self):
+        db = DatabaseInstance(
+            [F("R", 1, 2, "a", key=2), F("R", 1, 2, "b", key=2),
+             F("R", 1, 3, "a", key=2)]
+        )
+        assert len(db.blocks("R")) == 2
+
+    def test_oracle_on_composite_keys(self):
+        q = parse_query("R(x, y | z)", "S(z |)")
+        fks = fk_set(q, "R[3]->S")
+        db = DatabaseInstance(
+            [F("R", 1, 2, "a", key=2), F("R", 1, 2, "b", key=2)]
+        )
+        # either fact can be kept (each forces its S-insert); or both dropped?
+        # dropping needs no insert but is dominated? adding R(1,2,a)+S(a)
+        # changes the insertion set -> incomparable -> empty IS a repair.
+        answer = certain_answer(q, fks, db)
+        assert not answer.certain
+        assert answer.falsifying_repair is not None
+
+    def test_composite_key_cannot_be_referenced(self):
+        q = parse_query("R(x | y)", "S(y, w |)")
+        with pytest.raises(ForeignKeyError):
+            fk_set(q, "R[2]->S")
+
+
+class TestSelfReference:
+    def test_nontrivial_self_fk_repairs(self):
+        """S[2]→S chains: repairs may close the chain at any length, the
+        canonical oracle reports the pool-closed ones."""
+        q = parse_query("S(y | z)")
+        fks = fk_set(q, "S[2]->S")
+        db = DatabaseInstance([F("S", "a", "b")])
+        repairs = list(canonical_repairs(db, fks))
+        assert DatabaseInstance() in repairs
+        keepers = [r for r in repairs if F("S", "a", "b") in r]
+        assert keepers, "some repair keeps the fact with a closed chain"
+        from repro.db.constraints import is_consistent
+
+        for repair in keepers:
+            assert is_consistent(repair, fks)
+
+    def test_self_supporting_fact(self):
+        q = parse_query("S(y | y2)")
+        fks = fk_set(q, "S[2]->S")
+        db = DatabaseInstance([F("S", "a", "a")])
+        # S(a,a) references itself; the only repairs are {} — dominated by
+        # keeping — and {S(a,a)}.
+        assert is_certain(q, fks, db)
+
+
+class TestApiInvariants:
+    def test_version_matches_package_metadata(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_parse_query_empty(self):
+        assert len(parse_query()) == 0
+
+    def test_instance_iteration_is_deterministic(self):
+        db = DatabaseInstance([F("R", 2, 1), F("R", 1, 2), F("A", 0)])
+        assert list(db) == list(db)
+
+    def test_oracle_on_empty_instance(self):
+        q = parse_query("R(x | y)")
+        fks = fk_set(q)
+        answer = certain_answer(q, fks, DatabaseInstance())
+        assert not answer.certain
+        assert answer.falsifying_repair == DatabaseInstance()
+
+    def test_certain_requires_aboutness(self):
+        from repro.core.foreign_keys import ForeignKey, ForeignKeySet
+
+        q = parse_query("E(x | y)")
+        fks = ForeignKeySet([ForeignKey("E", 2, "E")], q.schema())
+        with pytest.raises(ForeignKeyError):
+            repro.certain(q, fks, DatabaseInstance())

@@ -1,0 +1,321 @@
+"""Tests for the FO substrate: formulas, evaluation, simplification,
+substitution and rendering."""
+
+import random
+
+import pytest
+
+from repro.core.terms import Constant, Parameter, Variable
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import EvaluationError
+from repro.fo import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    conj,
+    constants_of,
+    disj,
+    equality,
+    evaluate,
+    exists,
+    forall,
+    implies,
+    negate,
+    quantifier_depth,
+    relations_of,
+    render,
+    render_tree,
+    simplify,
+    size,
+    substitute_terms,
+    walk,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+def db123():
+    return DatabaseInstance([F("R", 1, 2), F("R", 2, 3), F("S", 2)])
+
+
+class TestSmartConstructors:
+    def test_conj_units(self):
+        assert conj([TRUE, TRUE]) == TRUE
+        assert conj([TRUE, FALSE]) == FALSE
+        assert conj([Rel("S", (x,))]) == Rel("S", (x,))
+
+    def test_conj_flattens(self):
+        inner = And((Rel("S", (x,)), Rel("S", (y,))))
+        assert len(conj([inner, Rel("S", (z,))]).parts) == 3
+
+    def test_disj_units(self):
+        assert disj([]) == FALSE
+        assert disj([FALSE, TRUE]) == TRUE
+
+    def test_exists_drops_unused_variables(self):
+        formula = exists([x, y], Rel("S", (x,)))
+        assert isinstance(formula, Exists)
+        assert formula.variables == (x,)
+
+    def test_exists_collapses_nested(self):
+        formula = exists([x], exists([y], Rel("R", (x, y))))
+        assert isinstance(formula, Exists)
+        assert formula.variables == (x, y)
+
+    def test_forall_over_constant_body(self):
+        assert forall([x], TRUE) == TRUE
+
+    def test_equality_folding(self):
+        assert equality(Constant(1), Constant(1)) == TRUE
+        assert equality(Constant(1), Constant(2)) == FALSE
+        assert isinstance(equality(x, Constant(1)), Eq)
+
+    def test_implies_folding(self):
+        assert implies(FALSE, Rel("S", (x,))) == TRUE
+        assert implies(TRUE, Rel("S", (x,))) == Rel("S", (x,))
+
+    def test_negate_pushes_one_level(self):
+        pushed = negate(Implies(Rel("S", (x,)), Rel("S", (y,))))
+        assert isinstance(pushed, And)
+        pushed = negate(Forall((x,), Rel("S", (x,))))
+        assert isinstance(pushed, Exists)
+
+    def test_walk_and_metadata(self):
+        formula = exists([x], And((Rel("R", (x, y)), Eq(y, Constant(1)))))
+        assert Rel("R", (x, y)) in list(walk(formula))
+        assert relations_of(formula) == {"R"}
+        assert constants_of(formula) == {Constant(1)}
+
+
+class TestEvaluator:
+    def test_atom(self):
+        assert evaluate(Rel("S", (Constant(2),)), db123())
+        assert not evaluate(Rel("S", (Constant(9),)), db123())
+
+    def test_exists_guided(self):
+        formula = exists([x, y], Rel("R", (x, y)))
+        assert evaluate(formula, db123())
+
+    def test_forall(self):
+        # every R tuple has its second component in S? R(2,3): 3 not in S.
+        formula = forall(
+            [x, y], implies(Rel("R", (x, y)), Rel("S", (y,)))
+        )
+        assert not evaluate(formula, db123())
+        db = DatabaseInstance([F("R", 1, 2), F("S", 2)])
+        assert evaluate(formula, db)
+
+    def test_join_through_quantifiers(self):
+        formula = exists(
+            [x, y, z], conj([Rel("R", (x, y)), Rel("R", (y, z))])
+        )
+        assert evaluate(formula, db123())
+
+    def test_equality_and_negation(self):
+        formula = exists([x, y], conj([Rel("R", (x, y)), Not(Eq(x, y))]))
+        assert evaluate(formula, db123())
+        diag = DatabaseInstance([F("R", 1, 1)])
+        assert not evaluate(formula, diag)
+
+    def test_parameters_from_assignment(self):
+        p = Parameter("p")
+        formula = Rel("S", (p,))
+        assert evaluate(formula, db123(), {p: 2})
+        assert not evaluate(formula, db123(), {p: 7})
+
+    def test_unbound_parameter_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(Rel("S", (Parameter("p"),)), db123())
+
+    def test_empty_domain(self):
+        formula = forall([x], Rel("S", (x,)))
+        assert not evaluate(formula, DatabaseInstance())
+        assert evaluate(exists([x], Eq(x, x)), DatabaseInstance())
+
+    def test_domain_includes_formula_constants(self):
+        # ∃x (x = 'q') must find the constant even if absent from the db.
+        formula = exists([x], Eq(x, Constant("q")))
+        assert evaluate(formula, DatabaseInstance())
+
+    def test_guard_under_negated_forall(self):
+        # ¬∀x(R(x,y) → ⊥) ≡ ∃x R(x,y): the guard finder must see through it.
+        formula = exists(
+            [y], Not(Forall((x,), Implies(Rel("R", (x, y)), FALSE)))
+        )
+        assert evaluate(formula, db123())
+
+
+class TestEvaluatorAgainstNaive:
+    """The guided evaluator agrees with a brute-force reference."""
+
+    def _naive(self, formula, db, env):
+        domain = sorted(
+            set(db.active_domain())
+            | {c.value for c in constants_of(formula)},
+            key=repr,
+        ) or [0]
+
+        def rec(node, bound):
+            if isinstance(node, Rel):
+                values = tuple(
+                    t.value if isinstance(t, Constant) else bound[t]
+                    for t in node.terms
+                )
+                return Fact(node.relation, values, node.key_size) in db
+            if isinstance(node, Eq):
+                def resolve(t):
+                    return t.value if isinstance(t, Constant) else bound[t]
+                return resolve(node.left) == resolve(node.right)
+            if isinstance(node, Not):
+                return not rec(node.body, bound)
+            if isinstance(node, And):
+                return all(rec(p, bound) for p in node.parts)
+            if isinstance(node, Or):
+                return any(rec(p, bound) for p in node.parts)
+            if isinstance(node, Implies):
+                return (not rec(node.premise, bound)) or rec(
+                    node.conclusion, bound
+                )
+            if isinstance(node, Exists):
+                return self._expand(node.variables, node.body, bound,
+                                    domain, rec, any)
+            if isinstance(node, Forall):
+                return self._expand(node.variables, node.body, bound,
+                                    domain, rec, all)
+            return node == TRUE
+
+        return rec(formula, dict(env))
+
+    def _expand(self, variables, body, bound, domain, rec, combine):
+        import itertools
+
+        return combine(
+            rec(body, {**bound, **dict(zip(variables, choice))})
+            for choice in itertools.product(domain, repeat=len(variables))
+        )
+
+    def test_random_formulas(self):
+        rng = random.Random(17)
+        for _ in range(150):
+            formula = self._random_formula(rng, depth=3)
+            db = DatabaseInstance(
+                [
+                    F("R", rng.randint(0, 2), rng.randint(0, 2))
+                    for _ in range(rng.randint(0, 4))
+                ]
+                + [F("S", rng.randint(0, 2)) for _ in range(rng.randint(0, 2))]
+            )
+            assert evaluate(formula, db) == self._naive(formula, db, {}), (
+                render(formula),
+                db.pretty(),
+            )
+
+    def _random_formula(self, rng, depth, scope=()):
+        if depth == 0 or (scope and rng.random() < 0.3):
+            choices = []
+            if scope:
+                v = rng.choice(scope)
+                w = rng.choice(scope)
+                choices = [
+                    Rel("S", (v,)),
+                    Rel("R", (v, w)),
+                    Eq(v, rng.choice([w, Constant(rng.randint(0, 2))])),
+                ]
+            else:
+                choices = [
+                    Rel("S", (Constant(rng.randint(0, 2)),)),
+                    TRUE,
+                ]
+            return rng.choice(choices)
+        kind = rng.choice(["and", "or", "not", "implies", "exists", "forall"])
+        if kind == "and":
+            return And(
+                (self._random_formula(rng, depth - 1, scope),
+                 self._random_formula(rng, depth - 1, scope))
+            )
+        if kind == "or":
+            return Or(
+                (self._random_formula(rng, depth - 1, scope),
+                 self._random_formula(rng, depth - 1, scope))
+            )
+        if kind == "not":
+            return Not(self._random_formula(rng, depth - 1, scope))
+        if kind == "implies":
+            return Implies(
+                self._random_formula(rng, depth - 1, scope),
+                self._random_formula(rng, depth - 1, scope),
+            )
+        fresh = Variable(f"q{depth}_{rng.randint(0, 1000)}")
+        body = self._random_formula(rng, depth - 1, scope + (fresh,))
+        cls = Exists if kind == "exists" else Forall
+        return cls((fresh,), body)
+
+
+class TestSimplify:
+    def test_removes_double_negation(self):
+        formula = Not(Not(Rel("S", (Constant(2),))))
+        assert simplify(formula) == Rel("S", (Constant(2),))
+
+    def test_preserves_semantics_randomized(self):
+        helper = TestEvaluatorAgainstNaive()
+        rng = random.Random(23)
+        for _ in range(100):
+            formula = helper._random_formula(rng, depth=3)
+            db = DatabaseInstance(
+                [F("R", rng.randint(0, 2), rng.randint(0, 2))
+                 for _ in range(3)]
+                + [F("S", rng.randint(0, 2))]
+            )
+            assert evaluate(formula, db) == evaluate(simplify(formula), db)
+
+    def test_size_and_depth(self):
+        formula = exists([x], And((Rel("R", (x, y)), Eq(y, Constant(1)))))
+        assert size(formula) == 4
+        assert quantifier_depth(formula) == 1
+
+
+class TestSubstitute:
+    def test_parameter_binding(self):
+        p = Parameter("p")
+        formula = Rel("R", (p, y))
+        bound = substitute_terms(formula, {p: Constant(7)})
+        assert bound == Rel("R", (Constant(7), y))
+
+    def test_respects_binders(self):
+        formula = Exists((x,), Rel("R", (x, y)))
+        bound = substitute_terms(formula, {x: Constant(1)})
+        assert bound == formula  # x is bound; no substitution inside
+
+    def test_capture_detected(self):
+        formula = Exists((x,), Rel("R", (x, y)))
+        with pytest.raises(EvaluationError):
+            substitute_terms(formula, {y: x})
+
+
+class TestRender:
+    def test_render_compact(self):
+        formula = exists([x], implies(Rel("S", (x,)), Rel("S", (x,))))
+        text = render(formula)
+        assert "∃x" in text and "→" in text
+
+    def test_render_tree_is_multiline(self):
+        formula = exists([x], conj([Rel("S", (x,)), Rel("R", (x, y))]))
+        assert len(render_tree(formula).splitlines()) >= 3
+
+    def test_parentheses_keep_semantics_visible(self):
+        # ∧ binds tighter than ∨: Or under And needs parentheses, not vice
+        # versa.
+        assert render(And((Or((TRUE, FALSE)), TRUE))) == "(⊤ ∨ ⊥) ∧ ⊤"
+        assert render(Or((And((TRUE, FALSE)), TRUE))) == "⊤ ∧ ⊥ ∨ ⊤"

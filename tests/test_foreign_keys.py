@@ -1,0 +1,183 @@
+"""Unit tests for repro.core.foreign_keys (incl. implication closure)."""
+
+import random
+
+import pytest
+
+from repro.core.foreign_keys import ForeignKey, ForeignKeySet, fk_set
+from repro.core.query import parse_query
+from repro.core.schema import Schema
+from repro.db.constraints import satisfies_foreign_keys
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import ForeignKeyError
+
+
+class TestValidation:
+    def test_target_must_have_unary_key(self):
+        schema = Schema.of(R=(2, 1), S=(2, 2))
+        with pytest.raises(ForeignKeyError):
+            ForeignKeySet([ForeignKey("R", 2, "S")], schema)
+
+    def test_position_bounds(self):
+        schema = Schema.of(R=(2, 1), S=(2, 1))
+        with pytest.raises(ForeignKeyError):
+            ForeignKeySet([ForeignKey("R", 3, "S")], schema)
+
+    def test_unknown_relations(self):
+        schema = Schema.of(R=(2, 1))
+        with pytest.raises(ForeignKeyError):
+            ForeignKeySet([ForeignKey("R", 1, "T")], schema)
+
+
+class TestWeakStrongTrivial:
+    def test_weak_vs_strong(self):
+        q = parse_query("R(x, y | z)", "S(x |)", "T(z |)")
+        fks = fk_set(q, "R[1]->S", "R[3]->T")
+        weak = next(fk for fk in fks if fk.position == 1)
+        strong = next(fk for fk in fks if fk.position == 3)
+        assert fks.is_weak(weak) and not fks.is_strong(weak)
+        assert fks.is_strong(strong)
+
+    def test_trivial(self):
+        q = parse_query("R(x | y)")
+        fks = ForeignKeySet([ForeignKey("R", 1, "R")], q.schema())
+        (fk,) = fks.foreign_keys
+        assert fks.is_trivial(fk)
+
+    def test_nontrivial_self_reference(self):
+        q = parse_query("R(x | x)")
+        fks = fk_set(q, "R[2]->R")
+        (fk,) = fks.foreign_keys
+        assert not fks.is_trivial(fk)
+
+
+class TestDependencyGraph:
+    """Example 3: R[1]→S weak, R[3]→T strong; special edges into j ≠ 1."""
+
+    def setup_method(self):
+        self.q = parse_query("R(x, y | z)", "S(x | u)", "T(z | v)")
+        self.fks = fk_set(self.q, "R[1]->S", "R[3]->T")
+
+    def test_edges(self):
+        edges = self.fks.dependency_edges()
+        assert edges[("R", 1)] == {("S", 1), ("S", 2)}
+        assert edges[("R", 3)] == {("T", 1), ("T", 2)}
+
+    def test_closure(self):
+        assert self.fks.closure([("R", 3)]) == {("R", 3), ("T", 1), ("T", 2)}
+
+    def test_closure_includes_length_zero_paths(self):
+        assert ("R", 2) in self.fks.closure([("R", 2)])
+
+    def test_complement_covers_non_fk_relations(self):
+        q = parse_query("R(x | y)", "S(y |)", "P(y |)")
+        fks = fk_set(q, "R[2]->S")
+        complement = fks.complement([("R", 2)])
+        assert ("P", 1) in complement
+
+    def test_cycle_detection(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S", "S[2]->R")
+        assert fks.position_on_cycle(("R", 2))
+        assert fks.position_on_cycle(("S", 2))
+        acyclic = fk_set(q, "R[2]->S")
+        assert not acyclic.position_on_cycle(("R", 2))
+
+    def test_self_loop_cycle(self):
+        q = parse_query("N(x | x)")
+        fks = fk_set(q, "N[2]->N")
+        assert fks.position_on_cycle(("N", 2))
+
+
+class TestAboutness:
+    def test_satisfied_by_query(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        assert fk_set(q, "R[2]->S").is_about(q)
+
+    def test_term_mismatch(self):
+        q = parse_query("R(x | y)", "S(z | w)")
+        fks = ForeignKeySet([ForeignKey("R", 2, "S")], q.schema())
+        assert not fks.is_about(q)
+
+    def test_missing_relation(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        schema = q.schema().add("T", 1, 1)
+        fks = ForeignKeySet([ForeignKey("R", 2, "T")], schema)
+        assert not fks.is_about(q)
+
+    def test_proposition19_shape_rejected(self):
+        """q = {E(x,y)} with E[2]→E is not about q (Proposition 19)."""
+        q = parse_query("E(x | y)")
+        fks = ForeignKeySet([ForeignKey("E", 2, "E")], q.schema())
+        assert not fks.is_about(q)
+        with pytest.raises(ForeignKeyError):
+            fks.require_about(q)
+
+
+class TestImplicationClosure:
+    def test_reflexive_trivial_keys(self):
+        q = parse_query("R(x | y)")
+        closure = fk_set(q).implication_closure()
+        assert ForeignKey("R", 1, "R") in closure
+
+    def test_transitive_through_position_one(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        # R[2]->S and S[1]->... no: transitivity needs S[1]->T, build it.
+        q2 = parse_query("R(x | y)", "S(y | z)", "T(y |)")
+        fks = fk_set(q2, "R[2]->S", "S[1]->T")
+        closure = fks.implication_closure()
+        assert ForeignKey("R", 2, "T") in closure
+
+    def test_no_transitivity_through_nonkey(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        fks = fk_set(q, "R[2]->S", "S[2]->T")
+        closure = fks.implication_closure()
+        assert ForeignKey("R", 2, "T") not in closure
+
+    def test_closure_is_idempotent(self):
+        q = parse_query("R(x | y)", "S(y | y2)", "T(y |)")
+        fks = fk_set(q, "R[2]->S", "S[1]->T")
+        once = fks.implication_closure()
+        twice = once.implication_closure()
+        assert once.foreign_keys == twice.foreign_keys
+
+    def test_closure_semantically_sound(self, rng):
+        """Every implied key holds on random instances satisfying FK."""
+        q = parse_query("R(x | y)", "S(y | z)", "T(y |)")
+        fks = fk_set(q, "R[2]->S", "S[1]->T")
+        closure = fks.implication_closure()
+        schema = q.schema()
+        for _ in range(200):
+            facts = []
+            for rel in sorted(schema):
+                sig = schema[rel]
+                for _ in range(rng.randint(0, 3)):
+                    facts.append(
+                        Fact(
+                            rel,
+                            tuple(
+                                rng.choice([0, 1, 2])
+                                for _ in range(sig.arity)
+                            ),
+                            sig.key_size,
+                        )
+                    )
+            db = DatabaseInstance(facts)
+            if satisfies_foreign_keys(db, fks):
+                assert satisfies_foreign_keys(db, closure)
+
+
+class TestSetOperations:
+    def test_restrict_to_query(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        fks = fk_set(q, "R[2]->S", "S[2]->T")
+        restricted = fks.restrict_to_query(q.without("T"))
+        assert len(restricted) == 1
+
+    def test_outgoing_referencing(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        fks = fk_set(q, "R[2]->S", "S[2]->T")
+        assert len(fks.outgoing("S")) == 1
+        assert len(fks.referencing("S")) == 1
+        assert not fks.outgoing("T")

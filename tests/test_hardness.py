@@ -1,0 +1,190 @@
+"""Tests for the executable hardness reductions (Lemmas 14/15, Prop 17)."""
+
+import random
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.core.foreign_keys import fk_set
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import QueryError
+from repro.hardness import (
+    DiGraph,
+    ReachabilityInstance,
+    build_gadget_instance,
+    decide_reachability_via_cqa,
+    find_attack_cycle,
+    random_dag,
+    reduce_dual_horn,
+    reduce_reachability,
+    satisfiable_via_cqa,
+    theta,
+)
+from repro.repairs import certain_answer, certainty_primary_keys
+from repro.solvers import (
+    Clause,
+    DualHornFormula,
+    certain_by_dual_horn,
+    proposition17_query,
+    solve_dual_horn,
+)
+
+
+class TestDiGraph:
+    def test_reachability(self):
+        g = DiGraph.from_edges([(1, 2), (2, 3)])
+        assert g.reaches(1, 3)
+        assert not g.reaches(3, 1)
+        assert g.reaches(1, 1)
+
+    def test_random_dag_is_acyclic(self, rng):
+        for _ in range(20):
+            g = random_dag(6, 0.5, rng)
+            for v in g.vertices:
+                for succ in g.successors(v):
+                    assert not g.reaches(succ, v), "cycle found"
+
+    def test_with_edge_is_persistent(self):
+        g = DiGraph.from_edges([(1, 2)])
+        g2 = g.with_edge(2, 3)
+        assert g2.reaches(1, 3)
+        assert not g.reaches(1, 3)
+
+
+class TestFig3Reduction:
+    def test_paper_example(self):
+        """The exact Fig. 3 graph: s→1, s→2, 2→t."""
+        g = DiGraph.from_edges(
+            [("s", 1), ("s", 2), (2, "t")], vertices=["s", 1, 2, "t"]
+        )
+        instance = ReachabilityInstance(g, "s", "t")
+        assert instance.answer
+        db = reduce_reachability(instance)
+        # 6 N-facts (3 satisfying for s,1,2 + 3 edges) + O(s)
+        assert db.size == 7
+        assert decide_reachability_via_cqa(
+            instance, lambda d: certain_by_dual_horn(d, "c")
+        )
+
+    def test_no_path_gives_yes_instance(self):
+        g = DiGraph.from_edges([("s", 1)], vertices=["s", 1, "t"])
+        instance = ReachabilityInstance(g, "s", "t")
+        assert not instance.answer
+        db = reduce_reachability(instance)
+        assert certain_by_dual_horn(db, "c")
+
+    def test_random_dags_roundtrip_via_oracle(self, rng):
+        q, fks = proposition17_query("c")
+        for _ in range(60):
+            g = random_dag(rng.randint(2, 5), 0.4, rng)
+            vertices = g.vertices
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            instance = ReachabilityInstance(g, s, t)
+            db = reduce_reachability(instance)
+            no_instance = not certain_answer(q, fks, db).certain
+            assert instance.answer == no_instance, (g.edges, s, t)
+
+    def test_random_dags_roundtrip_via_solver(self, rng):
+        for _ in range(120):
+            g = random_dag(rng.randint(2, 8), 0.3, rng)
+            vertices = g.vertices
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            instance = ReachabilityInstance(g, s, t)
+            assert decide_reachability_via_cqa(
+                instance, lambda d: certain_by_dual_horn(d, "c")
+            ) == instance.answer
+
+
+class TestDualHornReduction:
+    def test_roundtrip_small(self):
+        formula = DualHornFormula(
+            [Clause(("p",)), Clause((), negative="p")]
+        )
+        assert not solve_dual_horn(formula).satisfiable
+        assert not satisfiable_via_cqa(
+            formula, lambda d: certain_by_dual_horn(d, "c")
+        )
+
+    def test_roundtrip_random(self, rng):
+        for _ in range(150):
+            n_vars = rng.randint(1, 5)
+            clauses = []
+            for _ in range(rng.randint(1, 6)):
+                positives = tuple(
+                    ("p", i)
+                    for i in rng.sample(range(n_vars),
+                                        rng.randint(0, min(3, n_vars)))
+                )
+                negative = (
+                    ("p", rng.randrange(n_vars))
+                    if rng.random() < 0.5 else None
+                )
+                clauses.append(Clause(positives, negative))
+            formula = DualHornFormula(clauses)
+            expected = solve_dual_horn(formula).satisfiable
+            assert satisfiable_via_cqa(
+                formula, lambda d: certain_by_dual_horn(d, "c")
+            ) == expected
+
+    def test_roundtrip_via_oracle(self, rng):
+        q, fks = proposition17_query("c")
+        for _ in range(40):
+            clauses = []
+            for _ in range(rng.randint(1, 3)):
+                positives = tuple(
+                    ("p", i) for i in rng.sample(range(3), rng.randint(0, 2))
+                )
+                negative = ("p", rng.randrange(3)) if rng.random() < 0.5 else None
+                clauses.append(Clause(positives, negative))
+            formula = DualHornFormula(clauses)
+            db = reduce_dual_horn(formula)
+            expected = solve_dual_horn(formula).satisfiable
+            assert (
+                not certain_answer(q, fks, db).certain
+            ) == expected, formula
+
+
+class TestLemma14Gadget:
+    def setup_method(self):
+        self.q = parse_query("R(x | y)", "S(y | x)")
+        self.gadget = find_attack_cycle(self.q)
+
+    def test_acyclic_query_rejected(self):
+        with pytest.raises(QueryError):
+            find_attack_cycle(parse_query("R(x | y)", "S(y | z)"))
+
+    def test_theta_partitions(self):
+        valuation = theta(self.gadget, "a", "b")
+        values = set(valuation.values())
+        # x ∈ F⁺ only, y ∈ G⁺ only for this query
+        assert values <= {"a", "b", ("⊥",), ("a", "b")}
+
+    def test_gadget_instance_consistent_outside_fg(self):
+        db = build_gadget_instance(
+            self.gadget, [(1, 2), (1, 3)], [(2, 1)]
+        )
+        assert db.size > 0
+
+    def test_equivalence_with_and_without_fks(self, rng):
+        """Lemma 14: db_{R,S} is a no-instance of CERTAINTY(q, PK) iff it
+        is one of CERTAINTY(q, PK ∪ FK)."""
+        fks = fk_set(self.q, "R[2]->S", "S[2]->R")
+        for _ in range(60):
+            pairs = [(rng.randint(0, 2), rng.randint(0, 2))
+                     for _ in range(rng.randint(1, 3))]
+            spairs = [(rng.randint(0, 2), rng.randint(0, 2))
+                      for _ in range(rng.randint(1, 3))]
+            db = build_gadget_instance(self.gadget, pairs, spairs)
+            pk_only = certainty_primary_keys(self.q, db)
+            with_fks = certain_answer(self.q, fks, db).certain
+            assert pk_only == with_fks, (pairs, spairs, db.pretty())
+
+    def test_equivalence_with_subset_of_fks(self, rng):
+        fks = fk_set(self.q, "R[2]->S")
+        for _ in range(40):
+            pairs = [(rng.randint(0, 1), rng.randint(0, 1))]
+            spairs = [(rng.randint(0, 1), rng.randint(0, 1))]
+            db = build_gadget_instance(self.gadget, pairs, spairs)
+            assert certainty_primary_keys(self.q, db) == certain_answer(
+                self.q, fks, db
+            ).certain

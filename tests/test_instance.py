@@ -1,0 +1,138 @@
+"""Unit tests for repro.db.facts and repro.db.instance."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import SchemaError
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestFact:
+    def test_key_split(self):
+        fact = F("R", 1, 2, 3, key=2)
+        assert fact.key == (1, 2)
+        assert fact.nonkey == (3,)
+
+    def test_key_equal(self):
+        assert F("R", 1, 2).key_equal(F("R", 1, 3))
+        assert not F("R", 1, 2).key_equal(F("S", 1, 2))
+        assert not F("R", 1, 2, key=2).key_equal(F("R", 1, 3, key=2))
+
+    def test_value_at_is_one_based(self):
+        assert F("R", "a", "b").value_at(2) == "b"
+
+    def test_invalid_key_size(self):
+        with pytest.raises(SchemaError):
+            Fact("R", (1,), 2)
+
+
+class TestInstanceBasics:
+    def test_signature_consistency_enforced(self):
+        with pytest.raises(SchemaError):
+            DatabaseInstance([F("R", 1, 2), F("R", 1, 2, 3)])
+
+    def test_build_from_schema(self):
+        schema = Schema.of(R=(2, 1))
+        db = DatabaseInstance.build(schema, {"R": [(1, 2), (1, 3)]})
+        assert db.size == 2
+
+    def test_build_arity_mismatch(self):
+        schema = Schema.of(R=(2, 1))
+        with pytest.raises(SchemaError):
+            DatabaseInstance.build(schema, {"R": [(1, 2, 3)]})
+
+    def test_active_domain(self):
+        db = DatabaseInstance([F("R", 1, "a")])
+        assert db.active_domain() == {1, "a"}
+
+    def test_key_constants(self):
+        db = DatabaseInstance([F("R", 1, "a"), F("S", "b", 1)])
+        assert db.key_constants() == {1, "b"}
+
+    def test_schema_roundtrip(self):
+        db = DatabaseInstance([F("R", 1, 2, key=2)])
+        assert db.schema()["R"].key_size == 2
+
+
+class TestBlocks:
+    def test_blocks_group_key_equal_facts(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3), F("R", 2, 2)])
+        blocks = db.blocks("R")
+        assert sorted(len(b) for b in blocks) == [1, 2]
+
+    def test_block_lookup(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3)])
+        assert len(db.block(F("R", 1, 9))) == 2
+        assert db.block_of("R", (7,)) == frozenset()
+
+    def test_key_violations(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3), F("S", 1, 1)])
+        assert db.violates_primary_keys()
+        assert len(db.key_violations()) == 1
+
+    def test_mixed_type_keys_sortable(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", "a", 2)])
+        assert len(db.blocks()) == 2
+
+
+class TestIndexes:
+    def test_facts_with_value(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 3, 2), F("R", 3, 4)])
+        assert len(db.facts_with_value("R", 2, 2)) == 2
+        assert db.facts_with_value("R", 1, 99) == frozenset()
+
+    def test_key_prefix_lookup(self):
+        db = DatabaseInstance([F("S", "k", 0)])
+        assert db.has_fact_with_key_prefix("S", "k")
+        assert not db.has_fact_with_key_prefix("S", "z")
+
+    def test_index_of_unknown_relation(self):
+        db = DatabaseInstance()
+        assert db.facts_with_value("R", 1, 1) == frozenset()
+
+
+class TestSetAlgebra:
+    def test_union_difference(self):
+        db = DatabaseInstance([F("R", 1, 2)])
+        other = DatabaseInstance([F("R", 3, 4)])
+        assert db.union(other).size == 2
+        assert db.union(other).difference(db) == other
+
+    def test_symmetric_difference(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 3, 4)])
+        r = DatabaseInstance([F("R", 1, 2), F("R", 5, 6)])
+        assert db.symmetric_difference(r) == {F("R", 3, 4), F("R", 5, 6)}
+
+    def test_restrict_relations(self):
+        db = DatabaseInstance([F("R", 1, 2), F("S", 1, 1)])
+        assert db.restrict_relations(["S"]).relations == {"S"}
+
+
+class TestCloseness:
+    """Example 4's incomparability: r2 ⋠ r3 and r3 ⋠ r2."""
+
+    def setup_method(self):
+        self.db = DatabaseInstance([F("R", "a", "b"), F("S", "b", "c")])
+        self.r2 = DatabaseInstance(
+            [F("R", "a", "b"), F("S", "b", 1), F("T", 1)]
+        )
+        self.r3 = DatabaseInstance(
+            [F("R", "a", "b"), F("S", "b", "c"), F("T", "c")]
+        )
+
+    def test_incomparable(self):
+        assert not self.db.closer_or_equal(self.r2, self.r3)
+        assert not self.db.closer_or_equal(self.r3, self.r2)
+
+    def test_reflexive(self):
+        assert self.db.closer_or_equal(self.r2, self.r2)
+        assert not self.db.strictly_closer(self.r2, self.r2)
+
+    def test_strictly_closer_on_subset(self):
+        smaller = DatabaseInstance([F("R", "a", "b"), F("S", "b", "c")])
+        assert self.db.strictly_closer(smaller, self.r3)

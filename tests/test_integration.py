@@ -1,0 +1,131 @@
+"""End-to-end integration tests: the public API, the examples, and full
+paper walkthroughs spanning all modules."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import (
+    certain,
+    classify,
+    consistent_rewriting,
+    fk_set,
+    parse_query,
+)
+from repro.db import DatabaseInstance, Fact
+from repro.workloads import fig1_instance, intro_query_q0
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_one_shot_certain_fo_path(self):
+        q, fks = intro_query_q0()
+        assert certain(q, fks, fig1_instance()) is False
+
+    def test_one_shot_certain_oracle_path(self):
+        """`certain` must fall back to the oracle on NL-hard problems."""
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        db = DatabaseInstance(
+            [Fact("N", ("b", "c", 1), 1), Fact("O", (1,), 1)]
+        )
+        assert certain(q, fks, db) is True
+
+    def test_all_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "name", ["quickstart", "referential_integrity_audit",
+                 "complexity_atlas", "reachability_oracle"]
+    )
+    def test_example_runs(self, name):
+        output = _run_example(name)
+        assert output.strip()
+
+    def test_quickstart_reports_expected_answers(self):
+        output = _run_example("quickstart")
+        assert "consistent answer on Fig. 1: False" in output
+        assert "⊕-repair oracle agrees:     False" in output
+
+    def test_atlas_covers_all_verdicts(self):
+        output = _run_example("complexity_atlas")
+        assert "FO" in output and "NL_HARD" in output and "L_HARD" in output
+
+
+class TestPaperWalkthrough:
+    """The introduction's data-cleaning narrative, end to end."""
+
+    def test_cleaning_changes_the_consistent_answer(self):
+        q, fks = intro_query_q0()
+        db = fig1_instance()
+        assert certain(q, fks, db) is False
+        # cleaning decision: keep 'Jeff', resolve the dangling authorship
+        cleaned = db.difference(
+            [
+                Fact("AUTHORS", ("o1", "Jeffrey", "Ullman"), 1),
+                Fact("R", ("d1", "o3"), 2),
+            ]
+        )
+        assert certain(q, fks, cleaned) is True
+
+    def test_rewriting_evaluates_like_certain_everywhere(self):
+        from repro.workloads import (
+            BibliographyParams,
+            synthetic_bibliography,
+        )
+
+        q, fks = intro_query_q0()
+        rewriting = consistent_rewriting(q, fks)
+        from repro.fo import evaluate
+
+        for seed in range(5):
+            db = synthetic_bibliography(
+                BibliographyParams(n_docs=4, n_authors=4, n_authorships=6),
+                seed=seed,
+            )
+            assert evaluate(rewriting.formula, db) == certain(q, fks, db)
+
+    def test_classification_guides_solver_choice(self):
+        from repro.exceptions import NotInFOError
+        from repro.solvers import RewritingSolver, certain_by_dual_horn
+
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        verdict = classify(q, fks)
+        assert not verdict.in_fo
+        with pytest.raises(NotInFOError):
+            RewritingSolver(q, fks)
+        # and the dedicated P algorithm takes over; with no N-facts at all,
+        # no repair can satisfy q, so the certain answer is False:
+        db = DatabaseInstance([Fact("O", (1,), 1)])
+        assert certain_by_dual_horn(db, "c") is False
+        # a trapped chain (final marker c) is certain:
+        from repro.workloads import ChainParams, chain_instance
+
+        assert certain_by_dual_horn(
+            chain_instance(ChainParams(3, "c")), "c"
+        ) is True

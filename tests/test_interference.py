@@ -1,0 +1,101 @@
+"""Unit tests for block-interference (Definition 9)."""
+
+from repro.core.foreign_keys import ForeignKey, fk_set
+from repro.core.interference import (
+    find_block_interference,
+    has_block_interference,
+    is_block_interfering,
+)
+from repro.core.query import parse_query
+
+
+class TestExample10:
+    def test_constant_interference_via_3a(self):
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        witness = find_block_interference(q, fks)
+        assert witness is not None
+        assert witness.via == "3a"
+        assert witness.foreign_key == ForeignKey("N", 3, "O")
+
+    def test_fresh_variable_removes_interference(self):
+        """Replacing c by a once-occurring variable kills it (Section 4)."""
+        q = parse_query("N(x | z, y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        assert not has_block_interference(q, fks)
+
+    def test_constant_in_target_removes_interference(self):
+        """Replacing O(y) by O(y, c) makes O disobedient (Section 4)."""
+        q = parse_query("N(x | 'c', y)", "O(y | 'c')")
+        fks = fk_set(q, "N[3]->O")
+        assert not has_block_interference(q, fks)
+
+    def test_repeated_variable_in_target_removes_interference(self):
+        q = parse_query("N(x | 'c', y)", "O(y | z, z)")
+        fks = fk_set(q, "N[3]->O")
+        assert not has_block_interference(q, fks)
+
+    def test_fresh_variable_in_target_keeps_interference(self):
+        """O(y, w) with orphan w stays obedient (Section 4)."""
+        q = parse_query("N(x | 'c', y)", "O(y | w)")
+        fks = fk_set(q, "N[3]->O")
+        assert has_block_interference(q, fks)
+
+
+class TestExample11:
+    def test_connection_via_t_atom(self):
+        q = parse_query("Np(x | y)", "O(y |)", "T(x | y)")
+        fks = fk_set(q, "Np[2]->O")
+        witness = find_block_interference(q, fks)
+        assert witness is not None
+        assert witness.via == "3b"
+
+    def test_forced_variable_blocks_interference(self):
+        """Adding R(a, x) forces x, emptying V of it (Example 11)."""
+        q = parse_query("Np(x | y)", "O(y |)", "T(x | y)", "R('a' | x)")
+        fks = fk_set(q, "Np[2]->O")
+        assert not has_block_interference(q, fks)
+
+
+class TestDefinitionDetails:
+    def test_weak_keys_never_interfere(self):
+        q = parse_query("R(x | y)", "S(x | z)")
+        fks = fk_set(q, "R[1]->S")
+        assert not has_block_interference(q, fks)
+
+    def test_disobedient_target_blocks_condition_1(self):
+        # O's non-key shares a variable with P, making O disobedient.
+        q = parse_query("N(x | 'c', y)", "O(y | w)", "P(w |)")
+        fks = fk_set(q, "N[3]->O")
+        (fk,) = fks.foreign_keys
+        assert is_block_interfering(q, fks, fk) is None
+
+    def test_constant_referencing_term_blocks_condition_2(self):
+        q = parse_query("N(x | u, 'a')", "O('a' | w)")
+        fks = fk_set(q, "N[3]->O")
+        assert not has_block_interference(q, fks)
+
+    def test_implied_keys_are_considered(self):
+        """Interference can come from FK* (transitively implied keys)."""
+        # N[2]->S, S[1]->O implies N[2]->O; the direct keys are harmless
+        # but the implied strong key into obedient O interferes via 3b.
+        q = parse_query("N(x | y)", "S(y | 'c')", "O(y |)", "T(x | y)")
+        fks = fk_set(q, "N[2]->S", "S[1]->O")
+        witness = find_block_interference(q, fks)
+        assert witness is not None
+        assert witness.foreign_key == ForeignKey("N", 2, "O")
+
+    def test_self_referencing_source(self):
+        """Example 27's pair: N[2]→N cyclic, N[2]→O interferes."""
+        q = parse_query("N(x | x)", "O(x | y)")
+        fks = fk_set(q, "N[2]->N", "N[2]->O")
+        witness = find_block_interference(q, fks)
+        assert witness is not None
+        assert witness.foreign_key == ForeignKey("N", 2, "O")
+
+    def test_proposition16_query_interferes_via_3b(self):
+        q = parse_query("N(x | x)", "O(x |)")
+        fks = fk_set(q, "N[2]->O")
+        witness = find_block_interference(q, fks)
+        assert witness is not None
+        assert witness.via == "3b"

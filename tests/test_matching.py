@@ -1,0 +1,120 @@
+"""Unit tests for conjunctive-query evaluation and relevance."""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.core.terms import Parameter, Variable
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.matching import (
+    apply_valuation,
+    is_fact_relevant,
+    relevant_blocks,
+    relevant_facts,
+    satisfies,
+    valuations,
+)
+from repro.exceptions import EvaluationError
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestValuations:
+    def test_single_atom(self):
+        q = parse_query("R(x | y)")
+        db = DatabaseInstance([F("R", 1, 2), F("R", 3, 4)])
+        results = list(valuations(q, db))
+        assert len(results) == 2
+
+    def test_join(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        db = DatabaseInstance([F("R", 1, 2), F("S", 2, 3), F("S", 9, 9)])
+        results = list(valuations(q, db))
+        assert results == [{Variable("x"): 1, Variable("y"): 2, Variable("z"): 3}]
+
+    def test_constant_filter(self):
+        q = parse_query("R(x | 'c')")
+        db = DatabaseInstance([F("R", 1, "c"), F("R", 2, "d")])
+        assert [v[Variable("x")] for v in valuations(q, db)] == [1]
+
+    def test_repeated_variable(self):
+        q = parse_query("R(x | x)")
+        db = DatabaseInstance([F("R", 1, 1), F("R", 1, 2)])
+        assert len(list(valuations(q, db))) == 1
+
+    def test_parameter_environment(self):
+        q = parse_query("R($p | y)")
+        db = DatabaseInstance([F("R", 1, 2), F("R", 3, 4)])
+        results = list(valuations(q, db, env={Parameter("p"): 3}))
+        assert results == [{Variable("y"): 4}]
+
+    def test_unbound_parameter_raises(self):
+        q = parse_query("R($p | y)")
+        db = DatabaseInstance([F("R", 1, 2)])
+        with pytest.raises(EvaluationError):
+            list(valuations(q, db))
+
+    def test_partial_binding(self):
+        q = parse_query("R(x | y)")
+        db = DatabaseInstance([F("R", 1, 2), F("R", 3, 4)])
+        results = list(valuations(q, db, partial={Variable("x"): 3}))
+        assert results == [{Variable("x"): 3, Variable("y"): 4}]
+
+    def test_empty_query_has_empty_valuation(self):
+        q = parse_query()
+        assert list(valuations(q, DatabaseInstance())) == [{}]
+
+
+class TestSatisfies:
+    def test_satisfied(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        db = DatabaseInstance([F("R", 1, 2), F("S", 2)])
+        assert satisfies(q, db)
+
+    def test_not_satisfied(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        db = DatabaseInstance([F("R", 1, 2), F("S", 3)])
+        assert not satisfies(q, db)
+
+
+class TestApplyValuation:
+    def test_produces_facts(self):
+        q = parse_query("R(x | y)")
+        facts = apply_valuation(q, {Variable("x"): 1, Variable("y"): 2})
+        assert facts == {F("R", 1, 2)}
+
+    def test_missing_binding_raises(self):
+        q = parse_query("R(x | y)")
+        with pytest.raises(EvaluationError):
+            apply_valuation(q, {Variable("x"): 1})
+
+
+class TestRelevance:
+    def test_relevant_facts(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3), F("S", 2)])
+        relevant = relevant_facts(q, db, "R")
+        assert relevant == {F("R", 1, 2)}
+
+    def test_relevant_blocks(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        db = DatabaseInstance(
+            [F("R", 1, 2), F("R", 7, 9), F("S", 2)]
+        )
+        assert relevant_blocks(q, db, "R") == {("R", (1,))}
+
+    def test_is_fact_relevant_matches_enumeration(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        db = DatabaseInstance(
+            [F("R", 1, 2), F("R", 1, 3), F("R", 4, 2), F("S", 2)]
+        )
+        enumerated = relevant_facts(q, db, "R")
+        for fact in db.relation_facts("R"):
+            assert is_fact_relevant(fact, q, db) == (fact in enumerated)
+
+    def test_irrelevant_relation(self):
+        q = parse_query("R(x | y)")
+        db = DatabaseInstance([F("T", 1)])
+        assert not is_fact_relevant(F("T", 1), q, db)

@@ -1,0 +1,159 @@
+"""Unit tests for obedience: Theorem 7, Corollary 8, and the semantic check."""
+
+import pytest
+
+from repro.core.foreign_keys import fk_set
+from repro.core.obedience import (
+    atom_obedient,
+    nonkey_positions,
+    obedience_test_query,
+    semantic_obedient,
+    subquery_for_positions,
+    subquery_for_relation,
+    syntactic_obedient,
+    syntactic_verdict,
+)
+from repro.core.query import parse_query
+from repro.exceptions import ForeignKeyError
+
+
+class TestExample6:
+    """q = {N(x,c,y), O(y)} with FK = {N[3]→O}."""
+
+    def setup_method(self):
+        self.q = parse_query("N(x | 'c', y)", "O(y |)")
+        self.fks = fk_set(self.q, "N[3]->O")
+
+    def test_p0_not_obedient(self):
+        verdict = syntactic_verdict(self.q, self.fks, [("N", 2)])
+        assert not verdict.obedient
+        assert verdict.violated == "II"  # the constant c sits at (N,2)
+
+    def test_p1_obedient(self):
+        assert syntactic_obedient(self.q, self.fks, [("N", 3)])
+
+    def test_o_atom_trivially_obedient(self):
+        assert atom_obedient(self.q, self.fks, "O")
+
+    def test_n_atom_disobedient(self):
+        assert not atom_obedient(self.q, self.fks, "N")
+
+    def test_subqueries(self):
+        assert subquery_for_positions(
+            self.q, self.fks, [("N", 2)]
+        ).relations == {"N"}
+        assert subquery_for_positions(
+            self.q, self.fks, [("N", 3)]
+        ).relations == {"N", "O"}
+        assert subquery_for_relation(self.q, self.fks, "N").relations == {
+            "N", "O",
+        }
+
+    def test_semantic_matches_syntactic(self):
+        assert not semantic_obedient(self.q, self.fks, [("N", 2)])
+        assert semantic_obedient(self.q, self.fks, [("N", 3)])
+
+
+class TestTheorem7Conditions:
+    def test_condition_i_cycle(self):
+        q = parse_query("N(x | x)", "O(x | y)")
+        fks = fk_set(q, "N[2]->N", "N[2]->O")
+        verdict = syntactic_verdict(q, fks, [("N", 2)])
+        assert verdict.violated == "I"
+
+    def test_condition_ii_constant_downstream(self):
+        q = parse_query("N(x | y)", "O(y | 'c')")
+        fks = fk_set(q, "N[2]->O")
+        verdict = syntactic_verdict(q, fks, [("N", 2)])
+        assert verdict.violated == "II"
+
+    def test_condition_iii_shared_variable(self):
+        q = parse_query("N(x | y)", "O(y |)", "P(y |)")
+        fks = fk_set(q, "N[2]->O")
+        verdict = syntactic_verdict(q, fks, [("N", 2)])
+        assert verdict.violated == "III"
+
+    def test_condition_iv_repeated_nonkey(self):
+        q = parse_query("N(x | y)", "O(y | z, z)")
+        fks = fk_set(q, "N[2]->O")
+        verdict = syntactic_verdict(q, fks, [("N", 2)])
+        assert verdict.violated == "IV"
+
+    def test_obedient_when_all_hold(self):
+        q = parse_query("N(x | y)", "O(y | w)")
+        fks = fk_set(q, "N[2]->O")
+        assert syntactic_obedient(q, fks, [("N", 2)])
+
+    def test_empty_set_obedient(self):
+        q = parse_query("N(x | y)")
+        fks = fk_set(q)
+        assert syntactic_obedient(q, fks, [])
+
+    def test_primary_key_position_rejected(self):
+        q = parse_query("N(x | y)")
+        fks = fk_set(q)
+        with pytest.raises(ForeignKeyError):
+            syntactic_obedient(q, fks, [("N", 1)])
+
+
+class TestCorollary8:
+    """P obedient ⟺ every singleton of P obedient."""
+
+    def test_on_configurations(self):
+        configurations = [
+            (["N(x | y, z)", "O(y | w)", "T(z |)"], ["N[2]->O", "N[3]->T"]),
+            (["N(x | y, z)", "O(y |)", "P(y |)"], ["N[2]->O"]),
+            (["N(x | y, y)", "O(y |)"], ["N[2]->O", "N[3]->O"]),
+            (["N(x | 'c', z)", "T(z |)"], ["N[3]->T"]),
+        ]
+        for atoms, fk_texts in configurations:
+            q = parse_query(*atoms)
+            fks = fk_set(q, *fk_texts)
+            positions = sorted(nonkey_positions(q.atom("N")))
+            whole = syntactic_obedient(q, fks, positions)
+            singletons = all(
+                syntactic_obedient(q, fks, [p]) for p in positions
+            )
+            assert whole == singletons, (atoms, fk_texts)
+
+
+class TestSemanticAgainstSyntactic:
+    """Theorem 7's equivalence, cross-checked via the chase."""
+
+    CONFIGURATIONS = [
+        (["N(x | y)", "O(y | w)"], ["N[2]->O"], [("N", 2)]),
+        (["N(x | y)", "O(y | 'c')"], ["N[2]->O"], [("N", 2)]),
+        (["N(x | y)", "O(y |)", "P(y |)"], ["N[2]->O"], [("N", 2)]),
+        (["N(x | y)", "O(y | z, z)"], ["N[2]->O"], [("N", 2)]),
+        (["N(x | y, z)", "O(y | w)", "T(z | u)"],
+         ["N[2]->O", "N[3]->T"], [("N", 2), ("N", 3)]),
+        (["N(x | y, y)", "O(y | w)"], ["N[2]->O"], [("N", 2), ("N", 3)]),
+        (["N(x | u, y)", "O(y | w)"], ["N[3]->O"], [("N", 2)]),
+        (["N(x | u, y)", "O(y | w)"], ["N[3]->O"], [("N", 3)]),
+    ]
+
+    def test_equivalence(self):
+        for atoms, fk_texts, positions in self.CONFIGURATIONS:
+            q = parse_query(*atoms)
+            fks = fk_set(q, *fk_texts)
+            syntactic = syntactic_obedient(q, fks, positions)
+            semantic = semantic_obedient(q, fks, positions)
+            assert syntactic == semantic, (atoms, fk_texts, positions)
+
+
+class TestObedienceTestQuery:
+    def test_shape(self):
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        test_q = obedience_test_query(q, fks, [("N", 3)])
+        # q^FK_P = {N, O} is removed; F_P = N(x,'c',fresh) added.
+        assert test_q.relations == {"N"}
+        atom = test_q.atom("N")
+        assert atom.term_at(2).value == "c"
+        assert atom.term_at(3) not in q.variables
+
+    def test_multi_relation_positions_rejected(self):
+        q = parse_query("N(x | y)", "O(y | w)")
+        fks = fk_set(q, "N[2]->O")
+        with pytest.raises(ForeignKeyError):
+            obedience_test_query(q, fks, [("N", 2), ("O", 2)])

@@ -1,0 +1,100 @@
+"""Tests for the pre-repair machinery (Definitions 29–30, Theorem 32)."""
+
+import pytest
+
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.db import DatabaseInstance, Fact
+from repro.repairs import canonical_repairs
+from repro.repairs.prerepair import (
+    is_irrelevantly_dangling,
+    is_pre_repair,
+    orphan_positions,
+)
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestOrphanPositions:
+    def test_orphan_fresh_values(self):
+        q = parse_query("N(x | x)", "O(x | y)")
+        db = DatabaseInstance([F("N", "b", "c"), F("O", "b", "e")])
+        positions = orphan_positions(F("N", "b", "c"), db, q)
+        assert positions == {("N", 2)}  # c occurs once, at a non-key slot
+
+    def test_query_constants_excluded(self):
+        q = parse_query("N(x | 'c')")
+        db = DatabaseInstance([F("N", 1, "c")])
+        assert orphan_positions(F("N", 1, "c"), db, q) == frozenset()
+
+    def test_repeated_values_excluded(self):
+        q = parse_query("N(x | y)")
+        db = DatabaseInstance([F("N", 1, 5), F("N", 2, 5)])
+        assert orphan_positions(F("N", 1, 5), db, q) == frozenset()
+
+
+class TestIrrelevantlyDangling:
+    """Example 27's setting: q = {N(x,x), O(x,y)}, FK = {N[2]→N, N[2]→O}."""
+
+    def setup_method(self):
+        self.q = parse_query("N(x | x)", "O(x | y)")
+        self.fks = fk_set(self.q, "N[2]->N", "N[2]->O")
+
+    def test_consistent_instance_vacuously_qualifies(self):
+        r = DatabaseInstance([F("N", "a", "a"), F("O", "a", "b")])
+        db = r
+        assert is_irrelevantly_dangling(r, db, self.fks, self.q)
+
+    def test_orphan_dangling_at_disobedient_position_qualifies(self):
+        # N(b,c): dangling at (N,2); c is orphan; {(N,2)} lies on a
+        # dependency-graph cycle -> disobedient -> irrelevantly dangling.
+        db = DatabaseInstance([F("N", "b", "c"), F("O", "b", "e")])
+        r = db
+        assert is_irrelevantly_dangling(r, db, self.fks, self.q)
+
+    def test_non_orphan_dangling_disqualifies(self):
+        # the dangling value also appears elsewhere -> not orphan.
+        db = DatabaseInstance(
+            [F("N", "b", "c"), F("O", "b", "c")]
+        )
+        assert not is_irrelevantly_dangling(db, db, self.fks, self.q)
+
+    def test_obedient_position_disqualifies(self):
+        # q' with an acyclic FK: {(N,2)} is obedient, so a dangling fact
+        # there is NOT irrelevantly dangling.
+        q = parse_query("N(x | y)", "O(y | w)")
+        fks = fk_set(q, "N[2]->O")
+        db = DatabaseInstance([F("N", 1, 9)])
+        assert not is_irrelevantly_dangling(db, db, fks, q)
+
+
+class TestPreRepair:
+    def test_repairs_are_pre_repairs(self):
+        """Every ⊕-repair satisfies PK and has no dangling facts, hence is a
+        candidate pre-repair; minimality must hold too on this example."""
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        fks = fk_set(q, "R[2]->S", "S[2]->T")
+        db = DatabaseInstance([F("R", "a", "b"), F("S", "b", "c")])
+        for repair in canonical_repairs(db, fks):
+            if repair.size == 0:
+                # {} is ⊕-minimal but not ≺∩-minimal: keeping facts with
+                # irrelevant completions dominates it in the pre-repair
+                # order. Theorem 32 compares certainty, not the repair sets.
+                continue
+            assert is_pre_repair(repair, db, fks, q)
+
+    def test_pre_repair_rejects_dominated_instance(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        fks = fk_set(q, "R[2]->S")
+        db = DatabaseInstance([F("R", 1, 2), F("S", 2)])
+        # dropping everything is dominated by keeping both facts
+        assert not is_pre_repair(DatabaseInstance(), db, fks, q)
+        assert is_pre_repair(db, db, fks, q)
+
+    def test_pk_violation_rejected(self):
+        q = parse_query("R(x | y)")
+        fks = fk_set(q)
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3)])
+        assert not is_pre_repair(db, db, fks, q)

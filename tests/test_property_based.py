@@ -1,0 +1,181 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.fo import evaluate, simplify
+from repro.repairs import (
+    canonical_repairs,
+    count_subset_repairs,
+    is_subset_repair,
+    subset_repairs,
+    verify_repair,
+)
+
+values = st.sampled_from([0, 1, 2, "a", "c"])
+
+
+def facts_strategy(relation: str, arity: int, key: int, max_facts: int = 4):
+    fact = st.builds(
+        lambda vs: Fact(relation, tuple(vs), key),
+        st.lists(values, min_size=arity, max_size=arity),
+    )
+    return st.lists(fact, max_size=max_facts)
+
+
+@st.composite
+def rs_instance(draw):
+    r = draw(facts_strategy("R", 2, 1))
+    s = draw(facts_strategy("S", 2, 1, max_facts=3))
+    return DatabaseInstance(r + s)
+
+
+class TestInstanceProperties:
+    @given(rs_instance())
+    def test_symmetric_difference_identity(self, db):
+        assert db.symmetric_difference(db) == frozenset()
+
+    @given(rs_instance(), rs_instance())
+    def test_symmetric_difference_commutes(self, a, b):
+        assert a.symmetric_difference(b) == b.symmetric_difference(a)
+
+    @given(rs_instance(), rs_instance(), rs_instance())
+    def test_closeness_is_transitive(self, db, r, s):
+        if db.closer_or_equal(r, s) and db.closer_or_equal(s, db):
+            assert db.closer_or_equal(r, db)
+
+    @given(rs_instance())
+    def test_blocks_partition_facts(self, db):
+        blocks = db.blocks()
+        union = set()
+        for block in blocks:
+            assert not (union & block)
+            union |= block
+        assert union == set(db.facts)
+
+    @given(rs_instance())
+    def test_active_domain_covers_all_values(self, db):
+        adom = db.active_domain()
+        for fact in db.facts:
+            assert set(fact.values) <= adom
+
+
+class TestSubsetRepairProperties:
+    @given(rs_instance())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_enumerated_repair_verifies(self, db):
+        repairs = list(subset_repairs(db))
+        assert len(repairs) == count_subset_repairs(db)
+        for repair in repairs:
+            assert is_subset_repair(repair, db)
+
+    @given(rs_instance())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_repairs_are_distinct(self, db):
+        repairs = list(subset_repairs(db))
+        assert len({r.facts for r in repairs}) == len(repairs)
+
+
+class TestCanonicalRepairProperties:
+    @given(rs_instance())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_canonical_repairs_verify(self, db):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        for repair in canonical_repairs(db, fks):
+            assert verify_repair(db, repair, fks)
+
+    @given(rs_instance())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_kept_parts_respect_primary_keys(self, db):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        for repair in canonical_repairs(db, fks):
+            assert not repair.violates_primary_keys()
+
+
+class TestRewritingProperties:
+    @given(rs_instance())
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_pk_rewriting_matches_brute_force(self, db):
+        from repro.core.rewriting_pk import rewrite_primary_keys
+        from repro.repairs import certainty_primary_keys
+
+        q = parse_query("R(x | y)", "S(y | z)")
+        formula = rewrite_primary_keys(q)
+        assert evaluate(formula, db) == certainty_primary_keys(q, db)
+
+    @given(rs_instance())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_full_rewriting_matches_oracle(self, db):
+        from repro.core.rewriting import consistent_rewriting
+        from repro.repairs import certain_answer
+
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        result = consistent_rewriting(q, fks)
+        assert evaluate(result.formula, db) == certain_answer(
+            q, fks, db
+        ).certain
+
+    @given(rs_instance())
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_simplify_preserves_rewriting_semantics(self, db):
+        from repro.core.rewriting_pk import rewrite_primary_keys
+
+        q = parse_query("R(x | y)", "S(y | z)")
+        raw = rewrite_primary_keys(q)
+        assert evaluate(raw, db) == evaluate(simplify(raw), db)
+
+
+class TestDualHornProperties:
+    clause = st.builds(
+        lambda pos, neg: __import__(
+            "repro.solvers.sat", fromlist=["Clause"]
+        ).Clause(tuple(pos), neg),
+        st.lists(st.integers(0, 4), max_size=3),
+        st.one_of(st.none(), st.integers(0, 4)),
+    )
+
+    @given(st.lists(clause, max_size=6))
+    @settings(max_examples=120)
+    def test_solver_matches_brute_force(self, clauses):
+        from repro.solvers import (
+            DualHornFormula,
+            brute_force_satisfiable,
+            solve_dual_horn,
+        )
+
+        formula = DualHornFormula(clauses)
+        assert (
+            solve_dual_horn(formula).satisfiable
+            == brute_force_satisfiable(formula)
+        )
+
+    @given(st.lists(clause, max_size=6))
+    @settings(max_examples=120)
+    def test_maximal_model_dominates_all_models(self, clauses):
+        """Any satisfying assignment is pointwise below the solver's."""
+        import itertools
+
+        from repro.solvers import DualHornFormula, solve_dual_horn
+
+        formula = DualHornFormula(clauses)
+        result = solve_dual_horn(formula)
+        if not result.satisfiable:
+            return
+        variables = sorted(formula.variables, key=repr)
+        for bits in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            if formula.evaluate(assignment):
+                for variable, value in assignment.items():
+                    assert (not value) or result.assignment[variable]

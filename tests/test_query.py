@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.atoms and repro.core.query (model + parser)."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.query import (
+    ConjunctiveQuery,
+    parse_atom,
+    parse_query,
+    parse_term,
+)
+from repro.core.terms import Constant, Parameter, Variable
+from repro.exceptions import QueryError
+
+
+class TestParseTerm:
+    def test_variable(self):
+        assert parse_term("xyz") == Variable("xyz")
+
+    def test_quoted_constant(self):
+        assert parse_term("'Jeff'") == Constant("Jeff")
+
+    def test_integer_constant(self):
+        assert parse_term("-3") == Constant(-3)
+
+    def test_parameter(self):
+        assert parse_term("$p1") == Parameter("p1")
+
+    def test_garbage_raises(self):
+        with pytest.raises(QueryError):
+            parse_term("&&")
+
+
+class TestParseAtom:
+    def test_default_key_is_first_position(self):
+        atom = parse_atom("R(x, y, z)")
+        assert atom.key_size == 1
+        assert atom.key_terms == (Variable("x"),)
+
+    def test_pipe_separates_key(self):
+        atom = parse_atom("R(x, y | z)")
+        assert atom.key_size == 2
+
+    def test_trailing_pipe_means_all_key(self):
+        atom = parse_atom("R(x, y |)")
+        assert atom.key_size == 2
+        assert atom.arity == 2
+
+    def test_constants_with_commas_inside_quotes(self):
+        atom = parse_atom("R('a, b' | y)")
+        assert atom.term_at(1) == Constant("a, b")
+
+    def test_two_pipes_raise(self):
+        with pytest.raises(QueryError):
+            parse_atom("R(x | y | z)")
+
+    def test_malformed_raises(self):
+        with pytest.raises(QueryError):
+            parse_atom("R x, y")
+
+
+class TestAtom:
+    def test_key_and_nonkey_variables(self):
+        atom = parse_atom("R(x, 'c' | y, x)")
+        assert atom.key_variables == {Variable("x")}
+        assert atom.variables == {Variable("x"), Variable("y")}
+
+    def test_positions_of(self):
+        atom = parse_atom("R(x | y, x)")
+        assert atom.positions_of(Variable("x")) == [1, 3]
+
+    def test_term_at_bounds(self):
+        atom = parse_atom("R(x | y)")
+        with pytest.raises(QueryError):
+            atom.term_at(3)
+
+    def test_substitute(self):
+        atom = parse_atom("R(x | y)")
+        result = atom.substitute({Variable("y"): Constant(5)})
+        assert result.term_at(2) == Constant(5)
+
+    def test_replace_position(self):
+        atom = parse_atom("R(x | y)")
+        assert atom.replace_position(2, Constant(1)).term_at(2) == Constant(1)
+
+    def test_is_fact_shaped(self):
+        assert parse_atom("R('a' | 'b')").is_fact_shaped
+        assert not parse_atom("R(x | 'b')").is_fact_shaped
+
+
+class TestConjunctiveQuery:
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("R(x | y)", "R(y | z)")
+
+    def test_atom_lookup(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        assert q.atom("S").relation == "S"
+        with pytest.raises(QueryError):
+            q.atom("T")
+
+    def test_variables_and_constants(self):
+        q = parse_query("R(x | 'c')", "S(x | y)")
+        assert q.variables == {Variable("x"), Variable("y")}
+        assert q.constants == {Constant("c")}
+
+    def test_without(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        assert q.without("R").relations == {"S"}
+
+    def test_substitute_freezes(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        frozen = q.freeze([Variable("y")])
+        assert Parameter("y") in frozen.parameters
+        assert Variable("y") not in frozen.variables
+
+    def test_schema_extraction(self):
+        q = parse_query("R(x, y | z)", "S(z |)")
+        schema = q.schema()
+        assert schema["R"].key_size == 2
+        assert schema["S"].is_all_key
+
+    def test_equality_is_set_like(self):
+        q1 = parse_query("R(x | y)", "S(y | z)")
+        q2 = parse_query("S(y | z)", "R(x | y)")
+        assert q1 == q2 and hash(q1) == hash(q2)
+
+    def test_replace_atom(self):
+        q = parse_query("R(x | y)")
+        new = q.replace_atom("R", parse_atom("R(x | 'c')"))
+        assert new.atom("R").term_at(2) == Constant("c")
+
+
+class TestConnectivity:
+    def test_connected_through_shared_atom(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        assert q.connected(Variable("x"), Variable("z"))
+
+    def test_disconnected_components(self):
+        q = parse_query("R(x | y)", "S(u | v)")
+        assert not q.connected(Variable("x"), Variable("u"))
+
+    def test_self_connectivity_requires_membership(self):
+        q = parse_query("R(x | y)")
+        assert q.connected(Variable("x"), Variable("x"))
+        restricted = frozenset({Variable("y")})
+        assert not q.connected(Variable("x"), Variable("x"), restricted)
+
+    def test_restriction_cuts_paths(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        keep = frozenset({Variable("x"), Variable("z")})
+        assert not q.connected(Variable("x"), Variable("z"), keep)
+
+    def test_gaifman_edges_within_one_atom(self):
+        q = parse_query("T(x | y, z)")
+        edges = q.gaifman_edges()
+        assert Variable("z") in edges[Variable("x")]

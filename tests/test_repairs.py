@@ -1,0 +1,277 @@
+"""Tests for the repair substrate: subset repairs, fresh chase, minimality
+and the canonical ⊕-repair oracle."""
+
+import pytest
+
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.db.constraints import is_consistent
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import OracleLimitation
+from repro.repairs import (
+    OracleConfig,
+    canonical_repairs,
+    certain_answer,
+    certainty_primary_keys,
+    count_subset_repairs,
+    dominating_instance,
+    falsifying_repair,
+    falsifying_subset_repair,
+    frequency_of_satisfaction,
+    fresh_completion,
+    is_certain,
+    is_subset_repair,
+    least_needed,
+    subset_repairs,
+    verify_repair,
+)
+from repro.workloads import ChainParams, chain_instance, chain_problem
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestSubsetRepairs:
+    def test_count_matches_enumeration(self):
+        db = DatabaseInstance(
+            [F("R", 1, 2), F("R", 1, 3), F("R", 2, 1), F("S", 1)]
+        )
+        repairs = list(subset_repairs(db))
+        assert len(repairs) == count_subset_repairs(db) == 2
+
+    def test_each_is_a_subset_repair(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3), F("S", 1)])
+        for repair in subset_repairs(db):
+            assert is_subset_repair(repair, db)
+
+    def test_empty_db(self):
+        assert list(subset_repairs(DatabaseInstance())) == [DatabaseInstance()]
+        assert count_subset_repairs(DatabaseInstance()) == 1
+
+    def test_certainty(self):
+        q = parse_query("R(x | 'a')")
+        certain_db = DatabaseInstance([F("R", 1, "a")])
+        uncertain_db = DatabaseInstance([F("R", 1, "a"), F("R", 1, "b")])
+        assert certainty_primary_keys(q, certain_db)
+        assert not certainty_primary_keys(q, uncertain_db)
+        witness = falsifying_subset_repair(q, uncertain_db)
+        assert witness is not None and F("R", 1, "b") in witness
+
+    def test_frequency(self):
+        q = parse_query("R(x | 'a')")
+        db = DatabaseInstance([F("R", 1, "a"), F("R", 1, "b")])
+        assert frequency_of_satisfaction(q, db) == (1, 2)
+
+    def test_is_subset_repair_rejects_partial(self):
+        db = DatabaseInstance([F("R", 1, 2), F("S", 1)])
+        assert not is_subset_repair(DatabaseInstance([F("R", 1, 2)]), db)
+        assert not is_subset_repair(
+            DatabaseInstance([F("R", 1, 2), F("R", 9, 9), F("S", 1)]), db
+        )
+
+
+class TestFreshCompletion:
+    def _fks(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        return fk_set(q, "R[2]->S", "S[2]->T")
+
+    def test_completion_restores_consistency(self):
+        fks = self._fks()
+        kept = frozenset({F("R", "a", "b")})
+        completion = fresh_completion(kept, fks)
+        assert not completion.used_pool
+        full = DatabaseInstance(kept | completion.insertions)
+        assert is_consistent(full, fks)
+
+    def test_completion_is_least(self):
+        fks = self._fks()
+        kept = frozenset({F("R", "a", "b")})
+        completion = fresh_completion(kept, fks)
+        needed = least_needed(kept, completion.insertions, fks)
+        assert needed == completion.insertions
+
+    def test_reuses_kept_facts(self):
+        fks = self._fks()
+        kept = frozenset({F("R", "a", "b"), F("S", "b", "c")})
+        completion = fresh_completion(kept, fks)
+        # only T(c) is missing
+        assert len(completion.insertions) == 1
+        (inserted,) = completion.insertions
+        assert inserted.relation == "T" and inserted.value_at(1) == "c"
+
+    def test_cyclic_chain_closes_with_pool(self):
+        q = parse_query("S(y | z)")
+        fks = fk_set(q, "S[2]->S")
+        kept = frozenset({F("S", "a", "b")})
+        completion = fresh_completion(kept, fks, depth_limit=2, period=2)
+        assert completion.used_pool
+        full = DatabaseInstance(kept | completion.insertions)
+        assert is_consistent(full, fks)
+
+    def test_insertion_bound(self):
+        q = parse_query("S(y | z)")
+        fks = fk_set(q, "S[2]->S")
+        with pytest.raises(OracleLimitation):
+            fresh_completion(
+                frozenset({F("S", "a", "b")}),
+                fks,
+                depth_limit=10_001,
+                max_insertions=100,
+            )
+
+
+class TestLeastNeeded:
+    def test_unfixable_returns_none(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        fks = fk_set(q, "R[2]->S")
+        assert least_needed(
+            frozenset({F("R", 1, 2)}), frozenset(), fks
+        ) is None
+
+    def test_picks_only_what_is_referenced(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        fks = fk_set(q, "R[2]->S")
+        available = frozenset({F("S", 2), F("S", 9)})
+        needed = least_needed(frozenset({F("R", 1, 2)}), available, fks)
+        assert needed == {F("S", 2)}
+
+
+class TestExample4:
+    """The paper's Example 4: exactly three ⊕-repairs."""
+
+    def setup_method(self):
+        q = parse_query("R(x | y)", "S(y | z)", "T(z |)")
+        self.q = q
+        self.fks = fk_set(q, "R[2]->S", "S[2]->T")
+        self.db = DatabaseInstance([F("R", "a", "b"), F("S", "b", "c")])
+
+    def test_three_canonical_repairs(self):
+        repairs = list(canonical_repairs(self.db, self.fks))
+        assert len(repairs) == 3
+        sizes = sorted(r.size for r in repairs)
+        assert sizes == [0, 3, 3]
+
+    def test_superset_repair_present(self):
+        repairs = list(canonical_repairs(self.db, self.fks))
+        superset = [r for r in repairs if self.db.facts <= r.facts]
+        assert len(superset) == 1
+        assert F("T", "c") in superset[0]
+
+    def test_empty_repair_present(self):
+        repairs = list(canonical_repairs(self.db, self.fks))
+        assert DatabaseInstance() in repairs
+
+    def test_all_verified(self):
+        for repair in canonical_repairs(self.db, self.fks):
+            assert verify_repair(self.db, repair, self.fks)
+
+    def test_not_certain(self):
+        answer = certain_answer(self.q, self.fks, self.db)
+        assert not answer.certain
+        assert answer.falsifying_repair is not None
+
+    def test_non_repairs_rejected(self):
+        # keeping S(b,c) without T(c) is inconsistent
+        assert not verify_repair(
+            self.db, DatabaseInstance([F("R", "a", "b"), F("S", "b", "c")]),
+            self.fks,
+        )
+        # dropping R(a,b) while T(c), S(b,c) kept is not minimal
+        assert not verify_repair(
+            self.db,
+            DatabaseInstance([F("S", "b", "c"), F("T", "c")]),
+            self.fks,
+        )
+
+
+class TestDominance:
+    def test_unneeded_insertion_detected(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        fks = fk_set(q, "R[2]->S")
+        db = DatabaseInstance([F("R", 1, 2)])
+        dominated = dominating_instance(
+            db, frozenset({F("R", 1, 2)}),
+            frozenset({F("S", 2), F("S", 99)}), fks,
+        )
+        assert dominated is not None
+        assert F("S", 99) not in dominated
+
+    def test_droppable_block_detected(self):
+        q = parse_query("R(x | y)", "S(y |)")
+        fks = fk_set(q, "R[2]->S")
+        db = DatabaseInstance([F("R", 1, 2), F("S", 2)])
+        # dropping R's block while S(2) is kept is dominated by keeping it
+        dominated = dominating_instance(
+            db, frozenset({F("S", 2)}), frozenset(), fks
+        )
+        assert dominated is not None
+        assert F("R", 1, 2) in dominated
+
+
+class TestChainOracle:
+    def test_chain_semantics(self):
+        q, fks = chain_problem()
+        for n in (1, 2, 3):
+            for marker, expected in (("c", True), ("e", False)):
+                params = ChainParams(n, marker)
+                db = chain_instance(params)
+                assert is_certain(q, fks, db) == expected, (n, marker)
+
+    def test_seedless_chain_is_no_instance(self):
+        q, fks = chain_problem()
+        db = chain_instance(ChainParams(2, "c", with_seed_fact=False))
+        assert not is_certain(q, fks, db)
+
+    def test_falsifying_repair_returned(self):
+        q, fks = chain_problem()
+        db = chain_instance(ChainParams(2, "e"))
+        repair = falsifying_repair(q, fks, db)
+        assert repair is not None
+        assert verify_repair(db, repair, fks)
+
+    def test_keep_choice_bound(self):
+        q, fks = chain_problem()
+        db = chain_instance(ChainParams(6, "c"))
+        with pytest.raises(OracleLimitation):
+            certain_answer(q, fks, db, OracleConfig(max_keep_choices=4))
+
+
+class TestCyclicDependencyOracle:
+    def test_self_loop_forced_block(self):
+        """q = {N(x,x), O(x,y)}, FK = {N[2]→N, N[2]→O} (Example 27 shape).
+
+        ``N(a,a)`` is self-supporting and ``O(a,b)`` supports its second
+        reference, so dropping either is ⊕-dominated: every repair contains
+        both and the instance is certain.
+        """
+        q = parse_query("N(x | x)", "O(x | y)")
+        fks = fk_set(q, "N[2]->N", "N[2]->O")
+        db = DatabaseInstance([F("N", "a", "a"), F("O", "a", "b")])
+        assert is_certain(q, fks, db)
+
+    def test_example27_irrelevant_completion(self):
+        """A falsifying repair must complete the dangling ``N(b,c)`` with an
+        irrelevant cyclic pattern (the paper's ``db_{A,P}`` in Example 27),
+        which exercises the oracle's pool-closure strategy."""
+        q = parse_query("N(x | x)", "O(x | y)")
+        fks = fk_set(q, "N[2]->N", "N[2]->O")
+        db = DatabaseInstance(
+            [F("N", "b", "b"), F("N", "b", "c"), F("O", "b", "e")]
+        )
+        answer = certain_answer(q, fks, db)
+        assert not answer.certain
+        repair = answer.falsifying_repair
+        # The repair keeps N(b,c) and closes its reference chain with
+        # invented facts that never form a diagonal N(x,x).
+        assert F("N", "b", "c") in repair
+        for fact in repair.relation_facts("N"):
+            assert fact.value_at(1) != fact.value_at(2)
+
+    def test_diagonal_choice_forces_certainty(self):
+        """Without the escape fact, every repair keeps the diagonal."""
+        q = parse_query("N(x | x)", "O(x | y)")
+        fks = fk_set(q, "N[2]->N", "N[2]->O")
+        db = DatabaseInstance([F("N", "b", "b"), F("O", "b", "e")])
+        assert is_certain(q, fks, db)

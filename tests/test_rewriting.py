@@ -1,0 +1,157 @@
+"""Tests for the full consistent-rewriting construction (Theorem 1).
+
+The heavy artillery: for every FO catalog entry and a set of additional
+pipeline-exercising problems, the constructed formula, the procedural
+decider and the exact ⊕-repair oracle must agree on random instances.
+"""
+
+import random
+
+import pytest
+
+from repro.core.decision import decide
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.core.rewriting import consistent_rewriting
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import NotInFOError
+from repro.fo import Evaluator, evaluate, render
+from repro.repairs import certain_answer
+from repro.workloads import fo_catalog, hard_catalog, q1_distinguishing_instance
+from tests.conftest import random_db
+
+PIPELINE_CASES = [
+    # exercises Lemma 36 (weak keys)
+    (["A(x | y)", "B(x | z)"], ["A[1]->B"]),
+    (["A(x | y)", "B(x | z)"], ["A[1]->B", "B[1]->A"]),
+    # Lemma 37 (o→o), incl. chains
+    (["R(x | y)", "S(y | z)"], ["R[2]->S"]),
+    (["R(x | y)", "S(y | z)", "T(z | w)"], ["R[2]->S", "S[2]->T"]),
+    # Lemma 39 (d→d)
+    (["R(x | y)", "S(y | z)", "P(y |)", "Q(z |)"], ["R[2]->S"]),
+    # Lemma 45 (empty key) with and without inner foreign keys
+    (["N('c' | y)", "O(y |)", "P(y |)"], ["N[2]->O"]),
+    (["N('c' | y)", "O(y |)", "P(y | w)", "Q(w |)"],
+     ["N[2]->O", "P[2]->Q"]),
+    # Lemma 40 (d→o)
+    (["Y(y |)", "N(x | y, u)", "O(y |)"], ["N[2]->O"]),
+    # mixed weak + strong
+    (["DOCS(x | t, '2016')", "R(x, y |)", "AUTHORS(y | 'Jeff', z)"],
+     ["R[1]->DOCS", "R[2]->AUTHORS"]),
+]
+
+
+def _three_way_check(query, fks, rng, trials, domain=(0, 1, "c", "d")):
+    result = consistent_rewriting(query, fks)
+    evaluator_hits = 0
+    for _ in range(trials):
+        db = random_db(query, rng, domain=domain)
+        oracle = certain_answer(query, fks, db).certain
+        formula_answer = evaluate(result.formula, db)
+        procedural = decide(query, fks, db, check_classification=False)
+        assert formula_answer == oracle, (
+            f"formula disagrees with oracle on\n{db.pretty()}\n"
+            f"formula: {render(result.formula)}"
+        )
+        assert procedural == oracle, (
+            f"procedural decider disagrees with oracle on\n{db.pretty()}"
+        )
+        evaluator_hits += 1
+    assert evaluator_hits == trials
+
+
+class TestPipelineCases:
+    @pytest.mark.parametrize(
+        "atoms,fk_texts", PIPELINE_CASES,
+        ids=lambda value: "+".join(value) if isinstance(value, list) else None,
+    )
+    def test_three_way_agreement(self, atoms, fk_texts):
+        query = parse_query(*atoms)
+        fks = fk_set(query, *fk_texts)
+        rng = random.Random(hash((tuple(atoms), tuple(fk_texts))) & 0xFFFF)
+        _three_way_check(query, fks, rng, trials=60)
+
+
+class TestCatalog:
+    @pytest.mark.parametrize(
+        "entry", fo_catalog(), ids=lambda e: e.label
+    )
+    def test_fo_entries_rewrite_and_agree(self, entry):
+        rng = random.Random(hash(entry.label) & 0xFFFF)
+        _three_way_check(
+            entry.query, entry.fks, rng, trials=40,
+            domain=(0, 1, "c", "2016", "Jeff", "o1"),
+        )
+
+    @pytest.mark.parametrize(
+        "entry", hard_catalog(), ids=lambda e: e.label
+    )
+    def test_hard_entries_raise(self, entry):
+        with pytest.raises(NotInFOError):
+            consistent_rewriting(entry.query, entry.fks)
+        with pytest.raises(NotInFOError):
+            decide(entry.query, entry.fks, DatabaseInstance())
+
+
+class TestPaperFormulas:
+    def test_section8_formula_shape(self):
+        """The constructed rewriting matches ∃y(N∧O) ∧ ∀y(N→P) semantically
+        on the paper's sensitivity instance."""
+        q = parse_query("N('c' | y)", "O(y |)", "P(y |)")
+        fks = fk_set(q, "N[2]->O")
+        result = consistent_rewriting(q, fks)
+        db = DatabaseInstance(
+            [
+                Fact("N", ("c", "a"), 1),
+                Fact("N", ("c", "b"), 1),
+                Fact("O", ("a",), 1),
+                Fact("P", ("a",), 1),
+                Fact("P", ("b",), 1),
+            ]
+        )
+        evaluator = Evaluator(db)
+        assert evaluator.evaluate(result.formula)
+        for dropped in ("a", "b"):
+            smaller = db.difference([Fact("P", (dropped,), 1)])
+            assert not evaluate(result.formula, smaller), dropped
+
+    def test_example13_q1_differs_from_pk_rewriting(self):
+        """The paper's two-row instance separates CERTAINTY(q1, FK) from
+        CERTAINTY(q1)."""
+        from repro.core.rewriting_pk import rewrite_primary_keys
+
+        q1 = parse_query("N(x | u, y)", "O(y | w)")
+        fks = fk_set(q1, "N[3]->O")
+        with_fk = consistent_rewriting(q1, fks).formula
+        without_fk = rewrite_primary_keys(q1)
+        db = q1_distinguishing_instance()
+        assert evaluate(with_fk, db)
+        assert not evaluate(without_fk, db)
+
+    def test_example13_q3_same_as_pk_rewriting(self):
+        """CERTAINTY(q3, FK) and CERTAINTY(q3) have the same rewriting —
+        checked semantically on random instances."""
+        from repro.core.rewriting_pk import rewrite_primary_keys
+
+        q3 = parse_query("N(x | 'c', y)", "O(y | 'c')")
+        fks = fk_set(q3, "N[3]->O")
+        with_fk = consistent_rewriting(q3, fks).formula
+        without_fk = rewrite_primary_keys(q3)
+        rng = random.Random(31)
+        for _ in range(80):
+            db = random_db(q3, rng, domain=(0, 1, "c"))
+            assert evaluate(with_fk, db) == evaluate(without_fk, db)
+
+    def test_lemma_trace_matches_expectation(self):
+        q = parse_query("N('c' | y)", "O(y |)", "P(y |)")
+        fks = fk_set(q, "N[2]->O")
+        result = consistent_rewriting(q, fks)
+        assert "Lemma 45" in result.lemma_trace
+
+    def test_trace_for_weak_keys(self):
+        q = parse_query("DOCS(x | t, '2016')", "R(x, y |)",
+                        "AUTHORS(y | 'Jeff', z)")
+        fks = fk_set(q, "R[1]->DOCS", "R[2]->AUTHORS")
+        result = consistent_rewriting(q, fks)
+        assert result.lemma_trace.count("Lemma 36") == 2

@@ -1,0 +1,119 @@
+"""Tests for the Koutris–Wijsen rewriting (primary keys only)."""
+
+import random
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.core.rewriting_pk import rewrite_primary_keys
+from repro.core.terms import Parameter
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import NotInFOError
+from repro.fo import evaluate, simplify
+from repro.repairs import certainty_primary_keys
+from tests.conftest import random_db
+
+QUERIES = [
+    ["R(x | y)"],
+    ["R(x | 'a')"],
+    ["R(x | x)"],
+    ["R(x | y, y)"],
+    ["R(x | y)", "S(y | z)"],
+    ["R(x | y)", "S(x | y)"],
+    ["R('c' | y)", "P(y |)"],
+    ["R(x, y | z)", "S(z | w)"],
+    ["R(x | y)", "S(y | z)", "T(z | w)"],
+    ["R(x | y, z)", "S(y | u)", "T(z | v)"],
+    ["R('c' | y)", "S(y | 'd')"],
+    ["R(x |)", "S(x | y)"],
+]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("atoms", QUERIES, ids=lambda a: "+".join(a))
+    def test_random_instances(self, atoms):
+        q = parse_query(*atoms)
+        formula = rewrite_primary_keys(q)
+        rng = random.Random(hash(tuple(atoms)) & 0xFFFF)
+        for _ in range(120):
+            db = random_db(q, rng, domain=(0, 1, "a", "c", "d"))
+            expected = certainty_primary_keys(q, db)
+            assert evaluate(formula, db) == expected, db.pretty()
+
+    def test_simplified_formula_equivalent(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        raw = rewrite_primary_keys(q)
+        reduced = simplify(raw)
+        rng = random.Random(4)
+        for _ in range(60):
+            db = random_db(q, rng)
+            assert evaluate(raw, db) == evaluate(reduced, db)
+
+
+class TestStructure:
+    def test_cyclic_raises(self):
+        q = parse_query("R(x | y)", "S(y | x)")
+        with pytest.raises(NotInFOError):
+            rewrite_primary_keys(q)
+
+    def test_empty_query_is_true(self):
+        from repro.fo import TRUE
+
+        assert rewrite_primary_keys(parse_query()) == TRUE
+
+    def test_consistent_db_answers_like_plain_evaluation(self):
+        """On a PK-consistent instance, certainty equals plain satisfaction."""
+        from repro.db.matching import satisfies
+
+        q = parse_query("R(x | y)", "S(y | z)")
+        formula = rewrite_primary_keys(q)
+        rng = random.Random(9)
+        for _ in range(80):
+            db = random_db(q, rng)
+            consistent = DatabaseInstance(
+                next(iter(sorted(block, key=repr)))
+                for block in db.blocks()
+            )
+            assert evaluate(formula, consistent) == satisfies(q, consistent)
+
+    def test_parameters_stay_free(self):
+        q = parse_query("R($p | y)", "S(y | z)")
+        formula = rewrite_primary_keys(q)
+        assert Parameter("p") in formula.free_terms()
+
+    def test_parameterized_evaluation(self):
+        q = parse_query("R($p | y)", "S(y |)")
+        formula = rewrite_primary_keys(q)
+        db = DatabaseInstance(
+            [Fact("R", (1, 2), 1), Fact("R", (3, 9), 1), Fact("S", (2,), 1)]
+        )
+        assert evaluate(formula, db, {Parameter("p"): 1})
+        assert not evaluate(formula, db, {Parameter("p"): 3})
+
+    def test_all_key_atom(self):
+        q = parse_query("R(x, y |)")
+        formula = rewrite_primary_keys(q)
+        db = DatabaseInstance([Fact("R", (1, 2), 2)])
+        assert evaluate(formula, db)
+        assert not evaluate(formula, DatabaseInstance())
+
+
+class TestSection8NoFkExample:
+    """q = {R(c,y), P(y)}: the classical asymmetric ∃/∀ rewriting."""
+
+    def test_yes_instance_sensitivity(self):
+        q = parse_query("R('c' | y)", "P(y |)")
+        formula = rewrite_primary_keys(q)
+        db = DatabaseInstance(
+            [
+                Fact("R", ("c", "a"), 1),
+                Fact("R", ("c", "b"), 1),
+                Fact("P", ("a",), 1),
+                Fact("P", ("b",), 1),
+            ]
+        )
+        assert evaluate(formula, db)
+        for dropped in ("a", "b"):
+            smaller = db.difference([Fact("P", (dropped,), 1)])
+            assert not evaluate(formula, smaller)

@@ -1,0 +1,65 @@
+"""Tests for randomized repair sampling."""
+
+import random
+
+from repro.core.query import parse_query
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.repairs import frequency_of_satisfaction, is_subset_repair
+from repro.repairs.sampling import (
+    FrequencyEstimate,
+    estimate_satisfaction_frequency,
+    sample_subset_repair,
+)
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestSampling:
+    def test_samples_are_repairs(self):
+        db = DatabaseInstance(
+            [F("R", 1, 2), F("R", 1, 3), F("R", 2, 1), F("S", 1, 1)]
+        )
+        rng = random.Random(1)
+        for _ in range(30):
+            repair = sample_subset_repair(db, rng)
+            assert is_subset_repair(repair, db)
+
+    def test_uniformity_on_one_block(self):
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3)])
+        rng = random.Random(2)
+        counts = {2: 0, 3: 0}
+        for _ in range(600):
+            repair = sample_subset_repair(db, rng)
+            (fact,) = repair.facts
+            counts[fact.value_at(2)] += 1
+        assert abs(counts[2] - counts[3]) < 120  # ~±5 sigma
+
+    def test_estimate_matches_exact_frequency(self):
+        q = parse_query("R(x | 'a')")
+        db = DatabaseInstance(
+            [F("R", 1, "a"), F("R", 1, "b"), F("R", 2, "a")]
+        )
+        satisfying, total = frequency_of_satisfaction(q, db)
+        exact = satisfying / total
+        estimate = estimate_satisfaction_frequency(q, db, samples=800, seed=3)
+        assert abs(estimate.estimate - exact) <= estimate.half_width
+
+    def test_interval_bounds(self):
+        q = parse_query("R(x | 'a')")
+        db = DatabaseInstance([F("R", 1, "a")])
+        estimate = estimate_satisfaction_frequency(q, db, samples=50)
+        assert estimate.estimate == 1.0
+        assert 0.0 <= estimate.lower <= estimate.upper <= 1.0
+
+    def test_zero_samples(self):
+        estimate = FrequencyEstimate(0.0, 0, 0.95)
+        assert estimate.half_width == 1.0
+
+    def test_certain_query_has_frequency_one(self):
+        q = parse_query("R(x | y)")
+        db = DatabaseInstance([F("R", 1, 2), F("R", 1, 3)])
+        estimate = estimate_satisfaction_frequency(q, db, samples=100)
+        assert estimate.estimate == 1.0

@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.schema."""
+
+import pytest
+
+from repro.core.schema import Schema, Signature
+from repro.exceptions import SchemaError
+
+
+class TestSignature:
+    def test_positions(self):
+        sig = Signature(4, 2)
+        assert list(sig.key_positions) == [1, 2]
+        assert list(sig.nonkey_positions) == [3, 4]
+
+    def test_all_key(self):
+        assert Signature(3, 3).is_all_key
+        assert not Signature(3, 1).is_all_key
+
+    def test_invalid_key_size(self):
+        with pytest.raises(SchemaError):
+            Signature(2, 3)
+        with pytest.raises(SchemaError):
+            Signature(2, 0)
+
+    def test_invalid_arity(self):
+        with pytest.raises(SchemaError):
+            Signature(0, 0)
+
+
+class TestSchema:
+    def test_of_and_lookup(self):
+        schema = Schema.of(R=(2, 1), S=(3, 2))
+        assert schema["R"] == Signature(2, 1)
+        assert schema["S"].key_size == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=(2, 1))["T"]
+
+    def test_add_is_persistent(self):
+        schema = Schema.of(R=(2, 1))
+        extended = schema.add("S", 1, 1)
+        assert "S" in extended
+        assert "S" not in schema
+
+    def test_add_conflicting_signature_raises(self):
+        schema = Schema.of(R=(2, 1))
+        with pytest.raises(SchemaError):
+            schema.add("R", 3, 1)
+
+    def test_add_same_signature_is_noop(self):
+        schema = Schema.of(R=(2, 1))
+        assert schema.add("R", 2, 1) is schema
+
+    def test_merge_disjoint(self):
+        merged = Schema.of(R=(2, 1)).merge(Schema.of(S=(1, 1)))
+        assert set(merged) == {"R", "S"}
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=(2, 1)).merge(Schema.of(R=(2, 2)))
+
+    def test_positions_enumerates_all(self):
+        schema = Schema.of(R=(2, 1), S=(1, 1))
+        assert set(schema.positions()) == {("R", 1), ("R", 2), ("S", 1)}
+
+    def test_restrict(self):
+        schema = Schema.of(R=(2, 1), S=(1, 1))
+        assert set(schema.restrict(["R"])) == {"R"}
+
+    def test_equality(self):
+        assert Schema.of(R=(2, 1)) == Schema.of(R=(2, 1))
+        assert Schema.of(R=(2, 1)) != Schema.of(R=(2, 2))

@@ -1,0 +1,215 @@
+"""Tests for the solver layer: Prop 16/17 algorithms, SAT substrate,
+and the interchangeable solver interface."""
+
+import random
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.core.foreign_keys import fk_set
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import NotInFOError
+from repro.repairs import certain_answer
+from repro.solvers import (
+    Clause,
+    DualHornFormula,
+    NotDualHornError,
+    OplusOracleSolver,
+    Problem,
+    ProceduralSolver,
+    RewritingSolver,
+    SubsetRepairSolver,
+    brute_force_satisfiable,
+    build_reachability_graph,
+    certain_by_dual_horn,
+    certain_by_reachability,
+    instance_to_dual_horn,
+    proposition16_query,
+    proposition17_query,
+    solve_dual_horn,
+)
+from repro.workloads import ChainParams, chain_instance, expected_certainty
+
+
+def F(rel, *values, key=1):
+    return Fact(rel, tuple(values), key)
+
+
+class TestDualHornSat:
+    def test_all_positive_is_satisfiable(self):
+        formula = DualHornFormula([Clause(("p", "q")), Clause(("r",))])
+        result = solve_dual_horn(formula)
+        assert result.satisfiable
+        assert all(result.assignment.values())
+
+    def test_forcing_chain_unsat(self):
+        formula = DualHornFormula(
+            [
+                Clause(("a",)),
+                Clause((), negative="b"),          # ¬b
+                Clause(("b",), negative="a"),      # ¬a ∨ b
+            ]
+        )
+        assert not solve_dual_horn(formula).satisfiable
+
+    def test_maximal_model(self):
+        formula = DualHornFormula(
+            [Clause((), negative="a"), Clause(("b", "c"))]
+        )
+        result = solve_dual_horn(formula)
+        assert result.assignment == {"a": False, "b": True, "c": True}
+
+    def test_from_literal_lists_validates(self):
+        with pytest.raises(NotDualHornError):
+            DualHornFormula.from_literal_lists(
+                [[("a", False), ("b", False)]]
+            )
+        formula = DualHornFormula.from_literal_lists(
+            [[("a", False), ("b", True)]]
+        )
+        assert formula.clauses[0].negative == "a"
+
+    def test_evaluate(self):
+        formula = DualHornFormula([Clause(("p",), negative="q")])
+        assert formula.evaluate({"p": True, "q": True})
+        assert formula.evaluate({"p": False, "q": False})
+        assert not formula.evaluate({"p": False, "q": True})
+
+    def test_against_brute_force(self, rng):
+        for _ in range(300):
+            n_vars = rng.randint(1, 6)
+            clauses = []
+            for _ in range(rng.randint(0, 7)):
+                positives = tuple(
+                    rng.sample(range(n_vars), rng.randint(0, min(3, n_vars)))
+                )
+                negative = rng.choice([None] + list(range(n_vars)))
+                clauses.append(Clause(positives, negative))
+            formula = DualHornFormula(clauses)
+            assert (
+                solve_dual_horn(formula).satisfiable
+                == brute_force_satisfiable(formula)
+            )
+
+    def test_satisfying_assignment_is_model(self, rng):
+        for _ in range(100):
+            n_vars = rng.randint(1, 5)
+            clauses = [
+                Clause(
+                    tuple(rng.sample(range(n_vars),
+                                     rng.randint(0, min(2, n_vars)))),
+                    rng.choice([None] + list(range(n_vars))),
+                )
+                for _ in range(rng.randint(1, 5))
+            ]
+            formula = DualHornFormula(clauses)
+            result = solve_dual_horn(formula)
+            if result.satisfiable:
+                assert formula.evaluate(result.assignment)
+
+
+class TestProposition16:
+    def test_graph_shape_on_simple_instance(self):
+        db = DatabaseInstance(
+            [F("N", 1, 1), F("N", 1, 2), F("N", 2, 2), F("O", 1)]
+        )
+        graph = build_reachability_graph(db)
+        assert 1 in graph.vertices and 2 in graph.vertices
+        assert graph.edges[1] == {2}
+        assert graph.marked == {1}
+
+    def test_escape_edge(self):
+        db = DatabaseInstance([F("N", 1, 1), F("N", 1, 9), F("O", 1)])
+        graph = build_reachability_graph(db)
+        assert graph.edges[1] == {("⊥",)}
+        assert not certain_by_reachability(db)  # escape exists -> no-instance
+
+    def test_trapped_marked_vertex_is_certain(self):
+        db = DatabaseInstance([F("N", 1, 1), F("O", 1)])
+        assert certain_by_reachability(db)
+
+    def test_against_oracle(self, rng):
+        q, fks = proposition16_query()
+        for _ in range(300):
+            facts = []
+            for _ in range(rng.randint(0, 5)):
+                facts.append(F("N", rng.randint(1, 3), rng.randint(1, 3)))
+            for _ in range(rng.randint(0, 2)):
+                facts.append(F("O", rng.randint(1, 3)))
+            db = DatabaseInstance(facts)
+            expected = certain_answer(q, fks, db).certain
+            assert certain_by_reachability(db) == expected, db.pretty()
+
+
+class TestProposition17:
+    def test_chain_encoding(self):
+        db = chain_instance(ChainParams(2, "c"))
+        formula = instance_to_dual_horn(db, "c")
+        # 1 unit clause from O(1) + one implication per chain block + the
+        # final block's forced-false clause.
+        assert not solve_dual_horn(formula).satisfiable
+        assert certain_by_dual_horn(db, "c")
+
+    def test_chain_family_closed_form(self):
+        for n in (1, 2, 5, 9):
+            for marker in ("c", "e"):
+                params = ChainParams(n, marker)
+                db = chain_instance(params)
+                assert certain_by_dual_horn(db, "c") == expected_certainty(
+                    params
+                ), (n, marker)
+
+    def test_against_oracle(self, rng):
+        q, fks = proposition17_query("c")
+        for _ in range(250):
+            facts = []
+            for _ in range(rng.randint(0, 5)):
+                facts.append(
+                    F("N", rng.randint(1, 3), rng.choice(["c", "d"]),
+                      rng.randint(1, 3))
+                )
+            for _ in range(rng.randint(0, 2)):
+                facts.append(F("O", rng.randint(1, 3)))
+            db = DatabaseInstance(facts)
+            expected = certain_answer(q, fks, db).certain
+            assert certain_by_dual_horn(db, "c") == expected, db.pretty()
+
+
+class TestSolverInterface:
+    def test_rewriting_solver_agrees_with_oracle_solver(self, rng):
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        fast = RewritingSolver(q, fks)
+        slow = OplusOracleSolver(q, fks)
+        procedural = ProceduralSolver(q, fks)
+        from tests.conftest import random_db
+
+        for _ in range(40):
+            db = random_db(q, rng)
+            assert fast.decide(db) == slow.decide(db) == procedural.decide(db)
+
+    def test_subset_solver(self):
+        q = parse_query("R(x | 'a')")
+        solver = SubsetRepairSolver(q)
+        assert solver.decide(DatabaseInstance([F("R", 1, "a")]))
+        assert not solver.decide(
+            DatabaseInstance([F("R", 1, "a"), F("R", 1, "b")])
+        )
+
+    def test_rewriting_solver_rejects_hard_problems(self):
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        fks = fk_set(q, "N[3]->O")
+        with pytest.raises(NotInFOError):
+            RewritingSolver(q, fks)
+        with pytest.raises(NotInFOError):
+            ProceduralSolver(q, fks)
+
+    def test_problem_validates_aboutness(self):
+        from repro.core.foreign_keys import ForeignKey, ForeignKeySet
+        from repro.exceptions import ForeignKeyError
+
+        q = parse_query("E(x | y)")
+        fks = ForeignKeySet([ForeignKey("E", 2, "E")], q.schema())
+        with pytest.raises(ForeignKeyError):
+            Problem(q, fks)

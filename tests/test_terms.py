@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.terms."""
+
+from repro.core.terms import (
+    Constant,
+    FreshConstantFactory,
+    FreshVariableFactory,
+    FreshValue,
+    Parameter,
+    Variable,
+    is_constantlike,
+    is_variable,
+)
+
+
+class TestTermKinds:
+    def test_variable_identity(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_constant_wraps_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+
+    def test_parameter_is_not_a_variable(self):
+        assert Parameter("x") != Variable("x")
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+        assert not is_variable(Parameter("x"))
+
+    def test_is_constantlike(self):
+        assert is_constantlike(Constant(3))
+        assert is_constantlike(Parameter("p"))
+        assert not is_constantlike(Variable("x"))
+
+    def test_terms_are_hashable(self):
+        {Variable("x"), Constant(1), Parameter("p")}
+
+
+class TestFreshVariableFactory:
+    def test_avoids_reserved_names(self):
+        factory = FreshVariableFactory({"v_0", "v_1"})
+        first = factory.fresh()
+        assert first.name not in {"v_0", "v_1"}
+
+    def test_never_repeats(self):
+        factory = FreshVariableFactory()
+        names = {factory.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_hint_prefixes_name(self):
+        factory = FreshVariableFactory()
+        assert factory.fresh("key").name.startswith("key")
+
+    def test_reserve_blocks_future_names(self):
+        factory = FreshVariableFactory()
+        factory.reserve({"w_0"})
+        assert all(factory.fresh("w").name != "w_0" for _ in range(5))
+
+    def test_fresh_parameter(self):
+        factory = FreshVariableFactory()
+        parameter = factory.fresh_parameter("p")
+        assert isinstance(parameter, Parameter)
+
+
+class TestFreshConstantFactory:
+    def test_fresh_constants_distinct(self):
+        factory = FreshConstantFactory()
+        values = {factory.fresh().value for _ in range(50)}
+        assert len(values) == 50
+
+    def test_fresh_value_never_equals_ordinary_values(self):
+        factory = FreshConstantFactory()
+        fresh = factory.fresh().value
+        assert isinstance(fresh, FreshValue)
+        assert fresh != 0 and fresh != "0" and fresh != ("u", 0)
+
+    def test_two_factories_do_not_collide_by_value_hint(self):
+        a = FreshConstantFactory().fresh("x").value
+        b = FreshConstantFactory().fresh("y").value
+        assert a != b

@@ -1,0 +1,69 @@
+"""Tests for the FK = ∅ trichotomy (Koutris–Wijsen, paper Section 2)."""
+
+import pytest
+
+from repro.core.attack_graph import AttackGraph
+from repro.core.classify import PkTrichotomy, pk_trichotomy
+from repro.core.query import parse_query
+
+
+class TestAttackStrength:
+    def test_weak_attack_in_key_cycle(self):
+        q = parse_query("R(x | y)", "S(y | x)")
+        graph = AttackGraph(q)
+        assert graph.is_weak_attack("R", "S")
+        assert graph.is_weak_attack("S", "R")
+        assert graph.strong_two_cycle() is None
+
+    def test_strong_attack_in_nonkey_join(self):
+        q = parse_query("R(x | z)", "S(y | z)")
+        graph = AttackGraph(q)
+        assert not graph.is_weak_attack("R", "S")
+        assert not graph.is_weak_attack("S", "R")
+        assert graph.strong_two_cycle() is not None
+
+    def test_non_attack_raises(self):
+        q = parse_query("R(x | y)", "S(y | z)")
+        graph = AttackGraph(q)
+        with pytest.raises(ValueError):
+            graph.is_weak_attack("S", "R")
+
+
+class TestTrichotomy:
+    CASES = [
+        (["R(x | y)", "S(y | z)"], PkTrichotomy.FO),
+        (["R(x | y)"], PkTrichotomy.FO),
+        (["R(x | y)", "S(y | x)"], PkTrichotomy.L_COMPLETE),
+        (["R(x | z)", "S(y | z)"], PkTrichotomy.CONP_COMPLETE),
+        # a longer cycle through keys stays L-complete
+        (["R(x | y)", "S(y | z)", "T(z | x)"], PkTrichotomy.L_COMPLETE),
+        # mixed: the strong 2-cycle dominates
+        (["R(x | z)", "S(y | z)", "T(x | w)"], PkTrichotomy.CONP_COMPLETE),
+    ]
+
+    @pytest.mark.parametrize("atoms,expected", CASES,
+                             ids=["+".join(c[0]) for c in CASES])
+    def test_cases(self, atoms, expected):
+        assert pk_trichotomy(parse_query(*atoms)) == expected
+
+    def test_fo_iff_rewriting_exists(self):
+        from repro.core.rewriting_pk import rewrite_primary_keys
+        from repro.exceptions import NotInFOError
+
+        for atoms, expected in self.CASES:
+            q = parse_query(*atoms)
+            if expected is PkTrichotomy.FO:
+                rewrite_primary_keys(q)  # must not raise
+            else:
+                with pytest.raises(NotInFOError):
+                    rewrite_primary_keys(q)
+
+    def test_consistent_with_theorem12_lower_bound(self):
+        """Cyclic attack graph ⇒ CERTAINTY(q, ∅) not FO (Theorem 12 item 2)."""
+        from repro.core.classify import classify
+        from repro.core.foreign_keys import fk_set
+
+        for atoms, expected in self.CASES:
+            q = parse_query(*atoms)
+            in_fo = classify(q, fk_set(q)).in_fo
+            assert in_fo == (expected is PkTrichotomy.FO)

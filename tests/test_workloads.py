@@ -1,0 +1,177 @@
+"""Tests for the workload generators."""
+
+import random
+
+from repro.core.classify import classify
+from repro.core.foreign_keys import fk_set
+from repro.db.constraints import dangling_facts, satisfies_foreign_keys
+from repro.db.facts import Fact
+from repro.solvers import certain_by_dual_horn
+from repro.workloads import (
+    BibliographyParams,
+    ChainParams,
+    RandomInstanceParams,
+    branching_chain_instance,
+    chain_instance,
+    chain_problem,
+    example13_problems,
+    expected_certainty,
+    fig1_instance,
+    fo_catalog,
+    hard_catalog,
+    intro_query_q0,
+    layered_dag,
+    paper_catalog,
+    proposition16_instance,
+    q1_distinguishing_instance,
+    random_instance,
+    random_instances_for_query,
+    synthetic_bibliography,
+)
+
+
+class TestFig1:
+    def test_shape(self):
+        db = fig1_instance()
+        assert db.size == 7
+        assert len(db.key_violations()) == 1
+
+    def test_violations_match_paper(self):
+        db = fig1_instance()
+        q, fks = intro_query_q0()
+        dangling = dangling_facts(db, fks)
+        assert dangling == {Fact("R", ("d1", "o3"), 2)}
+
+
+class TestSyntheticBibliography:
+    def test_deterministic_for_seed(self):
+        params = BibliographyParams(n_docs=5, n_authors=5, n_authorships=8)
+        assert synthetic_bibliography(params, 1) == synthetic_bibliography(
+            params, 1
+        )
+        assert synthetic_bibliography(params, 1) != synthetic_bibliography(
+            params, 2
+        )
+
+    def test_rates_drive_violations(self):
+        clean = synthetic_bibliography(
+            BibliographyParams(duplicate_author_rate=0.0, dangling_rate=0.0),
+            seed=3,
+        )
+        q, fks = intro_query_q0()
+        assert not clean.violates_primary_keys()
+        assert satisfies_foreign_keys(clean, fks)
+        dirty = synthetic_bibliography(
+            BibliographyParams(duplicate_author_rate=1.0, dangling_rate=1.0),
+            seed=3,
+        )
+        assert dirty.violates_primary_keys()
+        assert not satisfies_foreign_keys(dirty, fks)
+
+
+class TestChains:
+    def test_sizes(self):
+        db = chain_instance(ChainParams(4))
+        assert db.relation_facts("N") and db.size == 2 * 4 + 2
+
+    def test_closed_form_matches_solver(self):
+        for n in (1, 3, 8, 20):
+            for marker in ("c", "z"):
+                for seed in (True, False):
+                    params = ChainParams(n, marker, seed)
+                    db = chain_instance(params)
+                    assert certain_by_dual_horn(db, "c") == expected_certainty(
+                        params
+                    ), params
+
+    def test_branching_chain_answer(self):
+        for marker, expected in (("c", True), ("z", False)):
+            db = branching_chain_instance(4, 3, marker)
+            assert certain_by_dual_horn(db, "c") == expected
+
+    def test_problem_is_nl_hard(self):
+        q, fks = chain_problem()
+        assert not classify(q, fks).in_fo
+
+
+class TestCatalog:
+    def test_partition(self):
+        assert len(fo_catalog()) + len(hard_catalog()) == len(paper_catalog())
+        assert {e.label for e in fo_catalog()}.isdisjoint(
+            {e.label for e in hard_catalog()}
+        )
+
+    def test_labels_unique(self):
+        labels = [e.label for e in paper_catalog()]
+        assert len(labels) == len(set(labels))
+
+    def test_aboutness_everywhere(self):
+        for entry in paper_catalog():
+            assert entry.fks.is_about(entry.query), entry.label
+
+
+class TestExample13Workload:
+    def test_problems(self):
+        problems = example13_problems()
+        assert [p[0] for p in problems] == ["q1", "q2", "q3"]
+        for _, query, fks, expected in problems:
+            assert classify(query, fks).verdict == expected
+
+    def test_distinguishing_instance(self):
+        db = q1_distinguishing_instance()
+        assert db.size == 3
+
+
+class TestGraphWorkloads:
+    def test_layered_dag_guarantees(self):
+        rng = random.Random(1)
+        g, s, t = layered_dag(4, 3, rng, guarantee_path=True)
+        assert g.reaches(s, t)
+        g, s, t = layered_dag(4, 3, rng, guarantee_path=False)
+        assert not g.reaches(s, t)
+
+    def test_proposition16_instance_schema(self):
+        rng = random.Random(2)
+        db = proposition16_instance(5, rng)
+        assert db.relations <= {"N", "O"}
+        assert any(
+            f.value_at(1) == f.value_at(2) for f in db.relation_facts("N")
+        )
+
+
+class TestRandomInstances:
+    def test_constant_pool_included(self):
+        from repro.core.query import parse_query
+
+        q = parse_query("N(x | 'c', y)", "O(y |)")
+        instances = list(random_instances_for_query(q, None, 20, seed=5))
+        assert any(
+            "c" in {f.value_at(2) for f in db.relation_facts("N")}
+            for db in instances
+            if db.relation_facts("N")
+        )
+
+    def test_dangling_rate_zero_mostly_consistent_fk(self):
+        from repro.core.query import parse_query
+
+        q = parse_query("R(x | y)", "S(y | z)")
+        fks = fk_set(q, "R[2]->S")
+        rng = random.Random(8)
+        params = RandomInstanceParams(dangling_rate=0.0)
+        hits = violations = 0
+        for _ in range(50):
+            db = random_instance(q.schema(), params, rng, fks)
+            if db.relation_facts("R") and db.relation_facts("S"):
+                hits += 1
+                if not satisfies_foreign_keys(db, fks):
+                    violations += 1
+        assert hits > 0
+        assert violations < hits  # referencing mostly lands on real keys
+
+    def test_reproducible(self):
+        from repro.core.query import parse_query
+
+        q = parse_query("R(x | y)")
+        a = list(random_instances_for_query(q, None, 5, seed=9))
+        b = list(random_instances_for_query(q, None, 5, seed=9))
+        assert a == b
