@@ -1,0 +1,89 @@
+"""E15 — engine throughput: warm plan cache vs cold per-call construction.
+
+Extension experiment: the engine's value proposition is amortization — pay
+classification, routing and rewriting construction once per distinct
+problem, then stream instances through the compiled plan.  The report
+serves the same mixed-class workload twice:
+
+* **cold** — every request recompiles its plan (classify + route +
+  construct), the per-call behaviour of the pre-engine code paths;
+* **warm** — one :class:`~repro.engine.CertaintyEngine` serves the stream,
+  so repeated problems hit the LRU plan cache.
+
+Answers must be identical; the report shows the speedup and the cache hit
+rate.  Timed fixtures isolate the two costs per call.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.engine import CertaintyEngine, compile_plan
+from repro.workloads import StreamParams, fig1_instance, intro_query_q0
+from repro.workloads import mixed_problem_stream
+
+PARAMS = StreamParams(
+    n_problems=12, instances_per_problem=6, seed=7, repeat_rate=0.5
+)
+
+
+def test_e15_report():
+    items = list(mixed_problem_stream(PARAMS))
+    n_instances = sum(len(item.instances) for item in items)
+
+    start = time.perf_counter()
+    cold_answers = []
+    for item in items:
+        for db in item.instances:
+            plan = compile_plan(item.query, item.fks)  # per-call compile
+            cold_answers.append(plan.decide(db))
+    cold_seconds = time.perf_counter() - start
+
+    engine = CertaintyEngine()
+    start = time.perf_counter()
+    warm_answers = []
+    for item in items:
+        result = engine.decide_batch(item.query, item.fks, item.instances)
+        warm_answers.extend(result.answers)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm_answers == cold_answers
+
+    stats = engine.stats()
+    hit_rate = stats.cache.hit_rate or 0.0
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    backends = sorted({plan.backend for plan in stats.plans})
+    report(
+        "E15: warm plan-cache batch vs cold per-call construction",
+        [
+            ("requests", len(items), ""),
+            ("instances", n_instances, ""),
+            ("distinct plans", stats.cache.size, ""),
+            ("cache hit rate", f"{hit_rate:.0%}", ""),
+            ("cold", f"{cold_seconds * 1e3:.1f} ms",
+             f"{n_instances / cold_seconds:,.0f}/s"),
+            ("warm", f"{warm_seconds * 1e3:.1f} ms",
+             f"{n_instances / warm_seconds:,.0f}/s"),
+            ("speedup", f"{speedup:.1f}x", ""),
+        ],
+        ("series", "value", "throughput"),
+    )
+    print(f"  backends exercised: {', '.join(backends)}")
+
+    # the acceptance criterion: warm-cache batch evaluation must beat cold
+    # per-call solver construction, and the cache must actually hit.
+    assert hit_rate > 0
+    assert warm_seconds < cold_seconds
+
+
+def test_e15_cold_per_call_latency(benchmark):
+    query, fks = intro_query_q0()
+    db = fig1_instance()
+    benchmark(lambda: compile_plan(query, fks).decide(db))
+
+
+def test_e15_warm_cached_latency(benchmark):
+    query, fks = intro_query_q0()
+    db = fig1_instance()
+    engine = CertaintyEngine()
+    engine.decide(query, fks, db)  # compile once, outside the timer
+    benchmark(lambda: engine.decide(query, fks, db))

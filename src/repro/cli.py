@@ -6,6 +6,8 @@ Commands
 ``classify``   run the Theorem 12 decision procedure on a problem;
 ``rewrite``    print the consistent first-order rewriting (FO cases);
 ``decide``     answer ``CERTAINTY(q, FK)`` on an instance file;
+``engine``     answer through the plan-caching engine, with provenance;
+``batch``      evaluate many instance files through one compiled plan;
 ``repairs``    enumerate the canonical ⊕-repairs of an instance;
 ``violations`` report primary/foreign-key violations of an instance.
 
@@ -102,6 +104,64 @@ def _cmd_decide(args) -> int:
     return 0 if answer else 1
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _engine_from_args(args):
+    from .engine import CertaintyEngine, EngineConfig, ExecutorConfig
+
+    executor = ExecutorConfig(
+        mode=getattr(args, "mode", "serial"),
+        max_workers=getattr(args, "jobs", None),
+    )
+    return CertaintyEngine(
+        EngineConfig(
+            fo_backend="sql" if args.sql else "memory",
+            executor=executor,
+        )
+    )
+
+
+def _cmd_engine(args) -> int:
+    query, fks = _build_problem(args)
+    engine = _engine_from_args(args)
+    answers = []
+    for path in args.database:
+        answer = engine.decide(query, fks, load(path))
+        answers.append(answer)
+        print(f"{path}: certain={answer}")
+    plan = engine.plan_for(query, fks)
+    if args.explain:
+        print(plan.describe())
+    else:
+        print(f"backend: {plan.backend.value}")
+    return 0 if all(answers) else 1
+
+
+def _cmd_batch(args) -> int:
+    query, fks = _build_problem(args)
+    engine = _engine_from_args(args)
+    instances = [load(path) for path in args.database] * args.repeat
+    result = engine.decide_batch(query, fks, instances)
+    # read the counters before the introspective plan_for below inflates them
+    cache = engine.cache_stats()
+    plan = engine.plan_for(query, fks)
+    throughput = (
+        f"{result.per_second:,.0f}/s" if result.per_second else "n/a"
+    )
+    print(f"backend:    {plan.backend.value} ({result.mode})")
+    print(f"instances:  {result.size} ({result.certain_count} certain)")
+    print(f"elapsed:    {result.elapsed_seconds * 1e3:.2f} ms ({throughput})")
+    print(f"plan cache: {cache.hits} hits, {cache.misses} misses")
+    return 0 if all(result.answers) else 1
+
+
 def _cmd_repairs(args) -> int:
     query, fks = _build_problem(args)
     db = load(args.database)
@@ -155,6 +215,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("database", help="instance file (repro.db.io format)")
     p.set_defaults(handler=_cmd_decide)
 
+    p = sub.add_parser(
+        "engine", help="answer through the plan-caching certainty engine"
+    )
+    _add_problem_arguments(p)
+    p.add_argument("database", nargs="+", help="instance file(s)")
+    p.add_argument("--sql", action="store_true",
+                   help="evaluate FO problems as compiled SQL over SQLite")
+    p.add_argument("--explain", action="store_true",
+                   help="print the full plan summary")
+    p.set_defaults(handler=_cmd_engine)
+
+    p = sub.add_parser(
+        "batch", help="evaluate many instances through one compiled plan"
+    )
+    _add_problem_arguments(p)
+    p.add_argument("database", nargs="+", help="instance file(s)")
+    p.add_argument("--sql", action="store_true",
+                   help="evaluate FO problems as compiled SQL over SQLite")
+    p.add_argument("--mode", choices=["serial", "thread", "process"],
+                   default="serial", help="batch execution mode")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker count for thread/process modes")
+    p.add_argument("--repeat", type=_positive_int, default=1,
+                   help="evaluate the instance list this many times")
+    p.set_defaults(handler=_cmd_batch)
+
     p = sub.add_parser("repairs", help="enumerate canonical ⊕-repairs")
     _add_problem_arguments(p)
     p.add_argument("database", help="instance file")
@@ -176,7 +262,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,46 @@
+"""repro.engine — plan-caching, auto-routing certainty engine.
+
+The production-facing layer over the reproduction: compile a
+``CERTAINTY(q, FK)`` problem once into a :class:`CertaintyPlan` (Theorem 12
+classification + cheapest-backend routing + rewriting/SQL construction),
+cache plans by canonical problem fingerprint, and amortize each plan over
+arbitrarily many instances with serial, thread-pool, or process-pool batch
+execution and per-plan metrics.
+
+Quick use::
+
+    from repro.engine import CertaintyEngine
+
+    engine = CertaintyEngine()
+    answer = engine.decide(query, fks, db)          # plan cached
+    batch = engine.decide_batch(query, fks, dbs)    # one plan, many instances
+    print(engine.explain(query, fks))               # backend provenance
+"""
+
+from .cache import CacheStats, PlanCache
+from .engine import (
+    CertaintyEngine,
+    EngineConfig,
+    EngineSolver,
+    EngineStats,
+    PlanReport,
+)
+from .executor import BatchExecutor, BatchResult, ExecutorConfig
+from .fingerprint import Fingerprint, canonical_atoms, problem_fingerprint
+from .metrics import MetricsSnapshot, PlanMetrics
+from .plan import CertaintyPlan, compile_plan
+from .router import (
+    Backend,
+    matches_proposition16,
+    matches_proposition17,
+    select_backend,
+)
+
+__all__ = [
+    "Backend", "BatchExecutor", "BatchResult", "CacheStats", "CertaintyEngine",
+    "CertaintyPlan", "EngineConfig", "EngineSolver", "EngineStats",
+    "ExecutorConfig", "Fingerprint", "MetricsSnapshot", "PlanCache",
+    "PlanMetrics", "PlanReport", "canonical_atoms", "compile_plan",
+    "matches_proposition16", "matches_proposition17", "problem_fingerprint",
+    "select_backend",
+]

@@ -1,0 +1,107 @@
+"""The LRU plan cache.
+
+Keys are problem fingerprints (:mod:`repro.engine.fingerprint`), values are
+compiled plans.  A hit skips classification, routing and rewriting
+construction entirely — the point of the engine.  The cache is thread-safe;
+compilation happens outside the lock so a slow build never blocks hits on
+other problems (two racing builders of the same problem both compile; the
+first insertion wins).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from .fingerprint import Fingerprint
+from .plan import CertaintyPlan
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counters of one cache's lifetime."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float | None:
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
+
+class PlanCache:
+    """A bounded LRU mapping of fingerprints to compiled plans."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._plans: OrderedDict[Fingerprint, CertaintyPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(
+        self,
+        fingerprint: Fingerprint,
+        build: Callable[[], CertaintyPlan],
+    ) -> CertaintyPlan:
+        """The cached plan for *fingerprint*, compiling via *build* on miss."""
+        with self._lock:
+            plan = self._plans.get(fingerprint)
+            if plan is not None:
+                self._hits += 1
+                self._plans.move_to_end(fingerprint)
+                return plan
+            self._misses += 1
+        built = build()  # outside the lock: don't block unrelated hits
+        with self._lock:
+            winner = self._plans.get(fingerprint)
+            if winner is not None:
+                return winner  # a racing builder inserted first
+            self._plans[fingerprint] = built
+            while len(self._plans) > self._capacity:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+            return built
+
+    def peek(self, fingerprint: Fingerprint) -> CertaintyPlan | None:
+        """The cached plan without affecting order or counters."""
+        with self._lock:
+            return self._plans.get(fingerprint)
+
+    def plans(self) -> list[CertaintyPlan]:
+        """All cached plans, least recently used first."""
+        with self._lock:
+            return list(self._plans.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._plans),
+                capacity=self._capacity,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        with self._lock:
+            return fingerprint in self._plans

@@ -1,0 +1,154 @@
+"""The certainty engine: plan cache + router + batch executor in one facade.
+
+:class:`CertaintyEngine` is the single entry point for high-volume
+consistent query answering.  Every ``decide``/``decide_batch`` call
+
+1. fingerprints the problem (:mod:`repro.engine.fingerprint`),
+2. fetches or compiles the plan (classification + routing + rewriting
+   construction, paid once per distinct problem),
+3. executes the plan's solver over the instance(s), accumulating per-plan
+   metrics.
+
+The engine is safe to share across threads; later scaling work (sharding,
+async serving, multi-backend fan-out) plugs in behind this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.instance import DatabaseInstance
+from .cache import CacheStats, PlanCache
+from .executor import BatchExecutor, BatchResult, ExecutorConfig
+from .fingerprint import problem_fingerprint
+from .metrics import MetricsSnapshot
+from .plan import CertaintyPlan, compile_plan
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-wide knobs."""
+
+    plan_cache_size: int = 128
+    fo_backend: str = "memory"  # or "sql"
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+
+    def __post_init__(self) -> None:
+        if self.fo_backend not in ("memory", "sql"):
+            raise ValueError(
+                f"unknown fo_backend {self.fo_backend!r} "
+                "(expected 'memory' or 'sql')"
+            )
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """One cached plan's identity and accumulated metrics."""
+
+    fingerprint: str
+    backend: str
+    verdict: str
+    metrics: MetricsSnapshot
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A point-in-time view of the engine's cache and plans."""
+
+    cache: CacheStats
+    plans: tuple[PlanReport, ...]
+
+
+class CertaintyEngine:
+    """Plan-caching, auto-routing decision engine for ``CERTAINTY(q, FK)``."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self._cache = PlanCache(self.config.plan_cache_size)
+        self._executor = BatchExecutor(self.config.executor)
+
+    # -- planning -----------------------------------------------------------
+
+    def plan_for(
+        self, query: ConjunctiveQuery, fks: ForeignKeySet
+    ) -> CertaintyPlan:
+        """The compiled plan for ``(q, FK)``, from cache when possible."""
+        fingerprint = problem_fingerprint(query, fks)
+        return self._cache.get_or_build(
+            fingerprint,
+            lambda: compile_plan(
+                query, fks,
+                fo_backend=self.config.fo_backend,
+                fingerprint=fingerprint,
+            ),
+        )
+
+    def explain(self, query: ConjunctiveQuery, fks: ForeignKeySet) -> str:
+        """The plan summary for ``(q, FK)`` (compiling it if necessary)."""
+        return self.plan_for(query, fks).describe()
+
+    # -- execution ----------------------------------------------------------
+
+    def decide(
+        self,
+        query: ConjunctiveQuery,
+        fks: ForeignKeySet,
+        db: DatabaseInstance,
+    ) -> bool:
+        """The certain answer on one instance."""
+        return self.plan_for(query, fks).decide(db)
+
+    def decide_batch(
+        self,
+        query: ConjunctiveQuery,
+        fks: ForeignKeySet,
+        dbs: Iterable[DatabaseInstance],
+        executor: ExecutorConfig | None = None,
+    ) -> BatchResult:
+        """The certain answers over an instance stream, through one plan."""
+        plan = self.plan_for(query, fks)
+        runner = (
+            self._executor if executor is None else BatchExecutor(executor)
+        )
+        return runner.run(plan, dbs)
+
+    # -- introspection ------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    def stats(self) -> EngineStats:
+        """Cache counters plus one report per cached plan (LRU order)."""
+        reports = tuple(
+            PlanReport(
+                fingerprint=plan.fingerprint.digest,
+                backend=plan.backend.value,
+                verdict=plan.classification.verdict.name,
+                metrics=plan.metrics.snapshot(),
+            )
+            for plan in self._cache.plans()
+        )
+        return EngineStats(cache=self._cache.stats(), plans=reports)
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        self._cache.clear()
+
+
+@dataclass
+class EngineSolver:
+    """Adapter: a :class:`CertaintyEngine` behind the fixed-problem solver
+    interface, so the benchmark harness can drive the engine like any other
+    :class:`~repro.solvers.base.CertaintySolver`."""
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    engine: CertaintyEngine = field(default_factory=CertaintyEngine)
+    name: str = "engine"
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Route through the engine's cached plan for this problem."""
+        return self.engine.decide(self.query, self.fks, db)

@@ -1,0 +1,89 @@
+"""Canonical fingerprints of ``(q, FK)`` problems.
+
+The plan cache must recognise that two problems are *the same problem* even
+when they were built independently — parsed from different CLI invocations,
+drawn twice by a workload generator, or written with different variable
+names.  The fingerprint therefore canonicalises the query up to
+
+* atom order (atoms are sorted by relation name — well-defined because the
+  queries are self-join-free), and
+* variable renaming (variables are renamed ``v0, v1, …`` in order of first
+  occurrence over the sorted atoms),
+
+and appends the sorted foreign-key set.  Constants and parameters are kept
+verbatim: they are semantic.  Two alpha-equivalent problems share a
+fingerprint; problems differing in a constant, a key size, or a foreign key
+do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..core.atoms import Atom
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Parameter, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Fingerprint:
+    """A canonical, hashable identity of one ``CERTAINTY(q, FK)`` problem."""
+
+    text: str
+    digest: str
+
+    def __str__(self) -> str:
+        return self.digest
+
+    def __repr__(self) -> str:
+        return f"Fingerprint({self.digest})"
+
+
+def canonical_atoms(query: ConjunctiveQuery) -> tuple[Atom, ...]:
+    """The query's atoms, sorted by relation and alpha-renamed.
+
+    Variables become ``v0, v1, …`` in order of first occurrence across the
+    sorted atom sequence; constants, parameters and key sizes are preserved.
+    """
+    renaming: dict[Variable, Variable] = {}
+    atoms: list[Atom] = []
+    for atom in sorted(query.atoms, key=lambda a: a.relation):
+        terms: list[Term] = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                if term not in renaming:
+                    renaming[term] = Variable(f"v{len(renaming)}")
+                terms.append(renaming[term])
+            else:
+                terms.append(term)
+        atoms.append(Atom(atom.relation, tuple(terms), atom.key_size))
+    return tuple(atoms)
+
+
+def _term_text(term: Term) -> str:
+    if isinstance(term, Constant):
+        if isinstance(term.value, str):
+            return "'" + term.value + "'"
+        return repr(term.value)
+    if isinstance(term, Parameter):
+        return f"${term.name}"
+    return term.name  # canonical variable
+
+
+def _atom_text(atom: Atom) -> str:
+    key = ",".join(_term_text(t) for t in atom.key_terms)
+    rest = ",".join(_term_text(t) for t in atom.nonkey_terms)
+    return f"{atom.relation}({key}|{rest})"
+
+
+def problem_fingerprint(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> Fingerprint:
+    """The canonical fingerprint of ``CERTAINTY(q, FK)``."""
+    atoms = " ∧ ".join(_atom_text(a) for a in canonical_atoms(query))
+    keys = ", ".join(sorted(repr(fk) for fk in fks))
+    text = f"{atoms} ## {keys}"
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+    return Fingerprint(text=text, digest=digest)

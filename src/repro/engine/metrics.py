@@ -1,0 +1,83 @@
+"""Per-plan execution metrics.
+
+Every :class:`~repro.engine.plan.CertaintyPlan` carries a
+:class:`PlanMetrics` that accumulates evaluation counts and wall-clock
+latency.  Single-instance calls record per-call latencies; batch runs record
+one aggregate sample per batch (the executor cannot observe per-call times
+inside a process pool).  Recording is thread-safe so the thread-pool
+executor can share one plan across workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """An immutable view of one plan's accumulated metrics."""
+
+    evaluations: int
+    batches: int
+    total_seconds: float
+    min_seconds: float | None
+    max_seconds: float | None
+
+    @property
+    def mean_seconds(self) -> float | None:
+        if self.evaluations == 0:
+            return None
+        return self.total_seconds / self.evaluations
+
+    @property
+    def per_second(self) -> float | None:
+        if self.total_seconds <= 0 or self.evaluations == 0:
+            return None
+        return self.evaluations / self.total_seconds
+
+
+class PlanMetrics:
+    """Mutable accumulator behind a lock; snapshot for reading."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._evaluations = 0
+        self._batches = 0
+        self._total_seconds = 0.0
+        self._min_seconds: float | None = None
+        self._max_seconds: float | None = None
+
+    def record(self, seconds: float, evaluations: int = 1) -> None:
+        """Add *evaluations* answers produced in *seconds* of wall clock.
+
+        With ``evaluations > 1`` the sample is a batch: it contributes to
+        totals and the batch count but not to the per-call min/max.
+        """
+        with self._lock:
+            self._evaluations += evaluations
+            self._total_seconds += seconds
+            if evaluations == 1:
+                if self._min_seconds is None or seconds < self._min_seconds:
+                    self._min_seconds = seconds
+                if self._max_seconds is None or seconds > self._max_seconds:
+                    self._max_seconds = seconds
+            else:
+                self._batches += 1
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                evaluations=self._evaluations,
+                batches=self._batches,
+                total_seconds=self._total_seconds,
+                min_seconds=self._min_seconds,
+                max_seconds=self._max_seconds,
+            )
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"PlanMetrics(evaluations={snap.evaluations}, "
+            f"batches={snap.batches}, total={snap.total_seconds:.6f}s)"
+        )

@@ -1,0 +1,103 @@
+"""Compiled certainty plans.
+
+A :class:`CertaintyPlan` is the unit the engine caches and executes: one
+``(q, FK)`` problem taken through classification and routing, with every
+per-problem cost already paid — the Theorem 12 decision procedure has run,
+the consistent rewriting (and its SQL compilation, for the SQL backend) has
+been constructed, and the chosen solver is ready to answer any number of
+instances.  Deciding an instance through a plan does no per-problem work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.classify import Classification, classify
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.rewriting import RewritingResult
+from ..db.instance import DatabaseInstance
+from ..solvers.base import CertaintySolver
+from .fingerprint import Fingerprint, problem_fingerprint
+from .metrics import PlanMetrics
+from .router import Backend, select_backend
+
+
+@dataclass
+class CertaintyPlan:
+    """One problem, classified, routed, and compiled for repeated execution."""
+
+    fingerprint: Fingerprint
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    classification: Classification
+    backend: Backend
+    solver: CertaintySolver
+    construction_seconds: float = 0.0
+    metrics: PlanMetrics = field(default_factory=PlanMetrics, repr=False)
+
+    @property
+    def rewriting(self) -> RewritingResult | None:
+        """The compiled FO rewriting, when the backend has one."""
+        return getattr(self.solver, "rewriting", None)
+
+    @property
+    def sql(self) -> str | None:
+        """The compiled SQL text, when the backend is SQL-based."""
+        return getattr(self.solver, "sql", None)
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Answer ``CERTAINTY(q, FK)`` on *db*, recording latency."""
+        start = time.perf_counter()
+        answer = self.solver.decide(db)
+        self.metrics.record(time.perf_counter() - start)
+        return answer
+
+    def decide_many(self, dbs) -> list[bool]:
+        """Answer a sequence of instances serially through this plan."""
+        return [self.decide(db) for db in dbs]
+
+    def describe(self) -> str:
+        """A short multi-line plan summary (CLI ``engine --explain``)."""
+        lines = [
+            f"plan {self.fingerprint.digest}",
+            f"  problem:  {self.fingerprint.text}",
+            f"  verdict:  {self.classification.verdict.value}",
+            f"  backend:  {self.backend.value}",
+            f"  compile:  {self.construction_seconds * 1e3:.2f} ms",
+        ]
+        if self.sql is not None:
+            lines.append("  sql:      " + self.sql.replace("\n", " "))
+        snap = self.metrics.snapshot()
+        if snap.evaluations:
+            lines.append(
+                f"  executed: {snap.evaluations} evaluations in "
+                f"{snap.total_seconds * 1e3:.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def compile_plan(
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    fo_backend: str = "memory",
+    fingerprint: Fingerprint | None = None,
+) -> CertaintyPlan:
+    """Classify and route ``(q, FK)``, paying all per-problem cost now.
+
+    Pass *fingerprint* when the caller already computed it (the engine
+    computes it as the cache key) to avoid re-canonicalizing the query.
+    """
+    start = time.perf_counter()
+    classification = classify(query, fks)
+    backend, solver = select_backend(classification, fo_backend=fo_backend)
+    return CertaintyPlan(
+        fingerprint=fingerprint or problem_fingerprint(query, fks),
+        query=query,
+        fks=fks,
+        classification=classification,
+        backend=backend,
+        solver=solver,
+        construction_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,127 @@
+"""Backend selection: the trichotomy, read as a query optimizer.
+
+Theorem 12 is not only a complexity classification — operationally it tells
+the engine which decision procedure is cheapest for a given ``(q, FK)``:
+
+* **FO** — evaluate the consistent first-order rewriting, either with the
+  in-memory relational evaluator or as precompiled SQL over SQLite
+  (:class:`~repro.solvers.rewriting_solver.SqlRewritingSolver`);
+* **not in FO, but a known polynomial special case** — the fixed problems of
+  Proposition 16 (graph reachability) and Proposition 17 (dual-Horn SAT)
+  are recognised structurally, up to variable renaming, and routed to their
+  dedicated linear/polynomial solvers;
+* **everything else** — exhaustive repair enumeration: classical subset
+  repairs when ``FK = ∅``, the canonical ⊕-repair oracle otherwise.
+
+The router runs exactly once per plan; its verdict is cached with the plan.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..core.classify import Classification
+from ..core.foreign_keys import ForeignKey, ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..solvers.base import CertaintySolver
+from ..solvers.brute_force import OplusOracleSolver, SubsetRepairSolver
+from ..solvers.dual_horn import DualHornSolver
+from ..solvers.reachability import ReachabilitySolver
+from ..solvers.rewriting_solver import RewritingSolver, SqlRewritingSolver
+
+
+class Backend(Enum):
+    """The decision procedures the router can select among."""
+
+    FO_REWRITING = "fo-rewriting"
+    FO_SQL = "fo-sql"
+    REACHABILITY = "nl-reachability"
+    DUAL_HORN = "p-dual-horn"
+    SUBSET_REPAIRS = "subset-repairs"
+    OPLUS_ORACLE = "oplus-oracle"
+
+    @property
+    def polynomial(self) -> bool:
+        """Polynomial per-instance cost (the exhaustive backends are not)."""
+        return self not in (Backend.SUBSET_REPAIRS, Backend.OPLUS_ORACLE)
+
+
+def matches_proposition16(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> bool:
+    """Is ``(q, FK)`` the Proposition 16 problem ``{N(x,x), O(x)}, N[2]→O``?
+
+    Matching is up to variable renaming; the relation names ``N`` and ``O``
+    are fixed because the reduction reads them off the instance.
+    """
+    if fks.foreign_keys != frozenset({ForeignKey("N", 2, "O")}):
+        return False
+    if len(query) != 2:
+        return False
+    if not (query.has_relation("N") and query.has_relation("O")):
+        return False
+    n, o = query.atom("N"), query.atom("O")
+    if (n.arity, n.key_size) != (2, 1) or (o.arity, o.key_size) != (1, 1):
+        return False
+    x = n.term_at(1)
+    return (
+        isinstance(x, Variable)
+        and n.term_at(2) == x
+        and o.term_at(1) == x
+    )
+
+
+def matches_proposition17(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> object | None:
+    """The distinguished constant when ``(q, FK)`` is the Proposition 17
+    problem ``{N(x, c, y), O(y)}, N[3]→O`` (up to variable renaming and the
+    choice of ``c``), else ``None``."""
+    if fks.foreign_keys != frozenset({ForeignKey("N", 3, "O")}):
+        return None
+    if len(query) != 2:
+        return None
+    if not (query.has_relation("N") and query.has_relation("O")):
+        return None
+    n, o = query.atom("N"), query.atom("O")
+    if (n.arity, n.key_size) != (3, 1) or (o.arity, o.key_size) != (1, 1):
+        return None
+    x, c, y = n.terms
+    if not (isinstance(x, Variable) and isinstance(y, Variable) and x != y):
+        return None
+    if not isinstance(c, Constant):
+        return None
+    if o.term_at(1) != y:
+        return None
+    return c.value
+
+
+def select_backend(
+    classification: Classification,
+    fo_backend: str = "memory",
+) -> tuple[Backend, CertaintySolver]:
+    """Pick the cheapest backend for a classified problem and build its
+    solver.
+
+    *fo_backend* chooses how FO problems are evaluated: ``"memory"`` for the
+    in-memory evaluator, ``"sql"`` for precompiled SQLite.  Construction
+    cost (rewriting pipeline, SQL compilation) is paid here, once per plan.
+    """
+    query, fks = classification.query, classification.fks
+    if classification.in_fo:
+        if fo_backend == "sql":
+            return Backend.FO_SQL, SqlRewritingSolver(query, fks)
+        if fo_backend == "memory":
+            return Backend.FO_REWRITING, RewritingSolver(query, fks)
+        raise ValueError(
+            f"unknown fo_backend {fo_backend!r} (expected 'memory' or 'sql')"
+        )
+    if matches_proposition16(query, fks):
+        return Backend.REACHABILITY, ReachabilitySolver()
+    constant = matches_proposition17(query, fks)
+    if constant is not None:
+        return Backend.DUAL_HORN, DualHornSolver(constant)
+    if len(fks) == 0:
+        return Backend.SUBSET_REPAIRS, SubsetRepairSolver(query)
+    return Backend.OPLUS_ORACLE, OplusOracleSolver(query, fks)

@@ -1,20 +1,33 @@
 """Solvers: rewriting-backed, procedural, exhaustive, and the Proposition
-16/17 polynomial algorithms with their substrates."""
+16/17 polynomial algorithms with their substrates.
+
+The class-shaped solvers (``*Solver``) all implement the
+:class:`~repro.solvers.base.CertaintySolver` protocol for one fixed
+problem; :mod:`repro.engine` routes among them automatically.  ``EngineSolver``
+(the engine behind the same protocol) is re-exported lazily to avoid a
+circular import.
+"""
 
 from .base import CertaintySolver, Problem
 from .brute_force import OplusOracleSolver, SubsetRepairSolver
 from .dual_horn import (
+    DualHornSolver,
     certain_by_dual_horn,
     instance_to_dual_horn,
     proposition17_query,
 )
 from .reachability import (
     ReachabilityGraph,
+    ReachabilitySolver,
     build_reachability_graph,
     certain_by_reachability,
     proposition16_query,
 )
-from .rewriting_solver import ProceduralSolver, RewritingSolver
+from .rewriting_solver import (
+    ProceduralSolver,
+    RewritingSolver,
+    SqlRewritingSolver,
+)
 from .sat import (
     Clause,
     DualHornFormula,
@@ -25,11 +38,22 @@ from .sat import (
 )
 
 __all__ = [
-    "CertaintySolver", "Clause", "DualHornFormula", "NotDualHornError",
-    "OplusOracleSolver", "Problem", "ProceduralSolver", "ReachabilityGraph",
-    "RewritingSolver", "SatResult", "SubsetRepairSolver",
-    "brute_force_satisfiable", "build_reachability_graph",
-    "certain_by_dual_horn", "certain_by_reachability",
-    "instance_to_dual_horn", "proposition16_query", "proposition17_query",
-    "solve_dual_horn",
+    "CertaintySolver", "Clause", "DualHornFormula", "DualHornSolver",
+    "EngineSolver", "NotDualHornError", "OplusOracleSolver", "Problem",
+    "ProceduralSolver", "ReachabilityGraph", "ReachabilitySolver",
+    "RewritingSolver", "SatResult", "SqlRewritingSolver",
+    "SubsetRepairSolver", "brute_force_satisfiable",
+    "build_reachability_graph", "certain_by_dual_horn",
+    "certain_by_reachability", "instance_to_dual_horn",
+    "proposition16_query", "proposition17_query", "solve_dual_horn",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.engine imports this package, so importing EngineSolver
+    # eagerly here would be circular.
+    if name == "EngineSolver":
+        from ..engine import EngineSolver
+
+        return EngineSolver
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,6 +17,7 @@ chain of Section 4.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 
 from ..core.foreign_keys import ForeignKeySet, fk_set
 from ..core.query import ConjunctiveQuery, parse_query
@@ -71,3 +72,20 @@ def certain_by_dual_horn(db: DatabaseInstance, constant: object = "c") -> bool:
     """
     formula = instance_to_dual_horn(db, constant)
     return not solve_dual_horn(formula).satisfiable
+
+
+@dataclass
+class DualHornSolver:
+    """The Proposition 17 algorithm behind the common solver interface.
+
+    *constant* is the query's distinguished constant (the ``c`` of
+    ``N(x, c, y)``); the reduction treats every other second-position value
+    as falsifying.
+    """
+
+    constant: object = "c"
+    name: str = "p-dual-horn"
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Polynomial dual-Horn SAT decision (Proposition 17)."""
+        return certain_by_dual_horn(db, self.constant)

@@ -1,7 +1,7 @@
 """The NL algorithm of Proposition 16.
 
 For ``q = {N(x, x), O(x)}`` with ``FK = {N[2] → O}``, the complement of
-``CERTAINTY(q, FK)`` reduces to directed graph reachability:
+``CERTAINTY(q, FK)`` reduces to a directed-graph walk problem:
 
 * vertices: ``V = {c | N(c, c) ∈ db} ∪ {⊥}``;
 * for ``c ∈ V`` with block ``N(c, ∗) = {N(c,c), N(c,d1), …, N(c,dn)}``:
@@ -9,9 +9,17 @@ For ``q = {N(x, x), O(x)}`` with ``FK = {N[2] → O}``, the complement of
   ``(c, ⊥)``;
 * mark ``c`` when ``O(c) ∈ db`` and ``c ∈ V``.
 
-``db`` is a **no**-instance iff ``⊥`` is reachable from every marked
-vertex.  The graph substrate is a plain BFS; the solver is linear in
-``|db|`` up to indexing.
+An ``O(c)`` fact obliges the block of a vertex ``c`` to avoid its diagonal
+fact; choosing ``N(c, d)`` with ``d ∈ V`` inserts ``O(d)`` and propagates
+the obligation to ``d``, while ``d ∉ V`` discharges it (the escape edge).
+A vertex whose block offers *only* the diagonal fact is **stuck**: its
+obligation cannot be discharged.  ``db`` is a **no**-instance iff no marked
+vertex is *doomed* — forced, along every walk, into a stuck vertex.  A
+marked vertex survives either by reaching ``⊥`` or by riding an obligation
+cycle forever (a finite repair sustains a cyclic chain of ``O``-insertions,
+e.g. ``{N(1,2), N(2,1), O(1), O(2)}``).  Walks that reach ``⊥`` or a cycle
+are guessable in NL; the solver below computes the forced-capture attractor
+with reverse BFS and successor counters, linear in ``|db|`` up to indexing.
 """
 
 from __future__ import annotations
@@ -56,21 +64,40 @@ class ReachabilityGraph:
                     frontier.append(succ)
         return False
 
-    def all_marked_reach_bottom(self) -> bool:
-        """Reverse-BFS from ⊥ and compare with the marked set."""
+    def doomed_vertices(self) -> set[object]:
+        """Vertices forced into a stuck vertex along every walk.
+
+        A non-⊥ vertex with no successors is stuck (its block offers only
+        the diagonal fact); a vertex all of whose successors are doomed is
+        doomed; ⊥ is never doomed.  Computed as the forced-capture
+        attractor: reverse BFS with per-vertex counters of not-yet-doomed
+        successors.  On acyclic graphs this coincides with "cannot reach
+        ⊥"; cycles are survivable and stay out of the attractor.
+        """
         reverse: dict[object, set[object]] = {}
-        for src, targets in self.edges.items():
-            for dst in targets:
-                reverse.setdefault(dst, set()).add(src)
-        reached = {_BOTTOM}
-        frontier = deque([_BOTTOM])
+        remaining: dict[object, int] = {}
+        for vertex in self.vertices:
+            if vertex == _BOTTOM:
+                continue
+            successors = self.edges.get(vertex, set())
+            remaining[vertex] = len(successors)
+            for dst in successors:
+                reverse.setdefault(dst, set()).add(vertex)
+        doomed = {v for v, count in remaining.items() if count == 0}
+        frontier = deque(doomed)
         while frontier:
             current = frontier.popleft()
             for pred in reverse.get(current, ()):
-                if pred not in reached:
-                    reached.add(pred)
+                remaining[pred] -= 1
+                if remaining[pred] == 0 and pred not in doomed:
+                    doomed.add(pred)
                     frontier.append(pred)
-        return self.marked <= reached
+        return doomed
+
+    def some_marked_doomed(self) -> bool:
+        """Is some marked vertex forced to its diagonal fact (a yes-instance)?"""
+        doomed = self.doomed_vertices()
+        return any(vertex in doomed for vertex in self.marked)
 
 
 def build_reachability_graph(db: DatabaseInstance) -> ReachabilityGraph:
@@ -103,8 +130,21 @@ def build_reachability_graph(db: DatabaseInstance) -> ReachabilityGraph:
 def certain_by_reachability(db: DatabaseInstance) -> bool:
     """Decide ``CERTAINTY({N(x,x), O(x)}, {N[2]→O})`` in NL.
 
-    The instance is a *no*-instance iff every marked vertex reaches ⊥, so
-    the certain answer is the negation.
+    The instance is a *yes*-instance iff some marked vertex is doomed —
+    every obligation walk from it is forced into a stuck vertex, so every
+    ⊕-repair keeps a diagonal fact with its ``O``-fact (see the module
+    docstring for why escapes *and* obligation cycles falsify).
     """
     graph = build_reachability_graph(db)
-    return not graph.all_marked_reach_bottom()
+    return graph.some_marked_doomed()
+
+
+@dataclass
+class ReachabilitySolver:
+    """The Proposition 16 algorithm behind the common solver interface."""
+
+    name: str = "nl-reachability"
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Linear-time reachability decision (Proposition 16)."""
+        return certain_by_reachability(db)

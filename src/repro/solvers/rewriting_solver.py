@@ -41,6 +41,58 @@ class RewritingSolver:
 
 
 @dataclass
+class SqlRewritingSolver:
+    """Evaluate the consistent rewriting as precompiled SQL over SQLite.
+
+    The rewriting is constructed and compiled to one SQL ``SELECT`` once at
+    solver construction; each :meth:`decide` loads the instance into an
+    in-memory SQLite database and runs the compiled text — the ConQuer-style
+    deployment mode, exercised here end-to-end per instance.  Instance
+    values must be strings or integers (the SQL value domain).
+    """
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    name: str = "fo-sql"
+    _rewriting: RewritingResult = field(init=False, repr=False)
+    _sql: str = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        from ..fo.sql import to_sql
+
+        self._rewriting = consistent_rewriting(self.query, self.fks)
+        self._sql = to_sql(self._rewriting.formula, self.query.schema())
+
+    @property
+    def rewriting(self) -> RewritingResult:
+        """The constructed rewriting (formula + pipeline provenance)."""
+        return self._rewriting
+
+    @property
+    def sql(self) -> str:
+        """The compiled SQL text, reusable by any engine holding the data."""
+        return self._sql
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Load *db* into SQLite and run the precompiled query."""
+        import sqlite3
+
+        from ..fo.sql import create_table_statements, insert_statements
+
+        relevant = db.restrict_relations(self.query.relations)
+        connection = sqlite3.connect(":memory:")
+        try:
+            for ddl in create_table_statements(self.query.schema()):
+                connection.execute(ddl)
+            for statement, values in insert_statements(relevant):
+                connection.execute(statement, values)
+            (result,) = connection.execute(self._sql).fetchone()
+            return bool(result)
+        finally:
+            connection.close()
+
+
+@dataclass
 class ProceduralSolver:
     """Run the Lemma 18 reduction pipeline forward on each instance."""
 

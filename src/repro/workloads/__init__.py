@@ -45,5 +45,13 @@ from .random_problems import (  # noqa: E402
     random_fo_problems,
     random_problem,
 )
+from .streams import (  # noqa: E402
+    StreamParams,
+    WorkloadItem,
+    mixed_problem_stream,
+)
 
-__all__ += ["ProblemShape", "random_fo_problems", "random_problem"]
+__all__ += [
+    "ProblemShape", "StreamParams", "WorkloadItem", "mixed_problem_stream",
+    "random_fo_problems", "random_problem",
+]

@@ -1,0 +1,135 @@
+"""Mixed-class problem streams for the certainty engine.
+
+Serving traffic is not one problem over many instances — it is a stream of
+``(q, FK, instances)`` requests mixing all three trichotomy classes, with
+popular problems recurring.  This generator models that:
+
+* random problems of every Theorem 12 class (drawn via
+  :func:`repro.workloads.random_problems.random_problem`);
+* the paper's fixed polynomial problems (Propositions 16 and 17) pinned
+  into the mix so the reachability and dual-Horn backends get traffic;
+* a configurable *repeat rate* re-emitting earlier problems with fresh
+  instances — the locality the engine's plan cache exploits.
+
+Instances stay deliberately small (few blocks, small blocks) so even the
+exhaustive fallback backends answer quickly; the stream is the engine's
+correctness corpus and throughput workload, not a stress test of any one
+solver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.classify import ComplexityVerdict, classify
+from ..core.foreign_keys import ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..db.instance import DatabaseInstance
+from .graphs import proposition16_instance
+from .random_instances import RandomInstanceParams, random_instances_for_query
+from .random_problems import ProblemShape, random_problem
+
+
+def _small_instances() -> RandomInstanceParams:
+    return RandomInstanceParams(
+        blocks_per_relation=2, max_block_size=2, domain_size=4
+    )
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Knobs of the mixed problem stream."""
+
+    n_problems: int = 12
+    instances_per_problem: int = 4
+    seed: int = 0
+    repeat_rate: float = 0.25
+    pinned_every: int = 4
+    shape: ProblemShape = field(default_factory=ProblemShape)
+    instance_params: RandomInstanceParams = field(
+        default_factory=_small_instances
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One request of the stream: a problem plus its instance burst."""
+
+    label: str
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    verdict: ComplexityVerdict
+    instances: tuple[DatabaseInstance, ...]
+
+
+def _pinned_problems() -> list[tuple[str, ConjunctiveQuery, ForeignKeySet]]:
+    from ..solvers.dual_horn import proposition17_query
+    from ..solvers.reachability import proposition16_query
+
+    q16, fk16 = proposition16_query()
+    q17, fk17 = proposition17_query()
+    return [("prop16", q16, fk16), ("prop17", q17, fk17)]
+
+
+def mixed_problem_stream(
+    params: StreamParams | None = None,
+) -> Iterator[WorkloadItem]:
+    """Yield ``params.n_problems`` workload items (see module docstring)."""
+    params = params or StreamParams()
+    rng = random.Random(params.seed)
+    pinned = _pinned_problems()
+    history: list[tuple[str, ConjunctiveQuery, ForeignKeySet]] = []
+    emitted = 0
+    pinned_index = 0
+    while emitted < params.n_problems:
+        if (
+            params.pinned_every
+            and emitted % params.pinned_every == params.pinned_every - 1
+        ):
+            label, query, fks = pinned[pinned_index % len(pinned)]
+            pinned_index += 1
+        elif history and rng.random() < params.repeat_rate:
+            label, query, fks = rng.choice(history)
+        else:
+            query, fks = _draw_problem(params.shape, rng)
+            label = f"rand-{emitted}"
+        history.append((label, query, fks))
+        yield WorkloadItem(
+            label=label,
+            query=query,
+            fks=fks,
+            verdict=classify(query, fks).verdict,
+            instances=tuple(_instances_for(label, query, fks, params, rng)),
+        )
+        emitted += 1
+
+
+def _draw_problem(
+    shape: ProblemShape, rng: random.Random
+) -> tuple[ConjunctiveQuery, ForeignKeySet]:
+    while True:
+        query, fks = random_problem(shape, rng)
+        if fks.is_about(query):
+            return query, fks
+
+
+def _instances_for(
+    label: str,
+    query: ConjunctiveQuery,
+    fks: ForeignKeySet,
+    params: StreamParams,
+    rng: random.Random,
+) -> Iterator[DatabaseInstance]:
+    if label == "prop16":
+        for _ in range(params.instances_per_problem):
+            yield proposition16_instance(5, rng, marked_fraction=0.5)
+        return
+    yield from random_instances_for_query(
+        query,
+        fks,
+        params.instances_per_problem,
+        seed=rng.randrange(2**32),
+        params=params.instance_params,
+    )

@@ -1,0 +1,307 @@
+"""Tests for the certainty engine: fingerprints, routing, the plan cache,
+batch execution, and agreement with the exhaustive oracle on a random
+mixed-class corpus."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.classify import ComplexityVerdict
+from repro.core.foreign_keys import fk_set
+from repro.core.query import parse_query
+from repro.db.io import dump
+from repro.engine import (
+    Backend,
+    CertaintyEngine,
+    EngineConfig,
+    ExecutorConfig,
+    PlanCache,
+    compile_plan,
+    matches_proposition16,
+    matches_proposition17,
+    problem_fingerprint,
+)
+from repro.repairs import certain_answer
+from repro.solvers import (
+    EngineSolver,
+    proposition16_query,
+    proposition17_query,
+)
+from repro.workloads import (
+    StreamParams,
+    fig1_instance,
+    intro_query_q0,
+    mixed_problem_stream,
+    random_instances_for_query,
+)
+
+
+def _problem(atoms, fks=()):
+    query = parse_query(*atoms)
+    return query, fk_set(query, *fks)
+
+
+class TestFingerprint:
+    def test_alpha_renaming_and_atom_order_invariance(self):
+        qa, ka = _problem(["R(x | y)", "S(y | z)"], ["R[2]->S"])
+        qb, kb = _problem(["S(b | c)", "R(a | b)"], ["R[2]->S"])
+        assert problem_fingerprint(qa, ka) == problem_fingerprint(qb, kb)
+
+    def test_constants_are_semantic(self):
+        qa, ka = _problem(["N(x | 'c', y)", "O(y |)"], ["N[3]->O"])
+        qb, kb = _problem(["N(x | 'd', y)", "O(y |)"], ["N[3]->O"])
+        assert problem_fingerprint(qa, ka) != problem_fingerprint(qb, kb)
+
+    def test_foreign_keys_are_semantic(self):
+        qa, ka = _problem(["R(x | y)", "S(y | z)"], ["R[2]->S"])
+        qb, kb = _problem(["R(x | y)", "S(y | z)"])
+        assert problem_fingerprint(qa, ka) != problem_fingerprint(qb, kb)
+
+    def test_key_size_is_semantic(self):
+        qa, _ = _problem(["R(x | y, z)"])
+        qb, _ = _problem(["R(x, y | z)"])
+        assert (
+            problem_fingerprint(qa, fk_set(qa)).text
+            != problem_fingerprint(qb, fk_set(qb)).text
+        )
+
+    def test_distinct_variable_identification_differs(self):
+        qa, _ = _problem(["N(x | x)"])
+        qb, _ = _problem(["N(x | y)"])
+        assert (
+            problem_fingerprint(qa, fk_set(qa)).text
+            != problem_fingerprint(qb, fk_set(qb)).text
+        )
+
+
+class TestRouter:
+    def test_fo_problem_gets_rewriting_backend(self):
+        query, fks = intro_query_q0()
+        plan = compile_plan(query, fks)
+        assert plan.backend is Backend.FO_REWRITING
+        assert plan.rewriting is not None
+
+    def test_fo_problem_gets_sql_backend_on_request(self):
+        query, fks = intro_query_q0()
+        plan = compile_plan(query, fks, fo_backend="sql")
+        assert plan.backend is Backend.FO_SQL
+        assert plan.sql is not None and "SELECT" in plan.sql
+
+    def test_proposition16_gets_reachability(self):
+        query, fks = proposition16_query()
+        plan = compile_plan(query, fks)
+        assert plan.backend is Backend.REACHABILITY
+        # matching is up to variable renaming
+        renamed, rk = _problem(["N(u | u)", "O(u |)"], ["N[2]->O"])
+        assert matches_proposition16(renamed, rk)
+
+    def test_proposition17_gets_dual_horn_any_constant(self):
+        query, fks = _problem(["N(a | 'k', b)", "O(b |)"], ["N[3]->O"])
+        plan = compile_plan(query, fks)
+        assert plan.backend is Backend.DUAL_HORN
+        assert matches_proposition17(query, fks) == "k"
+
+    def test_proposition_matchers_reject_near_misses(self):
+        # same shape, but the N-atom is not diagonal
+        query, fks = _problem(["N(x | y)", "O(y |)"], ["N[2]->O"])
+        assert not matches_proposition16(query, fks)
+        # prop17 shape with a variable instead of the constant
+        query, fks = _problem(["N(x | z, y)", "O(y |)"], ["N[3]->O"])
+        assert matches_proposition17(query, fks) is None
+
+    def test_conp_hard_without_fks_gets_subset_repairs(self):
+        query, fks = _problem(["R(x | z)", "S(y | z)"])
+        plan = compile_plan(query, fks)
+        assert not plan.classification.in_fo
+        assert plan.backend is Backend.SUBSET_REPAIRS
+
+    def test_hard_with_fks_gets_oplus_oracle(self):
+        query, fks = _problem(
+            ["R(x | y)", "S(y | x)"], ["R[2]->S", "S[2]->R"]
+        )
+        plan = compile_plan(query, fks)
+        assert plan.classification.verdict is ComplexityVerdict.L_HARD
+        assert plan.backend is Backend.OPLUS_ORACLE
+
+
+class TestPlanCache:
+    def test_second_lookup_hits(self):
+        engine = CertaintyEngine()
+        query, fks = intro_query_q0()
+        first = engine.plan_for(query, fks)
+        # an alpha-variant is the same problem
+        renamed = query.substitute(
+            {v: type(v)(v.name + "_r") for v in query.variables}
+        )
+        second = engine.plan_for(renamed, fks)
+        assert first is second
+        stats = engine.cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        problems = [
+            _problem([f"R{i}(x | y)"]) for i in range(3)
+        ]
+        plans = [
+            cache.get_or_build(
+                problem_fingerprint(q, k), lambda q=q, k=k: compile_plan(q, k)
+            )
+            for q, k in problems
+        ]
+        assert len(cache) == 2
+        assert plans[0].fingerprint not in cache
+        assert plans[2].fingerprint in cache
+        assert cache.stats().evictions == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestAgreementWithBruteForce:
+    """Engine answers must agree with the exact ⊕-repair oracle on a
+    random mixed-class corpus (the ISSUE acceptance criterion)."""
+
+    CORPUS = StreamParams(
+        n_problems=10, instances_per_problem=3, seed=3, repeat_rate=0.2
+    )
+
+    def test_engine_agrees_on_mixed_stream(self):
+        engine = CertaintyEngine()
+        verdicts = set()
+        checked = 0
+        for item in mixed_problem_stream(self.CORPUS):
+            verdicts.add(item.verdict)
+            for db in item.instances:
+                expected = certain_answer(item.query, item.fks, db).certain
+                assert engine.decide(item.query, item.fks, db) == expected, (
+                    f"{item.label}: engine disagrees with the oracle on "
+                    f"{db.pretty()}"
+                )
+                checked += 1
+        assert checked == self.CORPUS.n_problems * 3
+        # the corpus must actually exercise more than one trichotomy class
+        assert len(verdicts) >= 2
+
+    def test_sql_backend_agrees_with_memory(self):
+        memory = CertaintyEngine(EngineConfig(fo_backend="memory"))
+        sql = CertaintyEngine(EngineConfig(fo_backend="sql"))
+        query, fks = _problem(
+            ["R(x | y)", "S(y | z)", "T(z |)"], ["R[2]->S", "S[2]->T"]
+        )
+        for db in random_instances_for_query(query, fks, 6, seed=5):
+            assert memory.decide(query, fks, db) == sql.decide(query, fks, db)
+
+
+class TestBatchExecutor:
+    def _workload(self):
+        query, fks = intro_query_q0()
+        dbs = [fig1_instance()] + list(
+            random_instances_for_query(query, fks, 7, seed=1)
+        )
+        return query, fks, dbs
+
+    def test_serial_thread_process_agree(self):
+        query, fks, dbs = self._workload()
+        engine = CertaintyEngine()
+        serial = engine.decide_batch(query, fks, dbs)
+        thread = engine.decide_batch(
+            query, fks, dbs, executor=ExecutorConfig(mode="thread", max_workers=4)
+        )
+        process = engine.decide_batch(
+            query, fks, dbs,
+            executor=ExecutorConfig(mode="process", max_workers=2, chunksize=4),
+        )
+        assert serial.answers == thread.answers == process.answers
+        assert serial.size == len(dbs)
+
+    def test_batch_records_metrics_once_per_plan(self):
+        query, fks, dbs = self._workload()
+        engine = CertaintyEngine()
+        # serial batches record per call; pooled batches one aggregate sample
+        engine.decide_batch(query, fks, dbs)
+        engine.decide_batch(
+            query, fks, dbs, executor=ExecutorConfig(mode="thread")
+        )
+        stats = engine.stats()
+        assert len(stats.plans) == 1
+        snapshot = stats.plans[0].metrics
+        assert snapshot.evaluations == 2 * len(dbs)
+        assert snapshot.batches == 1
+        assert snapshot.min_seconds is not None
+        assert stats.cache.hits == 1
+
+    def test_single_instance_batch_reports_serial_mode(self):
+        query, fks, dbs = self._workload()
+        engine = CertaintyEngine()
+        result = engine.decide_batch(
+            query, fks, dbs[:1], executor=ExecutorConfig(mode="process")
+        )
+        assert result.mode == "serial"  # the <=1 shortcut actually ran
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(mode="fibers")
+
+
+class TestEngineSolverAdapter:
+    def test_engine_behind_solver_protocol(self):
+        query, fks = proposition16_query()
+        solver = EngineSolver(query, fks)
+        from repro.workloads import proposition16_instance
+        import random
+
+        db = proposition16_instance(6, random.Random(2), marked_fraction=0.5)
+        assert solver.decide(db) == certain_answer(query, fks, db).certain
+        plan = solver.engine.plan_for(query, fks)
+        assert plan.backend is Backend.REACHABILITY
+
+
+class TestStreamWorkload:
+    def test_stream_is_deterministic_and_mixed(self):
+        params = StreamParams(n_problems=8, instances_per_problem=2, seed=4)
+        first = list(mixed_problem_stream(params))
+        second = list(mixed_problem_stream(params))
+        assert [i.label for i in first] == [i.label for i in second]
+        assert [i.instances for i in first] == [i.instances for i in second]
+        labels = {item.label for item in first}
+        assert "prop16" in labels and "prop17" in labels
+        for item in first:
+            assert len(item.instances) == 2
+            assert item.fks.is_about(item.query)
+
+
+class TestCliSubcommands:
+    @pytest.fixture
+    def fig1_file(self, tmp_path):
+        path = tmp_path / "fig1.db"
+        dump(fig1_instance(), path)
+        return str(path)
+
+    ARGS = [
+        "-a", "DOCS(x | t, '2016')",
+        "-a", "R(x, y |)",
+        "-a", "AUTHORS(y | 'Jeff', z)",
+        "-k", "R[1]->DOCS",
+        "-k", "R[2]->AUTHORS",
+    ]
+
+    def test_engine_subcommand(self, fig1_file, capsys):
+        code = main(["engine", *self.ARGS, fig1_file, "--explain"])
+        out = capsys.readouterr().out
+        assert code == 1  # Fig. 1's q0 is not certain
+        assert "certain=False" in out
+        assert "backend:  fo-rewriting" in out
+
+    def test_batch_subcommand_with_sql_backend(self, fig1_file, capsys):
+        code = main(
+            ["batch", *self.ARGS, fig1_file, fig1_file, "--repeat", "3",
+             "--sql"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "backend:    fo-sql" in out
+        assert "instances:  6" in out
+        # the workload compiled one plan and never re-fetched it; the CLI's
+        # own introspection must not inflate the printed counters
+        assert "plan cache: 0 hits, 1 misses" in out

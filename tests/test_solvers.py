@@ -129,6 +129,27 @@ class TestProposition16:
         db = DatabaseInstance([F("N", 1, 1), F("O", 1)])
         assert certain_by_reachability(db)
 
+    def test_obligation_cycle_is_no_instance(self):
+        # The repair {N(1,2), N(2,1), O(1), O(2)} sustains a cyclic chain
+        # of O-obligations without ever keeping a diagonal fact, so the
+        # marked vertex escapes by riding the cycle — not certain.
+        db = DatabaseInstance(
+            [F("N", 1, 1), F("N", 1, 2), F("N", 2, 2), F("N", 2, 1),
+             F("O", 1)]
+        )
+        assert not certain_by_reachability(db)
+        expected = certain_answer(*proposition16_query(), db).certain
+        assert certain_by_reachability(db) == expected
+
+    def test_cycle_with_stuck_branch_stays_certain(self):
+        # Vertex 1 is marked and its only choice leads to the stuck vertex
+        # 2 (block {N(2,2)} offers only the diagonal), so every repair
+        # keeps N(2,2) with O(2): certain despite the larger graph.
+        db = DatabaseInstance(
+            [F("N", 1, 1), F("N", 1, 2), F("N", 2, 2), F("O", 1)]
+        )
+        assert certain_by_reachability(db)
+
     def test_against_oracle(self, rng):
         q, fks = proposition16_query()
         for _ in range(300):
