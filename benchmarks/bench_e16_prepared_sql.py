@@ -1,0 +1,92 @@
+"""E16 — prepared SQL backend: warm per-plan connection vs per-call rebuild.
+
+Extension experiment, companion to E15: the redesigned
+:class:`~repro.solvers.rewriting_solver.SqlRewritingSolver` keeps one warm
+SQLite connection per prepared solver (schema DDL once, per instance only
+``DELETE`` + ``INSERT`` + the compiled ``SELECT``), where the historical
+behaviour (``warm=False``) reconnected and re-ran the DDL for every
+instance.  The report streams one batch of random instances through both
+modes over a session-routed ``fo-sql`` plan:
+
+* answers must be identical,
+* the warm solver must open exactly **one** connection for the whole
+  batch while the cold solver opens one per instance (the ISSUE 2
+  acceptance criterion), and
+* the warm mode must beat the rebuild on wall clock.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.api import Problem, connect
+from repro.solvers import SqlRewritingSolver
+from repro.workloads import random_instances_for_query
+
+PROBLEM = Problem.of(
+    "R(x | y)", "S(y | z)", "T(z |)", fks=["R[2]->S", "S[2]->T"],
+    name="e16-chain",
+)
+N_INSTANCES = 300
+
+
+def _instances():
+    return list(
+        random_instances_for_query(
+            PROBLEM.query, PROBLEM.fks, N_INSTANCES, seed=16
+        )
+    )
+
+
+def test_e16_report():
+    dbs = _instances()
+
+    cold = SqlRewritingSolver(PROBLEM.query, PROBLEM.fks, warm=False)
+    start = time.perf_counter()
+    cold_answers = [cold.decide(db) for db in dbs]
+    cold_seconds = time.perf_counter() - start
+
+    with connect(fo_backend="sql") as session:
+        start = time.perf_counter()
+        batch = session.decide_batch(PROBLEM, dbs)
+        warm_seconds = time.perf_counter() - start
+        warm_solver = session.prepare(PROBLEM).solver
+        warm_connections = warm_solver.connections_opened
+        backend = batch.backend
+
+    assert list(batch.answers) == cold_answers
+    assert backend == "fo-sql"
+    # the acceptance criterion: one SQLite connection for the whole batch
+    assert warm_connections == 1
+    assert cold.connections_opened == len(dbs)
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    report(
+        "E16: warm prepared-connection SQL vs per-call rebuild "
+        f"(batch of {len(dbs)})",
+        [
+            ("cold (rebuild per call)", f"{cold_seconds * 1e3:.1f} ms",
+             f"{len(dbs) / cold_seconds:,.0f}/s",
+             f"{cold.connections_opened} connections"),
+            ("warm (prepared plan)", f"{warm_seconds * 1e3:.1f} ms",
+             f"{len(dbs) / warm_seconds:,.0f}/s",
+             f"{warm_connections} connection"),
+            ("speedup", f"{speedup:.2f}x", "", ""),
+        ],
+        ("series", "elapsed", "throughput", "sqlite"),
+    )
+
+    # warm prepared execution must beat rebuilding connection+DDL per call
+    assert warm_seconds < cold_seconds
+
+
+def test_e16_cold_per_call_latency(benchmark):
+    db = _instances()[0]
+    solver = SqlRewritingSolver(PROBLEM.query, PROBLEM.fks, warm=False)
+    benchmark(lambda: solver.decide(db))
+
+
+def test_e16_warm_prepared_latency(benchmark):
+    db = _instances()[0]
+    with SqlRewritingSolver(PROBLEM.query, PROBLEM.fks) as solver:
+        solver.decide(db)  # warm the connection outside the timer
+        benchmark(lambda: solver.decide(db))

@@ -1,62 +1,69 @@
 #!/usr/bin/env python3
-"""Serving a mixed certainty workload through the plan-caching engine.
+"""Serving a mixed certainty workload through the `repro.api` session.
 
 Simulates the production loop the engine targets: a stream of
-``(q, FK, instances)`` requests mixing all three Theorem 12 classes —
+``(problem, instances)`` requests mixing all three Theorem 12 classes —
 FO-rewritable problems, the Proposition 16/17 polynomial problems, and
 coNP-hard stragglers — with popular problems recurring.  One
-:class:`~repro.engine.CertaintyEngine` serves the whole stream; the report
-shows which backend each request was routed to and how much work the plan
-cache saved.
+:class:`~repro.api.Session` serves the whole stream; every request comes
+back as a :class:`~repro.api.BatchDecision` whose provenance (backend,
+trichotomy class, plan-cache hit) the report prints, alongside how much
+work the plan cache saved.
 
 Run:  PYTHONPATH=src python examples/engine_serving.py
 """
 
-from repro.engine import CertaintyEngine
+from repro.api import connect
 from repro.workloads import StreamParams, mixed_problem_stream
 
 
 def main() -> None:
-    engine = CertaintyEngine()
     params = StreamParams(
         n_problems=16, instances_per_problem=5, seed=11, repeat_rate=0.35
     )
 
     print("=== serving a mixed problem stream ===")
-    header = f"{'request':<10} {'verdict':<8} {'backend':<16} {'answers':<10}"
+    header = (
+        f"{'request':<10} {'verdict':<8} {'backend':<16} {'cache':<6} "
+        f"{'answers':<10}"
+    )
     print(header)
     print("-" * len(header))
     total = 0
-    for item in mixed_problem_stream(params):
-        result = engine.decide_batch(item.query, item.fks, item.instances)
-        total += result.size
-        answers = f"{result.certain_count}/{result.size} certain"
-        print(
-            f"{item.label:<10} {item.verdict.name:<8} "
-            f"{result.backend:<16} {answers:<10}"
-        )
+    with connect() as session:
+        for item in mixed_problem_stream(params):
+            result = session.decide_batch(item.problem, item.instances)
+            total += result.size
+            answers = f"{result.certain_count}/{result.size} certain"
+            cache = "hit" if result.cache_hit else "miss"
+            print(
+                f"{item.label:<10} {result.verdict:<8} "
+                f"{result.backend:<16} {cache:<6} {answers:<10}"
+            )
 
-    print()
-    print("=== engine statistics ===")
-    stats = engine.stats()
-    hit_rate = stats.cache.hit_rate
-    print(f"instances served:  {total}")
-    print(f"distinct plans:    {stats.cache.size}")
-    print(
-        f"plan cache:        {stats.cache.hits} hits / "
-        f"{stats.cache.misses} misses"
-        + (f" ({hit_rate:.0%} hit rate)" if hit_rate is not None else "")
-    )
-    print()
-    print("per-plan metrics (least recently used first):")
-    for report in stats.plans:
-        snap = report.metrics
-        mean = snap.mean_seconds
-        mean_text = f"{mean * 1e6:8.1f} µs/eval" if mean else "     (unused)"
+        print()
+        print("=== session statistics ===")
+        stats = session.stats()
+        hit_rate = stats.cache.hit_rate
+        print(f"instances served:  {total}")
+        print(f"distinct plans:    {stats.cache.size}")
         print(
-            f"  {report.fingerprint}  {report.backend:<16} "
-            f"{snap.evaluations:4d} evals {mean_text}"
+            f"plan cache:        {stats.cache.hits} hits / "
+            f"{stats.cache.misses} misses"
+            + (f" ({hit_rate:.0%} hit rate)" if hit_rate is not None else "")
         )
+        print()
+        print("per-plan metrics (least recently used first):")
+        for report in stats.plans:
+            snap = report.metrics
+            mean = snap.mean_seconds
+            mean_text = f"{mean * 1e6:8.1f} µs/eval" if mean else "     (unused)"
+            print(
+                f"  {report.fingerprint}  {report.backend:<16} "
+                f"{snap.evaluations:4d} evals {mean_text}"
+            )
+    # leaving the with-block closed every prepared solver (warm SQL
+    # connections included) — the session lifecycle in one screenful.
 
 
 if __name__ == "__main__":

@@ -7,12 +7,14 @@ Walks the introduction of the paper end to end:
 2. inspect its primary-key and foreign-key violations,
 3. classify ``CERTAINTY(q0, FK0)`` with Theorem 12,
 4. construct and print the consistent first-order rewriting,
-5. answer the query consistently, and cross-check with the ⊕-repair oracle.
+5. answer the query consistently, and cross-check with the ⊕-repair oracle,
+6. do it all again in three lines through the `repro.api` session facade.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import certain, classify, consistent_rewriting, render
+from repro.api import Problem, connect
 from repro.db import violation_report
 from repro.fo import evaluate
 from repro.repairs import certain_answer
@@ -54,6 +56,15 @@ def main() -> None:
     query1, fks1 = intro_query_q1()
     print(classify(query1, fks1).explain())
     print(f"consistent answer on Fig. 1: {certain(query1, fks1, db)}")
+    print()
+
+    print("=== the same, through the repro.api session facade ===")
+    with connect() as session:
+        decision = session.decide(Problem(query, fks, name="q0"), db)
+    print(
+        f"certain={decision.certain} via backend={decision.backend} "
+        f"(verdict={decision.verdict}, {decision.wall_seconds * 1e3:.2f} ms)"
+    )
 
 
 if __name__ == "__main__":

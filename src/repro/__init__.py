@@ -4,6 +4,14 @@ Query Answering for Primary Keys and Unary Foreign Keys" (PODS 2022).
 Public API quick reference
 --------------------------
 
+**The canonical entry point is** :mod:`repro.api`: build a
+:class:`~repro.api.Problem` (``Problem.of(...)``, JSON round-trips), open a
+:class:`~repro.api.Session` with :func:`repro.api.connect`, and get
+structured :class:`~repro.api.Decision`s back.  ``Problem``, ``Session``,
+``Decision`` and ``connect`` are re-exported here for convenience.
+
+Lower-level building blocks:
+
 * :func:`repro.parse_query`, :func:`repro.fk_set` — build queries and
   foreign-key sets from compact text.
 * :func:`repro.classify` — the Theorem 12 decision procedure (FO / L-hard /
@@ -12,6 +20,7 @@ Public API quick reference
   rewriting when it exists (Theorem 1).
 * :func:`repro.certain` — one-shot consistent query answering on an
   instance, automatically picking the rewriting or the exact oracle.
+* :mod:`repro.engine` — the plan-caching certainty engine behind sessions.
 * :mod:`repro.repairs` — subset repairs and the exact ⊕-repair oracle.
 * :mod:`repro.solvers` — the Proposition 16/17 polynomial algorithms and
   baselines.
@@ -71,12 +80,29 @@ def certain(query, fks, db):
 
 
 __all__ = [
-    "Atom", "AttackGraph", "Classification", "ComplexityVerdict",
-    "ConjunctiveQuery", "Constant", "DatabaseInstance", "EvaluationError",
-    "Fact", "ForeignKey", "ForeignKeyError", "ForeignKeySet", "NotInFOError",
-    "OracleLimitation", "Parameter", "QueryError", "ReproError",
-    "RewritingResult", "Schema", "SchemaError", "Variable", "__version__",
-    "certain", "classify", "consistent_rewriting", "decide", "evaluate",
-    "fk_set", "is_in_fo", "parse_atom", "parse_foreign_key", "parse_query",
-    "render",
+    "Atom", "AttackGraph", "BatchDecision", "Classification",
+    "ComplexityVerdict", "ConjunctiveQuery", "Constant", "DatabaseInstance",
+    "Decision", "EvaluationError", "Fact", "ForeignKey", "ForeignKeyError",
+    "ForeignKeySet", "NotInFOError", "OracleLimitation", "Parameter",
+    "Problem", "ProblemFormatError", "QueryError", "ReproError",
+    "RewritingResult", "Schema", "SchemaError", "Session", "Variable",
+    "__version__", "certain", "classify", "connect", "consistent_rewriting",
+    "decide", "evaluate", "fk_set", "is_in_fo", "parse_atom",
+    "parse_foreign_key", "parse_query", "render",
 ]
+
+# Deprecation shims: the pre-redesign flat namespace keeps working, but the
+# facade objects live in (and are documented under) repro.api.  Lazy so that
+# `import repro` stays cheap and cycle-free.
+_API_SHIMS = (
+    "Problem", "Session", "SessionConfig", "Decision", "BatchDecision",
+    "ProblemFormatError", "connect", "prepare", "as_problem",
+)
+
+
+def __getattr__(name: str):
+    if name in _API_SHIMS:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,82 @@
+"""repro.api — the public facade: Problems in, Decisions out.
+
+The canonical entry point since the API redesign.  The three nouns:
+
+* :class:`Problem` — a frozen, serializable ``CERTAINTY(q, FK)`` value
+  (``Problem.of(...)``, ``to_json``/``from_json``, canonical fingerprint);
+* :class:`Session` — a context-managed facade owning a plan-caching
+  engine (``classify`` / ``rewrite`` / ``explain`` / ``decide`` /
+  ``decide_batch`` / ``prepare`` / ``stats``), opened with
+  :func:`connect`;
+* :class:`Decision` / :class:`BatchDecision` — structured results carrying
+  the verdict plus provenance (backend, trichotomy class, cache hit, wall
+  time), JSON-serializable.
+
+Quick use::
+
+    from repro.api import Problem, connect
+
+    problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+    with connect(fo_backend="sql") as session:
+        decision = session.decide(problem, db)         # Decision, truthy
+        batch = session.decide_batch(problem, dbs)     # one warm plan
+
+Backends are pluggable through the
+:class:`~repro.engine.registry.BackendRegistry` (:func:`default_registry`),
+and :func:`prepare` exposes the two-phase prepared-solver lifecycle
+stand-alone.
+
+(`Session` & friends are provided lazily via PEP 562: this package's
+eager surface — :class:`Problem`, :class:`Decision` — is import-cycle-free
+so that :mod:`repro.engine` itself can depend on it.)
+"""
+
+from ..exceptions import BackendRegistryError, ProblemFormatError
+from .decision import BatchDecision, Decision
+from .problem import Problem, as_problem
+
+__all__ = [
+    "BackendRegistry",
+    "BackendRegistryError",
+    "BackendSpec",
+    "BatchDecision",
+    "Decision",
+    "Problem",
+    "ProblemFormatError",
+    "RouteOptions",
+    "Session",
+    "SessionConfig",
+    "as_problem",
+    "connect",
+    "default_registry",
+    "prepare",
+]
+
+_LAZY = {
+    "Session": ("repro.api.session", "Session"),
+    "SessionConfig": ("repro.api.session", "SessionConfig"),
+    "connect": ("repro.api.session", "connect"),
+    "prepare": ("repro.api.session", "prepare"),
+    "BackendRegistry": ("repro.engine.registry", "BackendRegistry"),
+    "BackendSpec": ("repro.engine.registry", "BackendSpec"),
+    "RouteOptions": ("repro.engine.registry", "RouteOptions"),
+    "default_registry": ("repro.engine.registry", "default_registry"),
+}
+
+
+def __getattr__(name: str):
+    # Lazy: session pulls in the whole engine, and the engine's plan layer
+    # imports repro.api.problem — eager imports here would be circular.
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,123 @@
+"""Structured, serializable decision results.
+
+A bare ``bool`` tells a caller *what* was decided but not *how*; serving,
+auditing, and cache-sharding all need the provenance.  :class:`Decision`
+(one instance) and :class:`BatchDecision` (one plan over an instance
+stream) carry the verdict plus
+
+* the problem's canonical fingerprint (the shard/cache key),
+* the trichotomy class Theorem 12 assigned,
+* the backend the registry routed to,
+* whether the plan came from the cache, and
+* wall-clock time.
+
+Both are frozen values with lossless ``to_dict``/``to_json`` (and
+``from_dict`` for :class:`Decision`), so results can cross process
+boundaries next to their :class:`~repro.api.Problem`s.  ``Decision`` is
+truthy exactly when the answer is certain, so existing ``if
+engine.decide(...)`` call shapes keep working after migrating to the
+session facade.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from ..exceptions import ProblemFormatError
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """The certain answer on one instance, with provenance."""
+
+    certain: bool
+    fingerprint: str
+    verdict: str
+    backend: str
+    cache_hit: bool
+    wall_seconds: float
+
+    def __bool__(self) -> bool:
+        return self.certain
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "Decision":
+        if not isinstance(data, dict):
+            raise ProblemFormatError(
+                f"decision document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        try:
+            return cls(
+                certain=bool(data["certain"]),
+                fingerprint=str(data["fingerprint"]),
+                verdict=str(data["verdict"]),
+                backend=str(data["backend"]),
+                cache_hit=bool(data["cache_hit"]),
+                wall_seconds=float(data["wall_seconds"]),
+            )
+        except KeyError as missing:
+            raise ProblemFormatError(
+                f"decision document misses key {missing}"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "Decision":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise ProblemFormatError(f"invalid JSON: {error}") from error
+
+
+@dataclass(frozen=True, slots=True)
+class BatchDecision:
+    """The certain answers of one plan over an instance stream."""
+
+    answers: tuple[bool, ...]
+    fingerprint: str
+    verdict: str
+    backend: str
+    cache_hit: bool
+    wall_seconds: float  # total facade time, plan compile/lookup included
+    execute_seconds: float  # pure batch execution, the old `elapsed`
+    mode: str  # what actually executed: serial / thread / process
+
+    @property
+    def size(self) -> int:
+        return len(self.answers)
+
+    @property
+    def certain_count(self) -> int:
+        return sum(self.answers)
+
+    @property
+    def all_certain(self) -> bool:
+        return all(self.answers)
+
+    @property
+    def per_second(self) -> float | None:
+        """Execution throughput (compile cost excluded, as pre-redesign)."""
+        if self.execute_seconds <= 0 or not self.answers:
+            return None
+        return len(self.answers) / self.execute_seconds
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["answers"] = list(self.answers)
+        return data
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,294 @@
+"""The first-class problem object: ``CERTAINTY(q, FK)`` as one value.
+
+The paper's object of study is the *problem* — a self-join-free Boolean
+conjunctive query together with a set of unary foreign keys about it — yet
+most code paths historically passed the two halves loose.  :class:`Problem`
+bundles them into a frozen, hashable value with
+
+* validation at construction (``FK`` must be *about* ``q``, Section 3.2),
+* a cached canonical :class:`~repro.engine.fingerprint.Fingerprint` (the
+  plan-cache and shard key), and
+* lossless ``to_dict``/``from_dict``/``to_json``/``from_json`` round-trips,
+  so problems can cross process boundaries — the prerequisite for sharded
+  and remote serving.
+
+The wire format is deliberately plain JSON: tagged term triples
+(``["var", name]`` / ``["const", value]`` / ``["param", name]``), one
+object per atom and per foreign key, plus the full schema (which may
+declare relations beyond the query's, e.g. targets added via
+``fk_set(..., extra_schema=...)``).  Only string and integer constants are
+serializable — the same value domain as :mod:`repro.db.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..core.atoms import Atom
+from ..core.foreign_keys import ForeignKey, ForeignKeySet, parse_foreign_key
+from ..core.query import ConjunctiveQuery, parse_atom
+from ..core.schema import Schema, Signature
+from ..core.terms import Constant, Parameter, Term, Variable
+from ..exceptions import ProblemFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> api)
+    from ..engine.fingerprint import Fingerprint
+
+_FORMAT = "repro/problem"
+_VERSION = 1
+
+
+def _term_to_obj(term: Term) -> list:
+    if isinstance(term, Variable):
+        return ["var", term.name]
+    if isinstance(term, Parameter):
+        return ["param", term.name]
+    if isinstance(term, Constant):
+        if isinstance(term.value, bool) or not isinstance(
+            term.value, (str, int)
+        ):
+            raise ProblemFormatError(
+                f"constant {term.value!r} is not serializable: only string "
+                "and integer constants have a wire form"
+            )
+        return ["const", term.value]
+    raise ProblemFormatError(f"unknown term kind {term!r}")
+
+
+def _term_from_obj(obj: object) -> Term:
+    if not (isinstance(obj, (list, tuple)) and len(obj) == 2):
+        raise ProblemFormatError(f"malformed term {obj!r}: expected [tag, value]")
+    tag, value = obj
+    if tag == "var" and isinstance(value, str):
+        return Variable(value)
+    if tag == "param" and isinstance(value, str):
+        return Parameter(value)
+    if tag == "const" and isinstance(value, (str, int)) and not isinstance(
+        value, bool
+    ):
+        return Constant(value)
+    raise ProblemFormatError(f"malformed term {obj!r}: unknown tag or value")
+
+
+@dataclass(frozen=True, eq=False)
+class Problem:
+    """One ``CERTAINTY(q, FK)`` problem: query + foreign keys (+ a name).
+
+    Frozen and hashable; equality is structural on the query, the
+    foreign-key set (including its schema) and the name.  Two problems that
+    differ only in variable names compare unequal but share a
+    :attr:`fingerprint` — the engine's notion of sameness.
+    """
+
+    query: ConjunctiveQuery
+    fks: ForeignKeySet
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.fks.require_about(self.query)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def of(
+        cls,
+        *atom_texts: str,
+        fks: Iterable[str] = (),
+        name: str = "",
+        extra_schema: Schema | None = None,
+    ) -> "Problem":
+        """Build a problem from the compact text syntax.
+
+        >>> Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"]).fingerprint
+        Fingerprint(...)
+        """
+        query = ConjunctiveQuery(parse_atom(t) for t in atom_texts)
+        schema = query.schema()
+        if extra_schema is not None:
+            schema = schema.merge(extra_schema)
+        fk_set = ForeignKeySet([parse_foreign_key(t) for t in fks], schema)
+        return cls(query, fk_set, name=name)
+
+    # -- identity ------------------------------------------------------------
+
+    @cached_property
+    def fingerprint(self) -> "Fingerprint":
+        """The canonical problem fingerprint (cached; alpha-invariant)."""
+        from ..engine.fingerprint import problem_fingerprint
+
+        return problem_fingerprint(self.query, self.fks)
+
+    @property
+    def label(self) -> str:
+        """Back-compat alias for the pre-`repro.api` ``solvers.Problem``."""
+        return self.name or repr(self.query)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Problem):
+            return NotImplemented
+        return (
+            self.query == other.query
+            and self.fks == other.fks
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.query, self.fks.foreign_keys, self.name))
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"Problem({self.query!r}, {self.fks!r}{name})"
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-JSON-compatible dict losslessly encoding the problem."""
+        schema = self.fks.schema
+        return {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "name": self.name,
+            "atoms": [
+                {
+                    "relation": atom.relation,
+                    "key_size": atom.key_size,
+                    "terms": [_term_to_obj(t) for t in atom.terms],
+                }
+                for atom in self.query.atoms
+            ],
+            "foreign_keys": [
+                {"source": fk.source, "position": fk.position,
+                 "target": fk.target}
+                for fk in self.fks  # ForeignKeySet iterates sorted
+            ],
+            "schema": {
+                name: [schema[name].arity, schema[name].key_size]
+                for name in sorted(schema)
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The problem as a JSON document (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "Problem":
+        """Rebuild a problem from :meth:`to_dict` output.
+
+        Raises :class:`~repro.exceptions.ProblemFormatError` on any
+        malformed input; other repro validation errors (self-joins, foreign
+        keys not about the query, ...) propagate as themselves.
+        """
+        if not isinstance(data, Mapping):
+            raise ProblemFormatError(
+                f"problem document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        if data.get("format") != _FORMAT:
+            raise ProblemFormatError(
+                f"not a problem document: format={data.get('format')!r} "
+                f"(expected {_FORMAT!r})"
+            )
+        if data.get("version") != _VERSION:
+            raise ProblemFormatError(
+                f"unsupported problem version {data.get('version')!r} "
+                f"(this library reads version {_VERSION})"
+            )
+        name = data.get("name", "")
+        if not isinstance(name, str):
+            raise ProblemFormatError(f"problem name must be a string, got {name!r}")
+        atoms = []
+        for entry in _require_list(data, "atoms"):
+            if not isinstance(entry, Mapping):
+                raise ProblemFormatError(f"malformed atom entry {entry!r}")
+            try:
+                relation = entry["relation"]
+                key_size = entry["key_size"]
+                terms = entry["terms"]
+            except KeyError as missing:
+                raise ProblemFormatError(
+                    f"atom entry {entry!r} misses key {missing}"
+                ) from None
+            if not isinstance(relation, str) or not isinstance(key_size, int):
+                raise ProblemFormatError(f"malformed atom entry {entry!r}")
+            if not isinstance(terms, list):
+                raise ProblemFormatError(
+                    f"atom {relation!r}: terms must be a list"
+                )
+            atoms.append(
+                Atom(relation, tuple(_term_from_obj(t) for t in terms),
+                     key_size)
+            )
+        query = ConjunctiveQuery(atoms)
+        signatures: dict[str, Signature] = {}
+        schema_entries = data.get("schema", {})
+        if not isinstance(schema_entries, Mapping):
+            raise ProblemFormatError("problem schema must be an object")
+        for rel, sig in schema_entries.items():
+            if not (
+                isinstance(rel, str)
+                and isinstance(sig, (list, tuple))
+                and len(sig) == 2
+                and all(isinstance(n, int) for n in sig)
+            ):
+                raise ProblemFormatError(
+                    f"malformed schema entry {rel!r}: {sig!r}"
+                )
+            signatures[rel] = Signature(sig[0], sig[1])
+        schema = query.schema().merge(Schema(signatures))
+        fks = []
+        for entry in _require_list(data, "foreign_keys"):
+            if not (
+                isinstance(entry, Mapping)
+                and isinstance(entry.get("source"), str)
+                and isinstance(entry.get("position"), int)
+                and isinstance(entry.get("target"), str)
+            ):
+                raise ProblemFormatError(
+                    f"malformed foreign-key entry {entry!r}"
+                )
+            fks.append(
+                ForeignKey(entry["source"], entry["position"], entry["target"])
+            )
+        return cls(query, ForeignKeySet(fks, schema), name=name)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Problem":
+        """Parse a problem from its JSON document form."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ProblemFormatError(f"invalid JSON: {error}") from error
+        return cls.from_dict(data)
+
+
+def _require_list(data: Mapping, key: str) -> list:
+    value = data.get(key)
+    if not isinstance(value, list):
+        raise ProblemFormatError(
+            f"problem document key {key!r} must be a list, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def as_problem(
+    problem: "Problem | ConjunctiveQuery",
+    fks: ForeignKeySet | None = None,
+    name: str = "",
+) -> "Problem":
+    """Coerce ``(query, fks)`` call styles into a :class:`Problem`.
+
+    The migration helper behind every facade entry point: new code passes a
+    :class:`Problem`; old code keeps passing the pair.
+    """
+    if isinstance(problem, Problem):
+        if fks is not None:
+            raise TypeError("pass either a Problem or (query, fks), not both")
+        return problem
+    if fks is None:
+        raise TypeError("a bare query needs its ForeignKeySet")
+    return Problem(problem, fks, name=name)

@@ -1,0 +1,207 @@
+"""The session facade: the canonical way to consume this library.
+
+A :class:`Session` owns a :class:`~repro.engine.CertaintyEngine` and speaks
+:class:`~repro.api.Problem` in, :class:`~repro.api.Decision` out — the
+database-client idiom (connect, prepare, execute, close) applied to
+``CERTAINTY(q, FK)``::
+
+    from repro.api import Problem, connect
+
+    problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+    with connect(fo_backend="sql") as session:
+        decision = session.decide(problem, db)
+        print(decision.certain, decision.backend, decision.cache_hit)
+        batch = session.decide_batch(problem, dbs)   # one warm plan
+        print(session.explain(problem))
+
+Sessions are context managers; closing one releases every prepared
+solver's resources (warm SQLite connections included).  All heavy lifting
+— fingerprint-keyed plan caching, registry routing, batch execution —
+stays in the engine; the session adds problem coercion and structured,
+serializable decisions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from ..core.classify import Classification, classify
+from ..core.rewriting import RewritingResult, consistent_rewriting
+from ..db.instance import DatabaseInstance
+from ..engine.engine import (
+    CertaintyEngine,
+    EngineConfig,
+    EngineStats,
+)
+from ..engine.executor import ExecutorConfig
+from ..engine.plan import CertaintyPlan
+from ..engine.registry import BackendRegistry, RouteOptions, default_registry
+from ..solvers.base import PreparedSolver
+from .decision import BatchDecision, Decision
+from .problem import Problem
+
+# The session-level alias: a session is configured exactly like the engine
+# it wraps.
+SessionConfig = EngineConfig
+
+
+class Session:
+    """A stateful facade over one :class:`~repro.engine.CertaintyEngine`."""
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        *,
+        engine: CertaintyEngine | None = None,
+    ):
+        if engine is not None and config is not None:
+            raise TypeError("pass either a config or an engine, not both")
+        self._engine = engine or CertaintyEngine(config)
+        self._closed = False
+
+    @property
+    def engine(self) -> CertaintyEngine:
+        """The wrapped engine (for interop with pre-session code)."""
+        return self._engine
+
+    @property
+    def config(self) -> SessionConfig:
+        return self._engine.config
+
+    # -- analysis -----------------------------------------------------------
+
+    def classify(self, problem: Problem) -> Classification:
+        """The Theorem 12 classification (no solver is constructed)."""
+        self._check_open()
+        return classify(problem.query, problem.fks)
+
+    def rewrite(self, problem: Problem) -> RewritingResult:
+        """The consistent FO rewriting; raises
+        :class:`~repro.exceptions.NotInFOError` outside the FO class."""
+        self._check_open()
+        return consistent_rewriting(problem.query, problem.fks)
+
+    def explain(self, problem: Problem) -> str:
+        """The compiled plan's summary (compiling and caching on demand)."""
+        self._check_open()
+        return self._engine.explain(problem)
+
+    # -- preparation --------------------------------------------------------
+
+    def prepare(self, problem: Problem) -> CertaintyPlan:
+        """Compile (or fetch) the problem's plan with its prepared solver.
+
+        The plan stays owned by the session's cache — do not ``close()`` it
+        directly; it is released on eviction or :meth:`close`.
+        """
+        self._check_open()
+        return self._engine.plan_for(problem)
+
+    # -- execution ----------------------------------------------------------
+
+    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+        """The certain answer on one instance, with provenance."""
+        self._check_open()
+        start = time.perf_counter()
+        plan, hit = self._engine.plan_entry(problem)
+        certain = plan.decide(db)
+        return Decision(
+            certain=certain,
+            fingerprint=plan.fingerprint.digest,
+            verdict=plan.classification.verdict.name,
+            backend=plan.backend,
+            cache_hit=hit,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    def decide_batch(
+        self,
+        problem: Problem,
+        dbs: Iterable[DatabaseInstance],
+        executor: ExecutorConfig | None = None,
+    ) -> BatchDecision:
+        """The certain answers over an instance stream, through one plan."""
+        self._check_open()
+        start = time.perf_counter()
+        plan, hit = self._engine.plan_entry(problem)
+        result = self._engine.run_batch(plan, dbs, executor=executor)
+        return BatchDecision(
+            answers=result.answers,
+            fingerprint=plan.fingerprint.digest,
+            verdict=plan.classification.verdict.name,
+            backend=plan.backend,
+            cache_hit=hit,
+            wall_seconds=time.perf_counter() - start,
+            execute_seconds=result.elapsed_seconds,
+            mode=result.mode,
+        )
+
+    # -- introspection and lifecycle ----------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Cache counters plus one report per cached plan."""
+        return self._engine.stats()
+
+    def close(self) -> None:
+        """Release every prepared solver; the session becomes unusable."""
+        self._closed = True
+        self._engine.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({state}, fo_backend={self.config.fo_backend!r}, "
+            f"plans={self._engine.cache_stats().size})"
+        )
+
+
+def connect(
+    *,
+    fo_backend: str = "memory",
+    plan_cache_size: int = 128,
+    executor: ExecutorConfig | None = None,
+    registry: BackendRegistry | None = None,
+) -> Session:
+    """Open a :class:`Session` — the ``sqlite3.connect`` of this library."""
+    return Session(
+        SessionConfig(
+            plan_cache_size=plan_cache_size,
+            fo_backend=fo_backend,
+            executor=executor or ExecutorConfig(),
+            registry=registry,
+        )
+    )
+
+
+def prepare(
+    problem: Problem,
+    *,
+    fo_backend: str = "memory",
+    registry: BackendRegistry | None = None,
+) -> PreparedSolver:
+    """The two-phase lifecycle, stand-alone: classify + route *problem* and
+    return its prepared solver.
+
+    Unlike :meth:`Session.prepare` the caller owns the result: reuse it
+    across any number of ``decide(db)`` calls and ``close()`` it (it is a
+    context manager) when done.
+    """
+    options = RouteOptions(fo_backend=fo_backend)
+    classification = classify(problem.query, problem.fks)
+    spec = (registry or default_registry()).select(classification, options)
+    return spec.factory(classification, options)

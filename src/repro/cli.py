@@ -5,70 +5,107 @@ Commands
 
 ``classify``   run the Theorem 12 decision procedure on a problem;
 ``rewrite``    print the consistent first-order rewriting (FO cases);
+``sql``        compile the consistent rewriting to a SQL query;
 ``decide``     answer ``CERTAINTY(q, FK)`` on an instance file;
 ``engine``     answer through the plan-caching engine, with provenance;
 ``batch``      evaluate many instance files through one compiled plan;
+``problem``    export/import problems as portable JSON documents;
 ``repairs``    enumerate the canonical ⊕-repairs of an instance;
 ``violations`` report primary/foreign-key violations of an instance.
 
-Queries are given as one ``-a/--atom`` per atom (key positions before the
-``|``) and foreign keys as ``-k/--fk R[2]->S``; instances are text files in
-the :mod:`repro.db.io` format.  Example::
+Problems are given either as one ``-a/--atom`` per atom (key positions
+before the ``|``) plus ``-k/--fk R[2]->S`` foreign keys, or — for
+``engine``/``batch``/``problem import`` — as a JSON document produced by
+``repro problem export`` (``-p/--problem problem.json``).  Instances are
+text files in the :mod:`repro.db.io` format.  Examples::
 
     python -m repro classify -a "N(x | 'c', y)" -a "O(y |)" -k "N[3]->O"
+    python -m repro problem export -a "R(x | y)" -a "S(y | z)" -k "R[2]->S" \
+        -o problem.json
+    python -m repro batch -p problem.json db1.txt db2.txt --repeat 100
+
+All commands run through :mod:`repro.api` (Problem/Session).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from .core.classify import classify
-from .core.decision import decide
-from .core.foreign_keys import ForeignKeySet, parse_foreign_key
-from .core.query import ConjunctiveQuery, parse_atom
-from .core.rewriting import consistent_rewriting
+from .api.problem import Problem
+from .api.session import Session, SessionConfig
 from .db import violation_report
 from .db.io import load
-from .exceptions import NotInFOError, ReproError
+from .exceptions import NotInFOError, ProblemFormatError, ReproError
 from .fo.render import render, render_tree
-from .repairs import canonical_repairs, certain_answer
+from .repairs import canonical_repairs
 
 
-def _build_problem(args) -> tuple[ConjunctiveQuery, ForeignKeySet]:
-    query = ConjunctiveQuery([parse_atom(a) for a in args.atom])
-    fks = ForeignKeySet(
-        [parse_foreign_key(k) for k in args.fk or []], query.schema()
+def _problem_from_file(path: str) -> Problem:
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ProblemFormatError(
+            f"cannot read problem file {path!r}: {error}"
+        ) from error
+    return Problem.from_json(text)
+
+
+def _build_problem(args) -> Problem:
+    """The problem from ``-a``/``-k`` text or a ``-p`` JSON file."""
+    problem_file = getattr(args, "problem", None)
+    if problem_file:
+        if args.atom or args.fk:
+            raise ProblemFormatError(
+                "pass either -p/--problem or -a/-k atoms, not both"
+            )
+        return _problem_from_file(problem_file)
+    if not args.atom:
+        raise ProblemFormatError(
+            "no problem given: pass -a/--atom atoms (with optional -k) "
+            "or -p/--problem problem.json"
+        )
+    return Problem.of(
+        *args.atom, fks=args.fk or [], name=getattr(args, "name", "") or ""
     )
-    fks.require_about(query)
-    return query, fks
 
 
-def _add_problem_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_problem_arguments(
+    parser: argparse.ArgumentParser, with_json: bool = False
+) -> None:
     parser.add_argument(
-        "-a", "--atom", action="append", required=True,
+        "-a", "--atom", action="append", default=[],
         help="one query atom, e.g. \"R(x | y)\" (repeatable)",
     )
     parser.add_argument(
         "-k", "--fk", action="append", default=[],
         help="one unary foreign key, e.g. \"R[2]->S\" (repeatable)",
     )
+    if with_json:
+        parser.add_argument(
+            "-p", "--problem", metavar="FILE",
+            help="problem JSON file (see `repro problem export`) instead "
+                 "of -a/-k",
+        )
 
 
 def _cmd_classify(args) -> int:
-    query, fks = _build_problem(args)
-    result = classify(query, fks)
+    problem = _build_problem(args)
+    with Session() as session:
+        result = session.classify(problem)
     print(result.explain())
     return 0 if result.in_fo else 1
 
 
 def _cmd_rewrite(args) -> int:
-    query, fks = _build_problem(args)
-    try:
-        result = consistent_rewriting(query, fks)
-    except NotInFOError as error:
-        print(error, file=sys.stderr)
-        return 1
+    problem = _build_problem(args)
+    with Session() as session:
+        try:
+            result = session.rewrite(problem)
+        except NotInFOError as error:
+            print(error, file=sys.stderr)
+            return 1
     if args.tree:
         print(render_tree(result.formula))
     else:
@@ -81,27 +118,36 @@ def _cmd_rewrite(args) -> int:
 def _cmd_sql(args) -> int:
     from .fo.sql import to_sql
 
-    query, fks = _build_problem(args)
-    try:
-        result = consistent_rewriting(query, fks)
-    except NotInFOError as error:
-        print(error, file=sys.stderr)
-        return 1
-    print(to_sql(result.formula, query.schema()))
+    problem = _build_problem(args)
+    with Session() as session:
+        try:
+            result = session.rewrite(problem)
+        except NotInFOError as error:
+            print(error, file=sys.stderr)
+            return 1
+    print(to_sql(result.formula, problem.query.schema()))
     return 0
 
 
+def _backend_description(name: str) -> str:
+    """The registered backend's human description, or the bare name."""
+    from .engine import default_registry
+    from .exceptions import BackendRegistryError
+
+    try:
+        return default_registry().get(name).description or name
+    except BackendRegistryError:
+        return name
+
+
 def _cmd_decide(args) -> int:
-    query, fks = _build_problem(args)
+    problem = _build_problem(args)
     db = load(args.database)
-    if classify(query, fks).in_fo:
-        answer = decide(query, fks, db, check_classification=False)
-        method = "consistent FO rewriting"
-    else:
-        answer = certain_answer(query, fks, db).certain
-        method = "exact ⊕-repair oracle"
-    print(f"certain: {answer}   (via {method})")
-    return 0 if answer else 1
+    with Session() as session:  # classification paid once, in plan compile
+        decision = session.decide(problem, db)
+    method = _backend_description(decision.backend)
+    print(f"certain: {decision.certain}   (via {method})")
+    return 0 if decision.certain else 1
 
 
 def _positive_int(text: str) -> int:
@@ -113,15 +159,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _engine_from_args(args):
-    from .engine import CertaintyEngine, EngineConfig, ExecutorConfig
+def _session_from_args(args) -> Session:
+    from .engine import ExecutorConfig
 
     executor = ExecutorConfig(
         mode=getattr(args, "mode", "serial"),
         max_workers=getattr(args, "jobs", None),
     )
-    return CertaintyEngine(
-        EngineConfig(
+    return Session(
+        SessionConfig(
             fo_backend="sql" if args.sql else "memory",
             executor=executor,
         )
@@ -129,43 +175,68 @@ def _engine_from_args(args):
 
 
 def _cmd_engine(args) -> int:
-    query, fks = _build_problem(args)
-    engine = _engine_from_args(args)
-    answers = []
-    for path in args.database:
-        answer = engine.decide(query, fks, load(path))
-        answers.append(answer)
-        print(f"{path}: certain={answer}")
-    plan = engine.plan_for(query, fks)
-    if args.explain:
-        print(plan.describe())
-    else:
-        print(f"backend: {plan.backend.value}")
-    return 0 if all(answers) else 1
+    problem = _build_problem(args)
+    with _session_from_args(args) as session:
+        decisions = []
+        for path in args.database:
+            decision = session.decide(problem, load(path))
+            decisions.append(decision)
+            print(f"{path}: certain={decision.certain}")
+        if args.explain:
+            print(session.explain(problem))
+        else:
+            print(f"backend: {decisions[-1].backend}")
+    return 0 if all(d.certain for d in decisions) else 1
 
 
 def _cmd_batch(args) -> int:
-    query, fks = _build_problem(args)
-    engine = _engine_from_args(args)
+    problem = _build_problem(args)
     instances = [load(path) for path in args.database] * args.repeat
-    result = engine.decide_batch(query, fks, instances)
-    # read the counters before the introspective plan_for below inflates them
-    cache = engine.cache_stats()
-    plan = engine.plan_for(query, fks)
+    with _session_from_args(args) as session:
+        result = session.decide_batch(problem, instances)
+        cache = session.stats().cache
     throughput = (
         f"{result.per_second:,.0f}/s" if result.per_second else "n/a"
     )
-    print(f"backend:    {plan.backend.value} ({result.mode})")
+    print(f"backend:    {result.backend} ({result.mode})")
     print(f"instances:  {result.size} ({result.certain_count} certain)")
-    print(f"elapsed:    {result.elapsed_seconds * 1e3:.2f} ms ({throughput})")
+    print(f"elapsed:    {result.execute_seconds * 1e3:.2f} ms ({throughput})")
     print(f"plan cache: {cache.hits} hits, {cache.misses} misses")
-    return 0 if all(result.answers) else 1
+    return 0 if result.all_certain else 1
+
+
+def _cmd_problem_export(args) -> int:
+    problem = _build_problem(args)
+    if args.name and problem.name != args.name:
+        # also meaningful with -p: re-export under a new name
+        problem = Problem(problem.query, problem.fks, name=args.name)
+    document = problem.to_json(indent=2)
+    if args.output:
+        Path(args.output).write_text(document + "\n")
+        print(f"wrote {args.output} ({problem.fingerprint.digest})")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_problem_import(args) -> int:
+    problem = _problem_from_file(args.file)
+    with Session() as session:
+        classification = session.classify(problem)
+    if problem.name:
+        print(f"name:        {problem.name}")
+    print(f"fingerprint: {problem.fingerprint.digest}")
+    print(f"problem:     {problem.fingerprint.text}")
+    print(f"verdict:     {classification.verdict.value}")
+    return 0
 
 
 def _cmd_repairs(args) -> int:
-    query, fks = _build_problem(args)
+    problem = _build_problem(args)
     db = load(args.database)
-    for index, repair in enumerate(canonical_repairs(db, fks), start=1):
+    for index, repair in enumerate(
+        canonical_repairs(db, problem.fks), start=1
+    ):
         print(f"--- repair {index} ({repair.size} facts)")
         print(repair.pretty() or "  (empty)")
         if args.limit and index >= args.limit:
@@ -175,9 +246,9 @@ def _cmd_repairs(args) -> int:
 
 
 def _cmd_violations(args) -> int:
-    query, fks = _build_problem(args)
+    problem = _build_problem(args)
     db = load(args.database)
-    report = violation_report(db, fks)
+    report = violation_report(db, problem.fks)
     print(report)
     return 0 if report == "consistent" else 1
 
@@ -194,11 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("classify", help="Theorem 12 decision procedure")
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.set_defaults(handler=_cmd_classify)
 
     p = sub.add_parser("rewrite", help="construct the consistent rewriting")
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.add_argument("--tree", action="store_true", help="multi-line layout")
     p.add_argument("--trace", action="store_true",
                    help="show which lemmas fired")
@@ -207,18 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sql", help="compile the consistent rewriting to a SQL query"
     )
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.set_defaults(handler=_cmd_sql)
 
     p = sub.add_parser("decide", help="answer CERTAINTY(q, FK) on a file")
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.add_argument("database", help="instance file (repro.db.io format)")
     p.set_defaults(handler=_cmd_decide)
 
     p = sub.add_parser(
         "engine", help="answer through the plan-caching certainty engine"
     )
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.add_argument("database", nargs="+", help="instance file(s)")
     p.add_argument("--sql", action="store_true",
                    help="evaluate FO problems as compiled SQL over SQLite")
@@ -229,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "batch", help="evaluate many instances through one compiled plan"
     )
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.add_argument("database", nargs="+", help="instance file(s)")
     p.add_argument("--sql", action="store_true",
                    help="evaluate FO problems as compiled SQL over SQLite")
@@ -241,15 +312,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evaluate the instance list this many times")
     p.set_defaults(handler=_cmd_batch)
 
+    p = sub.add_parser(
+        "problem", help="export/import problems as portable JSON"
+    )
+    problem_sub = p.add_subparsers(dest="problem_command", required=True)
+
+    pe = problem_sub.add_parser(
+        "export", help="serialize a problem to its JSON document"
+    )
+    _add_problem_arguments(pe, with_json=True)  # -p re-exports (normalizes)
+    pe.add_argument("--name", default="", help="optional problem name")
+    pe.add_argument("-o", "--output", metavar="FILE",
+                    help="write the document here instead of stdout")
+    pe.set_defaults(handler=_cmd_problem_export)
+
+    pi = problem_sub.add_parser(
+        "import", help="read a problem JSON document and summarize it"
+    )
+    pi.add_argument("file", help="problem JSON file")
+    pi.set_defaults(handler=_cmd_problem_import)
+
     p = sub.add_parser("repairs", help="enumerate canonical ⊕-repairs")
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.add_argument("database", help="instance file")
     p.add_argument("--limit", type=int, default=20,
                    help="stop after this many repairs")
     p.set_defaults(handler=_cmd_repairs)
 
     p = sub.add_parser("violations", help="report constraint violations")
-    _add_problem_arguments(p)
+    _add_problem_arguments(p, with_json=True)
     p.add_argument("database", help="instance file")
     p.set_defaults(handler=_cmd_violations)
 

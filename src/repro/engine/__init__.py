@@ -2,19 +2,23 @@
 
 The production-facing layer over the reproduction: compile a
 ``CERTAINTY(q, FK)`` problem once into a :class:`CertaintyPlan` (Theorem 12
-classification + cheapest-backend routing + rewriting/SQL construction),
-cache plans by canonical problem fingerprint, and amortize each plan over
-arbitrarily many instances with serial, thread-pool, or process-pool batch
-execution and per-plan metrics.
+classification + registry-based backend routing + prepared-solver
+construction), cache plans by canonical problem fingerprint, and amortize
+each plan over arbitrarily many instances with serial, thread-pool, or
+process-pool batch execution and per-plan metrics.
 
-Quick use::
+Most callers should use the :class:`repro.api.Session` facade on top of
+this engine; direct use::
 
     from repro.engine import CertaintyEngine
 
-    engine = CertaintyEngine()
-    answer = engine.decide(query, fks, db)          # plan cached
-    batch = engine.decide_batch(query, fks, dbs)    # one plan, many instances
-    print(engine.explain(query, fks))               # backend provenance
+    with CertaintyEngine() as engine:
+        answer = engine.decide(query, fks, db)          # plan cached
+        batch = engine.decide_batch(query, fks, dbs)    # one plan, many dbs
+        print(engine.explain(query, fks))               # backend provenance
+
+Backends are pluggable: see :class:`~repro.engine.registry.BackendRegistry`
+and the built-in specs in :mod:`repro.engine.router`.
 """
 
 from .cache import CacheStats, PlanCache
@@ -29,18 +33,28 @@ from .executor import BatchExecutor, BatchResult, ExecutorConfig
 from .fingerprint import Fingerprint, canonical_atoms, problem_fingerprint
 from .metrics import MetricsSnapshot, PlanMetrics
 from .plan import CertaintyPlan, compile_plan
+from .registry import (
+    BackendRegistry,
+    BackendSpec,
+    RouteOptions,
+    default_registry,
+)
 from .router import (
+    BUILTIN_BACKENDS,
     Backend,
     matches_proposition16,
     matches_proposition17,
+    register_builtin_backends,
     select_backend,
 )
 
 __all__ = [
-    "Backend", "BatchExecutor", "BatchResult", "CacheStats", "CertaintyEngine",
+    "BUILTIN_BACKENDS", "Backend", "BackendRegistry", "BackendSpec",
+    "BatchExecutor", "BatchResult", "CacheStats", "CertaintyEngine",
     "CertaintyPlan", "EngineConfig", "EngineSolver", "EngineStats",
     "ExecutorConfig", "Fingerprint", "MetricsSnapshot", "PlanCache",
-    "PlanMetrics", "PlanReport", "canonical_atoms", "compile_plan",
-    "matches_proposition16", "matches_proposition17", "problem_fingerprint",
-    "select_backend",
+    "PlanMetrics", "PlanReport", "RouteOptions", "canonical_atoms",
+    "compile_plan", "default_registry", "matches_proposition16",
+    "matches_proposition17", "problem_fingerprint",
+    "register_builtin_backends", "select_backend",
 ]

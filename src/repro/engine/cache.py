@@ -56,23 +56,43 @@ class PlanCache:
         build: Callable[[], CertaintyPlan],
     ) -> CertaintyPlan:
         """The cached plan for *fingerprint*, compiling via *build* on miss."""
+        return self.entry(fingerprint, build)[0]
+
+    def entry(
+        self,
+        fingerprint: Fingerprint,
+        build: Callable[[], CertaintyPlan],
+    ) -> tuple[CertaintyPlan, bool]:
+        """Like :meth:`get_or_build`, plus whether the lookup was a hit.
+
+        The flag feeds :class:`~repro.api.Decision` provenance; a racing
+        builder that loses the insertion race still reports a miss (it did
+        compile).
+        """
         with self._lock:
             plan = self._plans.get(fingerprint)
             if plan is not None:
                 self._hits += 1
                 self._plans.move_to_end(fingerprint)
-                return plan
+                return plan, True
             self._misses += 1
         built = build()  # outside the lock: don't block unrelated hits
+        evicted: list[CertaintyPlan] = []
         with self._lock:
             winner = self._plans.get(fingerprint)
             if winner is not None:
-                return winner  # a racing builder inserted first
-            self._plans[fingerprint] = built
-            while len(self._plans) > self._capacity:
-                self._plans.popitem(last=False)
-                self._evictions += 1
-            return built
+                result = winner  # a racing builder inserted first
+                evicted.append(built)  # the loser's solver is never used
+            else:
+                self._plans[fingerprint] = built
+                result = built
+                while len(self._plans) > self._capacity:
+                    _, old = self._plans.popitem(last=False)
+                    self._evictions += 1
+                    evicted.append(old)
+        for plan in evicted:  # outside the lock: close may do real work
+            plan.close()
+        return result, False
 
     def peek(self, fingerprint: Fingerprint) -> CertaintyPlan | None:
         """The cached plan without affecting order or counters."""
@@ -85,8 +105,12 @@ class PlanCache:
             return list(self._plans.values())
 
     def clear(self) -> None:
+        """Drop every cached plan, closing each prepared solver."""
         with self._lock:
+            dropped = list(self._plans.values())
             self._plans.clear()
+        for plan in dropped:
+            plan.close()
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -4,13 +4,16 @@
 consistent query answering.  Every ``decide``/``decide_batch`` call
 
 1. fingerprints the problem (:mod:`repro.engine.fingerprint`),
-2. fetches or compiles the plan (classification + routing + rewriting
-   construction, paid once per distinct problem),
-3. executes the plan's solver over the instance(s), accumulating per-plan
-   metrics.
+2. fetches or compiles the plan (classification + registry routing +
+   prepared-solver construction, paid once per distinct problem),
+3. executes the plan's prepared solver over the instance(s), accumulating
+   per-plan metrics.
 
-The engine is safe to share across threads; later scaling work (sharding,
-async serving, multi-backend fan-out) plugs in behind this interface.
+The engine is safe to share across threads and is a context manager:
+``close()`` (or ``clear()``) releases every cached plan's prepared solver
+— warm SQL connections included.  Higher-level code should prefer the
+:class:`repro.api.Session` facade, which wraps an engine and returns
+structured :class:`~repro.api.Decision`s.
 """
 
 from __future__ import annotations
@@ -18,14 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..api.problem import Problem, as_problem
 from ..core.foreign_keys import ForeignKeySet
 from ..core.query import ConjunctiveQuery
 from ..db.instance import DatabaseInstance
 from .cache import CacheStats, PlanCache
 from .executor import BatchExecutor, BatchResult, ExecutorConfig
-from .fingerprint import problem_fingerprint
 from .metrics import MetricsSnapshot
 from .plan import CertaintyPlan, compile_plan
+from .registry import BackendRegistry
 
 
 @dataclass(frozen=True)
@@ -35,6 +39,7 @@ class EngineConfig:
     plan_cache_size: int = 128
     fo_backend: str = "memory"  # or "sql"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    registry: BackendRegistry | None = None  # None: the default registry
 
     def __post_init__(self) -> None:
         if self.fo_backend not in ("memory", "sql"):
@@ -63,7 +68,11 @@ class EngineStats:
 
 
 class CertaintyEngine:
-    """Plan-caching, auto-routing decision engine for ``CERTAINTY(q, FK)``."""
+    """Plan-caching, auto-routing decision engine for ``CERTAINTY(q, FK)``.
+
+    Every problem-taking method accepts either a :class:`repro.api.Problem`
+    or the historical ``(query, fks)`` pair.
+    """
 
     def __init__(self, config: EngineConfig | None = None):
         self.config = config or EngineConfig()
@@ -72,44 +81,94 @@ class CertaintyEngine:
 
     # -- planning -----------------------------------------------------------
 
-    def plan_for(
-        self, query: ConjunctiveQuery, fks: ForeignKeySet
-    ) -> CertaintyPlan:
-        """The compiled plan for ``(q, FK)``, from cache when possible."""
-        fingerprint = problem_fingerprint(query, fks)
-        return self._cache.get_or_build(
+    def plan_entry(
+        self,
+        query: ConjunctiveQuery | Problem,
+        fks: ForeignKeySet | None = None,
+    ) -> tuple[CertaintyPlan, bool]:
+        """The compiled plan plus whether the lookup hit the cache."""
+        problem = as_problem(query, fks)
+        fingerprint = problem.fingerprint
+        return self._cache.entry(
             fingerprint,
             lambda: compile_plan(
-                query, fks,
+                problem,
                 fo_backend=self.config.fo_backend,
                 fingerprint=fingerprint,
+                registry=self.config.registry,
             ),
         )
 
-    def explain(self, query: ConjunctiveQuery, fks: ForeignKeySet) -> str:
-        """The plan summary for ``(q, FK)`` (compiling it if necessary)."""
+    def plan_for(
+        self,
+        query: ConjunctiveQuery | Problem,
+        fks: ForeignKeySet | None = None,
+    ) -> CertaintyPlan:
+        """The compiled plan for the problem, from cache when possible."""
+        return self.plan_entry(query, fks)[0]
+
+    def explain(
+        self,
+        query: ConjunctiveQuery | Problem,
+        fks: ForeignKeySet | None = None,
+    ) -> str:
+        """The plan summary for the problem (compiling it if necessary)."""
         return self.plan_for(query, fks).describe()
 
     # -- execution ----------------------------------------------------------
 
     def decide(
         self,
-        query: ConjunctiveQuery,
-        fks: ForeignKeySet,
-        db: DatabaseInstance,
+        query: ConjunctiveQuery | Problem,
+        fks: ForeignKeySet | DatabaseInstance | None = None,
+        db: DatabaseInstance | None = None,
     ) -> bool:
-        """The certain answer on one instance."""
-        return self.plan_for(query, fks).decide(db)
+        """The certain answer on one instance.
+
+        Call as ``decide(problem, db)`` or ``decide(query, fks, db)``
+        (positionally or by keyword).
+        """
+        if isinstance(query, Problem):
+            if fks is not None and db is not None:
+                raise TypeError("decide(problem, db) takes no separate fks")
+            problem, instance = query, db if db is not None else fks
+        else:
+            problem, instance = as_problem(query, fks), db
+        if not isinstance(instance, DatabaseInstance):
+            raise TypeError("decide needs a DatabaseInstance to answer on")
+        return self.plan_for(problem).decide(instance)
 
     def decide_batch(
         self,
-        query: ConjunctiveQuery,
-        fks: ForeignKeySet,
+        query: ConjunctiveQuery | Problem,
+        fks: ForeignKeySet | Iterable[DatabaseInstance] | None = None,
+        dbs: Iterable[DatabaseInstance] | None = None,
+        executor: ExecutorConfig | None = None,
+    ) -> BatchResult:
+        """The certain answers over an instance stream, through one plan.
+
+        Call as ``decide_batch(problem, dbs)`` or
+        ``decide_batch(query, fks, dbs)`` (positionally or by keyword).
+        """
+        if isinstance(query, Problem):
+            if fks is not None and dbs is not None:
+                raise TypeError(
+                    "decide_batch(problem, dbs) takes no separate fks"
+                )
+            problem, instances = query, dbs if dbs is not None else fks
+        else:
+            problem, instances = as_problem(query, fks), dbs
+        if instances is None:
+            raise TypeError("decide_batch needs an iterable of instances")
+        return self.run_batch(self.plan_for(problem), instances, executor)
+
+    def run_batch(
+        self,
+        plan: CertaintyPlan,
         dbs: Iterable[DatabaseInstance],
         executor: ExecutorConfig | None = None,
     ) -> BatchResult:
-        """The certain answers over an instance stream, through one plan."""
-        plan = self.plan_for(query, fks)
+        """Execute an already-compiled plan over *dbs* (no cache lookup)."""
         runner = (
             self._executor if executor is None else BatchExecutor(executor)
         )
@@ -125,7 +184,7 @@ class CertaintyEngine:
         reports = tuple(
             PlanReport(
                 fingerprint=plan.fingerprint.digest,
-                backend=plan.backend.value,
+                backend=plan.backend,
                 verdict=plan.classification.verdict.name,
                 metrics=plan.metrics.snapshot(),
             )
@@ -133,16 +192,30 @@ class CertaintyEngine:
         )
         return EngineStats(cache=self._cache.stats(), plans=reports)
 
+    # -- lifecycle ----------------------------------------------------------
+
     def clear(self) -> None:
-        """Drop every cached plan (counters are kept)."""
+        """Drop every cached plan, closing its prepared solver (counters
+        are kept)."""
         self._cache.clear()
+
+    def close(self) -> None:
+        """Release all plan resources; the engine stays usable (plans are
+        recompiled on demand)."""
+        self._cache.clear()
+
+    def __enter__(self) -> "CertaintyEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
 class EngineSolver:
     """Adapter: a :class:`CertaintyEngine` behind the fixed-problem solver
     interface, so the benchmark harness can drive the engine like any other
-    :class:`~repro.solvers.base.CertaintySolver`."""
+    :class:`~repro.solvers.base.PreparedSolver`."""
 
     query: ConjunctiveQuery
     fks: ForeignKeySet
@@ -152,3 +225,13 @@ class EngineSolver:
     def decide(self, db: DatabaseInstance) -> bool:
         """Route through the engine's cached plan for this problem."""
         return self.engine.decide(self.query, self.fks, db)
+
+    def close(self) -> None:
+        """Release the engine's cached plans (prepared solvers included)."""
+        self.engine.close()
+
+    def __enter__(self) -> "EngineSolver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

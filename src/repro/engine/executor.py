@@ -116,7 +116,7 @@ class BatchExecutor:
             answers=tuple(answers),
             elapsed_seconds=elapsed,
             mode="serial" if serial else self.config.mode,
-            backend=plan.backend.value,
+            backend=plan.backend,
         )
 
     def _pooled(

@@ -1,11 +1,14 @@
 """Compiled certainty plans.
 
 A :class:`CertaintyPlan` is the unit the engine caches and executes: one
-``(q, FK)`` problem taken through classification and routing, with every
-per-problem cost already paid — the Theorem 12 decision procedure has run,
-the consistent rewriting (and its SQL compilation, for the SQL backend) has
-been constructed, and the chosen solver is ready to answer any number of
-instances.  Deciding an instance through a plan does no per-problem work.
+:class:`~repro.api.Problem` taken through classification and routing, with
+every per-problem cost already paid — the Theorem 12 decision procedure has
+run, the consistent rewriting (and its SQL compilation, for the SQL
+backend) has been constructed, and the chosen **prepared solver** is ready
+to answer any number of instances.  Deciding an instance through a plan
+does no per-problem work; dropping a plan must go through :meth:`close`
+so the prepared solver releases its resources (the cache does this on
+eviction and ``clear()``).
 """
 
 from __future__ import annotations
@@ -13,15 +16,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..api.problem import Problem, as_problem
 from ..core.classify import Classification, classify
 from ..core.foreign_keys import ForeignKeySet
 from ..core.query import ConjunctiveQuery
 from ..core.rewriting import RewritingResult
 from ..db.instance import DatabaseInstance
-from ..solvers.base import CertaintySolver
+from ..solvers.base import CertaintySolver, close_solver
 from .fingerprint import Fingerprint, problem_fingerprint
 from .metrics import PlanMetrics
-from .router import Backend, select_backend
+from .registry import BackendRegistry, BackendSpec
+from .router import select_backend
 
 
 @dataclass
@@ -29,13 +34,25 @@ class CertaintyPlan:
     """One problem, classified, routed, and compiled for repeated execution."""
 
     fingerprint: Fingerprint
-    query: ConjunctiveQuery
-    fks: ForeignKeySet
+    problem: Problem
     classification: Classification
-    backend: Backend
+    spec: BackendSpec
     solver: CertaintySolver
     construction_seconds: float = 0.0
     metrics: PlanMetrics = field(default_factory=PlanMetrics, repr=False)
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self.problem.query
+
+    @property
+    def fks(self) -> ForeignKeySet:
+        return self.problem.fks
+
+    @property
+    def backend(self) -> str:
+        """The selected backend's registry name (e.g. ``"fo-sql"``)."""
+        return self.spec.name
 
     @property
     def rewriting(self) -> RewritingResult | None:
@@ -58,13 +75,23 @@ class CertaintyPlan:
         """Answer a sequence of instances serially through this plan."""
         return [self.decide(db) for db in dbs]
 
+    def close(self) -> None:
+        """Release the prepared solver's resources (idempotent)."""
+        close_solver(self.solver)
+
+    def __enter__(self) -> "CertaintyPlan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def describe(self) -> str:
         """A short multi-line plan summary (CLI ``engine --explain``)."""
         lines = [
             f"plan {self.fingerprint.digest}",
             f"  problem:  {self.fingerprint.text}",
             f"  verdict:  {self.classification.verdict.value}",
-            f"  backend:  {self.backend.value}",
+            f"  backend:  {self.backend}",
             f"  compile:  {self.construction_seconds * 1e3:.2f} ms",
         ]
         if self.sql is not None:
@@ -79,25 +106,31 @@ class CertaintyPlan:
 
 
 def compile_plan(
-    query: ConjunctiveQuery,
-    fks: ForeignKeySet,
+    query: ConjunctiveQuery | Problem,
+    fks: ForeignKeySet | None = None,
     fo_backend: str = "memory",
     fingerprint: Fingerprint | None = None,
+    registry: BackendRegistry | None = None,
 ) -> CertaintyPlan:
-    """Classify and route ``(q, FK)``, paying all per-problem cost now.
+    """Classify and route a problem, paying all per-problem cost now.
 
-    Pass *fingerprint* when the caller already computed it (the engine
-    computes it as the cache key) to avoid re-canonicalizing the query.
+    Accepts either a :class:`~repro.api.Problem` or the historical
+    ``(query, fks)`` pair.  Pass *fingerprint* when the caller already
+    computed it (the engine computes it as the cache key) to avoid
+    re-canonicalizing the query; pass *registry* to route through a custom
+    backend registry.
     """
+    problem = as_problem(query, fks)
     start = time.perf_counter()
-    classification = classify(query, fks)
-    backend, solver = select_backend(classification, fo_backend=fo_backend)
+    classification = classify(problem.query, problem.fks)
+    spec, solver = select_backend(
+        classification, fo_backend=fo_backend, registry=registry
+    )
     return CertaintyPlan(
-        fingerprint=fingerprint or problem_fingerprint(query, fks),
-        query=query,
-        fks=fks,
+        fingerprint=fingerprint or problem.fingerprint,
+        problem=problem,
         classification=classification,
-        backend=backend,
+        spec=spec,
         solver=solver,
         construction_seconds=time.perf_counter() - start,
     )

@@ -1,0 +1,182 @@
+"""The pluggable backend registry: name → solver factory, with priorities.
+
+Routing used to be a hard-coded ``if``-chain in :mod:`repro.engine.router`;
+the registry turns it into data so that new polynomial-island recognizers
+and alternative SQL engines register declaratively::
+
+    registry = default_registry().copy()
+    registry.register(BackendSpec(
+        name="my-island",
+        priority=60,                      # beats the exhaustive fallbacks
+        supports=lambda cls, opts: my_matcher(cls.query, cls.fks),
+        factory=lambda cls, opts: MyPreparedSolver(cls.query, cls.fks),
+    ))
+    session = Session(EngineConfig(registry=registry))
+
+Selection walks the registered specs by descending ``priority`` (ties
+broken by registration order) and picks the first whose ``supports``
+predicate accepts the classified problem; its ``factory`` then *prepares*
+the solver — pays all per-problem construction cost and returns an object
+with ``decide(db)``/``close()``.  The built-in trichotomy backends are
+registered by :mod:`repro.engine.router` into :func:`default_registry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..exceptions import BackendRegistryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.classify import Classification
+    from ..solvers.base import CertaintySolver
+
+
+@dataclass(frozen=True, slots=True)
+class RouteOptions:
+    """Per-engine routing knobs threaded into predicates and factories."""
+
+    fo_backend: str = "memory"  # or "sql"
+
+    def __post_init__(self) -> None:
+        if self.fo_backend not in ("memory", "sql"):
+            raise ValueError(
+                f"unknown fo_backend {self.fo_backend!r} "
+                "(expected 'memory' or 'sql')"
+            )
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered decision backend.
+
+    ``supports(classification, options)`` says whether this backend can
+    decide the classified problem; ``factory(classification, options)``
+    prepares its solver.  ``polynomial`` documents per-instance cost (the
+    exhaustive fallbacks are the only non-polynomial built-ins).
+    """
+
+    name: str
+    factory: "Callable[[Classification, RouteOptions], CertaintySolver]"
+    supports: "Callable[[Classification, RouteOptions], bool]"
+    priority: int = 0
+    polynomial: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise BackendRegistryError("backend name must be non-empty")
+
+
+class BackendRegistry:
+    """A thread-safe, priority-ordered collection of :class:`BackendSpec`s."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._specs: dict[str, BackendSpec] = {}
+        self._order: dict[str, int] = {}
+        self._counter = 0
+
+    def register(self, spec: BackendSpec, *, override: bool = False) -> BackendSpec:
+        """Add *spec*; re-registering a name requires ``override=True``.
+
+        An override keeps the original registration order slot, so a
+        replacement backend inherits its predecessor's tie-breaking rank.
+        Returns the spec so it can be used as a decorator-style helper.
+        """
+        with self._lock:
+            if spec.name in self._specs and not override:
+                raise BackendRegistryError(
+                    f"backend {spec.name!r} is already registered "
+                    "(pass override=True to replace it)"
+                )
+            if spec.name not in self._order:
+                self._order[spec.name] = self._counter
+                self._counter += 1
+            self._specs[spec.name] = spec
+            return spec
+
+    def unregister(self, name: str) -> BackendSpec:
+        """Remove and return the spec registered under *name*."""
+        with self._lock:
+            try:
+                self._order.pop(name, None)
+                return self._specs.pop(name)
+            except KeyError:
+                raise BackendRegistryError(
+                    f"backend {name!r} is not registered"
+                ) from None
+
+    def get(self, name: str) -> BackendSpec:
+        with self._lock:
+            try:
+                return self._specs[name]
+            except KeyError:
+                raise BackendRegistryError(
+                    f"backend {name!r} is not registered"
+                ) from None
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._specs)
+
+    def specs(self) -> list[BackendSpec]:
+        """All specs in selection order (priority desc, registration asc)."""
+        with self._lock:
+            return sorted(
+                self._specs.values(),
+                key=lambda s: (-s.priority, self._order[s.name]),
+            )
+
+    def names(self) -> list[str]:
+        return [spec.name for spec in self.specs()]
+
+    def select(
+        self, classification: "Classification", options: RouteOptions
+    ) -> BackendSpec:
+        """The highest-priority spec whose predicate accepts the problem."""
+        for spec in self.specs():
+            if spec.supports(classification, options):
+                return spec
+        raise BackendRegistryError(
+            f"no registered backend supports "
+            f"CERTAINTY({classification.query!r}, {classification.fks!r})"
+        )
+
+    def copy(self) -> "BackendRegistry":
+        """An independent registry with the same specs and ordering."""
+        clone = BackendRegistry()
+        for spec in self.specs():
+            clone.register(spec)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"BackendRegistry({', '.join(self.names())})"
+
+
+_default_registry: BackendRegistry | None = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry pre-populated with the built-in backends.
+
+    Engines/sessions use it unless their config carries a custom registry.
+    Mutating it (registering a new island recognizer) affects every engine
+    built afterwards; use :meth:`BackendRegistry.copy` for local overrides.
+    """
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            from .router import register_builtin_backends
+
+            registry = BackendRegistry()
+            register_builtin_backends(registry)
+            _default_registry = registry
+        return _default_registry

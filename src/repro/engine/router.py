@@ -4,8 +4,8 @@ Theorem 12 is not only a complexity classification — operationally it tells
 the engine which decision procedure is cheapest for a given ``(q, FK)``:
 
 * **FO** — evaluate the consistent first-order rewriting, either with the
-  in-memory relational evaluator or as precompiled SQL over SQLite
-  (:class:`~repro.solvers.rewriting_solver.SqlRewritingSolver`);
+  in-memory relational evaluator or as precompiled SQL over a warm SQLite
+  connection (:class:`~repro.solvers.rewriting_solver.SqlRewritingSolver`);
 * **not in FO, but a known polynomial special case** — the fixed problems of
   Proposition 16 (graph reachability) and Proposition 17 (dual-Horn SAT)
   are recognised structurally, up to variable renaming, and routed to their
@@ -13,7 +13,11 @@ the engine which decision procedure is cheapest for a given ``(q, FK)``:
 * **everything else** — exhaustive repair enumeration: classical subset
   repairs when ``FK = ∅``, the canonical ⊕-repair oracle otherwise.
 
-The router runs exactly once per plan; its verdict is cached with the plan.
+Since the `repro.api` redesign the dispatch itself lives in a
+:class:`~repro.engine.registry.BackendRegistry`: this module defines the
+built-in :class:`~repro.engine.registry.BackendSpec`s (structural matchers +
+prepared-solver factories) and registers them into the default registry.
+Routing runs exactly once per plan; the selected spec is cached with it.
 """
 
 from __future__ import annotations
@@ -29,10 +33,16 @@ from ..solvers.brute_force import OplusOracleSolver, SubsetRepairSolver
 from ..solvers.dual_horn import DualHornSolver
 from ..solvers.reachability import ReachabilitySolver
 from ..solvers.rewriting_solver import RewritingSolver, SqlRewritingSolver
+from .registry import BackendRegistry, BackendSpec, RouteOptions
 
 
 class Backend(Enum):
-    """The decision procedures the router can select among."""
+    """The built-in decision procedures (canonical registry names).
+
+    Kept for compatibility with pre-registry code; plans now carry the
+    backend *name* (a string), so compare against ``Backend.X.value`` or
+    use the string literals directly.
+    """
 
     FO_REWRITING = "fo-rewriting"
     FO_SQL = "fo-sql"
@@ -97,31 +107,91 @@ def matches_proposition17(
     return c.value
 
 
+# -- built-in backend specs ----------------------------------------------------
+#
+# Priorities: the FO rewritings (100) beat everything — when a consistent
+# rewriting exists it is the cheapest procedure; the polynomial islands (50)
+# beat the exhaustive fallbacks; subset repairs (10) beat the ⊕-oracle (0),
+# which accepts everything and anchors the chain.
+
+BUILTIN_BACKENDS: tuple[BackendSpec, ...] = (
+    BackendSpec(
+        name=Backend.FO_SQL.value,
+        priority=100,
+        supports=lambda c, o: c.in_fo and o.fo_backend == "sql",
+        factory=lambda c, o: SqlRewritingSolver(c.query, c.fks),
+        description="consistent FO rewriting compiled to SQL over a warm "
+                    "SQLite connection",
+    ),
+    BackendSpec(
+        name=Backend.FO_REWRITING.value,
+        priority=100,
+        supports=lambda c, o: c.in_fo and o.fo_backend == "memory",
+        factory=lambda c, o: RewritingSolver(c.query, c.fks),
+        description="consistent FO rewriting on the in-memory evaluator",
+    ),
+    BackendSpec(
+        name=Backend.REACHABILITY.value,
+        priority=50,
+        supports=lambda c, o: matches_proposition16(c.query, c.fks),
+        factory=lambda c, o: ReachabilitySolver(),
+        description="Proposition 16 reachability (NL)",
+    ),
+    BackendSpec(
+        name=Backend.DUAL_HORN.value,
+        priority=50,
+        supports=lambda c, o: matches_proposition17(c.query, c.fks) is not None,
+        # the matcher runs again to extract the distinguished constant; it
+        # is an O(1) structural check paid once per plan compile, dwarfed
+        # by the classification that precedes routing
+        factory=lambda c, o: DualHornSolver(
+            matches_proposition17(c.query, c.fks)
+        ),
+        description="Proposition 17 dual-Horn SAT (P)",
+    ),
+    BackendSpec(
+        name=Backend.SUBSET_REPAIRS.value,
+        priority=10,
+        polynomial=False,
+        supports=lambda c, o: not c.in_fo and len(c.fks) == 0,
+        factory=lambda c, o: SubsetRepairSolver(c.query),
+        description="exhaustive subset-repair enumeration (FK = ∅)",
+    ),
+    BackendSpec(
+        name=Backend.OPLUS_ORACLE.value,
+        priority=0,
+        polynomial=False,
+        supports=lambda c, o: True,
+        factory=lambda c, o: OplusOracleSolver(c.query, c.fks),
+        description="exact canonical ⊕-repair oracle (fallback)",
+    ),
+)
+
+
+def register_builtin_backends(registry: BackendRegistry) -> BackendRegistry:
+    """Register every built-in backend spec into *registry* (idempotent)."""
+    for spec in BUILTIN_BACKENDS:
+        registry.register(spec, override=True)
+    return registry
+
+
 def select_backend(
     classification: Classification,
     fo_backend: str = "memory",
-) -> tuple[Backend, CertaintySolver]:
-    """Pick the cheapest backend for a classified problem and build its
+    registry: BackendRegistry | None = None,
+) -> tuple[BackendSpec, CertaintySolver]:
+    """Pick the cheapest backend for a classified problem and *prepare* its
     solver.
 
     *fo_backend* chooses how FO problems are evaluated: ``"memory"`` for the
     in-memory evaluator, ``"sql"`` for precompiled SQLite.  Construction
-    cost (rewriting pipeline, SQL compilation) is paid here, once per plan.
+    cost (rewriting pipeline, SQL compilation, connection warm-up) is paid
+    here, once per plan; the returned solver is a prepared solver — reuse it
+    across instances and ``close()`` it when the plan is dropped.
     """
-    query, fks = classification.query, classification.fks
-    if classification.in_fo:
-        if fo_backend == "sql":
-            return Backend.FO_SQL, SqlRewritingSolver(query, fks)
-        if fo_backend == "memory":
-            return Backend.FO_REWRITING, RewritingSolver(query, fks)
-        raise ValueError(
-            f"unknown fo_backend {fo_backend!r} (expected 'memory' or 'sql')"
-        )
-    if matches_proposition16(query, fks):
-        return Backend.REACHABILITY, ReachabilitySolver()
-    constant = matches_proposition17(query, fks)
-    if constant is not None:
-        return Backend.DUAL_HORN, DualHornSolver(constant)
-    if len(fks) == 0:
-        return Backend.SUBSET_REPAIRS, SubsetRepairSolver(query)
-    return Backend.OPLUS_ORACLE, OplusOracleSolver(query, fks)
+    from .registry import default_registry
+
+    options = RouteOptions(fo_backend=fo_backend)
+    registry = registry or default_registry()
+    spec = registry.select(classification, options)
+    return spec, spec.factory(classification, options)

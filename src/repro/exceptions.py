@@ -19,6 +19,17 @@ class ForeignKeyError(ReproError):
     """Malformed foreign key, or a foreign-key set that is not *about* a query."""
 
 
+class ProblemFormatError(ReproError):
+    """A serialized :class:`repro.api.Problem` could not be decoded: invalid
+    JSON, unknown format/version, or a malformed atom/term/foreign-key
+    entry."""
+
+
+class BackendRegistryError(ReproError):
+    """Backend registry misuse: duplicate registration without ``override``,
+    unknown backend name, or no registered backend supporting a problem."""
+
+
 class NotInFOError(ReproError):
     """Raised when a consistent first-order rewriting is requested for a
     problem ``CERTAINTY(q, FK)`` that Theorem 12 places outside FO."""

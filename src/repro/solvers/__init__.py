@@ -2,13 +2,20 @@
 16/17 polynomial algorithms with their substrates.
 
 The class-shaped solvers (``*Solver``) all implement the
-:class:`~repro.solvers.base.CertaintySolver` protocol for one fixed
-problem; :mod:`repro.engine` routes among them automatically.  ``EngineSolver``
-(the engine behind the same protocol) is re-exported lazily to avoid a
-circular import.
+:class:`~repro.solvers.base.PreparedSolver` lifecycle (repeated ``decide``
+plus ``close``) for one fixed problem; :mod:`repro.engine` routes among
+them automatically via the backend registry.  ``EngineSolver`` (the engine
+behind the same protocol) and ``Problem`` (now the canonical
+:class:`repro.api.Problem`) are re-exported lazily to avoid circular
+imports.
 """
 
-from .base import CertaintySolver, Problem
+from .base import (
+    CertaintySolver,
+    PreparedSolver,
+    PreparedSolverMixin,
+    close_solver,
+)
 from .brute_force import OplusOracleSolver, SubsetRepairSolver
 from .dual_horn import (
     DualHornSolver,
@@ -39,21 +46,26 @@ from .sat import (
 
 __all__ = [
     "CertaintySolver", "Clause", "DualHornFormula", "DualHornSolver",
-    "EngineSolver", "NotDualHornError", "OplusOracleSolver", "Problem",
-    "ProceduralSolver", "ReachabilityGraph", "ReachabilitySolver",
-    "RewritingSolver", "SatResult", "SqlRewritingSolver",
+    "EngineSolver", "NotDualHornError", "OplusOracleSolver", "PreparedSolver",
+    "PreparedSolverMixin", "Problem", "ProceduralSolver", "ReachabilityGraph",
+    "ReachabilitySolver", "RewritingSolver", "SatResult", "SqlRewritingSolver",
     "SubsetRepairSolver", "brute_force_satisfiable",
     "build_reachability_graph", "certain_by_dual_horn",
-    "certain_by_reachability", "instance_to_dual_horn",
+    "certain_by_reachability", "close_solver", "instance_to_dual_horn",
     "proposition16_query", "proposition17_query", "solve_dual_horn",
 ]
 
 
 def __getattr__(name: str):
     # Lazy: repro.engine imports this package, so importing EngineSolver
-    # eagerly here would be circular.
+    # eagerly here would be circular; Problem moved to repro.api and is
+    # re-exported here for pre-redesign imports.
     if name == "EngineSolver":
         from ..engine import EngineSolver
 
         return EngineSolver
+    if name == "Problem":
+        from ..api.problem import Problem
+
+        return Problem
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

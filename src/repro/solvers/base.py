@@ -1,17 +1,29 @@
-"""Common solver interface.
+"""Common solver interfaces: the prepared-solver lifecycle.
 
-Every solver decides ``CERTAINTY(q, FK)`` for a fixed ``(q, FK)`` on
-arbitrary instances; the benchmark harness and the examples drive them
-interchangeably.
+Since the `repro.api` redesign the solver contract is two-phase, following
+the prepared-statement pattern of database client libraries:
+
+1. **prepare** — constructing a solver pays every per-problem cost
+   (classification checks, rewriting construction, SQL compilation,
+   connection warm-up).  :func:`repro.api.prepare` routes a
+   :class:`~repro.api.Problem` through the backend registry and returns the
+   prepared solver; constructing a solver class directly is the manual
+   form of the same phase.
+2. **decide** — ``PreparedSolver.decide(db)`` answers one instance and may
+   be called arbitrarily often; ``close()`` releases held resources (warm
+   connections).  Prepared solvers are context managers.
+
+:class:`CertaintySolver` remains the minimal decide-only protocol for code
+that never manages lifecycles; every shipped solver also satisfies
+:class:`PreparedSolver`.  The historical ``Problem`` convenience bundle now
+lives in :mod:`repro.api` (re-exported from :mod:`repro.solvers` for
+compatibility).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-from ..core.foreign_keys import ForeignKeySet
-from ..core.query import ConjunctiveQuery
 from ..db.instance import DatabaseInstance
 
 
@@ -26,15 +38,39 @@ class CertaintySolver(Protocol):
         ...
 
 
-@dataclass
-class Problem:
-    """A ``(q, FK)`` pair — convenience bundle for the harness."""
+@runtime_checkable
+class PreparedSolver(Protocol):
+    """A prepared decision procedure: repeated :meth:`decide`, explicit
+    :meth:`close` when the holder (plan cache, session) drops it."""
 
-    query: ConjunctiveQuery
-    fks: ForeignKeySet
-    label: str = ""
+    name: str
 
-    def __post_init__(self) -> None:
-        self.fks.require_about(self.query)
-        if not self.label:
-            self.label = repr(self.query)
+    def decide(self, db: DatabaseInstance) -> bool:
+        """The certain answer on *db* (callable any number of times)."""
+        ...
+
+    def close(self) -> None:
+        """Release per-plan resources; further decides may re-acquire them."""
+        ...
+
+
+class PreparedSolverMixin:
+    """Default lifecycle for solvers without per-plan resources: a no-op
+    ``close()`` and context-manager support."""
+
+    def close(self) -> None:
+        """Nothing to release by default."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def close_solver(solver: object) -> None:
+    """Close *solver* if it exposes the prepared lifecycle (duck-typed, so
+    pre-redesign third-party solvers keep working)."""
+    close = getattr(solver, "close", None)
+    if callable(close):
+        close()

@@ -12,11 +12,12 @@ from ..core.foreign_keys import ForeignKeySet
 from ..core.query import ConjunctiveQuery
 from ..db.instance import DatabaseInstance
 from ..repairs.oplus import OracleConfig, certain_answer
+from .base import PreparedSolverMixin
 from ..repairs.subset import certainty_primary_keys
 
 
 @dataclass
-class OplusOracleSolver:
+class OplusOracleSolver(PreparedSolverMixin):
     """Exact ⊕-repair search (primary *and* foreign keys)."""
 
     query: ConjunctiveQuery
@@ -30,7 +31,7 @@ class OplusOracleSolver:
 
 
 @dataclass
-class SubsetRepairSolver:
+class SubsetRepairSolver(PreparedSolverMixin):
     """Exhaustive subset-repair enumeration (primary keys only, ``FK = ∅``)."""
 
     query: ConjunctiveQuery

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..core.foreign_keys import ForeignKeySet, fk_set
 from ..core.query import ConjunctiveQuery, parse_query
 from ..db.instance import DatabaseInstance
+from .base import PreparedSolverMixin
 from .sat import Clause, DualHornFormula, solve_dual_horn
 
 
@@ -75,7 +76,7 @@ def certain_by_dual_horn(db: DatabaseInstance, constant: object = "c") -> bool:
 
 
 @dataclass
-class DualHornSolver:
+class DualHornSolver(PreparedSolverMixin):
     """The Proposition 17 algorithm behind the common solver interface.
 
     *constant* is the query's distinguished constant (the ``c`` of

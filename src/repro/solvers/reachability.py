@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from ..core.foreign_keys import ForeignKeySet, fk_set
 from ..core.query import ConjunctiveQuery, parse_query
 from ..db.instance import DatabaseInstance
+from .base import PreparedSolverMixin
 
 _BOTTOM = ("⊥",)
 
@@ -140,7 +141,7 @@ def certain_by_reachability(db: DatabaseInstance) -> bool:
 
 
 @dataclass
-class ReachabilitySolver:
+class ReachabilitySolver(PreparedSolverMixin):
     """The Proposition 16 algorithm behind the common solver interface."""
 
     name: str = "nl-reachability"

@@ -1,13 +1,17 @@
 """Solvers backed by the consistent first-order rewriting.
 
 ``RewritingSolver`` constructs the closed formula once (Theorem 1) and
-evaluates it per instance; ``ProceduralSolver`` runs the forward reduction
-pipeline per instance.  Both are polynomial per instance — the payoff the
-FO classification promises.
+evaluates it per instance; ``SqlRewritingSolver`` compiles it to SQL once
+and keeps one **warm SQLite connection per prepared solver** (schema DDL
+executed once, per-instance work reduced to delete + insert + the compiled
+``SELECT``); ``ProceduralSolver`` runs the forward reduction pipeline per
+instance.  All are polynomial per instance — the payoff the FO
+classification promises.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..core.decision import decide
@@ -16,10 +20,11 @@ from ..core.query import ConjunctiveQuery
 from ..core.rewriting import RewritingResult, consistent_rewriting
 from ..db.instance import DatabaseInstance
 from ..fo.evaluator import Evaluator
+from .base import PreparedSolverMixin
 
 
 @dataclass
-class RewritingSolver:
+class RewritingSolver(PreparedSolverMixin):
     """Evaluate the once-constructed consistent FO rewriting."""
 
     query: ConjunctiveQuery
@@ -44,24 +49,49 @@ class RewritingSolver:
 class SqlRewritingSolver:
     """Evaluate the consistent rewriting as precompiled SQL over SQLite.
 
-    The rewriting is constructed and compiled to one SQL ``SELECT`` once at
-    solver construction; each :meth:`decide` loads the instance into an
-    in-memory SQLite database and runs the compiled text — the ConQuer-style
-    deployment mode, exercised here end-to-end per instance.  Instance
-    values must be strings or integers (the SQL value domain).
+    Preparation constructs the rewriting and compiles it to one SQL
+    ``SELECT``; the first :meth:`decide` opens an in-memory SQLite
+    connection and runs the schema DDL, and every later call reuses that
+    warm connection — per instance only the rows change (``DELETE`` +
+    parameterized ``INSERT``s) before the compiled text runs.  This is the
+    ConQuer-style deployment mode with prepared-statement economics: one
+    connection per plan, not one per instance.  ``close()`` drops the
+    connection (a later decide transparently re-warms).  Instance values
+    must be strings or integers (the SQL value domain).
+
+    Set ``warm=False`` to restore the historical rebuild-per-call behaviour
+    (benchmark E16's baseline).  :attr:`connections_opened` counts real
+    SQLite connections for tests and benchmarks.
+
+    Thread-safe without serializing execution: each thread warms its *own*
+    connection (so the thread-pool executor keeps SQLite's genuine
+    parallelism — one connection per worker, not one per instance) and
+    only bookkeeping and ``close()`` take locks.  Pickling (process-pool
+    executor) drops the connections; each worker re-warms its own.
     """
 
     query: ConjunctiveQuery
     fks: ForeignKeySet
     name: str = "fo-sql"
+    warm: bool = True
+    connections_opened: int = field(init=False, default=0)
     _rewriting: RewritingResult = field(init=False, repr=False)
     _sql: str = field(init=False, repr=False)
+    _ddl: tuple[str, ...] = field(init=False, repr=False)
+    _lock: threading.Lock = field(init=False, repr=False)
+    _local: threading.local = field(init=False, repr=False)
+    _entries: list = field(init=False, repr=False)
+    _epoch: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
-        from ..fo.sql import to_sql
+        from ..fo.sql import create_table_statements, to_sql
 
         self._rewriting = consistent_rewriting(self.query, self.fks)
         self._sql = to_sql(self._rewriting.formula, self.query.schema())
+        self._ddl = tuple(create_table_statements(self.query.schema()))
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._entries = []
 
     @property
     def rewriting(self) -> RewritingResult:
@@ -73,27 +103,113 @@ class SqlRewritingSolver:
         """The compiled SQL text, reusable by any engine holding the data."""
         return self._sql
 
-    def decide(self, db: DatabaseInstance) -> bool:
-        """Load *db* into SQLite and run the precompiled query."""
+    @property
+    def connection_is_open(self) -> bool:
+        """True while at least one warm connection is held."""
+        with self._lock:
+            return bool(self._entries)
+
+    def _connect(self):
+        """A fresh in-memory database with the schema DDL applied."""
         import sqlite3
 
-        from ..fo.sql import create_table_statements, insert_statements
+        # check_same_thread=False: each connection is *used* only by its
+        # owning thread, but close() may reap it from another one
+        connection = sqlite3.connect(":memory:", check_same_thread=False)
+        for ddl in self._ddl:
+            connection.execute(ddl)
+        with self._lock:
+            self.connections_opened += 1
+        return connection
 
-        relevant = db.restrict_relations(self.query.relations)
-        connection = sqlite3.connect(":memory:")
-        try:
-            for ddl in create_table_statements(self.query.schema()):
-                connection.execute(ddl)
-            for statement, values in insert_statements(relevant):
-                connection.execute(statement, values)
-            (result,) = connection.execute(self._sql).fetchone()
-            return bool(result)
-        finally:
-            connection.close()
+    def _run(self, connection, db: DatabaseInstance) -> bool:
+        from ..fo.sql import insert_statements
+
+        for statement, values in insert_statements(
+            db.restrict_relations(self.query.relations)
+        ):
+            connection.execute(statement, values)
+        (result,) = connection.execute(self._sql).fetchone()
+        return bool(result)
+
+    def _warm_entry(self) -> "_ConnectionEntry":
+        """This thread's warm connection, (re)created after a close()."""
+        entry = getattr(self._local, "entry", None)
+        if entry is None or entry.epoch != self._epoch or entry.closed:
+            entry = _ConnectionEntry(self._connect(), self._epoch)
+            with self._lock:
+                if entry.epoch != self._epoch:  # close() raced the warm-up
+                    entry.epoch = self._epoch
+                self._entries.append(entry)
+            self._local.entry = entry
+        return entry
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        """Run the precompiled query over *db* on this thread's warm
+        connection."""
+        if not self.warm:
+            connection = self._connect()
+            try:
+                return self._run(connection, db)
+            finally:
+                connection.close()
+        entry = self._warm_entry()
+        with entry.lock:  # only vs close(); other threads have own entries
+            self._clear_tables(entry.connection)
+            return self._run(entry.connection, db)
+
+    def _clear_tables(self, connection) -> None:
+        from ..fo.sql import _quote_identifier
+
+        for relation in sorted(self.query.relations):
+            connection.execute(f"DELETE FROM {_quote_identifier(relation)}")
+
+    def close(self) -> None:
+        """Drop every warm connection (idempotent; decide re-warms lazily)."""
+        with self._lock:
+            entries, self._entries = self._entries, []
+            self._epoch += 1
+        for entry in entries:
+            with entry.lock:  # wait out any in-flight decide on this entry
+                entry.connection.close()
+                entry.closed = True
+
+    def __enter__(self) -> "SqlRewritingSolver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- pickling (process-pool executor) ------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_entries"] = []  # connections do not cross processes
+        del state["_lock"], state["_local"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+
+class _ConnectionEntry:
+    """One thread's warm connection plus the lock ``close()`` synchronizes
+    on; ``epoch`` invalidates entries that survived a ``close()`` in their
+    thread's local storage."""
+
+    __slots__ = ("connection", "epoch", "closed", "lock")
+
+    def __init__(self, connection, epoch: int):
+        self.connection = connection
+        self.epoch = epoch
+        self.closed = False
+        self.lock = threading.Lock()
 
 
 @dataclass
-class ProceduralSolver:
+class ProceduralSolver(PreparedSolverMixin):
     """Run the Lemma 18 reduction pipeline forward on each instance."""
 
     query: ConjunctiveQuery

@@ -63,6 +63,13 @@ class WorkloadItem:
     verdict: ComplexityVerdict
     instances: tuple[DatabaseInstance, ...]
 
+    @property
+    def problem(self) -> "Problem":
+        """The request as a first-class :class:`repro.api.Problem`."""
+        from ..api.problem import Problem
+
+        return Problem(self.query, self.fks, name=self.label)
+
 
 def _pinned_problems() -> list[tuple[str, ConjunctiveQuery, ForeignKeySet]]:
     from ..solvers.dual_horn import proposition17_query

@@ -1,0 +1,511 @@
+"""Tests for the `repro.api` facade: Problem serialization round-trips,
+the backend registry (priority, override, custom backends), the
+prepared-solver lifecycle (warm SQL connection reuse, close propagation),
+and structured Decision provenance."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    BackendRegistryError,
+    BackendSpec,
+    BatchDecision,
+    Decision,
+    Problem,
+    ProblemFormatError,
+    Session,
+    SessionConfig,
+    connect,
+    default_registry,
+    prepare,
+)
+from repro.cli import main
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Parameter, Variable
+from repro.engine import (
+    BackendRegistry,
+    CertaintyEngine,
+    EngineConfig,
+    ExecutorConfig,
+    register_builtin_backends,
+)
+from repro.exceptions import ForeignKeyError, QueryError
+from repro.workloads import (
+    fig1_instance,
+    intro_query_q0,
+    random_instances_for_query,
+)
+
+
+def _sql_problem():
+    return Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+
+
+class TestProblemValue:
+    def test_validates_aboutness(self):
+        with pytest.raises(ForeignKeyError):
+            Problem.of("E(x | y)", fks=["E[2]->E"])
+
+    def test_equality_and_hash(self):
+        a = _sql_problem()
+        b = _sql_problem()
+        assert a == b and hash(a) == hash(b)
+        assert a != Problem.of("R(x | y)", "S(y | z)")  # fks differ
+        assert a != Problem.of(
+            "R(x | y)", "S(y | z)", fks=["R[2]->S"], name="other"
+        )
+
+    def test_alpha_variants_differ_but_share_fingerprint(self):
+        a = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        b = Problem.of("S(b | c)", "R(a | b)", fks=["R[2]->S"])
+        assert a != b
+        assert a.fingerprint == b.fingerprint
+
+    def test_label_compat_alias(self):
+        assert _sql_problem().label == repr(_sql_problem().query)
+        assert Problem.of("R(x | y)", name="n").label == "n"
+
+    def test_old_solvers_import_path_still_works(self):
+        from repro.solvers import Problem as OldProblem
+
+        assert OldProblem is Problem
+
+    def test_top_level_shims(self):
+        import repro
+
+        assert repro.Problem is Problem
+        assert repro.Session is Session
+        assert repro.connect is connect
+
+
+class TestProblemSerialization:
+    ROUND_TRIP_CASES = [
+        # variables only
+        (("R(x | y)", "S(y | z)"), ["R[2]->S"]),
+        # string and integer constants, mixed with variables
+        (("N(x | 'c', y)", "O(y |)"), ["N[3]->O"]),
+        (("T(x | 1, -7, 'v')",), []),
+        # parameters (frozen variables)
+        (("P(x | $p, y)",), []),
+        # all-key atom and wide keys
+        (("K(x, y |)", "M(x | y)"), []),
+        # fk edge cases: trivial self-reference, multiple keys, weak key
+        (("E(x | x)",), ["E[1]->E"]),
+        (("A(x | y)", "B(y | z)", "C(z | x)"), ["A[2]->B", "B[2]->C"]),
+        (("W(x | y)", "V(x |)"), ["W[1]->V"]),
+    ]
+
+    @pytest.mark.parametrize("atoms,fks", ROUND_TRIP_CASES)
+    def test_round_trip_equality_and_fingerprint(self, atoms, fks):
+        problem = Problem.of(*atoms, fks=list(fks), name="case")
+        back = Problem.from_json(problem.to_json())
+        assert back == problem
+        assert back.fingerprint == problem.fingerprint
+
+    def test_round_trip_preserves_extra_schema(self):
+        extra = Schema.of(X=(3, 1))
+        problem = Problem.of("R(x | y)", extra_schema=extra, name="x")
+        back = Problem.from_json(problem.to_json())
+        assert back == problem
+        assert "X" in back.fks.schema
+
+    def test_round_trip_distinguishes_int_and_string_constants(self):
+        ints = Problem.of("R(x | 1)")
+        strings = Problem.of("R(x | '1')")
+        assert Problem.from_json(ints.to_json()).query.atoms[0].terms[1] \
+            == Constant(1)
+        assert Problem.from_json(strings.to_json()).query.atoms[0].terms[1] \
+            == Constant("1")
+        assert ints.fingerprint != strings.fingerprint
+
+    def test_term_kinds_survive(self):
+        problem = Problem.of("R(x | 'c', $p)")
+        back = Problem.from_json(problem.to_json())
+        terms = back.query.atoms[0].terms
+        assert terms == (Variable("x"), Constant("c"), Parameter("p"))
+
+    def test_unserializable_constant_rejected(self):
+        # floats are outside the wire value domain (strings and ints only)
+        from repro.core.atoms import Atom
+        from repro.core.foreign_keys import ForeignKeySet
+        from repro.core.query import ConjunctiveQuery
+
+        query = ConjunctiveQuery([Atom("R", (Constant(1.5),), 1)])
+        bad = Problem(query, ForeignKeySet([], query.schema()))
+        with pytest.raises(ProblemFormatError):
+            bad.to_dict()
+        Problem(*intro_query_q0()).to_dict()  # the sane one serializes
+
+    @pytest.mark.parametrize("text", [
+        "not json{",
+        '"a bare string"',
+        '{"format": "other/thing", "version": 1}',
+        '{"format": "repro/problem", "version": 99}',
+        '{"format": "repro/problem", "version": 1, "atoms": "nope", '
+        '"foreign_keys": []}',
+        '{"format": "repro/problem", "version": 1, "foreign_keys": [], '
+        '"atoms": [{"relation": "R", "key_size": 1, '
+        '"terms": [["alien", "x"]]}]}',
+        '{"format": "repro/problem", "version": 1, "atoms": [], '
+        '"foreign_keys": [{"source": "R"}]}',
+    ])
+    def test_malformed_documents_raise_problem_format_error(self, text):
+        with pytest.raises(ProblemFormatError):
+            Problem.from_json(text)
+
+    def test_self_join_still_rejected_on_import(self):
+        doc = {
+            "format": "repro/problem", "version": 1, "foreign_keys": [],
+            "atoms": [
+                {"relation": "R", "key_size": 1, "terms": [["var", "x"]]},
+                {"relation": "R", "key_size": 1, "terms": [["var", "y"]]},
+            ],
+        }
+        with pytest.raises(QueryError):
+            Problem.from_dict(doc)
+
+
+class TestBackendRegistry:
+    def _fresh(self):
+        return register_builtin_backends(BackendRegistry())
+
+    def test_duplicate_registration_requires_override(self):
+        registry = self._fresh()
+        spec = registry.get("fo-rewriting")
+        with pytest.raises(BackendRegistryError):
+            registry.register(spec)
+        registry.register(spec, override=True)  # explicit override is fine
+
+    def test_unregister_unknown_name(self):
+        with pytest.raises(BackendRegistryError):
+            self._fresh().unregister("no-such-backend")
+
+    def test_priority_order_and_selection(self):
+        registry = self._fresh()
+        names = registry.names()
+        # FO backends outrank islands outrank exhaustive fallbacks
+        assert names.index("fo-rewriting") < names.index("nl-reachability")
+        assert names.index("nl-reachability") < names.index("subset-repairs")
+        assert names[-1] == "oplus-oracle"
+
+    def test_custom_backend_wins_on_priority(self):
+        class StubSolver:
+            name = "stub"
+
+            def __init__(self):
+                self.closed = False
+
+            def decide(self, db):
+                return True
+
+            def close(self):
+                self.closed = True
+
+        registry = default_registry().copy()
+        built = []
+
+        def factory(classification, options):
+            solver = StubSolver()
+            built.append(solver)
+            return solver
+
+        registry.register(BackendSpec(
+            name="always-yes",
+            priority=1000,
+            supports=lambda c, o: True,
+            factory=factory,
+        ))
+        problem = _sql_problem()
+        with Session(SessionConfig(registry=registry)) as session:
+            decision = session.decide(problem, fig1_instance())
+            assert decision.backend == "always-yes"
+            assert decision.certain is True
+        assert built and built[0].closed  # session close reached the stub
+
+    def test_override_replaces_dispatch(self):
+        registry = default_registry().copy()
+        original = registry.get("fo-rewriting")
+        registry.register(
+            BackendSpec(
+                name="fo-rewriting",
+                priority=original.priority,
+                supports=original.supports,
+                factory=original.factory,
+                description="replacement",
+            ),
+            override=True,
+        )
+        assert registry.get("fo-rewriting").description == "replacement"
+        # default registry is unaffected by the copy's override
+        assert default_registry().get("fo-rewriting").description \
+            != "replacement"
+
+    def test_default_registry_routes_all_builtins(self):
+        assert len(default_registry()) >= 6
+
+
+class TestPreparedSolverLifecycle:
+    def _instances(self, problem, n):
+        return list(
+            random_instances_for_query(problem.query, problem.fks, n, seed=9)
+        )
+
+    def test_batch_opens_exactly_one_connection(self):
+        problem = _sql_problem()
+        dbs = self._instances(problem, 8)
+        with connect(fo_backend="sql") as session:
+            batch = session.decide_batch(problem, dbs)
+            assert batch.backend == "fo-sql"
+            solver = session.prepare(problem).solver
+            assert solver.connections_opened == 1
+            # a second batch through the same plan reuses the connection
+            session.decide_batch(problem, dbs)
+            assert solver.connections_opened == 1
+            assert solver.connection_is_open
+        assert not solver.connection_is_open  # close() propagated
+
+    def test_close_rewarm_reopens_once(self):
+        problem = _sql_problem()
+        (db,) = self._instances(problem, 1)
+        solver = prepare(problem, fo_backend="sql")
+        first = solver.decide(db)
+        assert solver.connections_opened == 1
+        solver.close()
+        assert solver.decide(db) == first  # transparently re-warms
+        assert solver.connections_opened == 2
+        solver.close()
+
+    def test_warm_and_cold_sql_agree(self):
+        problem = _sql_problem()
+        dbs = self._instances(problem, 6)
+        from repro.solvers import SqlRewritingSolver
+
+        warm = SqlRewritingSolver(problem.query, problem.fks)
+        cold = SqlRewritingSolver(problem.query, problem.fks, warm=False)
+        with warm, cold:
+            assert [warm.decide(db) for db in dbs] \
+                == [cold.decide(db) for db in dbs]
+        assert warm.connections_opened == 1
+        assert cold.connections_opened == len(dbs)
+
+    def test_warm_solver_survives_thread_pool(self):
+        problem = _sql_problem()
+        dbs = self._instances(problem, 10)
+        with connect(fo_backend="sql") as session:
+            serial = session.decide_batch(problem, dbs)
+            threaded = session.decide_batch(
+                problem, dbs, executor=ExecutorConfig(mode="thread",
+                                                      max_workers=4)
+            )
+            assert serial.answers == threaded.answers
+            solver = session.prepare(problem).solver
+            # one connection per *thread*, not per instance: the serial
+            # batch used 1, the pool adds at most one per worker
+            assert 1 <= solver.connections_opened <= 1 + 4
+            assert solver.connection_is_open
+        assert not solver.connection_is_open  # close() reaped every thread's
+
+    def test_warm_solver_pickles_for_process_pool(self):
+        problem = _sql_problem()
+        dbs = self._instances(problem, 6)
+        with connect(fo_backend="sql") as session:
+            serial = session.decide_batch(problem, dbs)
+            pooled = session.decide_batch(
+                problem, dbs, executor=ExecutorConfig(mode="process",
+                                                      max_workers=2)
+            )
+            assert serial.answers == pooled.answers
+
+    def test_engine_clear_closes_solvers(self):
+        engine = CertaintyEngine(EngineConfig(fo_backend="sql"))
+        problem = _sql_problem()
+        (db,) = self._instances(problem, 1)
+        engine.decide(problem, db)
+        solver = engine.plan_for(problem).solver
+        assert solver.connection_is_open
+        engine.clear()
+        assert not solver.connection_is_open
+
+    def test_engine_solver_close_propagates(self):
+        from repro.solvers import EngineSolver
+
+        problem = _sql_problem()
+        (db,) = self._instances(problem, 1)
+        solver = EngineSolver(
+            problem.query, problem.fks,
+            engine=CertaintyEngine(EngineConfig(fo_backend="sql")),
+        )
+        solver.decide(db)
+        inner = solver.engine.plan_for(problem.query, problem.fks).solver
+        assert inner.connection_is_open
+        solver.close()
+        assert not inner.connection_is_open
+
+    def test_cache_eviction_closes_solver(self):
+        engine = CertaintyEngine(
+            EngineConfig(plan_cache_size=1, fo_backend="sql")
+        )
+        first = _sql_problem()
+        (db,) = self._instances(first, 1)
+        engine.decide(first, db)
+        solver = engine.plan_for(first).solver
+        assert solver.connection_is_open
+        # a second distinct problem evicts the first plan
+        engine.plan_for(Problem.of("T(x | y)"))
+        assert not solver.connection_is_open
+
+
+class TestSessionDecisions:
+    def test_decision_provenance_and_truthiness(self):
+        problem = _sql_problem()
+        db = next(iter(
+            random_instances_for_query(problem.query, problem.fks, 1, seed=2)
+        ))
+        with connect() as session:
+            first = session.decide(problem, db)
+            second = session.decide(problem, db)
+        assert first.fingerprint == problem.fingerprint.digest
+        assert first.verdict == "FO"
+        assert first.backend == "fo-rewriting"
+        assert (first.cache_hit, second.cache_hit) == (False, True)
+        assert bool(first) == first.certain
+        assert first.wall_seconds > 0
+
+    def test_decision_json_round_trip(self):
+        decision = Decision(
+            certain=True, fingerprint="abc", verdict="FO",
+            backend="fo-sql", cache_hit=True, wall_seconds=0.25,
+        )
+        assert Decision.from_json(decision.to_json()) == decision
+        with pytest.raises(ProblemFormatError):
+            Decision.from_json("{]")
+        with pytest.raises(ProblemFormatError):
+            Decision.from_json('{"certain": true}')
+
+    def test_batch_decision_shape(self):
+        problem = _sql_problem()
+        dbs = list(
+            random_instances_for_query(problem.query, problem.fks, 4, seed=3)
+        )
+        with connect() as session:
+            batch = session.decide_batch(problem, dbs)
+        assert len(batch) == 4 and list(batch) == list(batch.answers)
+        data = json.loads(batch.to_json())
+        assert data["answers"] == list(batch.answers)
+        assert data["backend"] == "fo-rewriting"
+        assert isinstance(batch, BatchDecision)
+
+    def test_engine_accepts_problem_by_keyword(self):
+        problem = _sql_problem()
+        db = fig1_instance()
+        engine = CertaintyEngine()
+        # all documented call shapes: positional and keyword, old and new
+        assert engine.decide(problem, db) \
+            == engine.decide(problem, db=db) \
+            == engine.decide(problem.query, problem.fks, db)
+        batch = engine.decide_batch(problem, dbs=[db, db])
+        assert batch.answers == engine.decide_batch(problem, [db, db]).answers
+        with pytest.raises(TypeError):
+            engine.decide(problem, problem.fks, db)  # problem plus fks
+        engine.close()
+
+    def test_closed_session_rejects_work(self):
+        session = connect()
+        session.close()
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            session.decide(_sql_problem(), fig1_instance())
+
+    def test_session_classify_and_rewrite(self):
+        problem = Problem.of("N(x | 'c', y)", "O(y |)", fks=["N[3]->O"])
+        with connect() as session:
+            assert not session.classify(problem).in_fo
+            from repro.exceptions import NotInFOError
+
+            with pytest.raises(NotInFOError):
+                session.rewrite(problem)
+            assert "p-dual-horn" in session.explain(problem)
+
+
+class TestCliProblemJson:
+    def _export(self, tmp_path):
+        path = tmp_path / "problem.json"
+        code = main([
+            "problem", "export", "-a", "R(x | y)", "-a", "S(y | z)",
+            "-k", "R[2]->S", "--name", "cli-demo", "-o", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_export_import_round_trip(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        original = Problem.of(
+            "R(x | y)", "S(y | z)", fks=["R[2]->S"], name="cli-demo"
+        )
+        assert Problem.from_json(path.read_text()) == original
+        code = main(["problem", "import", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert original.fingerprint.digest in out
+        assert "in FO" in out
+
+    def test_export_to_stdout(self, capsys):
+        code = main(["problem", "export", "-a", "R(x | y)"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "repro/problem"
+
+    def test_engine_accepts_problem_file(self, tmp_path, capsys):
+        from repro.db.io import dump
+
+        path = self._export(tmp_path)
+        problem = _sql_problem()
+        db_path = tmp_path / "db.txt"
+        dump(next(iter(random_instances_for_query(
+            problem.query, problem.fks, 1, seed=4
+        ))), db_path)
+        code = main(["engine", "-p", str(path), str(db_path)])
+        out = capsys.readouterr().out
+        assert "backend: fo-rewriting" in out
+        assert code in (0, 1)
+
+    def test_batch_accepts_problem_file(self, tmp_path, capsys):
+        from repro.db.io import dump
+
+        path = self._export(tmp_path)
+        problem = _sql_problem()
+        db_path = tmp_path / "db.txt"
+        dump(next(iter(random_instances_for_query(
+            problem.query, problem.fks, 1, seed=4
+        ))), db_path)
+        code = main([
+            "batch", "-p", str(path), str(db_path), "--repeat", "2", "--sql"
+        ])
+        out = capsys.readouterr().out
+        assert "backend:    fo-sql" in out
+        assert "plan cache: 0 hits, 1 misses" in out
+        assert code in (0, 1)
+
+    def test_malformed_problem_file_friendly_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is not json")
+        code = main(["problem", "import", str(bad)])
+        assert code == 2
+        assert "error: invalid JSON" in capsys.readouterr().err
+
+    def test_missing_problem_file_friendly_error(self, tmp_path, capsys):
+        code = main(["classify", "-p", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_atoms_and_problem_file_are_exclusive(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        code = main(["classify", "-p", str(path), "-a", "R(x | y)"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_no_problem_given_friendly_error(self, capsys):
+        code = main(["classify"])
+        assert code == 2
+        assert "no problem given" in capsys.readouterr().err

@@ -83,14 +83,24 @@ class TestCli:
         assert rc == 1  # the certain answer is "no"
         assert "certain: False" in capsys.readouterr().out
 
-    def test_decide_oracle_fallback(self, capsys, tmp_path):
+    def test_decide_routes_prop17_to_dual_horn(self, capsys, tmp_path):
         path = tmp_path / "chain.db"
         path.write_text("N('b1' | 'c', 1)\nO(1 |)\n")
         rc = main(["decide", "-a", "N(x | 'c', y)", "-a", "O(y |)",
                    "-k", "N[3]->O", str(path)])
         out = capsys.readouterr().out
-        assert "oracle" in out
+        assert "dual-Horn" in out  # the Proposition 17 polynomial island
         assert rc == 0  # trapped block: certain
+
+    def test_decide_oracle_fallback(self, capsys, tmp_path):
+        # L-hard, no polynomial island: the exact ⊕-repair oracle decides
+        path = tmp_path / "cycle.db"
+        path.write_text("R(1 | 1)\nS(1 | 1)\n")
+        rc = main(["decide", "-a", "R(x | y)", "-a", "S(y | x)",
+                   "-k", "R[2]->S", "-k", "S[2]->R", str(path)])
+        out = capsys.readouterr().out
+        assert "oracle" in out
+        assert rc == 0  # the consistent singleton loop satisfies q
 
     def test_repairs_listing(self, capsys, tmp_path):
         path = tmp_path / "ex4.db"

@@ -77,19 +77,19 @@ class TestRouter:
     def test_fo_problem_gets_rewriting_backend(self):
         query, fks = intro_query_q0()
         plan = compile_plan(query, fks)
-        assert plan.backend is Backend.FO_REWRITING
+        assert plan.backend == Backend.FO_REWRITING.value
         assert plan.rewriting is not None
 
     def test_fo_problem_gets_sql_backend_on_request(self):
         query, fks = intro_query_q0()
         plan = compile_plan(query, fks, fo_backend="sql")
-        assert plan.backend is Backend.FO_SQL
+        assert plan.backend == Backend.FO_SQL.value
         assert plan.sql is not None and "SELECT" in plan.sql
 
     def test_proposition16_gets_reachability(self):
         query, fks = proposition16_query()
         plan = compile_plan(query, fks)
-        assert plan.backend is Backend.REACHABILITY
+        assert plan.backend == Backend.REACHABILITY.value
         # matching is up to variable renaming
         renamed, rk = _problem(["N(u | u)", "O(u |)"], ["N[2]->O"])
         assert matches_proposition16(renamed, rk)
@@ -97,7 +97,7 @@ class TestRouter:
     def test_proposition17_gets_dual_horn_any_constant(self):
         query, fks = _problem(["N(a | 'k', b)", "O(b |)"], ["N[3]->O"])
         plan = compile_plan(query, fks)
-        assert plan.backend is Backend.DUAL_HORN
+        assert plan.backend == Backend.DUAL_HORN.value
         assert matches_proposition17(query, fks) == "k"
 
     def test_proposition_matchers_reject_near_misses(self):
@@ -112,7 +112,7 @@ class TestRouter:
         query, fks = _problem(["R(x | z)", "S(y | z)"])
         plan = compile_plan(query, fks)
         assert not plan.classification.in_fo
-        assert plan.backend is Backend.SUBSET_REPAIRS
+        assert plan.backend == Backend.SUBSET_REPAIRS.value
 
     def test_hard_with_fks_gets_oplus_oracle(self):
         query, fks = _problem(
@@ -120,7 +120,7 @@ class TestRouter:
         )
         plan = compile_plan(query, fks)
         assert plan.classification.verdict is ComplexityVerdict.L_HARD
-        assert plan.backend is Backend.OPLUS_ORACLE
+        assert plan.backend == Backend.OPLUS_ORACLE.value
 
 
 class TestPlanCache:
@@ -254,7 +254,7 @@ class TestEngineSolverAdapter:
         db = proposition16_instance(6, random.Random(2), marked_fraction=0.5)
         assert solver.decide(db) == certain_answer(query, fks, db).certain
         plan = solver.engine.plan_for(query, fks)
-        assert plan.backend is Backend.REACHABILITY
+        assert plan.backend == Backend.REACHABILITY.value
 
 
 class TestStreamWorkload:
