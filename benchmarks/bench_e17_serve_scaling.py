@@ -1,0 +1,172 @@
+"""E17 — the serving layer: throughput vs shard count and micro-batch size.
+
+Extension experiment, companion to E15/E16: the `repro.serve` layer scales
+consistent query answering along two axes.
+
+**Sharding.**  A mixed stream whose distinct-problem working set exceeds
+one engine's plan cache thrashes: every recurrence of an evicted problem
+repays classification, routing and rewriting construction.  Routing by
+consistent hashing on the problem fingerprint splits the working set, so
+aggregate cache capacity grows with the shard count and each shard's LRU
+stays hot.  The report serves the same round-robin problem stream through
+1, 2 and 4 shards and **asserts** throughput rises from 1 to the widest
+configuration (answers must be identical throughout).
+
+**Micro-batching.**  Concurrent requests for the same fingerprint can be
+folded into one ``decide_batch`` — one plan-cache lookup, one warm
+prepared solver, one executor round-trip.  The report fires a fixed burst
+of concurrent remote decides through a loopback server with micro-batching
+disabled (``max_batch=1``) and enabled (``max_batch=16``), asserting the
+enabled server really groups (fewer engine batches than requests) while
+answers stay identical.
+"""
+
+import asyncio
+import time
+
+from benchmarks.conftest import report
+from repro.api import Problem
+from repro.serve import (
+    AsyncServeClient,
+    BackgroundServer,
+    ServeClient,
+    ServerConfig,
+    ShardedEngine,
+)
+from repro.api.session import SessionConfig
+from repro.workloads import random_instances_for_query
+
+N_PROBLEMS = 32
+PER_SHARD_CACHE = 16  # < N_PROBLEMS: a single shard must thrash
+ROUNDS = 8
+SHARD_COUNTS = (1, 2, 4)
+BURST = 48
+
+
+def _working_set():
+    """Distinct FO problems (compile-heavy, decide-cheap) + one instance
+    each.  ``R(x|y) ∧ S(y|z)`` with ``R[2]→S`` routes to ``fo-rewriting``:
+    plan compilation (~0.5 ms) dwarfs a warm decide (~0.04 ms), which is
+    exactly the regime where plan-cache capacity decides throughput."""
+    items = []
+    for i in range(N_PROBLEMS):
+        problem = Problem.of(
+            f"R{i}(x | y)", f"S{i}(y | z)", fks=[f"R{i}[2]->S{i}"],
+            name=f"e17-{i}",
+        )
+        db = next(
+            iter(
+                random_instances_for_query(
+                    problem.query, problem.fks, 1, seed=1000 + i
+                )
+            )
+        )
+        items.append((problem, db))
+    return items
+
+
+def _serve_stream(n_shards: int, items) -> tuple[float, list[bool]]:
+    """Round-robin the stream through a sharded engine; return (seconds,
+    answers)."""
+    config = SessionConfig(plan_cache_size=PER_SHARD_CACHE)
+    answers: list[bool] = []
+    with ShardedEngine(n_shards, config) as sharded:
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            for problem, db in items:
+                answers.append(sharded.decide(problem, db).certain)
+        elapsed = time.perf_counter() - start
+    return elapsed, answers
+
+
+def test_e17_throughput_scales_with_shard_count():
+    items = _working_set()
+    requests = ROUNDS * len(items)
+    results = {}
+    rows = []
+    for n_shards in SHARD_COUNTS:
+        elapsed, answers = _serve_stream(n_shards, items)
+        results[n_shards] = (elapsed, answers)
+        rows.append(
+            (
+                f"{n_shards} shard(s)",
+                f"{elapsed * 1e3:.1f} ms",
+                f"{requests / elapsed:,.0f}/s",
+                f"cache/shard={PER_SHARD_CACHE}, distinct={len(items)}",
+            )
+        )
+    report(
+        f"E17a: sharded plan-cache scaling ({requests} requests, "
+        f"round-robin over {len(items)} problems)",
+        rows,
+        ("series", "elapsed", "throughput", "configuration"),
+    )
+
+    baseline = results[SHARD_COUNTS[0]]
+    for n_shards in SHARD_COUNTS[1:]:
+        assert results[n_shards][1] == baseline[1], "answers must not differ"
+    # the acceptance criterion: more shards → more aggregate cache → faster
+    widest = results[SHARD_COUNTS[-1]][0]
+    assert widest < baseline[0], (
+        f"{SHARD_COUNTS[-1]} shards ({widest:.3f}s) should beat 1 shard "
+        f"({baseline[0]:.3f}s): the single cache must thrash on "
+        f"{len(items)} > {PER_SHARD_CACHE} distinct problems"
+    )
+
+
+def _burst_through_server(max_batch: int) -> tuple[float, list[bool], dict]:
+    problem = Problem.of(
+        "R(x | y)", "S(y | z)", fks=["R[2]->S"], name="e17-burst"
+    )
+    dbs = list(
+        random_instances_for_query(problem.query, problem.fks, BURST, seed=17)
+    )
+    config = ServerConfig(
+        shards=2, max_batch=max_batch, linger_ms=20, plan_cache_size=8
+    )
+    with BackgroundServer(config) as background:
+        host, port = background.address
+
+        async def fire():
+            async with await AsyncServeClient.connect(host, port) as client:
+                start = time.perf_counter()
+                results = await asyncio.gather(
+                    *[client.decide(problem, db) for db in dbs]
+                )
+                return time.perf_counter() - start, results
+
+        elapsed, results = asyncio.run(fire())
+        with ServeClient(host, port) as stats_client:
+            server_stats = stats_client.stats()["server"]
+    answers = [r["decision"]["certain"] for r in results]
+    return elapsed, answers, server_stats
+
+
+def test_e17_micro_batching_groups_requests():
+    rows = []
+    outcomes = {}
+    for max_batch in (1, 16):
+        elapsed, answers, stats = _burst_through_server(max_batch)
+        outcomes[max_batch] = (answers, stats)
+        rows.append(
+            (
+                f"max_batch={max_batch}",
+                f"{elapsed * 1e3:.1f} ms",
+                f"{len(answers) / elapsed:,.0f}/s",
+                f"{stats['micro_batches']} engine batches "
+                f"for {stats['verbs'].get('decide', 0)} decides",
+            )
+        )
+    report(
+        f"E17b: micro-batching a burst of {BURST} concurrent decides "
+        "(one problem, loopback server)",
+        rows,
+        ("series", "elapsed", "throughput", "batching"),
+    )
+
+    assert outcomes[1][0] == outcomes[16][0], "answers must not differ"
+    # disabled: every request is its own engine batch
+    assert outcomes[1][1]["micro_batches"] == BURST
+    # enabled: the burst collapses into far fewer engine batches
+    assert outcomes[16][1]["micro_batches"] < BURST
+    assert outcomes[16][1]["batched_requests"] > 0

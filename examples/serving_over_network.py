@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Serving CERTAINTY(q, FK) over the network: server, clients, wire format.
+
+The `repro.serve` walkthrough:
+
+1. start the asyncio certainty server on a loopback port (2 shards, each
+   with its own plan cache and warm prepared solvers);
+2. from a blocking client, decide a mixed problem stream remotely — every
+   request crosses the wire as ``Problem.to_dict()`` + instance JSON and
+   comes back as a ``Decision`` with provenance (backend, trichotomy
+   verdict, owning shard, plan-cache hit) intact;
+3. from an asyncio client, fire a burst of concurrent decides for one
+   problem and watch the server fold them into micro-batches;
+4. read the ``stats`` verb: per-shard plan caches, per-backend latency
+   aggregates, micro-batching counters.
+
+Run:  PYTHONPATH=src python examples/serving_over_network.py
+"""
+
+import asyncio
+
+from repro.serve import (
+    AsyncServeClient,
+    BackgroundServer,
+    ServeClient,
+    ServerConfig,
+)
+from repro.workloads import StreamParams, mixed_problem_stream
+
+
+def serve_stream(client: ServeClient) -> None:
+    print("=== remote decides over a mixed problem stream ===")
+    header = (
+        f"{'request':<10} {'verdict':<8} {'backend':<16} {'shard':<6} "
+        f"{'cache':<6} answer"
+    )
+    print(header)
+    print("-" * len(header))
+    params = StreamParams(
+        n_problems=10, instances_per_problem=1, seed=7, repeat_rate=0.4
+    )
+    for item in mixed_problem_stream(params):
+        problem = item.problem
+        result = client.request(
+            "decide",
+            problem=problem,
+            instance=item.instances[0],
+        )
+        decision = result["decision"]
+        cache = "hit" if decision["cache_hit"] else "miss"
+        print(
+            f"{item.label:<10} {decision['verdict']:<8} "
+            f"{decision['backend']:<16} {result['shard']:<6} {cache:<6} "
+            f"certain={decision['certain']}"
+        )
+
+
+async def burst(host: str, port: int) -> None:
+    print()
+    print("=== concurrent burst: micro-batching in action ===")
+    params = StreamParams(n_problems=1, instances_per_problem=8, seed=3)
+    item = next(iter(mixed_problem_stream(params)))
+    async with await AsyncServeClient.connect(host, port) as client:
+        results = await asyncio.gather(
+            *[client.decide(item.problem, db) for db in item.instances]
+        )
+    sizes = sorted(r["micro_batch"] for r in results)
+    print(
+        f"fired {len(results)} concurrent decides of one problem; "
+        f"observed micro-batch sizes {sizes}"
+    )
+
+
+def show_stats(client: ServeClient) -> None:
+    print()
+    print("=== the stats verb ===")
+    stats = client.stats()
+    server = stats["server"]
+    print(
+        f"requests: {server['requests']}  errors: {server['errors']}  "
+        f"micro-batches: {server['micro_batches']} "
+        f"(batched requests: {server['batched_requests']})"
+    )
+    for shard in stats["shards"]:
+        cache = shard["cache"]
+        print(
+            f"shard {shard['shard']}: {cache['size']} cached plans, "
+            f"{cache['hits']} hits / {cache['misses']} misses"
+        )
+        for backend in shard["backends"]:
+            metrics = backend["metrics"]
+            mean = metrics["mean_seconds"]
+            mean_text = (
+                f"{mean * 1e6:.1f} µs/eval" if mean is not None else "unused"
+            )
+            print(
+                f"   {backend['backend']:<16} {metrics['evaluations']:>4} "
+                f"evals  {mean_text}"
+            )
+
+
+def main() -> None:
+    config = ServerConfig(shards=2, linger_ms=25, max_batch=16)
+    with BackgroundServer(config) as background:
+        host, port = background.address
+        print(f"server up on {host}:{port} ({config.shards} shards)\n")
+        with ServeClient(host, port) as client:
+            serve_stream(client)
+            asyncio.run(burst(host, port))
+            show_stats(client)
+            client.shutdown()
+    print("\nserver drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ Lower-level building blocks:
 * :func:`repro.certain` — one-shot consistent query answering on an
   instance, automatically picking the rewriting or the exact oracle.
 * :mod:`repro.engine` — the plan-caching certainty engine behind sessions.
+* :mod:`repro.serve` — the network serving layer: sharded engines behind a
+  consistent-hash ring, the asyncio micro-batching server, JSON-lines
+  clients (``repro serve`` / ``repro decide --connect``).
 * :mod:`repro.repairs` — subset repairs and the exact ⊕-repair oracle.
 * :mod:`repro.solvers` — the Proposition 16/17 polynomial algorithms and
   baselines.

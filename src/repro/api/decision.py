@@ -121,3 +121,38 @@ class BatchDecision:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "BatchDecision":
+        if not isinstance(data, dict):
+            raise ProblemFormatError(
+                f"batch-decision document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        answers = data.get("answers")
+        if not isinstance(answers, (list, tuple)):
+            raise ProblemFormatError(
+                "batch-decision document needs an 'answers' list"
+            )
+        try:
+            return cls(
+                answers=tuple(bool(a) for a in answers),
+                fingerprint=str(data["fingerprint"]),
+                verdict=str(data["verdict"]),
+                backend=str(data["backend"]),
+                cache_hit=bool(data["cache_hit"]),
+                wall_seconds=float(data["wall_seconds"]),
+                execute_seconds=float(data["execute_seconds"]),
+                mode=str(data["mode"]),
+            )
+        except KeyError as missing:
+            raise ProblemFormatError(
+                f"batch-decision document misses key {missing}"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchDecision":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise ProblemFormatError(f"invalid JSON: {error}") from error

@@ -6,10 +6,14 @@ Commands
 ``classify``   run the Theorem 12 decision procedure on a problem;
 ``rewrite``    print the consistent first-order rewriting (FO cases);
 ``sql``        compile the consistent rewriting to a SQL query;
-``decide``     answer ``CERTAINTY(q, FK)`` on an instance file;
-``engine``     answer through the plan-caching engine, with provenance;
+``decide``     answer ``CERTAINTY(q, FK)`` on an instance file — locally,
+               or against a running server via ``--connect HOST:PORT``;
+``engine``     answer through the plan-caching engine, with provenance
+               (``--stats`` prints per-backend latency aggregates);
 ``batch``      evaluate many instance files through one compiled plan;
+``serve``      run the sharded, micro-batching certainty server;
 ``problem``    export/import problems as portable JSON documents;
+``instance``   export/import instances as portable JSON documents;
 ``repairs``    enumerate the canonical ⊕-repairs of an instance;
 ``violations`` report primary/foreign-key violations of an instance.
 
@@ -36,8 +40,14 @@ from pathlib import Path
 from .api.problem import Problem
 from .api.session import Session, SessionConfig
 from .db import violation_report
+from .db import io as db_io
 from .db.io import load
-from .exceptions import NotInFOError, ProblemFormatError, ReproError
+from .exceptions import (
+    InstanceFormatError,
+    NotInFOError,
+    ProblemFormatError,
+    ReproError,
+)
 from .fo.render import render, render_tree
 from .repairs import canonical_repairs
 
@@ -140,9 +150,34 @@ def _backend_description(name: str) -> str:
         return name
 
 
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ReproError(f"--connect needs HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            f"--connect port must be an integer, got {port!r}"
+        ) from None
+
+
 def _cmd_decide(args) -> int:
     problem = _build_problem(args)
     db = load(args.database)
+    if args.connect:
+        from .serve import ServeClient
+
+        host, port = _parse_endpoint(args.connect)
+        timeout = args.timeout if args.timeout > 0 else None
+        with ServeClient(host, port, timeout=timeout) as client:
+            decision = client.decide(problem, db)
+        cache = "hit" if decision.cache_hit else "miss"
+        print(
+            f"certain: {decision.certain}   (remote {decision.backend}, "
+            f"plan cache {cache}, {decision.wall_seconds * 1e3:.2f} ms)"
+        )
+        return 0 if decision.certain else 1
     with Session() as session:  # classification paid once, in plan compile
         decision = session.decide(problem, db)
     method = _backend_description(decision.backend)
@@ -174,6 +209,34 @@ def _session_from_args(args) -> Session:
     )
 
 
+def _print_backend_stats(stats) -> None:
+    """Per-backend latency aggregates (``repro engine --stats``)."""
+    from .engine.metrics import bucket_labels
+
+    print("per-backend aggregates:")
+    if not stats.backends:
+        print("  (no plans executed)")
+        return
+    labels = bucket_labels()
+    for aggregate in stats.backends:
+        snap = aggregate.metrics
+        mean = snap.mean_seconds
+        mean_text = (
+            f"mean {mean * 1e6:.1f} µs" if mean is not None else "unused"
+        )
+        print(
+            f"  {aggregate.backend:<16} {aggregate.plans} plan(s)  "
+            f"{snap.evaluations} evals  {mean_text}"
+        )
+        buckets = " ".join(
+            f"{label}:{count}"
+            for label, count in zip(labels, snap.histogram)
+            if count
+        )
+        if buckets:
+            print(f"    latency histogram: {buckets}")
+
+
 def _cmd_engine(args) -> int:
     problem = _build_problem(args)
     with _session_from_args(args) as session:
@@ -186,6 +249,8 @@ def _cmd_engine(args) -> int:
             print(session.explain(problem))
         else:
             print(f"backend: {decisions[-1].backend}")
+        if args.stats:
+            _print_backend_stats(session.stats())
     return 0 if all(d.certain for d in decisions) else 1
 
 
@@ -228,6 +293,64 @@ def _cmd_problem_import(args) -> int:
     print(f"fingerprint: {problem.fingerprint.digest}")
     print(f"problem:     {problem.fingerprint.text}")
     print(f"verdict:     {classification.verdict.value}")
+    return 0
+
+
+def _cmd_instance_export(args) -> int:
+    db = load(args.file)
+    document = db_io.to_json(db, indent=2)
+    if args.output:
+        Path(args.output).write_text(document + "\n")
+        print(f"wrote {args.output} ({db.size} facts)")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_instance_import(args) -> int:
+    try:
+        text = Path(args.file).read_text()
+    except OSError as error:
+        raise InstanceFormatError(
+            f"cannot read instance file {args.file!r}: {error}"
+        ) from error
+    db = db_io.from_json(text)
+    if args.output:
+        db_io.dump(db, args.output)
+        print(f"wrote {args.output} ({db.size} facts)")
+        return 0
+    schema = db.schema()
+    print(f"facts:     {db.size}")
+    for relation in sorted(db.relations):
+        sig = schema[relation]
+        print(
+            f"  {relation}: {len(db.relation_facts(relation))} facts "
+            f"(arity {sig.arity}, key {sig.key_size})"
+        )
+    keys = "violated" if db.violates_primary_keys() else "satisfied"
+    print(f"primary keys: {keys}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServerConfig, run_server
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            fo_backend="sql" if args.sql else "memory",
+            plan_cache_size=args.cache_size,
+            max_batch=args.max_batch,
+            linger_ms=args.linger_ms,
+        )
+    except ValueError as error:
+        # config validation speaks ValueError; give it the CLI's friendly
+        # `error:` shape instead of a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    run_server(config)
     return 0
 
 
@@ -284,6 +407,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decide", help="answer CERTAINTY(q, FK) on a file")
     _add_problem_arguments(p, with_json=True)
     p.add_argument("database", help="instance file (repro.db.io format)")
+    p.add_argument("--connect", metavar="HOST:PORT",
+                   help="send the request to a running `repro serve` "
+                        "instead of deciding locally")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds for --connect "
+                        "(0 waits forever; hard problems can be slow)")
     p.set_defaults(handler=_cmd_decide)
 
     p = sub.add_parser(
@@ -295,6 +424,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evaluate FO problems as compiled SQL over SQLite")
     p.add_argument("--explain", action="store_true",
                    help="print the full plan summary")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-backend latency aggregates")
     p.set_defaults(handler=_cmd_engine)
 
     p = sub.add_parser(
@@ -331,6 +462,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pi.add_argument("file", help="problem JSON file")
     pi.set_defaults(handler=_cmd_problem_import)
+
+    p = sub.add_parser(
+        "instance", help="export/import instances as portable JSON"
+    )
+    instance_sub = p.add_subparsers(dest="instance_command", required=True)
+
+    ie = instance_sub.add_parser(
+        "export", help="serialize an instance text file to JSON"
+    )
+    ie.add_argument("file", help="instance file (repro.db.io text format)")
+    ie.add_argument("-o", "--output", metavar="FILE",
+                    help="write the document here instead of stdout")
+    ie.set_defaults(handler=_cmd_instance_export)
+
+    ii = instance_sub.add_parser(
+        "import", help="read an instance JSON document and summarize it"
+    )
+    ii.add_argument("file", help="instance JSON file")
+    ii.add_argument("-o", "--output", metavar="FILE",
+                    help="write the text form here instead of summarizing")
+    ii.set_defaults(handler=_cmd_instance_import)
+
+    p = sub.add_parser(
+        "serve", help="run the sharded, micro-batching certainty server"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=7432,
+                   help="bind port (0 picks a free one)")
+    p.add_argument("--shards", type=_positive_int, default=4,
+                   help="engine workers (plan caches) behind the hash ring")
+    p.add_argument("--sql", action="store_true",
+                   help="evaluate FO problems as compiled SQL over SQLite")
+    p.add_argument("--cache-size", type=_positive_int, default=128,
+                   help="per-shard plan cache capacity")
+    p.add_argument("--max-batch", type=_positive_int, default=32,
+                   help="flush a micro-batch at this many requests")
+    p.add_argument("--linger-ms", type=float, default=1.0,
+                   help="micro-batch linger window in milliseconds")
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser("repairs", help="enumerate canonical ⊕-repairs")
     _add_problem_arguments(p, with_json=True)

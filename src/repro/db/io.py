@@ -1,6 +1,6 @@
-"""Text serialization of database instances.
+"""Text and JSON serialization of database instances.
 
-The format is one fact per line in the query-atom syntax with ground
+The *text* format is one fact per line in the query-atom syntax with ground
 terms::
 
     AUTHORS('o1' | 'Jeff', 'Ullman')
@@ -11,17 +11,36 @@ Key positions come before the ``|`` exactly as in queries; blank lines and
 ``#`` comments are ignored.  Round-trips through :func:`dumps`/:func:`loads`
 preserve the instance (ordinary string/int values only — invented repair
 constants are not serializable by design).
+
+The *JSON* format (:func:`to_dict`/:func:`from_dict`/:func:`to_json`/
+:func:`from_json`) is the wire form instances travel in next to
+:class:`repro.api.Problem` documents — the payload of the ``repro.serve``
+protocol and of ``repro instance export``.  It follows the same
+conventions the problem document established: a ``format``/``version``
+header, one object per relation carrying its signature, and the shared
+string-or-integer value domain (JSON keeps the two apart natively, so rows
+are stored as plain value arrays rather than tagged triples — every value
+in a ground fact is a constant)::
+
+    {"format": "repro/instance", "version": 1,
+     "relations": {"R": {"arity": 2, "key_size": 1,
+                         "rows": [["d1", "o3"], ...]}}}
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Mapping
 
 from ..core.query import parse_atom
 from ..core.terms import Constant
-from ..exceptions import QueryError
+from ..exceptions import InstanceFormatError, QueryError
 from .facts import Fact
 from .instance import DatabaseInstance
+
+_FORMAT = "repro/instance"
+_VERSION = 1
 
 
 def _value_to_text(value: object) -> str:
@@ -73,3 +92,118 @@ def load(path: str | Path) -> DatabaseInstance:
 def dump(db: DatabaseInstance, path: str | Path) -> None:
     """Write an instance to a file."""
     Path(path).write_text(dumps(db))
+
+
+# -- the JSON wire format ----------------------------------------------------
+
+
+def _is_wire_value(value: object) -> bool:
+    return not isinstance(value, bool) and isinstance(value, (str, int))
+
+
+def _bad_value(relation: str, row, value: object) -> InstanceFormatError:
+    # formatted only on failure: this sits on the serve layer's
+    # per-request encode/decode hot path
+    return InstanceFormatError(
+        f"relation {relation!r} row {tuple(row)!r}: value {value!r} is not "
+        "serializable — only string and integer constants have a wire form"
+    )
+
+
+def to_dict(db: DatabaseInstance) -> dict:
+    """A plain-JSON-compatible dict losslessly encoding *db*.
+
+    Relations are sorted and rows follow the instance's deterministic fact
+    order, so equal instances produce identical documents.
+    """
+    relations: dict[str, dict] = {}
+    for fact in db:  # deterministic iteration order
+        entry = relations.setdefault(
+            fact.relation,
+            {"arity": fact.arity, "key_size": fact.key_size, "rows": []},
+        )
+        for value in fact.values:
+            if not _is_wire_value(value):
+                raise _bad_value(fact.relation, fact.values, value)
+        entry["rows"].append(list(fact.values))
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "relations": {name: relations[name] for name in sorted(relations)},
+    }
+
+
+def to_json(db: DatabaseInstance, indent: int | None = None) -> str:
+    """The instance as a JSON document (see :func:`to_dict`)."""
+    return json.dumps(to_dict(db), indent=indent, sort_keys=True)
+
+
+def from_dict(data: object) -> DatabaseInstance:
+    """Rebuild an instance from :func:`to_dict` output.
+
+    Raises :class:`~repro.exceptions.InstanceFormatError` on any malformed
+    input; signature conflicts propagate as
+    :class:`~repro.exceptions.SchemaError` from instance construction.
+    """
+    if not isinstance(data, Mapping):
+        raise InstanceFormatError(
+            f"instance document must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    if data.get("format") != _FORMAT:
+        raise InstanceFormatError(
+            f"not an instance document: format={data.get('format')!r} "
+            f"(expected {_FORMAT!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise InstanceFormatError(
+            f"unsupported instance version {data.get('version')!r} "
+            f"(this library reads version {_VERSION})"
+        )
+    relations = data.get("relations", {})
+    if not isinstance(relations, Mapping):
+        raise InstanceFormatError("instance 'relations' must be an object")
+    facts: list[Fact] = []
+    for name, entry in relations.items():
+        if not isinstance(name, str) or not isinstance(entry, Mapping):
+            raise InstanceFormatError(
+                f"malformed relation entry {name!r}: {entry!r}"
+            )
+        arity = entry.get("arity")
+        key_size = entry.get("key_size")
+        rows = entry.get("rows")
+        if (
+            not isinstance(arity, int)
+            or not isinstance(key_size, int)
+            or isinstance(arity, bool)
+            or isinstance(key_size, bool)
+            or not isinstance(rows, list)
+        ):
+            raise InstanceFormatError(
+                f"relation {name!r} needs integer 'arity'/'key_size' and a "
+                "'rows' list"
+            )
+        if not 1 <= key_size <= arity:
+            raise InstanceFormatError(
+                f"relation {name!r}: key size {key_size} outside [1, {arity}]"
+            )
+        for row in rows:
+            if not isinstance(row, list) or len(row) != arity:
+                raise InstanceFormatError(
+                    f"relation {name!r}: row {row!r} is not a list of "
+                    f"{arity} values"
+                )
+            for value in row:
+                if not _is_wire_value(value):
+                    raise _bad_value(name, row, value)
+            facts.append(Fact(name, tuple(row), key_size))
+    return DatabaseInstance(facts)
+
+
+def from_json(text: str) -> DatabaseInstance:
+    """Parse an instance from its JSON document form."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise InstanceFormatError(f"invalid JSON: {error}") from error
+    return from_dict(data)

@@ -23,6 +23,7 @@ and the built-in specs in :mod:`repro.engine.router`.
 
 from .cache import CacheStats, PlanCache
 from .engine import (
+    BackendReport,
     CertaintyEngine,
     EngineConfig,
     EngineSolver,
@@ -31,7 +32,13 @@ from .engine import (
 )
 from .executor import BatchExecutor, BatchResult, ExecutorConfig
 from .fingerprint import Fingerprint, canonical_atoms, problem_fingerprint
-from .metrics import MetricsSnapshot, PlanMetrics
+from .metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    MetricsSnapshot,
+    PlanMetrics,
+    bucket_labels,
+    merge_histograms,
+)
 from .plan import CertaintyPlan, compile_plan
 from .registry import (
     BackendRegistry,
@@ -49,12 +56,13 @@ from .router import (
 )
 
 __all__ = [
-    "BUILTIN_BACKENDS", "Backend", "BackendRegistry", "BackendSpec",
-    "BatchExecutor", "BatchResult", "CacheStats", "CertaintyEngine",
-    "CertaintyPlan", "EngineConfig", "EngineSolver", "EngineStats",
-    "ExecutorConfig", "Fingerprint", "MetricsSnapshot", "PlanCache",
-    "PlanMetrics", "PlanReport", "RouteOptions", "canonical_atoms",
+    "BUILTIN_BACKENDS", "Backend", "BackendRegistry", "BackendReport",
+    "BackendSpec", "BatchExecutor", "BatchResult", "CacheStats",
+    "CertaintyEngine", "CertaintyPlan", "EngineConfig", "EngineSolver",
+    "EngineStats", "ExecutorConfig", "Fingerprint",
+    "LATENCY_BUCKET_BOUNDS", "MetricsSnapshot", "PlanCache", "PlanMetrics",
+    "PlanReport", "RouteOptions", "bucket_labels", "canonical_atoms",
     "compile_plan", "default_registry", "matches_proposition16",
-    "matches_proposition17", "problem_fingerprint",
+    "matches_proposition17", "merge_histograms", "problem_fingerprint",
     "register_builtin_backends", "select_backend",
 ]

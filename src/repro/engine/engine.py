@@ -27,7 +27,7 @@ from ..core.query import ConjunctiveQuery
 from ..db.instance import DatabaseInstance
 from .cache import CacheStats, PlanCache
 from .executor import BatchExecutor, BatchResult, ExecutorConfig
-from .metrics import MetricsSnapshot
+from .metrics import MetricsSnapshot, merge_histograms
 from .plan import CertaintyPlan, compile_plan
 from .registry import BackendRegistry
 
@@ -58,13 +58,83 @@ class PlanReport:
     verdict: str
     metrics: MetricsSnapshot
 
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "backend": self.backend,
+            "verdict": self.verdict,
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class BackendReport:
+    """One backend's aggregate over every cached plan routed to it."""
+
+    backend: str
+    plans: int
+    metrics: MetricsSnapshot
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "plans": self.plans,
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+def _aggregate_backends(
+    plans: tuple[PlanReport, ...],
+) -> tuple[BackendReport, ...]:
+    """Merge per-plan metrics into one report per backend (sorted by name)."""
+    grouped: dict[str, list[PlanReport]] = {}
+    for plan in plans:
+        grouped.setdefault(plan.backend, []).append(plan)
+    reports = []
+    for backend in sorted(grouped):
+        members = grouped[backend]
+        snaps = [p.metrics for p in members]
+        mins = [s.min_seconds for s in snaps if s.min_seconds is not None]
+        maxs = [s.max_seconds for s in snaps if s.max_seconds is not None]
+        reports.append(
+            BackendReport(
+                backend=backend,
+                plans=len(members),
+                metrics=MetricsSnapshot(
+                    evaluations=sum(s.evaluations for s in snaps),
+                    batches=sum(s.batches for s in snaps),
+                    total_seconds=sum(s.total_seconds for s in snaps),
+                    min_seconds=min(mins) if mins else None,
+                    max_seconds=max(maxs) if maxs else None,
+                    histogram=merge_histograms(s.histogram for s in snaps),
+                ),
+            )
+        )
+    return tuple(reports)
+
 
 @dataclass(frozen=True)
 class EngineStats:
-    """A point-in-time view of the engine's cache and plans."""
+    """A point-in-time view of the engine's cache, plans, and backends."""
 
     cache: CacheStats
     plans: tuple[PlanReport, ...]
+    backends: tuple[BackendReport, ...] = ()
+
+    def to_dict(self) -> dict:
+        """A plain-JSON view (`stats` wire verb, ``repro engine --stats``)."""
+        return {
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "size": self.cache.size,
+                "capacity": self.cache.capacity,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "plans": [plan.to_dict() for plan in self.plans],
+            "backends": [backend.to_dict() for backend in self.backends],
+        }
 
 
 class CertaintyEngine:
@@ -180,7 +250,8 @@ class CertaintyEngine:
         return self._cache.stats()
 
     def stats(self) -> EngineStats:
-        """Cache counters plus one report per cached plan (LRU order)."""
+        """Cache counters plus one report per cached plan (LRU order) and
+        one aggregate per backend."""
         reports = tuple(
             PlanReport(
                 fingerprint=plan.fingerprint.digest,
@@ -190,7 +261,11 @@ class CertaintyEngine:
             )
             for plan in self._cache.plans()
         )
-        return EngineStats(cache=self._cache.stats(), plans=reports)
+        return EngineStats(
+            cache=self._cache.stats(),
+            plans=reports,
+            backends=_aggregate_backends(reports),
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

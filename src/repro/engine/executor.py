@@ -45,6 +45,11 @@ class ExecutorConfig:
             )
         if self.chunksize < 1:
             raise ValueError(f"chunksize must be positive, got {self.chunksize}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(
+                f"max_workers must be a positive integer or None "
+                f"(auto), got {self.max_workers}"
+            )
 
 
 @dataclass(frozen=True)

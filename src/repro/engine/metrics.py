@@ -1,17 +1,63 @@
 """Per-plan execution metrics.
 
 Every :class:`~repro.engine.plan.CertaintyPlan` carries a
-:class:`PlanMetrics` that accumulates evaluation counts and wall-clock
-latency.  Single-instance calls record per-call latencies; batch runs record
-one aggregate sample per batch (the executor cannot observe per-call times
-inside a process pool).  Recording is thread-safe so the thread-pool
-executor can share one plan across workers.
+:class:`PlanMetrics` that accumulates evaluation counts, wall-clock
+latency, and a fixed-bucket latency histogram.  Single-instance calls
+record per-call latencies; batch runs record one aggregate sample per
+batch (the executor cannot observe per-call times inside a process pool)
+whose per-evaluation mean is attributed to the histogram so bucket counts
+always sum to the evaluation count.  Recording is thread-safe so the
+thread-pool executor and the sharded server can share one plan across
+workers.
+
+The histogram buckets are logarithmic upper bounds in seconds
+(:data:`LATENCY_BUCKET_BOUNDS`), with a final overflow bucket: the spread
+from microsecond-scale in-memory FO evaluation to the exhaustive
+fallbacks' worst cases fits no linear scale.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Upper bounds (inclusive), in seconds, of the latency histogram buckets.
+#: A sample lands in the first bucket whose bound it does not exceed; the
+#: implicit final bucket collects everything slower than the last bound.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+)
+
+_N_BUCKETS = len(LATENCY_BUCKET_BOUNDS) + 1
+
+
+def bucket_labels() -> tuple[str, ...]:
+    """Human-readable labels, one per histogram bucket (CLI/stats views)."""
+
+    def _fmt(bound: float) -> str:
+        if bound >= 1.0:
+            return f"{bound:.0f}s"
+        if bound >= 1e-3:
+            return f"{bound * 1e3:.0f}ms"
+        return f"{bound * 1e6:.0f}µs"
+
+    labels = [f"≤{_fmt(b)}" for b in LATENCY_BUCKET_BOUNDS]
+    labels.append(f">{_fmt(LATENCY_BUCKET_BOUNDS[-1])}")
+    return tuple(labels)
+
+
+def _empty_histogram() -> tuple[int, ...]:
+    return (0,) * _N_BUCKETS
+
+
+def merge_histograms(histograms) -> tuple[int, ...]:
+    """Sum bucket counts across *histograms* (aggregate/backend views)."""
+    totals = [0] * _N_BUCKETS
+    for histogram in histograms:
+        for index, count in enumerate(histogram):
+            totals[index] += count
+    return tuple(totals)
 
 
 @dataclass(frozen=True, slots=True)
@@ -23,6 +69,7 @@ class MetricsSnapshot:
     total_seconds: float
     min_seconds: float | None
     max_seconds: float | None
+    histogram: tuple[int, ...] = field(default_factory=_empty_histogram)
 
     @property
     def mean_seconds(self) -> float | None:
@@ -36,6 +83,21 @@ class MetricsSnapshot:
             return None
         return self.evaluations / self.total_seconds
 
+    def to_dict(self) -> dict:
+        """A plain-JSON view (the `stats` wire verb and ``--stats`` CLI)."""
+        return {
+            "evaluations": self.evaluations,
+            "batches": self.batches,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "mean_seconds": self.mean_seconds,
+            "histogram": {
+                label: count
+                for label, count in zip(bucket_labels(), self.histogram)
+            },
+        }
+
 
 class PlanMetrics:
     """Mutable accumulator behind a lock; snapshot for reading."""
@@ -47,12 +109,15 @@ class PlanMetrics:
         self._total_seconds = 0.0
         self._min_seconds: float | None = None
         self._max_seconds: float | None = None
+        self._histogram = [0] * _N_BUCKETS
 
     def record(self, seconds: float, evaluations: int = 1) -> None:
         """Add *evaluations* answers produced in *seconds* of wall clock.
 
         With ``evaluations > 1`` the sample is a batch: it contributes to
-        totals and the batch count but not to the per-call min/max.
+        totals and the batch count but not to the per-call min/max, and its
+        per-evaluation mean is attributed to the histogram *evaluations*
+        times (so bucket counts stay comparable to evaluation counts).
         """
         with self._lock:
             self._evaluations += evaluations
@@ -62,8 +127,16 @@ class PlanMetrics:
                     self._min_seconds = seconds
                 if self._max_seconds is None or seconds > self._max_seconds:
                     self._max_seconds = seconds
+                self._histogram[
+                    bisect_left(LATENCY_BUCKET_BOUNDS, seconds)
+                ] += 1
             else:
                 self._batches += 1
+                if evaluations > 0:
+                    mean = seconds / evaluations
+                    self._histogram[
+                        bisect_left(LATENCY_BUCKET_BOUNDS, mean)
+                    ] += evaluations
 
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:
@@ -73,6 +146,7 @@ class PlanMetrics:
                 total_seconds=self._total_seconds,
                 min_seconds=self._min_seconds,
                 max_seconds=self._max_seconds,
+                histogram=tuple(self._histogram),
             )
 
     def __repr__(self) -> str:

@@ -25,6 +25,32 @@ class ProblemFormatError(ReproError):
     entry."""
 
 
+class InstanceFormatError(ReproError):
+    """A serialized :class:`repro.db.DatabaseInstance` could not be decoded:
+    invalid JSON, unknown format/version, or a malformed relation/row
+    entry."""
+
+
+class ServeProtocolError(ReproError):
+    """A ``repro.serve`` wire envelope could not be decoded: invalid JSON,
+    a non-object frame, or a missing/malformed field."""
+
+
+class RemoteError(ReproError):
+    """A ``repro.serve`` server answered a request with an error envelope.
+
+    Carries the structured ``code`` next to the human-readable message so
+    clients can branch without parsing text."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
 class BackendRegistryError(ReproError):
     """Backend registry misuse: duplicate registration without ``override``,
     unknown backend name, or no registered backend supporting a problem."""

@@ -1,0 +1,84 @@
+"""repro.serve — the network serving layer over the certainty engine.
+
+Turns the library into a servable system: an asyncio JSON-lines server
+(:class:`CertaintyServer`) that queues incoming ``CERTAINTY(q, FK)``
+requests, groups concurrent decides **by problem fingerprint** into
+micro-batches, and executes them on a :class:`ShardedEngine` — *N*
+:class:`~repro.api.Session` workers behind a consistent-hash ring, so
+each shard's plan cache stays hot and its prepared solvers stay warm.
+
+Server side::
+
+    from repro.serve import ServerConfig, run_server
+
+    run_server(ServerConfig(port=7432, shards=4, fo_backend="sql"))
+    # or: python -m repro serve --port 7432 --shards 4 --sql
+
+Client side::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1", 7432) as client:
+        decision = client.decide(problem, db)     # Decision, provenance intact
+        print(decision.certain, decision.backend, decision.cache_hit)
+        print(client.stats()["server"])           # micro-batches, verbs, ...
+
+The wire format (:mod:`repro.serve.protocol`) carries
+:meth:`Problem.to_dict` and :func:`repro.db.io.to_dict` payloads in and
+:meth:`Decision.to_dict` payloads out, with structured error envelopes
+(:class:`~repro.exceptions.RemoteError` client-side).  For in-process use
+(tests, examples, benchmarks) :class:`BackgroundServer` runs the same
+server on a daemon thread.
+"""
+
+from ..exceptions import RemoteError, ServeProtocolError
+from .client import AsyncServeClient, ServeClient
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL,
+    VERSION,
+    Request,
+    UnsupportedVerbError,
+    decode_frame,
+    decode_request,
+    decode_response,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from .server import (
+    BackgroundServer,
+    CertaintyServer,
+    MicroBatcher,
+    ServerConfig,
+    ServerMetrics,
+    run_server,
+)
+from .shard import HashRing, ShardedEngine, ShardStats
+
+__all__ = [
+    "ERROR_CODES",
+    "PROTOCOL",
+    "VERSION",
+    "AsyncServeClient",
+    "BackgroundServer",
+    "CertaintyServer",
+    "HashRing",
+    "MicroBatcher",
+    "RemoteError",
+    "Request",
+    "ServeClient",
+    "ServeProtocolError",
+    "ServerConfig",
+    "ServerMetrics",
+    "ShardStats",
+    "ShardedEngine",
+    "UnsupportedVerbError",
+    "decode_frame",
+    "decode_request",
+    "decode_response",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "run_server",
+]

@@ -1,0 +1,280 @@
+"""Clients for the ``repro.serve`` protocol.
+
+Two shapes for two callers:
+
+* :class:`ServeClient` — blocking, one request in flight at a time; the
+  shape the CLI (``repro decide --connect``), examples and scripts want.
+  Speaks :class:`~repro.api.Problem`/:class:`~repro.db.DatabaseInstance`
+  in and :class:`~repro.api.Decision`/:class:`~repro.api.BatchDecision`
+  out — the wire stays invisible.
+* :class:`AsyncServeClient` — asyncio, arbitrarily many pipelined
+  requests per connection; a background reader task routes responses to
+  their callers by echoed id.  This is what exercises the server's
+  micro-batcher: concurrent same-problem decides from one (or many)
+  async clients get folded into shared engine batches.
+
+Both raise :class:`~repro.exceptions.RemoteError` when the server answers
+with a structured error envelope, and
+:class:`~repro.exceptions.ServeProtocolError` when the stream itself is
+broken.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+
+from ..api.decision import BatchDecision, Decision
+from ..api.problem import Problem
+from ..db import io as db_io
+from ..db.instance import DatabaseInstance
+from ..exceptions import RemoteError, ServeProtocolError
+from .protocol import Request, decode_response, encode_frame
+
+
+def _request_frame(
+    request_id: int,
+    verb: str,
+    problem: Problem | None = None,
+    instance: DatabaseInstance | None = None,
+    instances=None,
+) -> bytes:
+    return encode_frame(
+        Request(
+            id=request_id,
+            verb=verb,
+            problem=problem.to_dict() if problem is not None else None,
+            instance=db_io.to_dict(instance) if instance is not None else None,
+            instances=(
+                [db_io.to_dict(db) for db in instances]
+                if instances is not None
+                else None
+            ),
+        ).to_dict()
+    )
+
+
+class ServeClient:
+    """A blocking JSON-lines client (one request in flight at a time)."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 30.0
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- the raw request/response cycle --------------------------------------
+
+    def request(
+        self,
+        verb: str,
+        *,
+        problem: Problem | None = None,
+        instance: DatabaseInstance | None = None,
+        instances=None,
+    ) -> dict:
+        """One request → the response's ``result`` payload (or a raise)."""
+        request_id = next(self._ids)
+        self._file.write(
+            _request_frame(request_id, verb, problem, instance, instances)
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeProtocolError("server closed the connection")
+        echoed, result = decode_response(line)
+        if echoed != request_id:
+            raise ServeProtocolError(
+                f"response id {echoed!r} does not match request "
+                f"{request_id!r} (blocking clients do not pipeline)"
+            )
+        return result
+
+    # -- verbs ----------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+        """The remote certain answer, with provenance intact."""
+        result = self.request("decide", problem=problem, instance=db)
+        return Decision.from_dict(result["decision"])
+
+    def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+        """One remote plan over an instance list."""
+        result = self.request(
+            "decide_batch", problem=problem, instances=list(dbs)
+        )
+        return BatchDecision.from_dict(result["batch"])
+
+    def classify(self, problem: Problem) -> dict:
+        return self.request("classify", problem=problem)
+
+    def explain(self, problem: Problem) -> str:
+        return self.request("explain", problem=problem)["plan"]
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop (answers before it does)."""
+        return self.request("shutdown")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """An asyncio client that pipelines: many requests in flight, responses
+    routed back by echoed id."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: dict[int | str, asyncio.Future] = {}
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = 16 * 1024 * 1024,
+    ) -> "AsyncServeClient":
+        # limit= mirrors the server's frame cap: a large decide_batch or
+        # stats response must not overrun asyncio's 64 KiB line default
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=max_frame_bytes
+        )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    request_id, result = decode_response(line)
+                except RemoteError as error:
+                    echoed = getattr(error, "request_id", None)
+                    if echoed is None:
+                        # a connection-scoped error (e.g. oversize frame):
+                        # no id to route by, and the server is hanging up —
+                        # surface the envelope to every waiting caller
+                        for future in self._waiting.values():
+                            if not future.done():
+                                future.set_exception(error)
+                        self._waiting.clear()
+                        continue
+                    future = self._waiting.pop(echoed, None)
+                    if future is not None and not future.done():
+                        future.set_exception(error)
+                    continue
+                except ServeProtocolError:
+                    # one undecodable frame desynchronizes the stream;
+                    # treat the connection as broken (the finally block
+                    # fails whatever is in flight)
+                    break
+                future = self._waiting.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(result)
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+        ):
+            pass
+        finally:
+            # the stream is gone: fail everything in flight AND mark the
+            # client broken so later request() calls raise instead of
+            # writing into a half-closed socket and awaiting forever
+            self._closed = True
+            error = ServeProtocolError("connection closed")
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._waiting.clear()
+
+    async def request(
+        self,
+        verb: str,
+        *,
+        problem: Problem | None = None,
+        instance: DatabaseInstance | None = None,
+        instances=None,
+    ) -> dict:
+        if self._closed:
+            raise ServeProtocolError("client is closed")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        self._writer.write(
+            _request_frame(request_id, verb, problem, instance, instances)
+        )
+        await self._writer.drain()
+        return await future
+
+    # -- verbs ----------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def decide(self, problem: Problem, db: DatabaseInstance) -> dict:
+        """The full per-request result payload: ``decision`` (a
+        :meth:`~repro.api.Decision.to_dict` document), ``shard``, and the
+        observed ``micro_batch`` size."""
+        return await self.request("decide", problem=problem, instance=db)
+
+    async def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+        result = await self.request(
+            "decide_batch", problem=problem, instances=list(dbs)
+        )
+        return BatchDecision.from_dict(result["batch"])
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,211 @@
+"""The ``repro.serve`` wire protocol: JSON lines over a byte stream.
+
+One frame is one JSON object on one ``\\n``-terminated line (UTF-8, no
+embedded newlines — ``json.dumps`` never emits raw newlines).  Requests
+carry an ``id`` the caller chooses; the response echoes it, so clients may
+pipeline arbitrarily many requests per connection and match answers out of
+order — the server's micro-batcher deliberately reorders work.
+
+Request frames::
+
+    {"id": 7, "verb": "decide",
+     "problem":  {... Problem.to_dict() ...},
+     "instance": {... repro.db.io.to_dict() ...}}
+
+Verbs and their payloads:
+
+``ping``
+    no payload; answers ``{"pong": true, "protocol": ..., "version": ...}``.
+``decide``
+    ``problem`` + ``instance``; answers ``{"decision": Decision.to_dict(),
+    "shard": i, "micro_batch": n}`` (*n* = how many requests the server
+    folded into one engine batch).
+``decide_batch``
+    ``problem`` + ``instances`` (a list); answers
+    ``{"batch": BatchDecision.to_dict(), "shard": i}``.
+``classify``
+    ``problem``; answers ``{"verdict": "FO"|"L_HARD"|"NL_HARD", "in_fo":
+    ..., "explanation": ..., "shard": i}`` — the same stable verdict
+    vocabulary ``Decision`` documents carry.
+``explain``
+    ``problem``; answers ``{"plan": ..., "shard": i}``.
+``stats``
+    no payload; answers ``{"server": ..., "shards": [EngineStats dicts]}``.
+``shutdown``
+    no payload; answers ``{"stopping": true}`` and the server drains.
+
+Responses are either ``{"id": ..., "ok": true, "result": {...}}`` or the
+structured error envelope ``{"id": ..., "ok": false, "error": {"code":
+..., "message": ...}}``.  Error codes are stable strings (see
+:data:`ERROR_CODES`); clients surface them as
+:class:`~repro.exceptions.RemoteError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..exceptions import (
+    InstanceFormatError,
+    ProblemFormatError,
+    RemoteError,
+    ReproError,
+    ServeProtocolError,
+)
+
+PROTOCOL = "repro/serve"
+VERSION = 1
+
+VERBS = (
+    "ping", "decide", "decide_batch", "classify", "explain", "stats",
+    "shutdown",
+)
+
+#: code → meaning of the structured error envelope.
+ERROR_CODES = {
+    "bad-request": "malformed frame: invalid JSON or a bad envelope field",
+    "bad-problem": "the 'problem' payload could not be decoded",
+    "bad-instance": "an 'instance'/'instances' payload could not be decoded",
+    "unsupported": "unknown verb or protocol version",
+    "domain": "the engine rejected or failed the decoded problem",
+    "internal": "unexpected server-side failure",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One decoded request frame."""
+
+    id: int | str
+    verb: str
+    problem: dict | None = None
+    instance: dict | None = None
+    instances: list | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"id": self.id, "verb": self.verb}
+        if self.problem is not None:
+            data["problem"] = self.problem
+        if self.instance is not None:
+            data["instance"] = self.instance
+        if self.instances is not None:
+            data["instances"] = self.instances
+        return data
+
+
+def encode_frame(data: dict) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return json.dumps(data, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """The JSON object on one wire line.
+
+    Raises :class:`~repro.exceptions.ServeProtocolError` on invalid JSON or
+    a non-object frame.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ServeProtocolError(f"frame is not UTF-8: {error}") from error
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ServeProtocolError(f"invalid JSON frame: {error}") from error
+    if not isinstance(data, dict):
+        raise ServeProtocolError(
+            f"frame must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def decode_request(line: bytes | str | dict) -> Request:
+    """Decode and validate one request frame (raw line or parsed object)."""
+    data = line if isinstance(line, dict) else decode_frame(line)
+    request_id = data.get("id")
+    if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
+        raise ServeProtocolError(
+            f"request 'id' must be an integer or string, got {request_id!r}"
+        )
+    verb = data.get("verb")
+    if not isinstance(verb, str):
+        raise ServeProtocolError(f"request 'verb' must be a string, got {verb!r}")
+    problem = data.get("problem")
+    if problem is not None and not isinstance(problem, dict):
+        raise ServeProtocolError("request 'problem' must be an object")
+    instance = data.get("instance")
+    if instance is not None and not isinstance(instance, dict):
+        raise ServeProtocolError("request 'instance' must be an object")
+    instances = data.get("instances")
+    if instances is not None and not isinstance(instances, list):
+        raise ServeProtocolError("request 'instances' must be a list")
+    return Request(
+        id=request_id,
+        verb=verb,
+        problem=problem,
+        instance=instance,
+        instances=instances,
+    )
+
+
+def ok_response(request_id: int | str, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: int | str | None, code: str, message: str
+) -> dict:
+    assert code in ERROR_CODES, f"unknown error code {code!r}"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+class UnsupportedVerbError(ServeProtocolError):
+    """The request named a verb this server does not speak."""
+
+
+def error_code_for(error: Exception) -> str:
+    """The envelope code an exception maps to (server-side dispatch)."""
+    if isinstance(error, UnsupportedVerbError):
+        return "unsupported"
+    if isinstance(error, ServeProtocolError):
+        return "bad-request"
+    if isinstance(error, ProblemFormatError):
+        return "bad-problem"
+    if isinstance(error, InstanceFormatError):
+        return "bad-instance"
+    if isinstance(error, ReproError):
+        return "domain"
+    return "internal"
+
+
+def decode_response(line: bytes | str) -> tuple[int | str | None, dict]:
+    """Decode a response frame into ``(id, result)``.
+
+    Error envelopes raise :class:`~repro.exceptions.RemoteError` carrying
+    the structured code — the client-side mirror of :func:`error_response`;
+    the echoed id travels on the exception's ``request_id`` attribute so a
+    pipelining client can still route the failure to its caller.
+    """
+    data = decode_frame(line)
+    request_id = data.get("id")
+    if data.get("ok") is True:
+        result = data.get("result")
+        if not isinstance(result, dict):
+            raise ServeProtocolError(
+                f"ok-response 'result' must be an object, got {result!r}"
+            )
+        return request_id, result
+    error = data.get("error")
+    if not isinstance(error, dict):
+        raise ServeProtocolError(f"malformed response frame: {data!r}")
+    remote = RemoteError(
+        str(error.get("code", "internal")), str(error.get("message", ""))
+    )
+    remote.request_id = request_id
+    raise remote

@@ -1,0 +1,613 @@
+"""The asyncio certainty server: queueing, micro-batching, sharded execution.
+
+The event loop owns only coordination: it reads JSON-line frames, decodes
+payloads, groups concurrent ``decide`` requests **by problem fingerprint**
+into micro-batches, and hands each batch to the owning shard's
+:meth:`~repro.api.Session.decide_batch` on a thread pool (the engine's
+decision procedures are plain Python, so the loop must never run them
+inline).  Responses are written back per connection as they complete —
+clients pipeline, the batcher reorders, the echoed request id restores the
+correspondence.
+
+Micro-batching policy: the first ``decide`` of a fingerprint opens a group
+and arms a linger timer (``linger_ms``); every further request for the
+same fingerprint joins the group until it reaches ``max_batch`` (flush
+now) or the timer fires (flush what arrived).  One group = one
+``decide_batch`` call = one plan-cache lookup and one warm prepared
+solver, however many requests were folded in — the per-request answer
+carries the group size as ``micro_batch`` so clients can observe the
+amortization.
+
+Lifecycle: :func:`run_server` for the CLI (runs until interrupted or a
+``shutdown`` verb arrives); :class:`BackgroundServer` for tests, examples
+and benchmarks (the same server on a daemon thread with a ready handshake).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..api.decision import Decision
+from ..api.problem import Problem
+from ..api.session import SessionConfig
+from ..db import io as db_io
+from ..db.instance import DatabaseInstance
+from ..exceptions import ServeProtocolError
+from .protocol import (
+    PROTOCOL,
+    VERBS,
+    VERSION,
+    Request,
+    UnsupportedVerbError,
+    decode_frame,
+    decode_request,
+    encode_frame,
+    error_code_for,
+    error_response,
+    ok_response,
+)
+
+# Frames above this size have their JSON/payload decoding offloaded to the
+# thread pool so a multi-megabyte instance document never stalls the event
+# loop (small frames stay inline: a pool round-trip costs more than the
+# parse).
+_OFFLOAD_FRAME_BYTES = 64 * 1024
+from .shard import ShardedEngine
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving layer."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick (the bound port is reported)
+    shards: int = 4
+    fo_backend: str = "memory"  # or "sql"
+    plan_cache_size: int = 128  # per shard
+    max_batch: int = 32  # flush a micro-batch at this size
+    linger_ms: float = 1.0  # ... or this long after its first request
+    max_workers: int | None = None  # thread pool size; None: one per shard
+    max_frame_bytes: int = 16 * 1024 * 1024  # per-line stream buffer cap
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+        if self.linger_ms < 0:
+            raise ValueError(
+                f"linger_ms must be non-negative, got {self.linger_ms}"
+            )
+        if self.max_frame_bytes < 1024:
+            raise ValueError(
+                f"max_frame_bytes must be at least 1024, got "
+                f"{self.max_frame_bytes}"
+            )
+
+    def session_config(self) -> SessionConfig:
+        return SessionConfig(
+            plan_cache_size=self.plan_cache_size,
+            fo_backend=self.fo_backend,
+        )
+
+
+class ServerMetrics:
+    """Thread-safe serving counters (the `stats` verb's ``server`` block)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.micro_batches = 0
+        self.batched_requests = 0  # requests that shared their micro-batch
+        self.verbs: dict[str, int] = {}
+
+    def count_request(self, verb: str) -> None:
+        with self._lock:
+            self.requests += 1
+            self.verbs[verb] = self.verbs.get(verb, 0) + 1
+
+    def count_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def count_micro_batch(self, size: int) -> None:
+        with self._lock:
+            self.micro_batches += 1
+            if size > 1:
+                self.batched_requests += size
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "micro_batches": self.micro_batches,
+                "batched_requests": self.batched_requests,
+                "verbs": dict(self.verbs),
+            }
+
+
+class _PendingGroup:
+    """One open micro-batch: a fingerprint's queued instances + futures."""
+
+    __slots__ = ("problem", "shard", "items", "timer")
+
+    def __init__(self, problem: Problem, shard: int):
+        self.problem = problem
+        self.shard = shard
+        self.items: list[tuple[DatabaseInstance, asyncio.Future]] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Group concurrent same-fingerprint decides into one engine batch.
+
+    Lives entirely on the event loop (no locks); execution happens on the
+    server's thread pool against the owning shard.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedEngine,
+        pool: ThreadPoolExecutor,
+        metrics: ServerMetrics,
+        *,
+        max_batch: int,
+        linger_seconds: float,
+    ):
+        self._sharded = sharded
+        self._pool = pool
+        self._metrics = metrics
+        self._max_batch = max_batch
+        self._linger = linger_seconds
+        self._pending: dict[str, _PendingGroup] = {}
+        self._inflight: set[asyncio.Future] = set()
+
+    async def submit(self, problem: Problem, db: DatabaseInstance) -> dict:
+        """Queue one decide; resolves with the per-request result payload."""
+        loop = asyncio.get_running_loop()
+        digest = problem.fingerprint.digest
+        group = self._pending.get(digest)
+        if group is None:
+            group = _PendingGroup(problem, self._sharded.shard_for(problem))
+            self._pending[digest] = group
+            if self._linger > 0:
+                group.timer = loop.call_later(
+                    self._linger,
+                    lambda pending=group: loop.create_task(
+                        self._flush(digest, expected=pending)
+                    ),
+                )
+        future: asyncio.Future = loop.create_future()
+        group.items.append((db, future))
+        if len(group.items) >= self._max_batch or self._linger == 0:
+            await self._flush(digest)
+        return await future
+
+    async def _flush(
+        self, digest: str, expected: _PendingGroup | None = None
+    ) -> None:
+        group = self._pending.get(digest)
+        if group is None:  # already flushed by the size trigger
+            return
+        if expected is not None and group is not expected:
+            # a stale linger-timer task: its group was size-flushed and a
+            # successor group formed under the same digest — leave the
+            # successor its own linger window
+            return
+        del self._pending[digest]
+        if group.timer is not None:
+            group.timer.cancel()
+        loop = asyncio.get_running_loop()
+        dbs = [db for db, _ in group.items]
+        futures = [f for _, f in group.items]
+        self._metrics.count_micro_batch(len(dbs))
+        session = self._sharded.session(group.shard)
+        run = loop.run_in_executor(
+            self._pool, session.decide_batch, group.problem, dbs
+        )
+        self._inflight.add(run)
+        run.add_done_callback(self._inflight.discard)
+        try:
+            batch = await run
+        except Exception as error:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for answer, future in zip(batch.answers, futures):
+            if not future.done():
+                decision = Decision(
+                    certain=bool(answer),
+                    fingerprint=batch.fingerprint,
+                    verdict=batch.verdict,
+                    backend=batch.backend,
+                    cache_hit=batch.cache_hit,
+                    # the whole micro-batch's wall clock: the time this
+                    # request actually waited on the engine
+                    wall_seconds=batch.wall_seconds,
+                )
+                future.set_result(
+                    {
+                        "decision": decision.to_dict(),
+                        "shard": group.shard,
+                        "micro_batch": len(batch.answers),
+                    }
+                )
+
+    async def drain(self) -> None:
+        """Flush every open group and wait for in-flight batches (shutdown)."""
+        for digest in list(self._pending):
+            await self._flush(digest)
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+
+
+class CertaintyServer:
+    """The asyncio JSON-lines server over a :class:`ShardedEngine`."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self._sharded = ShardedEngine(
+            self.config.shards, self.config.session_config()
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers or self.config.shards,
+            thread_name_prefix="repro-serve",
+        )
+        self._batcher = MicroBatcher(
+            self._sharded,
+            self._pool,
+            self.metrics,
+            max_batch=self.config.max_batch,
+            linger_seconds=self.config.linger_ms / 1e3,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._stop = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    @property
+    def sharded_engine(self) -> ShardedEngine:
+        return self._sharded
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        # limit= raises the 64 KiB default line cap: one frame carries a
+        # whole instance document, which easily exceeds it
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_shutdown`, then drain and release."""
+        assert self._server is not None, "call start() first"
+        await self._stop.wait()
+        # Order matters: stop accepting, flush queued work, EOF the open
+        # connection loops, and only then wait for the server — on
+        # Python >= 3.12.1 ``wait_closed()`` blocks until every connection
+        # handler finishes, so the handlers must be unblocked first.
+        self._server.close()
+        await self._batcher.drain()
+        for writer in list(self._writers):  # EOF every connection loop
+            writer.close()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        await self._server.wait_closed()
+        self._pool.shutdown(wait=True)
+        self._sharded.close()
+
+    def request_shutdown(self) -> None:
+        self._stop.set()
+
+    # -- the connection loop -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        connection = asyncio.current_task()
+        if connection is not None:
+            self._connections.add(connection)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # a frame longer than max_frame_bytes: the stream is no
+                    # longer line-synchronized, so report and hang up
+                    self.metrics.count_error()
+                    async with write_lock:
+                        writer.write(
+                            encode_frame(
+                                error_response(
+                                    None,
+                                    "bad-request",
+                                    "frame exceeds the server's "
+                                    f"{self.config.max_frame_bytes}-byte "
+                                    "limit",
+                                )
+                            )
+                        )
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                task = asyncio.create_task(
+                    self._serve_frame(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if connection is not None:
+                self._connections.discard(connection)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _serve_frame(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: int | str | None = None
+        try:
+            offload = len(line) > _OFFLOAD_FRAME_BYTES
+            if offload:
+                frame = await self._run_on_pool(decode_frame, line)
+            else:
+                frame = decode_frame(line)
+            raw_id = frame.get("id")
+            if isinstance(raw_id, (int, str)) and not isinstance(raw_id, bool):
+                request_id = raw_id
+            request = decode_request(frame)
+            # bound the verbs counter to the protocol vocabulary so junk
+            # verb strings cannot grow server memory without limit
+            self.metrics.count_request(
+                request.verb if request.verb in VERBS else "<unknown>"
+            )
+            result = await self._dispatch(request, offload=offload)
+            response = ok_response(request.id, result)
+        except Exception as error:  # every failure becomes an envelope
+            self.metrics.count_error()
+            response = error_response(
+                request_id, error_code_for(error), str(error)
+            )
+        async with write_lock:
+            try:
+                writer.write(encode_frame(response))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away; nothing to tell it
+
+    # -- verb dispatch -------------------------------------------------------
+
+    async def _dispatch(self, request: Request, offload: bool = False) -> dict:
+        verb = request.verb
+        if verb == "ping":
+            return {"pong": True, "protocol": PROTOCOL, "version": VERSION}
+        if verb == "stats":
+            return await self._stats()
+        if verb == "shutdown":
+            self.request_shutdown()
+            return {"stopping": True}
+        if verb == "decide":
+            if request.instance is None:
+                self._require_problem(request)  # report the missing payload
+                raise ServeProtocolError("'decide' needs an 'instance'")
+            if offload:
+                problem, db = await self._run_on_pool(
+                    lambda: (
+                        self._require_problem(request),
+                        db_io.from_dict(request.instance),
+                    )
+                )
+            else:
+                problem = self._require_problem(request)
+                db = db_io.from_dict(request.instance)
+            return await self._batcher.submit(problem, db)
+        if verb == "decide_batch":
+            if request.instances is None:
+                self._require_problem(request)
+                raise ServeProtocolError(
+                    "'decide_batch' needs an 'instances' list"
+                )
+            if offload:
+                problem, dbs = await self._run_on_pool(
+                    lambda: (
+                        self._require_problem(request),
+                        [db_io.from_dict(e) for e in request.instances],
+                    )
+                )
+            else:
+                problem = self._require_problem(request)
+                dbs = [db_io.from_dict(entry) for entry in request.instances]
+            shard = self._sharded.shard_for(problem)
+            batch = await self._run_on_pool(
+                self._sharded.session(shard).decide_batch, problem, dbs
+            )
+            return {"batch": batch.to_dict(), "shard": shard}
+        if verb == "classify":
+            problem = self._require_problem(request)
+            classification = await self._run_on_pool(
+                self._sharded.classify, problem
+            )
+            return {
+                # verdict.name: the same stable token vocabulary Decision
+                # uses ("FO"/"L_HARD"/"NL_HARD"), not the human prose
+                "verdict": classification.verdict.name,
+                "in_fo": classification.in_fo,
+                "explanation": classification.explain(),
+                "shard": self._sharded.shard_for(problem),
+            }
+        if verb == "explain":
+            problem = self._require_problem(request)
+            plan = await self._run_on_pool(self._sharded.explain, problem)
+            return {
+                "plan": plan,
+                "shard": self._sharded.shard_for(problem),
+            }
+        raise UnsupportedVerbError(
+            f"unknown verb {verb!r} (this server speaks "
+            f"{PROTOCOL} v{VERSION})"
+        )
+
+    async def _stats(self) -> dict:
+        shard_stats = await self._run_on_pool(self._sharded.stats)
+        return {
+            "server": {
+                **self.metrics.to_dict(),
+                "shards": self._sharded.n_shards,
+                "max_batch": self.config.max_batch,
+                "linger_ms": self.config.linger_ms,
+                "fo_backend": self.config.fo_backend,
+            },
+            "shards": [entry.to_dict() for entry in shard_stats],
+        }
+
+    async def _run_on_pool(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, lambda: fn(*args)
+        )
+
+    @staticmethod
+    def _require_problem(request: Request) -> Problem:
+        if request.problem is None:
+            raise ServeProtocolError(
+                f"{request.verb!r} needs a 'problem' payload"
+            )
+        return Problem.from_dict(request.problem)
+
+
+async def _serve_async(config: ServerConfig, *, ready=None) -> None:
+    server = CertaintyServer(config)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    await server.serve_until_stopped()
+
+
+def run_server(config: ServerConfig | None = None) -> None:
+    """Run a server in the foreground until interrupted or told to stop
+    (the ``repro serve`` entry point)."""
+    config = config or ServerConfig()
+
+    def announce(server: CertaintyServer) -> None:
+        host, port = server.address
+        print(
+            f"repro serve: listening on {host}:{port} "
+            f"({server.config.shards} shards, fo_backend="
+            f"{server.config.fo_backend}, max_batch="
+            f"{server.config.max_batch}, linger={server.config.linger_ms}ms)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_serve_async(config, ready=announce))
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """A :class:`CertaintyServer` on a daemon thread, for in-process use.
+
+    The tests', examples' and benchmarks' harness::
+
+        with BackgroundServer(ServerConfig(shards=2)) as server:
+            host, port = server.address
+            ...  # connect clients
+
+    Entering blocks until the socket is bound; leaving requests shutdown
+    and joins the thread.
+    """
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self._ready = threading.Event()
+        self._server: CertaintyServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-bg", daemon=True
+        )
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        def remember(server: CertaintyServer) -> None:
+            self._server = server
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+
+        try:
+            asyncio.run(_serve_async(self.config, ready=remember))
+        except BaseException as error:  # surface bind failures to the waiter
+            self._startup_error = error
+            self._ready.set()
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"background server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self._server is None:
+            raise RuntimeError("background server did not start in time")
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "server not started"
+        return self._server.address
+
+    @property
+    def server(self) -> CertaintyServer:
+        assert self._server is not None, "server not started"
+        return self._server
+
+    def stop(self) -> None:
+        if self._server is not None and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

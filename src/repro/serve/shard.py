@@ -1,0 +1,157 @@
+"""Sharded serving: one engine per shard, routed by problem fingerprint.
+
+A single :class:`~repro.engine.CertaintyEngine` bounds its plan cache, so
+a working set larger than the cache thrashes — every recurrence of an
+evicted problem pays classification, routing, rewriting construction and
+(for the SQL backend) connection warm-up again.  :class:`ShardedEngine`
+owns *N* independent :class:`~repro.api.Session` workers and routes every
+request by **consistent hashing on the problem's canonical fingerprint**
+(:class:`HashRing`): the same problem always lands on the same shard, so
+that shard's LRU cache stays hot and its prepared solvers (warm SQLite
+connections included) serve every recurrence, while aggregate cache
+capacity grows linearly with the shard count.
+
+The ring hashes each shard to ``replicas`` virtual points, so adding or
+removing a shard remaps only ~``1/N`` of the fingerprint space — the
+property that lets a serving fleet resize without flushing every cache.
+All routing is deterministic across processes: two ``ShardedEngine``\\ s
+with the same shard count agree on every placement, which is what makes
+the fingerprint a *distribution* key and not just a cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..api.decision import BatchDecision, Decision
+from ..api.problem import Problem
+from ..api.session import Session, SessionConfig
+from ..db.instance import DatabaseInstance
+from ..engine.engine import EngineStats
+
+
+class HashRing:
+    """A consistent-hash ring mapping hex digests to shard indexes."""
+
+    def __init__(self, n_shards: int, replicas: int = 64):
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                token = f"shard-{shard}/{replica}".encode("ascii")
+                point = int.from_bytes(
+                    hashlib.sha256(token).digest()[:8], "big"
+                )
+                points.append((point, shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, digest: str) -> int:
+        """The owning shard of a fingerprint digest (hex string)."""
+        point = int.from_bytes(
+            hashlib.sha256(digest.encode("ascii")).digest()[:8], "big"
+        )
+        index = bisect_right(self._points, point)
+        if index == len(self._points):  # wrap around the ring
+            index = 0
+        return self._shards[index]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's identity plus its engine's stats snapshot."""
+
+    shard: int
+    stats: EngineStats
+
+    def to_dict(self) -> dict:
+        return {"shard": self.shard, **self.stats.to_dict()}
+
+
+class ShardedEngine:
+    """*N* sessions behind one facade, routed by fingerprint.
+
+    The sharded mirror of :class:`~repro.api.Session`: ``decide`` /
+    ``decide_batch`` / ``classify`` / ``explain`` / ``stats`` / ``close``,
+    every problem-taking call forwarded to the shard that owns the
+    problem's fingerprint.  Sessions are thread-safe, so the sharded
+    engine is too — the asyncio server drives it from a thread pool.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        config: SessionConfig | None = None,
+        *,
+        replicas: int = 64,
+    ):
+        self._ring = HashRing(n_shards, replicas=replicas)
+        self._sessions = tuple(
+            Session(config) for _ in range(n_shards)
+        )
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._sessions)
+
+    def shard_for(self, problem: Problem) -> int:
+        """The shard index owning *problem* (deterministic)."""
+        return self._ring.shard_for(problem.fingerprint.digest)
+
+    def session(self, shard: int) -> Session:
+        """The shard's session (for executing on a known shard)."""
+        return self._sessions[shard]
+
+    # -- the session surface, routed ----------------------------------------
+
+    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+        return self._sessions[self.shard_for(problem)].decide(problem, db)
+
+    def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+        return self._sessions[self.shard_for(problem)].decide_batch(
+            problem, dbs
+        )
+
+    def classify(self, problem: Problem):
+        return self._sessions[self.shard_for(problem)].classify(problem)
+
+    def explain(self, problem: Problem) -> str:
+        return self._sessions[self.shard_for(problem)].explain(problem)
+
+    def stats(self) -> tuple[ShardStats, ...]:
+        """Every shard's engine stats, in shard order."""
+        return tuple(
+            ShardStats(shard=i, stats=session.stats())
+            for i, session in enumerate(self._sessions)
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every shard's session (idempotent)."""
+        self._closed = True
+        for session in self._sessions:
+            session.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"ShardedEngine({state}, shards={self.n_shards})"

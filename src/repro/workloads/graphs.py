@@ -74,7 +74,10 @@ def proposition16_instance(
             if w != v and rng.random() < edge_probability:
                 facts.append(Fact("N", (v, w), 1))
         if rng.random() < escape_fraction:
-            facts.append(Fact("N", (v, ("esc", v)), 1))
+            # escape targets are strings: never equal to a diagonal int
+            # vertex, and (unlike tuples) wire-serializable, so streamed
+            # instances can cross the repro.serve protocol
+            facts.append(Fact("N", (v, f"esc:{v}"), 1))
         if rng.random() < marked_fraction:
             facts.append(Fact("O", (v,), 1))
     return DatabaseInstance(facts)

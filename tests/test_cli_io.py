@@ -122,3 +122,39 @@ class TestCli:
         rc = main(["classify", "-a", "E(x | y)", "-k", "E[2]->E"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestInstanceJsonCli:
+    def test_export_import_round_trip(self, fig1_file, tmp_path, capsys):
+        json_path = tmp_path / "fig1.json"
+        rc = main(["instance", "export", fig1_file, "-o", str(json_path)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+
+        rc = main(["instance", "import", str(json_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "facts:" in out and "primary keys:" in out
+
+        text_path = tmp_path / "back.db"
+        rc = main(["instance", "import", str(json_path), "-o", str(text_path)])
+        assert rc == 0
+        capsys.readouterr()
+        assert load(text_path) == fig1_instance()
+
+    def test_export_to_stdout_is_valid_json(self, fig1_file, capsys):
+        import json as json_module
+
+        from repro.db import io as db_io
+
+        rc = main(["instance", "export", fig1_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert db_io.from_dict(json_module.loads(out)) == fig1_instance()
+
+    def test_import_rejects_malformed_document(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "wrong"}')
+        rc = main(["instance", "import", str(path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

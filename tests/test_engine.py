@@ -305,3 +305,209 @@ class TestCliSubcommands:
         # the workload compiled one plan and never re-fetched it; the CLI's
         # own introspection must not inflate the printed counters
         assert "plan cache: 0 hits, 1 misses" in out
+
+
+class TestExecutorConfigValidation:
+    def test_rejects_nonpositive_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ExecutorConfig(mode="thread", max_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            ExecutorConfig(mode="process", max_workers=-2)
+
+    def test_accepts_auto_and_positive(self):
+        assert ExecutorConfig(mode="thread").max_workers is None
+        assert ExecutorConfig(mode="thread", max_workers=3).max_workers == 3
+
+
+class TestMetricsExport:
+    def test_histogram_counts_sum_to_evaluations(self):
+        from repro.engine import LATENCY_BUCKET_BOUNDS, PlanMetrics
+
+        metrics = PlanMetrics()
+        metrics.record(5e-6)            # first bucket
+        metrics.record(5e-4)            # ≤1ms bucket
+        metrics.record(10.0)            # overflow bucket
+        metrics.record(0.004, evaluations=4)  # batch: mean 1ms, counted 4x
+        snap = metrics.snapshot()
+        assert snap.evaluations == 7
+        assert sum(snap.histogram) == 7
+        assert len(snap.histogram) == len(LATENCY_BUCKET_BOUNDS) + 1
+        assert snap.histogram[0] == 1
+        assert snap.histogram[-1] == 1
+
+    def test_snapshot_to_dict_labels_buckets(self):
+        from repro.engine import PlanMetrics, bucket_labels
+
+        metrics = PlanMetrics()
+        metrics.record(5e-6)
+        data = metrics.snapshot().to_dict()
+        assert set(data["histogram"]) == set(bucket_labels())
+        assert sum(data["histogram"].values()) == 1
+        assert data["mean_seconds"] == pytest.approx(5e-6)
+
+    def test_engine_stats_aggregate_per_backend(self):
+        query, fks = intro_query_q0()
+        with CertaintyEngine() as engine:
+            db = fig1_instance()
+            for _ in range(3):
+                engine.decide(query, fks, db)
+            q16, k16 = proposition16_query()
+            from repro.workloads import proposition16_instance
+            import random as _random
+
+            engine.decide(q16, k16,
+                          proposition16_instance(4, _random.Random(0)))
+            stats = engine.stats()
+        backends = {agg.backend: agg for agg in stats.backends}
+        assert set(backends) == {"fo-rewriting", "nl-reachability"}
+        assert backends["fo-rewriting"].plans == 1
+        assert backends["fo-rewriting"].metrics.evaluations == 3
+        assert sum(backends["fo-rewriting"].metrics.histogram) == 3
+        # the wire form carries plans and backends alike
+        data = stats.to_dict()
+        assert {entry["backend"] for entry in data["backends"]} == \
+            {"fo-rewriting", "nl-reachability"}
+        assert data["cache"]["misses"] == 2
+
+    def test_engine_cli_stats_flag(self, tmp_path, capsys):
+        path = tmp_path / "fig1.db"
+        dump(fig1_instance(), path)
+        code = main(
+            ["engine",
+             "-a", "DOCS(x | t, '2016')",
+             "-a", "R(x, y |)",
+             "-a", "AUTHORS(y | 'Jeff', z)",
+             "-k", "R[1]->DOCS",
+             "-k", "R[2]->AUTHORS",
+             str(path), "--stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "per-backend aggregates:" in out
+        assert "fo-rewriting" in out
+        assert "latency histogram:" in out
+
+
+class TestConcurrentEngineUse:
+    """Hammer one engine from many threads while forcing plan-cache
+    evictions: prepared solvers must be closed exactly once and every
+    answer must match the serial oracle (guards the eviction-close path
+    the sharded server leans on)."""
+
+    N_PROBLEMS = 6
+    CACHE_SIZE = 2  # working set of 6 >> capacity of 2: constant eviction
+    N_THREADS = 8
+    DECIDES_PER_THREAD = 40
+
+    def _corpus(self):
+        problems = []
+        for i in range(self.N_PROBLEMS):
+            query, fks = _problem(
+                [f"R{i}(x | 'c{i}', y)", f"S{i}(y | z)"], [f"R{i}[3]->S{i}"]
+            )
+            dbs = list(random_instances_for_query(query, fks, 3, seed=i))
+            problems.append((query, fks, dbs))
+        return problems
+
+    def test_threaded_hammer_with_evictions(self):
+        import threading
+        from repro.api import Problem
+        from repro.engine import EngineConfig
+        from repro.engine.registry import (
+            BackendRegistry,
+            BackendSpec,
+            default_registry,
+        )
+        from repro.solvers.base import close_solver
+
+        created = []
+        created_lock = threading.Lock()
+
+        class CountingSolver:
+            def __init__(self, inner):
+                self._inner = inner
+                self.name = inner.name
+                self.closes = 0
+                self._lock = threading.Lock()
+
+            def decide(self, db):
+                # the prepared-solver contract allows decides after close
+                # (resources re-acquire); answers must stay correct
+                return self._inner.decide(db)
+
+            def close(self):
+                with self._lock:
+                    self.closes += 1
+                close_solver(self._inner)
+
+        registry = BackendRegistry()
+        for spec in default_registry().specs():
+            inner_factory = spec.factory
+
+            def factory(classification, options, _inner=inner_factory):
+                solver = CountingSolver(_inner(classification, options))
+                with created_lock:
+                    created.append(solver)
+                return solver
+
+            registry.register(
+                BackendSpec(
+                    name=spec.name,
+                    factory=factory,
+                    supports=spec.supports,
+                    priority=spec.priority,
+                    polynomial=spec.polynomial,
+                    description=spec.description,
+                )
+            )
+
+        corpus = self._corpus()
+        oracle = {}
+        for index, (query, fks, dbs) in enumerate(corpus):
+            for j, db in enumerate(dbs):
+                oracle[(index, j)] = certain_answer(query, fks, db).certain
+
+        engine = CertaintyEngine(
+            EngineConfig(plan_cache_size=self.CACHE_SIZE, registry=registry)
+        )
+        mismatches = []
+        errors = []
+
+        def hammer(seed):
+            import random as _random
+
+            rng = _random.Random(seed)
+            try:
+                for _ in range(self.DECIDES_PER_THREAD):
+                    index = rng.randrange(len(corpus))
+                    query, fks, dbs = corpus[index]
+                    j = rng.randrange(len(dbs))
+                    answer = engine.decide(
+                        Problem(query, fks), dbs[j]
+                    )
+                    if answer != oracle[(index, j)]:
+                        mismatches.append((index, j, answer))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = engine.stats()
+        engine.close()
+
+        assert not errors
+        assert not mismatches
+        # the small cache really did thrash
+        assert stats.cache.evictions > 0
+        # many more solvers were built than fit the cache at once
+        assert len(created) > self.CACHE_SIZE
+        # after close(): every prepared solver closed exactly once —
+        # eviction, the losing side of a build race, and final clear() are
+        # mutually exclusive owners of each solver
+        assert [s.closes for s in created] == [1] * len(created)

@@ -1,0 +1,504 @@
+"""Tests for the `repro.serve` layer: instance/protocol wire round-trips,
+consistent-hash shard routing, structured error envelopes, micro-batching,
+and the end-to-end loopback serve path (Problem + instance JSON in →
+Decision JSON out with provenance intact)."""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.api import Problem
+from repro.core.schema import Schema
+from repro.db import io as db_io
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import (
+    InstanceFormatError,
+    RemoteError,
+    ServeProtocolError,
+)
+from repro.serve import (
+    AsyncServeClient,
+    BackgroundServer,
+    HashRing,
+    Request,
+    ServeClient,
+    ServerConfig,
+    ShardedEngine,
+    decode_request,
+    decode_response,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from repro.workloads import fig1_instance, intro_query_q0
+
+
+def _fig1_problem() -> Problem:
+    query, fks = intro_query_q0()
+    return Problem(query, fks, name="fig1")
+
+
+def _chain_problem(constant: str) -> Problem:
+    return Problem.of(
+        f"R(x | '{constant}', y)", "S(y | z)", fks=["R[3]->S"]
+    )
+
+
+def _small_db() -> DatabaseInstance:
+    schema = Schema.of(R=(2, 1), S=(2, 1))
+    return DatabaseInstance.build(
+        schema, {"R": [("a", "b")], "S": [("b", "c")]}
+    )
+
+
+class TestInstanceWireFormat:
+    def test_round_trip_json(self):
+        db = fig1_instance()
+        assert db_io.from_json(db_io.to_json(db)) == db
+
+    def test_round_trip_preserves_int_vs_str(self):
+        schema = Schema.of(R=(2, 1))
+        db = DatabaseInstance.build(schema, {"R": [(1, "1"), ("1", 1)]})
+        restored = db_io.from_json(db_io.to_json(db))
+        assert restored == db
+        assert {f.values for f in restored} == {(1, "1"), ("1", 1)}
+
+    def test_deterministic_document(self):
+        db = fig1_instance()
+        assert db_io.to_json(db) == db_io.to_json(
+            DatabaseInstance(db.facts)
+        )
+
+    def test_empty_instance(self):
+        assert db_io.from_json(db_io.to_json(DatabaseInstance())).size == 0
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InstanceFormatError, match="format"):
+            db_io.from_dict({"format": "something/else", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(InstanceFormatError, match="version"):
+            db_io.from_dict({"format": "repro/instance", "version": 99})
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(InstanceFormatError, match="row"):
+            db_io.from_dict(
+                {
+                    "format": "repro/instance",
+                    "version": 1,
+                    "relations": {
+                        "R": {"arity": 2, "key_size": 1, "rows": [["a"]]}
+                    },
+                }
+            )
+
+    def test_rejects_non_wire_values(self):
+        with pytest.raises(InstanceFormatError, match="serializable"):
+            db_io.from_dict(
+                {
+                    "format": "repro/instance",
+                    "version": 1,
+                    "relations": {
+                        "R": {"arity": 1, "key_size": 1, "rows": [[1.5]]}
+                    },
+                }
+            )
+        with pytest.raises(InstanceFormatError, match="serializable"):
+            db_io.to_dict(DatabaseInstance([_fact_with_none()]))
+
+    def test_rejects_bad_key_size(self):
+        with pytest.raises(InstanceFormatError, match="key size"):
+            db_io.from_dict(
+                {
+                    "format": "repro/instance",
+                    "version": 1,
+                    "relations": {
+                        "R": {"arity": 1, "key_size": 2, "rows": []}
+                    },
+                }
+            )
+
+    def test_invalid_json(self):
+        with pytest.raises(InstanceFormatError, match="invalid JSON"):
+            db_io.from_json("{nope")
+
+
+def _fact_with_none():
+    from repro.db.facts import Fact
+
+    return Fact("R", (None,), 1)
+
+
+class TestProtocol:
+    def test_request_round_trip(self):
+        problem = _fig1_problem()
+        request = Request(
+            id=7,
+            verb="decide",
+            problem=problem.to_dict(),
+            instance=db_io.to_dict(fig1_instance()),
+        )
+        decoded = decode_request(encode_frame(request.to_dict()))
+        assert decoded == request
+        assert Problem.from_dict(decoded.problem).fingerprint == \
+            problem.fingerprint
+        assert db_io.from_dict(decoded.instance) == fig1_instance()
+
+    def test_ok_response_round_trip(self):
+        line = encode_frame(ok_response("abc", {"pong": True}))
+        request_id, result = decode_response(line)
+        assert request_id == "abc" and result == {"pong": True}
+
+    def test_error_envelope_raises_remote_error(self):
+        line = encode_frame(error_response(3, "bad-problem", "nope"))
+        with pytest.raises(RemoteError) as excinfo:
+            decode_response(line)
+        assert excinfo.value.code == "bad-problem"
+        assert excinfo.value.request_id == 3
+        assert "nope" in str(excinfo.value)
+
+    def test_decode_request_rejects_bad_frames(self):
+        with pytest.raises(ServeProtocolError, match="invalid JSON"):
+            decode_request(b"{nope\n")
+        with pytest.raises(ServeProtocolError, match="JSON object"):
+            decode_request(b"[1, 2]\n")
+        with pytest.raises(ServeProtocolError, match="'id'"):
+            decode_request({"verb": "ping", "id": True})
+        with pytest.raises(ServeProtocolError, match="'verb'"):
+            decode_request({"id": 1})
+        with pytest.raises(ServeProtocolError, match="'instances'"):
+            decode_request(
+                {"id": 1, "verb": "decide_batch", "instances": {}}
+            )
+
+    def test_frames_are_single_lines(self):
+        frame = encode_frame(
+            ok_response(1, {"text": "multi\nline\npayload"})
+        )
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+
+
+class TestShardRouting:
+    def test_deterministic_across_instances(self):
+        ring_a = HashRing(4)
+        ring_b = HashRing(4)
+        for i in range(50):
+            digest = _chain_problem(f"c{i}").fingerprint.digest
+            assert ring_a.shard_for(digest) == ring_b.shard_for(digest)
+
+    def test_alpha_variants_land_on_the_same_shard(self):
+        with ShardedEngine(4) as sharded:
+            a = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+            b = Problem.of("S(q | r)", "R(p | q)", fks=["R[2]->S"])
+            assert a.fingerprint == b.fingerprint
+            assert sharded.shard_for(a) == sharded.shard_for(b)
+
+    def test_distribution_covers_every_shard(self):
+        ring = HashRing(4)
+        owners = {
+            ring.shard_for(_chain_problem(f"c{i}").fingerprint.digest)
+            for i in range(80)
+        }
+        assert owners == {0, 1, 2, 3}
+
+    def test_consistent_hashing_limits_remapping(self):
+        # growing 4 → 5 shards must move only a minority of keys
+        small, grown = HashRing(4), HashRing(5)
+        digests = [
+            _chain_problem(f"c{i}").fingerprint.digest for i in range(200)
+        ]
+        moved = sum(
+            small.shard_for(d) != grown.shard_for(d) for d in digests
+        )
+        assert 0 < moved < len(digests) / 2
+
+    def test_sharded_engine_caches_per_shard(self):
+        with ShardedEngine(2) as sharded:
+            problem = _fig1_problem()
+            db = fig1_instance()
+            first = sharded.decide(problem, db)
+            second = sharded.decide(problem, db)
+            assert first.certain == second.certain
+            assert not first.cache_hit and second.cache_hit
+            sizes = [
+                entry.stats.cache.size for entry in sharded.stats()
+            ]
+            assert sorted(sizes) == [0, 1]  # one shard owns the plan
+
+    def test_rejects_bad_shard_counts(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            ServerConfig(shards=0)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(
+        ServerConfig(shards=2, linger_ms=5, plan_cache_size=16)
+    ) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServeClient(host, port) as serve_client:
+        yield serve_client
+
+
+class TestLoopbackEndToEnd:
+    def test_ping(self, client):
+        result = client.ping()
+        assert result["pong"] is True
+        assert result["protocol"] == "repro/serve"
+
+    def test_decide_round_trip_with_provenance(self, client):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        decision = client.decide(problem, db)
+        # the serial oracle of the same problem/instance
+        from repro.api import connect
+
+        with connect() as session:
+            local = session.decide(problem, db)
+        assert decision.certain == local.certain
+        assert decision.fingerprint == problem.fingerprint.digest
+        assert decision.backend == local.backend
+        assert decision.verdict == local.verdict
+        assert decision.wall_seconds >= 0
+        # a second decide of the same problem hits the shard's plan cache
+        assert client.decide(problem, db).cache_hit is True
+
+    def test_decide_batch_round_trip(self, client):
+        problem = _fig1_problem()
+        dbs = [fig1_instance(), fig1_instance()]
+        batch = client.decide_batch(problem, dbs)
+        assert len(batch.answers) == 2
+        assert batch.answers[0] == batch.answers[1]
+        assert batch.fingerprint == problem.fingerprint.digest
+
+    def test_classify_and_explain(self, client):
+        problem = _fig1_problem()
+        classify = client.classify(problem)
+        assert classify["in_fo"] is True
+        plan = client.explain(problem)
+        assert problem.fingerprint.digest in plan
+
+    def test_stats_verb(self, client):
+        problem = _fig1_problem()
+        client.decide(problem, fig1_instance())
+        stats = client.stats()
+        assert stats["server"]["requests"] >= 1
+        assert stats["server"]["shards"] == 2
+        assert len(stats["shards"]) == 2
+        total_plans = sum(
+            len(entry["plans"]) for entry in stats["shards"]
+        )
+        assert total_plans >= 1
+        backends = [
+            aggregate["backend"]
+            for entry in stats["shards"]
+            for aggregate in entry["backends"]
+        ]
+        assert "fo-rewriting" in backends
+
+    def test_error_envelope_unknown_verb(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client.request("conjure")
+        assert excinfo.value.code == "unsupported"
+
+    def test_error_envelope_bad_problem(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client.request(
+                "decide",
+                instances=None,
+                instance=_small_db(),
+                problem=None,
+            )
+        assert excinfo.value.code == "bad-request"
+
+    def test_error_envelope_malformed_problem_payload(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(
+                encode_frame(
+                    {
+                        "id": 1,
+                        "verb": "decide",
+                        "problem": {"format": "wrong"},
+                        "instance": db_io.to_dict(_small_db()),
+                    }
+                )
+            )
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is False
+        assert reply["id"] == 1
+        assert reply["error"]["code"] == "bad-problem"
+
+    def test_error_envelope_invalid_json_line(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"this is not json\n")
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "bad-request"
+
+    def test_error_envelope_domain_error(self, server):
+        host, port = server.address
+        # a problem document whose foreign keys are not about the query
+        document = {
+            "format": "repro/problem",
+            "version": 1,
+            "name": "",
+            "atoms": [
+                {
+                    "relation": "E",
+                    "key_size": 1,
+                    "terms": [["var", "x"], ["var", "y"]],
+                }
+            ],
+            "foreign_keys": [
+                {"source": "E", "position": 2, "target": "E"}
+            ],
+            "schema": {"E": [2, 1]},
+        }
+        with socket.create_connection((host, port), timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(
+                encode_frame(
+                    {"id": 5, "verb": "classify", "problem": document}
+                )
+            )
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "domain"
+
+
+class TestFrameLimits:
+    def test_large_instance_round_trips(self):
+        # a document far beyond asyncio's 64 KiB default line limit
+        schema = Schema.of(R=(2, 1), S=(2, 1))
+        rows = [(f"key-{i}", f"value-{i}") for i in range(4000)]
+        db = DatabaseInstance.build(
+            schema, {"R": rows, "S": [(f"value-{i}", "t") for i in range(4000)]}
+        )
+        assert len(db_io.to_json(db)) > 64 * 1024
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        with BackgroundServer(ServerConfig(shards=1)) as background:
+            host, port = background.address
+            with ServeClient(host, port) as serve_client:
+                decision = serve_client.decide(problem, db)
+        assert decision.fingerprint == problem.fingerprint.digest
+
+    def test_oversized_frame_gets_error_envelope(self):
+        with BackgroundServer(
+            ServerConfig(shards=1, max_frame_bytes=4096)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as serve_client:
+                big = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+                schema = Schema.of(R=(2, 1), S=(2, 1))
+                db = DatabaseInstance.build(
+                    schema,
+                    {"R": [(f"k{i}", f"v{i}") for i in range(500)],
+                     "S": [("v", "t")]},
+                )
+                with pytest.raises(RemoteError) as excinfo:
+                    serve_client.decide(big, db)
+                assert excinfo.value.code == "bad-request"
+                assert "limit" in str(excinfo.value)
+
+
+class TestMicroBatching:
+    def test_concurrent_same_problem_decides_share_a_batch(self):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with BackgroundServer(
+            ServerConfig(shards=2, linger_ms=100, max_batch=64)
+        ) as background:
+            host, port = background.address
+
+            async def hammer():
+                async with await AsyncServeClient.connect(
+                    host, port
+                ) as async_client:
+                    return await asyncio.gather(
+                        *[async_client.decide(problem, db) for _ in range(8)]
+                    )
+
+            results = asyncio.run(hammer())
+            with ServeClient(host, port) as stats_client:
+                stats = stats_client.stats()
+        answers = {r["decision"]["certain"] for r in results}
+        assert len(answers) == 1  # all identical
+        assert max(r["micro_batch"] for r in results) > 1
+        assert stats["server"]["batched_requests"] > 0
+        # micro-batching collapsed 8 requests into far fewer engine batches
+        assert stats["server"]["micro_batches"] < 8
+
+    def test_max_batch_one_disables_grouping(self):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with BackgroundServer(
+            ServerConfig(shards=1, linger_ms=50, max_batch=1)
+        ) as background:
+            host, port = background.address
+
+            async def hammer():
+                async with await AsyncServeClient.connect(
+                    host, port
+                ) as async_client:
+                    return await asyncio.gather(
+                        *[async_client.decide(problem, db) for _ in range(4)]
+                    )
+
+            results = asyncio.run(hammer())
+        assert all(r["micro_batch"] == 1 for r in results)
+
+    def test_shutdown_verb_stops_background_server(self):
+        with BackgroundServer(ServerConfig(shards=1)) as background:
+            host, port = background.address
+            with ServeClient(host, port) as serve_client:
+                assert serve_client.shutdown() == {"stopping": True}
+            background._thread.join(timeout=30)
+            assert not background._thread.is_alive()
+
+    def test_shutdown_completes_with_idle_connections_open(self):
+        # regression: on Python >= 3.12.1 Server.wait_closed() blocks until
+        # every connection handler exits, so shutdown must EOF idle
+        # connections instead of waiting on them
+        with BackgroundServer(ServerConfig(shards=1)) as background:
+            host, port = background.address
+            with ServeClient(host, port) as idle:
+                idle.ping()  # an established, then idle, connection
+                with ServeClient(host, port) as other:
+                    assert other.shutdown() == {"stopping": True}
+                background._thread.join(timeout=30)
+                assert not background._thread.is_alive()
+
+    def test_async_client_raises_after_connection_lost(self):
+        with BackgroundServer(ServerConfig(shards=1)) as background:
+            host, port = background.address
+
+            async def scenario():
+                client = await AsyncServeClient.connect(host, port)
+                assert (await client.ping())["pong"] is True
+                await client.shutdown()  # the server EOFs this connection
+                # wait for the read loop to observe the close
+                for _ in range(100):
+                    if client._closed:
+                        break
+                    await asyncio.sleep(0.05)
+                with pytest.raises(ServeProtocolError):
+                    await client.ping()
+                await client.close()
+
+            asyncio.run(scenario())
