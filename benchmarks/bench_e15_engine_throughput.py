@@ -75,6 +75,79 @@ def test_e15_report():
     assert warm_seconds < cold_seconds
 
 
+def test_e15_renamed_twin_throughput():
+    """Warm-cache throughput on a stream of renaming-isomorphic spellings
+    must match the identical-spelling case: the class-keyed plan cache
+    compiles once, every spelling after the first hits, and nothing is
+    re-prepared per spelling."""
+    import string
+
+    from repro.api import Problem
+    from repro.engine import rename_instance, rename_problem
+    from repro.workloads import random_instances_for_query
+
+    base = Problem(*intro_query_q0())
+    dbs = [fig1_instance()] + list(
+        random_instances_for_query(base.query, base.fks, 5, seed=21)
+    )
+    n_spellings = 8
+    spellings = [(base, dbs)]
+    for index in range(1, n_spellings):
+        mapping = {
+            relation: f"{letter}_{index}"
+            for relation, letter in zip(
+                sorted(base.query.relations), string.ascii_uppercase
+            )
+        }
+        twin = rename_problem(base, mapping)
+        spellings.append(
+            (twin, [rename_instance(db, mapping) for db in dbs])
+        )
+
+    def stream(engine, items):
+        answers = []
+        start = time.perf_counter()
+        for problem, instances in items:
+            for db in instances:
+                answers.append(engine.decide(problem, db))
+        return answers, time.perf_counter() - start
+
+    identical = CertaintyEngine()
+    identical_answers, identical_seconds = stream(
+        identical, [(base, dbs)] * n_spellings
+    )
+    twins = CertaintyEngine()
+    twin_answers, twin_seconds = stream(twins, spellings)
+
+    assert twin_answers == identical_answers
+    twin_stats = twins.stats()
+    n = n_spellings * len(dbs)
+    ratio = identical_seconds / twin_seconds if twin_seconds else 1.0
+    report(
+        "E15b: warm-cache throughput, renamed-twin stream vs identical",
+        [
+            ("spellings", n_spellings, ""),
+            ("instances", n, ""),
+            ("identical", f"{identical_seconds * 1e3:.1f} ms",
+             f"{n / identical_seconds:,.0f}/s"),
+            ("renamed twins", f"{twin_seconds * 1e3:.1f} ms",
+             f"{n / twin_seconds:,.0f}/s"),
+            ("twin/identical", f"{ratio:.2f}x", ""),
+            ("plans compiled", twin_stats.cache.misses, ""),
+            ("spellings shared", twin_stats.plans[0].spellings, ""),
+        ],
+        ("series", "value", "throughput"),
+    )
+    # no re-preparation per spelling: one compile, everything else hits
+    assert twin_stats.cache.size == 1
+    assert twin_stats.cache.misses == 1
+    assert twin_stats.cache.hits == n - 1
+    assert twin_stats.plans[0].spellings == n_spellings
+    # and the isomorphic stream keeps warm-cache economics (identical-case
+    # throughput, with generous slack for timer noise in CI)
+    assert twin_seconds < identical_seconds * 3
+
+
 def test_e15_cold_per_call_latency(benchmark):
     query, fks = intro_query_q0()
     db = fig1_instance()

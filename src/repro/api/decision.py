@@ -5,7 +5,10 @@ auditing, and cache-sharding all need the provenance.  :class:`Decision`
 (one instance) and :class:`BatchDecision` (one plan over an instance
 stream) carry the verdict plus
 
-* the problem's canonical fingerprint (the shard/cache key),
+* the problem's canonical **class** fingerprint (``fingerprint`` — the
+  shard/cache key, shared by every relation-renaming-isomorphic spelling)
+  and the **spelling** fingerprint (``raw_fingerprint`` — identifying the
+  exact spelling this request used: the renaming transported back),
 * the trichotomy class Theorem 12 assigned,
 * the backend the registry routed to,
 * whether the plan came from the cache, and
@@ -29,7 +32,12 @@ from ..exceptions import ProblemFormatError
 
 @dataclass(frozen=True, slots=True)
 class Decision:
-    """The certain answer on one instance, with provenance."""
+    """The certain answer on one instance, with provenance.
+
+    ``fingerprint`` is the canonical class digest; ``raw_fingerprint`` the
+    requesting spelling's digest (empty when the producer predates the
+    class redesign — the wire format is backward compatible).
+    """
 
     certain: bool
     fingerprint: str
@@ -37,6 +45,7 @@ class Decision:
     backend: str
     cache_hit: bool
     wall_seconds: float
+    raw_fingerprint: str = ""
 
     def __bool__(self) -> bool:
         return self.certain
@@ -62,6 +71,7 @@ class Decision:
                 backend=str(data["backend"]),
                 cache_hit=bool(data["cache_hit"]),
                 wall_seconds=float(data["wall_seconds"]),
+                raw_fingerprint=str(data.get("raw_fingerprint", "")),
             )
         except KeyError as missing:
             raise ProblemFormatError(
@@ -81,13 +91,14 @@ class BatchDecision:
     """The certain answers of one plan over an instance stream."""
 
     answers: tuple[bool, ...]
-    fingerprint: str
+    fingerprint: str  # canonical class digest
     verdict: str
     backend: str
     cache_hit: bool
     wall_seconds: float  # total facade time, plan compile/lookup included
     execute_seconds: float  # pure batch execution, the old `elapsed`
     mode: str  # what actually executed: serial / thread / process
+    raw_fingerprint: str = ""  # the requesting spelling's digest
 
     @property
     def size(self) -> int:
@@ -144,6 +155,7 @@ class BatchDecision:
                 wall_seconds=float(data["wall_seconds"]),
                 execute_seconds=float(data["execute_seconds"]),
                 mode=str(data["mode"]),
+                raw_fingerprint=str(data.get("raw_fingerprint", "")),
             )
         except KeyError as missing:
             raise ProblemFormatError(

@@ -35,6 +35,7 @@ from ..core.terms import Constant, Parameter, Term, Variable
 from ..exceptions import ProblemFormatError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> api)
+    from ..engine.canonical import CanonicalForm
     from ..engine.fingerprint import Fingerprint
 
 _FORMAT = "repro/problem"
@@ -79,8 +80,9 @@ class Problem:
 
     Frozen and hashable; equality is structural on the query, the
     foreign-key set (including its schema) and the name.  Two problems that
-    differ only in variable names compare unequal but share a
-    :attr:`fingerprint` — the engine's notion of sameness.
+    differ only by a consistent renaming of variables *or relations*
+    compare unequal but share a :attr:`fingerprint` digest (the canonical
+    class, see :attr:`canonical`) — the engine's notion of sameness.
     """
 
     query: ConjunctiveQuery
@@ -115,11 +117,26 @@ class Problem:
     # -- identity ------------------------------------------------------------
 
     @cached_property
-    def fingerprint(self) -> "Fingerprint":
-        """The canonical problem fingerprint (cached; alpha-invariant)."""
-        from ..engine.fingerprint import problem_fingerprint
+    def canonical(self) -> "CanonicalForm":
+        """The problem's renaming-isomorphism class (cached).
 
-        return problem_fingerprint(self.query, self.fks)
+        Carries the canonical spelling, the invertible relation/variable
+        renamings, the combined class+raw fingerprint, and the instance
+        transport — the engine's routing key.
+        """
+        from ..engine.canonical import canonicalize
+
+        return canonicalize(self)
+
+    @cached_property
+    def fingerprint(self) -> "Fingerprint":
+        """The canonical problem fingerprint (cached).
+
+        ``digest`` identifies the problem up to relation *and* variable
+        renaming (the class digest — the plan-cache and shard key);
+        ``raw`` is the spelling-level digest (alpha-invariant only).
+        """
+        return self.canonical.fingerprint
 
     @property
     def label(self) -> str:

@@ -101,14 +101,21 @@ class Session:
     # -- execution ----------------------------------------------------------
 
     def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
-        """The certain answer on one instance, with provenance."""
+        """The certain answer on one instance, with provenance.
+
+        The decision reports both fingerprints: ``fingerprint`` is the
+        canonical class the plan is shared under, ``raw_fingerprint`` the
+        spelling this request used — the transport back through the
+        recorded renaming.
+        """
         self._check_open()
         start = time.perf_counter()
-        plan, hit = self._engine.plan_entry(problem)
-        certain = plan.decide(db)
+        plan, hit, form = self._engine.route(problem)
+        certain = plan.decide(db, form=form)
         return Decision(
             certain=certain,
             fingerprint=plan.fingerprint.digest,
+            raw_fingerprint=form.fingerprint.raw,
             verdict=plan.classification.verdict.name,
             backend=plan.backend,
             cache_hit=hit,
@@ -124,11 +131,13 @@ class Session:
         """The certain answers over an instance stream, through one plan."""
         self._check_open()
         start = time.perf_counter()
-        plan, hit = self._engine.plan_entry(problem)
-        result = self._engine.run_batch(plan, dbs, executor=executor)
+        plan, hit, form = self._engine.route(problem)
+        result = self._engine.run_batch(plan, dbs, executor=executor,
+                                        form=form)
         return BatchDecision(
             answers=result.answers,
             fingerprint=plan.fingerprint.digest,
+            raw_fingerprint=form.fingerprint.raw,
             verdict=plan.classification.verdict.name,
             backend=plan.backend,
             cache_hit=hit,
@@ -194,14 +203,19 @@ def prepare(
     fo_backend: str = "memory",
     registry: BackendRegistry | None = None,
 ) -> PreparedSolver:
-    """The two-phase lifecycle, stand-alone: classify + route *problem* and
-    return its prepared solver.
+    """The two-phase lifecycle, stand-alone: canonicalize + recognize
+    *problem* and return its prepared solver.
 
     Unlike :meth:`Session.prepare` the caller owns the result: reuse it
     across any number of ``decide(db)`` calls and ``close()`` it (it is a
-    context manager) when done.
+    context manager) when done.  The underlying solver is built against
+    the problem's canonical spelling; the returned wrapper transports each
+    instance through the recorded renaming, so callers keep passing
+    instances spelled like *problem*.
     """
+    from ..engine.canonical import TransportingSolver
+
     options = RouteOptions(fo_backend=fo_backend)
-    classification = classify(problem.query, problem.fks)
-    spec = (registry or default_registry()).select(classification, options)
-    return spec.factory(classification, options)
+    form = problem.canonical
+    recognition = (registry or default_registry()).recognize(form, options)
+    return TransportingSolver(recognition.factory(), form)

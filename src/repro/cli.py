@@ -105,6 +105,14 @@ def _cmd_classify(args) -> int:
     with Session() as session:
         result = session.classify(problem)
     print(result.explain())
+    if args.canonical:
+        # same label vocabulary as `problem import`: "class" is the
+        # shared digest, "spelling" the raw one
+        form = problem.canonical
+        print(f"class:       {form.fingerprint.digest}")
+        print(f"canonical:   {form.fingerprint.text}")
+        print(f"renaming:    {form.describe_renaming() or '(none)'}")
+        print(f"spelling:    {form.fingerprint.raw}")
     return 0 if result.in_fo else 1
 
 
@@ -249,9 +257,26 @@ def _cmd_engine(args) -> int:
             print(session.explain(problem))
         else:
             print(f"backend: {decisions[-1].backend}")
-        if args.stats:
-            _print_backend_stats(session.stats())
+        if args.stats or args.format == "prom":
+            # --format prom implies --stats: a scrape consumer must never
+            # silently receive the human output
+            stats = session.stats()
+            if args.format == "prom":
+                print(stats.to_prom(), end="")
+            else:
+                _print_backend_stats(stats)
+                _print_class_sharing(stats)
     return 0 if all(d.certain for d in decisions) else 1
+
+
+def _print_class_sharing(stats) -> None:
+    """Per-class spelling sharing (``repro engine --stats``)."""
+    print("per-class sharing:")
+    for plan in stats.plans:
+        print(
+            f"  {plan.fingerprint}  {plan.backend:<16} "
+            f"{plan.spellings} spelling(s)"
+        )
 
 
 def _cmd_batch(args) -> int:
@@ -291,7 +316,9 @@ def _cmd_problem_import(args) -> int:
     if problem.name:
         print(f"name:        {problem.name}")
     print(f"fingerprint: {problem.fingerprint.digest}")
-    print(f"problem:     {problem.fingerprint.text}")
+    print(f"spelling:    {problem.fingerprint.raw}")
+    print(f"problem:     {problem.fingerprint.raw_text}")
+    print(f"canonical:   {problem.fingerprint.text}")
     print(f"verdict:     {classification.verdict.value}")
     return 0
 
@@ -389,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("classify", help="Theorem 12 decision procedure")
     _add_problem_arguments(p, with_json=True)
+    p.add_argument("--canonical", action="store_true",
+                   help="also print the canonical class fingerprint, the "
+                        "canonical spelling and the relation renaming")
     p.set_defaults(handler=_cmd_classify)
 
     p = sub.add_parser("rewrite", help="construct the consistent rewriting")
@@ -425,7 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="print the full plan summary")
     p.add_argument("--stats", action="store_true",
-                   help="print per-backend latency aggregates")
+                   help="print per-backend latency aggregates and "
+                        "per-class spelling sharing")
+    p.add_argument("--format", choices=["text", "prom"], default="text",
+                   help="stats output format: human text or Prometheus "
+                        "exposition")
     p.set_defaults(handler=_cmd_engine)
 
     p = sub.add_parser(

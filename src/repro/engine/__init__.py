@@ -22,6 +22,15 @@ and the built-in specs in :mod:`repro.engine.router`.
 """
 
 from .cache import CacheStats, PlanCache
+from .canonical import (
+    CanonicalForm,
+    RenamingSolver,
+    TransportingSolver,
+    canonicalize,
+    class_encoding,
+    rename_instance,
+    rename_problem,
+)
 from .engine import (
     BackendReport,
     CertaintyEngine,
@@ -29,9 +38,15 @@ from .engine import (
     EngineSolver,
     EngineStats,
     PlanReport,
+    prom_exposition,
 )
 from .executor import BatchExecutor, BatchResult, ExecutorConfig
-from .fingerprint import Fingerprint, canonical_atoms, problem_fingerprint
+from .fingerprint import (
+    Fingerprint,
+    canonical_atoms,
+    problem_fingerprint,
+    raw_encoding,
+)
 from .metrics import (
     LATENCY_BUCKET_BOUNDS,
     MetricsSnapshot,
@@ -43,12 +58,15 @@ from .plan import CertaintyPlan, compile_plan
 from .registry import (
     BackendRegistry,
     BackendSpec,
+    Recognition,
     RouteOptions,
     default_registry,
 )
 from .router import (
     BUILTIN_BACKENDS,
     Backend,
+    duckdb_backend_spec,
+    match_dual_horn_island,
     matches_proposition16,
     matches_proposition17,
     register_builtin_backends,
@@ -58,11 +76,15 @@ from .router import (
 __all__ = [
     "BUILTIN_BACKENDS", "Backend", "BackendRegistry", "BackendReport",
     "BackendSpec", "BatchExecutor", "BatchResult", "CacheStats",
-    "CertaintyEngine", "CertaintyPlan", "EngineConfig", "EngineSolver",
-    "EngineStats", "ExecutorConfig", "Fingerprint",
+    "CanonicalForm", "CertaintyEngine", "CertaintyPlan", "EngineConfig",
+    "EngineSolver", "EngineStats", "ExecutorConfig", "Fingerprint",
     "LATENCY_BUCKET_BOUNDS", "MetricsSnapshot", "PlanCache", "PlanMetrics",
-    "PlanReport", "RouteOptions", "bucket_labels", "canonical_atoms",
-    "compile_plan", "default_registry", "matches_proposition16",
+    "PlanReport", "Recognition", "RenamingSolver", "RouteOptions",
+    "TransportingSolver",
+    "bucket_labels", "canonical_atoms", "canonicalize", "class_encoding",
+    "compile_plan", "default_registry", "duckdb_backend_spec",
+    "match_dual_horn_island", "matches_proposition16",
     "matches_proposition17", "merge_histograms", "problem_fingerprint",
-    "register_builtin_backends", "select_backend",
+    "prom_exposition", "raw_encoding", "register_builtin_backends",
+    "rename_instance", "rename_problem", "select_backend",
 ]

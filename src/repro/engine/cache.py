@@ -1,11 +1,13 @@
 """The LRU plan cache.
 
-Keys are problem fingerprints (:mod:`repro.engine.fingerprint`), values are
-compiled plans.  A hit skips classification, routing and rewriting
-construction entirely — the point of the engine.  The cache is thread-safe;
-compilation happens outside the lock so a slow build never blocks hits on
-other problems (two racing builders of the same problem both compile; the
-first insertion wins).
+Keys are problem fingerprints (:mod:`repro.engine.fingerprint`), stored by
+their **class digest**: two renaming-isomorphic spellings carry distinct
+:class:`Fingerprint` values (their raw halves differ) but the same class
+digest, so they hit the same entry and share one compiled plan.  A hit
+skips classification, recognition and rewriting construction entirely —
+the point of the engine.  The cache is thread-safe; compilation happens
+outside the lock so a slow build never blocks hits on other problems (two
+racing builders of the same class both compile; the first insertion wins).
 """
 
 from __future__ import annotations
@@ -37,14 +39,21 @@ class CacheStats:
         return self.hits / total
 
 
+def _key(fingerprint: Fingerprint | str) -> str:
+    """The cache key: the class digest (accepts a bare digest string)."""
+    if isinstance(fingerprint, Fingerprint):
+        return fingerprint.digest
+    return fingerprint
+
+
 class PlanCache:
-    """A bounded LRU mapping of fingerprints to compiled plans."""
+    """A bounded LRU mapping of class digests to compiled plans."""
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._plans: OrderedDict[Fingerprint, CertaintyPlan] = OrderedDict()
+        self._plans: OrderedDict[str, CertaintyPlan] = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -52,7 +61,7 @@ class PlanCache:
 
     def get_or_build(
         self,
-        fingerprint: Fingerprint,
+        fingerprint: Fingerprint | str,
         build: Callable[[], CertaintyPlan],
     ) -> CertaintyPlan:
         """The cached plan for *fingerprint*, compiling via *build* on miss."""
@@ -60,7 +69,7 @@ class PlanCache:
 
     def entry(
         self,
-        fingerprint: Fingerprint,
+        fingerprint: Fingerprint | str,
         build: Callable[[], CertaintyPlan],
     ) -> tuple[CertaintyPlan, bool]:
         """Like :meth:`get_or_build`, plus whether the lookup was a hit.
@@ -69,22 +78,23 @@ class PlanCache:
         builder that loses the insertion race still reports a miss (it did
         compile).
         """
+        key = _key(fingerprint)
         with self._lock:
-            plan = self._plans.get(fingerprint)
+            plan = self._plans.get(key)
             if plan is not None:
                 self._hits += 1
-                self._plans.move_to_end(fingerprint)
+                self._plans.move_to_end(key)
                 return plan, True
             self._misses += 1
         built = build()  # outside the lock: don't block unrelated hits
         evicted: list[CertaintyPlan] = []
         with self._lock:
-            winner = self._plans.get(fingerprint)
+            winner = self._plans.get(key)
             if winner is not None:
                 result = winner  # a racing builder inserted first
                 evicted.append(built)  # the loser's solver is never used
             else:
-                self._plans[fingerprint] = built
+                self._plans[key] = built
                 result = built
                 while len(self._plans) > self._capacity:
                     _, old = self._plans.popitem(last=False)
@@ -94,10 +104,10 @@ class PlanCache:
             plan.close()
         return result, False
 
-    def peek(self, fingerprint: Fingerprint) -> CertaintyPlan | None:
+    def peek(self, fingerprint: Fingerprint | str) -> CertaintyPlan | None:
         """The cached plan without affecting order or counters."""
         with self._lock:
-            return self._plans.get(fingerprint)
+            return self._plans.get(_key(fingerprint))
 
     def plans(self) -> list[CertaintyPlan]:
         """All cached plans, least recently used first."""
@@ -126,6 +136,6 @@ class PlanCache:
         with self._lock:
             return len(self._plans)
 
-    def __contains__(self, fingerprint: Fingerprint) -> bool:
+    def __contains__(self, fingerprint: Fingerprint | str) -> bool:
         with self._lock:
-            return fingerprint in self._plans
+            return _key(fingerprint) in self._plans

@@ -1,0 +1,557 @@
+"""Canonical problem classes: ``CERTAINTY(q, FK)`` up to renaming isomorphism.
+
+The trichotomy assigns complexity to a problem's *shape*, not its spelling:
+two problems that differ only by a consistent renaming of relations (and
+variables) are the same island, admit the same decision procedure, and —
+operationally — should share one compiled plan.  This module computes that
+shape as a value object:
+
+* :func:`class_encoding` produces a renaming-invariant canonical text for a
+  ``(q, FK)`` pair, together with the relation renaming that realises it —
+  the **class fingerprint** all isomorphic spellings agree on;
+* :func:`canonicalize` lifts the encoding to a full :class:`CanonicalForm`:
+  the canonical :class:`~repro.api.Problem` spelling (relations ``~0, ~1,
+  …``, variables ``v0, v1, …``), the invertible relation/variable
+  renamings, the combined class+raw :class:`~repro.engine.fingerprint
+  .Fingerprint`, and the lazily-cached Theorem 12 classification of the
+  canonical problem;
+* :meth:`CanonicalForm.transport_instance` renames a raw-spelling database
+  instance into the canonical spelling so one prepared solver — built once
+  against the canonical form — answers every isomorphic spelling.
+
+Canonicalization is graph canonicalization in miniature: atoms get a
+renaming-invariant base colour ``(arity, key size, local term pattern)``,
+colours are refined with the variable-sharing and foreign-key structure
+(Weisfeiler–Leman style), and residual symmetric groups are broken by
+taking the lexicographically least encoding over their orderings.  The
+search is budgeted: at most :data:`MAX_ORDERINGS` total orderings are
+enumerated across all tie groups (the *product* of group permutation
+counts is bounded, so a query with several symmetric groups cannot stall
+fingerprinting); groups that would exceed the remaining budget fall back
+to a deterministic spelling-dependent tie-break.  Twins may then miss
+each other's plans, but no two *distinct* classes ever collide — the
+encoding is a faithful serialization of the renamed problem.
+
+Canonical relation names use the ``~i`` alphabet, which the atom parser
+rejects, so a parsed raw spelling can never collide with a canonical one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..core.atoms import Atom
+from ..core.classify import Classification, classify
+from ..core.foreign_keys import ForeignKey, ForeignKeySet
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Parameter, Variable
+from ..db.instance import DatabaseInstance
+from ..solvers.base import close_solver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> engine)
+    from ..api.problem import Problem
+    from .fingerprint import Fingerprint
+
+#: Total orderings budget for the least-encoding search, across *all*
+#: colour classes (their permutation counts multiply); groups that would
+#: blow the remaining budget degrade to a raw-relation-name tie-break.
+MAX_ORDERINGS = 720
+
+
+def canonical_relation_name(index: int) -> str:
+    """The *index*-th canonical relation name (``~0``, ``~1``, …)."""
+    return f"~{index}"
+
+
+def is_canonical_relation_name(name: str) -> bool:
+    return name.startswith("~") and name[1:].isdigit()
+
+
+# -- the renaming-invariant encoding ------------------------------------------
+
+
+def _term_key(term: object) -> tuple:
+    """A renaming-invariant, orderable key for a non-variable term."""
+    if isinstance(term, Parameter):
+        return ("p", term.name)
+    value = term.value  # Constant
+    return ("c", type(value).__name__, repr(value))
+
+
+def atom_shape_key(atom: Atom) -> tuple:
+    """The renaming-invariant base colour of one atom.
+
+    ``(arity, key size, term pattern)``: variables are numbered by first
+    occurrence *within the atom*, constants and parameters kept verbatim —
+    exactly the data a relation renaming cannot touch.
+    """
+    seen: dict[Variable, int] = {}
+    pattern = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            if term not in seen:
+                seen[term] = len(seen)
+            pattern.append(("v", seen[term]))
+        else:
+            pattern.append(_term_key(term))
+    return (atom.arity, atom.key_size, tuple(pattern))
+
+
+def _refine_colors(
+    atoms: tuple[Atom, ...], fks: ForeignKeySet
+) -> dict[str, str]:
+    """Stable per-atom colours refined with sharing and foreign-key links.
+
+    Colours are hex digests, so ordering colour classes by colour is
+    deterministic *and* renaming-invariant.
+    """
+
+    def digest(payload: object) -> str:
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+    colors = {a.relation: digest(atom_shape_key(a)) for a in atoms}
+    for _ in range(max(1, len(atoms))):
+        refined: dict[str, str] = {}
+        for atom in atoms:
+            links: list[tuple] = []
+            for position in range(1, atom.arity + 1):
+                term = atom.term_at(position)
+                if not isinstance(term, Variable):
+                    continue
+                for other in atoms:
+                    if other.relation == atom.relation:
+                        continue
+                    for j in other.positions_of(term):
+                        links.append(
+                            ("var", position, j, colors[other.relation])
+                        )
+            for fk in fks:
+                if fk.source == atom.relation:
+                    links.append(("fk-out", fk.position, colors[fk.target]))
+                if fk.target == atom.relation:
+                    links.append(("fk-in", fk.position, colors[fk.source]))
+            refined[atom.relation] = digest(
+                (colors[atom.relation], tuple(sorted(links)))
+            )
+        if _partition(refined, atoms) == _partition(colors, atoms):
+            break
+        colors = refined
+    return colors
+
+
+def _partition(
+    colors: Mapping[str, str], atoms: tuple[Atom, ...]
+) -> frozenset[frozenset[str]]:
+    groups: dict[str, set[str]] = {}
+    for atom in atoms:
+        groups.setdefault(colors[atom.relation], set()).add(atom.relation)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+def _encode_ordering(
+    ordered: tuple[Atom, ...], fks: ForeignKeySet
+) -> tuple[str, dict[str, str], dict[Variable, Variable]]:
+    """The canonical text of one atom ordering, plus its renamings."""
+    from .fingerprint import _atom_text
+
+    relation_map = {
+        atom.relation: canonical_relation_name(i)
+        for i, atom in enumerate(ordered)
+    }
+    variable_map: dict[Variable, Variable] = {}
+    parts = []
+    for atom in ordered:
+        terms = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                if term not in variable_map:
+                    variable_map[term] = Variable(f"v{len(variable_map)}")
+                terms.append(variable_map[term])
+            else:
+                terms.append(term)
+        parts.append(
+            _atom_text(
+                Atom(relation_map[atom.relation], tuple(terms), atom.key_size)
+            )
+        )
+    keys = ", ".join(
+        sorted(
+            f"{relation_map[fk.source]}[{fk.position}]"
+            f"->{relation_map[fk.target]}"
+            for fk in fks
+        )
+    )
+    return " ∧ ".join(parts) + " ## " + keys, relation_map, variable_map
+
+
+def class_encoding(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> tuple[str, dict[str, str], dict[Variable, Variable]]:
+    """The renaming-invariant canonical text of ``(q, FK)``.
+
+    Returns ``(text, relation_renaming, variable_renaming)`` where the
+    renamings map raw names onto the canonical alphabet realising *text*.
+    """
+    atoms = query.atoms
+    colors = _refine_colors(atoms, fks)
+    groups: dict[str, list[Atom]] = {}
+    for atom in atoms:
+        groups.setdefault(colors[atom.relation], []).append(atom)
+    ordered_groups = [groups[color] for color in sorted(groups)]
+
+    budget = MAX_ORDERINGS
+
+    def orderings(group: list[Atom]) -> Iterable[tuple[Atom, ...]]:
+        nonlocal budget
+        if len(group) <= 1:
+            return [tuple(group)]
+        permutations = math.factorial(len(group))
+        if permutations > budget:
+            # degrade to a deterministic (spelling-dependent) tie-break
+            return [tuple(sorted(group, key=lambda a: a.relation))]
+        budget //= permutations
+        return itertools.permutations(group)
+
+    best: tuple[str, dict[str, str], dict[Variable, Variable]] | None = None
+    for combo in itertools.product(*(orderings(g) for g in ordered_groups)):
+        ordered = tuple(atom for group in combo for atom in group)
+        candidate = _encode_ordering(ordered, fks)
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    assert best is not None  # queries have at least zero atoms; "" is valid
+    return best
+
+
+# -- the canonical form --------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class CanonicalForm:
+    """One problem's renaming-isomorphism class, with the way back.
+
+    ``problem`` is the canonical spelling every isomorphic twin maps to;
+    ``relation_renaming``/``variable_renaming`` record how *source* reached
+    it (both invertible — canonicalization never merges names);
+    ``fingerprint`` carries the class digest (primary identity) and the
+    spelling-level raw digest of *source*.
+    """
+
+    source: "Problem"
+    problem: "Problem"
+    relation_renaming: dict[str, str]
+    variable_renaming: dict[Variable, Variable]
+    fingerprint: "Fingerprint"
+
+    @cached_property
+    def inverse(self) -> dict[str, str]:
+        """Canonical relation name → the source spelling's name."""
+        return {new: old for old, new in self.relation_renaming.items()}
+
+    @cached_property
+    def classification(self) -> Classification:
+        """The Theorem 12 outcome of the canonical problem (lazy, cached).
+
+        Classification is renaming-invariant, so this is the classification
+        of every spelling in the class — recognizers read it off the form
+        instead of re-running the decision procedure per spelling.
+        """
+        return classify(self.problem.query, self.problem.fks)
+
+    @cached_property
+    def source_classification(self) -> Classification:
+        """The Theorem 12 outcome spelled like :attr:`source`.
+
+        Same verdict as :attr:`classification` (classification is
+        renaming-invariant); witnesses and relation names are the source
+        spelling's.  This is what legacy ``supports`` predicates receive,
+        so predicates matching literal relation names keep working.
+        """
+        return classify(self.source.query, self.source.fks)
+
+    def transport_instance(self, db: DatabaseInstance) -> DatabaseInstance:
+        """Rename *db* from the source spelling into the canonical one.
+
+        Facts of relations outside the renaming (not mentioned by the
+        query) pass through verbatim — except relations spelled in the
+        reserved canonical alphabet (``~i``), which are **dropped**: such
+        names cannot come from a parsed spelling, and letting a wire
+        instance smuggle them in would merge stray facts into the renamed
+        query relations (flipping answers, or crashing on arity
+        mismatches).  Irrelevant relations never influence the certain
+        answer, so dropping them is semantics-preserving.  Transporting an
+        already-canonical instance through the canonical problem's own
+        (identity) form is the identity — its query relations are in the
+        renaming's domain — so the serving layer's double transport is
+        harmless.
+        """
+        reserved = [
+            relation
+            for relation in db.relations
+            if relation not in self.relation_renaming
+            and is_canonical_relation_name(relation)
+        ]
+        if reserved:
+            db = db.restrict_relations(db.relations - frozenset(reserved))
+        return rename_instance(db, self.relation_renaming)
+
+    def restore_relation(self, name: str) -> str:
+        """Map a canonical relation name back to the source spelling."""
+        return self.inverse.get(name, name)
+
+    def describe_renaming(self) -> str:
+        """The relation legend, e.g. ``"AUTHORS≔~0, DOCS≔~1"``."""
+        return ", ".join(
+            f"{old}≔{new}"
+            for old, new in sorted(self.relation_renaming.items())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CanonicalForm({self.fingerprint.digest}, "
+            f"{self.describe_renaming()})"
+        )
+
+
+#: Bounded memo of canonicalizations, keyed by the spelling-level raw
+#: text (cheap to compute, and two problems sharing it have identical
+#: relation names and structure, hence the same canonical problem and
+#: relation renaming).  Serving decodes a fresh ``Problem`` per request,
+#: so without this every request would re-pay the colour refinement and
+#: the least-encoding search.
+_MEMO_CAPACITY = 1024
+_memo: "OrderedDict[str, tuple]" = OrderedDict()
+_memo_lock = threading.Lock()
+
+
+def canonicalize(problem: "Problem") -> "CanonicalForm":
+    """The :class:`CanonicalForm` of *problem* (see the module docstring)."""
+    from .fingerprint import Fingerprint, raw_encoding
+
+    raw_text = raw_encoding(problem.query, problem.fks)
+    with _memo_lock:
+        cached = _memo.get(raw_text)
+        if cached is not None:
+            _memo.move_to_end(raw_text)
+    if cached is not None:
+        canonical_problem, relation_map, fingerprint = cached
+        return CanonicalForm(
+            source=problem,
+            problem=canonical_problem,
+            relation_renaming=dict(relation_map),
+            variable_renaming=_variable_renaming_for(problem, relation_map),
+            fingerprint=fingerprint,
+        )
+    form = _canonicalize_uncached(problem, raw_text)
+    with _memo_lock:
+        _memo[raw_text] = (
+            form.problem, form.relation_renaming, form.fingerprint
+        )
+        while len(_memo) > _MEMO_CAPACITY:
+            _memo.popitem(last=False)
+    return form
+
+
+def _variable_renaming_for(
+    problem: "Problem", relation_map: Mapping[str, str]
+) -> dict[Variable, Variable]:
+    """Rebuild the variable renaming for a memo hit: walk the atoms in
+    canonical order (read off the relation map) and alpha-rename."""
+    ordered = sorted(
+        problem.query.atoms,
+        key=lambda atom: int(relation_map[atom.relation][1:]),
+    )
+    renaming: dict[Variable, Variable] = {}
+    for atom in ordered:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in renaming:
+                renaming[term] = Variable(f"v{len(renaming)}")
+    return renaming
+
+
+def _canonicalize_uncached(
+    problem: "Problem", raw_text: str
+) -> "CanonicalForm":
+    from ..api.problem import Problem
+    from .fingerprint import Fingerprint, raw_encoding
+
+    text, relation_map, variable_map = class_encoding(
+        problem.query, problem.fks
+    )
+    atoms = [
+        Atom(
+            relation_map[atom.relation],
+            tuple(
+                variable_map[t] if isinstance(t, Variable) else t
+                for t in atom.terms
+            ),
+            atom.key_size,
+        )
+        for atom in problem.query.atoms
+    ]
+    query = ConjunctiveQuery(atoms)
+    fks = ForeignKeySet(
+        (
+            ForeignKey(
+                relation_map[fk.source], fk.position, relation_map[fk.target]
+            )
+            for fk in problem.fks
+        ),
+        query.schema(),
+    )
+    canonical_problem = Problem(query, fks)
+    fingerprint = Fingerprint(
+        text=text,
+        digest=_digest(text),
+        raw_text=raw_text,
+        raw_digest=_digest(raw_text),
+    )
+    # Pre-seed the canonical spelling's own fingerprint and its identity
+    # self-form: same class text by construction, its own raw text — the
+    # serving layer routes batches through the canonical problem, which
+    # must not pay the least-encoding search a second time per flush.
+    canonical_raw = raw_encoding(query, fks)
+    canonical_problem.__dict__["fingerprint"] = Fingerprint(
+        text=text,
+        digest=_digest(text),
+        raw_text=canonical_raw,
+        raw_digest=_digest(canonical_raw),
+    )
+    canonical_problem.__dict__["canonical"] = CanonicalForm(
+        source=canonical_problem,
+        problem=canonical_problem,
+        relation_renaming={name: name for name in relation_map.values()},
+        variable_renaming={
+            variable: variable for variable in variable_map.values()
+        },
+        fingerprint=canonical_problem.__dict__["fingerprint"],
+    )
+    return CanonicalForm(
+        source=problem,
+        problem=canonical_problem,
+        relation_renaming=dict(relation_map),
+        variable_renaming=dict(variable_map),
+        fingerprint=fingerprint,
+    )
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# -- renaming utilities --------------------------------------------------------
+
+
+def rename_instance(
+    db: DatabaseInstance, renaming: Mapping[str, str]
+) -> DatabaseInstance:
+    """A copy of *db* with relations renamed per *renaming* (others kept).
+
+    Returns *db* itself when the renaming is the identity on every
+    relation present — the already-canonical fast path the serving layer
+    leans on.
+    """
+    from ..db.facts import Fact
+
+    if all(
+        renaming.get(relation, relation) == relation
+        for relation in db.relations
+    ):
+        return db
+    return DatabaseInstance(
+        Fact(renaming.get(f.relation, f.relation), f.values, f.key_size)
+        for f in db.facts
+    )
+
+
+def rename_problem(
+    problem: "Problem", renaming: Mapping[str, str]
+) -> "Problem":
+    """*problem* under a consistent relation renaming — its isomorphic twin.
+
+    The test suite's twin generator; *renaming* must be injective on the
+    problem's relations (missing names are kept).
+    """
+    from ..api.problem import Problem
+
+    atoms = [
+        Atom(renaming.get(a.relation, a.relation), a.terms, a.key_size)
+        for a in problem.query.atoms
+    ]
+    query = ConjunctiveQuery(atoms)
+    fks = ForeignKeySet(
+        (
+            ForeignKey(
+                renaming.get(fk.source, fk.source),
+                fk.position,
+                renaming.get(fk.target, fk.target),
+            )
+            for fk in problem.fks
+        ),
+        query.schema(),
+    )
+    return Problem(query, fks, name=problem.name)
+
+
+class RenamingSolver:
+    """A prepared solver that renames each instance's relations through a
+    fixed mapping before delegating.  Everything else (``sql``,
+    ``rewriting``, ``connections_opened``, …) delegates to the wrapped
+    solver."""
+
+    def __init__(self, inner, renaming: Mapping[str, str]):
+        self._inner = inner
+        self._renaming = dict(renaming)
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    def _prepare_instance(self, db: DatabaseInstance) -> DatabaseInstance:
+        return rename_instance(db, self._renaming)
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        return self._inner.decide(self._prepare_instance(db))
+
+    def close(self) -> None:
+        close_solver(self._inner)
+
+    def __getattr__(self, attribute: str):
+        # guard against recursion while unpickling: pickle probes
+        # __setstate__ and friends via getattr before __init__ has run,
+        # when self._inner does not exist yet
+        if attribute.startswith("__") and attribute.endswith("__"):
+            raise AttributeError(attribute)
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(attribute)
+        return getattr(inner, attribute)
+
+    def __enter__(self) -> "RenamingSolver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TransportingSolver(RenamingSolver):
+    """A prepared solver built against a canonical form, answering raw
+    spellings: every ``decide`` transports the instance through the form's
+    renaming first (reserved-alphabet strays dropped)."""
+
+    def __init__(self, inner, form: CanonicalForm):
+        super().__init__(inner, form.relation_renaming)
+        self._form = form
+
+    @property
+    def form(self) -> CanonicalForm:
+        return self._form
+
+    def _prepare_instance(self, db: DatabaseInstance) -> DatabaseInstance:
+        return self._form.transport_instance(db)

@@ -1,13 +1,16 @@
-"""The certainty engine: plan cache + router + batch executor in one facade.
+"""The certainty engine: plan cache + recognizer router + batch executor.
 
 :class:`CertaintyEngine` is the single entry point for high-volume
 consistent query answering.  Every ``decide``/``decide_batch`` call
 
-1. fingerprints the problem (:mod:`repro.engine.fingerprint`),
-2. fetches or compiles the plan (classification + registry routing +
-   prepared-solver construction, paid once per distinct problem),
-3. executes the plan's prepared solver over the instance(s), accumulating
-   per-plan metrics.
+1. canonicalizes the problem up to relation-renaming isomorphism
+   (:mod:`repro.engine.canonical`) — the class fingerprint is the cache
+   key, so isomorphic spellings share one plan,
+2. fetches or compiles the plan (classification + recognizer routing +
+   prepared-solver construction against the canonical spelling, paid once
+   per distinct *class*),
+3. transports the instance(s) into the canonical spelling and executes the
+   plan's prepared solver, accumulating per-plan metrics.
 
 The engine is safe to share across threads and is a context manager:
 ``close()`` (or ``clear()``) releases every cached plan's prepared solver
@@ -18,16 +21,21 @@ structured :class:`~repro.api.Decision`s.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
 
 from ..api.problem import Problem, as_problem
 from ..core.foreign_keys import ForeignKeySet
 from ..core.query import ConjunctiveQuery
 from ..db.instance import DatabaseInstance
 from .cache import CacheStats, PlanCache
+from .canonical import CanonicalForm
 from .executor import BatchExecutor, BatchResult, ExecutorConfig
-from .metrics import MetricsSnapshot, merge_histograms
+from .metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    MetricsSnapshot,
+    merge_histograms,
+)
 from .plan import CertaintyPlan, compile_plan
 from .registry import BackendRegistry
 
@@ -37,32 +45,34 @@ class EngineConfig:
     """Engine-wide knobs."""
 
     plan_cache_size: int = 128
-    fo_backend: str = "memory"  # or "sql"
+    fo_backend: str = "memory"  # or "sql" / "duckdb"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     registry: BackendRegistry | None = None  # None: the default registry
 
     def __post_init__(self) -> None:
-        if self.fo_backend not in ("memory", "sql"):
-            raise ValueError(
-                f"unknown fo_backend {self.fo_backend!r} "
-                "(expected 'memory' or 'sql')"
-            )
+        from .registry import RouteOptions
+
+        # RouteOptions owns fo_backend validation (allowed values + the
+        # duckdb import gate); fail at config time with the same errors
+        RouteOptions(fo_backend=self.fo_backend)
 
 
 @dataclass(frozen=True)
 class PlanReport:
     """One cached plan's identity and accumulated metrics."""
 
-    fingerprint: str
+    fingerprint: str  # the class digest
     backend: str
     verdict: str
     metrics: MetricsSnapshot
+    spellings: int = 1  # distinct isomorphic spellings served
 
     def to_dict(self) -> dict:
         return {
             "fingerprint": self.fingerprint,
             "backend": self.backend,
             "verdict": self.verdict,
+            "spellings": self.spellings,
             "metrics": self.metrics.to_dict(),
         }
 
@@ -113,6 +123,131 @@ def _aggregate_backends(
     return tuple(reports)
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def prom_exposition(
+    entries: "Iterable[tuple[Mapping[str, str] | None, EngineStats]]",
+) -> str:
+    """One valid Prometheus text page over any number of engines.
+
+    *entries* pairs a label set (e.g. ``{"shard": "0"}``) with that
+    engine's stats.  ``# HELP``/``# TYPE`` are emitted exactly once per
+    metric family with every engine's samples grouped under them — the
+    format strict scrapers require, which naive per-engine concatenation
+    violates.
+    """
+    snapshot = [(dict(labels or {}), stats) for labels, stats in entries]
+    lines: list[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP repro_{name} {help_text}")
+        lines.append(f"# TYPE repro_{name} {kind}")
+
+    def sample(
+        name: str, base: Mapping[str, str], value,
+        extra: Mapping[str, str] | None = None,
+    ) -> None:
+        lines.append(
+            f"repro_{name}{_prom_labels({**base, **(extra or {})})} {value}"
+        )
+
+    for name, kind, help_text, read in (
+        ("plan_cache_hits_total", "counter", "Plan cache hits.",
+         lambda s: s.cache.hits),
+        ("plan_cache_misses_total", "counter", "Plan cache misses.",
+         lambda s: s.cache.misses),
+        ("plan_cache_evictions_total", "counter", "Plan cache evictions.",
+         lambda s: s.cache.evictions),
+        ("plan_cache_size", "gauge", "Cached plans right now.",
+         lambda s: s.cache.size),
+        ("plan_cache_capacity", "gauge", "Plan cache capacity.",
+         lambda s: s.cache.capacity),
+    ):
+        header(name, kind, help_text)
+        for base, stats in snapshot:
+            sample(name, base, read(stats))
+
+    header(
+        "class_spellings", "gauge",
+        "Distinct isomorphic spellings served per cached plan class.",
+    )
+    for base, stats in snapshot:
+        for plan in stats.plans:
+            sample(
+                "class_spellings", base, plan.spellings,
+                {"fingerprint": plan.fingerprint, "backend": plan.backend},
+            )
+
+    header("backend_plans", "gauge", "Cached plans per backend.")
+    for base, stats in snapshot:
+        for aggregate in stats.backends:
+            sample(
+                "backend_plans", base, aggregate.plans,
+                {"backend": aggregate.backend},
+            )
+
+    header(
+        "backend_evaluations_total", "counter",
+        "Instances decided per backend.",
+    )
+    for base, stats in snapshot:
+        for aggregate in stats.backends:
+            sample(
+                "backend_evaluations_total", base,
+                aggregate.metrics.evaluations,
+                {"backend": aggregate.backend},
+            )
+
+    header(
+        "backend_latency_seconds", "histogram",
+        "Decision latency per backend.",
+    )
+    for base, stats in snapshot:
+        for aggregate in stats.backends:
+            tag = {"backend": aggregate.backend}
+            cumulative = 0
+            for bound, count in zip(
+                LATENCY_BUCKET_BOUNDS, aggregate.metrics.histogram
+            ):
+                cumulative += count
+                sample(
+                    "backend_latency_seconds_bucket", base, cumulative,
+                    {**tag, "le": repr(bound)},
+                )
+            cumulative += aggregate.metrics.histogram[-1]
+            sample(
+                "backend_latency_seconds_bucket", base, cumulative,
+                {**tag, "le": "+Inf"},
+            )
+            sample(
+                "backend_latency_seconds_sum", base,
+                aggregate.metrics.total_seconds, tag,
+            )
+            sample(
+                "backend_latency_seconds_count", base,
+                aggregate.metrics.evaluations, tag,
+            )
+    return "\n".join(lines) + "\n"
+
+
 @dataclass(frozen=True)
 class EngineStats:
     """A point-in-time view of the engine's cache, plans, and backends."""
@@ -136,6 +271,17 @@ class EngineStats:
             "backends": [backend.to_dict() for backend in self.backends],
         }
 
+    def to_prom(self, labels: Mapping[str, str] | None = None) -> str:
+        """Prometheus text exposition of the same counters.
+
+        Served by the ``metrics`` wire verb and ``repro engine --stats
+        --format prom``; *labels* (e.g. ``{"shard": "0"}``) are attached
+        to every sample.  A multi-engine deployment must emit one page for
+        the fleet via :func:`prom_exposition` (``# HELP``/``# TYPE`` may
+        appear only once per metric family).
+        """
+        return prom_exposition([(labels, self)])
+
 
 class CertaintyEngine:
     """Plan-caching, auto-routing decision engine for ``CERTAINTY(q, FK)``.
@@ -151,23 +297,48 @@ class CertaintyEngine:
 
     # -- planning -----------------------------------------------------------
 
+    def route(
+        self,
+        query: ConjunctiveQuery | Problem,
+        fks: ForeignKeySet | None = None,
+    ) -> tuple[CertaintyPlan, bool, CanonicalForm]:
+        """The class plan, the cache-hit flag, and the request's form.
+
+        The form carries the relation renaming the caller must transport
+        instances through (``decide``/``run_batch`` take it directly).
+        """
+        problem = as_problem(query, fks)
+        form = problem.canonical
+        plan, hit = self._cache.entry(
+            form.fingerprint,
+            lambda: compile_plan(
+                form=form,
+                fo_backend=self.config.fo_backend,
+                registry=self.config.registry,
+            ),
+        )
+        plan.note_spelling(form.fingerprint.raw)
+        return plan, hit, form
+
     def plan_entry(
         self,
         query: ConjunctiveQuery | Problem,
         fks: ForeignKeySet | None = None,
     ) -> tuple[CertaintyPlan, bool]:
-        """The compiled plan plus whether the lookup hit the cache."""
-        problem = as_problem(query, fks)
-        fingerprint = problem.fingerprint
-        return self._cache.entry(
-            fingerprint,
-            lambda: compile_plan(
-                problem,
-                fo_backend=self.config.fo_backend,
-                fingerprint=fingerprint,
-                registry=self.config.registry,
-            ),
-        )
+        """The compiled plan plus whether the lookup hit the cache.
+
+        When the request's spelling differs from the compiling one, the
+        returned plan is a lightweight view of the shared plan (same
+        prepared solver, same metrics) whose default transport is the
+        *request's* renaming — so ``plan.decide(db)`` keeps answering
+        instances spelled like the caller's problem.
+        """
+        plan, hit, form = self.route(query, fks)
+        if form.relation_renaming != plan.form.relation_renaming:
+            # the view's raw provenance must be the *request's* spelling,
+            # not the compiling one (the class half is identical)
+            plan = replace(plan, form=form, fingerprint=form.fingerprint)
+        return plan, hit
 
     def plan_for(
         self,
@@ -183,7 +354,11 @@ class CertaintyEngine:
         fks: ForeignKeySet | None = None,
     ) -> str:
         """The plan summary for the problem (compiling it if necessary)."""
-        return self.plan_for(query, fks).describe()
+        plan, _, form = self.route(query, fks)
+        summary = plan.describe()
+        if form.relation_renaming != plan.form.relation_renaming:
+            summary += f"\n  spelling: {form.describe_renaming()}"
+        return summary
 
     # -- execution ----------------------------------------------------------
 
@@ -206,7 +381,8 @@ class CertaintyEngine:
             problem, instance = as_problem(query, fks), db
         if not isinstance(instance, DatabaseInstance):
             raise TypeError("decide needs a DatabaseInstance to answer on")
-        return self.plan_for(problem).decide(instance)
+        plan, _, form = self.route(problem)
+        return plan.decide(instance, form=form)
 
     def decide_batch(
         self,
@@ -230,24 +406,41 @@ class CertaintyEngine:
             problem, instances = as_problem(query, fks), dbs
         if instances is None:
             raise TypeError("decide_batch needs an iterable of instances")
-        return self.run_batch(self.plan_for(problem), instances, executor)
+        plan, _, form = self.route(problem)
+        return self.run_batch(plan, instances, executor, form=form)
 
     def run_batch(
         self,
         plan: CertaintyPlan,
         dbs: Iterable[DatabaseInstance],
         executor: ExecutorConfig | None = None,
+        form: CanonicalForm | None = None,
     ) -> BatchResult:
-        """Execute an already-compiled plan over *dbs* (no cache lookup)."""
+        """Execute an already-compiled plan over *dbs* (no cache lookup).
+
+        Instances are transported through *form* (the plan's compiling
+        spelling by default) before execution, so the executor pools see
+        canonical instances only.
+        """
+        transport = (form or plan.form).transport_instance
         runner = (
             self._executor if executor is None else BatchExecutor(executor)
         )
-        return runner.run(plan, dbs)
+        return runner.run(plan, (transport(db) for db in dbs))
 
     # -- introspection ------------------------------------------------------
 
     def cache_stats(self) -> CacheStats:
         return self._cache.stats()
+
+    def cached_plan(self, fingerprint) -> CertaintyPlan | None:
+        """The cached plan for a class fingerprint (or bare class digest),
+        without compiling, reordering, or counting the lookup.
+
+        The serving layer uses this to attribute per-request spelling
+        provenance to a plan it executed through the session facade.
+        """
+        return self._cache.peek(fingerprint)
 
     def stats(self) -> EngineStats:
         """Cache counters plus one report per cached plan (LRU order) and
@@ -258,6 +451,7 @@ class CertaintyEngine:
                 backend=plan.backend,
                 verdict=plan.classification.verdict.name,
                 metrics=plan.metrics.snapshot(),
+                spellings=plan.spellings,
             )
             for plan in self._cache.plans()
         )

@@ -106,12 +106,16 @@ class BatchExecutor:
         The result's ``mode`` reports what actually executed: batches of at
         most one instance short-circuit to serial regardless of the
         configured pool.
+
+        Instances must already be in the plan's canonical spelling — the
+        engine's :meth:`~repro.engine.CertaintyEngine.run_batch` transports
+        them before handing over, so pooled workers never re-rename.
         """
         instances: Sequence[DatabaseInstance] = list(dbs)
         serial = self.config.mode == "serial" or len(instances) <= 1
         start = time.perf_counter()
         if serial:
-            answers = plan.decide_many(instances)  # records per call
+            answers = plan.decide_many_canonical(instances)  # per-call stats
         else:
             answers = self._pooled(plan, instances)
         elapsed = time.perf_counter() - start

@@ -2,23 +2,33 @@
 
 The plan cache must recognise that two problems are *the same problem* even
 when they were built independently — parsed from different CLI invocations,
-drawn twice by a workload generator, or written with different variable
-names.  The fingerprint therefore canonicalises the query up to
+drawn twice by a workload generator, written with different variable names,
+or spelled with different relation names.  A :class:`Fingerprint` therefore
+carries two identities:
 
-* atom order (atoms are sorted by relation name — well-defined because the
-  queries are self-join-free), and
-* variable renaming (variables are renamed ``v0, v1, …`` in order of first
-  occurrence over the sorted atoms),
+* ``digest``/``text`` — the **class fingerprint**: the problem canonicalized
+  up to relation renaming *and* variable renaming
+  (:mod:`repro.engine.canonical`).  This is the plan-cache key and the
+  shard-ring key: all renaming-isomorphic spellings agree on it and share
+  one prepared plan.
+* ``raw``/``raw_text`` — the **spelling fingerprint**: the historical
+  digest (atoms sorted by relation name, variables alpha-renamed, relation
+  names verbatim), kept byte-identical for cache/wire compatibility and
+  reported in decision provenance next to the class digest.
 
-and appends the sorted foreign-key set.  Constants and parameters are kept
-verbatim: they are semantic.  Two alpha-equivalent problems share a
-fingerprint; problems differing in a constant, a key size, or a foreign key
-do not.
+Constants, parameters, key sizes and foreign-key structure are semantic in
+both: problems differing in any of them never share either digest.
+
+:func:`canonical_atoms` orders atoms by a renaming-invariant key — arity,
+key size, term pattern (:func:`repro.engine.canonical.atom_shape_key`) —
+with the relation name only as the final tie-break, so the *sequence of
+shapes* two isomorphic spellings present is identical; the raw text still
+spells relation names verbatim, which is exactly what makes it a spelling
+fingerprint rather than a class one.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 from ..core.atoms import Atom
@@ -29,27 +39,31 @@ from ..core.terms import Constant, Parameter, Term, Variable
 
 @dataclass(frozen=True, slots=True)
 class Fingerprint:
-    """A canonical, hashable identity of one ``CERTAINTY(q, FK)`` problem."""
+    """Class + spelling identity of one ``CERTAINTY(q, FK)`` problem."""
 
-    text: str
-    digest: str
+    text: str        # canonical class text (relation-renaming invariant)
+    digest: str      # class digest — the cache and shard-ring key
+    raw_text: str    # spelling-level text (relation names verbatim)
+    raw_digest: str  # spelling digest — the historical wire identity
+
+    @property
+    def raw(self) -> str:
+        """The pre-canonicalization digest (wire/cache compatibility)."""
+        return self.raw_digest
 
     def __str__(self) -> str:
         return self.digest
 
     def __repr__(self) -> str:
-        return f"Fingerprint({self.digest})"
+        return f"Fingerprint({self.digest}, raw={self.raw_digest})"
 
 
-def canonical_atoms(query: ConjunctiveQuery) -> tuple[Atom, ...]:
-    """The query's atoms, sorted by relation and alpha-renamed.
-
-    Variables become ``v0, v1, …`` in order of first occurrence across the
-    sorted atom sequence; constants, parameters and key sizes are preserved.
-    """
+def _alpha_renamed(ordered: list[Atom]) -> tuple[Atom, ...]:
+    """*ordered* with variables renamed ``v0, v1, …`` in order of first
+    occurrence across the sequence (constants/parameters preserved)."""
     renaming: dict[Variable, Variable] = {}
     atoms: list[Atom] = []
-    for atom in sorted(query.atoms, key=lambda a: a.relation):
+    for atom in ordered:
         terms: list[Term] = []
         for term in atom.terms:
             if isinstance(term, Variable):
@@ -60,6 +74,22 @@ def canonical_atoms(query: ConjunctiveQuery) -> tuple[Atom, ...]:
                 terms.append(term)
         atoms.append(Atom(atom.relation, tuple(terms), atom.key_size))
     return tuple(atoms)
+
+
+def canonical_atoms(query: ConjunctiveQuery) -> tuple[Atom, ...]:
+    """The query's atoms in renaming-invariant order, alpha-renamed.
+
+    Atoms are sorted by ``(arity, key size, term pattern)`` — a key a
+    relation renaming cannot move — with the relation name as deterministic
+    tie-break; variables become ``v0, v1, …`` in order of first occurrence
+    across the sorted sequence; constants, parameters and key sizes are
+    preserved.
+    """
+    from .canonical import atom_shape_key
+
+    return _alpha_renamed(
+        sorted(query.atoms, key=lambda a: (atom_shape_key(a), a.relation))
+    )
 
 
 def _term_text(term: Term) -> str:
@@ -78,12 +108,29 @@ def _atom_text(atom: Atom) -> str:
     return f"{atom.relation}({key}|{rest})"
 
 
+def raw_encoding(query: ConjunctiveQuery, fks: ForeignKeySet) -> str:
+    """The spelling-level canonical text (historical fingerprint format).
+
+    Atoms sorted by relation name and alpha-renamed — byte-identical to the
+    pre-canonicalization fingerprint text, so raw digests stay stable
+    across the class-fingerprint redesign.
+    """
+    atoms = _alpha_renamed(sorted(query.atoms, key=lambda a: a.relation))
+    parts = [_atom_text(atom) for atom in atoms]
+    keys = ", ".join(sorted(repr(fk) for fk in fks))
+    return " ∧ ".join(parts) + " ## " + keys
+
+
 def problem_fingerprint(
     query: ConjunctiveQuery, fks: ForeignKeySet
 ) -> Fingerprint:
-    """The canonical fingerprint of ``CERTAINTY(q, FK)``."""
-    atoms = " ∧ ".join(_atom_text(a) for a in canonical_atoms(query))
-    keys = ", ".join(sorted(repr(fk) for fk in fks))
-    text = f"{atoms} ## {keys}"
-    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
-    return Fingerprint(text=text, digest=digest)
+    """The canonical fingerprint of ``CERTAINTY(q, FK)`` (class + raw).
+
+    Delegates to :func:`repro.engine.canonical.canonicalize` so there is
+    exactly one producer of fingerprints — cache keys computed here and
+    via ``Problem.canonical`` can never drift apart — and shares its memo.
+    """
+    from ..api.problem import Problem
+    from .canonical import canonicalize
+
+    return canonicalize(Problem(query, fks)).fingerprint

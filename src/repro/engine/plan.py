@@ -1,45 +1,58 @@
 """Compiled certainty plans.
 
 A :class:`CertaintyPlan` is the unit the engine caches and executes: one
-:class:`~repro.api.Problem` taken through classification and routing, with
-every per-problem cost already paid — the Theorem 12 decision procedure has
-run, the consistent rewriting (and its SQL compilation, for the SQL
-backend) has been constructed, and the chosen **prepared solver** is ready
-to answer any number of instances.  Deciding an instance through a plan
-does no per-problem work; dropping a plan must go through :meth:`close`
-so the prepared solver releases its resources (the cache does this on
-eviction and ``clear()``).
+**canonical problem class** (:mod:`repro.engine.canonical`) taken through
+classification and recognizer routing, with every per-class cost already
+paid — the Theorem 12 decision procedure has run, the consistent rewriting
+(and its SQL compilation, for the SQL backends) has been constructed
+**against the canonical spelling**, and the chosen prepared solver is
+ready to answer any number of instances of *any isomorphic spelling*:
+instances are renamed into the canonical spelling on the way in
+(:meth:`CanonicalForm.transport_instance`), decisions travel back with
+both the class and the spelling fingerprints.
+
+Deciding an instance through a plan does no per-problem work beyond the
+transport; dropping a plan must go through :meth:`close` so the prepared
+solver releases its resources (the cache does this on eviction and
+``clear()``).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 from ..api.problem import Problem, as_problem
-from ..core.classify import Classification, classify
+from ..core.classify import Classification
 from ..core.foreign_keys import ForeignKeySet
 from ..core.query import ConjunctiveQuery
 from ..core.rewriting import RewritingResult
 from ..db.instance import DatabaseInstance
 from ..solvers.base import CertaintySolver, close_solver
-from .fingerprint import Fingerprint, problem_fingerprint
+from .canonical import CanonicalForm, canonicalize
+from .fingerprint import Fingerprint
 from .metrics import PlanMetrics
-from .registry import BackendRegistry, BackendSpec
-from .router import select_backend
+from .registry import BackendRegistry, Recognition, RouteOptions
 
 
 @dataclass
 class CertaintyPlan:
-    """One problem, classified, routed, and compiled for repeated execution."""
+    """One problem class, classified, recognized, and compiled for repeated
+    execution across every spelling in the class."""
 
     fingerprint: Fingerprint
-    problem: Problem
+    problem: Problem  # the canonical spelling the solver is built against
+    form: CanonicalForm  # the compiling request's form (default transport)
     classification: Classification
-    spec: BackendSpec
+    recognition: Recognition
     solver: CertaintySolver
     construction_seconds: float = 0.0
     metrics: PlanMetrics = field(default_factory=PlanMetrics, repr=False)
+    _spellings: set = field(default_factory=set, repr=False)
+    _spellings_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     @property
     def query(self) -> ConjunctiveQuery:
@@ -51,8 +64,8 @@ class CertaintyPlan:
 
     @property
     def backend(self) -> str:
-        """The selected backend's registry name (e.g. ``"fo-sql"``)."""
-        return self.spec.name
+        """The recognized backend's registry name (e.g. ``"fo-sql"``)."""
+        return self.recognition.backend
 
     @property
     def rewriting(self) -> RewritingResult | None:
@@ -64,16 +77,65 @@ class CertaintyPlan:
         """The compiled SQL text, when the backend is SQL-based."""
         return getattr(self.solver, "sql", None)
 
-    def decide(self, db: DatabaseInstance) -> bool:
-        """Answer ``CERTAINTY(q, FK)`` on *db*, recording latency."""
+    # -- spelling bookkeeping ------------------------------------------------
+
+    #: Distinct raw digests remembered per plan; beyond it the sharing
+    #: counter saturates so a long-lived server with adversarially many
+    #: spellings of one class cannot grow plan memory without bound.
+    MAX_TRACKED_SPELLINGS = 4096
+
+    def note_spelling(self, raw_digest: str) -> None:
+        """Record that a spelling with *raw_digest* routed to this plan.
+
+        The canonical spelling itself is bookkeeping, not a caller — the
+        serving layer routes batches through it — so it never counts.
+        """
+        if raw_digest == self.problem.fingerprint.raw:
+            return
+        with self._spellings_lock:
+            if len(self._spellings) < self.MAX_TRACKED_SPELLINGS:
+                self._spellings.add(raw_digest)
+
+    @property
+    def spellings(self) -> int:
+        """How many distinct spellings this plan has served (class sharing)."""
+        with self._spellings_lock:
+            return len(self._spellings)
+
+    # -- execution -----------------------------------------------------------
+
+    def decide(
+        self, db: DatabaseInstance, form: CanonicalForm | None = None
+    ) -> bool:
+        """Answer ``CERTAINTY(q, FK)`` on *db*, recording latency.
+
+        *db* is spelled like *form*'s source problem (the compiling
+        spelling by default); it is transported into the canonical
+        spelling before the prepared solver runs.
+        """
+        return self.decide_canonical(
+            (form or self.form).transport_instance(db)
+        )
+
+    def decide_canonical(self, db: DatabaseInstance) -> bool:
+        """Answer on an instance already in the canonical spelling."""
         start = time.perf_counter()
         answer = self.solver.decide(db)
         self.metrics.record(time.perf_counter() - start)
         return answer
 
-    def decide_many(self, dbs) -> list[bool]:
+    def decide_many(
+        self, dbs, form: CanonicalForm | None = None
+    ) -> list[bool]:
         """Answer a sequence of instances serially through this plan."""
-        return [self.decide(db) for db in dbs]
+        transport = (form or self.form).transport_instance
+        return [self.decide_canonical(transport(db)) for db in dbs]
+
+    def decide_many_canonical(self, dbs) -> list[bool]:
+        """Serial answers over instances already in canonical spelling."""
+        return [self.decide_canonical(db) for db in dbs]
+
+    # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
         """Release the prepared solver's resources (idempotent)."""
@@ -89,9 +151,12 @@ class CertaintyPlan:
         """A short multi-line plan summary (CLI ``engine --explain``)."""
         lines = [
             f"plan {self.fingerprint.digest}",
-            f"  problem:  {self.fingerprint.text}",
+            f"  class:    {self.fingerprint.text}",
+            f"  problem:  {self.fingerprint.raw_text}",
+            f"  renaming: {self.form.describe_renaming() or '(none)'}",
             f"  verdict:  {self.classification.verdict.value}",
             f"  backend:  {self.backend}",
+            f"  matched:  {self.recognition.evidence or '(no evidence)'}",
             f"  compile:  {self.construction_seconds * 1e3:.2f} ms",
         ]
         if self.sql is not None:
@@ -101,36 +166,47 @@ class CertaintyPlan:
             lines.append(
                 f"  executed: {snap.evaluations} evaluations in "
                 f"{snap.total_seconds * 1e3:.2f} ms"
+                f" ({self.spellings} spelling(s))"
             )
         return "\n".join(lines)
 
 
 def compile_plan(
-    query: ConjunctiveQuery | Problem,
+    query: ConjunctiveQuery | Problem | None = None,
     fks: ForeignKeySet | None = None,
     fo_backend: str = "memory",
     fingerprint: Fingerprint | None = None,
     registry: BackendRegistry | None = None,
+    form: CanonicalForm | None = None,
 ) -> CertaintyPlan:
-    """Classify and route a problem, paying all per-problem cost now.
+    """Canonicalize, classify and recognize a problem, paying all per-class
+    cost now.
 
-    Accepts either a :class:`~repro.api.Problem` or the historical
-    ``(query, fks)`` pair.  Pass *fingerprint* when the caller already
-    computed it (the engine computes it as the cache key) to avoid
-    re-canonicalizing the query; pass *registry* to route through a custom
-    backend registry.
+    Accepts a :class:`~repro.api.Problem`, the historical ``(query, fks)``
+    pair, or a pre-computed :class:`CanonicalForm` (the engine passes the
+    form it keyed the cache with, avoiding re-canonicalization).  The
+    returned plan's solver is built **against the canonical spelling**;
+    its default instance transport is the compiling spelling's.
     """
-    problem = as_problem(query, fks)
+    from .registry import default_registry
+
+    if form is None:
+        if query is None:
+            raise TypeError("compile_plan needs a problem or a form")
+        form = canonicalize(as_problem(query, fks))
     start = time.perf_counter()
-    classification = classify(problem.query, problem.fks)
-    spec, solver = select_backend(
-        classification, fo_backend=fo_backend, registry=registry
-    )
-    return CertaintyPlan(
-        fingerprint=fingerprint or problem.fingerprint,
-        problem=problem,
+    classification = form.classification
+    options = RouteOptions(fo_backend=fo_backend)
+    recognition = (registry or default_registry()).recognize(form, options)
+    solver = recognition.factory()
+    plan = CertaintyPlan(
+        fingerprint=fingerprint or form.fingerprint,
+        problem=form.problem,
+        form=form,
         classification=classification,
-        spec=spec,
+        recognition=recognition,
         solver=solver,
         construction_seconds=time.perf_counter() - start,
     )
+    plan.note_spelling(form.fingerprint.raw)
+    return plan

@@ -1,30 +1,51 @@
-"""The pluggable backend registry: name → solver factory, with priorities.
+"""The pluggable backend registry: recognizers over canonical classes.
 
-Routing used to be a hard-coded ``if``-chain in :mod:`repro.engine.router`;
-the registry turns it into data so that new polynomial-island recognizers
-and alternative SQL engines register declaratively::
+Routing is a two-stage **recognize → transport** pipeline since the
+canonical-class redesign.  A backend registers a *recognizer* that inspects
+a :class:`~repro.engine.canonical.CanonicalForm` — the problem
+canonicalized up to relation renaming — and either declines (``None``) or
+returns a :class:`Recognition`: the island verdict's evidence, and a
+zero-argument plan factory that builds the prepared solver **against the
+canonical form**.  Instances are renamed into the canonical spelling on
+the way in (the transport half lives in the engine/session), so one
+prepared plan serves every isomorphic spelling::
 
     registry = default_registry().copy()
+
+    def recognize(form, options):
+        binding = my_matcher(form.problem.query, form.problem.fks)
+        if binding is None:
+            return None
+        return Recognition(
+            factory=lambda: MyPreparedSolver(*binding),
+            evidence=f"matched my island with {binding}",
+        )
+
     registry.register(BackendSpec(
         name="my-island",
         priority=60,                      # beats the exhaustive fallbacks
-        supports=lambda cls, opts: my_matcher(cls.query, cls.fks),
-        factory=lambda cls, opts: MyPreparedSolver(cls.query, cls.fks),
+        recognize=recognize,
     ))
-    session = Session(EngineConfig(registry=registry))
 
 Selection walks the registered specs by descending ``priority`` (ties
-broken by registration order) and picks the first whose ``supports``
-predicate accepts the classified problem; its ``factory`` then *prepares*
-the solver — pays all per-problem construction cost and returns an object
-with ``decide(db)``/``close()``.  The built-in trichotomy backends are
-registered by :mod:`repro.engine.router` into :func:`default_registry`.
+broken by registration order) and takes the first recognition.
+
+**Deprecation shim**: pre-redesign specs carrying a boolean ``supports``
+predicate plus a ``factory`` over the classification keep working — the
+registry wraps them into a recognizer that feeds both callables the
+classification **spelled like the request** and renames canonical
+instances back before the solver decides, so even predicates matching
+literal relation names behave as before.  One caveat of class-shared
+plans: a name-sensitive predicate makes recognition spelling-dependent,
+so whichever spelling of a class compiles first picks the backend its
+twins ride (answers are unaffected); migrate to ``recognize`` for
+spelling-invariant routing.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import BackendRegistryError
@@ -32,35 +53,77 @@ from ..exceptions import BackendRegistryError
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.classify import Classification
     from ..solvers.base import CertaintySolver
+    from .canonical import CanonicalForm
+
+_FO_BACKENDS = ("memory", "sql", "duckdb")
 
 
 @dataclass(frozen=True, slots=True)
 class RouteOptions:
-    """Per-engine routing knobs threaded into predicates and factories."""
+    """Per-engine routing knobs threaded into recognizers and factories."""
 
-    fo_backend: str = "memory"  # or "sql"
+    fo_backend: str = "memory"  # or "sql" / "duckdb"
 
     def __post_init__(self) -> None:
-        if self.fo_backend not in ("memory", "sql"):
+        if self.fo_backend not in _FO_BACKENDS:
             raise ValueError(
                 f"unknown fo_backend {self.fo_backend!r} "
-                "(expected 'memory' or 'sql')"
+                f"(expected one of {_FO_BACKENDS})"
             )
+        if self.fo_backend == "duckdb":
+            from ..solvers.rewriting_solver import duckdb_dialect
+
+            # fail loudly here: with no fo-duckdb spec registered, an FO
+            # problem would otherwise fall through to the exponential
+            # ⊕-oracle fallback without a word
+            if duckdb_dialect() is None:
+                raise ValueError(
+                    "fo_backend 'duckdb' needs the duckdb package, which "
+                    "is not importable in this environment"
+                )
+
+
+@dataclass(frozen=True)
+class Recognition:
+    """A backend's positive verdict on one canonical problem class.
+
+    ``factory`` is zero-argument and already bound to the canonical form:
+    calling it *prepares* the solver (pays all per-class construction
+    cost).  ``evidence`` is the human-readable reason the recognizer
+    matched — surfaced by ``repro engine --explain``.  ``backend``,
+    ``priority`` and ``polynomial`` are filled in from the winning spec by
+    the registry; recognizers may leave them at their defaults.
+    """
+
+    factory: "Callable[[], CertaintySolver]"
+    evidence: str = ""
+    backend: str = ""
+    priority: int = 0
+    polynomial: bool = True
 
 
 @dataclass(frozen=True)
 class BackendSpec:
     """One registered decision backend.
 
-    ``supports(classification, options)`` says whether this backend can
-    decide the classified problem; ``factory(classification, options)``
-    prepares its solver.  ``polynomial`` documents per-instance cost (the
-    exhaustive fallbacks are the only non-polynomial built-ins).
+    New-style specs provide ``recognize(form, options) -> Recognition |
+    None``; legacy specs provide ``supports(classification, options) ->
+    bool`` plus ``factory(classification, options) -> solver`` and are
+    shimmed (see the module docstring).  ``polynomial`` documents
+    per-instance cost (the exhaustive fallbacks are the only
+    non-polynomial built-ins).
     """
 
     name: str
-    factory: "Callable[[Classification, RouteOptions], CertaintySolver]"
-    supports: "Callable[[Classification, RouteOptions], bool]"
+    recognize: (
+        "Callable[[CanonicalForm, RouteOptions], Recognition | None] | None"
+    ) = None
+    factory: (
+        "Callable[[Classification, RouteOptions], CertaintySolver] | None"
+    ) = None
+    supports: (
+        "Callable[[Classification, RouteOptions], bool] | None"
+    ) = None
     priority: int = 0
     polynomial: bool = True
     description: str = ""
@@ -68,6 +131,97 @@ class BackendSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise BackendRegistryError("backend name must be non-empty")
+        if self.recognize is None and (
+            self.supports is None or self.factory is None
+        ):
+            raise BackendRegistryError(
+                f"backend {self.name!r} must provide either a recognizer "
+                "or the legacy supports+factory pair"
+            )
+
+    def recognition(
+        self, form: "CanonicalForm", options: RouteOptions
+    ) -> Recognition | None:
+        """This spec's verdict on *form*, legacy shim included.
+
+        Legacy ``supports`` predicates receive the classification spelled
+        like the *request* (``form.source_classification``), so predicates
+        matching literal relation names keep working; the legacy factory
+        builds against the same spelling and is wrapped to rename each
+        canonical instance back before deciding.  Note that name-sensitive
+        predicates make recognition spelling-dependent while plans stay
+        shared per class: whichever spelling compiles first picks the
+        backend for its twins (answers are unaffected).
+        """
+        if self.recognize is not None:
+            outcome = self.recognize(form, options)
+        elif self.supports(form.source_classification, options):
+
+            def build():
+                from .canonical import RenamingSolver
+
+                solver = self.factory(form.source_classification, options)
+                # the engine hands this plan canonical instances; rename
+                # them back into the spelling the solver was built for
+                return RenamingSolver(solver, form.inverse)
+
+            outcome = Recognition(
+                factory=build,
+                evidence="legacy predicate accepted the classified problem",
+            )
+        else:
+            outcome = None
+        if outcome is None:
+            return None
+        return replace(
+            outcome,
+            backend=self.name,
+            priority=self.priority,
+            polynomial=self.polynomial,
+        )
+
+
+def _form_of(classification: "Classification") -> "CanonicalForm":
+    from ..api.problem import Problem
+    from .canonical import canonicalize
+
+    return canonicalize(Problem(classification.query, classification.fks))
+
+
+class _LegacySupports:
+    """``supports(classification, options)`` synthesized for a
+    recognize-only spec (see :meth:`BackendRegistry.select`)."""
+
+    def __init__(self, spec: "BackendSpec"):
+        self._spec = spec
+
+    def __call__(self, classification, options) -> bool:
+        return (
+            self._spec.recognition(_form_of(classification), options)
+            is not None
+        )
+
+
+class _LegacyFactory:
+    """``factory(classification, options)`` synthesized for a
+    recognize-only spec: prepares against the canonical spelling and wraps
+    the solver so raw-spelling instances keep working."""
+
+    def __init__(self, spec: "BackendSpec"):
+        self._spec = spec
+
+    def __call__(self, classification, options):
+        from .canonical import TransportingSolver
+
+        form = _form_of(classification)
+        recognition = self._spec.recognition(form, options)
+        if recognition is None:
+            raise BackendRegistryError(
+                f"backend {self._spec.name!r} does not recognize "
+                f"CERTAINTY({classification.query!r}, "
+                f"{classification.fks!r})"
+            )
+        return TransportingSolver(recognition.factory(), form)
 
 
 class BackendRegistry:
@@ -137,13 +291,49 @@ class BackendRegistry:
     def names(self) -> list[str]:
         return [spec.name for spec in self.specs()]
 
+    def recognize(
+        self, form: "CanonicalForm", options: RouteOptions
+    ) -> Recognition:
+        """The highest-priority recognition of the canonical class.
+
+        The heart of the recognize → transport pipeline: the returned
+        recognition's factory prepares a solver against ``form.problem``;
+        callers transport instances through ``form`` when executing it.
+        """
+        for spec in self.specs():
+            recognition = spec.recognition(form, options)
+            if recognition is not None:
+                return recognition
+        raise BackendRegistryError(
+            f"no registered backend recognizes the problem class "
+            f"{form.fingerprint.digest} ({form.fingerprint.text})"
+        )
+
     def select(
         self, classification: "Classification", options: RouteOptions
     ) -> BackendSpec:
-        """The highest-priority spec whose predicate accepts the problem."""
+        """The winning spec for a classified problem (legacy entry point).
+
+        Canonicalizes ``(query, fks)`` behind the scenes and runs the
+        recognizer pipeline; prefer :meth:`recognize` in new code — it
+        hands back the bound factory too.  Recognize-only specs come back
+        with synthesized ``supports``/``factory`` callables, so the
+        pre-redesign pattern ``spec.factory(classification, options)``
+        keeps working: the synthesized factory canonicalizes, prepares the
+        solver against the canonical spelling, and wraps it in a
+        :class:`~repro.engine.canonical.TransportingSolver` so callers
+        keep passing instances in their own spelling.
+        """
+        form = _form_of(classification)
         for spec in self.specs():
-            if spec.supports(classification, options):
-                return spec
+            if spec.recognition(form, options) is not None:
+                if spec.factory is not None:
+                    return spec
+                return replace(
+                    spec,
+                    supports=_LegacySupports(spec),
+                    factory=_LegacyFactory(spec),
+                )
         raise BackendRegistryError(
             f"no registered backend supports "
             f"CERTAINTY({classification.query!r}, {classification.fks!r})"

@@ -4,20 +4,25 @@ Theorem 12 is not only a complexity classification — operationally it tells
 the engine which decision procedure is cheapest for a given ``(q, FK)``:
 
 * **FO** — evaluate the consistent first-order rewriting, either with the
-  in-memory relational evaluator or as precompiled SQL over a warm SQLite
-  connection (:class:`~repro.solvers.rewriting_solver.SqlRewritingSolver`);
-* **not in FO, but a known polynomial special case** — the fixed problems of
-  Proposition 16 (graph reachability) and Proposition 17 (dual-Horn SAT)
-  are recognised structurally, up to variable renaming, and routed to their
-  dedicated linear/polynomial solvers;
+  in-memory relational evaluator or as precompiled SQL over a warm
+  connection (:class:`~repro.solvers.rewriting_solver.SqlRewritingSolver`,
+  SQLite by default; a DuckDB dialect registers when the module imports);
+* **not in FO, but a known polynomial island** — the Proposition 16
+  (graph reachability) and Proposition 17 (dual-Horn SAT) problems are
+  recognised structurally **up to relation-renaming isomorphism** on the
+  canonical form and routed to their dedicated linear/polynomial solvers,
+  parameterized by which canonical relations play ``N`` and ``O``;
 * **everything else** — exhaustive repair enumeration: classical subset
   repairs when ``FK = ∅``, the canonical ⊕-repair oracle otherwise.
 
-Since the `repro.api` redesign the dispatch itself lives in a
-:class:`~repro.engine.registry.BackendRegistry`: this module defines the
-built-in :class:`~repro.engine.registry.BackendSpec`s (structural matchers +
-prepared-solver factories) and registers them into the default registry.
-Routing runs exactly once per plan; the selected spec is cached with it.
+Since the canonical-class redesign every built-in is a **recognizer** over
+the :class:`~repro.engine.canonical.CanonicalForm`
+(:meth:`~repro.engine.registry.BackendSpec.recognize`): it inspects the
+canonicalized problem and returns a
+:class:`~repro.engine.registry.Recognition` whose factory prepares the
+solver against the canonical spelling — the same prepared plan then serves
+every isomorphic spelling through instance transport.  Routing runs exactly
+once per problem class; the recognition is cached with the plan.
 """
 
 from __future__ import annotations
@@ -32,8 +37,13 @@ from ..solvers.base import CertaintySolver
 from ..solvers.brute_force import OplusOracleSolver, SubsetRepairSolver
 from ..solvers.dual_horn import DualHornSolver
 from ..solvers.reachability import ReachabilitySolver
-from ..solvers.rewriting_solver import RewritingSolver, SqlRewritingSolver
-from .registry import BackendRegistry, BackendSpec, RouteOptions
+from ..solvers.rewriting_solver import (
+    RewritingSolver,
+    SqlRewritingSolver,
+    duckdb_dialect,
+)
+from .canonical import CanonicalForm
+from .registry import BackendRegistry, BackendSpec, Recognition, RouteOptions
 
 
 class Backend(Enum):
@@ -46,6 +56,7 @@ class Backend(Enum):
 
     FO_REWRITING = "fo-rewriting"
     FO_SQL = "fo-sql"
+    FO_DUCKDB = "fo-duckdb"
     REACHABILITY = "nl-reachability"
     DUAL_HORN = "p-dual-horn"
     SUBSET_REPAIRS = "subset-repairs"
@@ -59,43 +70,51 @@ class Backend(Enum):
 
 def matches_proposition16(
     query: ConjunctiveQuery, fks: ForeignKeySet
-) -> bool:
-    """Is ``(q, FK)`` the Proposition 16 problem ``{N(x,x), O(x)}, N[2]→O``?
+) -> tuple[str, str] | None:
+    """The ``(N, O)`` relation binding when ``(q, FK)`` is the Proposition
+    16 problem ``{N(x,x), O(x)}, N[2]→O`` **up to relation renaming** (and
+    variable renaming), else ``None``.
 
-    Matching is up to variable renaming; the relation names ``N`` and ``O``
-    are fixed because the reduction reads them off the instance.
+    The binding names which of the query's relations plays ``N`` and which
+    plays ``O`` — the reduction reads them off the instance through it.
     """
-    if fks.foreign_keys != frozenset({ForeignKey("N", 2, "O")}):
-        return False
-    if len(query) != 2:
-        return False
-    if not (query.has_relation("N") and query.has_relation("O")):
-        return False
-    n, o = query.atom("N"), query.atom("O")
+    if len(query) != 2 or len(fks.foreign_keys) != 1:
+        return None
+    atoms = {a.arity: a for a in query.atoms}
+    n, o = atoms.get(2), atoms.get(1)
+    if n is None or o is None:
+        return None
     if (n.arity, n.key_size) != (2, 1) or (o.arity, o.key_size) != (1, 1):
-        return False
+        return None
+    if fks.foreign_keys != frozenset(
+        {ForeignKey(n.relation, 2, o.relation)}
+    ):
+        return None
     x = n.term_at(1)
-    return (
-        isinstance(x, Variable)
-        and n.term_at(2) == x
-        and o.term_at(1) == x
-    )
+    if not (
+        isinstance(x, Variable) and n.term_at(2) == x and o.term_at(1) == x
+    ):
+        return None
+    return n.relation, o.relation
 
 
-def matches_proposition17(
+def match_dual_horn_island(
     query: ConjunctiveQuery, fks: ForeignKeySet
-) -> object | None:
-    """The distinguished constant when ``(q, FK)`` is the Proposition 17
-    problem ``{N(x, c, y), O(y)}, N[3]→O`` (up to variable renaming and the
-    choice of ``c``), else ``None``."""
-    if fks.foreign_keys != frozenset({ForeignKey("N", 3, "O")}):
+) -> tuple[object, str, str] | None:
+    """The ``(c, N, O)`` binding when ``(q, FK)`` is the Proposition 17
+    problem ``{N(x, c, y), O(y)}, N[3]→O`` up to relation renaming, the
+    choice of variables, and the choice of the constant ``c``."""
+    if len(query) != 2 or len(fks.foreign_keys) != 1:
         return None
-    if len(query) != 2:
+    atoms = {a.arity: a for a in query.atoms}
+    n, o = atoms.get(3), atoms.get(1)
+    if n is None or o is None:
         return None
-    if not (query.has_relation("N") and query.has_relation("O")):
-        return None
-    n, o = query.atom("N"), query.atom("O")
     if (n.arity, n.key_size) != (3, 1) or (o.arity, o.key_size) != (1, 1):
+        return None
+    if fks.foreign_keys != frozenset(
+        {ForeignKey(n.relation, 3, o.relation)}
+    ):
         return None
     x, c, y = n.terms
     if not (isinstance(x, Variable) and isinstance(y, Variable) and x != y):
@@ -104,74 +123,181 @@ def matches_proposition17(
         return None
     if o.term_at(1) != y:
         return None
-    return c.value
+    return c.value, n.relation, o.relation
 
 
-# -- built-in backend specs ----------------------------------------------------
+def matches_proposition17(
+    query: ConjunctiveQuery, fks: ForeignKeySet
+) -> object | None:
+    """The distinguished constant when ``(q, FK)`` is the Proposition 17
+    problem (up to relation and variable renaming), else ``None``."""
+    match = match_dual_horn_island(query, fks)
+    return None if match is None else match[0]
+
+
+# -- built-in backend recognizers ----------------------------------------------
 #
 # Priorities: the FO rewritings (100) beat everything — when a consistent
 # rewriting exists it is the cheapest procedure; the polynomial islands (50)
 # beat the exhaustive fallbacks; subset repairs (10) beat the ⊕-oracle (0),
-# which accepts everything and anchors the chain.
+# which accepts everything and anchors the chain.  Every factory builds
+# against `form.problem` (the canonical spelling); evidence strings report
+# the binding in the *raw* names of the spelling that triggered routing.
+
+
+def _recognize_fo(form: CanonicalForm, options: RouteOptions, backend: str,
+                  make) -> Recognition | None:
+    if options.fo_backend != backend or not form.classification.in_fo:
+        return None
+    return Recognition(
+        factory=lambda: make(form.problem.query, form.problem.fks),
+        evidence="attack graph acyclic, no block-interference: consistent "
+                 "FO rewriting exists",
+    )
+
+
+def _recognize_reachability(
+    form: CanonicalForm, options: RouteOptions
+) -> Recognition | None:
+    binding = matches_proposition16(form.problem.query, form.problem.fks)
+    if binding is None:
+        return None
+    n, o = binding
+    return Recognition(
+        factory=lambda: ReachabilitySolver(n_relation=n, o_relation=o),
+        evidence=(
+            "Proposition 16 shape up to renaming: "
+            f"N≔{form.restore_relation(n)}, O≔{form.restore_relation(o)}"
+        ),
+    )
+
+
+def _recognize_dual_horn(
+    form: CanonicalForm, options: RouteOptions
+) -> Recognition | None:
+    match = match_dual_horn_island(form.problem.query, form.problem.fks)
+    if match is None:
+        return None
+    constant, n, o = match
+    return Recognition(
+        factory=lambda: DualHornSolver(
+            constant, n_relation=n, o_relation=o
+        ),
+        evidence=(
+            "Proposition 17 shape up to renaming: "
+            f"N≔{form.restore_relation(n)}, O≔{form.restore_relation(o)}, "
+            f"c={constant!r}"
+        ),
+    )
+
+
+def _recognize_subset_repairs(
+    form: CanonicalForm, options: RouteOptions
+) -> Recognition | None:
+    if form.classification.in_fo or len(form.problem.fks) != 0:
+        return None
+    return Recognition(
+        factory=lambda: SubsetRepairSolver(form.problem.query),
+        evidence="outside FO with FK = ∅: classical subset repairs apply",
+    )
+
+
+def _recognize_oplus(
+    form: CanonicalForm, options: RouteOptions
+) -> Recognition | None:
+    return Recognition(
+        factory=lambda: OplusOracleSolver(
+            form.problem.query, form.problem.fks
+        ),
+        evidence="universal fallback: exact canonical ⊕-repair search",
+    )
+
 
 BUILTIN_BACKENDS: tuple[BackendSpec, ...] = (
     BackendSpec(
         name=Backend.FO_SQL.value,
         priority=100,
-        supports=lambda c, o: c.in_fo and o.fo_backend == "sql",
-        factory=lambda c, o: SqlRewritingSolver(c.query, c.fks),
+        recognize=lambda f, o: _recognize_fo(
+            f, o, "sql",
+            lambda query, fks: SqlRewritingSolver(query, fks),
+        ),
         description="consistent FO rewriting compiled to SQL over a warm "
                     "SQLite connection",
     ),
     BackendSpec(
         name=Backend.FO_REWRITING.value,
         priority=100,
-        supports=lambda c, o: c.in_fo and o.fo_backend == "memory",
-        factory=lambda c, o: RewritingSolver(c.query, c.fks),
+        recognize=lambda f, o: _recognize_fo(
+            f, o, "memory",
+            lambda query, fks: RewritingSolver(query, fks),
+        ),
         description="consistent FO rewriting on the in-memory evaluator",
     ),
     BackendSpec(
         name=Backend.REACHABILITY.value,
         priority=50,
-        supports=lambda c, o: matches_proposition16(c.query, c.fks),
-        factory=lambda c, o: ReachabilitySolver(),
-        description="Proposition 16 reachability (NL)",
+        recognize=_recognize_reachability,
+        description="Proposition 16 reachability (NL), matched up to "
+                    "relation renaming",
     ),
     BackendSpec(
         name=Backend.DUAL_HORN.value,
         priority=50,
-        supports=lambda c, o: matches_proposition17(c.query, c.fks) is not None,
-        # the matcher runs again to extract the distinguished constant; it
-        # is an O(1) structural check paid once per plan compile, dwarfed
-        # by the classification that precedes routing
-        factory=lambda c, o: DualHornSolver(
-            matches_proposition17(c.query, c.fks)
-        ),
-        description="Proposition 17 dual-Horn SAT (P)",
+        recognize=_recognize_dual_horn,
+        description="Proposition 17 dual-Horn SAT (P), matched up to "
+                    "relation renaming",
     ),
     BackendSpec(
         name=Backend.SUBSET_REPAIRS.value,
         priority=10,
         polynomial=False,
-        supports=lambda c, o: not c.in_fo and len(c.fks) == 0,
-        factory=lambda c, o: SubsetRepairSolver(c.query),
+        recognize=_recognize_subset_repairs,
         description="exhaustive subset-repair enumeration (FK = ∅)",
     ),
     BackendSpec(
         name=Backend.OPLUS_ORACLE.value,
         priority=0,
         polynomial=False,
-        supports=lambda c, o: True,
-        factory=lambda c, o: OplusOracleSolver(c.query, c.fks),
+        recognize=_recognize_oplus,
         description="exact canonical ⊕-repair oracle (fallback)",
     ),
 )
 
 
+def duckdb_backend_spec() -> BackendSpec | None:
+    """The optional ``fo-duckdb`` spec, or ``None`` when DuckDB is absent.
+
+    Gated on ``import duckdb`` succeeding so the stdlib-only container
+    registers nothing and every routing path stays importable.
+    """
+    dialect = duckdb_dialect()
+    if dialect is None:
+        return None
+    return BackendSpec(
+        name=Backend.FO_DUCKDB.value,
+        priority=100,
+        recognize=lambda f, o: _recognize_fo(
+            f, o, "duckdb",
+            lambda query, fks: SqlRewritingSolver(
+                query, fks, name=Backend.FO_DUCKDB.value, dialect=dialect
+            ),
+        ),
+        description="consistent FO rewriting compiled to SQL over a warm "
+                    "DuckDB connection",
+    )
+
+
 def register_builtin_backends(registry: BackendRegistry) -> BackendRegistry:
-    """Register every built-in backend spec into *registry* (idempotent)."""
+    """Register every built-in backend spec into *registry* (idempotent).
+
+    The optional DuckDB backend joins the built-ins whenever its import
+    gate passes.
+    """
     for spec in BUILTIN_BACKENDS:
         registry.register(spec, override=True)
+    duckdb_spec = duckdb_backend_spec()
+    if duckdb_spec is not None:
+        registry.register(duckdb_spec, override=True)
     return registry
 
 
@@ -181,17 +307,21 @@ def select_backend(
     registry: BackendRegistry | None = None,
 ) -> tuple[BackendSpec, CertaintySolver]:
     """Pick the cheapest backend for a classified problem and *prepare* its
-    solver.
+    solver (legacy entry point).
 
-    *fo_backend* chooses how FO problems are evaluated: ``"memory"`` for the
-    in-memory evaluator, ``"sql"`` for precompiled SQLite.  Construction
-    cost (rewriting pipeline, SQL compilation, connection warm-up) is paid
-    here, once per plan; the returned solver is a prepared solver — reuse it
-    across instances and ``close()`` it when the plan is dropped.
+    The canonical-class pipeline superseded this, but the contract stays:
+    the returned solver answers instances spelled like *classification*'s
+    query.  Internally the solver is prepared against the canonical
+    spelling and wrapped in a
+    :class:`~repro.engine.canonical.TransportingSolver` that renames each
+    instance on the way in.
     """
     from .registry import default_registry
 
     options = RouteOptions(fo_backend=fo_backend)
     registry = registry or default_registry()
+    # select() hands back the winning spec with legacy supports/factory
+    # callables synthesized when the spec is recognize-only, so both the
+    # returned spec and the solver honor the pre-redesign contract
     spec = registry.select(classification, options)
     return spec, spec.factory(classification, options)

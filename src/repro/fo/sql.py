@@ -56,8 +56,9 @@ def _quote_identifier(name: str) -> str:
 
 
 class _SqlBuilder:
-    def __init__(self) -> None:
+    def __init__(self, value_encoder=None) -> None:
         self._counter = 0
+        self._encode = value_encoder or (lambda v: v)
 
     def fresh_alias(self, prefix: str) -> str:
         self._counter += 1
@@ -65,7 +66,7 @@ class _SqlBuilder:
 
     def term(self, term: Term, scope: dict[Term, str]) -> str:
         if isinstance(term, Constant):
-            return _quote_value(term.value)
+            return _quote_value(self._encode(term.value))
         if term in scope:
             return scope[term]
         raise EvaluationError(f"unbound term {term!r} in SQL translation")
@@ -236,22 +237,30 @@ def to_sql(
     formula: Formula,
     schema: Schema,
     parameters: dict[Parameter, object] | None = None,
+    value_encoder=None,
 ) -> str:
     """Compile a closed formula into one SQL query returning 0 or 1.
 
     *schema* must cover every relation of the formula (used to build the
     active-domain CTE); free parameters are inlined as constants.
+
+    *value_encoder* is the dialect seam for engines without SQLite's
+    dynamic typing: an injective ``value -> value`` mapping applied to
+    every constant the compiled text embeds.  Instances loaded through
+    :func:`insert_statements` must use the same encoder so comparisons
+    stay aligned.
     """
     from .formula import constants_of
 
     parameters = parameters or {}
+    encode = value_encoder or (lambda v: v)
     scope: dict[Term, str] = {
-        p: _quote_value(v) for p, v in parameters.items()
+        p: _quote_value(encode(v)) for p, v in parameters.items()
     }
-    builder = _SqlBuilder()
+    builder = _SqlBuilder(value_encoder)
     condition = builder.boolean(formula, scope)
     literals = sorted(
-        {_quote_value(c.value) for c in constants_of(formula)}
+        {_quote_value(encode(c.value)) for c in constants_of(formula)}
         | set(scope.values())
     )
     cte = _adom_cte(schema, literals)
@@ -261,12 +270,19 @@ def to_sql(
     )
 
 
-def create_table_statements(schema: Schema) -> list[str]:
-    """``CREATE TABLE`` DDL matching the column convention."""
+def create_table_statements(
+    schema: Schema, column_type: str = ""
+) -> list[str]:
+    """``CREATE TABLE`` DDL matching the column convention.
+
+    *column_type* is the dialect seam: SQLite accepts typeless columns
+    (the default); strictly-typed engines (DuckDB) pass e.g. ``VARCHAR``.
+    """
+    suffix = f" {column_type}" if column_type else ""
     statements = []
     for relation in sorted(schema):
         columns = ", ".join(
-            f"c{i}" for i in range(1, schema[relation].arity + 1)
+            f"c{i}{suffix}" for i in range(1, schema[relation].arity + 1)
         )
         statements.append(
             f"CREATE TABLE {_quote_identifier(relation)} ({columns})"
@@ -274,8 +290,15 @@ def create_table_statements(schema: Schema) -> list[str]:
     return statements
 
 
-def insert_statements(db) -> list[tuple[str, tuple[object, ...]]]:
-    """Parameterized ``INSERT`` statements loading an instance."""
+def insert_statements(
+    db, value_encoder=None
+) -> list[tuple[str, tuple[object, ...]]]:
+    """Parameterized ``INSERT`` statements loading an instance.
+
+    *value_encoder* must match the one the compiled query was built with
+    (see :func:`to_sql`).
+    """
+    encode = value_encoder or (lambda v: v)
     statements = []
     for fact in db:
         placeholders = ", ".join("?" for _ in fact.values)
@@ -283,7 +306,7 @@ def insert_statements(db) -> list[tuple[str, tuple[object, ...]]]:
             (
                 f"INSERT INTO {_quote_identifier(fact.relation)} "
                 f"VALUES ({placeholders})",
-                tuple(fact.values),
+                tuple(encode(value) for value in fact.values),
             )
         )
     return statements

@@ -119,6 +119,10 @@ class ServeClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (the ``metrics`` verb)."""
+        return self.request("metrics")["exposition"]
+
     def shutdown(self) -> dict:
         """Ask the server to drain and stop (answers before it does)."""
         return self.request("shutdown")
@@ -256,6 +260,10 @@ class AsyncServeClient:
 
     async def stats(self) -> dict:
         return await self.request("stats")
+
+    async def metrics(self) -> str:
+        """The server's Prometheus text exposition (the ``metrics`` verb)."""
+        return (await self.request("metrics"))["exposition"]
 
     async def shutdown(self) -> dict:
         return await self.request("shutdown")

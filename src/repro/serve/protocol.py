@@ -31,6 +31,11 @@ Verbs and their payloads:
     ``problem``; answers ``{"plan": ..., "shard": i}``.
 ``stats``
     no payload; answers ``{"server": ..., "shards": [EngineStats dicts]}``.
+``metrics``
+    no payload; answers ``{"exposition": "..."}`` — a Prometheus text-format
+    page (``repro_server_*`` serving counters plus every shard's
+    ``EngineStats.to_prom()`` labelled ``shard="i"``), ready to hand to a
+    scrape endpoint.
 ``shutdown``
     no payload; answers ``{"stopping": true}`` and the server drains.
 
@@ -59,7 +64,7 @@ VERSION = 1
 
 VERBS = (
     "ping", "decide", "decide_batch", "classify", "explain", "stats",
-    "shutdown",
+    "metrics", "shutdown",
 )
 
 #: code → meaning of the structured error envelope.

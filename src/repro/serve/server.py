@@ -134,22 +134,33 @@ class ServerMetrics:
 
 
 class _PendingGroup:
-    """One open micro-batch: a fingerprint's queued instances + futures."""
+    """One open micro-batch: a class's queued instances + futures.
+
+    Items carry the requesting spelling's raw fingerprint so each response
+    reports the exact spelling it answered, even when renaming-isomorphic
+    twins folded into the same batch.
+    """
 
     __slots__ = ("problem", "shard", "items", "timer")
 
     def __init__(self, problem: Problem, shard: int):
         self.problem = problem
         self.shard = shard
-        self.items: list[tuple[DatabaseInstance, asyncio.Future]] = []
+        self.items: list[
+            tuple[DatabaseInstance, str, asyncio.Future]
+        ] = []
         self.timer: asyncio.TimerHandle | None = None
 
 
 class MicroBatcher:
-    """Group concurrent same-fingerprint decides into one engine batch.
+    """Group concurrent same-class decides into one engine batch.
 
-    Lives entirely on the event loop (no locks); execution happens on the
-    server's thread pool against the owning shard.
+    Grouping keys on the canonical **class** fingerprint, so isomorphic
+    spellings of one problem share a micro-batch (and the shard's one
+    prepared plan); instances are already transported into the canonical
+    spelling by the dispatcher.  Lives entirely on the event loop (no
+    locks); execution happens on the server's thread pool against the
+    owning shard.
     """
 
     def __init__(
@@ -170,12 +181,23 @@ class MicroBatcher:
         self._inflight: set[asyncio.Future] = set()
 
     async def submit(self, problem: Problem, db: DatabaseInstance) -> dict:
-        """Queue one decide; resolves with the per-request result payload."""
+        """Queue one decide; resolves with the per-request result payload.
+
+        *db* must already be transported into *problem*'s canonical
+        spelling (the dispatcher does this next to payload decoding).
+        """
         loop = asyncio.get_running_loop()
-        digest = problem.fingerprint.digest
+        digest = problem.fingerprint.digest  # the class digest
         group = self._pending.get(digest)
         if group is None:
-            group = _PendingGroup(problem, self._sharded.shard_for(problem))
+            # execute the batch under the *canonical* problem: its own
+            # transport maps only canonical relation names, so the
+            # already-transported instances (stray relations included)
+            # pass through the session untouched — the group opener's raw
+            # spelling must not be re-applied to twins' instances
+            group = _PendingGroup(
+                problem.canonical.problem, self._sharded.shard_for(problem)
+            )
             self._pending[digest] = group
             if self._linger > 0:
                 group.timer = loop.call_later(
@@ -185,7 +207,7 @@ class MicroBatcher:
                     ),
                 )
         future: asyncio.Future = loop.create_future()
-        group.items.append((db, future))
+        group.items.append((db, problem.fingerprint.raw, future))
         if len(group.items) >= self._max_batch or self._linger == 0:
             await self._flush(digest)
         return await future
@@ -205,8 +227,9 @@ class MicroBatcher:
         if group.timer is not None:
             group.timer.cancel()
         loop = asyncio.get_running_loop()
-        dbs = [db for db, _ in group.items]
-        futures = [f for _, f in group.items]
+        dbs = [db for db, _, _ in group.items]
+        raws = [raw for _, raw, _ in group.items]
+        futures = [f for _, _, f in group.items]
         self._metrics.count_micro_batch(len(dbs))
         session = self._sharded.session(group.shard)
         run = loop.run_in_executor(
@@ -221,11 +244,18 @@ class MicroBatcher:
                 if not future.done():
                     future.set_exception(error)
             return
-        for answer, future in zip(batch.answers, futures):
+        # the session saw only the canonical problem; attribute the
+        # requesting spellings to the plan for the per-class sharing stats
+        plan = session.engine.cached_plan(digest)
+        if plan is not None:
+            for raw in set(raws):
+                plan.note_spelling(raw)
+        for answer, raw, future in zip(batch.answers, raws, futures):
             if not future.done():
                 decision = Decision(
                     certain=bool(answer),
                     fingerprint=batch.fingerprint,
+                    raw_fingerprint=raw,
                     verdict=batch.verdict,
                     backend=batch.backend,
                     cache_hit=batch.cache_hit,
@@ -422,6 +452,8 @@ class CertaintyServer:
             return {"pong": True, "protocol": PROTOCOL, "version": VERSION}
         if verb == "stats":
             return await self._stats()
+        if verb == "metrics":
+            return await self._prom_metrics()
         if verb == "shutdown":
             self.request_shutdown()
             return {"stopping": True}
@@ -429,16 +461,15 @@ class CertaintyServer:
             if request.instance is None:
                 self._require_problem(request)  # report the missing payload
                 raise ServeProtocolError("'decide' needs an 'instance'")
+            # canonicalization + instance transport ride along with payload
+            # decoding (offloaded for big frames): the batcher then groups
+            # renaming-isomorphic spellings under one class key
             if offload:
                 problem, db = await self._run_on_pool(
-                    lambda: (
-                        self._require_problem(request),
-                        db_io.from_dict(request.instance),
-                    )
+                    lambda: self._decode_decide(request)
                 )
             else:
-                problem = self._require_problem(request)
-                db = db_io.from_dict(request.instance)
+                problem, db = self._decode_decide(request)
             return await self._batcher.submit(problem, db)
         if verb == "decide_batch":
             if request.instances is None:
@@ -498,6 +529,42 @@ class CertaintyServer:
             },
             "shards": [entry.to_dict() for entry in shard_stats],
         }
+
+    async def _prom_metrics(self) -> dict:
+        """The ``metrics`` verb: one Prometheus text page for the fleet.
+
+        The serving layer's own counters plus every shard's engine
+        counters labelled ``shard="i"``, grouped per metric family
+        (``# HELP``/``# TYPE`` appear exactly once each, as the text
+        format requires) — the scrape side of the stats verb.
+        """
+        from ..engine.engine import prom_exposition
+
+        shard_stats = await self._run_on_pool(self._sharded.stats)
+        counters = self.metrics.to_dict()
+        lines = []
+        for name, help_text in (
+            ("requests", "Requests received."),
+            ("errors", "Requests answered with an error envelope."),
+            ("micro_batches", "Engine batches flushed by the batcher."),
+            ("batched_requests",
+             "Requests that shared their micro-batch with others."),
+        ):
+            lines.append(f"# HELP repro_server_{name}_total {help_text}")
+            lines.append(f"# TYPE repro_server_{name}_total counter")
+            lines.append(f"repro_server_{name}_total {counters[name]}")
+        exposition = "\n".join(lines) + "\n" + prom_exposition(
+            ({"shard": str(entry.shard)}, entry.stats)
+            for entry in shard_stats
+        )
+        return {"exposition": exposition}
+
+    def _decode_decide(self, request: Request) -> tuple[Problem, DatabaseInstance]:
+        """Decode + canonicalize a decide payload, transporting the
+        instance into the problem's canonical spelling."""
+        problem = self._require_problem(request)
+        db = db_io.from_dict(request.instance)
+        return problem, problem.canonical.transport_instance(db)
 
     async def _run_on_pool(self, fn, *args):
         return await asyncio.get_running_loop().run_in_executor(

@@ -5,11 +5,12 @@ a working set larger than the cache thrashes — every recurrence of an
 evicted problem pays classification, routing, rewriting construction and
 (for the SQL backend) connection warm-up again.  :class:`ShardedEngine`
 owns *N* independent :class:`~repro.api.Session` workers and routes every
-request by **consistent hashing on the problem's canonical fingerprint**
-(:class:`HashRing`): the same problem always lands on the same shard, so
-that shard's LRU cache stays hot and its prepared solvers (warm SQLite
-connections included) serve every recurrence, while aggregate cache
-capacity grows linearly with the shard count.
+request by **consistent hashing on the problem's canonical class
+fingerprint** (:class:`HashRing`): the same problem — in *any*
+relation-renaming-isomorphic spelling — always lands on the same shard,
+so that shard's LRU cache stays hot and its one prepared plan per class
+(warm SQL connections included) serves every recurrence and every twin,
+while aggregate cache capacity grows linearly with the shard count.
 
 The ring hashes each shard to ``replicas`` virtual points, so adding or
 removing a shard remaps only ~``1/N`` of the fingerprint space — the
@@ -104,7 +105,11 @@ class ShardedEngine:
         return len(self._sessions)
 
     def shard_for(self, problem: Problem) -> int:
-        """The shard index owning *problem* (deterministic)."""
+        """The shard index owning *problem*'s class (deterministic).
+
+        Keyed on the class digest: renamed twins land on the same shard
+        and share its one prepared plan.
+        """
         return self._ring.shard_for(problem.fingerprint.digest)
 
     def session(self, shard: int) -> Session:

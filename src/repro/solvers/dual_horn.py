@@ -35,18 +35,23 @@ def proposition17_query(
 
 
 def instance_to_dual_horn(
-    db: DatabaseInstance, constant: object = "c"
+    db: DatabaseInstance,
+    constant: object = "c",
+    n_relation: str = "N",
+    o_relation: str = "O",
 ) -> DualHornFormula:
     """The Appendix D.3 reduction from an instance to a dual-Horn formula.
 
     Variables are the values occurring at ``O``'s key position or ``N``'s
-    third position.
+    third position.  *n_relation*/*o_relation* carry the recognizer's
+    binding of which relations play ``N`` and ``O`` (the problem is
+    recognised up to relation renaming).
     """
     formula = DualHornFormula()
-    for fact in sorted(db.relation_facts("O"), key=repr):
+    for fact in sorted(db.relation_facts(o_relation), key=repr):
         formula.add(Clause((fact.value_at(1),)))
     blocks: dict[tuple[object, ...], list] = defaultdict(list)
-    for fact in db.relation_facts("N"):
+    for fact in db.relation_facts(n_relation):
         blocks[fact.key].append(fact)
     for key in sorted(blocks, key=repr):
         facts = blocks[key]
@@ -65,13 +70,18 @@ def instance_to_dual_horn(
     return formula
 
 
-def certain_by_dual_horn(db: DatabaseInstance, constant: object = "c") -> bool:
+def certain_by_dual_horn(
+    db: DatabaseInstance,
+    constant: object = "c",
+    n_relation: str = "N",
+    o_relation: str = "O",
+) -> bool:
     """Decide ``CERTAINTY({N(x,c,y), O(y)}, {N[3]→O})`` in P.
 
     The instance is a *no*-instance iff the dual-Horn encoding is
     satisfiable, so the certain answer is the negation.
     """
-    formula = instance_to_dual_horn(db, constant)
+    formula = instance_to_dual_horn(db, constant, n_relation, o_relation)
     return not solve_dual_horn(formula).satisfiable
 
 
@@ -81,12 +91,17 @@ class DualHornSolver(PreparedSolverMixin):
 
     *constant* is the query's distinguished constant (the ``c`` of
     ``N(x, c, y)``); the reduction treats every other second-position value
-    as falsifying.
+    as falsifying.  ``n_relation``/``o_relation`` carry the recognizer's
+    relation binding (the fixed names by default).
     """
 
     constant: object = "c"
     name: str = "p-dual-horn"
+    n_relation: str = "N"
+    o_relation: str = "O"
 
     def decide(self, db: DatabaseInstance) -> bool:
         """Polynomial dual-Horn SAT decision (Proposition 17)."""
-        return certain_by_dual_horn(db, self.constant)
+        return certain_by_dual_horn(
+            db, self.constant, self.n_relation, self.o_relation
+        )

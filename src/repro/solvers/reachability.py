@@ -101,11 +101,20 @@ class ReachabilityGraph:
         return any(vertex in doomed for vertex in self.marked)
 
 
-def build_reachability_graph(db: DatabaseInstance) -> ReachabilityGraph:
-    """The Proposition 16 reduction from an instance to a digraph."""
+def build_reachability_graph(
+    db: DatabaseInstance,
+    n_relation: str = "N",
+    o_relation: str = "O",
+) -> ReachabilityGraph:
+    """The Proposition 16 reduction from an instance to a digraph.
+
+    *n_relation*/*o_relation* name which relations play ``N`` and ``O`` —
+    the problem is recognised up to relation renaming, so the reduction
+    reads the binding off the recognizer rather than fixed names.
+    """
     diagonal = {
         fact.value_at(1)
-        for fact in db.relation_facts("N")
+        for fact in db.relation_facts(n_relation)
         if fact.arity == 2 and fact.value_at(1) == fact.value_at(2)
     }
     vertices: set[object] = set(diagonal) | {_BOTTOM}
@@ -113,7 +122,7 @@ def build_reachability_graph(db: DatabaseInstance) -> ReachabilityGraph:
     for c in diagonal:
         others = {
             fact.value_at(2)
-            for fact in db.block_of("N", (c,))
+            for fact in db.block_of(n_relation, (c,))
             if fact.value_at(2) != c
         }
         if others <= diagonal:
@@ -122,13 +131,17 @@ def build_reachability_graph(db: DatabaseInstance) -> ReachabilityGraph:
             edges[c] = {_BOTTOM}
     marked = {
         fact.value_at(1)
-        for fact in db.relation_facts("O")
+        for fact in db.relation_facts(o_relation)
         if fact.value_at(1) in diagonal
     }
     return ReachabilityGraph(vertices, edges, marked)
 
 
-def certain_by_reachability(db: DatabaseInstance) -> bool:
+def certain_by_reachability(
+    db: DatabaseInstance,
+    n_relation: str = "N",
+    o_relation: str = "O",
+) -> bool:
     """Decide ``CERTAINTY({N(x,x), O(x)}, {N[2]→O})`` in NL.
 
     The instance is a *yes*-instance iff some marked vertex is doomed —
@@ -136,16 +149,22 @@ def certain_by_reachability(db: DatabaseInstance) -> bool:
     ⊕-repair keeps a diagonal fact with its ``O``-fact (see the module
     docstring for why escapes *and* obligation cycles falsify).
     """
-    graph = build_reachability_graph(db)
+    graph = build_reachability_graph(db, n_relation, o_relation)
     return graph.some_marked_doomed()
 
 
 @dataclass
 class ReachabilitySolver(PreparedSolverMixin):
-    """The Proposition 16 algorithm behind the common solver interface."""
+    """The Proposition 16 algorithm behind the common solver interface.
+
+    ``n_relation``/``o_relation`` carry the recognizer's binding of which
+    relations play ``N`` and ``O`` (the fixed names by default).
+    """
 
     name: str = "nl-reachability"
+    n_relation: str = "N"
+    o_relation: str = "O"
 
     def decide(self, db: DatabaseInstance) -> bool:
         """Linear-time reachability decision (Proposition 16)."""
-        return certain_by_reachability(db)
+        return certain_by_reachability(db, self.n_relation, self.o_relation)

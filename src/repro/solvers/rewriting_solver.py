@@ -2,17 +2,20 @@
 
 ``RewritingSolver`` constructs the closed formula once (Theorem 1) and
 evaluates it per instance; ``SqlRewritingSolver`` compiles it to SQL once
-and keeps one **warm SQLite connection per prepared solver** (schema DDL
-executed once, per-instance work reduced to delete + insert + the compiled
-``SELECT``); ``ProceduralSolver`` runs the forward reduction pipeline per
-instance.  All are polynomial per instance — the payoff the FO
-classification promises.
+and keeps one **warm connection per prepared solver** (schema DDL executed
+once, per-instance work reduced to delete + insert + the compiled
+``SELECT``) against a pluggable :class:`SqlDialect` — stdlib SQLite by
+default, DuckDB when importable (:func:`duckdb_dialect`);
+``ProceduralSolver`` runs the forward reduction pipeline per instance.
+All are polynomial per instance — the payoff the FO classification
+promises.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.decision import decide
 from ..core.foreign_keys import ForeignKeySet
@@ -21,6 +24,85 @@ from ..core.rewriting import RewritingResult, consistent_rewriting
 from ..db.instance import DatabaseInstance
 from ..fo.evaluator import Evaluator
 from .base import PreparedSolverMixin
+
+
+# -- SQL dialects --------------------------------------------------------------
+
+
+def _connect_sqlite():
+    import sqlite3
+
+    # check_same_thread=False: each connection is *used* only by its
+    # owning thread, but close() may reap it from another one
+    return sqlite3.connect(":memory:", check_same_thread=False)
+
+
+def _connect_duckdb():
+    import duckdb
+
+    return duckdb.connect(":memory:")
+
+
+def _duckdb_encode(value: object) -> object:
+    # DuckDB columns are strictly typed; the solver declares VARCHAR and
+    # tags every value with its python type so int 7 and str "7" stay
+    # distinct under the single column type.  Only the str/int wire value
+    # domain is accepted — silently stringifying e.g. float 1.5 would
+    # collide with the string "1.5" and diverge from the other backends.
+    from ..exceptions import EvaluationError
+
+    if isinstance(value, int) and not isinstance(value, bool):
+        return f"i:{value}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    raise EvaluationError(
+        f"value {value!r} is outside the str/int domain of the duckdb "
+        "dialect"
+    )
+
+
+@dataclass(frozen=True)
+class SqlDialect:
+    """One SQL engine behind the prepared rewriting solver.
+
+    The seam alternative engines plug into: how to open an in-memory
+    connection (DB-API-ish: ``execute``/``fetchone``/``close``), what
+    column type the DDL declares (empty = typeless, SQLite style), and an
+    optional injective value encoder aligning stored values with the
+    constants the compiled ``SELECT`` embeds (see
+    :func:`repro.fo.sql.to_sql`).  All members are module-level functions
+    so prepared solvers keep pickling across process pools.
+    """
+
+    name: str
+    connect: Callable[[], object]
+    column_type: str = ""
+    value_encoder: Callable[[object], object] | None = None
+
+
+def sqlite_dialect() -> SqlDialect:
+    """The default dialect: stdlib SQLite, dynamic typing, no encoding."""
+    return SqlDialect(name="sqlite", connect=_connect_sqlite)
+
+
+def duckdb_dialect() -> SqlDialect | None:
+    """The optional DuckDB dialect, or ``None`` when DuckDB is absent.
+
+    Gated on ``import duckdb`` succeeding so the stdlib-only container
+    never references it.  Values are stored as type-tagged ``VARCHAR``
+    (``i:7`` / ``s:7``), keeping integer and string constants distinct
+    under DuckDB's strict typing.
+    """
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return None
+    return SqlDialect(
+        name="duckdb",
+        connect=_connect_duckdb,
+        column_type="VARCHAR",
+        value_encoder=_duckdb_encode,
+    )
 
 
 @dataclass
@@ -74,6 +156,7 @@ class SqlRewritingSolver:
     fks: ForeignKeySet
     name: str = "fo-sql"
     warm: bool = True
+    dialect: SqlDialect = field(default_factory=sqlite_dialect)
     connections_opened: int = field(init=False, default=0)
     _rewriting: RewritingResult = field(init=False, repr=False)
     _sql: str = field(init=False, repr=False)
@@ -87,8 +170,16 @@ class SqlRewritingSolver:
         from ..fo.sql import create_table_statements, to_sql
 
         self._rewriting = consistent_rewriting(self.query, self.fks)
-        self._sql = to_sql(self._rewriting.formula, self.query.schema())
-        self._ddl = tuple(create_table_statements(self.query.schema()))
+        self._sql = to_sql(
+            self._rewriting.formula,
+            self.query.schema(),
+            value_encoder=self.dialect.value_encoder,
+        )
+        self._ddl = tuple(
+            create_table_statements(
+                self.query.schema(), self.dialect.column_type
+            )
+        )
         self._lock = threading.Lock()
         self._local = threading.local()
         self._entries = []
@@ -111,11 +202,7 @@ class SqlRewritingSolver:
 
     def _connect(self):
         """A fresh in-memory database with the schema DDL applied."""
-        import sqlite3
-
-        # check_same_thread=False: each connection is *used* only by its
-        # owning thread, but close() may reap it from another one
-        connection = sqlite3.connect(":memory:", check_same_thread=False)
+        connection = self.dialect.connect()
         for ddl in self._ddl:
             connection.execute(ddl)
         with self._lock:
@@ -126,7 +213,8 @@ class SqlRewritingSolver:
         from ..fo.sql import insert_statements
 
         for statement, values in insert_statements(
-            db.restrict_relations(self.query.relations)
+            db.restrict_relations(self.query.relations),
+            value_encoder=self.dialect.value_encoder,
         ):
             connection.execute(statement, values)
         (result,) = connection.execute(self._sql).fetchone()

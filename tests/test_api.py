@@ -230,8 +230,7 @@ class TestBackendRegistry:
             BackendSpec(
                 name="fo-rewriting",
                 priority=original.priority,
-                supports=original.supports,
-                factory=original.factory,
+                recognize=original.recognize,
                 description="replacement",
             ),
             override=True,

@@ -1,0 +1,731 @@
+"""Tests for canonical problem classes: renaming-isomorphism fingerprints,
+class-keyed plan sharing, instance transport, the recognize pipeline, the
+SQL dialect seam, and the Prometheus stats exposition."""
+
+import random
+import string
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.api import Problem, connect, prepare
+from repro.cli import main
+from repro.engine import (
+    Backend,
+    BackendRegistry,
+    BackendSpec,
+    CertaintyEngine,
+    EngineConfig,
+    Recognition,
+    canonical_atoms,
+    canonicalize,
+    duckdb_backend_spec,
+    problem_fingerprint,
+    raw_encoding,
+    register_builtin_backends,
+    rename_instance,
+    rename_problem,
+)
+from repro.engine.canonical import atom_shape_key, is_canonical_relation_name
+from repro.exceptions import BackendRegistryError
+from repro.repairs import certain_answer
+from repro.workloads import (
+    ProblemShape,
+    RandomInstanceParams,
+    paper_catalog,
+    random_instances_for_query,
+    random_problem,
+)
+
+SMALL = RandomInstanceParams(
+    blocks_per_relation=2, max_block_size=2, domain_size=4
+)
+
+
+def _twin_mapping(problem: Problem, seed: int) -> dict[str, str]:
+    """A deterministic, injective relation renaming for *problem*."""
+    rng = random.Random(seed)
+    relations = sorted(problem.query.relations)
+    letters = rng.sample(string.ascii_uppercase, len(relations))
+    return {
+        relation: f"{letter}{rng.randrange(100)}x"
+        for relation, letter in zip(relations, letters)
+    }
+
+
+def _twin(problem: Problem, seed: int = 0):
+    mapping = _twin_mapping(problem, seed)
+    return rename_problem(problem, mapping), mapping
+
+
+def _instances(problem: Problem, count: int = 2, seed: int = 0):
+    return list(
+        random_instances_for_query(
+            problem.query, problem.fks, count, seed=seed, params=SMALL
+        )
+    )
+
+
+class TestClassFingerprint:
+    @pytest.mark.parametrize(
+        "entry", paper_catalog(), ids=lambda e: e.label
+    )
+    def test_catalog_twins_share_class_fingerprint(self, entry):
+        problem = Problem(entry.query, entry.fks)
+        twin, _ = _twin(problem, seed=hash(entry.label) % 1000)
+        assert twin.fingerprint.digest == problem.fingerprint.digest
+        assert twin.fingerprint.text == problem.fingerprint.text
+        assert twin.fingerprint.raw != problem.fingerprint.raw
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(problem_seed=st.integers(0, 10_000), rename_seed=st.integers(0, 100))
+    def test_random_twins_share_class_fingerprint(
+        self, problem_seed, rename_seed
+    ):
+        query, fks = random_problem(
+            ProblemShape(n_atoms=3), random.Random(problem_seed)
+        )
+        problem = Problem(query, fks)
+        twin, mapping = _twin(problem, seed=rename_seed)
+        assert twin.fingerprint.digest == problem.fingerprint.digest
+        # and the recorded renaming really inverts
+        form = problem.canonical
+        assert {form.inverse[new]: new
+                for old, new in form.relation_renaming.items()
+                for new in [form.relation_renaming[old]]} \
+            == form.relation_renaming
+
+    def test_distinct_classes_keep_distinct_digests(self):
+        base = Problem.of("R(x | 'c', y)", "S(y |)", fks=["R[3]->S"])
+        other_constant = Problem.of("R(x | 'd', y)", "S(y |)", fks=["R[3]->S"])
+        no_fk = Problem.of("R(x | 'c', y)", "S(y |)")
+        diagonal = Problem.of("R(x | 'c', x)", "S(x |)", fks=["R[3]->S"])
+        digests = {
+            p.fingerprint.digest
+            for p in (base, other_constant, no_fk, diagonal)
+        }
+        assert len(digests) == 4
+
+    def test_canonicalization_is_idempotent(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        form = canonicalize(problem)
+        again = canonicalize(form.problem)
+        assert again.fingerprint.text == form.fingerprint.text
+        assert again.fingerprint.digest == form.fingerprint.digest
+        assert all(
+            is_canonical_relation_name(r)
+            for r in form.problem.query.relations
+        )
+
+    def test_raw_digest_matches_historical_format(self):
+        # the raw half must stay byte-identical to the pre-class format:
+        # atoms sorted by relation name, variables alpha-renamed
+        problem = Problem.of("S(y | z)", "R(x | y)", fks=["R[2]->S"])
+        assert problem.fingerprint.raw_text == \
+            "R(v0|v1) ∧ S(v1|v2) ## R[2]->S"
+        assert raw_encoding(problem.query, problem.fks) == \
+            problem.fingerprint.raw_text
+
+    def test_canonical_atom_order_is_renaming_invariant(self):
+        problem = Problem.of("Zz(x | y)", "Aa(y | z, 'c')")
+        twin, mapping = _twin(problem, seed=4)
+        shapes = [atom_shape_key(a) for a in canonical_atoms(problem.query)]
+        twin_shapes = [
+            atom_shape_key(a) for a in canonical_atoms(twin.query)
+        ]
+        assert shapes == twin_shapes  # same shape sequence, any spelling
+
+
+class TestClassKeyedPlanSharing:
+    @pytest.mark.parametrize(
+        "entry", paper_catalog(), ids=lambda e: e.label
+    )
+    def test_catalog_twin_hits_shared_plan_and_oracle_agrees(self, entry):
+        problem = Problem(entry.query, entry.fks)
+        twin, mapping = _twin(problem, seed=len(entry.label))
+        dbs = _instances(problem, count=2, seed=7)
+        twin_dbs = [rename_instance(db, mapping) for db in dbs]
+        engine = CertaintyEngine()
+        for db, twin_db in zip(dbs, twin_dbs):
+            expected = certain_answer(
+                problem.query, problem.fks, db
+            ).certain
+            assert engine.decide(problem, db) == expected
+            assert engine.decide(twin, twin_db) == expected
+        stats = engine.stats()
+        # one plan for the pair, and the twin's lookups all hit it
+        assert stats.cache.size == 1
+        assert stats.cache.misses == 1
+        assert stats.cache.hits >= 1
+        assert stats.plans[0].spellings == 2
+        engine.close()
+
+    def test_sql_backend_shares_one_warm_connection_across_twins(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        twin, mapping = _twin(problem, seed=9)
+        dbs = _instances(problem, count=4, seed=3)
+        with connect(fo_backend="sql") as session:
+            session.decide_batch(problem, dbs)
+            solver = session.prepare(problem).solver
+            session.decide_batch(
+                twin, [rename_instance(db, mapping) for db in dbs]
+            )
+            assert session.prepare(twin).solver is solver
+            assert solver.connections_opened == 1
+
+    def test_islands_route_up_to_renaming(self):
+        engine = CertaintyEngine()
+        p16 = rename_problem(
+            Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"]),
+            {"N": "Edge", "O": "Marked"},
+        )
+        assert engine.plan_for(p16).backend == Backend.REACHABILITY.value
+        p17 = rename_problem(
+            Problem.of("N(x | 'c', y)", "O(y |)", fks=["N[3]->O"]),
+            {"N": "Zeta", "O": "Alpha"},
+        )
+        plan = engine.plan_for(p17)
+        assert plan.backend == Backend.DUAL_HORN.value
+        assert plan.solver.constant == "c"
+        # evidence names the spelling that routed, not canonical names
+        assert "Zeta" in plan.recognition.evidence
+        engine.close()
+
+    def test_renamed_prop16_agrees_with_oracle(self):
+        from repro.workloads import proposition16_instance
+
+        base = Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"])
+        twin = rename_problem(base, {"N": "E", "O": "M"})
+        engine = CertaintyEngine()
+        rng = random.Random(11)
+        for _ in range(10):
+            db = proposition16_instance(4, rng, marked_fraction=0.5)
+            expected = certain_answer(base.query, base.fks, db).certain
+            twin_db = rename_instance(db, {"N": "E", "O": "M"})
+            assert engine.decide(twin, twin_db) == expected
+        engine.close()
+
+
+class TestTransport:
+    def test_transport_keeps_unmapped_relations(self):
+        problem = Problem.of("R(x | y)")
+        form = problem.canonical
+        db = next(iter(_instances(problem, 1, seed=1)))
+        from repro.db.facts import Fact
+
+        extra = db.union([Fact("Unrelated", ("a", "b"), 1)])
+        moved = form.transport_instance(extra)
+        assert "Unrelated" in moved.relations
+        assert "R" not in moved.relations
+        # double transport is the identity on canonical instances
+        assert form.transport_instance(moved) == moved
+
+    def test_prepare_returns_transporting_solver(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        twin, mapping = _twin(problem, seed=2)
+        dbs = _instances(problem, count=3, seed=5)
+        with prepare(problem) as base_solver, prepare(twin) as twin_solver:
+            for db in dbs:
+                expected = certain_answer(
+                    problem.query, problem.fks, db
+                ).certain
+                assert base_solver.decide(db) == expected
+                assert twin_solver.decide(
+                    rename_instance(db, mapping)
+                ) == expected
+
+    def test_decisions_carry_both_fingerprints(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        twin, mapping = _twin(problem, seed=3)
+        (db,) = _instances(problem, 1, seed=2)
+        with connect() as session:
+            first = session.decide(problem, db)
+            second = session.decide(twin, rename_instance(db, mapping))
+        assert first.fingerprint == second.fingerprint
+        assert first.raw_fingerprint == problem.fingerprint.raw
+        assert second.raw_fingerprint == twin.fingerprint.raw
+        assert first.raw_fingerprint != second.raw_fingerprint
+        assert second.cache_hit is True
+        data = second.to_dict()
+        assert data["raw_fingerprint"] == twin.fingerprint.raw
+
+
+class TestServeLoopbackTwins:
+    def test_catalog_twins_through_the_wire(self):
+        from repro.serve import BackgroundServer, ServeClient, ServerConfig
+
+        entries = paper_catalog()
+        with BackgroundServer(
+            ServerConfig(shards=2, linger_ms=2)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client, connect() as session:
+                for entry in entries:
+                    problem = Problem(entry.query, entry.fks)
+                    twin, mapping = _twin(problem, seed=1)
+                    (db,) = _instances(problem, 1, seed=13)
+                    local = session.decide(problem, db)
+                    remote = client.decide(problem, db)
+                    remote_twin = client.decide(
+                        twin, rename_instance(db, mapping)
+                    )
+                    assert remote.certain == local.certain
+                    assert remote_twin.certain == local.certain
+                    assert remote.fingerprint == remote_twin.fingerprint \
+                        == problem.fingerprint.digest
+                    assert remote_twin.raw_fingerprint == \
+                        twin.fingerprint.raw
+                    # the twin rode the plan its sibling compiled
+                    assert remote_twin.cache_hit is True
+                text = client.metrics()
+        assert "repro_class_spellings" in text
+        assert 'shard="0"' in text and 'shard="1"' in text
+        # a valid exposition: HELP/TYPE once per family even multi-shard
+        help_lines = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert len(help_lines) == len(set(help_lines))
+
+
+class TestRecognizePipeline:
+    def test_spec_requires_recognizer_or_legacy_pair(self):
+        with pytest.raises(BackendRegistryError):
+            BackendSpec(name="hollow")
+        BackendSpec(name="legacy", supports=lambda c, o: True,
+                    factory=lambda c, o: None)
+        BackendSpec(name="modern", recognize=lambda f, o: None)
+
+    def test_registry_fills_recognition_metadata(self):
+        registry = register_builtin_backends(BackendRegistry())
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        from repro.engine import RouteOptions
+
+        recognition = registry.recognize(
+            problem.canonical, RouteOptions()
+        )
+        assert recognition.backend == Backend.FO_REWRITING.value
+        assert recognition.priority == 100
+        assert recognition.polynomial is True
+        assert recognition.evidence
+
+    def test_legacy_predicate_specs_still_route(self):
+        from repro.engine import RouteOptions, default_registry
+
+        built = []
+
+        class StubSolver:
+            name = "stub"
+
+            def decide(self, db):
+                return True
+
+            def close(self):
+                pass
+
+        registry = default_registry().copy()
+        registry.register(BackendSpec(
+            name="legacy-always-yes",
+            priority=999,
+            supports=lambda classification, options: True,
+            factory=lambda classification, options: (
+                built.append(classification) or StubSolver()
+            ),
+        ))
+        problem = Problem.of("R(x | y)")
+        recognition = registry.recognize(problem.canonical, RouteOptions())
+        assert recognition.backend == "legacy-always-yes"
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+
+        solver = recognition.factory()
+        assert solver.decide(
+            DatabaseInstance([Fact("R", ("a", "b"), 1)])
+        ) is True
+        # the shimmed callables see the *request's* spelling, so legacy
+        # predicates matching literal relation names keep working
+        assert built and built[0].query.relations == frozenset({"R"})
+
+    def test_name_sensitive_legacy_predicate_still_matches(self):
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+        from repro.engine import default_registry
+
+        built = []
+
+        class EchoSolver:
+            name = "echo"
+
+            def __init__(self, relations):
+                self.relations = relations
+
+            def decide(self, db):
+                # the instance must arrive spelled like the problem the
+                # legacy factory was given
+                assert db.relations <= self.relations
+                return True
+
+            def close(self):
+                pass
+
+        registry = default_registry().copy()
+        registry.register(BackendSpec(
+            name="orders-only",
+            priority=999,
+            supports=lambda c, o: c.query.has_relation("Orders"),
+            factory=lambda c, o: (
+                built.append(c) or EchoSolver(c.query.relations)
+            ),
+        ))
+        orders = Problem.of("Orders(x | y)")
+        other = Problem.of("R(x | y)")  # same class, different spelling
+        engine = CertaintyEngine(EngineConfig(registry=registry))
+        db = DatabaseInstance([Fact("Orders", ("a", "b"), 1)])
+        assert engine.decide(orders, db) is True
+        assert engine.plan_for(orders).backend == "orders-only"
+        # the documented caveat: the twin rides the class-shared plan the
+        # first spelling compiled, name-sensitive predicate or not
+        assert engine.plan_for(other).backend == "orders-only"
+        engine.close()
+        # ... but a fresh engine routes the other spelling past it
+        fresh = CertaintyEngine(EngineConfig(registry=registry))
+        assert fresh.plan_for(other).backend != "orders-only"
+        fresh.close()
+
+    def test_custom_recognizer_sees_canonical_form(self):
+        seen = []
+
+        def recognize(form, options):
+            seen.append(form)
+            return None
+
+        registry = CertaintyEngine(
+            EngineConfig(
+                registry=register_builtin_backends(BackendRegistry())
+            )
+        )
+        registry.config.registry.register(
+            BackendSpec(name="observer", priority=10_000,
+                        recognize=recognize)
+        )
+        problem = Problem.of("Whatever(x | y)")
+        registry.plan_for(problem)
+        assert seen and seen[0].fingerprint.digest == \
+            problem.fingerprint.digest
+        registry.close()
+
+
+class TestLegacySeams:
+    """Regressions for the pre-redesign entry points: they must keep
+    answering raw-spelling instances even though solvers are now built
+    against the canonical spelling."""
+
+    def test_select_backend_solver_accepts_raw_spelling(self):
+        from repro.core.classify import classify
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+        from repro.engine import select_backend
+
+        problem = Problem.of("R(x | y)")
+        db = DatabaseInstance([Fact("R", ("a", "b"), 1)])
+        spec, solver = select_backend(classify(problem.query, problem.fks))
+        assert spec.name == Backend.FO_REWRITING.value
+        assert solver.decide(db) is True  # consistent instance: certain
+
+    def test_registry_select_synthesizes_legacy_callables(self):
+        from repro.core.classify import classify
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+        from repro.engine import RouteOptions, default_registry
+
+        problem = Problem.of("R(x | y)")
+        classification = classify(problem.query, problem.fks)
+        options = RouteOptions()
+        spec = default_registry().select(classification, options)
+        assert spec.supports(classification, options) is True
+        solver = spec.factory(classification, options)
+        db = DatabaseInstance([Fact("R", ("a", "b"), 1)])
+        assert solver.decide(db) is True
+        solver.close()
+
+    def test_prepare_rejects_unavailable_duckdb(self):
+        try:
+            import duckdb  # noqa: F401
+
+            pytest.skip("duckdb installed: the gate is open")
+        except ImportError:
+            pass
+        with pytest.raises(ValueError, match="duckdb"):
+            prepare(Problem.of("R(x | y)"), fo_backend="duckdb")
+
+    def test_micro_batched_twin_with_stray_colliding_relation(self):
+        # a twin's instance may contain a stray relation literally named
+        # like the batch opener's raw spelling; sharing the micro-batch
+        # must not re-apply the opener's renaming to it
+        import asyncio
+
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+        from repro.serve import BackgroundServer, ServerConfig
+        from repro.serve.client import AsyncServeClient
+
+        base = Problem.of("R(x | y)")
+        twin = rename_problem(base, {"R": "Orders"})
+        base_db = DatabaseInstance([Fact("R", ("a", "b"), 1)])
+        stray_db = DatabaseInstance([Fact("R", ("zz", "ww"), 1)])
+        # for the twin, "R" is noise and Orders is empty: certain is False
+        with BackgroundServer(
+            ServerConfig(shards=1, linger_ms=200, max_batch=64)
+        ) as background:
+            host, port = background.address
+
+            async def burst():
+                async with await AsyncServeClient.connect(
+                    host, port
+                ) as client:
+                    return await asyncio.gather(
+                        client.decide(base, base_db),
+                        client.decide(twin, stray_db),
+                    )
+
+            for_base, for_twin = asyncio.run(burst())
+        assert for_base["micro_batch"] == for_twin["micro_batch"] == 2
+        assert for_base["decision"]["certain"] is True
+        assert for_twin["decision"]["certain"] is False
+
+    def test_plan_for_twin_binds_the_request_spelling(self):
+        # the shared plan's *default* transport must follow the request:
+        # plan_for(twin).decide(twin_db) has to answer correctly even
+        # though the plan was compiled from the base spelling
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+
+        base = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        twin = rename_problem(base, {"R": "Orders", "S": "Customers"})
+        db = DatabaseInstance(
+            [Fact("R", ("k", "v"), 1), Fact("S", ("v", "t"), 1)]
+        )
+        twin_db = rename_instance(db, {"R": "Orders", "S": "Customers"})
+        engine = CertaintyEngine()
+        assert engine.decide(base, db) is True
+        twin_plan = engine.plan_for(twin)
+        assert twin_plan.decide(twin_db) is True
+        assert engine.run_batch(twin_plan, [twin_db]).answers == (True,)
+        # the view's provenance follows the request: twin raw, shared class
+        assert twin_plan.fingerprint.raw == twin.fingerprint.raw
+        assert twin_plan.fingerprint.digest == base.fingerprint.digest
+        # same solver and metrics underneath; same-spelling lookups keep
+        # returning the identical cached object
+        assert twin_plan.solver is engine.plan_for(base).solver
+        assert engine.plan_for(base) is engine.plan_for(base)
+        engine.close()
+
+    def test_symmetric_tie_groups_stay_bounded(self):
+        # two symmetric 6-atom colour groups: the least-encoding search
+        # must bound the *product* of permutations, not stall for minutes
+        import time
+
+        atoms = [f"A{i}(x{i} | y{i})" for i in range(6)] + [
+            f"B{i}(u{i}, w{i} | z{i})" for i in range(6)
+        ]
+        start = time.perf_counter()
+        Problem.of(*atoms).fingerprint
+        assert time.perf_counter() - start < 5.0
+
+    def test_transporting_solver_pickles_without_recursion(self):
+        import pickle
+
+        from repro.engine.canonical import TransportingSolver
+        from repro.solvers.reachability import ReachabilitySolver
+
+        p16 = Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"])
+        solver = TransportingSolver(ReachabilitySolver(), p16.canonical)
+        clone = pickle.loads(pickle.dumps(solver))
+        assert clone.name == "nl-reachability"
+
+    def test_identity_transport_returns_same_instance(self):
+        problem = Problem.of("R(x | y)")
+        form = problem.canonical
+        (db,) = _instances(problem, 1, seed=1)
+        canonical_db = form.transport_instance(db)
+        again = canonicalize(form.problem)
+        assert again.transport_instance(canonical_db) is canonical_db
+
+    def test_reserved_alphabet_facts_cannot_reach_query_relations(self):
+        # a wire instance can spell any relation name, including the
+        # reserved canonical alphabet; transport must drop such facts
+        # instead of merging them into the renamed query relations
+        from repro.db.facts import Fact
+        from repro.db.instance import DatabaseInstance
+
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        db = DatabaseInstance([Fact("R", ("a", "b"), 1)])
+        engine = CertaintyEngine()
+        baseline = engine.decide(problem, db)
+        assert baseline is False  # no S facts: not certain
+        smuggled = db.union(
+            [Fact("~0", ("b", "c"), 1), Fact("~1", ("a", "b"), 1)]
+        )
+        assert engine.decide(problem, smuggled) is False
+        # and the serve path (decode → transport → micro-batch) agrees
+        from repro.serve import BackgroundServer, ServeClient, ServerConfig
+
+        with BackgroundServer(
+            ServerConfig(shards=1, linger_ms=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                assert client.decide(problem, smuggled).certain is False
+        engine.close()
+
+    def test_canonical_problem_self_form_is_preseeded(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        canonical = problem.canonical.problem
+        assert "canonical" in canonical.__dict__  # no second search
+        self_form = canonical.canonical
+        assert self_form.problem is canonical
+        assert all(
+            old == new
+            for old, new in self_form.relation_renaming.items()
+        )
+
+    def test_spelling_counter_saturates(self):
+        from repro.engine import CertaintyPlan
+
+        engine = CertaintyEngine()
+        plan = engine.plan_for(Problem.of("R(x | y)"))
+        cap = CertaintyPlan.MAX_TRACKED_SPELLINGS
+        for index in range(cap + 50):
+            plan.note_spelling(f"digest-{index}")
+        assert plan.spellings == cap
+        engine.close()
+
+
+class TestSqlDialectSeam:
+    def test_duckdb_gates_cleanly_when_absent(self):
+        try:
+            import duckdb  # noqa: F401
+
+            pytest.skip("duckdb installed: the gate is open")
+        except ImportError:
+            pass
+        from repro.solvers.rewriting_solver import duckdb_dialect
+
+        assert duckdb_dialect() is None
+        assert duckdb_backend_spec() is None
+        with pytest.raises(ValueError, match="duckdb"):
+            EngineConfig(fo_backend="duckdb")
+
+    def test_duckdb_spec_registers_when_present(self):
+        duckdb = pytest.importorskip("duckdb")
+        assert duckdb is not None
+        spec = duckdb_backend_spec()
+        assert spec is not None and spec.name == Backend.FO_DUCKDB.value
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        engine = CertaintyEngine(EngineConfig(fo_backend="duckdb"))
+        (db,) = _instances(problem, 1, seed=4)
+        expected = certain_answer(problem.query, problem.fks, db).certain
+        assert engine.decide(problem, db) == expected
+        assert engine.plan_for(problem).backend == Backend.FO_DUCKDB.value
+        engine.close()
+
+    def test_strict_dialect_roundtrip_on_sqlite(self):
+        # exercise the dialect seam (typed columns + value encoding)
+        # without duckdb: a strict SQLite dialect must agree with the
+        # default dynamic-typed one on every instance
+        from repro.solvers.rewriting_solver import (
+            SqlDialect,
+            SqlRewritingSolver,
+            _connect_sqlite,
+            _duckdb_encode,
+        )
+
+        strict = SqlDialect(
+            name="sqlite-strict",
+            connect=_connect_sqlite,
+            column_type="TEXT",
+            value_encoder=_duckdb_encode,
+        )
+        problem = Problem.of(
+            "DOCS(x | t, 1)", "R(x, y |)", "AUTHORS(y | 'Jeff', z)",
+            fks=["R[1]->DOCS", "R[2]->AUTHORS"],
+        )  # intro-q0 with an int constant: FO, mixed value types
+        dbs = _instances(problem, count=6, seed=8)
+        with SqlRewritingSolver(problem.query, problem.fks) as plain, \
+                SqlRewritingSolver(
+                    problem.query, problem.fks, dialect=strict
+                ) as tagged:
+            assert [plain.decide(db) for db in dbs] \
+                == [tagged.decide(db) for db in dbs]
+
+    def test_value_encoder_keeps_int_and_string_apart(self):
+        from repro.exceptions import EvaluationError
+        from repro.solvers.rewriting_solver import _duckdb_encode
+
+        assert _duckdb_encode(7) != _duckdb_encode("7")
+        assert _duckdb_encode("i:7") != _duckdb_encode(7)
+        # the encoder is injective because it is *strict*: values outside
+        # the str/int wire domain are rejected, not stringified
+        for bad in (1.5, None, True):
+            with pytest.raises(EvaluationError):
+                _duckdb_encode(bad)
+
+
+class TestPromExposition:
+    def test_engine_stats_to_prom_shape(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        engine = CertaintyEngine()
+        (db,) = _instances(problem, 1, seed=6)
+        engine.decide(problem, db)
+        twin, mapping = _twin(problem, seed=6)
+        engine.decide(twin, rename_instance(db, mapping))
+        text = engine.stats().to_prom(labels={"shard": "3"})
+        assert "# TYPE repro_plan_cache_hits_total counter" in text
+        assert 'repro_plan_cache_hits_total{shard="3"} 1' in text
+        assert 'repro_class_spellings{' in text and "} 2" in text
+        assert 'le="+Inf"' in text
+        # bucket counts are cumulative and end at the evaluation count
+        assert 'repro_backend_latency_seconds_count{' in text
+        engine.close()
+
+    def test_cli_stats_prom_format(self, tmp_path, capsys):
+        from repro.db.io import dump
+        from repro.workloads import fig1_instance
+
+        path = tmp_path / "fig1.db"
+        dump(fig1_instance(), path)
+        code = main([
+            "engine",
+            "-a", "DOCS(x | t, '2016')",
+            "-a", "R(x, y |)",
+            "-a", "AUTHORS(y | 'Jeff', z)",
+            "-k", "R[1]->DOCS",
+            "-k", "R[2]->AUTHORS",
+            str(path), "--stats", "--format", "prom",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "repro_backend_evaluations_total" in out
+        assert 'backend="fo-rewriting"' in out
+
+    def test_cli_classify_canonical_flag(self, capsys):
+        main(["classify", "-a", "N(x | x)", "-a", "O(x |)",
+              "-k", "N[2]->O", "--canonical"])
+        first = capsys.readouterr().out
+        main(["classify", "-a", "Edge(u | u)", "-a", "Mark(u |)",
+              "-k", "Edge[2]->Mark", "--canonical"])
+        second = capsys.readouterr().out
+
+        def field(out, key):
+            (line,) = [
+                l for l in out.splitlines() if l.startswith(key)
+            ]
+            return line.split(":", 1)[1].strip()
+
+        assert field(first, "class") == field(second, "class")
+        assert field(first, "canonical") == field(second, "canonical")
+        assert field(first, "spelling") != field(second, "spelling")

@@ -137,10 +137,25 @@ class TestPlanCache:
         stats = engine.cache_stats()
         assert (stats.hits, stats.misses) == (1, 1)
 
+    def test_renamed_relations_share_one_entry(self):
+        # R0/R1/R2(x|y) are renaming-isomorphic: one class, one plan
+        cache = PlanCache(capacity=2)
+        plans = [
+            cache.get_or_build(
+                problem_fingerprint(q, k), lambda q=q, k=k: compile_plan(q, k)
+            )
+            for q, k in (_problem([f"R{i}(x | y)"]) for i in range(3))
+        ]
+        assert plans[0] is plans[1] is plans[2]
+        assert len(cache) == 1
+        assert cache.stats().hits == 2
+
     def test_lru_eviction(self):
         cache = PlanCache(capacity=2)
         problems = [
-            _problem([f"R{i}(x | y)"]) for i in range(3)
+            # distinct constants keep the three problems in distinct
+            # canonical classes (constants are semantic)
+            _problem([f"R{i}(x | 'c{i}')"]) for i in range(3)
         ]
         plans = [
             cache.get_or_build(
@@ -440,21 +455,29 @@ class TestConcurrentEngineUse:
                     self.closes += 1
                 close_solver(self._inner)
 
+        from dataclasses import replace as replace_dc
+
         registry = BackendRegistry()
         for spec in default_registry().specs():
-            inner_factory = spec.factory
 
-            def factory(classification, options, _inner=inner_factory):
-                solver = CountingSolver(_inner(classification, options))
-                with created_lock:
-                    created.append(solver)
-                return solver
+            def recognize(form, options, _spec=spec):
+                recognition = _spec.recognition(form, options)
+                if recognition is None:
+                    return None
+                inner_factory = recognition.factory
+
+                def factory():
+                    solver = CountingSolver(inner_factory())
+                    with created_lock:
+                        created.append(solver)
+                    return solver
+
+                return replace_dc(recognition, factory=factory)
 
             registry.register(
                 BackendSpec(
                     name=spec.name,
-                    factory=factory,
-                    supports=spec.supports,
+                    recognize=recognize,
                     priority=spec.priority,
                     polynomial=spec.polynomial,
                     description=spec.description,
