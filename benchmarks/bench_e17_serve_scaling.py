@@ -1,40 +1,60 @@
-"""E17 — the serving layer: throughput vs shard count and micro-batch size.
+"""E17 — the serving layer: throughput vs shard count, micro-batch size,
+and thread- vs process-per-shard deployment.
 
 Extension experiment, companion to E15/E16: the `repro.serve` layer scales
-consistent query answering along two axes.
+consistent query answering along three axes.
 
-**Sharding.**  A mixed stream whose distinct-problem working set exceeds
-one engine's plan cache thrashes: every recurrence of an evicted problem
-repays classification, routing and rewriting construction.  Routing by
-consistent hashing on the problem fingerprint splits the working set, so
-aggregate cache capacity grows with the shard count and each shard's LRU
-stays hot.  The report serves the same round-robin problem stream through
-1, 2 and 4 shards and **asserts** throughput rises from 1 to the widest
-configuration (answers must be identical throughout).
+**Sharding (E17a).**  A mixed stream whose distinct-*class* working set
+exceeds one engine's plan cache thrashes: every recurrence of an evicted
+class repays classification, routing and rewriting construction.  Routing
+by consistent hashing on the canonical class fingerprint splits the
+working set, so aggregate cache capacity grows with the shard count and
+each shard's LRU stays hot.  The report serves the same round-robin
+problem stream through 1, 2 and 4 shards and **asserts** throughput rises
+from 1 to the widest configuration (answers must be identical throughout).
+Since the canonical-class redesign the problems must differ by more than a
+relation renaming — renamed twins share one class and would all land on
+one shard — so the working set varies a *constant* per problem.
 
-**Micro-batching.**  Concurrent requests for the same fingerprint can be
+**Micro-batching (E17b).**  Concurrent requests for the same class can be
 folded into one ``decide_batch`` — one plan-cache lookup, one warm
 prepared solver, one executor round-trip.  The report fires a fixed burst
 of concurrent remote decides through a loopback server with micro-batching
 disabled (``max_batch=1``) and enabled (``max_batch=16``), asserting the
 enabled server really groups (fewer engine batches than requests) while
 answers stay identical.
+
+**Threads vs processes (E17c).**  Thread shards share one GIL, so a
+CPU-bound stream (decides measured in milliseconds of pure Python) gains
+nothing from concurrent callers; process shards
+(:class:`repro.serve.FleetEngine`) decide in parallel interpreters and pay
+only the JSON wire cost.  The report drives an identical CPU-bound mixed
+stream through thread shards and process shards at 1, 2 and 4 shards and
+**asserts** the process fleet beats the thread engine at the widest
+configuration whenever the host exposes more than one core (on a one-core
+host the curve is still reported — processes cannot beat the GIL without
+hardware parallelism, and the table then shows the wire overhead
+instead).  The result table is reproduced in ``docs/deployment.md``.
 """
 
 import asyncio
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from benchmarks.conftest import report
 from repro.api import Problem
 from repro.serve import (
     AsyncServeClient,
     BackgroundServer,
+    FleetEngine,
     ServeClient,
     ServerConfig,
     ShardedEngine,
 )
 from repro.api.session import SessionConfig
 from repro.workloads import random_instances_for_query
+from repro.workloads.random_instances import RandomInstanceParams
 
 N_PROBLEMS = 32
 PER_SHARD_CACHE = 16  # < N_PROBLEMS: a single shard must thrash
@@ -44,14 +64,17 @@ BURST = 48
 
 
 def _working_set():
-    """Distinct FO problems (compile-heavy, decide-cheap) + one instance
-    each.  ``R(x|y) ∧ S(y|z)`` with ``R[2]→S`` routes to ``fo-rewriting``:
-    plan compilation (~0.5 ms) dwarfs a warm decide (~0.04 ms), which is
-    exactly the regime where plan-cache capacity decides throughput."""
+    """Distinct problem *classes* (compile-heavy, decide-cheap) + one
+    instance each.  ``R(x|y) ∧ S(y|'ci')`` with ``R[2]→S`` routes to
+    ``fo-rewriting``: plan compilation (~0.5 ms) dwarfs a warm decide
+    (~0.04 ms), which is exactly the regime where plan-cache capacity
+    decides throughput.  The per-problem constant keeps the classes
+    distinct under renaming-isomorphism canonicalization (``Ri``/``Si``
+    renamings alone would all share one class, one plan, one shard)."""
     items = []
     for i in range(N_PROBLEMS):
         problem = Problem.of(
-            f"R{i}(x | y)", f"S{i}(y | z)", fks=[f"R{i}[2]->S{i}"],
+            "R(x | y)", f"S(y | 'e17-{i}')", fks=["R[2]->S"],
             name=f"e17-{i}",
         )
         db = next(
@@ -62,6 +85,8 @@ def _working_set():
             )
         )
         items.append((problem, db))
+    classes = {problem.fingerprint.digest for problem, _ in items}
+    assert len(classes) == N_PROBLEMS, "working set must span N classes"
     return items
 
 
@@ -170,3 +195,118 @@ def test_e17_micro_batching_groups_requests():
     # enabled: the burst collapses into far fewer engine batches
     assert outcomes[16][1]["micro_batches"] < BURST
     assert outcomes[16][1]["batched_requests"] > 0
+
+
+# -- E17c: thread shards vs process shards on a CPU-bound stream -------------
+
+E17C_SHARD_COUNTS = (1, 2, 4)
+E17C_CLASSES = 8
+E17C_INSTANCES_PER_CLASS = 4
+E17C_ROUNDS = 2
+
+
+def _cpu_bound_stream():
+    """A mixed stream whose decides cost milliseconds of pure Python.
+
+    Half the classes are FO chains over ~1000-block instances (the
+    in-memory rewriting evaluator does the work), half are Proposition 17
+    chains over ~500-block instances (the polynomial dual-Horn solver
+    does).  Wire documents stay ~10–25 KB, so in the process fleet the
+    per-request JSON cost is an order of magnitude below the decide cost —
+    the regime where parallel interpreters pay off.  Constants keep the
+    classes distinct (and spread over the shard ring)."""
+    items = []
+    for i in range(E17C_CLASSES):
+        if i % 2 == 0:
+            problem = Problem.of(
+                "R(x | y)", f"S(y | 'c{i}')", fks=["R[2]->S"],
+                name=f"e17c-fo-{i}",
+            )
+            params = RandomInstanceParams(
+                blocks_per_relation=900, max_block_size=3,
+                domain_size=1800,
+            )
+        else:
+            problem = Problem.of(
+                f"N(x | 'c{i}', y)", "O(y |)", fks=["N[3]->O"],
+                name=f"e17c-horn-{i}",
+            )
+            params = RandomInstanceParams(
+                blocks_per_relation=500, max_block_size=3,
+                domain_size=1000,
+            )
+        dbs = random_instances_for_query(
+            problem.query, problem.fks, E17C_INSTANCES_PER_CLASS,
+            seed=170 + i, params=params,
+        )
+        items.extend((problem, db) for db in dbs)
+    return items
+
+
+def _drive_engine(engine, items, n_threads: int) -> tuple[float, list[bool]]:
+    """Warm every class's plan, then time *n_threads* concurrent callers
+    working through the repeated stream; answers come back stream-ordered."""
+    warmed = set()
+    for problem, db in items:
+        if problem.fingerprint.digest not in warmed:
+            warmed.add(problem.fingerprint.digest)
+            engine.decide(problem, db)
+    stream = [pair for _ in range(E17C_ROUNDS) for pair in items]
+    answers: list[bool | None] = [None] * len(stream)
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        start = time.perf_counter()
+        futures = {
+            pool.submit(engine.decide, problem, db): index
+            for index, (problem, db) in enumerate(stream)
+        }
+        for future in futures:
+            answers[futures[future]] = bool(future.result().certain)
+        elapsed = time.perf_counter() - start
+    return elapsed, answers
+
+
+def test_e17c_process_shards_beat_thread_shards_when_cpu_bound():
+    items = _cpu_bound_stream()
+    requests = E17C_ROUNDS * len(items)
+    cores = len(os.sched_getaffinity(0))
+    rows = []
+    results: dict[tuple[str, int], tuple[float, list[bool]]] = {}
+    for n_shards in E17C_SHARD_COUNTS:
+        with ShardedEngine(n_shards) as threaded:
+            results["threads", n_shards] = _drive_engine(
+                threaded, items, n_shards
+            )
+        with FleetEngine(n_shards) as fleet:
+            results["processes", n_shards] = _drive_engine(
+                fleet, items, n_shards
+            )
+        for mode in ("threads", "processes"):
+            elapsed, _ = results[mode, n_shards]
+            rows.append(
+                (
+                    f"{n_shards} × {mode}",
+                    f"{elapsed * 1e3:.0f} ms",
+                    f"{requests / elapsed:,.0f}/s",
+                    f"{elapsed / results['threads', 1][0]:.2f}x of serial",
+                )
+            )
+    report(
+        f"E17c: thread vs process shards, CPU-bound mixed stream "
+        f"({requests} requests over {E17C_CLASSES} classes, "
+        f"{cores} core(s))",
+        rows,
+        ("series", "elapsed", "throughput", "vs 1-thread-shard"),
+    )
+
+    baseline = results["threads", 1][1]
+    for key, (_, answers) in results.items():
+        assert answers == baseline, f"{key}: answers must not differ"
+    if cores >= 2:
+        widest = E17C_SHARD_COUNTS[-1]
+        assert (
+            results["processes", widest][0] < results["threads", widest][0]
+        ), (
+            f"{widest} process shards must beat {widest} thread shards on "
+            f"a CPU-bound stream with {cores} cores: the thread engine is "
+            "GIL-bound while worker processes decide in parallel"
+        )

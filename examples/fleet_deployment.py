@@ -1,0 +1,114 @@
+"""Process-per-shard deployment: the fleet in five acts.
+
+1. spawn a two-worker fleet (each worker is a private certainty server),
+2. serve a mixed stream and watch class-digest routing pin each problem
+   class to one worker's warm plan cache,
+3. kill a worker mid-service and watch the supervisor respawn it — the
+   next request is answered, not dropped,
+4. resize the fleet and watch only ~1/N of the classes remap,
+5. read fleet-wide observability: merged engine stats + one Prometheus
+   page.
+
+Run: ``PYTHONPATH=src python examples/fleet_deployment.py``
+
+The same fleet serves over the network via ``repro serve --processes N``
+(see ``docs/deployment.md``); this example drives the
+:class:`repro.serve.FleetEngine` directly so every step is visible.
+"""
+
+from repro.api import Problem
+from repro.core.schema import Schema
+from repro.db.instance import DatabaseInstance
+from repro.serve import FleetEngine
+
+
+def class_problem(i: int) -> Problem:
+    # distinct constants -> distinct canonical classes -> spread over the
+    # ring (renamed twins would share one class and one worker)
+    return Problem.of(
+        "R(x | y)", f"S(y | 'c{i}')", fks=["R[2]->S"], name=f"class-{i}"
+    )
+
+
+def class_instance(i: int) -> DatabaseInstance:
+    schema = Schema.of(R=(2, 1), S=(2, 1))
+    return DatabaseInstance.build(
+        schema, {"R": [("a", "b")], "S": [("b", f"c{i}")]}
+    )
+
+
+def main() -> None:
+    workload = [(class_problem(i), class_instance(i)) for i in range(6)]
+
+    print("== spawn ==")
+    with FleetEngine(2) as fleet:
+        for handle in fleet.supervisor.handles():
+            print(
+                f"worker {handle.shard}: pid {handle.process.pid} "
+                f"on {handle.host}:{handle.port}"
+            )
+
+        print("\n== routed serving ==")
+        for problem, db in workload:
+            decision = fleet.decide(problem, db)
+            print(
+                f"{problem.name}: certain={decision.certain} "
+                f"shard={fleet.shard_for(problem)} "
+                f"backend={decision.backend}"
+            )
+        hits = [
+            fleet.decide(problem, db).cache_hit for problem, db in workload
+        ]
+        print(f"second pass plan-cache hits: {sum(hits)}/{len(hits)}")
+
+        print("\n== crash and respawn ==")
+        victim_problem, victim_db = workload[0]
+        shard = fleet.shard_for(victim_problem)
+        doomed = fleet.supervisor.handle(shard)
+        doomed.process.kill()
+        doomed.process.join(timeout=10)
+        decision = fleet.decide(victim_problem, victim_db)  # retried
+        replacement = fleet.supervisor.handle(shard)
+        print(
+            f"worker {shard} killed (pid {doomed.process.pid}) -> "
+            f"respawned as pid {replacement.process.pid}, "
+            f"request still answered: certain={decision.certain}"
+        )
+
+        print("\n== resize ==")
+        before = {
+            problem.name: fleet.shard_for(problem)
+            for problem, _ in workload
+        }
+        fleet.resize(3)
+        moved = [
+            name
+            for (problem, _), name in zip(workload, before)
+            if fleet.shard_for(problem) != before[problem.name]
+        ]
+        print(
+            f"2 -> 3 workers: {len(moved)}/{len(workload)} classes "
+            f"remapped ({', '.join(moved) or 'none'})"
+        )
+
+        print("\n== observability ==")
+        merged = fleet.merged_stats()
+        print(
+            f"fleet-wide cache: {merged.cache.hits} hits, "
+            f"{merged.cache.misses} misses over "
+            f"{merged.cache.capacity} aggregate capacity"
+        )
+        from repro.engine import prom_exposition
+
+        page = prom_exposition(
+            ({"shard": str(entry.shard)}, entry.stats)
+            for entry in fleet.stats()
+        )
+        print("prometheus page, first lines:")
+        for line in page.splitlines()[:6]:
+            print(f"  {line}")
+    print("\nfleet drained.")
+
+
+if __name__ == "__main__":
+    main()

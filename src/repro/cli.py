@@ -11,7 +11,9 @@ Commands
 ``engine``     answer through the plan-caching engine, with provenance
                (``--stats`` prints per-backend latency aggregates);
 ``batch``      evaluate many instance files through one compiled plan;
-``serve``      run the sharded, micro-batching certainty server;
+``serve``      run the sharded, micro-batching certainty server —
+               in-process thread shards, or worker processes with
+               ``--processes N``;
 ``problem``    export/import problems as portable JSON documents;
 ``instance``   export/import instances as portable JSON documents;
 ``repairs``    enumerate the canonical ⊕-repairs of an instance;
@@ -367,6 +369,7 @@ def _cmd_serve(args) -> int:
             host=args.host,
             port=args.port,
             shards=args.shards,
+            processes=args.processes,
             fo_backend="sql" if args.sql else "memory",
             plan_cache_size=args.cache_size,
             max_batch=args.max_batch,
@@ -519,13 +522,20 @@ def build_parser() -> argparse.ArgumentParser:
     ii.set_defaults(handler=_cmd_instance_import)
 
     p = sub.add_parser(
-        "serve", help="run the sharded, micro-batching certainty server"
+        "serve",
+        help="run the sharded, micro-batching certainty server "
+             "(threads, or worker processes with --processes)",
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address")
     p.add_argument("--port", type=int, default=7432,
                    help="bind port (0 picks a free one)")
     p.add_argument("--shards", type=_positive_int, default=4,
-                   help="engine workers (plan caches) behind the hash ring")
+                   help="in-process engine workers (plan caches) behind "
+                        "the hash ring")
+    p.add_argument("--processes", type=int, default=0, metavar="N",
+                   help="serve through N worker processes instead of "
+                        "in-process thread shards (one engine per process; "
+                        "crash respawn, graceful drain; 0 disables)")
     p.add_argument("--sql", action="store_true",
                    help="evaluate FO problems as compiled SQL over SQLite")
     p.add_argument("--cache-size", type=_positive_int, default=128,

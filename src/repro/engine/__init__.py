@@ -38,6 +38,7 @@ from .engine import (
     EngineSolver,
     EngineStats,
     PlanReport,
+    merge_engine_stats,
     prom_exposition,
 )
 from .executor import BatchExecutor, BatchResult, ExecutorConfig
@@ -53,6 +54,7 @@ from .metrics import (
     PlanMetrics,
     bucket_labels,
     merge_histograms,
+    merge_snapshots,
 )
 from .plan import CertaintyPlan, compile_plan
 from .registry import (
@@ -84,7 +86,8 @@ __all__ = [
     "bucket_labels", "canonical_atoms", "canonicalize", "class_encoding",
     "compile_plan", "default_registry", "duckdb_backend_spec",
     "match_dual_horn_island", "matches_proposition16",
-    "matches_proposition17", "merge_histograms", "problem_fingerprint",
+    "matches_proposition17", "merge_engine_stats", "merge_histograms",
+    "merge_snapshots", "problem_fingerprint",
     "prom_exposition", "raw_encoding", "register_builtin_backends",
     "rename_instance", "rename_problem", "select_backend",
 ]

@@ -34,7 +34,7 @@ from .executor import BatchExecutor, BatchResult, ExecutorConfig
 from .metrics import (
     LATENCY_BUCKET_BOUNDS,
     MetricsSnapshot,
-    merge_histograms,
+    merge_snapshots,
 )
 from .plan import CertaintyPlan, compile_plan
 from .registry import BackendRegistry
@@ -76,6 +76,16 @@ class PlanReport:
             "metrics": self.metrics.to_dict(),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanReport":
+        return cls(
+            fingerprint=str(data.get("fingerprint", "")),
+            backend=str(data.get("backend", "")),
+            verdict=str(data.get("verdict", "")),
+            metrics=MetricsSnapshot.from_dict(data.get("metrics") or {}),
+            spellings=int(data.get("spellings", 1)),
+        )
+
 
 @dataclass(frozen=True)
 class BackendReport:
@@ -92,6 +102,14 @@ class BackendReport:
             "metrics": self.metrics.to_dict(),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackendReport":
+        return cls(
+            backend=str(data.get("backend", "")),
+            plans=int(data.get("plans", 0)),
+            metrics=MetricsSnapshot.from_dict(data.get("metrics") or {}),
+        )
+
 
 def _aggregate_backends(
     plans: tuple[PlanReport, ...],
@@ -100,27 +118,14 @@ def _aggregate_backends(
     grouped: dict[str, list[PlanReport]] = {}
     for plan in plans:
         grouped.setdefault(plan.backend, []).append(plan)
-    reports = []
-    for backend in sorted(grouped):
-        members = grouped[backend]
-        snaps = [p.metrics for p in members]
-        mins = [s.min_seconds for s in snaps if s.min_seconds is not None]
-        maxs = [s.max_seconds for s in snaps if s.max_seconds is not None]
-        reports.append(
-            BackendReport(
-                backend=backend,
-                plans=len(members),
-                metrics=MetricsSnapshot(
-                    evaluations=sum(s.evaluations for s in snaps),
-                    batches=sum(s.batches for s in snaps),
-                    total_seconds=sum(s.total_seconds for s in snaps),
-                    min_seconds=min(mins) if mins else None,
-                    max_seconds=max(maxs) if maxs else None,
-                    histogram=merge_histograms(s.histogram for s in snaps),
-                ),
-            )
+    return tuple(
+        BackendReport(
+            backend=backend,
+            plans=len(grouped[backend]),
+            metrics=merge_snapshots(p.metrics for p in grouped[backend]),
         )
-    return tuple(reports)
+        for backend in sorted(grouped)
+    )
 
 
 def _prom_label_value(value: str) -> str:
@@ -281,6 +286,75 @@ class EngineStats:
         appear only once per metric family).
         """
         return prom_exposition([(labels, self)])
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineStats":
+        """Rebuild stats from :meth:`to_dict` output.
+
+        Accepts the ``stats`` wire verb's per-shard entries verbatim
+        (unknown keys such as the shard index are ignored; derived fields
+        like ``hit_rate`` are recomputed).  This is what lets a fleet
+        front merge and re-export worker stats it only ever saw as JSON.
+        """
+        cache = data.get("cache") or {}
+        return cls(
+            cache=CacheStats(
+                hits=int(cache.get("hits", 0)),
+                misses=int(cache.get("misses", 0)),
+                evictions=int(cache.get("evictions", 0)),
+                size=int(cache.get("size", 0)),
+                capacity=int(cache.get("capacity", 0)),
+            ),
+            plans=tuple(
+                PlanReport.from_dict(entry)
+                for entry in data.get("plans") or ()
+            ),
+            backends=tuple(
+                BackendReport.from_dict(entry)
+                for entry in data.get("backends") or ()
+            ),
+        )
+
+
+def merge_engine_stats(entries: "Iterable[EngineStats]") -> EngineStats:
+    """One fleet-wide :class:`EngineStats` over per-engine snapshots.
+
+    Cache counters and capacities sum (aggregate capacity is the point of
+    sharding); plans of the same canonical class — possible when a resize
+    remapped a class between workers — merge their metrics, keeping the
+    larger spelling count (spelling sets may overlap across workers, so the
+    sum would overcount); backends are re-aggregated from the merged plans.
+    """
+    stats = list(entries)
+    merged_cache = CacheStats(
+        hits=sum(s.cache.hits for s in stats),
+        misses=sum(s.cache.misses for s in stats),
+        evictions=sum(s.cache.evictions for s in stats),
+        size=sum(s.cache.size for s in stats),
+        capacity=sum(s.cache.capacity for s in stats),
+    )
+    grouped: dict[str, list[PlanReport]] = {}
+    order: list[str] = []
+    for snapshot in stats:
+        for plan in snapshot.plans:
+            if plan.fingerprint not in grouped:
+                order.append(plan.fingerprint)
+            grouped.setdefault(plan.fingerprint, []).append(plan)
+    plans = tuple(
+        PlanReport(
+            fingerprint=digest,
+            backend=grouped[digest][0].backend,
+            verdict=grouped[digest][0].verdict,
+            metrics=merge_snapshots(p.metrics for p in grouped[digest]),
+            spellings=max(p.spellings for p in grouped[digest]),
+        )
+        for digest in order
+    )
+    return EngineStats(
+        cache=merged_cache,
+        plans=plans,
+        backends=_aggregate_backends(plans),
+    )
 
 
 class CertaintyEngine:

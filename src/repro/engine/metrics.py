@@ -60,6 +60,22 @@ def merge_histograms(histograms) -> tuple[int, ...]:
     return tuple(totals)
 
 
+def merge_snapshots(snapshots) -> "MetricsSnapshot":
+    """One snapshot summing *snapshots*: counters add, the extrema widen,
+    histograms merge bucket-wise (per-backend aggregates, fleet stats)."""
+    snaps = list(snapshots)
+    mins = [s.min_seconds for s in snaps if s.min_seconds is not None]
+    maxs = [s.max_seconds for s in snaps if s.max_seconds is not None]
+    return MetricsSnapshot(
+        evaluations=sum(s.evaluations for s in snaps),
+        batches=sum(s.batches for s in snaps),
+        total_seconds=sum(s.total_seconds for s in snaps),
+        min_seconds=min(mins) if mins else None,
+        max_seconds=max(maxs) if maxs else None,
+        histogram=merge_histograms(s.histogram for s in snaps),
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
     """An immutable view of one plan's accumulated metrics."""
@@ -97,6 +113,24 @@ class MetricsSnapshot:
                 for label, count in zip(bucket_labels(), self.histogram)
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output (wire `stats`
+        documents; derived fields like ``mean_seconds`` are recomputed)."""
+        histogram = data.get("histogram") or {}
+        minimum = data.get("min_seconds")
+        maximum = data.get("max_seconds")
+        return cls(
+            evaluations=int(data.get("evaluations", 0)),
+            batches=int(data.get("batches", 0)),
+            total_seconds=float(data.get("total_seconds", 0.0)),
+            min_seconds=None if minimum is None else float(minimum),
+            max_seconds=None if maximum is None else float(maximum),
+            histogram=tuple(
+                int(histogram.get(label, 0)) for label in bucket_labels()
+            ),
+        )
 
 
 class PlanMetrics:

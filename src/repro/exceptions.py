@@ -36,6 +36,14 @@ class ServeProtocolError(ReproError):
     a non-object frame, or a missing/malformed field."""
 
 
+class WorkerUnavailableError(ReproError):
+    """A ``repro.serve.fleet`` worker process is down and could not be
+    (re)spawned in time — the request was neither executed nor queued.
+
+    Decides are pure, so callers may safely retry; through a fleet front
+    server the error surfaces as the ``unavailable`` envelope code."""
+
+
 class RemoteError(ReproError):
     """A ``repro.serve`` server answered a request with an error envelope.
 

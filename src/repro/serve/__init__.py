@@ -14,6 +14,16 @@ Server side::
     run_server(ServerConfig(port=7432, shards=4, fo_backend="sql"))
     # or: python -m repro serve --port 7432 --shards 4 --sql
 
+Thread shards share one interpreter (and one GIL).  For CPU-bound
+deployments, ``processes=N`` (CLI: ``repro serve --processes N``) serves
+through :mod:`repro.serve.fleet` instead: a :class:`FleetSupervisor`
+spawns N worker processes — each a private single-shard server — and the
+:class:`FleetEngine` routes over the same class-digest hash ring with
+crash respawn, request retry, graceful drain, and ~1/N remap on resize::
+
+    run_server(ServerConfig(port=7432, processes=4))
+    # or: python -m repro serve --port 7432 --processes 4
+
 Client side::
 
     from repro.serve import ServeClient
@@ -31,8 +41,14 @@ The wire format (:mod:`repro.serve.protocol`) carries
 server on a daemon thread.
 """
 
-from ..exceptions import RemoteError, ServeProtocolError
+from ..exceptions import (
+    RemoteError,
+    ServeProtocolError,
+    WorkerUnavailableError,
+)
 from .client import AsyncServeClient, ServeClient
+from .fleet import FleetConfig, FleetEngine
+from .supervisor import FleetSupervisor, WorkerHandle
 from .protocol import (
     ERROR_CODES,
     PROTOCOL,
@@ -63,6 +79,9 @@ __all__ = [
     "AsyncServeClient",
     "BackgroundServer",
     "CertaintyServer",
+    "FleetConfig",
+    "FleetEngine",
+    "FleetSupervisor",
     "HashRing",
     "MicroBatcher",
     "RemoteError",
@@ -74,6 +93,8 @@ __all__ = [
     "ShardStats",
     "ShardedEngine",
     "UnsupportedVerbError",
+    "WorkerHandle",
+    "WorkerUnavailableError",
     "decode_frame",
     "decode_request",
     "decode_response",

@@ -16,7 +16,10 @@ Two shapes for two callers:
 Both raise :class:`~repro.exceptions.RemoteError` when the server answers
 with a structured error envelope, and
 :class:`~repro.exceptions.ServeProtocolError` when the stream itself is
-broken.
+broken.  Because every verb is idempotent (decides are pure), the
+blocking client can optionally reconnect-and-resend across transport
+failures (``ServeClient(..., retries=n)``) — the client half of riding
+out a fleet worker restart; error envelopes are never retried.
 """
 
 from __future__ import annotations
@@ -56,15 +59,54 @@ def _request_frame(
 
 
 class ServeClient:
-    """A blocking JSON-lines client (one request in flight at a time)."""
+    """A blocking JSON-lines client (one request in flight at a time).
+
+    With ``retries=n`` a request that dies on a transport failure — the
+    connection refused, reset, or closed mid-cycle, as happens when a
+    fleet worker restarts — reconnects and resends up to *n* more times
+    before raising.  This is safe because every verb is idempotent:
+    decides are pure functions of problem + instance, the introspection
+    verbs only read, and ``shutdown`` converges.  Structured error
+    envelopes (:class:`~repro.exceptions.RemoteError`) are never retried —
+    the server answered; the answer was no.
+    """
 
     def __init__(
-        self, host: str, port: int, *, timeout: float | None = 30.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        retries: int = 0,
     ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = retries
         self._ids = itertools.count(1)
         self._closed = False
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def reconnect(self) -> None:
+        """Drop the current connection and dial the same endpoint again."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._connect()
 
     # -- the raw request/response cycle --------------------------------------
 
@@ -77,6 +119,19 @@ class ServeClient:
         instances=None,
     ) -> dict:
         """One request → the response's ``result`` payload (or a raise)."""
+        if self._closed:
+            raise ServeProtocolError("client is closed")
+        frame_args = (verb, problem, instance, instances)
+        for attempt in range(self._retries + 1):
+            try:
+                return self._cycle(*frame_args)
+            except (OSError, ServeProtocolError):
+                if attempt >= self._retries:
+                    raise
+                self.reconnect()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _cycle(self, verb, problem, instance, instances) -> dict:
         request_id = next(self._ids)
         self._file.write(
             _request_frame(request_id, verb, problem, instance, instances)

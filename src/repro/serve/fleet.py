@@ -1,0 +1,328 @@
+"""Process-per-shard serving: the :class:`ShardedEngine` surface over a
+fleet of worker processes.
+
+:class:`~repro.serve.shard.ShardedEngine` runs N sessions behind one
+thread pool in one interpreter — which leaves CPU-bound certainty checking
+(the trichotomy procedures are pure Python) GIL-bound.  The problem and
+instance documents already cross process boundaries losslessly, so the
+step to real parallelism is a *transport* change, not an engine change:
+:class:`FleetEngine` keeps the exact decide/stats surface and the exact
+consistent-hash routing (the same :class:`~repro.serve.shard.HashRing`,
+keyed on the canonical **class digest**, so a fleet agrees with an
+in-process engine on every placement), but each shard is a worker
+*process* owning a private plan cache — requests travel over the
+JSON-lines wire protocol to the worker's loopback socket.
+
+Invariants:
+
+* **routing** — ring on the class digest; renamed twins land on one
+  worker and share its one prepared plan; resizing to N±1 remaps ~1/N of
+  the class space (the rest keep their warm caches);
+* **failure** — a dead worker is respawned (request path and heartbeat);
+  a request that hit the dead socket is retried once against the respawned
+  worker, and if that also fails the caller gets a structured error
+  (:class:`~repro.exceptions.WorkerUnavailableError` → the ``unavailable``
+  envelope code through a front server) — never a hang, never a silent
+  drop.  Retrying is safe: decides are pure functions of problem +
+  instance;
+* **observability** — :meth:`FleetEngine.stats` rebuilds every worker's
+  :class:`~repro.engine.EngineStats` from its ``stats`` verb, so fleet
+  fronts aggregate and re-export Prometheus pages exactly like the
+  in-process path; :meth:`FleetEngine.merged_stats` folds them into one
+  fleet-wide view (:func:`~repro.engine.engine.merge_engine_stats`);
+* **drain** — :meth:`FleetEngine.close` drains workers through the
+  ``shutdown`` verb (in-flight micro-batches finish) before joining them.
+
+A worker does *not* re-run the micro-batcher on fleet traffic: the front
+groups, the worker executes ``decide_batch`` — one wire round-trip per
+micro-batch, one plan-cache lookup per batch on the worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..api.decision import BatchDecision, Decision
+from ..api.problem import Problem
+from ..core.classify import Classification, classify
+from ..db.instance import DatabaseInstance
+from ..engine.engine import EngineStats, merge_engine_stats
+from ..exceptions import WorkerUnavailableError
+from .client import ServeClient
+from .shard import HashRing, ShardStats
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the process fleet (the worker-side server knobs live on
+    the per-worker :class:`~repro.serve.server.ServerConfig`)."""
+
+    replicas: int = 64  # virtual ring points per worker
+    request_timeout: float = 120.0  # per wire call; bounds every hang
+    spawn_timeout: float = 60.0  # readiness-handshake deadline
+    heartbeat_seconds: float = 1.0  # liveness-check cadence (0: off)
+    respawn: bool = True  # replace dead workers
+    drain_timeout: float = 10.0  # graceful-stop deadline per worker
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+
+
+class _WorkerSession:
+    """One worker's :class:`~repro.api.Session`-shaped proxy.
+
+    What :meth:`FleetEngine.session` hands the micro-batcher: only the
+    executable slice of the session surface, forwarded over the wire.
+    (No ``engine`` attribute — the plan cache lives in the worker, so
+    local spelling attribution is skipped for fleet shards.)
+    """
+
+    __slots__ = ("_fleet", "_shard")
+
+    def __init__(self, fleet: "FleetEngine", shard: int):
+        self._fleet = fleet
+        self._shard = shard
+
+    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+        result = self._fleet._request(
+            self._shard, "decide", problem=problem, instance=db
+        )
+        return Decision.from_dict(result["decision"])
+
+    def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+        result = self._fleet._request(
+            self._shard, "decide_batch", problem=problem,
+            instances=list(dbs),
+        )
+        return BatchDecision.from_dict(result["batch"])
+
+
+class FleetEngine:
+    """*N* worker processes behind the :class:`ShardedEngine` surface.
+
+    Drop-in for the in-process engine everywhere the serving layer cares:
+    ``decide`` / ``decide_batch`` / ``classify`` / ``explain`` / ``stats``
+    / ``close`` / ``shard_for`` / ``session``, every problem-taking call
+    routed by the canonical class digest over the shared hash ring.
+    Thread-safe: per-worker connections are lock-protected, and the
+    asyncio front drives this from its thread pool exactly like a
+    :class:`ShardedEngine`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        worker_config=None,
+        *,
+        config: FleetConfig | None = None,
+    ):
+        from .server import ServerConfig
+        from .supervisor import FleetSupervisor
+
+        self.config = config or FleetConfig()
+        if worker_config is None:
+            worker_config = ServerConfig(host="127.0.0.1", port=0, shards=1)
+        if worker_config.port != 0:
+            raise ValueError(
+                "worker_config.port must be 0 (each worker binds its own "
+                "ephemeral loopback port)"
+            )
+        self._worker_config = worker_config
+        self._supervisor = FleetSupervisor(
+            worker_config,
+            n_workers,
+            spawn_timeout=self.config.spawn_timeout,
+            heartbeat_seconds=self.config.heartbeat_seconds,
+            respawn=self.config.respawn,
+            drain_timeout=self.config.drain_timeout,
+        )
+        self._ring = HashRing(n_workers, replicas=self.config.replicas)
+        self._clients: dict[int, tuple[int, ServeClient]] = {}
+        self._client_locks: dict[int, threading.Lock] = {}
+        self._state_lock = threading.Lock()
+        self._closed = False
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._supervisor.n_workers
+
+    @property
+    def supervisor(self):
+        return self._supervisor
+
+    def shard_for(self, problem: Problem) -> int:
+        """The worker owning *problem*'s canonical class (deterministic,
+        and identical to an in-process :class:`ShardedEngine` of the same
+        width)."""
+        return self._ring.shard_for(problem.fingerprint.digest)
+
+    def session(self, shard: int) -> _WorkerSession:
+        """The shard's session-shaped worker proxy."""
+        return _WorkerSession(self, shard)
+
+    # -- the wire call with respawn-aware retry ------------------------------
+
+    def _client_lock(self, shard: int) -> threading.Lock:
+        with self._state_lock:
+            lock = self._client_locks.get(shard)
+            if lock is None:
+                lock = self._client_locks[shard] = threading.Lock()
+            return lock
+
+    def _connected_client(self, shard: int) -> tuple[int, ServeClient]:
+        """A client bound to the shard's *current* worker generation
+        (caller must hold the shard's client lock)."""
+        handle = self._supervisor.ensure_alive(shard)
+        entry = self._clients.get(shard)
+        if entry is not None and entry[0] == handle.generation:
+            return entry
+        self._drop_client(shard)
+        client = ServeClient(
+            handle.host, handle.port, timeout=self.config.request_timeout
+        )
+        self._clients[shard] = (handle.generation, client)
+        return self._clients[shard]
+
+    def _drop_client(self, shard: int) -> None:
+        """Discard the shard's cached connection (caller must hold the
+        shard's client lock).  A transport failure must always drop the
+        connection, even when the worker itself stayed alive — e.g. it
+        answered a connection-scoped error and hung up, or the socket
+        timed out and is no longer line-synchronized — otherwise the
+        broken client would be reused forever."""
+        entry = self._clients.pop(shard, None)
+        if entry is not None:
+            try:
+                entry[1].close()
+            except OSError:
+                pass
+
+    def _request(self, shard: int, verb: str, **payload) -> dict:
+        """One wire request to *shard*, retrying once across a respawn.
+
+        Transport failures (refused, reset, EOF — the signature of a
+        crashed or restarting worker) trigger a respawn-and-retry;
+        structured :class:`~repro.exceptions.RemoteError` envelopes
+        propagate untouched (the worker answered).  The second transport
+        failure raises :class:`WorkerUnavailableError`.
+        """
+        if self._closed:
+            raise WorkerUnavailableError("the fleet engine is closed")
+        with self._client_lock(shard):
+            generation, client = self._connected_client(shard)
+            try:
+                return client.request(verb, **payload)
+            except Exception as first:
+                if not _is_transport(first):
+                    raise  # RemoteError and friends: the worker answered
+                self._drop_client(shard)
+            # restart is a generation CAS: it respawns only if the worker
+            # really died; if it merely hung up on us, the fresh
+            # connection below is the whole repair
+            self._supervisor.restart(shard, generation)
+            _, client = self._connected_client(shard)
+            try:
+                return client.request(verb, **payload)
+            except Exception as second:
+                if not _is_transport(second):
+                    raise
+                self._drop_client(shard)
+                raise WorkerUnavailableError(
+                    f"worker {shard} failed twice across a respawn: "
+                    f"{second}"
+                ) from second
+
+    # -- the session surface, routed -----------------------------------------
+
+    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+        return self.session(self.shard_for(problem)).decide(problem, db)
+
+    def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+        return self.session(self.shard_for(problem)).decide_batch(
+            problem, dbs
+        )
+
+    def classify(self, problem: Problem) -> Classification:
+        """Theorem 12 classification — computed locally (it is pure and
+        solver-free), exactly as :meth:`repro.api.Session.classify` does."""
+        return classify(problem.query, problem.fks)
+
+    def explain(self, problem: Problem) -> str:
+        """The owning worker's plan summary (compiles on the worker)."""
+        shard = self.shard_for(problem)
+        return self._request(shard, "explain", problem=problem)["plan"]
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> tuple[ShardStats, ...]:
+        """Every worker's engine stats, rebuilt from its ``stats`` verb."""
+        entries = []
+        for shard in range(self.n_shards):
+            payload = self._request(shard, "stats")
+            worker_shards = payload.get("shards") or []
+            merged = merge_engine_stats(
+                EngineStats.from_dict(entry) for entry in worker_shards
+            )
+            entries.append(ShardStats(shard=shard, stats=merged))
+        return tuple(entries)
+
+    def merged_stats(self) -> EngineStats:
+        """One fleet-wide :class:`EngineStats` over every worker."""
+        return merge_engine_stats(entry.stats for entry in self.stats())
+
+    # -- resizing ------------------------------------------------------------
+
+    def resize(self, n_workers: int) -> "FleetEngine":
+        """Grow or shrink the fleet; ~1/N of class digests remap."""
+        self._supervisor.resize(n_workers)
+        with self._state_lock:
+            self._ring = HashRing(n_workers, replicas=self.config.replicas)
+            for shard in list(self._clients):
+                if shard >= n_workers:
+                    _, client = self._clients.pop(shard)
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+        return self
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain every worker and release the connections (idempotent)."""
+        self._closed = True
+        with self._state_lock:
+            clients = [client for _, client in self._clients.values()]
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+        self._supervisor.stop()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "FleetEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"FleetEngine({state}, workers={self.n_shards})"
+
+
+def _is_transport(error: Exception) -> bool:
+    """Whether *error* is a transport failure worth a respawn-and-retry
+    (as opposed to an application error that would just recur)."""
+    from ..exceptions import ServeProtocolError
+
+    return isinstance(error, (OSError, ServeProtocolError, EOFError))

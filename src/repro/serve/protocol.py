@@ -44,6 +44,13 @@ structured error envelope ``{"id": ..., "ok": false, "error": {"code":
 ..., "message": ...}}``.  Error codes are stable strings (see
 :data:`ERROR_CODES`); clients surface them as
 :class:`~repro.exceptions.RemoteError`.
+
+Versioning: within one :data:`VERSION`, changes are additive only (new
+verbs, new optional fields, new error codes); anything that would break an
+existing client bumps :data:`VERSION`.  ``ping`` reports both
+:data:`PROTOCOL` and :data:`VERSION` so clients can check before relying
+on newer verbs.  The full wire specification lives in
+``docs/protocol.md``.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from ..exceptions import (
     RemoteError,
     ReproError,
     ServeProtocolError,
+    WorkerUnavailableError,
 )
 
 PROTOCOL = "repro/serve"
@@ -74,6 +82,8 @@ ERROR_CODES = {
     "bad-instance": "an 'instance'/'instances' payload could not be decoded",
     "unsupported": "unknown verb or protocol version",
     "domain": "the engine rejected or failed the decoded problem",
+    "unavailable": "a fleet worker is down and could not be respawned; "
+                   "the request was not executed (safe to retry)",
     "internal": "unexpected server-side failure",
 }
 
@@ -184,6 +194,8 @@ def error_code_for(error: Exception) -> str:
         return "bad-problem"
     if isinstance(error, InstanceFormatError):
         return "bad-instance"
+    if isinstance(error, WorkerUnavailableError):
+        return "unavailable"
     if isinstance(error, ReproError):
         return "domain"
     return "internal"

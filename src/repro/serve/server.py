@@ -1,13 +1,22 @@
 """The asyncio certainty server: queueing, micro-batching, sharded execution.
 
 The event loop owns only coordination: it reads JSON-line frames, decodes
-payloads, groups concurrent ``decide`` requests **by problem fingerprint**
-into micro-batches, and hands each batch to the owning shard's
-:meth:`~repro.api.Session.decide_batch` on a thread pool (the engine's
-decision procedures are plain Python, so the loop must never run them
-inline).  Responses are written back per connection as they complete —
-clients pipeline, the batcher reorders, the echoed request id restores the
-correspondence.
+payloads, groups concurrent ``decide`` requests **by canonical class
+fingerprint** into micro-batches (renaming-isomorphic spellings share a
+group), and hands each batch to the owning shard's ``decide_batch`` on a
+thread pool (the engine's decision procedures are plain Python, so the
+loop must never run them inline).  The shard is an in-process
+:class:`~repro.serve.shard.ShardedEngine` session by default, or a worker
+process of a :class:`~repro.serve.fleet.FleetEngine` with
+``processes > 0`` — the batcher cannot tell the difference.  Responses
+are written back per connection as they complete — clients pipeline, the
+batcher reorders, the echoed request id restores the correspondence.
+
+Drain semantics (the shutdown invariant): stop accepting, flush every
+open micro-batch and wait for in-flight engine batches, EOF idle
+connections, join the connection handlers, then close the engine (which,
+for a fleet, drains the worker processes the same way).  A ``shutdown``
+verb is answered *before* the drain begins.
 
 Micro-batching policy: the first ``decide`` of a fingerprint opens a group
 and arms a linger timer (``linger_ms``); every further request for the
@@ -60,11 +69,19 @@ from .shard import ShardedEngine
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Knobs of the serving layer."""
+    """Knobs of the serving layer.
+
+    ``processes=0`` (the default) serves through in-process thread shards
+    (:class:`~repro.serve.shard.ShardedEngine`); ``processes=N`` serves
+    through *N* worker processes (:class:`~repro.serve.fleet.FleetEngine`
+    — one single-shard engine per process), which ``shards`` then does not
+    apply to.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0  # 0: let the OS pick (the bound port is reported)
     shards: int = 4
+    processes: int = 0  # 0: thread shards; N: process-per-shard fleet
     fo_backend: str = "memory"  # or "sql"
     plan_cache_size: int = 128  # per shard
     max_batch: int = 32  # flush a micro-batch at this size
@@ -75,6 +92,10 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.processes < 0:
+            raise ValueError(
+                f"processes must be non-negative, got {self.processes}"
+            )
         if self.max_batch < 1:
             raise ValueError(
                 f"max_batch must be positive, got {self.max_batch}"
@@ -93,6 +114,35 @@ class ServerConfig:
         return SessionConfig(
             plan_cache_size=self.plan_cache_size,
             fo_backend=self.fo_backend,
+        )
+
+    @property
+    def engine_width(self) -> int:
+        """How many shards the front routes over (workers or sessions)."""
+        return self.processes if self.processes > 0 else self.shards
+
+    def worker_config(self) -> "ServerConfig":
+        """The per-worker server config of a process fleet: one shard,
+        a private ephemeral loopback socket, no nested fleet, and no
+        linger (the front already grouped; a worker must answer the
+        batches it is handed immediately).
+
+        The worker's frame cap is the front's times ``max_batch``: the
+        micro-batcher may fold that many client frames — each within the
+        front's cap — into one ``decide_batch`` frame on the private
+        worker socket, and the aggregate must never bounce off the
+        worker's own reader.
+        """
+        return ServerConfig(
+            host="127.0.0.1",
+            port=0,
+            shards=1,
+            processes=0,
+            fo_backend=self.fo_backend,
+            plan_cache_size=self.plan_cache_size,
+            max_batch=self.max_batch,
+            linger_ms=0.0,
+            max_frame_bytes=self.max_frame_bytes * self.max_batch,
         )
 
 
@@ -246,7 +296,10 @@ class MicroBatcher:
             return
         # the session saw only the canonical problem; attribute the
         # requesting spellings to the plan for the per-class sharing stats
-        plan = session.engine.cached_plan(digest)
+        # (fleet shards have no local engine: their plan caches live in
+        # the worker process, which only ever sees the canonical spelling)
+        engine = getattr(session, "engine", None)
+        plan = engine.cached_plan(digest) if engine is not None else None
         if plan is not None:
             for raw in set(raws):
                 plan.note_spelling(raw)
@@ -280,16 +333,32 @@ class MicroBatcher:
 
 
 class CertaintyServer:
-    """The asyncio JSON-lines server over a :class:`ShardedEngine`."""
+    """The asyncio JSON-lines server over a sharded engine.
+
+    The engine is a :class:`ShardedEngine` (in-process thread shards) or,
+    with ``config.processes > 0``, a
+    :class:`~repro.serve.fleet.FleetEngine` (process-per-shard workers) —
+    the two expose the same decide/stats surface, so everything above the
+    engine (batching, verbs, observability, drain) is identical.
+    """
 
     def __init__(self, config: ServerConfig | None = None):
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
-        self._sharded = ShardedEngine(
-            self.config.shards, self.config.session_config()
-        )
+        if self.config.processes > 0:
+            # imported here: fleet -> supervisor -> server is the worker's
+            # import path, so the module level must stay acyclic
+            from .fleet import FleetEngine
+
+            self._sharded = FleetEngine(
+                self.config.processes, self.config.worker_config()
+            )
+        else:
+            self._sharded = ShardedEngine(
+                self.config.shards, self.config.session_config()
+            )
         self._pool = ThreadPoolExecutor(
-            max_workers=self.config.max_workers or self.config.shards,
+            max_workers=self.config.max_workers or self.config.engine_width,
             thread_name_prefix="repro-serve",
         )
         self._batcher = MicroBatcher(
@@ -523,6 +592,7 @@ class CertaintyServer:
             "server": {
                 **self.metrics.to_dict(),
                 "shards": self._sharded.n_shards,
+                "processes": self.config.processes,
                 "max_batch": self.config.max_batch,
                 "linger_ms": self.config.linger_ms,
                 "fo_backend": self.config.fo_backend,
@@ -595,9 +665,13 @@ def run_server(config: ServerConfig | None = None) -> None:
 
     def announce(server: CertaintyServer) -> None:
         host, port = server.address
+        if server.config.processes > 0:
+            width = f"{server.config.processes} worker processes"
+        else:
+            width = f"{server.config.shards} shards"
         print(
             f"repro serve: listening on {host}:{port} "
-            f"({server.config.shards} shards, fo_backend="
+            f"({width}, fo_backend="
             f"{server.config.fo_backend}, max_batch="
             f"{server.config.max_batch}, linger={server.config.linger_ms}ms)",
             flush=True,

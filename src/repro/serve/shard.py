@@ -17,7 +17,10 @@ removing a shard remaps only ~``1/N`` of the fingerprint space — the
 property that lets a serving fleet resize without flushing every cache.
 All routing is deterministic across processes: two ``ShardedEngine``\\ s
 with the same shard count agree on every placement, which is what makes
-the fingerprint a *distribution* key and not just a cache key.
+the fingerprint a *distribution* key and not just a cache key — and what
+lets :class:`repro.serve.fleet.FleetEngine` reuse this exact ring to
+route over worker *processes* while agreeing with the in-process engine
+on every placement.
 """
 
 from __future__ import annotations

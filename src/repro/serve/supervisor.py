@@ -1,0 +1,401 @@
+"""Worker-process lifecycle for the multi-process serving fleet.
+
+One :class:`FleetSupervisor` owns *N* worker processes.  Each worker runs
+its own :class:`~repro.serve.server.CertaintyServer` — a full asyncio
+server with a private single-shard engine — bound to a loopback socket
+whose port the OS picks.  The supervisor's job is purely lifecycle:
+
+* **spawn** — workers start via the ``spawn`` multiprocessing context (a
+  fresh interpreter; never ``fork``, the parent runs event loops and
+  thread pools) and complete a **readiness handshake**: the worker binds
+  its socket first and only then reports ``(host, port)`` back through a
+  pipe, so the supervisor never hands out an address that is not yet
+  accepting connections;
+* **heartbeat/respawn** — a daemon thread checks liveness every
+  ``heartbeat_seconds`` and respawns dead workers; callers can also force
+  the check on the request path (:meth:`FleetSupervisor.ensure_alive`)
+  so a crashed worker is replaced at the next request, not the next tick;
+* **graceful drain** — :meth:`stop` asks each worker to drain via the
+  wire ``shutdown`` verb (in-flight micro-batches finish), then joins,
+  escalating to ``terminate``/``kill`` only on timeout;
+* **resize** — :meth:`resize` spawns or drains workers at the tail; the
+  routing ring is the caller's (``~1/N`` of class digests remap, the rest
+  keep their warm plan caches).
+
+Every handle carries a monotonically increasing **generation** so racing
+request threads cannot double-respawn one crashed worker: a respawn is a
+compare-and-swap on the generation the caller observed.
+
+Workers are daemon processes: if the supervising process dies without a
+drain, the operating system reaps the fleet rather than leaking it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..exceptions import WorkerUnavailableError
+
+# Late imports of .server inside functions below keep the import graph
+# acyclic (server -> fleet -> supervisor) and are re-resolved inside the
+# spawned child anyway.
+
+
+@dataclass(frozen=True)
+class WorkerHandle:
+    """One live worker: its process, bound address, and generation."""
+
+    shard: int
+    generation: int
+    process: multiprocessing.process.BaseProcess
+    host: str
+    port: int
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+def worker_main(conn, config) -> None:
+    """The worker process body: serve one private ``CertaintyServer``.
+
+    *conn* is the supervisor's pipe; the worker sends ``("ready", host,
+    port)`` exactly once, after the socket is bound.  Runs until a
+    ``shutdown`` verb arrives (the drain path) or the process is killed
+    (the crash path the supervisor recovers from).
+    """
+    import asyncio
+
+    from .server import CertaintyServer
+
+    async def run() -> None:
+        server = CertaintyServer(config)
+        await server.start()
+        host, port = server.address
+        conn.send(("ready", host, port))
+        conn.close()
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+#: Serializes the PYTHONPATH set/spawn/restore window across every
+#: supervisor in this process (os.environ is shared state).
+_SPAWN_ENV_LOCK = threading.Lock()
+
+
+def _repro_source_root() -> str | None:
+    """The directory that must be importable for ``import repro`` to work
+    in a spawned child (e.g. ``src/`` in a PYTHONPATH checkout)."""
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.dirname(package_dir)
+    return root if os.path.isdir(root) else None
+
+
+class FleetSupervisor:
+    """Spawn, watch, respawn, resize, and drain the worker processes."""
+
+    def __init__(
+        self,
+        worker_config,
+        n_workers: int,
+        *,
+        spawn_timeout: float = 60.0,
+        heartbeat_seconds: float = 1.0,
+        respawn: bool = True,
+        drain_timeout: float = 10.0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        if spawn_timeout <= 0:
+            raise ValueError("spawn_timeout must be positive")
+        self._worker_config = worker_config
+        self._spawn_timeout = spawn_timeout
+        self._heartbeat_seconds = heartbeat_seconds
+        self._respawn = respawn
+        self._drain_timeout = drain_timeout
+        self._context = multiprocessing.get_context("spawn")
+        self._lock = threading.RLock()  # guards handles/generation only
+        self._spawn_locks: dict[int, threading.Lock] = {}  # per shard
+        self._resize_lock = threading.Lock()
+        self._handles: list[WorkerHandle] = []
+        self._generation = 0
+        self._stopped = False
+        self._heartbeat: threading.Thread | None = None
+        try:
+            for shard in range(n_workers):
+                self._handles.append(self._spawn(shard))
+        except Exception:
+            self._kill_all()
+            raise
+        if respawn and heartbeat_seconds > 0:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-fleet-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat.start()
+
+    # -- spawning ------------------------------------------------------------
+
+    def _spawn(self, shard: int) -> WorkerHandle:
+        """Start one worker and wait for its readiness handshake.
+
+        Slow (a fresh interpreter boots); callers must NOT hold the
+        global handle lock — only the shard's spawn lock — so one
+        respawn never stalls requests to healthy shards.
+        """
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        with self._lock:
+            self._generation += 1
+            generation = self._generation
+        process = self._context.Process(
+            target=worker_main,
+            args=(child_conn, self._worker_config),
+            name=f"repro-fleet-worker-{shard}",
+            daemon=True,
+        )
+        # The spawn context starts a fresh interpreter, which must be able
+        # to `import repro` on its own: surface a src/-checkout import root
+        # through PYTHONPATH for the child (a no-op for installed packages).
+        with self._child_pythonpath():
+            process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(self._spawn_timeout):
+                raise WorkerUnavailableError(
+                    f"worker {shard} did not report ready within "
+                    f"{self._spawn_timeout}s"
+                )
+            message = parent_conn.recv()
+        except (EOFError, OSError) as error:
+            process.kill()
+            process.join(timeout=5)
+            raise WorkerUnavailableError(
+                f"worker {shard} died during startup: {error}"
+            ) from error
+        except WorkerUnavailableError:
+            process.kill()
+            process.join(timeout=5)
+            raise
+        finally:
+            parent_conn.close()
+        tag, host, port = message
+        assert tag == "ready", f"unexpected handshake message {message!r}"
+        return WorkerHandle(
+            shard=shard,
+            generation=generation,
+            process=process,
+            host=host,
+            port=port,
+        )
+
+    @staticmethod
+    @contextmanager
+    def _child_pythonpath():
+        """Export this checkout's import root into ``PYTHONPATH`` around
+        ``process.start()`` (restored afterwards), so a spawned child can
+        ``import repro`` even in an uninstalled ``PYTHONPATH=src`` run.
+
+        ``os.environ`` is process-global, so the set/spawn/restore window
+        is serialized through one module-level lock shared by every
+        supervisor in this process — two concurrent respawns must not
+        interleave their restores and leave the variable altered.
+        """
+        with _SPAWN_ENV_LOCK:
+            root = _repro_source_root()
+            previous = os.environ.get("PYTHONPATH")
+            entries = previous.split(os.pathsep) if previous else []
+            if root is None or root in entries:
+                yield
+                return
+            os.environ["PYTHONPATH"] = (
+                root if previous is None else root + os.pathsep + previous
+            )
+            try:
+                yield
+            finally:
+                if previous is None:
+                    os.environ.pop("PYTHONPATH", None)
+                else:
+                    os.environ["PYTHONPATH"] = previous
+
+    # -- liveness ------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        with self._lock:
+            return len(self._handles)
+
+    def handle(self, shard: int) -> WorkerHandle:
+        with self._lock:
+            return self._handles[shard]
+
+    def handles(self) -> tuple[WorkerHandle, ...]:
+        with self._lock:
+            return tuple(self._handles)
+
+    def ensure_alive(self, shard: int) -> WorkerHandle:
+        """The shard's handle, respawning first if the worker is dead.
+
+        Raises :class:`~repro.exceptions.WorkerUnavailableError` when the
+        worker is dead and respawning is disabled or fails — the caller
+        turns that into an error envelope instead of hanging.
+        """
+        with self._lock:
+            self._check_running()
+            handle = self._handles[shard]
+        if handle.alive:
+            return handle
+        return self.restart(shard, handle.generation)
+
+    def restart(self, shard: int, observed_generation: int) -> WorkerHandle:
+        """Respawn *shard* unless someone already did (generation CAS).
+
+        The slow spawn runs under the shard's own lock only, so a
+        respawn never blocks requests to healthy shards; the global lock
+        is taken just long enough to read and swap the handle.
+        """
+        with self._spawn_lock(shard):
+            with self._lock:
+                self._check_running()
+                if shard >= len(self._handles):  # shrunk away meanwhile
+                    raise WorkerUnavailableError(
+                        f"worker {shard} no longer exists"
+                    )
+                handle = self._handles[shard]
+                if handle.generation != observed_generation or handle.alive:
+                    return handle  # raced: already replaced, or came back
+                if not self._respawn:
+                    raise WorkerUnavailableError(
+                        f"worker {shard} is down and respawning is disabled"
+                    )
+            handle.process.join(timeout=0.1)
+            replacement = self._spawn(shard)
+            with self._lock:
+                if self._stopped or shard >= len(self._handles):
+                    # stop()/shrink raced the spawn: don't leak the worker
+                    doomed = replacement
+                else:
+                    self._handles[shard] = replacement
+                    doomed = None
+            if doomed is not None:
+                self._drain(doomed)
+                raise WorkerUnavailableError(
+                    f"worker {shard} was removed while respawning"
+                )
+            return replacement
+
+    def _spawn_lock(self, shard: int) -> threading.Lock:
+        with self._lock:
+            lock = self._spawn_locks.get(shard)
+            if lock is None:
+                lock = self._spawn_locks[shard] = threading.Lock()
+            return lock
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stopped:
+            time.sleep(self._heartbeat_seconds)
+            if self._stopped:
+                return
+            for handle in self.handles():
+                if not handle.alive:
+                    try:
+                        self.restart(handle.shard, handle.generation)
+                    except WorkerUnavailableError:
+                        pass  # the request path will report it
+
+    # -- resizing ------------------------------------------------------------
+
+    def resize(self, n_workers: int) -> tuple[WorkerHandle, ...]:
+        """Grow or shrink the fleet to *n_workers* (drains the surplus).
+
+        Serialized against concurrent resizes; growth spawns outside the
+        global handle lock so in-flight requests keep flowing.
+        """
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        with self._resize_lock:
+            while True:
+                with self._lock:
+                    self._check_running()
+                    current = len(self._handles)
+                if current >= n_workers:
+                    break
+                handle = self._spawn(current)
+                with self._lock:
+                    self._handles.append(handle)
+            with self._lock:
+                surplus = self._handles[n_workers:]
+                del self._handles[n_workers:]
+        for handle in surplus:
+            self._drain(handle)
+        return self.handles()
+
+    # -- shutdown ------------------------------------------------------------
+
+    def _drain(self, handle: WorkerHandle) -> None:
+        """Gracefully stop one worker: shutdown verb, join, escalate."""
+        if handle.alive:
+            try:
+                from .client import ServeClient
+
+                with ServeClient(
+                    handle.host, handle.port, timeout=self._drain_timeout
+                ) as client:
+                    client.shutdown()
+            except Exception:
+                pass  # dead or wedged: the join/terminate path handles it
+        handle.process.join(timeout=self._drain_timeout)
+        if handle.alive:
+            handle.process.terminate()
+            handle.process.join(timeout=2)
+        if handle.alive:  # pragma: no cover - last resort
+            handle.process.kill()
+            handle.process.join(timeout=2)
+
+    def _kill_all(self) -> None:
+        for handle in self._handles:
+            if handle.alive:
+                handle.process.kill()
+                handle.process.join(timeout=2)
+        self._handles.clear()
+
+    def stop(self) -> None:
+        """Drain every worker and stop the heartbeat (idempotent)."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            handles = list(self._handles)
+            self._handles.clear()
+        for handle in handles:
+            self._drain(handle)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _check_running(self) -> None:
+        if self._stopped:
+            raise WorkerUnavailableError("the fleet supervisor is stopped")
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else "running"
+        return f"FleetSupervisor({state}, workers={self.n_workers})"

@@ -1,0 +1,353 @@
+"""Tests for the multi-process serving fleet (`repro.serve.fleet`).
+
+Covers the deployment-grade failure modes the in-process tests cannot:
+worker crash → respawn + client-visible retry (never a hang), respawn
+disabled → structured `unavailable` error, resize → ~1/N class-digest
+remap asserted against the hash ring, and fleet-wide stats equalling the
+merge of per-worker stats on a deterministic workload — plus the stats
+merge/round-trip machinery itself and the front server running over a
+process fleet end to end.
+"""
+
+import pytest
+
+from repro.api import Problem, connect
+from repro.engine import EngineStats, merge_engine_stats, merge_snapshots
+from repro.engine.metrics import MetricsSnapshot
+from repro.exceptions import RemoteError, WorkerUnavailableError
+from repro.serve import (
+    BackgroundServer,
+    FleetConfig,
+    FleetEngine,
+    HashRing,
+    ServeClient,
+    ServerConfig,
+    ShardedEngine,
+    error_response,
+)
+from repro.serve.protocol import ERROR_CODES, error_code_for
+from repro.workloads import fig1_instance, intro_query_q0
+
+
+def _fig1_problem() -> Problem:
+    query, fks = intro_query_q0()
+    return Problem(query, fks, name="fig1")
+
+
+def _class_problem(i: int) -> Problem:
+    """Problems in pairwise-distinct canonical classes (constants are not
+    renamed away, so each constant makes its own class)."""
+    return Problem.of("R(x | y)", f"S(y | 'c{i}')", fks=["R[2]->S"])
+
+
+def _class_instance(i: int):
+    """A small instance matching :func:`_class_problem`'s schema."""
+    from repro.core.schema import Schema
+    from repro.db.instance import DatabaseInstance
+
+    schema = Schema.of(R=(2, 1), S=(2, 1))
+    return DatabaseInstance.build(
+        schema, {"R": [("a", "b")], "S": [("b", f"c{i}")]}
+    )
+
+
+def _distinct_digests(count: int) -> list[str]:
+    digests = [_class_problem(i).fingerprint.digest for i in range(count)]
+    assert len(set(digests)) == count, "classes must be distinct"
+    return digests
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One two-worker fleet shared by the read-only tests (spawning costs
+    a fresh interpreter per worker; the destructive tests build their
+    own)."""
+    with FleetEngine(2) as engine:
+        yield engine
+
+
+class TestFleetEndToEnd:
+    def test_decide_matches_local_session(self, fleet):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with connect() as session:
+            local = session.decide(problem, db)
+        remote = fleet.decide(problem, db)
+        assert remote.certain == local.certain
+        assert remote.backend == local.backend
+        assert remote.verdict == local.verdict
+        assert remote.fingerprint == problem.fingerprint.digest
+
+    def test_second_decide_hits_the_worker_plan_cache(self, fleet):
+        problem = _class_problem(100)
+        db = _class_instance(100)
+        first = fleet.decide(problem, db)
+        second = fleet.decide(problem, db)
+        assert not first.cache_hit and second.cache_hit
+
+    def test_decide_batch(self, fleet):
+        problem = _fig1_problem()
+        batch = fleet.decide_batch(
+            problem, [fig1_instance(), fig1_instance()]
+        )
+        assert len(batch.answers) == 2
+        assert batch.answers[0] == batch.answers[1]
+        assert batch.fingerprint == problem.fingerprint.digest
+
+    def test_classify_and_explain(self, fleet):
+        problem = _fig1_problem()
+        assert fleet.classify(problem).in_fo is True
+        assert problem.fingerprint.digest in fleet.explain(problem)
+
+    def test_placement_agrees_with_in_process_sharding(self, fleet):
+        with ShardedEngine(2) as sharded:
+            for i in range(20):
+                problem = _class_problem(i)
+                assert fleet.shard_for(problem) == sharded.shard_for(
+                    problem
+                ), "fleet and in-process ring must agree on placement"
+
+    def test_rejects_nonzero_worker_port(self):
+        with pytest.raises(ValueError, match="port"):
+            FleetEngine(1, ServerConfig(port=7777, shards=1))
+
+
+class TestCrashRecovery:
+    def test_crash_triggers_respawn_and_retry(self):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with connect() as session:
+            expected = session.decide(problem, db).certain
+        with FleetEngine(2) as engine:
+            assert engine.decide(problem, db).certain == expected
+            shard = engine.shard_for(problem)
+            doomed = engine.supervisor.handle(shard)
+            doomed.process.kill()
+            doomed.process.join(timeout=10)
+            # the next request must be answered, not hang: the request
+            # path respawns the worker and retries once
+            assert engine.decide(problem, db).certain == expected
+            replacement = engine.supervisor.handle(shard)
+            assert replacement.generation > doomed.generation
+            assert replacement.process.pid != doomed.process.pid
+
+    def test_broken_connection_to_live_worker_self_heals(self):
+        # regression: a transport failure whose worker stayed alive (the
+        # worker hung up on this connection, or the socket desynced) must
+        # drop the cached client and redial — not brick the shard by
+        # reusing the dead connection forever
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with FleetEngine(1) as engine:
+            first = engine.decide(problem, db)
+            generation = engine.supervisor.handle(0).generation
+            engine._clients[0][1]._sock.close()  # sever, worker untouched
+            healed = engine.decide(problem, db)
+            assert healed.certain == first.certain
+            # same worker answered: no respawn was needed for a mere
+            # connection loss
+            assert engine.supervisor.handle(0).generation == generation
+
+    def test_crash_without_respawn_is_a_structured_error(self):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with FleetEngine(
+            1, config=FleetConfig(respawn=False, request_timeout=10)
+        ) as engine:
+            engine.decide(problem, db)
+            handle = engine.supervisor.handle(0)
+            handle.process.kill()
+            handle.process.join(timeout=10)
+            with pytest.raises(WorkerUnavailableError):
+                engine.decide(problem, db)
+
+    def test_unavailable_maps_to_its_envelope_code(self):
+        assert error_code_for(WorkerUnavailableError("down")) == "unavailable"
+        assert "unavailable" in ERROR_CODES
+        envelope = error_response(7, "unavailable", "worker 0 is down")
+        assert envelope["error"]["code"] == "unavailable"
+
+
+class TestResize:
+    def test_resize_remaps_a_minority_against_the_ring(self):
+        digests = _distinct_digests(60)
+        with FleetEngine(2) as engine:
+            before = {d: engine._ring.shard_for(d) for d in digests}
+            engine.resize(3)
+            after_ring = HashRing(3)
+            moved = 0
+            for digest in digests:
+                placed = engine._ring.shard_for(digest)
+                # the resized fleet must agree with a fresh ring of the
+                # same width (deterministic placement fleet-wide)
+                assert placed == after_ring.shard_for(digest)
+                if placed != before[digest]:
+                    moved += 1
+            # consistent hashing: a grow to 3 moves ~1/3, never a majority
+            assert 0 < moved < len(digests) / 2
+            assert engine.n_shards == 3
+            # the new worker actually serves: decide something owned by it
+            for i in range(60):
+                problem = _class_problem(i)
+                if engine.shard_for(problem) == 2:
+                    decision = engine.decide(problem, _class_instance(i))
+                    assert decision.fingerprint == \
+                        problem.fingerprint.digest
+                    break
+            else:  # pragma: no cover - 60 classes always cover 3 shards
+                pytest.fail("no class landed on the new worker")
+
+    def test_shrink_drains_the_surplus_worker(self):
+        with FleetEngine(2) as engine:
+            surplus = engine.supervisor.handle(1)
+            engine.resize(1)
+            surplus.process.join(timeout=10)
+            assert not surplus.process.is_alive()
+            assert engine.n_shards == 1
+            assert engine.decide(
+                _fig1_problem(), fig1_instance()
+            ).fingerprint == _fig1_problem().fingerprint.digest
+
+
+class TestFleetStats:
+    def test_fleet_stats_equal_the_merge_of_worker_stats(self):
+        problems = [_class_problem(i) for i in range(6)]
+        with FleetEngine(2) as engine:
+            for i, problem in enumerate(problems):
+                engine.decide(problem, _class_instance(i))
+                engine.decide(problem, _class_instance(i))
+            per_worker = engine.stats()
+            merged = engine.merged_stats()
+        assert len(per_worker) == 2
+        recombined = merge_engine_stats(
+            entry.stats for entry in per_worker
+        )
+        assert recombined == merged
+        # the deterministic workload: 6 distinct classes, each decided
+        # twice -> 6 misses, 6 hits, 12 evaluations fleet-wide
+        assert merged.cache.misses == 6
+        assert merged.cache.hits == 6
+        assert merged.cache.size == 6
+        assert sum(p.metrics.evaluations for p in merged.plans) == 12
+        # every class appears exactly once in the merged plan list
+        digests = [p.fingerprint for p in merged.plans]
+        assert sorted(digests) == sorted(
+            p.fingerprint.digest for p in problems
+        )
+        # and the per-worker split covers the whole workload
+        assert sum(e.stats.cache.misses for e in per_worker) == 6
+
+    def test_engine_stats_round_trip_through_dict(self):
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+            session.decide(problem, fig1_instance())
+            stats = session.stats()
+        assert EngineStats.from_dict(stats.to_dict()) == stats
+
+    def test_merge_snapshots_widens_extrema_and_sums(self):
+        a = MetricsSnapshot(
+            evaluations=2, batches=1, total_seconds=0.5,
+            min_seconds=0.1, max_seconds=0.4,
+            histogram=(1, 1, 0, 0, 0, 0, 0),
+        )
+        b = MetricsSnapshot(
+            evaluations=3, batches=0, total_seconds=0.2,
+            min_seconds=0.01, max_seconds=0.09,
+            histogram=(0, 2, 1, 0, 0, 0, 0),
+        )
+        merged = merge_snapshots([a, b])
+        assert merged.evaluations == 5
+        assert merged.batches == 1
+        assert merged.total_seconds == pytest.approx(0.7)
+        assert merged.min_seconds == 0.01
+        assert merged.max_seconds == 0.4
+        assert merged.histogram == (1, 3, 1, 0, 0, 0, 0)
+
+    def test_merge_engine_stats_folds_shared_classes(self):
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+            stats = session.stats()
+        doubled = merge_engine_stats([stats, stats])
+        assert doubled.cache.capacity == 2 * stats.cache.capacity
+        assert len(doubled.plans) == len(stats.plans)  # same class folds
+        assert doubled.plans[0].metrics.evaluations == \
+            2 * stats.plans[0].metrics.evaluations
+
+
+class TestFrontServerOverProcesses:
+    def test_loopback_decide_metrics_and_crash_recovery(self):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        with connect() as session:
+            expected = session.decide(problem, db).certain
+        with BackgroundServer(ServerConfig(processes=2)) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                decision = client.decide(problem, db)
+                assert decision.certain == expected
+                stats = client.stats()
+                assert stats["server"]["processes"] == 2
+                assert stats["server"]["shards"] == 2
+                assert len(stats["shards"]) == 2
+                exposition = client.metrics()
+                assert "repro_server_requests_total" in exposition
+                assert 'shard="0"' in exposition and 'shard="1"' in exposition
+                # kill the owning worker behind the front: the very next
+                # request must still be answered (respawn + retry), which
+                # is the fleet's crash contract seen from a client
+                fleet = background.server.sharded_engine
+                shard = fleet.shard_for(problem)
+                handle = fleet.supervisor.handle(shard)
+                handle.process.kill()
+                handle.process.join(timeout=10)
+                survivor = client.decide(problem, db)
+                assert survivor.certain == expected
+                client.shutdown()
+            background._thread.join(timeout=30)
+            assert not background._thread.is_alive()
+
+    def test_worker_remote_errors_pass_through_unchanged(self):
+        # a malformed problem must come back as its own envelope code,
+        # not get wrapped into a transport retry
+        with BackgroundServer(ServerConfig(processes=1)) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.request("conjure")
+                assert excinfo.value.code == "unsupported"
+
+
+class TestClientRetries:
+    def test_retrying_client_survives_a_server_restart(self):
+        problem = _fig1_problem()
+        db = fig1_instance()
+        config = ServerConfig(shards=1)
+        with BackgroundServer(config) as first:
+            host, port = first.address
+            client = ServeClient(host, port, retries=1)
+            assert client.decide(problem, db).certain in (True, False)
+            # restart a server on the same port: the old connection dies
+            first.stop()
+            with BackgroundServer(
+                ServerConfig(shards=1, host=host, port=port)
+            ):
+                decision = client.decide(problem, db)
+                assert decision.fingerprint == problem.fingerprint.digest
+            client.close()
+
+    def test_zero_retries_still_raises(self):
+        with BackgroundServer(ServerConfig(shards=1)) as background:
+            host, port = background.address
+            client = ServeClient(host, port)
+        # the server is gone; a plain client must raise, not hang
+        from repro.exceptions import ServeProtocolError
+
+        with pytest.raises((ServeProtocolError, OSError)):
+            client.ping()
+        client.close()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServeClient("127.0.0.1", 1, retries=-1)

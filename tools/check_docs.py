@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Documentation checks: intra-repo links and runnable quickstart snippets.
+
+Two passes over ``README.md`` and every ``docs/**/*.md``:
+
+1. **Links** — every relative markdown link target (``[text](path)``,
+   optionally with a ``#fragment``) must exist in the repository.
+   External schemes (``http(s)``, ``mailto``) and pure in-page fragments
+   are skipped; fragments on ``.md`` targets are checked against the
+   target's headings (GitHub anchor style).
+2. **Snippets** — every fenced code block opened as ```` ```bash doc-test ````
+   is executed verbatim with ``bash -euo pipefail`` in a scratch
+   directory, with ``PYTHONPATH`` pointing at this checkout's ``src``.
+   That pins the README's command examples to the real CLI: a renamed
+   flag fails CI instead of rotting in the docs.
+
+Exit code 0 on success; failures are listed one per line.  Run locally:
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose links and snippets are checked.
+DOC_SOURCES = ("README.md", "docs")
+
+#: The info string that marks a fenced block as runnable.
+RUNNABLE_INFO = "bash doc-test"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(.*)$")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _doc_files() -> list[Path]:
+    files: list[Path] = []
+    for source in DOC_SOURCES:
+        path = REPO_ROOT / source
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+    return files
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks: their brackets/parens are not links."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (the common subset)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", slug).strip("-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {
+        _github_anchor(match.group(1))
+        for line in path.read_text().splitlines()
+        if (match := _HEADING.match(line))
+    }
+
+
+def check_links(files: list[Path]) -> list[str]:
+    failures = []
+    for doc in files:
+        for target in _LINK.findall(_strip_fences(doc.read_text())):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page fragment
+                if _github_anchor(target[1:]) not in _anchors(doc):
+                    failures.append(
+                        f"{doc.relative_to(REPO_ROOT)}: broken in-page "
+                        f"anchor {target!r}"
+                    )
+                continue
+            raw_path, _, fragment = target.partition("#")
+            resolved = (doc.parent / raw_path).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link {target!r}"
+                )
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved):
+                    failures.append(
+                        f"{doc.relative_to(REPO_ROOT)}: broken anchor "
+                        f"{target!r}"
+                    )
+    return failures
+
+
+def _runnable_snippets(doc: Path) -> list[tuple[int, str]]:
+    snippets = []
+    lines = doc.read_text().splitlines()
+    collecting: list[str] | None = None
+    start = 0
+    for number, line in enumerate(lines, start=1):
+        fence = _FENCE.match(line.strip())
+        if fence is None:
+            if collecting is not None:
+                collecting.append(line)
+            continue
+        if collecting is not None:  # closing fence
+            snippets.append((start, "\n".join(collecting)))
+            collecting = None
+        elif fence.group(1).strip() == RUNNABLE_INFO:
+            collecting = []
+            start = number
+    return snippets
+
+
+def check_snippets(files: list[Path]) -> list[str]:
+    failures = []
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    env["REPRO_ROOT"] = str(REPO_ROOT)
+    for doc in files:
+        for line_number, body in _runnable_snippets(doc):
+            with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+                result = subprocess.run(
+                    ["bash", "-euo", "pipefail", "-c", body],
+                    cwd=scratch,
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    timeout=300,
+                )
+            where = f"{doc.relative_to(REPO_ROOT)}:{line_number}"
+            if result.returncode != 0:
+                tail = (result.stderr or result.stdout).strip().splitlines()
+                detail = tail[-1] if tail else "(no output)"
+                failures.append(
+                    f"{where}: snippet exited {result.returncode}: {detail}"
+                )
+            else:
+                print(f"ok: ran snippet {where}")
+    return failures
+
+
+def main() -> int:
+    files = _doc_files()
+    required = [REPO_ROOT / "docs" / name for name in (
+        "architecture.md", "protocol.md", "backends.md", "deployment.md",
+    )]
+    failures = [
+        f"missing required document docs/{path.name}"
+        for path in required if not path.exists()
+    ]
+    failures += check_links(files)
+    failures += check_snippets(files)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(files)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
