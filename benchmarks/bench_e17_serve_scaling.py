@@ -35,6 +35,15 @@ configuration whenever the host exposes more than one core (on a one-core
 host the curve is still reported — processes cannot beat the GIL without
 hardware parallelism, and the table then shows the wire overhead
 instead).  The result table is reproduced in ``docs/deployment.md``.
+
+**Phase attribution (E17d).**  The same run also answers *where* each
+deployment's time goes: the span recorder's per-phase aggregates
+(``repro.obs``) are snapshotted around the widest configuration's drive,
+and the delta — plus the fleet workers' own ``stats`` phases — yields a
+per-phase span table (``solve`` for thread shards; ``transport`` front-
+side and ``solve``/``canonicalize``/``respond`` worker-side for the
+fleet).  That table is the source of the thread-vs-process attribution
+table in ``docs/deployment.md``.
 """
 
 import asyncio
@@ -53,6 +62,7 @@ from repro.serve import (
     ShardedEngine,
 )
 from repro.api.session import SessionConfig
+from repro.obs import recorder
 from repro.workloads import random_instances_for_query
 from repro.workloads.random_instances import RandomInstanceParams
 
@@ -265,21 +275,57 @@ def _drive_engine(engine, items, n_threads: int) -> tuple[float, list[bool]]:
     return elapsed, answers
 
 
+def _phase_delta(before: dict, after: dict) -> dict[str, tuple[int, float]]:
+    """``{phase: (spans, total_seconds)}`` accumulated between two
+    :meth:`~repro.obs.SpanRecorder.phase_snapshots` calls."""
+    delta: dict[str, tuple[int, float]] = {}
+    for name, snap in after.items():
+        prev = before.get(name)
+        count = snap.evaluations - (prev.evaluations if prev else 0)
+        total = snap.total_seconds - (prev.total_seconds if prev else 0.0)
+        if count > 0:
+            delta[name] = (count, total)
+    return delta
+
+
+def _merge_phase(totals: dict, name: str, count: int, seconds: float) -> None:
+    have_count, have_seconds = totals.get(name, (0, 0.0))
+    totals[name] = (have_count + count, have_seconds + seconds)
+
+
 def test_e17c_process_shards_beat_thread_shards_when_cpu_bound():
     items = _cpu_bound_stream()
     requests = E17C_ROUNDS * len(items)
     cores = len(os.sched_getaffinity(0))
+    widest = E17C_SHARD_COUNTS[-1]
     rows = []
     results: dict[tuple[str, int], tuple[float, list[bool]]] = {}
+    phases: dict[str, dict[str, tuple[int, float]]] = {}
     for n_shards in E17C_SHARD_COUNTS:
         with ShardedEngine(n_shards) as threaded:
+            before = recorder().phase_snapshots()
             results["threads", n_shards] = _drive_engine(
                 threaded, items, n_shards
             )
+            if n_shards == widest:
+                phases["threads"] = _phase_delta(
+                    before, recorder().phase_snapshots()
+                )
         with FleetEngine(n_shards) as fleet:
+            before = recorder().phase_snapshots()
             results["processes", n_shards] = _drive_engine(
                 fleet, items, n_shards
             )
+            if n_shards == widest:
+                # front side: the wire hops; worker side: everything the
+                # worker processes recorded (fresh workers, so cumulative
+                # == this drive, warm-up pass included on both sides).
+                merged = _phase_delta(before, recorder().phase_snapshots())
+                for name, snap in fleet.worker_phases().items():
+                    _merge_phase(
+                        merged, name, snap.evaluations, snap.total_seconds
+                    )
+                phases["processes"] = merged
         for mode in ("threads", "processes"):
             elapsed, _ = results[mode, n_shards]
             rows.append(
@@ -298,11 +344,42 @@ def test_e17c_process_shards_beat_thread_shards_when_cpu_bound():
         ("series", "elapsed", "throughput", "vs 1-thread-shard"),
     )
 
+    phase_rows = []
+    for mode in ("threads", "processes"):
+        wall = results[mode, widest][0]
+        for name, (count, total) in sorted(
+            phases[mode].items(), key=lambda kv: -kv[1][1]
+        ):
+            phase_rows.append(
+                (
+                    f"{widest} × {mode}",
+                    name,
+                    f"{count}",
+                    f"{total * 1e3:,.0f} ms",
+                    f"{total * 1e3 / count:.3f} ms",
+                    f"{total / wall:.2f}x wall",
+                )
+            )
+    report(
+        f"E17d: per-phase span attribution at {widest} shards "
+        "(warm-up pass included; totals sum across shards, so CPU-bound "
+        "phases exceed 1x wall when shards run in parallel)",
+        phase_rows,
+        ("series", "phase", "spans", "total", "mean/span", "vs wall"),
+    )
+
+    # thread shards solve in-process: no wire hop is ever recorded;
+    # the fleet front records one `transport` span per request and the
+    # workers record the `solve`s under their own sites.
+    assert "solve" in phases["threads"]
+    assert "transport" not in phases["threads"]
+    assert "transport" in phases["processes"]
+    assert "solve" in phases["processes"]
+
     baseline = results["threads", 1][1]
     for key, (_, answers) in results.items():
         assert answers == baseline, f"{key}: answers must not differ"
     if cores >= 2:
-        widest = E17C_SHARD_COUNTS[-1]
         assert (
             results["processes", widest][0] < results["threads", widest][0]
         ), (

@@ -23,6 +23,7 @@ serializable decisions.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Iterable
 
@@ -37,9 +38,13 @@ from ..engine.engine import (
 from ..engine.executor import ExecutorConfig
 from ..engine.plan import CertaintyPlan
 from ..engine.registry import BackendRegistry, RouteOptions, default_registry
+from ..obs.log import get_logger, log_event
+from ..obs.trace import record_span
 from ..solvers.base import PreparedSolver
 from .decision import BatchDecision, Decision
 from .problem import Problem
+
+_logger = get_logger("api.session")
 
 # The session-level alias: a session is configured exactly like the engine
 # it wraps.
@@ -111,7 +116,18 @@ class Session:
         self._check_open()
         start = time.perf_counter()
         plan, hit, form = self._engine.route(problem)
-        certain = plan.decide(db, form=form)
+        try:
+            certain = plan.decide(db, form=form)
+        except Exception as error:
+            self._record_failure(plan, error)
+            raise
+        wall = time.perf_counter() - start
+        record_span(
+            "solve", wall,
+            labels={"class": plan.fingerprint.digest,
+                    "backend": plan.backend},
+        )
+        self._warn_if_slow(plan, wall, instances=1)
         return Decision(
             certain=certain,
             fingerprint=plan.fingerprint.digest,
@@ -119,7 +135,7 @@ class Session:
             verdict=plan.classification.verdict.name,
             backend=plan.backend,
             cache_hit=hit,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=wall,
         )
 
     def decide_batch(
@@ -132,8 +148,20 @@ class Session:
         self._check_open()
         start = time.perf_counter()
         plan, hit, form = self._engine.route(problem)
-        result = self._engine.run_batch(plan, dbs, executor=executor,
-                                        form=form)
+        try:
+            result = self._engine.run_batch(plan, dbs, executor=executor,
+                                            form=form)
+        except Exception as error:
+            self._record_failure(plan, error)
+            raise
+        wall = time.perf_counter() - start
+        record_span(
+            "solve", wall,
+            labels={"class": plan.fingerprint.digest,
+                    "backend": plan.backend,
+                    "batch": str(len(result.answers))},
+        )
+        self._warn_if_slow(plan, wall, instances=len(result.answers))
         return BatchDecision(
             answers=result.answers,
             fingerprint=plan.fingerprint.digest,
@@ -141,10 +169,36 @@ class Session:
             verdict=plan.classification.verdict.name,
             backend=plan.backend,
             cache_hit=hit,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=wall,
             execute_seconds=result.elapsed_seconds,
             mode=result.mode,
         )
+
+    def _record_failure(self, plan: CertaintyPlan, error: Exception) -> None:
+        """Count a failed decide on the plan's metrics and log it."""
+        timeout = isinstance(error, TimeoutError)
+        plan.metrics.record_error(timeout=timeout)
+        log_event(
+            _logger, logging.WARNING, "decide.error",
+            fingerprint=plan.fingerprint.digest,
+            backend=plan.backend,
+            error=type(error).__name__,
+            timeout=timeout or None,
+        )
+
+    def _warn_if_slow(
+        self, plan: CertaintyPlan, wall: float, *, instances: int
+    ) -> None:
+        threshold = self.config.slow_decide_seconds
+        if threshold and wall >= threshold:
+            log_event(
+                _logger, logging.WARNING, "decide.slow",
+                fingerprint=plan.fingerprint.digest,
+                backend=plan.backend,
+                wall_ms=round(wall * 1e3, 3),
+                instances=instances,
+                threshold_ms=round(threshold * 1e3, 3),
+            )
 
     # -- introspection and lifecycle ----------------------------------------
 

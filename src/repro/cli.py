@@ -13,7 +13,12 @@ Commands
 ``batch``      evaluate many instance files through one compiled plan;
 ``serve``      run the sharded, micro-batching certainty server —
                in-process thread shards, or worker processes with
-               ``--processes N``;
+               ``--processes N``; ``--log-level/--log-format/--span-log``
+               control structured logging and span capture;
+``trace``      fetch one traced request's phase spans from a running
+               server (``repro decide --connect --trace`` prints the id);
+``slo``        per-tier latency/error report (fo / p16 / p17 / sat /
+               oracle) from a running server or a stats JSON file;
 ``problem``    export/import problems as portable JSON documents;
 ``instance``   export/import instances as portable JSON documents;
 ``repairs``    enumerate the canonical ⊕-repairs of an instance;
@@ -175,18 +180,28 @@ def _parse_endpoint(text: str) -> tuple[str, int]:
 def _cmd_decide(args) -> int:
     problem = _build_problem(args)
     db = load(args.database)
+    if getattr(args, "trace", False) and not args.connect:
+        raise ReproError("--trace needs --connect (local decides have "
+                         "no server-side spans to name)")
     if args.connect:
         from .serve import ServeClient
 
         host, port = _parse_endpoint(args.connect)
         timeout = args.timeout if args.timeout > 0 else None
+        trace_id = None
+        if args.trace:
+            from .obs.trace import new_trace_id
+
+            trace_id = new_trace_id()
         with ServeClient(host, port, timeout=timeout) as client:
-            decision = client.decide(problem, db)
+            decision = client.decide(problem, db, trace_id=trace_id)
         cache = "hit" if decision.cache_hit else "miss"
         print(
             f"certain: {decision.certain}   (remote {decision.backend}, "
             f"plan cache {cache}, {decision.wall_seconds * 1e3:.2f} ms)"
         )
+        if trace_id:
+            print(f"trace: {trace_id}")
         return 0 if decision.certain else 1
     with Session() as session:  # classification paid once, in plan compile
         decision = session.decide(problem, db)
@@ -268,6 +283,7 @@ def _cmd_engine(args) -> int:
             else:
                 _print_backend_stats(stats)
                 _print_class_sharing(stats)
+                _print_tier_stats(stats)
     return 0 if all(d.certain for d in decisions) else 1
 
 
@@ -279,6 +295,93 @@ def _print_class_sharing(stats) -> None:
             f"  {plan.fingerprint}  {plan.backend:<16} "
             f"{plan.spellings} spelling(s)"
         )
+
+
+def _print_tier_stats(stats) -> None:
+    """Per-SLO-tier aggregates (``repro engine --stats``)."""
+    from .obs.slo import format_slo_report
+
+    print("per-tier SLO:")
+    for line in format_slo_report(stats.tiers).splitlines():
+        print(f"  {line}")
+
+
+def _print_trace(trace_id: str, spans: list) -> None:
+    """Render one trace's spans, earliest first, offsets from its start."""
+    if not spans:
+        print(
+            f"trace {trace_id}: no spans retained (expired from the "
+            "ring, or the id was never seen)"
+        )
+        return
+    base = min(span["start"] for span in spans)
+    print(f"trace {trace_id}: {len(spans)} span(s)")
+    for span in sorted(spans, key=lambda s: s["start"]):
+        labels = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(span.get("labels", {}).items())
+        )
+        offset_ms = (span["start"] - base) * 1e3
+        line = (
+            f"  +{offset_ms:9.3f} ms  {span['seconds'] * 1e3:9.3f} ms  "
+            f"{span.get('site', 'server'):<14} {span['name']:<13} {labels}"
+        )
+        print(line.rstrip())
+
+
+def _cmd_trace(args) -> int:
+    from .serve import ServeClient
+
+    host, port = _parse_endpoint(args.connect)
+    timeout = args.timeout if args.timeout > 0 else None
+    with ServeClient(host, port, timeout=timeout) as client:
+        payload = client.trace(args.trace_id)
+    spans = payload.get("spans") or []
+    _print_trace(payload.get("trace_id", args.trace_id), spans)
+    return 0 if spans else 1
+
+
+def _slo_documents_from_file(path: str) -> list:
+    """EngineStats documents from a JSON file: a ``stats``-verb payload
+    (its ``shards`` list), one stats document, or a list of them."""
+    import json
+
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ReproError(
+            f"cannot read stats file {path!r}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid stats JSON in {path!r}: {error}") from error
+    if isinstance(data, dict):
+        return data["shards"] if "shards" in data else [data]
+    if isinstance(data, list):
+        return data
+    raise ReproError(
+        f"stats document must be an object or a list, got "
+        f"{type(data).__name__}"
+    )
+
+
+def _cmd_slo(args) -> int:
+    from .engine.engine import EngineStats, merge_engine_stats
+    from .obs.slo import format_slo_report
+
+    if args.connect:
+        from .serve import ServeClient
+
+        host, port = _parse_endpoint(args.connect)
+        timeout = args.timeout if args.timeout > 0 else None
+        with ServeClient(host, port, timeout=timeout) as client:
+            documents = client.stats().get("shards") or []
+    else:
+        documents = _slo_documents_from_file(args.file)
+    stats = merge_engine_stats(
+        EngineStats.from_dict(document) for document in documents
+    )
+    print(format_slo_report(stats.tiers))
+    return 0
 
 
 def _cmd_batch(args) -> int:
@@ -374,6 +477,9 @@ def _cmd_serve(args) -> int:
             plan_cache_size=args.cache_size,
             max_batch=args.max_batch,
             linger_ms=args.linger_ms,
+            log_level=args.log_level,
+            log_format=args.log_format,
+            span_log=args.span_log,
         )
     except ValueError as error:
         # config validation speaks ValueError; give it the CLI's friendly
@@ -446,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=30.0,
                    help="socket timeout in seconds for --connect "
                         "(0 waits forever; hard problems can be slow)")
+    p.add_argument("--trace", action="store_true",
+                   help="with --connect: run under a fresh trace id and "
+                        "print it (inspect with `repro trace <id>`)")
     p.set_defaults(handler=_cmd_decide)
 
     p = sub.add_parser(
@@ -544,7 +653,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="flush a micro-batch at this many requests")
     p.add_argument("--linger-ms", type=float, default=1.0,
                    help="micro-batch linger window in milliseconds")
+    p.add_argument("--log-level", choices=("debug", "info", "warning",
+                                           "error"),
+                   default="warning",
+                   help="structured-log threshold (default: warning — "
+                        "no per-request logging)")
+    p.add_argument("--log-format", choices=("human", "json"),
+                   default="human",
+                   help="log line format on stderr")
+    p.add_argument("--span-log", metavar="FILE", default=None,
+                   help="also append every traced span to this "
+                        "JSON-lines file")
     p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="fetch one traced request's phase spans from a server",
+    )
+    p.add_argument("trace_id",
+                   help="the trace id (from `repro decide --connect "
+                        "--trace`, or a decide result's trace_id field)")
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="the running `repro serve` to query")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds (0 waits forever)")
+    p.set_defaults(handler=_cmd_trace)
+
+    p = sub.add_parser(
+        "slo",
+        help="per-tier latency/error report (fo / p16 / p17 / sat / "
+             "oracle)",
+    )
+    source = p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--connect", metavar="HOST:PORT",
+                        help="merge and report a running server's shard "
+                             "stats")
+    source.add_argument("--file", metavar="FILE",
+                        help="report from a stats JSON document (a "
+                             "`stats`-verb payload, one EngineStats "
+                             "document, or a list of them)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds for --connect")
+    p.set_defaults(handler=_cmd_slo)
 
     p = sub.add_parser("repairs", help="enumerate canonical ⊕-repairs")
     _add_problem_arguments(p, with_json=True)

@@ -38,6 +38,7 @@ from .engine import (
     EngineSolver,
     EngineStats,
     PlanReport,
+    TierReport,
     merge_engine_stats,
     prom_exposition,
 )
@@ -82,7 +83,7 @@ __all__ = [
     "EngineSolver", "EngineStats", "ExecutorConfig", "Fingerprint",
     "LATENCY_BUCKET_BOUNDS", "MetricsSnapshot", "PlanCache", "PlanMetrics",
     "PlanReport", "Recognition", "RenamingSolver", "RouteOptions",
-    "TransportingSolver",
+    "TierReport", "TransportingSolver",
     "bucket_labels", "canonical_atoms", "canonicalize", "class_encoding",
     "compile_plan", "default_registry", "duckdb_backend_spec",
     "match_dual_horn_island", "matches_proposition16",

@@ -12,13 +12,17 @@ racing builders of the same class both compile; the first insertion wins).
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs.log import get_logger, log_event
 from .fingerprint import Fingerprint
 from .plan import CertaintyPlan
+
+_logger = get_logger("engine.cache")
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +104,12 @@ class PlanCache:
                     _, old = self._plans.popitem(last=False)
                     self._evictions += 1
                     evicted.append(old)
+                    log_event(
+                        _logger, logging.DEBUG, "plan.evict",
+                        fingerprint=old.fingerprint.digest,
+                        backend=old.backend,
+                        capacity=self._capacity,
+                    )
         for plan in evicted:  # outside the lock: close may do real work
             plan.close()
         return result, False

@@ -48,6 +48,8 @@ class EngineConfig:
     fo_backend: str = "memory"  # or "sql" / "duckdb"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     registry: BackendRegistry | None = None  # None: the default registry
+    #: Decides slower than this log a ``decide.slow`` WARNING (0 disables).
+    slow_decide_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         from .registry import RouteOptions
@@ -125,6 +127,61 @@ def _aggregate_backends(
             metrics=merge_snapshots(p.metrics for p in grouped[backend]),
         )
         for backend in sorted(grouped)
+    )
+
+
+@dataclass(frozen=True)
+class TierReport:
+    """One SLO complexity tier's aggregate over the plans binned into it.
+
+    Tiers are the recognizer-verdict buckets of :mod:`repro.obs.slo`
+    (fo / p16 / p17 / sat / oracle): the unit a latency objective can
+    meaningfully attach to, since the trichotomy makes one engine-wide
+    p99 a blend of microsecond FO probes and exponential oracle runs.
+    """
+
+    tier: str
+    plans: int
+    metrics: MetricsSnapshot
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "plans": self.plans,
+            "metrics": self.metrics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TierReport":
+        return cls(
+            tier=str(data.get("tier", "")),
+            plans=int(data.get("plans", 0)),
+            metrics=MetricsSnapshot.from_dict(data.get("metrics") or {}),
+        )
+
+
+def _aggregate_tiers(
+    plans: tuple[PlanReport, ...],
+) -> tuple[TierReport, ...]:
+    """Merge per-plan metrics into one report per SLO tier.
+
+    Derived from the plan table (not stored independently), so merged
+    stats — shards, fleet workers — re-derive consistent tiers for free.
+    """
+    from ..obs.slo import tier_for, tier_sort_key
+
+    grouped: dict[str, list[PlanReport]] = {}
+    for plan in plans:
+        grouped.setdefault(tier_for(plan.verdict, plan.backend), []).append(
+            plan
+        )
+    return tuple(
+        TierReport(
+            tier=tier,
+            plans=len(grouped[tier]),
+            metrics=merge_snapshots(p.metrics for p in grouped[tier]),
+        )
+        for tier in sorted(grouped, key=tier_sort_key)
     )
 
 
@@ -250,16 +307,99 @@ def prom_exposition(
                 "backend_latency_seconds_count", base,
                 aggregate.metrics.evaluations, tag,
             )
+
+    header("tier_plans", "gauge", "Cached plans per SLO complexity tier.")
+    for base, stats in snapshot:
+        for tier in stats.tiers:
+            sample("tier_plans", base, tier.plans, {"tier": tier.tier})
+
+    header(
+        "tier_evaluations_total", "counter",
+        "Instances decided per SLO complexity tier.",
+    )
+    for base, stats in snapshot:
+        for tier in stats.tiers:
+            sample(
+                "tier_evaluations_total", base,
+                tier.metrics.evaluations, {"tier": tier.tier},
+            )
+
+    header(
+        "tier_errors_total", "counter",
+        "Failed decides per SLO complexity tier.",
+    )
+    for base, stats in snapshot:
+        for tier in stats.tiers:
+            sample(
+                "tier_errors_total", base,
+                tier.metrics.errors, {"tier": tier.tier},
+            )
+
+    header(
+        "tier_timeouts_total", "counter",
+        "Timed-out decides per SLO complexity tier.",
+    )
+    for base, stats in snapshot:
+        for tier in stats.tiers:
+            sample(
+                "tier_timeouts_total", base,
+                tier.metrics.timeouts, {"tier": tier.tier},
+            )
+
+    for quantile, name in ((0.50, "tier_p50_seconds"),
+                           (0.99, "tier_p99_seconds")):
+        header(
+            name, "gauge",
+            f"Estimated p{int(quantile * 100)} decision latency per SLO "
+            "complexity tier (histogram interpolation).",
+        )
+        for base, stats in snapshot:
+            for tier in stats.tiers:
+                estimate = tier.metrics.quantile(quantile)
+                if estimate is not None:
+                    sample(name, base, estimate, {"tier": tier.tier})
+
+    header(
+        "tier_latency_seconds", "histogram",
+        "Decision latency per SLO complexity tier.",
+    )
+    for base, stats in snapshot:
+        for tier in stats.tiers:
+            tag = {"tier": tier.tier}
+            cumulative = 0
+            for bound, count in zip(
+                LATENCY_BUCKET_BOUNDS, tier.metrics.histogram
+            ):
+                cumulative += count
+                sample(
+                    "tier_latency_seconds_bucket", base, cumulative,
+                    {**tag, "le": repr(bound)},
+                )
+            cumulative += tier.metrics.histogram[-1]
+            sample(
+                "tier_latency_seconds_bucket", base, cumulative,
+                {**tag, "le": "+Inf"},
+            )
+            sample(
+                "tier_latency_seconds_sum", base,
+                tier.metrics.total_seconds, tag,
+            )
+            sample(
+                "tier_latency_seconds_count", base,
+                tier.metrics.evaluations, tag,
+            )
     return "\n".join(lines) + "\n"
 
 
 @dataclass(frozen=True)
 class EngineStats:
-    """A point-in-time view of the engine's cache, plans, and backends."""
+    """A point-in-time view of the engine's cache, plans, backends and
+    SLO tiers."""
 
     cache: CacheStats
     plans: tuple[PlanReport, ...]
     backends: tuple[BackendReport, ...] = ()
+    tiers: tuple[TierReport, ...] = ()
 
     def to_dict(self) -> dict:
         """A plain-JSON view (`stats` wire verb, ``repro engine --stats``)."""
@@ -274,6 +414,7 @@ class EngineStats:
             },
             "plans": [plan.to_dict() for plan in self.plans],
             "backends": [backend.to_dict() for backend in self.backends],
+            "tiers": [tier.to_dict() for tier in self.tiers],
         }
 
     def to_prom(self, labels: Mapping[str, str] | None = None) -> str:
@@ -297,6 +438,10 @@ class EngineStats:
         front merge and re-export worker stats it only ever saw as JSON.
         """
         cache = data.get("cache") or {}
+        plans = tuple(
+            PlanReport.from_dict(entry)
+            for entry in data.get("plans") or ()
+        )
         return cls(
             cache=CacheStats(
                 hits=int(cache.get("hits", 0)),
@@ -305,14 +450,14 @@ class EngineStats:
                 size=int(cache.get("size", 0)),
                 capacity=int(cache.get("capacity", 0)),
             ),
-            plans=tuple(
-                PlanReport.from_dict(entry)
-                for entry in data.get("plans") or ()
-            ),
+            plans=plans,
             backends=tuple(
                 BackendReport.from_dict(entry)
                 for entry in data.get("backends") or ()
             ),
+            # tiers are *derived* from the plan table, not trusted from
+            # the document — a front and its workers then always agree
+            tiers=_aggregate_tiers(plans),
         )
 
 
@@ -354,6 +499,7 @@ def merge_engine_stats(entries: "Iterable[EngineStats]") -> EngineStats:
         cache=merged_cache,
         plans=plans,
         backends=_aggregate_backends(plans),
+        tiers=_aggregate_tiers(plans),
     )
 
 
@@ -533,6 +679,7 @@ class CertaintyEngine:
             cache=self._cache.stats(),
             plans=reports,
             backends=_aggregate_backends(reports),
+            tiers=_aggregate_tiers(reports),
         )
 
     # -- lifecycle ----------------------------------------------------------

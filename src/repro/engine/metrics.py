@@ -73,6 +73,8 @@ def merge_snapshots(snapshots) -> "MetricsSnapshot":
         min_seconds=min(mins) if mins else None,
         max_seconds=max(maxs) if maxs else None,
         histogram=merge_histograms(s.histogram for s in snaps),
+        errors=sum(s.errors for s in snaps),
+        timeouts=sum(s.timeouts for s in snaps),
     )
 
 
@@ -86,6 +88,8 @@ class MetricsSnapshot:
     min_seconds: float | None
     max_seconds: float | None
     histogram: tuple[int, ...] = field(default_factory=_empty_histogram)
+    errors: int = 0
+    timeouts: int = 0
 
     @property
     def mean_seconds(self) -> float | None:
@@ -99,6 +103,50 @@ class MetricsSnapshot:
             return None
         return self.evaluations / self.total_seconds
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the *q*-quantile latency from the histogram.
+
+        Linear interpolation inside the owning bucket (lower bound 0 for
+        the first), clamped to the observed extrema — interpolation must
+        not report a quantile above the real maximum.  The open-ended
+        overflow bucket is pinned to ``max_seconds`` when available — the
+        histogram alone cannot bound it.  ``None`` with no recorded
+        evaluations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = sum(self.histogram)
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0
+        lower = 0.0
+        value = None
+        for bound, count in zip(LATENCY_BUCKET_BOUNDS, self.histogram):
+            cumulative += count
+            if cumulative >= target and count > 0:
+                fraction = (target - (cumulative - count)) / count
+                value = lower + (bound - lower) * max(fraction, 0.0)
+                break
+            lower = bound
+        if value is None:
+            if self.max_seconds is not None and self.max_seconds > lower:
+                return self.max_seconds
+            return lower
+        if self.max_seconds is not None:
+            value = min(value, self.max_seconds)
+        if self.min_seconds is not None:
+            value = max(value, self.min_seconds)
+        return value
+
+    @property
+    def p50_seconds(self) -> float | None:
+        return self.quantile(0.50)
+
+    @property
+    def p99_seconds(self) -> float | None:
+        return self.quantile(0.99)
+
     def to_dict(self) -> dict:
         """A plain-JSON view (the `stats` wire verb and ``--stats`` CLI)."""
         return {
@@ -108,6 +156,10 @@ class MetricsSnapshot:
             "min_seconds": self.min_seconds,
             "max_seconds": self.max_seconds,
             "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
             "histogram": {
                 label: count
                 for label, count in zip(bucket_labels(), self.histogram)
@@ -130,6 +182,8 @@ class MetricsSnapshot:
             histogram=tuple(
                 int(histogram.get(label, 0)) for label in bucket_labels()
             ),
+            errors=int(data.get("errors", 0)),
+            timeouts=int(data.get("timeouts", 0)),
         )
 
 
@@ -144,6 +198,8 @@ class PlanMetrics:
         self._min_seconds: float | None = None
         self._max_seconds: float | None = None
         self._histogram = [0] * _N_BUCKETS
+        self._errors = 0
+        self._timeouts = 0
 
     def record(self, seconds: float, evaluations: int = 1) -> None:
         """Add *evaluations* answers produced in *seconds* of wall clock.
@@ -172,6 +228,13 @@ class PlanMetrics:
                         bisect_left(LATENCY_BUCKET_BOUNDS, mean)
                     ] += evaluations
 
+    def record_error(self, *, timeout: bool = False) -> None:
+        """Count one failed evaluation (a timeout is also an error)."""
+        with self._lock:
+            self._errors += 1
+            if timeout:
+                self._timeouts += 1
+
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:
             return MetricsSnapshot(
@@ -181,6 +244,8 @@ class PlanMetrics:
                 min_seconds=self._min_seconds,
                 max_seconds=self._max_seconds,
                 histogram=tuple(self._histogram),
+                errors=self._errors,
+                timeouts=self._timeouts,
             )
 
     def __repr__(self) -> str:

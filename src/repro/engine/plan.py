@@ -19,6 +19,7 @@ solver releases its resources (the cache does this on eviction and
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -29,11 +30,14 @@ from ..core.foreign_keys import ForeignKeySet
 from ..core.query import ConjunctiveQuery
 from ..core.rewriting import RewritingResult
 from ..db.instance import DatabaseInstance
+from ..obs.log import get_logger, log_event
 from ..solvers.base import CertaintySolver, close_solver
 from .canonical import CanonicalForm, canonicalize
 from .fingerprint import Fingerprint
 from .metrics import PlanMetrics
 from .registry import BackendRegistry, Recognition, RouteOptions
+
+_logger = get_logger("engine.plan")
 
 
 @dataclass
@@ -209,4 +213,11 @@ def compile_plan(
         construction_seconds=time.perf_counter() - start,
     )
     plan.note_spelling(form.fingerprint.raw)
+    log_event(
+        _logger, logging.DEBUG, "plan.compile",
+        fingerprint=plan.fingerprint.digest,
+        backend=plan.backend,
+        verdict=plan.classification.verdict.name,
+        compile_ms=round(plan.construction_seconds * 1e3, 3),
+    )
     return plan

@@ -1,0 +1,65 @@
+"""Observability for the serving stack: traces, spans, logs, SLO tiers.
+
+``repro.obs`` is the one place the serving stack reports *where time
+went*.  It is deliberately dependency-free (stdlib only) and import-safe
+from every layer — ``repro.engine``, ``repro.api`` and ``repro.serve``
+all import it without cycles:
+
+- :mod:`repro.obs.trace` — trace ids, an ambient per-request trace
+  context (:func:`trace_context` / :func:`current_trace_id`), and a
+  bounded in-process :class:`SpanRecorder` ring that doubles as the
+  per-phase latency aggregate behind the Prometheus ``metrics`` page.
+- :mod:`repro.obs.log` — one structured-logging setup (JSON or human
+  formatter) shared by the server, supervisor, fleet and engine.
+- :mod:`repro.obs.slo` — the recognizer-verdict → complexity-tier map
+  (fo / p16 / p17 / sat / oracle) behind per-tier SLO accounting.
+
+See ``docs/observability.md`` for the trace lifecycle, span glossary,
+log event catalogue and metric reference.
+"""
+
+from .log import (
+    LOG_FORMATS,
+    LOG_LEVELS,
+    HumanFormatter,
+    JsonFormatter,
+    get_logger,
+    log_event,
+    setup_logging,
+)
+from .slo import TIERS, format_slo_report, tier_for
+from .trace import (
+    PHASES,
+    Span,
+    SpanRecorder,
+    configure_recorder,
+    current_trace_id,
+    new_trace_id,
+    record_span,
+    recorder,
+    span,
+    trace_context,
+)
+
+__all__ = [
+    "LOG_FORMATS",
+    "LOG_LEVELS",
+    "HumanFormatter",
+    "JsonFormatter",
+    "PHASES",
+    "Span",
+    "SpanRecorder",
+    "TIERS",
+    "configure_recorder",
+    "current_trace_id",
+    "format_slo_report",
+    "get_logger",
+    "log_event",
+    "new_trace_id",
+    "record_span",
+    "recorder",
+    "setup_logging",
+    "span",
+    "tier_for",
+    "trace_context",
+]

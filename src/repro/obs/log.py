@@ -1,0 +1,138 @@
+"""Structured logging for the serving stack (stdlib ``logging`` only).
+
+Every repro component logs through a child of the ``repro`` logger
+(:func:`get_logger`) and emits **events**: a short dotted event name
+plus key=value fields, carried on the record as ``record.event_fields``
+(:func:`log_event`).  One :func:`setup_logging` call — made by
+``repro serve`` from ``--log-level``/``--log-format``, and by each
+fleet worker at boot — attaches a single stderr handler with either:
+
+- ``human``: ``HH:MM:SS LEVEL logger event k=v k=v`` — for terminals;
+- ``json``: one JSON object per line (``ts``, ``level``, ``logger``,
+  ``event``, plus the event fields) — for log shippers and ``grep``
+  by ``trace_id``.
+
+Without :func:`setup_logging` the stack stays quiet below WARNING (the
+stdlib last-resort handler), so embedding the server in tests or
+notebooks costs nothing; per-request INFO lines are additionally gated
+on ``isEnabledFor`` so the default configuration does no per-request
+formatting work at all.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Mapping
+
+#: Accepted ``--log-level`` spellings → stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Accepted ``--log-format`` spellings.
+LOG_FORMATS = ("human", "json")
+
+#: Marker attribute identifying handlers installed by :func:`setup_logging`.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.*`` logger for a component (e.g. ``serve.server``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts/level/logger/event + fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            doc.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, separators=(",", ":"), default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger event k=v ...`` — terse terminal lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname:<7} {record.name} {record.getMessage()}"
+        )
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            line += " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def setup_logging(
+    level: str = "warning",
+    fmt: str = "human",
+    *,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Replaces any handler a previous :func:`setup_logging` installed
+    (re-running with new flags just re-points the output), leaves
+    foreign handlers alone, and stops propagation to the root logger so
+    embedding applications keep their own logging untouched.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(LOG_LEVELS)}"
+        )
+    if fmt not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {fmt!r}; expected one of {LOG_FORMATS}"
+        )
+    root = logging.getLogger("repro")
+    root.setLevel(LOG_LEVELS[level])
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonFormatter() if fmt == "json" else HumanFormatter()
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def log_event(
+    logger: logging.Logger,
+    level: int,
+    event: str,
+    /,
+    **fields,
+) -> None:
+    """Emit *event* with key=value *fields* if *level* is enabled.
+
+    The ``isEnabledFor`` gate keeps disabled levels free: no dict, no
+    formatting, no record.  ``None``-valued fields are dropped so call
+    sites can pass optional context (e.g. ``trace_id``) unconditionally.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    payload: Mapping = {k: v for k, v in fields.items() if v is not None}
+    logger.log(level, event, extra={"event_fields": payload})

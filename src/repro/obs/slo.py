@@ -1,0 +1,107 @@
+"""Complexity tiers: the recognizer verdict → SLO bucket map.
+
+The paper's trichotomy means one ``decide`` verb hides five very
+different cost regimes, so a single latency objective is meaningless.
+Each prepared plan is binned into a **tier** by the backend the router
+chose for it (the backend *is* the materialized recognizer verdict):
+
+========  ==========================================================
+tier      meaning / backends
+========  ==========================================================
+fo        FO-rewritable — ``fo-rewriting`` / ``fo-sql`` / ``fo-duckdb``
+p16       Prop. 16 reachability island (NL) — ``nl-reachability``
+p17       Prop. 17 dual-Horn island (P) — ``p-dual-horn``
+sat       SAT-reduction backends (reserved; none registered yet)
+oracle    everything exponential — ``subset-repairs``, ``oplus-oracle``
+========  ==========================================================
+
+Tier reports (per-tier p50/p99, error and timeout counts) live on
+:class:`~repro.engine.engine.EngineStats` and are derived from the plan
+table, so they survive ``merge_engine_stats`` across shards and fleet
+workers for free.  ``repro slo`` renders them as a table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Tier names, cheapest regime first.  This order is the report order.
+TIERS = ("fo", "p16", "p17", "sat", "oracle")
+
+#: Exact backend-name → tier assignments (checked before prefix rules).
+_BACKEND_TIERS = {
+    "nl-reachability": "p16",
+    "p-dual-horn": "p17",
+    "subset-repairs": "oracle",
+    "oplus-oracle": "oracle",
+}
+
+
+def tier_for(verdict: str, backend: str) -> str:
+    """The SLO tier of a plan, from its verdict token and backend name.
+
+    The backend name wins when it is recognizably tiered (it reflects
+    what actually ran); the verdict token breaks ties for unknown
+    backends, and anything unrecognized is conservatively ``oracle`` —
+    never promise a fast tier for an unknown cost regime.
+    """
+    name = (backend or "").strip().lower()
+    if name in _BACKEND_TIERS:
+        return _BACKEND_TIERS[name]
+    if name.startswith("fo-"):
+        return "fo"
+    if "sat" in name.split("-"):
+        return "sat"
+    if (verdict or "").strip().upper() == "FO":
+        return "fo"
+    return "oracle"
+
+
+def tier_sort_key(tier: str) -> tuple[int, str]:
+    """Sort key placing known tiers in :data:`TIERS` order, rest last."""
+    try:
+        return (TIERS.index(tier), tier)
+    except ValueError:
+        return (len(TIERS), tier)
+
+
+def _format_ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.3f}"
+
+
+def format_slo_report(tiers: Iterable) -> str:
+    """Render tier reports (``EngineStats.tiers``) as an aligned table.
+
+    Accepts any iterable of objects with ``tier``, ``plans`` and
+    ``metrics`` (a :class:`~repro.engine.metrics.MetricsSnapshot`).
+    """
+    rows = [
+        (
+            "tier", "plans", "evals", "errors", "timeouts",
+            "p50 ms", "p99 ms", "max ms",
+        )
+    ]
+    for report in sorted(tiers, key=lambda r: tier_sort_key(r.tier)):
+        m = report.metrics
+        rows.append((
+            report.tier,
+            str(report.plans),
+            str(m.evaluations),
+            str(m.errors),
+            str(m.timeouts),
+            _format_ms(m.p50_seconds),
+            _format_ms(m.p99_seconds),
+            _format_ms(m.max_seconds),
+        ))
+    if len(rows) == 1:
+        return "no tiers recorded (no plans compiled yet)"
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            .rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,308 @@
+"""Trace ids, ambient trace context, and an in-process span recorder.
+
+A **trace** is one request's journey through the serving stack; a
+**span** is one named, timed phase of that journey.  The phase
+vocabulary is small and fixed (:data:`PHASES`) so that two deployments
+— thread shards vs a process fleet — produce comparable breakdowns:
+
+``queue_wait``
+    flush → executor pick-up (thread-pool backlog).
+``batch_linger``
+    submit → flush of the micro-batch group the request joined.
+``canonicalize``
+    wire payload decode + canonical-form computation on the server.
+``transport``
+    the wire hop from a fleet front to the worker process owning the
+    shard (absent under in-process thread shards).
+``solve``
+    prepared-plan execution inside :class:`~repro.api.Session`.
+``respond``
+    response encode + socket write back to the client.
+
+Spans land in a process-global :class:`SpanRecorder`: a bounded ring
+buffer (served by the ``trace`` wire verb and ``repro trace``) plus a
+per-phase :class:`~repro.engine.metrics.PlanMetrics` aggregate (merged
+into the Prometheus page).  Recording is cheap — one lock, one deque
+append — and never raises into the request path.
+
+The ambient trace context is a :class:`contextvars.ContextVar`:
+:func:`trace_context` pins the current trace id for a block, and layers
+below (the engine's ``Session``) read it with :func:`current_trace_id`
+without any signature changes.  Context vars do **not** cross thread
+pools by themselves; the server re-enters :func:`trace_context` inside
+the executor closure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import IO, Iterator, Mapping
+
+#: The span phase vocabulary (see module docstring / docs/observability.md).
+PHASES = (
+    "queue_wait",
+    "batch_linger",
+    "canonicalize",
+    "transport",
+    "solve",
+    "respond",
+)
+
+#: Default ring capacity: enough for a few thousand in-flight requests'
+#: spans without unbounded growth on a long-lived server.
+DEFAULT_CAPACITY = 4096
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (uuid4, no dashes)."""
+    return uuid.uuid4().hex
+
+
+_current_trace: ContextVar[str | None] = ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id, or ``None`` outside any trace context."""
+    return _current_trace.get()
+
+
+@contextlib.contextmanager
+def trace_context(trace_id: str | None) -> Iterator[str | None]:
+    """Pin *trace_id* as the ambient trace for the ``with`` block."""
+    token = _current_trace.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _current_trace.reset(token)
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One named, timed phase of a traced request."""
+
+    trace_id: str
+    name: str
+    start: float  #: epoch seconds (``time.time()``) when the phase began
+    seconds: float  #: phase duration (monotonic-clock measured)
+    site: str = "server"  #: which process recorded it (server / worker-<pid>)
+    labels: Mapping[str, str] = field(default_factory=dict)
+    parent: str | None = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "site": self.site,
+        }
+        if self.labels:
+            doc["labels"] = dict(self.labels)
+        if self.parent is not None:
+            doc["parent"] = self.parent
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "Span":
+        return cls(
+            trace_id=doc["trace_id"],
+            name=doc["name"],
+            start=float(doc["start"]),
+            seconds=float(doc["seconds"]),
+            site=doc.get("site", "server"),
+            labels=dict(doc.get("labels", {})),
+            parent=doc.get("parent"),
+        )
+
+
+class SpanRecorder:
+    """Bounded span ring + per-phase latency aggregates (thread-safe).
+
+    Spans with a trace id enter the ring (queryable by id); **every**
+    span, traced or not, feeds the per-phase aggregate so the phase
+    histograms on the metrics page reflect all traffic, not just the
+    traced fraction.  An optional JSON-lines sink mirrors traced spans
+    to disk for offline analysis.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        site: str = "server",
+        span_log: str | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._lock = threading.Lock()
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._phases: dict[str, object] = {}
+        self._span_log: IO[str] | None = None
+        self.site = site
+        if span_log:
+            self._span_log = open(span_log, "a", encoding="utf-8")
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def record(
+        self,
+        trace_id: str | None,
+        name: str,
+        seconds: float,
+        *,
+        start: float | None = None,
+        labels: Mapping[str, str] | None = None,
+        parent: str | None = None,
+    ) -> Span | None:
+        """Record one phase; returns the :class:`Span` if it was traced.
+
+        ``trace_id=None`` still updates the per-phase aggregate (the
+        request was real even if nobody asked to trace it) but skips
+        the ring and the JSON-lines sink.
+        """
+        from ..engine.metrics import PlanMetrics  # lazy: avoids cycles
+
+        with self._lock:
+            metrics = self._phases.get(name)
+            if metrics is None:
+                metrics = self._phases[name] = PlanMetrics()
+            metrics.record(max(seconds, 0.0))
+            if trace_id is None:
+                return None
+            span = Span(
+                trace_id=trace_id,
+                name=name,
+                start=time.time() - seconds if start is None else start,
+                seconds=seconds,
+                site=self.site,
+                labels=dict(labels) if labels else {},
+                parent=parent,
+            )
+            self._ring.append(span)
+            sink = self._span_log
+        if sink is not None:
+            try:
+                sink.write(json.dumps(span.to_dict()) + "\n")
+                sink.flush()
+            except (OSError, ValueError):
+                pass  # a full disk must never fail the request path
+        return span
+
+    def spans_for(self, trace_id: str) -> tuple[Span, ...]:
+        """Every retained span of *trace_id*, in recording order."""
+        with self._lock:
+            return tuple(s for s in self._ring if s.trace_id == trace_id)
+
+    def recent(self, n: int = 50) -> tuple[Span, ...]:
+        """The most recent *n* spans (newest last)."""
+        with self._lock:
+            spans = tuple(self._ring)
+        return spans[-n:]
+
+    def phase_snapshots(self) -> dict:
+        """``{phase: MetricsSnapshot}`` for every phase seen so far."""
+        with self._lock:
+            return {
+                name: metrics.snapshot()  # type: ignore[attr-defined]
+                for name, metrics in sorted(self._phases.items())
+            }
+
+    def clear(self) -> None:
+        """Drop all retained spans and aggregates (for tests)."""
+        with self._lock:
+            self._ring.clear()
+            self._phases.clear()
+
+    def close(self) -> None:
+        """Close the JSON-lines sink, if any (idempotent)."""
+        with self._lock:
+            sink, self._span_log = self._span_log, None
+        if sink is not None:
+            try:
+                sink.close()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecorder(site={self.site!r}, {len(self)}/"
+            f"{self.capacity} spans)"
+        )
+
+
+_recorder = SpanRecorder()
+_recorder_lock = threading.Lock()
+
+
+def recorder() -> SpanRecorder:
+    """The process-global span recorder."""
+    return _recorder
+
+
+def configure_recorder(
+    *,
+    capacity: int | None = None,
+    site: str | None = None,
+    span_log: str | None = None,
+) -> SpanRecorder:
+    """Reconfigure the global recorder in place; returns it.
+
+    Existing spans are retained (re-ringed under a new capacity).  A new
+    ``span_log`` replaces — and closes — any previous sink.
+    """
+    global _recorder
+    with _recorder_lock:
+        current = _recorder
+        if capacity is not None and capacity != current.capacity:
+            with current._lock:
+                current._ring = deque(current._ring, maxlen=capacity)
+        if site is not None:
+            current.site = site
+        if span_log is not None:
+            with current._lock:
+                old, current._span_log = current._span_log, None
+            if old is not None:
+                try:
+                    old.close()
+                except OSError:
+                    pass
+            with current._lock:
+                current._span_log = open(span_log, "a", encoding="utf-8")
+        return current
+
+
+def record_span(
+    name: str,
+    seconds: float,
+    *,
+    trace_id: str | None = None,
+    labels: Mapping[str, str] | None = None,
+) -> Span | None:
+    """Record a phase under the ambient trace (or an explicit one)."""
+    tid = trace_id if trace_id is not None else current_trace_id()
+    return _recorder.record(tid, name, seconds, labels=labels)
+
+
+@contextlib.contextmanager
+def span(name: str, **labels: str) -> Iterator[None]:
+    """Time the ``with`` block as a phase under the ambient trace."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_span(name, time.perf_counter() - start, labels=labels or None)

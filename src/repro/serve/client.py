@@ -33,7 +33,12 @@ from ..api.problem import Problem
 from ..db import io as db_io
 from ..db.instance import DatabaseInstance
 from ..exceptions import RemoteError, ServeProtocolError
+from ..obs.trace import new_trace_id
 from .protocol import Request, decode_response, encode_frame
+
+#: Verbs the clients auto-assign a fresh trace id to when none is given:
+#: the expensive ones, where "where did the time go" is worth asking.
+_TRACED_VERBS = frozenset({"decide", "decide_batch"})
 
 
 def _request_frame(
@@ -42,6 +47,8 @@ def _request_frame(
     problem: Problem | None = None,
     instance: DatabaseInstance | None = None,
     instances=None,
+    trace_id: str | None = None,
+    parent_span: str | None = None,
 ) -> bytes:
     return encode_frame(
         Request(
@@ -54,6 +61,8 @@ def _request_frame(
                 if instances is not None
                 else None
             ),
+            trace_id=trace_id,
+            parent_span=parent_span,
         ).to_dict()
     )
 
@@ -90,23 +99,38 @@ class ServeClient:
         self._connect()
 
     def _connect(self) -> None:
-        self._sock = socket.create_connection(
+        self._sock = None
+        self._file = None
+        sock = socket.create_connection(
             (self._host, self._port), timeout=self._timeout
         )
-        self._file = self._sock.makefile("rwb")
+        try:
+            file = sock.makefile("rwb")
+        except OSError:
+            sock.close()  # never leak the socket on a half-open connect
+            raise
+        self._sock = sock
+        self._file = file
 
     def reconnect(self) -> None:
         """Drop the current connection and dial the same endpoint again."""
-        try:
-            self._file.close()
-        except OSError:
-            pass
-        finally:
+        self._teardown()
+        self._connect()
+
+    def _teardown(self) -> None:
+        """Close the stream pair, tolerating half-open or failed connects."""
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        if file is not None:
             try:
-                self._sock.close()
+                file.close()
             except OSError:
                 pass
-        self._connect()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # -- the raw request/response cycle --------------------------------------
 
@@ -117,11 +141,20 @@ class ServeClient:
         problem: Problem | None = None,
         instance: DatabaseInstance | None = None,
         instances=None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> dict:
-        """One request → the response's ``result`` payload (or a raise)."""
+        """One request → the response's ``result`` payload (or a raise).
+
+        Decide verbs get a fresh ``trace_id`` when the caller passes none,
+        so every expensive request is traceable after the fact.
+        """
         if self._closed:
             raise ServeProtocolError("client is closed")
-        frame_args = (verb, problem, instance, instances)
+        if trace_id is None and verb in _TRACED_VERBS:
+            trace_id = new_trace_id()
+        frame_args = (verb, problem, instance, instances, trace_id,
+                      parent_span)
         for attempt in range(self._retries + 1):
             try:
                 return self._cycle(*frame_args)
@@ -131,10 +164,12 @@ class ServeClient:
                 self.reconnect()
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _cycle(self, verb, problem, instance, instances) -> dict:
+    def _cycle(self, verb, problem, instance, instances, trace_id,
+               parent_span) -> dict:
         request_id = next(self._ids)
         self._file.write(
-            _request_frame(request_id, verb, problem, instance, instances)
+            _request_frame(request_id, verb, problem, instance, instances,
+                           trace_id, parent_span)
         )
         self._file.flush()
         line = self._file.readline()
@@ -153,15 +188,26 @@ class ServeClient:
     def ping(self) -> dict:
         return self.request("ping")
 
-    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+    def decide(
+        self,
+        problem: Problem,
+        db: DatabaseInstance,
+        *,
+        trace_id: str | None = None,
+    ) -> Decision:
         """The remote certain answer, with provenance intact."""
-        result = self.request("decide", problem=problem, instance=db)
+        result = self.request(
+            "decide", problem=problem, instance=db, trace_id=trace_id
+        )
         return Decision.from_dict(result["decision"])
 
-    def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+    def decide_batch(
+        self, problem: Problem, dbs, *, trace_id: str | None = None
+    ) -> BatchDecision:
         """One remote plan over an instance list."""
         result = self.request(
-            "decide_batch", problem=problem, instances=list(dbs)
+            "decide_batch", problem=problem, instances=list(dbs),
+            trace_id=trace_id,
         )
         return BatchDecision.from_dict(result["batch"])
 
@@ -178,6 +224,11 @@ class ServeClient:
         """The server's Prometheus text exposition (the ``metrics`` verb)."""
         return self.request("metrics")["exposition"]
 
+    def trace(self, trace_id: str) -> dict:
+        """The retained phase spans of one trace (the ``trace`` verb):
+        ``{"trace_id": ..., "spans": [Span dicts in start order]}``."""
+        return self.request("trace", trace_id=trace_id)
+
     def shutdown(self) -> dict:
         """Ask the server to drain and stop (answers before it does)."""
         return self.request("shutdown")
@@ -185,13 +236,11 @@ class ServeClient:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
+        """Release the connection; idempotent and safe on broken sockets."""
         if self._closed:
             return
         self._closed = True
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -284,14 +333,19 @@ class AsyncServeClient:
         problem: Problem | None = None,
         instance: DatabaseInstance | None = None,
         instances=None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> dict:
         if self._closed:
             raise ServeProtocolError("client is closed")
+        if trace_id is None and verb in _TRACED_VERBS:
+            trace_id = new_trace_id()
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiting[request_id] = future
         self._writer.write(
-            _request_frame(request_id, verb, problem, instance, instances)
+            _request_frame(request_id, verb, problem, instance, instances,
+                           trace_id, parent_span)
         )
         await self._writer.drain()
         return await future
@@ -301,15 +355,27 @@ class AsyncServeClient:
     async def ping(self) -> dict:
         return await self.request("ping")
 
-    async def decide(self, problem: Problem, db: DatabaseInstance) -> dict:
+    async def decide(
+        self,
+        problem: Problem,
+        db: DatabaseInstance,
+        *,
+        trace_id: str | None = None,
+    ) -> dict:
         """The full per-request result payload: ``decision`` (a
-        :meth:`~repro.api.Decision.to_dict` document), ``shard``, and the
-        observed ``micro_batch`` size."""
-        return await self.request("decide", problem=problem, instance=db)
+        :meth:`~repro.api.Decision.to_dict` document), ``shard``, the
+        observed ``micro_batch`` size, and the ``trace_id`` the request
+        ran under."""
+        return await self.request(
+            "decide", problem=problem, instance=db, trace_id=trace_id
+        )
 
-    async def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
+    async def decide_batch(
+        self, problem: Problem, dbs, *, trace_id: str | None = None
+    ) -> BatchDecision:
         result = await self.request(
-            "decide_batch", problem=problem, instances=list(dbs)
+            "decide_batch", problem=problem, instances=list(dbs),
+            trace_id=trace_id,
         )
         return BatchDecision.from_dict(result["batch"])
 
@@ -320,20 +386,32 @@ class AsyncServeClient:
         """The server's Prometheus text exposition (the ``metrics`` verb)."""
         return (await self.request("metrics"))["exposition"]
 
+    async def trace(self, trace_id: str) -> dict:
+        """The retained phase spans of one trace (the ``trace`` verb)."""
+        return await self.request("trace", trace_id=trace_id)
+
     async def shutdown(self) -> dict:
         return await self.request("shutdown")
 
     # -- lifecycle ------------------------------------------------------------
 
     async def close(self) -> None:
+        """Cancel the reader and close the stream; idempotent, and safe
+        even when the connection already died under the client."""
         if self._closed:
             return
         self._closed = True
         self._read_task.cancel()
-        self._writer.close()
         try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            pass  # the reader's own failure must not leak out of close()
+        try:
+            self._writer.close()
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (OSError, ConnectionResetError, BrokenPipeError):
             pass
 
     async def __aenter__(self) -> "AsyncServeClient":

@@ -40,7 +40,9 @@ micro-batch, one plan-cache lookup per batch on the worker.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from dataclasses import dataclass
 
 from ..api.decision import BatchDecision, Decision
@@ -48,9 +50,14 @@ from ..api.problem import Problem
 from ..core.classify import Classification, classify
 from ..db.instance import DatabaseInstance
 from ..engine.engine import EngineStats, merge_engine_stats
+from ..engine.metrics import MetricsSnapshot, merge_snapshots
 from ..exceptions import WorkerUnavailableError
+from ..obs.log import get_logger, log_event
+from ..obs.trace import current_trace_id, recorder
 from .client import ServeClient
 from .shard import HashRing, ShardStats
+
+_logger = get_logger("serve.fleet")
 
 
 @dataclass(frozen=True)
@@ -86,17 +93,31 @@ class _WorkerSession:
         self._shard = shard
 
     def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
-        result = self._fleet._request(
-            self._shard, "decide", problem=problem, instance=db
+        result = self._hop(
+            "decide", problem=problem, instance=db
         )
         return Decision.from_dict(result["decision"])
 
     def decide_batch(self, problem: Problem, dbs) -> BatchDecision:
-        result = self._fleet._request(
-            self._shard, "decide_batch", problem=problem,
-            instances=list(dbs),
+        result = self._hop(
+            "decide_batch", problem=problem, instances=list(dbs),
         )
         return BatchDecision.from_dict(result["batch"])
+
+    def _hop(self, verb: str, **payload) -> dict:
+        """One wire hop to the worker, carrying the ambient trace id (set
+        by the front's micro-batcher) and recorded as the front-side
+        ``transport`` span — the worker records its own ``solve``."""
+        trace_id = current_trace_id()
+        start = time.perf_counter()
+        result = self._fleet._request(
+            self._shard, verb, trace_id=trace_id, **payload
+        )
+        recorder().record(
+            trace_id, "transport", time.perf_counter() - start,
+            labels={"worker": str(self._shard)},
+        )
+        return result
 
 
 class FleetEngine:
@@ -220,6 +241,11 @@ class FleetEngine:
                 if not _is_transport(first):
                     raise  # RemoteError and friends: the worker answered
                 self._drop_client(shard)
+                log_event(
+                    _logger, logging.WARNING, "fleet.retry",
+                    shard=shard, verb=verb, generation=generation,
+                    error=type(first).__name__,
+                )
             # restart is a generation CAS: it respawns only if the worker
             # really died; if it merely hung up on us, the fresh
             # connection below is the whole repair
@@ -231,6 +257,11 @@ class FleetEngine:
                 if not _is_transport(second):
                     raise
                 self._drop_client(shard)
+                log_event(
+                    _logger, logging.ERROR, "fleet.unavailable",
+                    shard=shard, verb=verb,
+                    error=type(second).__name__,
+                )
                 raise WorkerUnavailableError(
                     f"worker {shard} failed twice across a respawn: "
                     f"{second}"
@@ -273,6 +304,35 @@ class FleetEngine:
     def merged_stats(self) -> EngineStats:
         """One fleet-wide :class:`EngineStats` over every worker."""
         return merge_engine_stats(entry.stats for entry in self.stats())
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Every worker-side span still retained for *trace_id* (as
+        :meth:`~repro.obs.Span.to_dict` documents).  A worker that cannot
+        answer is skipped — a partial trace beats none."""
+        spans: list[dict] = []
+        for shard in range(self.n_shards):
+            try:
+                payload = self._request(shard, "trace", trace_id=trace_id)
+            except Exception:
+                continue
+            spans.extend(payload.get("spans") or [])
+        return spans
+
+    def worker_phases(self) -> dict[str, MetricsSnapshot]:
+        """The fleet-wide per-phase latency aggregates: every worker's
+        ``stats`` phases, merged by phase name."""
+        merged: dict[str, MetricsSnapshot] = {}
+        for shard in range(self.n_shards):
+            try:
+                payload = self._request(shard, "stats")
+            except Exception:
+                continue
+            for name, entry in (payload.get("phases") or {}).items():
+                snapshot = MetricsSnapshot.from_dict(entry)
+                if name in merged:
+                    snapshot = merge_snapshots([merged[name], snapshot])
+                merged[name] = snapshot
+        return merged
 
     # -- resizing ------------------------------------------------------------
 

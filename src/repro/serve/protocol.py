@@ -36,8 +36,19 @@ Verbs and their payloads:
     page (``repro_server_*`` serving counters plus every shard's
     ``EngineStats.to_prom()`` labelled ``shard="i"``), ready to hand to a
     scrape endpoint.
+``trace``
+    ``trace_id``; answers ``{"trace_id": ..., "spans": [Span dicts]}`` —
+    every phase span the server (and, behind a fleet front, its workers)
+    still retains for that trace, in start order.
 ``shutdown``
     no payload; answers ``{"stopping": true}`` and the server drains.
+
+Any request may carry the optional tracing fields ``trace_id`` (an
+opaque string naming the request's distributed trace; clients generate
+one per decide when the caller does not) and ``parent_span`` (the
+caller's enclosing span name, for nested tracing).  Servers propagate
+the trace id through the micro-batcher and any fleet worker hop, record
+phase spans under it, and echo it in decide results.
 
 Responses are either ``{"id": ..., "ok": true, "result": {...}}`` or the
 structured error envelope ``{"id": ..., "ok": false, "error": {"code":
@@ -72,7 +83,7 @@ VERSION = 1
 
 VERBS = (
     "ping", "decide", "decide_batch", "classify", "explain", "stats",
-    "metrics", "shutdown",
+    "metrics", "trace", "shutdown",
 )
 
 #: code → meaning of the structured error envelope.
@@ -97,6 +108,8 @@ class Request:
     problem: dict | None = None
     instance: dict | None = None
     instances: list | None = None
+    trace_id: str | None = None
+    parent_span: str | None = None
 
     def to_dict(self) -> dict:
         data: dict = {"id": self.id, "verb": self.verb}
@@ -106,6 +119,10 @@ class Request:
             data["instance"] = self.instance
         if self.instances is not None:
             data["instances"] = self.instances
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+        if self.parent_span is not None:
+            data["parent_span"] = self.parent_span
         return data
 
 
@@ -156,12 +173,20 @@ def decode_request(line: bytes | str | dict) -> Request:
     instances = data.get("instances")
     if instances is not None and not isinstance(instances, list):
         raise ServeProtocolError("request 'instances' must be a list")
+    trace_id = data.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ServeProtocolError("request 'trace_id' must be a string")
+    parent_span = data.get("parent_span")
+    if parent_span is not None and not isinstance(parent_span, str):
+        raise ServeProtocolError("request 'parent_span' must be a string")
     return Request(
         id=request_id,
         verb=verb,
         problem=problem,
         instance=instance,
         instances=instances,
+        trace_id=trace_id,
+        parent_span=parent_span,
     )
 
 

@@ -35,7 +35,9 @@ and benchmarks (the same server on a daemon thread with a ready handshake).
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -44,7 +46,16 @@ from ..api.problem import Problem
 from ..api.session import SessionConfig
 from ..db import io as db_io
 from ..db.instance import DatabaseInstance
+from ..engine.metrics import merge_snapshots
 from ..exceptions import ServeProtocolError
+from ..obs.log import (
+    LOG_FORMATS,
+    LOG_LEVELS,
+    get_logger,
+    log_event,
+    setup_logging,
+)
+from ..obs.trace import configure_recorder, recorder, trace_context
 from .protocol import (
     PROTOCOL,
     VERBS,
@@ -65,6 +76,8 @@ from .protocol import (
 # parse).
 _OFFLOAD_FRAME_BYTES = 64 * 1024
 from .shard import ShardedEngine
+
+_logger = get_logger("serve.server")
 
 
 @dataclass(frozen=True)
@@ -88,8 +101,21 @@ class ServerConfig:
     linger_ms: float = 1.0  # ... or this long after its first request
     max_workers: int | None = None  # thread pool size; None: one per shard
     max_frame_bytes: int = 16 * 1024 * 1024  # per-line stream buffer cap
+    log_level: str = "warning"  # repro.obs.log level for the server process
+    log_format: str = "human"  # "human" or "json"
+    span_log: str | None = None  # JSON-lines span sink (front process only)
 
     def __post_init__(self) -> None:
+        if self.log_level not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log_level {self.log_level!r}; expected one of "
+                f"{sorted(LOG_LEVELS)}"
+            )
+        if self.log_format not in LOG_FORMATS:
+            raise ValueError(
+                f"unknown log_format {self.log_format!r}; expected one of "
+                f"{LOG_FORMATS}"
+            )
         if self.shards < 1:
             raise ValueError(f"need at least one shard, got {self.shards}")
         if self.processes < 0:
@@ -143,6 +169,12 @@ class ServerConfig:
             max_batch=self.max_batch,
             linger_ms=0.0,
             max_frame_bytes=self.max_frame_bytes * self.max_batch,
+            # workers log with the front's verbosity (their stderr is
+            # captured by the supervisor for crash forensics); the span
+            # ring is per-process, but the JSON-lines sink is front-only
+            # so concurrent workers never interleave on one file
+            log_level=self.log_level,
+            log_format=self.log_format,
         )
 
 
@@ -188,7 +220,8 @@ class _PendingGroup:
 
     Items carry the requesting spelling's raw fingerprint so each response
     reports the exact spelling it answered, even when renaming-isomorphic
-    twins folded into the same batch.
+    twins folded into the same batch — plus the request's trace id and
+    enqueue time, so the flush can attribute ``batch_linger`` per request.
     """
 
     __slots__ = ("problem", "shard", "items", "timer")
@@ -197,7 +230,7 @@ class _PendingGroup:
         self.problem = problem
         self.shard = shard
         self.items: list[
-            tuple[DatabaseInstance, str, asyncio.Future]
+            tuple[DatabaseInstance, str, asyncio.Future, str | None, float]
         ] = []
         self.timer: asyncio.TimerHandle | None = None
 
@@ -230,7 +263,12 @@ class MicroBatcher:
         self._pending: dict[str, _PendingGroup] = {}
         self._inflight: set[asyncio.Future] = set()
 
-    async def submit(self, problem: Problem, db: DatabaseInstance) -> dict:
+    async def submit(
+        self,
+        problem: Problem,
+        db: DatabaseInstance,
+        trace_id: str | None = None,
+    ) -> dict:
         """Queue one decide; resolves with the per-request result payload.
 
         *db* must already be transported into *problem*'s canonical
@@ -257,7 +295,10 @@ class MicroBatcher:
                     ),
                 )
         future: asyncio.Future = loop.create_future()
-        group.items.append((db, problem.fingerprint.raw, future))
+        group.items.append(
+            (db, problem.fingerprint.raw, future, trace_id,
+             time.perf_counter())
+        )
         if len(group.items) >= self._max_batch or self._linger == 0:
             await self._flush(digest)
         return await future
@@ -277,14 +318,37 @@ class MicroBatcher:
         if group.timer is not None:
             group.timer.cancel()
         loop = asyncio.get_running_loop()
-        dbs = [db for db, _, _ in group.items]
-        raws = [raw for _, raw, _ in group.items]
-        futures = [f for _, _, f in group.items]
+        dbs = [db for db, _, _, _, _ in group.items]
+        raws = [raw for _, raw, _, _, _ in group.items]
+        futures = [f for _, _, f, _, _ in group.items]
+        trace_ids = [tid for _, _, _, tid, _ in group.items]
+        flushed_at = time.perf_counter()
+        spans = recorder()
+        for (_, _, _, tid, enqueued) in group.items:
+            spans.record(
+                tid, "batch_linger", flushed_at - enqueued,
+                labels={"class": digest},
+            )
         self._metrics.count_micro_batch(len(dbs))
         session = self._sharded.session(group.shard)
-        run = loop.run_in_executor(
-            self._pool, session.decide_batch, group.problem, dbs
-        )
+
+        def _execute():
+            # queue_wait = flush → thread-pool pick-up; the solve span is
+            # recorded by the session under the ambient trace context —
+            # attributed to the group's first traced request (one batch,
+            # one engine call).  Context vars do not cross executor
+            # threads, so the context is re-entered here.
+            started = time.perf_counter()
+            for tid in trace_ids:
+                spans.record(
+                    tid, "queue_wait", started - flushed_at,
+                    labels={"class": digest},
+                )
+            opener = next((t for t in trace_ids if t), None)
+            with trace_context(opener):
+                return session.decide_batch(group.problem, dbs)
+
+        run = loop.run_in_executor(self._pool, _execute)
         self._inflight.add(run)
         run.add_done_callback(self._inflight.discard)
         try:
@@ -303,7 +367,9 @@ class MicroBatcher:
         if plan is not None:
             for raw in set(raws):
                 plan.note_spelling(raw)
-        for answer, raw, future in zip(batch.answers, raws, futures):
+        for answer, raw, future, tid in zip(
+            batch.answers, raws, futures, trace_ids
+        ):
             if not future.done():
                 decision = Decision(
                     certain=bool(answer),
@@ -316,13 +382,14 @@ class MicroBatcher:
                     # request actually waited on the engine
                     wall_seconds=batch.wall_seconds,
                 )
-                future.set_result(
-                    {
-                        "decision": decision.to_dict(),
-                        "shard": group.shard,
-                        "micro_batch": len(batch.answers),
-                    }
-                )
+                payload = {
+                    "decision": decision.to_dict(),
+                    "shard": group.shard,
+                    "micro_batch": len(batch.answers),
+                }
+                if tid is not None:
+                    payload["trace_id"] = tid
+                future.set_result(payload)
 
     async def drain(self) -> None:
         """Flush every open group and wait for in-flight batches (shutdown)."""
@@ -345,6 +412,8 @@ class CertaintyServer:
     def __init__(self, config: ServerConfig | None = None):
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
+        if self.config.span_log:
+            configure_recorder(span_log=self.config.span_log)
         if self.config.processes > 0:
             # imported here: fleet -> supervisor -> server is the worker's
             # import path, so the module level must stay acyclic
@@ -484,6 +553,10 @@ class CertaintyServer:
         write_lock: asyncio.Lock,
     ) -> None:
         request_id: int | str | None = None
+        trace_id: str | None = None
+        verb = "<undecoded>"
+        started = time.perf_counter()
+        error_code: str | None = None
         try:
             offload = len(line) > _OFFLOAD_FRAME_BYTES
             if offload:
@@ -494,6 +567,8 @@ class CertaintyServer:
             if isinstance(raw_id, (int, str)) and not isinstance(raw_id, bool):
                 request_id = raw_id
             request = decode_request(frame)
+            trace_id = request.trace_id
+            verb = request.verb
             # bound the verbs counter to the protocol vocabulary so junk
             # verb strings cannot grow server memory without limit
             self.metrics.count_request(
@@ -503,15 +578,32 @@ class CertaintyServer:
             response = ok_response(request.id, result)
         except Exception as error:  # every failure becomes an envelope
             self.metrics.count_error()
-            response = error_response(
-                request_id, error_code_for(error), str(error)
-            )
+            error_code = error_code_for(error)
+            response = error_response(request_id, error_code, str(error))
+        respond_start = time.perf_counter()
         async with write_lock:
             try:
                 writer.write(encode_frame(response))
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
                 pass  # client went away; nothing to tell it
+        recorder().record(
+            trace_id, "respond", time.perf_counter() - respond_start,
+            labels={"verb": verb},
+        )
+        # per-request completion line — the explicit isEnabledFor gate
+        # keeps the default (WARNING) configuration free of any
+        # per-request logging work, argument construction included
+        if _logger.isEnabledFor(logging.INFO):
+            log_event(
+                _logger, logging.INFO, "request",
+                verb=verb,
+                id=request_id,
+                trace_id=trace_id,
+                ok=error_code is None,
+                error=error_code,
+                ms=round((time.perf_counter() - started) * 1e3, 3),
+            )
 
     # -- verb dispatch -------------------------------------------------------
 
@@ -539,28 +631,61 @@ class CertaintyServer:
                 )
             else:
                 problem, db = self._decode_decide(request)
-            return await self._batcher.submit(problem, db)
+            return await self._batcher.submit(
+                problem, db, trace_id=request.trace_id
+            )
         if verb == "decide_batch":
             if request.instances is None:
                 self._require_problem(request)
                 raise ServeProtocolError(
                     "'decide_batch' needs an 'instances' list"
                 )
-            if offload:
-                problem, dbs = await self._run_on_pool(
-                    lambda: (
-                        self._require_problem(request),
-                        [db_io.from_dict(e) for e in request.instances],
-                    )
-                )
-            else:
+
+            def _decode_batch():
+                decode_start = time.perf_counter()
                 problem = self._require_problem(request)
-                dbs = [db_io.from_dict(entry) for entry in request.instances]
+                dbs = [db_io.from_dict(e) for e in request.instances]
+                recorder().record(
+                    request.trace_id, "canonicalize",
+                    time.perf_counter() - decode_start,
+                    labels={"class": problem.fingerprint.digest},
+                )
+                return problem, dbs
+
+            if offload:
+                problem, dbs = await self._run_on_pool(_decode_batch)
+            else:
+                problem, dbs = _decode_batch()
             shard = self._sharded.shard_for(problem)
-            batch = await self._run_on_pool(
-                self._sharded.session(shard).decide_batch, problem, dbs
-            )
-            return {"batch": batch.to_dict(), "shard": shard}
+            session = self._sharded.session(shard)
+
+            def _run_batch():
+                # context vars do not cross executor threads; re-enter so
+                # the session (or the fleet's worker hop) sees the trace
+                with trace_context(request.trace_id):
+                    return session.decide_batch(problem, dbs)
+
+            batch = await self._run_on_pool(_run_batch)
+            result = {"batch": batch.to_dict(), "shard": shard}
+            if request.trace_id is not None:
+                result["trace_id"] = request.trace_id
+            return result
+        if verb == "trace":
+            if not request.trace_id:
+                raise ServeProtocolError("'trace' needs a 'trace_id'")
+            spans = [
+                span.to_dict()
+                for span in recorder().spans_for(request.trace_id)
+            ]
+            # behind a fleet front, the solve spans live in the worker
+            # processes' rings — collect and merge them
+            collect = getattr(self._sharded, "trace", None)
+            if collect is not None:
+                spans.extend(
+                    await self._run_on_pool(collect, request.trace_id)
+                )
+            spans.sort(key=lambda s: s.get("start", 0.0))
+            return {"trace_id": request.trace_id, "spans": spans}
         if verb == "classify":
             problem = self._require_problem(request)
             classification = await self._run_on_pool(
@@ -588,6 +713,7 @@ class CertaintyServer:
 
     async def _stats(self) -> dict:
         shard_stats = await self._run_on_pool(self._sharded.stats)
+        phases = await self._run_on_pool(self._merged_phases)
         return {
             "server": {
                 **self.metrics.to_dict(),
@@ -598,6 +724,25 @@ class CertaintyServer:
                 "fo_backend": self.config.fo_backend,
             },
             "shards": [entry.to_dict() for entry in shard_stats],
+            "phases": {
+                name: snapshot.to_dict() for name, snapshot in phases.items()
+            },
+        }
+
+    def _merged_phases(self) -> dict:
+        """Per-phase latency snapshots: this process's recorder merged
+        with every fleet worker's (workers hold the ``solve`` phases)."""
+        merged = {
+            name: [snapshot]
+            for name, snapshot in recorder().phase_snapshots().items()
+        }
+        collect = getattr(self._sharded, "worker_phases", None)
+        if collect is not None:
+            for name, snapshot in collect().items():
+                merged.setdefault(name, []).append(snapshot)
+        return {
+            name: merge_snapshots(snapshots)
+            for name, snapshots in sorted(merged.items())
         }
 
     async def _prom_metrics(self) -> dict:
@@ -609,8 +754,10 @@ class CertaintyServer:
         format requires) — the scrape side of the stats verb.
         """
         from ..engine.engine import prom_exposition
+        from ..engine.metrics import LATENCY_BUCKET_BOUNDS
 
         shard_stats = await self._run_on_pool(self._sharded.stats)
+        phases = await self._run_on_pool(self._merged_phases)
         counters = self.metrics.to_dict()
         lines = []
         for name, help_text in (
@@ -623,6 +770,36 @@ class CertaintyServer:
             lines.append(f"# HELP repro_server_{name}_total {help_text}")
             lines.append(f"# TYPE repro_server_{name}_total counter")
             lines.append(f"repro_server_{name}_total {counters[name]}")
+        if phases:
+            lines.append(
+                "# HELP repro_phase_latency_seconds Request phase latency "
+                "(queue_wait/batch_linger/canonicalize/transport/solve/"
+                "respond), fleet-wide."
+            )
+            lines.append("# TYPE repro_phase_latency_seconds histogram")
+            for phase, snapshot in phases.items():
+                cumulative = 0
+                for bound, count in zip(
+                    LATENCY_BUCKET_BOUNDS, snapshot.histogram
+                ):
+                    cumulative += count
+                    lines.append(
+                        "repro_phase_latency_seconds_bucket"
+                        f'{{phase="{phase}",le="{bound!r}"}} {cumulative}'
+                    )
+                cumulative += snapshot.histogram[-1]
+                lines.append(
+                    "repro_phase_latency_seconds_bucket"
+                    f'{{phase="{phase}",le="+Inf"}} {cumulative}'
+                )
+                lines.append(
+                    "repro_phase_latency_seconds_sum"
+                    f'{{phase="{phase}"}} {snapshot.total_seconds}'
+                )
+                lines.append(
+                    "repro_phase_latency_seconds_count"
+                    f'{{phase="{phase}"}} {snapshot.evaluations}'
+                )
         exposition = "\n".join(lines) + "\n" + prom_exposition(
             ({"shard": str(entry.shard)}, entry.stats)
             for entry in shard_stats
@@ -631,10 +808,22 @@ class CertaintyServer:
 
     def _decode_decide(self, request: Request) -> tuple[Problem, DatabaseInstance]:
         """Decode + canonicalize a decide payload, transporting the
-        instance into the problem's canonical spelling."""
+        instance into the problem's canonical spelling.
+
+        The whole step is the ``canonicalize`` span: payload decode,
+        canonical-form computation, and the instance transport into the
+        canonical spelling.
+        """
+        decode_start = time.perf_counter()
         problem = self._require_problem(request)
         db = db_io.from_dict(request.instance)
-        return problem, problem.canonical.transport_instance(db)
+        transported = problem.canonical.transport_instance(db)
+        recorder().record(
+            request.trace_id, "canonicalize",
+            time.perf_counter() - decode_start,
+            labels={"class": problem.fingerprint.digest},
+        )
+        return problem, transported
 
     async def _run_on_pool(self, fn, *args):
         return await asyncio.get_running_loop().run_in_executor(
@@ -662,6 +851,7 @@ def run_server(config: ServerConfig | None = None) -> None:
     """Run a server in the foreground until interrupted or told to stop
     (the ``repro serve`` entry point)."""
     config = config or ServerConfig()
+    setup_logging(config.log_level, config.log_format)
 
     def announce(server: CertaintyServer) -> None:
         host, port = server.address
@@ -675,6 +865,15 @@ def run_server(config: ServerConfig | None = None) -> None:
             f"{server.config.fo_backend}, max_batch="
             f"{server.config.max_batch}, linger={server.config.linger_ms}ms)",
             flush=True,
+        )
+        log_event(
+            _logger, logging.INFO, "serve.start",
+            host=host, port=port,
+            processes=server.config.processes or None,
+            shards=(
+                None if server.config.processes else server.config.shards
+            ),
+            fo_backend=server.config.fo_backend,
         )
 
     try:

@@ -32,18 +32,28 @@ drain, the operating system reaps the fleet rather than leaking it.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import tempfile
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..exceptions import WorkerUnavailableError
+from ..obs.log import get_logger, log_event
 
 # Late imports of .server inside functions below keep the import graph
 # acyclic (server -> fleet -> supervisor) and are re-resolved inside the
 # spawned child anyway.
+
+_logger = get_logger("serve.supervisor")
+
+#: How much of a dead worker's stderr file the crash log quotes (bytes
+#: read from the tail, then trimmed to whole lines).
+_FORENSICS_TAIL_BYTES = 8192
+_FORENSICS_TAIL_LINES = 15
 
 
 @dataclass(frozen=True)
@@ -55,23 +65,45 @@ class WorkerHandle:
     process: multiprocessing.process.BaseProcess
     host: str
     port: int
+    stderr_path: str | None = None
 
     @property
     def alive(self) -> bool:
         return self.process.is_alive()
 
 
-def worker_main(conn, config) -> None:
+def worker_main(conn, config, stderr_path: str | None = None) -> None:
     """The worker process body: serve one private ``CertaintyServer``.
 
     *conn* is the supervisor's pipe; the worker sends ``("ready", host,
     port)`` exactly once, after the socket is bound.  Runs until a
     ``shutdown`` verb arrives (the drain path) or the process is killed
-    (the crash path the supervisor recovers from).
+    (the crash path the supervisor recovers from).  When *stderr_path*
+    is given, fd 2 is redirected there so crash tracebacks (and the
+    worker's own log stream) survive the process for the supervisor's
+    forensics.
     """
     import asyncio
 
+    if stderr_path is not None:
+        try:
+            fd = os.open(
+                stderr_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600
+            )
+            os.dup2(fd, 2)
+            os.close(fd)
+        except OSError:
+            pass  # no forensics file, but the worker must still serve
+
+    from ..obs.log import setup_logging
+    from ..obs.trace import configure_recorder
     from .server import CertaintyServer
+
+    setup_logging(
+        getattr(config, "log_level", "warning"),
+        getattr(config, "log_format", "human"),
+    )
+    configure_recorder(site=f"worker-{os.getpid()}")
 
     async def run() -> None:
         server = CertaintyServer(config)
@@ -85,6 +117,26 @@ def worker_main(conn, config) -> None:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         pass
+
+
+def _stderr_tail(path: str | None) -> str | None:
+    """The last few lines of a worker's stderr file (bounded read), or
+    ``None`` when there is nothing to quote."""
+    if path is None:
+        return None
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(max(0, size - _FORENSICS_TAIL_BYTES))
+            data = handle.read(_FORENSICS_TAIL_BYTES)
+    except OSError:
+        return None
+    text = data.decode("utf-8", errors="replace").strip()
+    if not text:
+        return None
+    lines = text.splitlines()[-_FORENSICS_TAIL_LINES:]
+    return "\n".join(lines)
 
 
 #: Serializes the PYTHONPATH set/spawn/restore window across every
@@ -159,9 +211,13 @@ class FleetSupervisor:
         with self._lock:
             self._generation += 1
             generation = self._generation
+        stderr_fd, stderr_path = tempfile.mkstemp(
+            prefix=f"repro-worker-{shard}-", suffix=".stderr"
+        )
+        os.close(stderr_fd)  # the child reopens by path (spawn-safe)
         process = self._context.Process(
             target=worker_main,
-            args=(child_conn, self._worker_config),
+            args=(child_conn, self._worker_config, stderr_path),
             name=f"repro-fleet-worker-{shard}",
             daemon=True,
         )
@@ -171,6 +227,10 @@ class FleetSupervisor:
         with self._child_pythonpath():
             process.start()
         child_conn.close()
+        log_event(
+            _logger, logging.INFO, "worker.spawn",
+            shard=shard, generation=generation, pid=process.pid,
+        )
         try:
             if not parent_conn.poll(self._spawn_timeout):
                 raise WorkerUnavailableError(
@@ -181,23 +241,37 @@ class FleetSupervisor:
         except (EOFError, OSError) as error:
             process.kill()
             process.join(timeout=5)
+            log_event(
+                _logger, logging.ERROR, "worker.crash",
+                shard=shard, generation=generation,
+                exit_code=process.exitcode, during="startup",
+                stderr_tail=_stderr_tail(stderr_path),
+            )
+            self._remove_stderr(stderr_path)
             raise WorkerUnavailableError(
                 f"worker {shard} died during startup: {error}"
             ) from error
         except WorkerUnavailableError:
             process.kill()
             process.join(timeout=5)
+            self._remove_stderr(stderr_path)
             raise
         finally:
             parent_conn.close()
         tag, host, port = message
         assert tag == "ready", f"unexpected handshake message {message!r}"
+        log_event(
+            _logger, logging.INFO, "worker.ready",
+            shard=shard, generation=generation, pid=process.pid,
+            host=host, port=port,
+        )
         return WorkerHandle(
             shard=shard,
             generation=generation,
             process=process,
             host=host,
             port=port,
+            stderr_path=stderr_path,
         )
 
     @staticmethod
@@ -281,7 +355,19 @@ class FleetSupervisor:
                         f"worker {shard} is down and respawning is disabled"
                     )
             handle.process.join(timeout=0.1)
+            log_event(
+                _logger, logging.ERROR, "worker.crash",
+                shard=shard, generation=handle.generation,
+                exit_code=handle.process.exitcode,
+                stderr_tail=_stderr_tail(handle.stderr_path),
+            )
+            self._remove_stderr(handle.stderr_path)
             replacement = self._spawn(shard)
+            log_event(
+                _logger, logging.INFO, "worker.respawn",
+                shard=shard, generation=replacement.generation,
+                replaced=handle.generation,
+            )
             with self._lock:
                 if self._stopped or shard >= len(self._handles):
                     # stop()/shrink raced the spawn: don't leak the worker
@@ -310,6 +396,10 @@ class FleetSupervisor:
                 return
             for handle in self.handles():
                 if not handle.alive:
+                    log_event(
+                        _logger, logging.WARNING, "worker.heartbeat-miss",
+                        shard=handle.shard, generation=handle.generation,
+                    )
                     try:
                         self.restart(handle.shard, handle.generation)
                     except WorkerUnavailableError:
@@ -346,6 +436,10 @@ class FleetSupervisor:
 
     def _drain(self, handle: WorkerHandle) -> None:
         """Gracefully stop one worker: shutdown verb, join, escalate."""
+        log_event(
+            _logger, logging.INFO, "worker.drain",
+            shard=handle.shard, generation=handle.generation,
+        )
         if handle.alive:
             try:
                 from .client import ServeClient
@@ -363,13 +457,23 @@ class FleetSupervisor:
         if handle.alive:  # pragma: no cover - last resort
             handle.process.kill()
             handle.process.join(timeout=2)
+        self._remove_stderr(handle.stderr_path)
 
     def _kill_all(self) -> None:
         for handle in self._handles:
             if handle.alive:
                 handle.process.kill()
                 handle.process.join(timeout=2)
+            self._remove_stderr(handle.stderr_path)
         self._handles.clear()
+
+    @staticmethod
+    def _remove_stderr(path: str | None) -> None:
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def stop(self) -> None:
         """Drain every worker and stop the heartbeat (idempotent)."""

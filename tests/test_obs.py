@@ -1,0 +1,800 @@
+"""Tests for the observability layer (`repro.obs`): the span recorder
+and ambient trace context, structured logging, SLO tier classification
+and per-tier quantiles, snapshot/stats merge edge cases, the `trace` and
+`slo` CLI commands, and the end-to-end guarantee — one trace id links
+the client's request, the server's log line, and the phase spans across
+both thread-shard and process-fleet deployments."""
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.api import Problem, Session, SessionConfig, connect
+from repro.core.schema import Schema
+from repro.db.instance import DatabaseInstance
+from repro.engine import EngineStats, merge_engine_stats
+from repro.engine.metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    MetricsSnapshot,
+    PlanMetrics,
+    merge_snapshots,
+)
+from repro.obs import (
+    PHASES,
+    HumanFormatter,
+    JsonFormatter,
+    Span,
+    SpanRecorder,
+    current_trace_id,
+    format_slo_report,
+    get_logger,
+    log_event,
+    new_trace_id,
+    record_span,
+    recorder,
+    setup_logging,
+    span,
+    tier_for,
+    trace_context,
+)
+from repro.serve import BackgroundServer, ServeClient, ServerConfig
+from repro.workloads import fig1_instance, intro_query_q0
+
+
+def _fig1_problem() -> Problem:
+    query, fks = intro_query_q0()
+    return Problem(query, fks, name="fig1")
+
+
+def _chain_db() -> DatabaseInstance:
+    schema = Schema.of(R=(2, 1), S=(2, 1))
+    return DatabaseInstance.build(
+        schema, {"R": [("a", "b")], "S": [("b", "c")]}
+    )
+
+
+class _Capture(logging.Handler):
+    """A list-backed handler (caplog cannot see `propagate=False`
+    loggers, and the repro loggers are attached directly anyway)."""
+
+    def __init__(self, level=logging.DEBUG):
+        super().__init__(level)
+        self.records: list[logging.LogRecord] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record)
+
+    def events(self) -> list[str]:
+        return [r.getMessage() for r in self.records]
+
+
+@pytest.fixture
+def capture():
+    """Capture every `repro.*` log record at DEBUG for one test."""
+    logger = logging.getLogger("repro")
+    handler = _Capture()
+    previous = logger.level
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG)
+    try:
+        yield handler
+    finally:
+        logger.removeHandler(handler)
+        logger.setLevel(previous)
+
+
+# ---------------------------------------------------------------------------
+# trace ids, context, recorder
+
+
+class TestTraceContext:
+    def test_new_trace_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 32 and int(i, 16) >= 0 for i in ids)
+
+    def test_ambient_context_nests_and_restores(self):
+        assert current_trace_id() is None
+        with trace_context("outer"):
+            assert current_trace_id() == "outer"
+            with trace_context("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+        assert current_trace_id() is None
+
+    def test_context_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with trace_context("t"):
+                raise RuntimeError("boom")
+        assert current_trace_id() is None
+
+
+class TestSpanRecorder:
+    def test_ring_is_bounded(self):
+        rec = SpanRecorder(capacity=4)
+        for i in range(10):
+            rec.record(f"t{i}", "solve", 0.001)
+        assert len(rec) == 4
+        assert rec.spans_for("t0") == ()
+        assert len(rec.spans_for("t9")) == 1
+
+    def test_untraced_spans_feed_aggregates_only(self):
+        rec = SpanRecorder(capacity=8)
+        assert rec.record(None, "solve", 0.002) is None
+        assert len(rec) == 0
+        snap = rec.phase_snapshots()["solve"]
+        assert snap.evaluations == 1
+
+    def test_traced_span_carries_site_and_labels(self):
+        rec = SpanRecorder(capacity=8, site="worker-123")
+        made = rec.record("tid", "transport", 0.5, labels={"worker": "3"})
+        assert made.site == "worker-123"
+        assert made.labels == {"worker": "3"}
+        doc = made.to_dict()
+        assert Span.from_dict(doc) == made
+
+    def test_negative_durations_are_clamped_in_aggregates(self):
+        rec = SpanRecorder(capacity=8)
+        rec.record(None, "queue_wait", -0.5)  # clock skew must not raise
+        assert rec.phase_snapshots()["queue_wait"].evaluations == 1
+
+    def test_json_lines_sink(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        rec = SpanRecorder(capacity=8, span_log=str(path))
+        rec.record("tid", "solve", 0.001, labels={"class": "abc"})
+        rec.record(None, "solve", 0.001)  # untraced: not sunk
+        rec.close()
+        rec.close()  # idempotent
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["trace_id"] == "tid"
+        assert lines[0]["name"] == "solve"
+
+    def test_record_span_uses_ambient_trace(self):
+        rec = recorder()
+        tid = new_trace_id()
+        with trace_context(tid):
+            record_span("respond", 0.001, labels={"verb": "ping"})
+        assert [s.name for s in rec.spans_for(tid)] == ["respond"]
+
+    def test_span_context_manager_times_the_block(self):
+        tid = new_trace_id()
+        with trace_context(tid):
+            with span("canonicalize", **{"class": "xyz"}):
+                time.sleep(0.002)
+        (made,) = recorder().spans_for(tid)
+        assert made.seconds >= 0.002
+        assert made.labels == {"class": "xyz"}
+
+    def test_phase_vocabulary_is_fixed(self):
+        assert PHASES == (
+            "queue_wait", "batch_linger", "canonicalize", "transport",
+            "solve", "respond",
+        )
+
+
+# ---------------------------------------------------------------------------
+# structured logging
+
+
+class TestLogging:
+    def test_setup_is_idempotent(self):
+        stream_logger = logging.getLogger("repro")
+        before = list(stream_logger.handlers)
+        try:
+            setup_logging("info", "json")
+            first = [
+                h for h in stream_logger.handlers if h not in before
+            ]
+            setup_logging("debug", "human")
+            second = [
+                h for h in stream_logger.handlers if h not in before
+            ]
+            assert len(first) == len(second) == 1
+            assert first[0] is not second[0]  # replaced, not stacked
+        finally:
+            for handler in stream_logger.handlers[:]:
+                if handler not in before:
+                    stream_logger.removeHandler(handler)
+            stream_logger.setLevel(logging.NOTSET)
+            stream_logger.propagate = True
+
+    def test_setup_rejects_unknown_level_and_format(self):
+        with pytest.raises(ValueError):
+            setup_logging("chatty", "human")
+        with pytest.raises(ValueError):
+            setup_logging("info", "xml")
+
+    def test_json_formatter_emits_event_and_fields(self):
+        logger = get_logger("test.json")
+        record = logger.makeRecord(
+            logger.name, logging.INFO, __file__, 1, "request", (), None,
+        )
+        record.event_fields = {"trace_id": "abc", "ms": 1.5}
+        doc = json.loads(JsonFormatter().format(record))
+        assert doc["event"] == "request"
+        assert doc["level"] == "info"
+        assert doc["trace_id"] == "abc"
+        assert doc["ms"] == 1.5
+
+    def test_human_formatter_renders_key_values(self):
+        logger = get_logger("test.human")
+        record = logger.makeRecord(
+            logger.name, logging.WARNING, __file__, 1, "decide.slow", (),
+            None,
+        )
+        record.event_fields = {"backend": "fo-sql"}
+        line = HumanFormatter().format(record)
+        assert "decide.slow" in line
+        assert "backend=fo-sql" in line
+        assert "WARNING" in line
+
+    def test_log_event_drops_none_fields(self, capture):
+        log_event(
+            get_logger("test.fields"), logging.INFO, "ev", a=1, b=None
+        )
+        (record,) = capture.records
+        assert record.event_fields == {"a": 1}
+
+    def test_log_event_is_gated_by_level(self):
+        logger = get_logger("test.gated")
+        handler = _Capture()
+        logger.addHandler(handler)
+        logger.setLevel(logging.WARNING)
+        logger.propagate = False
+        try:
+            log_event(logger, logging.DEBUG, "ev", x=1)
+            assert handler.records == []
+        finally:
+            logger.removeHandler(handler)
+            logger.propagate = True
+
+
+# ---------------------------------------------------------------------------
+# SLO tiers
+
+
+class TestTiers:
+    @pytest.mark.parametrize(
+        "verdict, backend, tier",
+        [
+            ("FO", "fo-rewriting", "fo"),
+            ("FO", "fo-sql", "fo"),
+            ("FO", "fo-duckdb", "fo"),
+            ("L_HARD", "nl-reachability", "p16"),
+            ("NL_HARD", "p-dual-horn", "p17"),
+            ("NL_HARD", "subset-repairs", "oracle"),
+            ("NL_HARD", "oplus-oracle", "oracle"),
+            ("NL_HARD", "my-sat-solver", "sat"),
+            ("FO", "homegrown", "fo"),  # verdict breaks the tie
+            ("NL_HARD", "homegrown", "oracle"),  # conservative default
+            ("", "", "oracle"),
+        ],
+    )
+    def test_tier_for(self, verdict, backend, tier):
+        assert tier_for(verdict, backend) == tier
+
+    def test_report_renders_empty(self):
+        assert "no tiers recorded" in format_slo_report([])
+
+    def test_engine_stats_carry_tiers(self):
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+            stats = session.stats()
+        assert [t.tier for t in stats.tiers] == ["fo"]
+        tier = stats.tiers[0]
+        assert tier.plans == 1
+        assert tier.metrics.evaluations == 1
+        assert tier.metrics.p50_seconds is not None
+        report = format_slo_report(stats.tiers)
+        assert report.splitlines()[2].startswith("fo")
+
+    def test_tiers_survive_round_trip_and_merge(self):
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+            stats = session.stats()
+        rebuilt = EngineStats.from_dict(stats.to_dict())
+        assert [t.tier for t in rebuilt.tiers] == ["fo"]
+        merged = merge_engine_stats([rebuilt, rebuilt])
+        (tier,) = merged.tiers
+        assert tier.metrics.evaluations == 2
+        assert tier.plans == 1  # same plan key merges, not doubles
+
+    def test_tier_quantiles_in_prom_exposition(self):
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+            page = session.stats().to_prom()
+        assert 'repro_tier_plans{tier="fo"} 1' in page
+        assert 'repro_tier_p50_seconds{tier="fo"}' in page
+        assert 'repro_tier_p99_seconds{tier="fo"}' in page
+        assert 'repro_tier_latency_seconds_bucket' in page
+        assert 'repro_tier_errors_total{tier="fo"} 0' in page
+
+
+# ---------------------------------------------------------------------------
+# snapshot quantiles and merge edge cases
+
+
+def _snapshot(histogram, evaluations=None, **overrides) -> MetricsSnapshot:
+    histogram = tuple(histogram)
+    fields = dict(
+        evaluations=(
+            sum(histogram) if evaluations is None else evaluations
+        ),
+        batches=0,
+        total_seconds=0.0,
+        min_seconds=None,
+        max_seconds=None,
+        histogram=histogram,
+    )
+    fields.update(overrides)
+    return MetricsSnapshot(**fields)
+
+
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        snap = _snapshot([0] * 7)
+        assert snap.p50_seconds is None
+        assert snap.p99_seconds is None
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            _snapshot([1, 0, 0, 0, 0, 0, 0]).quantile(1.5)
+
+    def test_single_bucket_interpolates_within_bounds(self):
+        # 10 samples all in (1e-4, 1e-3]
+        snap = _snapshot([0, 0, 10, 0, 0, 0, 0])
+        p50 = snap.p50_seconds
+        assert 1e-4 < p50 <= 1e-3
+        assert snap.quantile(0.1) < p50 < snap.quantile(0.9)
+
+    def test_quantiles_clamped_to_observed_extrema(self):
+        snap = _snapshot(
+            [0, 0, 2, 0, 0, 0, 0], min_seconds=2e-4, max_seconds=3e-4
+        )
+        assert snap.p50_seconds <= 3e-4
+        assert snap.p99_seconds <= 3e-4
+        assert snap.quantile(0.0) >= 2e-4
+
+    def test_overflow_bucket_pins_to_max(self):
+        snap = _snapshot([0, 0, 0, 0, 0, 0, 3], max_seconds=42.0)
+        assert snap.p99_seconds == 42.0
+        # without a recorded max the last bound is the honest answer
+        snap = _snapshot([0, 0, 0, 0, 0, 0, 3])
+        assert snap.p99_seconds == LATENCY_BUCKET_BOUNDS[-1]
+
+
+class TestMergeSnapshots:
+    def test_merge_of_nothing_is_zero(self):
+        merged = merge_snapshots([])
+        assert merged.evaluations == 0
+        assert merged.errors == merged.timeouts == 0
+        assert merged.min_seconds is None and merged.max_seconds is None
+        assert sum(merged.histogram) == 0
+
+    def test_merge_of_one_is_identity(self):
+        snap = _snapshot(
+            [1, 2, 0, 0, 0, 0, 0], min_seconds=1e-6, max_seconds=5e-5,
+            total_seconds=1e-4, errors=1, timeouts=1,
+        )
+        merged = merge_snapshots([snap])
+        assert merged == snap
+
+    def test_merge_against_hand_built_fixture(self):
+        a = _snapshot(
+            [3, 0, 1, 0, 0, 0, 0], min_seconds=1e-6, max_seconds=4e-4,
+            total_seconds=5e-4, errors=2, timeouts=1,
+        )
+        b = _snapshot(
+            [0, 5, 0, 0, 0, 0, 2], min_seconds=2e-5, max_seconds=9.0,
+            total_seconds=20.0, errors=1, timeouts=0,
+        )
+        merged = merge_snapshots([a, b])
+        # bucket-by-bucket alignment against the hand-merged histogram
+        assert merged.histogram == (3, 5, 1, 0, 0, 0, 2)
+        assert merged.evaluations == 11
+        assert merged.errors == 3
+        assert merged.timeouts == 1
+        assert merged.min_seconds == 1e-6
+        assert merged.max_seconds == 9.0
+        assert merged.total_seconds == pytest.approx(20.0005)
+
+    def test_snapshot_dict_round_trip_keeps_error_counts(self):
+        metrics = PlanMetrics()
+        metrics.record(0.002)
+        metrics.record_error()
+        metrics.record_error(timeout=True)
+        snap = metrics.snapshot()
+        rebuilt = MetricsSnapshot.from_dict(snap.to_dict())
+        assert rebuilt == snap
+        assert rebuilt.errors == 2
+        assert rebuilt.timeouts == 1
+
+
+class TestMergeEngineStats:
+    def test_merge_of_nothing(self):
+        merged = merge_engine_stats([])
+        assert merged.plans == ()
+        assert merged.tiers == ()
+
+    def test_disjoint_plan_keys_concatenate(self):
+        first = Problem.of("R(x | y)", "S(y | 'c1')", fks=["R[2]->S"])
+        second = Problem.of("R(x | y)", "S(y | 'c2')", fks=["R[2]->S"])
+        assert first.fingerprint.digest != second.fingerprint.digest
+        schema = Schema.of(R=(2, 1), S=(2, 1))
+
+        def stats_for(problem, constant):
+            db = DatabaseInstance.build(
+                schema, {"R": [("a", "b")], "S": [("b", constant)]}
+            )
+            with connect() as session:
+                session.decide(problem, db)
+                return session.stats()
+
+        merged = merge_engine_stats(
+            [stats_for(first, "c1"), stats_for(second, "c2")]
+        )
+        assert len(merged.plans) == 2
+        assert {p.fingerprint for p in merged.plans} == {
+            first.fingerprint.digest, second.fingerprint.digest,
+        }
+        # both FO plans fold into one tier with summed counts
+        (tier,) = merged.tiers
+        assert tier.tier == "fo"
+        assert tier.plans == 2
+        assert tier.metrics.evaluations == 2
+
+
+# ---------------------------------------------------------------------------
+# session-level solve spans, slow-decide warnings, error accounting
+
+
+class TestSessionObservability:
+    def test_decide_records_a_solve_span(self):
+        problem = _fig1_problem()
+        tid = new_trace_id()
+        with connect() as session:
+            with trace_context(tid):
+                session.decide(problem, fig1_instance())
+        (made,) = [
+            s for s in recorder().spans_for(tid) if s.name == "solve"
+        ]
+        assert made.labels["backend"] == "fo-rewriting"
+        assert made.labels["class"] == problem.fingerprint.digest
+
+    def test_slow_decide_warns(self, capture, monkeypatch):
+        problem = _fig1_problem()
+        with Session(SessionConfig(slow_decide_seconds=1e-9)) as session:
+            session.decide(problem, fig1_instance())
+        events = [
+            r for r in capture.records if r.getMessage() == "decide.slow"
+        ]
+        assert events, capture.events()
+        fields = events[0].event_fields
+        assert fields["backend"] == "fo-rewriting"
+        assert fields["wall_ms"] >= 0
+
+    def test_failed_decide_counts_errors_and_logs(self, capture):
+        problem = _fig1_problem()
+        with connect() as session:
+            plan = session.prepare(problem)
+
+            def explode(db, form=None):
+                raise TimeoutError("deadline")
+
+            plan.decide = explode
+            with pytest.raises(TimeoutError):
+                session.decide(problem, fig1_instance())
+            snap = plan.metrics.snapshot()
+        assert snap.errors == 1
+        assert snap.timeouts == 1
+        events = [
+            r for r in capture.records if r.getMessage() == "decide.error"
+        ]
+        assert events[0].event_fields["timeout"] is True
+
+    def test_default_decide_is_quiet(self, capture):
+        # acceptance: no per-request log records at default settings
+        # below WARNING... and none at all for a healthy decide
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+        noisy = [
+            r for r in capture.records if r.levelno >= logging.WARNING
+        ]
+        assert noisy == []
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: one trace id across client, server log, spans
+
+
+class TestServeTracing:
+    def test_loopback_trace_links_request_log_and_spans(self, capture):
+        problem = _fig1_problem()
+        with BackgroundServer(
+            ServerConfig(port=0, shards=2)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                result = client.request(
+                    "decide",
+                    problem=problem,
+                    instance=fig1_instance(),
+                )
+                tid = result["trace_id"]
+                assert len(tid) == 32
+                payload = client.trace(tid)
+        names = {s["name"] for s in payload["spans"]}
+        assert {
+            "canonicalize", "batch_linger", "queue_wait", "solve",
+        } <= names
+        # the INFO request event carries the same trace id
+        requests = [
+            r for r in capture.records
+            if r.getMessage() == "request"
+            and r.event_fields.get("verb") == "decide"
+        ]
+        assert requests, capture.events()
+        assert requests[0].event_fields["trace_id"] == tid
+
+    def test_caller_supplied_trace_id_is_respected(self):
+        problem = _fig1_problem()
+        tid = new_trace_id()
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                decision = client.decide(
+                    problem, fig1_instance(), trace_id=tid
+                )
+                assert decision.backend == "fo-rewriting"
+                payload = client.trace(tid)
+        assert payload["trace_id"] == tid
+        assert payload["spans"]
+
+    def test_trace_verb_requires_an_id(self):
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                from repro.exceptions import RemoteError
+
+                with pytest.raises(RemoteError) as caught:
+                    client.request("trace")
+                assert caught.value.code == "bad-request"
+
+    def test_stats_and_metrics_carry_phase_aggregates(self):
+        problem = _fig1_problem()
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                client.decide(problem, fig1_instance())
+                stats = client.stats()
+                page = client.metrics()
+        assert "solve" in stats["phases"]
+        assert stats["phases"]["solve"]["evaluations"] >= 1
+        assert 'repro_phase_latency_seconds_bucket{phase="solve"' in page
+        assert 'repro_phase_latency_seconds_count{phase="solve"}' in page
+
+    def test_span_log_config_mirrors_spans_to_disk(self, tmp_path):
+        problem = _fig1_problem()
+        path = tmp_path / "spans.jsonl"
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1, span_log=str(path))
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                result = client.request(
+                    "decide", problem=problem, instance=fig1_instance()
+                )
+        tid = result["trace_id"]
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert any(l["trace_id"] == tid for l in lines)
+
+
+class TestProtocolTracing:
+    def test_trace_fields_round_trip(self):
+        from repro.serve import Request, decode_request
+
+        request = Request(
+            id=1, verb="decide", trace_id="abc", parent_span="client"
+        )
+        decoded = decode_request(json.dumps(request.to_dict()))
+        assert decoded.trace_id == "abc"
+        assert decoded.parent_span == "client"
+
+    def test_trace_fields_are_optional_and_typed(self):
+        from repro.exceptions import ServeProtocolError
+        from repro.serve import decode_request
+
+        decoded = decode_request('{"id": 1, "verb": "ping"}')
+        assert decoded.trace_id is None
+        assert decoded.parent_span is None
+        with pytest.raises(ServeProtocolError):
+            decode_request('{"id": 1, "verb": "ping", "trace_id": 7}')
+        with pytest.raises(ServeProtocolError):
+            decode_request('{"id": 1, "verb": "ping", "parent_span": 7}')
+
+
+class TestFleetTracing:
+    def test_worker_hop_spans_merge_into_front_trace(self):
+        problem = _fig1_problem()
+        with BackgroundServer(
+            ServerConfig(port=0, processes=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port, timeout=60) as client:
+                result = client.request(
+                    "decide", problem=problem, instance=fig1_instance()
+                )
+                tid = result["trace_id"]
+                payload = client.trace(tid)
+                stats = client.stats()
+        spans = payload["spans"]
+        transport = [s for s in spans if s["name"] == "transport"]
+        assert transport, [s["name"] for s in spans]
+        assert transport[0]["labels"]["worker"] == "0"
+        assert transport[0]["site"] == "server"
+        solves = [s for s in spans if s["name"] == "solve"]
+        assert any(s["site"].startswith("worker-") for s in solves)
+        # the worker's phase aggregates surface in the front's stats
+        assert "solve" in stats["phases"]
+        assert stats["phases"]["solve"]["evaluations"] >= 1
+
+
+class TestSupervisorForensics:
+    def test_stderr_tail_is_bounded(self, tmp_path):
+        from repro.serve.supervisor import _stderr_tail
+
+        path = tmp_path / "w.stderr"
+        path.write_text("\n".join(f"line {i}" for i in range(500)) + "\n")
+        tail = _stderr_tail(str(path))
+        lines = tail.splitlines()
+        assert len(lines) <= 15
+        assert lines[-1] == "line 499"
+        assert _stderr_tail(str(tmp_path / "missing")) is None
+        empty = tmp_path / "empty.stderr"
+        empty.write_text("")
+        assert _stderr_tail(str(empty)) is None
+        assert _stderr_tail(None) is None
+
+    def test_crash_forensics_are_logged_on_respawn(self, capture):
+        from repro.serve import FleetConfig, FleetEngine
+
+        import socket
+
+        problem = _fig1_problem()
+        with FleetEngine(
+            1, config=FleetConfig(heartbeat_seconds=0)
+        ) as fleet:
+            fleet.decide(problem, fig1_instance())
+            # break the cached connection while the worker stays alive:
+            # the next request hits a transport failure and retries
+            fleet._clients[0][1]._sock.shutdown(socket.SHUT_RDWR)
+            fleet.decide(problem, fig1_instance())
+            handle = fleet.supervisor.handle(0)
+            handle.process.kill()
+            handle.process.join(timeout=10)
+            # the request path notices the death, logs forensics, respawns
+            decision = fleet.decide(problem, fig1_instance())
+            assert decision.backend == "fo-rewriting"
+        events = {r.getMessage() for r in capture.records}
+        assert "worker.crash" in events, sorted(events)
+        assert "worker.respawn" in events
+        assert "fleet.retry" in events
+        crash = [
+            r for r in capture.records if r.getMessage() == "worker.crash"
+        ][0]
+        assert crash.event_fields["shard"] == 0
+        assert "exit_code" in crash.event_fields
+
+
+class TestClientLifecycle:
+    def test_blocking_close_is_idempotent(self):
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1)
+        ) as background:
+            host, port = background.address
+            client = ServeClient(host, port)
+            assert client.ping()["pong"] is True
+            client.close()
+            client.close()  # second close must be a no-op
+            from repro.exceptions import ServeProtocolError
+
+            with pytest.raises(ServeProtocolError):
+                client.ping()
+
+    def test_context_manager_closes(self):
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                client.ping()
+            from repro.exceptions import ServeProtocolError
+
+            with pytest.raises(ServeProtocolError):
+                client.ping()
+
+    def test_close_after_server_died_does_not_raise(self):
+        background = BackgroundServer(ServerConfig(port=0, shards=1))
+        background.start()
+        host, port = background.address
+        client = ServeClient(host, port)
+        background.stop()
+        client.close()  # socket may already be reset: still clean
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_slo_from_stats_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        problem = _fig1_problem()
+        with connect() as session:
+            session.decide(problem, fig1_instance())
+            document = session.stats().to_dict()
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(document))
+        assert main(["slo", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("tier")
+        assert any(line.startswith("fo") for line in out.splitlines())
+
+    def test_slo_rejects_garbage_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "stats.json"
+        path.write_text("[1, 2")  # invalid JSON
+        assert main(["slo", "--file", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_command_round_trip(self, capsys):
+        from repro.cli import main
+
+        problem = _fig1_problem()
+        with BackgroundServer(
+            ServerConfig(port=0, shards=1)
+        ) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                result = client.request(
+                    "decide", problem=problem, instance=fig1_instance()
+                )
+            endpoint = f"{host}:{port}"
+            tid = result["trace_id"]
+            assert main(["trace", tid, "--connect", endpoint]) == 0
+            out = capsys.readouterr().out
+            assert tid in out
+            assert "solve" in out
+            # an unknown id reports cleanly and exits nonzero
+            assert main(["trace", "f" * 32, "--connect", endpoint]) == 1
+
+    def test_decide_trace_requires_connect(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.db import io as db_io
+
+        problem = _fig1_problem()
+        pfile = tmp_path / "problem.json"
+        pfile.write_text(problem.to_json())
+        dfile = tmp_path / "db.txt"
+        db_io.dump(fig1_instance(), str(dfile))
+        code = main(
+            ["decide", "-p", str(pfile), str(dfile), "--trace"]
+        )
+        assert code == 2
+        assert "--trace needs --connect" in capsys.readouterr().err

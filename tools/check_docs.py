@@ -167,6 +167,7 @@ def main() -> int:
     files = _doc_files()
     required = [REPO_ROOT / "docs" / name for name in (
         "architecture.md", "protocol.md", "backends.md", "deployment.md",
+        "observability.md",
     )]
     failures = [
         f"missing required document docs/{path.name}"
