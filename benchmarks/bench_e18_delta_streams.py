@@ -1,0 +1,204 @@
+"""E18 — mutation streams: delta-patch + ref-decide vs full instance ship.
+
+Extension experiment, companion to E17: the `repro.store` registry turns a
+mutate-then-re-decide workload from *O(instance)* per step into
+*O(delta)* per step.
+
+A client tracking a large, slowly changing instance has two ways to keep a
+certainty answer fresh over the serve protocol:
+
+**full-ship**
+    apply each mutation locally and send the whole instance with every
+    ``decide`` — the pre-registry protocol.  Every step pays JSON
+    encoding, the wire, server-side decoding, canonical transport, and a
+    from-scratch solve, all proportional to the *instance*.
+
+**delta-patch + ref-decide**
+    ``instance_put`` once, then per step ``instance_patch`` (a delta
+    proportional to the *churn*) and ``decide`` by ref.  The server
+    maintains a backend-native incremental state (here the Proposition 16
+    attractor graph), so the per-step cost is the delta application plus
+    an incremental re-solve.
+
+The report drives identical seeded mutation streams through both modes at
+1%, 10% and 50% churn per step (fraction of the instance's facts swapped)
+against a loopback server and **asserts** the answers agree step for step,
+that the registry really answered incrementally, and — the acceptance
+criterion — that the delta path clears **≥ 5x** the full-ship throughput
+at ≤ 1% churn.  The result table is reproduced in ``docs/deployment.md``.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.api import Problem
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.serve import BackgroundServer, ServeClient, ServerConfig
+from repro.store import Delta
+from repro.workloads import proposition16_instance
+
+N_VERTICES = 200
+EDGE_PROBABILITY = 0.2
+STEPS = 12
+CHURNS = (0.01, 0.10, 0.50)
+SPEEDUP_FLOOR = 5.0
+
+
+def _problem() -> Problem:
+    return Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"])
+
+
+def _initial_instance() -> DatabaseInstance:
+    return proposition16_instance(
+        N_VERTICES, random.Random(18), edge_probability=EDGE_PROBABILITY
+    )
+
+
+def _mutation_stream(
+    db: DatabaseInstance, churn: float, steps: int, seed: int
+) -> list[Delta]:
+    """Seeded deltas, each swapping ``churn * |db|`` off-diagonal edges
+    (half removed, half added) and occasionally toggling an ``O`` mark —
+    the mutations that move the attractor answer."""
+    rng = random.Random(seed)
+    deltas = []
+    current = db
+    for _ in range(steps):
+        budget = max(2, int(current.size * churn))
+        edges = sorted(
+            (
+                f
+                for f in current.relation_facts("N")
+                if f.value_at(1) != f.value_at(2)
+            ),
+            key=repr,
+        )
+        removes = rng.sample(edges, min(len(edges), budget // 2))
+        present = set(current.facts)
+        adds = []
+        while len(adds) < budget // 2:
+            v = rng.randrange(N_VERTICES)
+            w = rng.randrange(N_VERTICES)
+            fact = Fact("N", (v, w), 1)
+            if v != w and fact not in present:
+                adds.append(fact)
+                present.add(fact)
+        marked = rng.randrange(N_VERTICES)
+        mark = Fact("O", (marked,), 1)
+        if mark in present:
+            removes = removes + [mark]
+        else:
+            adds = adds + [mark]
+        delta = Delta.of(adds=adds, removes=removes)
+        deltas.append(delta)
+        current = delta.apply(current)
+    return deltas
+
+
+def _drive_full_ship(
+    client: ServeClient, problem: Problem, db: DatabaseInstance, deltas
+) -> tuple[float, list[bool]]:
+    answers = []
+    current = db
+    start = time.perf_counter()
+    for delta in deltas:
+        current = delta.apply(current)
+        answers.append(client.decide(problem, current).certain)
+    return time.perf_counter() - start, answers
+
+
+def _drive_delta_ref(
+    client: ServeClient,
+    problem: Problem,
+    ref: str,
+    db: DatabaseInstance,
+    deltas,
+) -> tuple[float, list[bool], int]:
+    client.put_instance(ref, db)
+    client.decide(problem, ref=ref)  # seed the incremental state
+    incremental = 0
+    answers = []
+    start = time.perf_counter()
+    for delta in deltas:
+        client.patch_instance(ref, delta)
+        result = client.request(
+            "decide", problem=problem, instance_ref=ref
+        )
+        answers.append(result["decision"]["certain"])
+        incremental += bool(result["instance"]["incremental"])
+    elapsed = time.perf_counter() - start
+    client.drop_instance(ref)
+    return elapsed, answers, incremental
+
+
+def test_e18_delta_streams_beat_full_ship_at_low_churn():
+    problem = _problem()
+    db = _initial_instance()
+    rows = []
+    speedups = {}
+    with BackgroundServer(
+        ServerConfig(shards=2, linger_ms=1, plan_cache_size=16)
+    ) as background:
+        host, port = background.address
+        with ServeClient(host, port, timeout=120.0) as client:
+            for churn in CHURNS:
+                deltas = _mutation_stream(
+                    db, churn, STEPS, seed=int(churn * 1000)
+                )
+                full_s, full_answers = _drive_full_ship(
+                    client, problem, db, deltas
+                )
+                delta_s, delta_answers, incremental = _drive_delta_ref(
+                    client, problem, f"e18-{churn}", db, deltas
+                )
+                assert delta_answers == full_answers, (
+                    f"churn {churn:.0%}: incremental answers diverged"
+                )
+                assert incremental == STEPS, (
+                    f"churn {churn:.0%}: only {incremental}/{STEPS} steps "
+                    "answered incrementally"
+                )
+                speedup = full_s / delta_s
+                speedups[churn] = speedup
+                mean_delta = sum(len(d) for d in deltas) / len(deltas)
+                rows.append(
+                    (
+                        f"{churn:.0%} churn",
+                        f"{STEPS / full_s:,.0f}/s",
+                        f"{STEPS / delta_s:,.0f}/s",
+                        f"{speedup:.1f}x",
+                        f"~{mean_delta:.0f} facts/delta over "
+                        f"{db.size} facts",
+                    )
+                )
+    report(
+        f"E18: mutation-stream throughput, full-ship vs delta-patch + "
+        f"ref-decide ({STEPS} steps, {db.size}-fact Proposition 16 "
+        "instance, loopback server)",
+        rows,
+        ("series", "full-ship", "delta+ref", "speedup", "stream"),
+    )
+
+    # the acceptance criterion: at ≤1% churn the delta path must clear 5x
+    assert speedups[CHURNS[0]] >= SPEEDUP_FLOOR, (
+        f"delta-patch + ref-decide managed only {speedups[CHURNS[0]]:.1f}x "
+        f"full-ship throughput at {CHURNS[0]:.0%} churn "
+        f"(acceptance floor: {SPEEDUP_FLOOR}x)"
+    )
+    # speedup should not *grow* as churn rises toward whole-instance
+    # deltas; allow noise but catch inversions of the whole curve
+    assert speedups[CHURNS[0]] >= speedups[CHURNS[-1]] * 0.8, (
+        f"speedups {speedups} should decay with churn"
+    )
+
+
+@pytest.mark.parametrize("churn", CHURNS)
+def test_e18_stream_generator_is_deterministic(churn):
+    db = _initial_instance()
+    first = _mutation_stream(db, churn, 3, seed=42)
+    second = _mutation_stream(db, churn, 3, seed=42)
+    assert first == second

@@ -46,6 +46,10 @@ class Decision:
     cache_hit: bool
     wall_seconds: float
     raw_fingerprint: str = ""
+    #: True when the answer came from ``repro.store`` incremental state
+    #: (a version-matched memo or a delta-caught-up re-decide) rather
+    #: than a from-scratch evaluation of the full instance.
+    incremental: bool = False
 
     def __bool__(self) -> bool:
         return self.certain
@@ -72,6 +76,7 @@ class Decision:
                 cache_hit=bool(data["cache_hit"]),
                 wall_seconds=float(data["wall_seconds"]),
                 raw_fingerprint=str(data.get("raw_fingerprint", "")),
+                incremental=bool(data.get("incremental", False)),
             )
         except KeyError as missing:
             raise ProblemFormatError(

@@ -63,6 +63,7 @@ class Session:
         if engine is not None and config is not None:
             raise TypeError("pass either a config or an engine, not both")
         self._engine = engine or CertaintyEngine(config)
+        self._store = None  # lazy InstanceStore; built on first use
         self._closed = False
 
     @property
@@ -103,10 +104,62 @@ class Session:
         self._check_open()
         return self._engine.plan_for(problem)
 
+    # -- named instances -----------------------------------------------------
+
+    @property
+    def store(self):
+        """The session's :class:`~repro.store.InstanceStore` (lazy).
+
+        Holds the named instances behind :meth:`put_instance` /
+        :meth:`patch_instance` / ``decide(ref=...)`` plus their per-plan
+        incremental states; released with the session.
+        """
+        self._check_open()
+        if self._store is None:
+            from ..store import InstanceStore
+
+            self._store = InstanceStore()
+        return self._store
+
+    def put_instance(self, ref: str, db: DatabaseInstance, *,
+                     version: int | None = None):
+        """Store (or replace) a named instance; returns its descriptor."""
+        return self.store.put(ref, db, version=version)
+
+    def patch_instance(self, ref: str, delta, *,
+                       expect_version: int | None = None):
+        """Apply a :class:`~repro.store.Delta` to a named instance.
+
+        ``expect_version`` makes the patch compare-and-set: it raises
+        :class:`~repro.exceptions.VersionConflictError` unless the stored
+        version still matches.  Returns ``(descriptor, applied_delta)``.
+        """
+        return self.store.patch(ref, delta, expect_version=expect_version)
+
+    def drop_instance(self, ref: str) -> bool:
+        """Discard a named instance (returns whether it existed)."""
+        return self.store.drop(ref)
+
+    def get_instance(self, ref: str) -> tuple[DatabaseInstance, int]:
+        """Fetch a named instance back: ``(instance, version)``."""
+        return self.store.get(ref)
+
     # -- execution ----------------------------------------------------------
 
-    def decide(self, problem: Problem, db: DatabaseInstance) -> Decision:
+    def decide(
+        self,
+        problem: Problem,
+        db: DatabaseInstance | None = None,
+        *,
+        ref: str | None = None,
+    ) -> Decision:
         """The certain answer on one instance, with provenance.
+
+        Pass *db* to decide a caller-held instance, or ``ref=`` to decide
+        against a named instance previously :meth:`put_instance` — the
+        session's store then answers from backend-native incremental state
+        when the instance only changed by patches since the last decide
+        (the decision's ``incremental`` flag reports which path ran).
 
         The decision reports both fingerprints: ``fingerprint`` is the
         canonical class the plan is shared under, ``raw_fingerprint`` the
@@ -114,6 +167,13 @@ class Session:
         recorded renaming.
         """
         self._check_open()
+        if (db is None) == (ref is None):
+            raise TypeError(
+                "decide needs exactly one of a database instance or a ref"
+            )
+        if ref is not None:
+            decision, _meta = self.store.decide(self, problem, ref)
+            return decision
         start = time.perf_counter()
         plan, hit, form = self._engine.route(problem)
         try:
@@ -209,6 +269,8 @@ class Session:
     def close(self) -> None:
         """Release every prepared solver; the session becomes unusable."""
         self._closed = True
+        if self._store is not None:
+            self._store.close()
         self._engine.close()
 
     @property
@@ -239,14 +301,20 @@ def connect(
     plan_cache_size: int = 128,
     executor: ExecutorConfig | None = None,
     registry: BackendRegistry | None = None,
+    sat_fallback: bool = False,
 ) -> Session:
-    """Open a :class:`Session` — the ``sqlite3.connect`` of this library."""
+    """Open a :class:`Session` — the ``sqlite3.connect`` of this library.
+
+    ``sat_fallback=True`` routes the coNP-hard ``FK = ∅`` residue to the
+    ``sat-repairs`` CNF backend instead of subset-repair enumeration.
+    """
     return Session(
         SessionConfig(
             plan_cache_size=plan_cache_size,
             fo_backend=fo_backend,
             executor=executor or ExecutorConfig(),
             registry=registry,
+            sat_fallback=sat_fallback,
         )
     )
 

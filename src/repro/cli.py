@@ -20,7 +20,9 @@ Commands
 ``slo``        per-tier latency/error report (fo / p16 / p17 / sat /
                oracle) from a running server or a stats JSON file;
 ``problem``    export/import problems as portable JSON documents;
-``instance``   export/import instances as portable JSON documents;
+``instance``   export/import instances as portable JSON documents, and
+               manage named server-side instances (``put``/``patch``/
+               ``drop``/``list`` against ``--connect``);
 ``repairs``    enumerate the canonical ⊕-repairs of an instance;
 ``violations`` report primary/foreign-key violations of an instance.
 
@@ -179,7 +181,17 @@ def _parse_endpoint(text: str) -> tuple[str, int]:
 
 def _cmd_decide(args) -> int:
     problem = _build_problem(args)
-    db = load(args.database)
+    ref = getattr(args, "instance_ref", None)
+    if (args.database is None) == (ref is None):
+        raise ReproError(
+            "pass exactly one of an instance file or --instance-ref"
+        )
+    if ref is not None and not args.connect:
+        raise ReproError(
+            "--instance-ref needs --connect (named instances live on a "
+            "server; see `repro instance put`)"
+        )
+    db = load(args.database) if args.database is not None else None
     if getattr(args, "trace", False) and not args.connect:
         raise ReproError("--trace needs --connect (local decides have "
                          "no server-side spans to name)")
@@ -194,11 +206,13 @@ def _cmd_decide(args) -> int:
 
             trace_id = new_trace_id()
         with ServeClient(host, port, timeout=timeout) as client:
-            decision = client.decide(problem, db, trace_id=trace_id)
+            decision = client.decide(problem, db, ref=ref, trace_id=trace_id)
         cache = "hit" if decision.cache_hit else "miss"
+        extra = ", incremental" if decision.incremental else ""
         print(
             f"certain: {decision.certain}   (remote {decision.backend}, "
-            f"plan cache {cache}, {decision.wall_seconds * 1e3:.2f} ms)"
+            f"plan cache {cache}{extra}, "
+            f"{decision.wall_seconds * 1e3:.2f} ms)"
         )
         if trace_id:
             print(f"trace: {trace_id}")
@@ -464,6 +478,95 @@ def _cmd_instance_import(args) -> int:
     return 0
 
 
+def _remote_client(args):
+    """A :class:`~repro.serve.ServeClient` for the ``--connect`` endpoint."""
+    from .serve import ServeClient
+
+    if not args.connect:
+        raise ReproError(
+            "this command talks to a running `repro serve`: "
+            "pass --connect HOST:PORT"
+        )
+    host, port = _parse_endpoint(args.connect)
+    timeout = args.timeout if args.timeout > 0 else None
+    return ServeClient(host, port, timeout=timeout)
+
+
+def _cmd_instance_put(args) -> int:
+    db = load(args.file)
+    with _remote_client(args) as client:
+        result = client.put_instance(args.ref, db, version=args.version)
+    stored = result["instance"]
+    print(
+        f"stored {stored['ref']!r} version {stored['version']} "
+        f"({stored['facts']} facts, {stored['bytes']} bytes) "
+        f"on shard {result.get('shard', '?')}"
+    )
+    return 0
+
+
+def _cmd_instance_patch(args) -> int:
+    import json
+
+    from .store.delta import Delta
+
+    try:
+        text = Path(args.file).read_text()
+    except OSError as error:
+        raise InstanceFormatError(
+            f"cannot read delta file {args.file!r}: {error}"
+        ) from error
+    try:
+        delta = Delta.from_dict(json.loads(text))
+    except (ValueError, TypeError) as error:
+        raise InstanceFormatError(
+            f"bad delta document {args.file!r}: {error}"
+        ) from error
+    with _remote_client(args) as client:
+        result = client.patch_instance(
+            args.ref, delta, expect_version=args.expect_version
+        )
+    stored = result["instance"]
+    applied = result.get("applied", {})
+    print(
+        f"patched {stored['ref']!r} to version {stored['version']} "
+        f"(+{applied.get('adds', '?')}/-{applied.get('removes', '?')} facts, "
+        f"now {stored['facts']} facts, {stored['bytes']} bytes)"
+    )
+    return 0
+
+
+def _cmd_instance_drop(args) -> int:
+    with _remote_client(args) as client:
+        dropped = client.drop_instance(args.ref)["dropped"]
+    if not dropped:
+        print(f"no instance named {args.ref!r}")
+        return 1
+    print(f"dropped {args.ref!r}")
+    return 0
+
+
+def _cmd_instance_list(args) -> int:
+    with _remote_client(args) as client:
+        listing = client.list_instances()
+    instances = listing.get("instances", [])
+    if not instances:
+        print("no stored instances")
+    for info in instances:
+        print(
+            f"{info['ref']}: version {info['version']}, "
+            f"{info['facts']} facts, {info['bytes']} bytes"
+        )
+    stats = listing.get("stats", {})
+    if stats:
+        print(
+            f"store: {stats.get('instances', len(instances))} instance(s), "
+            f"{stats.get('bytes', '?')}/{stats.get('max_bytes', '?')} bytes, "
+            f"{stats.get('evictions', 0)} eviction(s)"
+        )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .serve import ServerConfig, run_server
 
@@ -477,6 +580,7 @@ def _cmd_serve(args) -> int:
             plan_cache_size=args.cache_size,
             max_batch=args.max_batch,
             linger_ms=args.linger_ms,
+            store_bytes=args.store_bytes,
             log_level=args.log_level,
             log_format=args.log_format,
             span_log=args.span_log,
@@ -545,7 +649,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decide", help="answer CERTAINTY(q, FK) on a file")
     _add_problem_arguments(p, with_json=True)
-    p.add_argument("database", help="instance file (repro.db.io format)")
+    p.add_argument("database", nargs="?", default=None,
+                   help="instance file (repro.db.io format); omit it when "
+                        "deciding a named instance with --instance-ref")
+    p.add_argument("--instance-ref", metavar="REF", default=None,
+                   help="with --connect: decide the named server-side "
+                        "instance (see `repro instance put`) instead of "
+                        "shipping a file")
     p.add_argument("--connect", metavar="HOST:PORT",
                    help="send the request to a running `repro serve` "
                         "instead of deciding locally")
@@ -630,6 +740,52 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the text form here instead of summarizing")
     ii.set_defaults(handler=_cmd_instance_import)
 
+    def _add_remote_arguments(parser):
+        parser.add_argument("--connect", metavar="HOST:PORT", required=True,
+                            help="the running `repro serve` holding the "
+                                 "instance registry")
+        parser.add_argument("--timeout", type=float, default=30.0,
+                            help="socket timeout in seconds "
+                                 "(0 waits forever)")
+
+    ip = instance_sub.add_parser(
+        "put", help="store (or replace) a named instance on a server"
+    )
+    ip.add_argument("ref", help="the instance's name (its routing key)")
+    ip.add_argument("file", help="instance file (repro.db.io text format)")
+    ip.add_argument("--version", type=int, default=None,
+                    help="store under this version instead of "
+                         "auto-incrementing")
+    _add_remote_arguments(ip)
+    ip.set_defaults(handler=_cmd_instance_put)
+
+    ipa = instance_sub.add_parser(
+        "patch", help="apply a JSON delta document to a named instance"
+    )
+    ipa.add_argument("ref", help="the instance's name")
+    ipa.add_argument("file",
+                     help='delta JSON file ({"format": "repro/delta", '
+                          '"add": [...], "remove": [...]})')
+    ipa.add_argument("--expect-version", type=int, default=None,
+                     help="compare-and-set: apply only if the stored "
+                          "version still matches (makes the patch safe "
+                          "to retry)")
+    _add_remote_arguments(ipa)
+    ipa.set_defaults(handler=_cmd_instance_patch)
+
+    idr = instance_sub.add_parser(
+        "drop", help="discard a named instance from a server"
+    )
+    idr.add_argument("ref", help="the instance's name")
+    _add_remote_arguments(idr)
+    idr.set_defaults(handler=_cmd_instance_drop)
+
+    il = instance_sub.add_parser(
+        "list", help="list a server's named instances and registry stats"
+    )
+    _add_remote_arguments(il)
+    il.set_defaults(handler=_cmd_instance_list)
+
     p = sub.add_parser(
         "serve",
         help="run the sharded, micro-batching certainty server "
@@ -653,6 +809,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="flush a micro-batch at this many requests")
     p.add_argument("--linger-ms", type=float, default=1.0,
                    help="micro-batch linger window in milliseconds")
+    p.add_argument("--store-bytes", type=_positive_int,
+                   default=64 * 1024 * 1024,
+                   help="instance-registry byte budget (least-recently-"
+                        "used instances are evicted past it)")
     p.add_argument("--log-level", choices=("debug", "info", "warning",
                                            "error"),
                    default="warning",

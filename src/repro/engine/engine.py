@@ -46,6 +46,9 @@ class EngineConfig:
 
     plan_cache_size: int = 128
     fo_backend: str = "memory"  # or "sql" / "duckdb"
+    #: Opt-in: route the coNP-hard FK = ∅ residue to the ``sat-repairs``
+    #: CNF backend instead of subset-repair enumeration.
+    sat_fallback: bool = False
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     registry: BackendRegistry | None = None  # None: the default registry
     #: Decides slower than this log a ``decide.slow`` WARNING (0 disables).
@@ -56,7 +59,8 @@ class EngineConfig:
 
         # RouteOptions owns fo_backend validation (allowed values + the
         # duckdb import gate); fail at config time with the same errors
-        RouteOptions(fo_backend=self.fo_backend)
+        RouteOptions(fo_backend=self.fo_backend,
+                     sat_fallback=self.sat_fallback)
 
 
 @dataclass(frozen=True)
@@ -535,6 +539,7 @@ class CertaintyEngine:
                 form=form,
                 fo_backend=self.config.fo_backend,
                 registry=self.config.registry,
+                sat_fallback=self.config.sat_fallback,
             ),
         )
         plan.note_spelling(form.fingerprint.raw)

@@ -182,6 +182,7 @@ def compile_plan(
     fingerprint: Fingerprint | None = None,
     registry: BackendRegistry | None = None,
     form: CanonicalForm | None = None,
+    sat_fallback: bool = False,
 ) -> CertaintyPlan:
     """Canonicalize, classify and recognize a problem, paying all per-class
     cost now.
@@ -200,7 +201,7 @@ def compile_plan(
         form = canonicalize(as_problem(query, fks))
     start = time.perf_counter()
     classification = form.classification
-    options = RouteOptions(fo_backend=fo_backend)
+    options = RouteOptions(fo_backend=fo_backend, sat_fallback=sat_fallback)
     recognition = (registry or default_registry()).recognize(form, options)
     solver = recognition.factory()
     plan = CertaintyPlan(

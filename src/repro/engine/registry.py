@@ -63,6 +63,9 @@ class RouteOptions:
     """Per-engine routing knobs threaded into recognizers and factories."""
 
     fo_backend: str = "memory"  # or "sql" / "duckdb"
+    #: Opt-in: route the coNP-hard FK = ∅ residue to the falsifying-repair
+    #: CNF solver (``sat-repairs``) instead of subset-repair enumeration.
+    sat_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.fo_backend not in _FO_BACKENDS:

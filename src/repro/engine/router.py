@@ -42,6 +42,7 @@ from ..solvers.rewriting_solver import (
     SqlRewritingSolver,
     duckdb_dialect,
 )
+from ..solvers.sat import SatRepairSolver
 from .canonical import CanonicalForm
 from .registry import BackendRegistry, BackendSpec, Recognition, RouteOptions
 
@@ -59,13 +60,18 @@ class Backend(Enum):
     FO_DUCKDB = "fo-duckdb"
     REACHABILITY = "nl-reachability"
     DUAL_HORN = "p-dual-horn"
+    SAT_REPAIRS = "sat-repairs"
     SUBSET_REPAIRS = "subset-repairs"
     OPLUS_ORACLE = "oplus-oracle"
 
     @property
     def polynomial(self) -> bool:
         """Polynomial per-instance cost (the exhaustive backends are not)."""
-        return self not in (Backend.SUBSET_REPAIRS, Backend.OPLUS_ORACLE)
+        return self not in (
+            Backend.SAT_REPAIRS,
+            Backend.SUBSET_REPAIRS,
+            Backend.OPLUS_ORACLE,
+        )
 
 
 def matches_proposition16(
@@ -191,6 +197,20 @@ def _recognize_dual_horn(
     )
 
 
+def _recognize_sat_repairs(
+    form: CanonicalForm, options: RouteOptions
+) -> Recognition | None:
+    if not options.sat_fallback:
+        return None  # opt-in: the enumeration fallbacks stay the default
+    if form.classification.in_fo or len(form.problem.fks) != 0:
+        return None
+    return Recognition(
+        factory=lambda: SatRepairSolver(form.problem.query),
+        evidence="outside FO with FK = ∅ and sat_fallback enabled: "
+                 "falsifying-repair CNF refuted by DPLL",
+    )
+
+
 def _recognize_subset_repairs(
     form: CanonicalForm, options: RouteOptions
 ) -> Recognition | None:
@@ -246,6 +266,14 @@ BUILTIN_BACKENDS: tuple[BackendSpec, ...] = (
         recognize=_recognize_dual_horn,
         description="Proposition 17 dual-Horn SAT (P), matched up to "
                     "relation renaming",
+    ),
+    BackendSpec(
+        name=Backend.SAT_REPAIRS.value,
+        priority=20,
+        polynomial=False,
+        recognize=_recognize_sat_repairs,
+        description="falsifying-repair CNF via DPLL (FK = ∅, opt-in "
+                    "through RouteOptions.sat_fallback)",
     ),
     BackendSpec(
         name=Backend.SUBSET_REPAIRS.value,

@@ -59,6 +59,43 @@ class RemoteError(ReproError):
         return f"[{self.code}] {self.message}"
 
 
+class UnknownInstanceError(ReproError):
+    """A ``repro.store`` operation referenced an instance name the registry
+    does not hold — never stored, already dropped, or evicted to stay under
+    the registry byte budget.  Surfaces over the serve protocol as the
+    ``unknown-instance`` envelope code; clients recover by re-``put``-ting
+    the instance."""
+
+    def __init__(self, ref: str, message: str | None = None):
+        super().__init__(message or f"unknown instance ref {ref!r}")
+        self.ref = ref
+
+
+class DeltaConflictError(ReproError):
+    """A :class:`repro.store.Delta` could not be applied under strict
+    conflict rules: removing a fact that is absent, adding a fact that is
+    already present, or a delta whose add/remove sets overlap.  Surfaces
+    over the serve protocol as the ``conflict`` envelope code."""
+
+
+class VersionConflictError(DeltaConflictError):
+    """An ``instance patch`` carried an ``expect_version`` precondition that
+    did not match the stored instance version (compare-and-swap failure).
+
+    This is what makes patches safe to retry over a flaky connection: a
+    replayed patch whose first copy already applied fails the version check
+    instead of double-applying."""
+
+    def __init__(self, ref: str, expected: int, actual: int):
+        super().__init__(
+            f"instance {ref!r} is at version {actual}, patch expected "
+            f"version {expected}"
+        )
+        self.ref = ref
+        self.expected = expected
+        self.actual = actual
+
+
 class BackendRegistryError(ReproError):
     """Backend registry misuse: duplicate registration without ``override``,
     unknown backend name, or no registered backend supporting a problem."""

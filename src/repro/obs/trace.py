@@ -14,6 +14,12 @@ vocabulary is small and fixed (:data:`PHASES`) so that two deployments
 ``transport``
     the wire hop from a fleet front to the worker process owning the
     shard (absent under in-process thread shards).
+``delta_apply``
+    catching a cached incremental state up with the registry's delta
+    chain on an instance-ref decide (:mod:`repro.store`).
+``incremental_solve``
+    re-deciding from the caught-up incremental state instead of from
+    scratch (absent when the backend falls back to a full re-decide).
 ``solve``
     prepared-plan execution inside :class:`~repro.api.Session`.
 ``respond``
@@ -51,6 +57,8 @@ PHASES = (
     "batch_linger",
     "canonicalize",
     "transport",
+    "delta_apply",
+    "incremental_solve",
     "solve",
     "respond",
 )

@@ -34,7 +34,8 @@ from ..db import io as db_io
 from ..db.instance import DatabaseInstance
 from ..exceptions import RemoteError, ServeProtocolError
 from ..obs.trace import new_trace_id
-from .protocol import Request, decode_response, encode_frame
+from ..store.delta import Delta
+from .protocol import Request, decode_response, encode_frame, replay_safe
 
 #: Verbs the clients auto-assign a fresh trace id to when none is given:
 #: the expensive ones, where "where did the time go" is worth asking.
@@ -45,17 +46,27 @@ def _request_frame(
     request_id: int,
     verb: str,
     problem: Problem | None = None,
-    instance: DatabaseInstance | None = None,
+    instance=None,  # DatabaseInstance, or an already-encoded wire dict
     instances=None,
     trace_id: str | None = None,
     parent_span: str | None = None,
+    instance_ref: str | None = None,
+    delta=None,  # Delta, or an already-encoded wire dict
+    expect_version: int | None = None,
+    version: int | None = None,
 ) -> bytes:
+    # raw dicts pass through untouched: a fleet front forwarding a verb
+    # to its owning worker must not re-materialize the payloads
+    if instance is not None and not isinstance(instance, dict):
+        instance = db_io.to_dict(instance)
+    if delta is not None and not isinstance(delta, dict):
+        delta = delta.to_dict()
     return encode_frame(
         Request(
             id=request_id,
             verb=verb,
             problem=problem.to_dict() if problem is not None else None,
-            instance=db_io.to_dict(instance) if instance is not None else None,
+            instance=instance,
             instances=(
                 [db_io.to_dict(db) for db in instances]
                 if instances is not None
@@ -63,6 +74,10 @@ def _request_frame(
             ),
             trace_id=trace_id,
             parent_span=parent_span,
+            instance_ref=instance_ref,
+            delta=delta,
+            expect_version=expect_version,
+            version=version,
         ).to_dict()
     )
 
@@ -139,37 +154,55 @@ class ServeClient:
         verb: str,
         *,
         problem: Problem | None = None,
-        instance: DatabaseInstance | None = None,
+        instance=None,
         instances=None,
         trace_id: str | None = None,
         parent_span: str | None = None,
+        instance_ref: str | None = None,
+        delta=None,
+        expect_version: int | None = None,
+        version: int | None = None,
     ) -> dict:
         """One request → the response's ``result`` payload (or a raise).
 
         Decide verbs get a fresh ``trace_id`` when the caller passes none,
         so every expensive request is traceable after the fact.
+
+        Mutation verbs are **not** blindly replayed across transport
+        failures, whatever ``retries`` says: a put/patch/drop that died
+        mid-cycle may already have been applied, and resending it could
+        double-apply.  The exception is ``instance_patch`` with
+        ``expect_version`` — the CAS precondition makes a replay safe (a
+        double-apply comes back as a structured ``conflict`` envelope
+        instead of silently landing twice).
         """
         if self._closed:
             raise ServeProtocolError("client is closed")
         if trace_id is None and verb in _TRACED_VERBS:
             trace_id = new_trace_id()
         frame_args = (verb, problem, instance, instances, trace_id,
-                      parent_span)
-        for attempt in range(self._retries + 1):
+                      parent_span, instance_ref, delta, expect_version,
+                      version)
+        retries = (
+            self._retries if replay_safe(verb, expect_version) else 0
+        )
+        for attempt in range(retries + 1):
             try:
                 return self._cycle(*frame_args)
             except (OSError, ServeProtocolError):
-                if attempt >= self._retries:
+                if attempt >= retries:
                     raise
                 self.reconnect()
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _cycle(self, verb, problem, instance, instances, trace_id,
-               parent_span) -> dict:
+               parent_span, instance_ref=None, delta=None,
+               expect_version=None, version=None) -> dict:
         request_id = next(self._ids)
         self._file.write(
             _request_frame(request_id, verb, problem, instance, instances,
-                           trace_id, parent_span)
+                           trace_id, parent_span, instance_ref, delta,
+                           expect_version, version)
         )
         self._file.flush()
         line = self._file.readline()
@@ -191,13 +224,25 @@ class ServeClient:
     def decide(
         self,
         problem: Problem,
-        db: DatabaseInstance,
+        db: DatabaseInstance | None = None,
         *,
+        ref: str | None = None,
         trace_id: str | None = None,
     ) -> Decision:
-        """The remote certain answer, with provenance intact."""
+        """The remote certain answer, with provenance intact.
+
+        Pass *db* to ship the instance with the request, or ``ref=`` to
+        decide against a named instance previously :meth:`put_instance` on
+        the server (the decision's ``incremental`` flag then reports
+        whether stored state absorbed the work).
+        """
+        if (db is None) == (ref is None):
+            raise ValueError(
+                "decide needs exactly one of a database instance or a ref"
+            )
         result = self.request(
-            "decide", problem=problem, instance=db, trace_id=trace_id
+            "decide", problem=problem, instance=db, instance_ref=ref,
+            trace_id=trace_id,
         )
         return Decision.from_dict(result["decision"])
 
@@ -216,6 +261,53 @@ class ServeClient:
 
     def explain(self, problem: Problem) -> str:
         return self.request("explain", problem=problem)["plan"]
+
+    # -- named instances ------------------------------------------------------
+
+    def put_instance(
+        self,
+        ref: str,
+        db: DatabaseInstance,
+        *,
+        version: int | None = None,
+    ) -> dict:
+        """Store (or replace) a named instance on the server; returns the
+        stored descriptor (``instance``: ref/version/facts/bytes)."""
+        return self.request(
+            "instance_put", instance_ref=ref, instance=db, version=version
+        )
+
+    def patch_instance(
+        self,
+        ref: str,
+        delta: Delta,
+        *,
+        expect_version: int | None = None,
+    ) -> dict:
+        """Apply a :class:`~repro.store.Delta` to a named instance.
+
+        With ``expect_version`` the patch is compare-and-set: it applies
+        only if the stored version still matches, else the server answers
+        a ``conflict`` envelope — and the CAS makes the request safe to
+        replay across transport failures (without it, it is not replayed).
+        """
+        return self.request(
+            "instance_patch", instance_ref=ref, delta=delta,
+            expect_version=expect_version,
+        )
+
+    def drop_instance(self, ref: str) -> dict:
+        """Discard a named instance (``dropped`` reports whether it existed)."""
+        return self.request("instance_drop", instance_ref=ref)
+
+    def get_instance(self, ref: str) -> tuple[DatabaseInstance, int]:
+        """Fetch a named instance back: ``(instance, version)``."""
+        result = self.request("instance_get", instance_ref=ref)
+        return db_io.from_dict(result["instance"]), int(result["version"])
+
+    def list_instances(self) -> dict:
+        """Every stored instance descriptor plus registry stats."""
+        return self.request("instance_list")
 
     def stats(self) -> dict:
         return self.request("stats")
@@ -331,10 +423,14 @@ class AsyncServeClient:
         verb: str,
         *,
         problem: Problem | None = None,
-        instance: DatabaseInstance | None = None,
+        instance=None,
         instances=None,
         trace_id: str | None = None,
         parent_span: str | None = None,
+        instance_ref: str | None = None,
+        delta=None,
+        expect_version: int | None = None,
+        version: int | None = None,
     ) -> dict:
         if self._closed:
             raise ServeProtocolError("client is closed")
@@ -345,7 +441,8 @@ class AsyncServeClient:
         self._waiting[request_id] = future
         self._writer.write(
             _request_frame(request_id, verb, problem, instance, instances,
-                           trace_id, parent_span)
+                           trace_id, parent_span, instance_ref, delta,
+                           expect_version, version)
         )
         await self._writer.drain()
         return await future

@@ -55,7 +55,8 @@ from ..exceptions import WorkerUnavailableError
 from ..obs.log import get_logger, log_event
 from ..obs.trace import current_trace_id, recorder
 from .client import ServeClient
-from .shard import HashRing, ShardStats
+from .protocol import Request, replay_safe
+from .shard import HashRing, ShardStats, ref_digest
 
 _logger = get_logger("serve.fleet")
 
@@ -181,6 +182,12 @@ class FleetEngine:
         width)."""
         return self._ring.shard_for(problem.fingerprint.digest)
 
+    def shard_for_ref(self, ref: str) -> int:
+        """The worker owning the named instance *ref* (ref-affinity:
+        decides by reference go where the instance and its incremental
+        states live, agreeing with :class:`ShardedEngine` placement)."""
+        return self._ring.shard_for(ref_digest(ref))
+
     def session(self, shard: int) -> _WorkerSession:
         """The shard's session-shaped worker proxy."""
         return _WorkerSession(self, shard)
@@ -241,6 +248,22 @@ class FleetEngine:
                 if not _is_transport(first):
                     raise  # RemoteError and friends: the worker answered
                 self._drop_client(shard)
+                if not replay_safe(verb, payload.get("expect_version")):
+                    # a mutation that died in flight may or may not have
+                    # been applied; replaying it could double-apply (a
+                    # CAS-guarded patch is the exception — the version
+                    # precondition turns a replay into a structured
+                    # conflict).  Fail loudly instead of guessing.
+                    log_event(
+                        _logger, logging.ERROR, "fleet.no_replay",
+                        shard=shard, verb=verb, generation=generation,
+                        error=type(first).__name__,
+                    )
+                    raise WorkerUnavailableError(
+                        f"worker {shard} transport failed mid-mutation "
+                        f"({verb!r} is not safely replayable without a "
+                        f"version precondition): {first}"
+                    ) from first
                 log_event(
                     _logger, logging.WARNING, "fleet.retry",
                     shard=shard, verb=verb, generation=generation,
@@ -286,6 +309,56 @@ class FleetEngine:
         """The owning worker's plan summary (compiles on the worker)."""
         shard = self.shard_for(problem)
         return self._request(shard, "explain", problem=problem)["plan"]
+
+    # -- named instances (the worker's repro.store slice) --------------------
+
+    def decide_ref(
+        self,
+        shard: int,
+        problem: Problem,
+        ref: str,
+        trace_id: str | None = None,
+    ) -> dict:
+        """A ref-decide on the owning worker; returns the worker's whole
+        result payload (``decision`` + ``instance`` provenance)."""
+        start = time.perf_counter()
+        result = self._request(
+            shard, "decide", problem=problem, instance_ref=ref,
+            trace_id=trace_id,
+        )
+        recorder().record(
+            trace_id, "transport", time.perf_counter() - start,
+            labels={"worker": str(shard)},
+        )
+        return result
+
+    def instance_request(self, request: Request) -> dict:
+        """Forward one registry verb to the owning worker (``list`` fans
+        out over every worker and merges).  The payloads pass through as
+        raw wire documents — the front never materializes the instance."""
+        verb = request.verb
+        if verb == "instance_list":
+            instances: list[dict] = []
+            stats: dict[str, float] = {}
+            for shard in range(self.n_shards):
+                payload = self._request(shard, "instance_list")
+                instances.extend(payload.get("instances") or [])
+                for key, value in (payload.get("stats") or {}).items():
+                    if isinstance(value, (int, float)):
+                        stats[key] = stats.get(key, 0) + value
+            return {"instances": instances, "stats": stats}
+        shard = self.shard_for_ref(request.instance_ref)
+        result = self._request(
+            shard, verb,
+            instance_ref=request.instance_ref,
+            instance=request.instance,
+            delta=request.delta,
+            expect_version=request.expect_version,
+            version=request.version,
+        )
+        if isinstance(result, dict):
+            result["shard"] = shard  # the worker index, not its local 0
+        return result
 
     # -- observability -------------------------------------------------------
 
@@ -337,10 +410,30 @@ class FleetEngine:
     # -- resizing ------------------------------------------------------------
 
     def resize(self, n_workers: int) -> "FleetEngine":
-        """Grow or shrink the fleet; ~1/N of class digests remap."""
+        """Grow or shrink the fleet; ~1/N of class digests remap.
+
+        Named instances follow the ring: before the worker set changes,
+        every ref whose owner moves (or whose worker is being retired) is
+        snapshotted at its current version, then re-``put`` — version
+        preserved, so client CAS preconditions keep holding — on its new
+        owner and dropped from the surviving old one.  The per-``(plan,
+        ref)`` incremental states do not migrate (they rebuild from the
+        instance on the next ref-decide); the delta *log* restarts at the
+        migrated version, which only costs a rebuild, never an answer.
+        Migration is best-effort: a ref that cannot be snapshotted or
+        re-put is logged and becomes ``unknown-instance`` on its new
+        owner — the same contract as an eviction.
+        """
+        old_n = self.n_shards
+        new_ring = HashRing(n_workers, replicas=self.config.replicas)
+        moves = (
+            self._collect_moves(old_n, n_workers, new_ring)
+            if n_workers != old_n
+            else []
+        )
         self._supervisor.resize(n_workers)
         with self._state_lock:
-            self._ring = HashRing(n_workers, replicas=self.config.replicas)
+            self._ring = new_ring
             for shard in list(self._clients):
                 if shard >= n_workers:
                     _, client = self._clients.pop(shard)
@@ -348,7 +441,85 @@ class FleetEngine:
                         client.close()
                     except OSError:
                         pass
+        self._migrate(moves, n_workers)
         return self
+
+    def _collect_moves(
+        self, old_n: int, n_workers: int, new_ring: HashRing
+    ) -> list[dict]:
+        """Snapshot every stored instance that will change owner, while
+        its current worker is still up (shrink retires workers — their
+        refs must be read *before* the supervisor stops them)."""
+        moves: list[dict] = []
+        for shard in range(old_n):
+            try:
+                payload = self._request(shard, "instance_list")
+            except Exception as error:
+                log_event(
+                    _logger, logging.WARNING, "fleet.migrate.list_failed",
+                    shard=shard, error=type(error).__name__,
+                )
+                continue
+            for info in payload.get("instances") or []:
+                ref = info.get("ref")
+                if not isinstance(ref, str) or not ref:
+                    continue
+                target = new_ring.shard_for(ref_digest(ref))
+                if target == shard and shard < n_workers:
+                    continue  # owner unchanged and surviving: stays put
+                try:
+                    doc = self._request(
+                        shard, "instance_get", instance_ref=ref
+                    )
+                except Exception as error:
+                    log_event(
+                        _logger, logging.WARNING, "fleet.migrate.snapshot",
+                        shard=shard, ref=ref, error=type(error).__name__,
+                    )
+                    continue
+                moves.append({
+                    "ref": ref,
+                    "source": shard,
+                    "target": target,
+                    "version": doc.get("version"),
+                    "instance": doc.get("instance"),
+                })
+        return moves
+
+    def _migrate(self, moves: list[dict], n_workers: int) -> None:
+        """Re-home the snapshotted instances on the post-resize fleet."""
+        for move in moves:
+            try:
+                self._request(
+                    move["target"], "instance_put",
+                    instance_ref=move["ref"],
+                    instance=move["instance"],
+                    version=move["version"],
+                )
+            except Exception as error:
+                log_event(
+                    _logger, logging.WARNING, "fleet.migrate.put_failed",
+                    shard=move["target"], ref=move["ref"],
+                    error=type(error).__name__,
+                )
+                continue
+            if move["source"] < n_workers:
+                try:
+                    self._request(
+                        move["source"], "instance_drop",
+                        instance_ref=move["ref"],
+                    )
+                except Exception as error:
+                    log_event(
+                        _logger, logging.WARNING, "fleet.migrate.drop",
+                        shard=move["source"], ref=move["ref"],
+                        error=type(error).__name__,
+                    )
+        if moves:
+            log_event(
+                _logger, logging.INFO, "fleet.migrate",
+                workers=n_workers, moved=len(moves),
+            )
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -40,6 +40,30 @@ Verbs and their payloads:
     ``trace_id``; answers ``{"trace_id": ..., "spans": [Span dicts]}`` —
     every phase span the server (and, behind a fleet front, its workers)
     still retains for that trace, in start order.
+``instance_put``
+    ``instance_ref`` + ``instance`` (+ optional ``version`` to seed, used
+    by fleet migration); stores the instance server-side and answers
+    ``{"instance": {"ref", "version", "facts", "bytes"}, "shard": i}``.
+``instance_patch``
+    ``instance_ref`` + ``delta`` (the ``repro/delta`` document) + optional
+    ``expect_version`` (compare-and-swap precondition); answers
+    ``{"instance": {...}, "applied": {"adds": n, "removes": m},
+    "shard": i}``.  Conflicts (CAS mismatch, removing an absent fact,
+    adding a present one) answer the ``conflict`` error code.
+``instance_drop``
+    ``instance_ref``; answers ``{"ref": ..., "dropped": bool, "shard": i}``.
+``instance_get``
+    ``instance_ref``; answers ``{"ref": ..., "version": ..., "instance":
+    {... db document ...}, "shard": i}`` (fleet migration's read side).
+``instance_list``
+    no payload; answers ``{"instances": [...], "bytes": ..., "max_bytes":
+    ..., "evictions": ...}`` aggregated across shards/workers.
+``decide`` with ``instance_ref`` instead of ``instance``
+    decides over the stored instance; the result gains ``{"instance":
+    {"ref", "version", "strategy", "incremental"}}`` and the decision's
+    ``incremental`` field reports whether cached incremental state
+    answered.  A ref that is unknown (never put, dropped, or evicted)
+    answers the ``unknown-instance`` error code.
 ``shutdown``
     no payload; answers ``{"stopping": true}`` and the server drains.
 
@@ -70,11 +94,13 @@ import json
 from dataclasses import dataclass
 
 from ..exceptions import (
+    DeltaConflictError,
     InstanceFormatError,
     ProblemFormatError,
     RemoteError,
     ReproError,
     ServeProtocolError,
+    UnknownInstanceError,
     WorkerUnavailableError,
 )
 
@@ -83,20 +109,47 @@ VERSION = 1
 
 VERBS = (
     "ping", "decide", "decide_batch", "classify", "explain", "stats",
-    "metrics", "trace", "shutdown",
+    "metrics", "trace", "instance_put", "instance_patch", "instance_drop",
+    "instance_get", "instance_list", "shutdown",
 )
 
 #: code → meaning of the structured error envelope.
 ERROR_CODES = {
     "bad-request": "malformed frame: invalid JSON or a bad envelope field",
     "bad-problem": "the 'problem' payload could not be decoded",
-    "bad-instance": "an 'instance'/'instances' payload could not be decoded",
+    "bad-instance": "an 'instance'/'instances'/'delta' payload could not "
+                    "be decoded",
     "unsupported": "unknown verb or protocol version",
     "domain": "the engine rejected or failed the decoded problem",
     "unavailable": "a fleet worker is down and could not be respawned; "
                    "the request was not executed (safe to retry)",
+    "conflict": "an instance patch violated its version precondition or "
+                "the delta's strict conflict rules; nothing was applied",
+    "unknown-instance": "the named instance ref is not held (never put, "
+                        "dropped, or evicted); re-put and retry",
     "internal": "unexpected server-side failure",
 }
+
+#: Verbs that mutate server-side state: a client must not blindly replay
+#: them after a transport failure (the first copy may have applied).  An
+#: ``instance_patch`` carrying ``expect_version`` is the exception — its
+#: compare-and-swap precondition turns a double-apply into a structured
+#: ``conflict`` — which is what :func:`replay_safe` encodes.
+MUTATION_VERBS = frozenset(
+    {"instance_put", "instance_patch", "instance_drop"}
+)
+
+
+def replay_safe(verb: str, expect_version: int | None = None) -> bool:
+    """May a client transparently resend *verb* after a transport failure?
+
+    Pure verbs always are.  Mutations are not — except a patch guarded by
+    ``expect_version``, whose replay either applies exactly once or fails
+    the version check with a ``conflict`` the caller can see.
+    """
+    if verb not in MUTATION_VERBS:
+        return True
+    return verb == "instance_patch" and expect_version is not None
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +163,10 @@ class Request:
     instances: list | None = None
     trace_id: str | None = None
     parent_span: str | None = None
+    instance_ref: str | None = None
+    delta: dict | None = None
+    expect_version: int | None = None
+    version: int | None = None
 
     def to_dict(self) -> dict:
         data: dict = {"id": self.id, "verb": self.verb}
@@ -123,6 +180,14 @@ class Request:
             data["trace_id"] = self.trace_id
         if self.parent_span is not None:
             data["parent_span"] = self.parent_span
+        if self.instance_ref is not None:
+            data["instance_ref"] = self.instance_ref
+        if self.delta is not None:
+            data["delta"] = self.delta
+        if self.expect_version is not None:
+            data["expect_version"] = self.expect_version
+        if self.version is not None:
+            data["version"] = self.version
         return data
 
 
@@ -179,6 +244,28 @@ def decode_request(line: bytes | str | dict) -> Request:
     parent_span = data.get("parent_span")
     if parent_span is not None and not isinstance(parent_span, str):
         raise ServeProtocolError("request 'parent_span' must be a string")
+    instance_ref = data.get("instance_ref")
+    if instance_ref is not None and (
+        not isinstance(instance_ref, str) or not instance_ref
+    ):
+        raise ServeProtocolError(
+            "request 'instance_ref' must be a non-empty string"
+        )
+    delta = data.get("delta")
+    if delta is not None and not isinstance(delta, dict):
+        raise ServeProtocolError("request 'delta' must be an object")
+    expect_version = data.get("expect_version")
+    if expect_version is not None and (
+        not isinstance(expect_version, int) or isinstance(expect_version, bool)
+    ):
+        raise ServeProtocolError(
+            "request 'expect_version' must be an integer"
+        )
+    version = data.get("version")
+    if version is not None and (
+        not isinstance(version, int) or isinstance(version, bool)
+    ):
+        raise ServeProtocolError("request 'version' must be an integer")
     return Request(
         id=request_id,
         verb=verb,
@@ -187,6 +274,10 @@ def decode_request(line: bytes | str | dict) -> Request:
         instances=instances,
         trace_id=trace_id,
         parent_span=parent_span,
+        instance_ref=instance_ref,
+        delta=delta,
+        expect_version=expect_version,
+        version=version,
     )
 
 
@@ -221,6 +312,10 @@ def error_code_for(error: Exception) -> str:
         return "bad-instance"
     if isinstance(error, WorkerUnavailableError):
         return "unavailable"
+    if isinstance(error, UnknownInstanceError):
+        return "unknown-instance"
+    if isinstance(error, DeltaConflictError):
+        return "conflict"
     if isinstance(error, ReproError):
         return "domain"
     return "internal"

@@ -56,7 +56,9 @@ from ..obs.log import (
     setup_logging,
 )
 from ..obs.trace import configure_recorder, recorder, trace_context
+from ..store.delta import Delta
 from .protocol import (
+    MUTATION_VERBS,
     PROTOCOL,
     VERBS,
     VERSION,
@@ -101,6 +103,7 @@ class ServerConfig:
     linger_ms: float = 1.0  # ... or this long after its first request
     max_workers: int | None = None  # thread pool size; None: one per shard
     max_frame_bytes: int = 16 * 1024 * 1024  # per-line stream buffer cap
+    store_bytes: int = 64 * 1024 * 1024  # instance-registry byte budget
     log_level: str = "warning"  # repro.obs.log level for the server process
     log_format: str = "human"  # "human" or "json"
     span_log: str | None = None  # JSON-lines span sink (front process only)
@@ -134,6 +137,10 @@ class ServerConfig:
             raise ValueError(
                 f"max_frame_bytes must be at least 1024, got "
                 f"{self.max_frame_bytes}"
+            )
+        if self.store_bytes < 1:
+            raise ValueError(
+                f"store_bytes must be positive, got {self.store_bytes}"
             )
 
     def session_config(self) -> SessionConfig:
@@ -169,6 +176,9 @@ class ServerConfig:
             max_batch=self.max_batch,
             linger_ms=0.0,
             max_frame_bytes=self.max_frame_bytes * self.max_batch,
+            # each worker owns the registry slice of the refs that hash to
+            # it, so the per-worker budget is the whole configured budget
+            store_bytes=self.store_bytes,
             # workers log with the front's verbosity (their stderr is
             # captured by the supervisor for crash forensics); the span
             # ring is per-process, but the JSON-lines sink is front-only
@@ -426,6 +436,15 @@ class CertaintyServer:
             self._sharded = ShardedEngine(
                 self.config.shards, self.config.session_config()
             )
+        # thread mode holds the one instance store here; a fleet front
+        # holds none — every ref hashes to a worker process whose own
+        # server (processes=0) owns that slice of the registry
+        if self.config.processes > 0:
+            self._store = None
+        else:
+            from ..store import InstanceStore
+
+            self._store = InstanceStore(max_bytes=self.config.store_bytes)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.max_workers or self.config.engine_width,
             thread_name_prefix="repro-serve",
@@ -484,6 +503,8 @@ class CertaintyServer:
             )
         await self._server.wait_closed()
         self._pool.shutdown(wait=True)
+        if self._store is not None:
+            self._store.close()
         self._sharded.close()
 
     def request_shutdown(self) -> None:
@@ -619,9 +640,13 @@ class CertaintyServer:
             self.request_shutdown()
             return {"stopping": True}
         if verb == "decide":
+            if request.instance_ref is not None:
+                return await self._decide_ref(request, offload=offload)
             if request.instance is None:
                 self._require_problem(request)  # report the missing payload
-                raise ServeProtocolError("'decide' needs an 'instance'")
+                raise ServeProtocolError(
+                    "'decide' needs an 'instance' or an 'instance_ref'"
+                )
             # canonicalization + instance transport ride along with payload
             # decoding (offloaded for big frames): the batcher then groups
             # renaming-isomorphic spellings under one class key
@@ -706,23 +731,138 @@ class CertaintyServer:
                 "plan": plan,
                 "shard": self._sharded.shard_for(problem),
             }
+        if verb in MUTATION_VERBS or verb in (
+            "instance_get", "instance_list"
+        ):
+            return await self._instance_verb(request)
         raise UnsupportedVerbError(
             f"unknown verb {verb!r} (this server speaks "
             f"{PROTOCOL} v{VERSION})"
         )
 
+    async def _decide_ref(self, request: Request, *, offload: bool) -> dict:
+        """A decide against a named stored instance: routed by the ref's
+        digest (not the class digest) to the shard holding the instance
+        and its incremental states; the micro-batcher is bypassed — the
+        store's per-``(plan, ref)`` state is the amortization here."""
+        ref = request.instance_ref
+        if offload:
+            problem = await self._run_on_pool(self._require_problem, request)
+        else:
+            problem = self._require_problem(request)
+        shard = self._sharded.shard_for_ref(ref)
+        if self._store is None:  # fleet front: the owning worker decides
+            result = await self._run_on_pool(
+                self._sharded.decide_ref, shard, problem, ref,
+                request.trace_id,
+            )
+            result["shard"] = shard  # the worker index, not its local 0
+            return result
+        session = self._sharded.session(shard)
+        store = self._store
+
+        def _run():
+            # context vars do not cross executor threads; re-enter so the
+            # store's delta_apply/incremental_solve spans land on the trace
+            with trace_context(request.trace_id):
+                return store.decide(session, problem, ref)
+
+        decision, meta = await self._run_on_pool(_run)
+        result = {
+            "decision": decision.to_dict(),
+            "shard": shard,
+            "instance": meta,
+        }
+        if request.trace_id is not None:
+            result["trace_id"] = request.trace_id
+        return result
+
+    async def _instance_verb(self, request: Request) -> dict:
+        """The registry verbs.  All run on the thread pool: ``put``/``get``
+        move whole instance documents and every verb takes the store lock,
+        neither of which belongs on the event loop."""
+        verb = request.verb
+        ref = request.instance_ref
+        if verb != "instance_list" and not ref:
+            raise ServeProtocolError(f"{verb!r} needs an 'instance_ref'")
+        if self._store is None:  # fleet front: forward to the owning worker
+            return await self._run_on_pool(
+                self._sharded.instance_request, request
+            )
+        store = self._store
+        shard = self._sharded.shard_for_ref(ref) if ref else None
+        if verb == "instance_put":
+            if request.instance is None:
+                raise ServeProtocolError("'instance_put' needs an 'instance'")
+
+            def _put():
+                db = db_io.from_dict(request.instance)
+                info = store.put(ref, db, version=request.version)
+                return {"instance": info.to_dict(), "shard": shard}
+
+            return await self._run_on_pool(_put)
+        if verb == "instance_patch":
+            if request.delta is None:
+                raise ServeProtocolError("'instance_patch' needs a 'delta'")
+
+            def _patch():
+                delta = Delta.from_dict(request.delta)
+                info, applied = store.patch(
+                    ref, delta, expect_version=request.expect_version
+                )
+                return {
+                    "instance": info.to_dict(),
+                    "applied": {
+                        "adds": len(applied.adds),
+                        "removes": len(applied.removes),
+                    },
+                    "shard": shard,
+                }
+
+            return await self._run_on_pool(_patch)
+        if verb == "instance_drop":
+
+            def _drop():
+                return {"ref": ref, "dropped": store.drop(ref),
+                        "shard": shard}
+
+            return await self._run_on_pool(_drop)
+        if verb == "instance_get":
+
+            def _get():
+                db, version = store.get(ref)
+                return {
+                    "ref": ref,
+                    "version": version,
+                    "instance": db_io.to_dict(db),
+                    "shard": shard,
+                }
+
+            return await self._run_on_pool(_get)
+
+        def _list():  # instance_list
+            return {
+                "instances": [info.to_dict() for info in store.list()],
+                "stats": store.stats(),
+            }
+
+        return await self._run_on_pool(_list)
+
     async def _stats(self) -> dict:
         shard_stats = await self._run_on_pool(self._sharded.stats)
         phases = await self._run_on_pool(self._merged_phases)
+        server_block = {
+            **self.metrics.to_dict(),
+            "shards": self._sharded.n_shards,
+            "processes": self.config.processes,
+            "max_batch": self.config.max_batch,
+            "linger_ms": self.config.linger_ms,
+            "fo_backend": self.config.fo_backend,
+        }
+        if self._store is not None:  # fleet workers report their own slices
+            server_block["store"] = self._store.stats()
         return {
-            "server": {
-                **self.metrics.to_dict(),
-                "shards": self._sharded.n_shards,
-                "processes": self.config.processes,
-                "max_batch": self.config.max_batch,
-                "linger_ms": self.config.linger_ms,
-                "fo_backend": self.config.fo_backend,
-            },
+            "server": server_block,
             "shards": [entry.to_dict() for entry in shard_stats],
             "phases": {
                 name: snapshot.to_dict() for name, snapshot in phases.items()
@@ -773,8 +913,8 @@ class CertaintyServer:
         if phases:
             lines.append(
                 "# HELP repro_phase_latency_seconds Request phase latency "
-                "(queue_wait/batch_linger/canonicalize/transport/solve/"
-                "respond), fleet-wide."
+                "(queue_wait/batch_linger/canonicalize/transport/"
+                "delta_apply/incremental_solve/solve/respond), fleet-wide."
             )
             lines.append("# TYPE repro_phase_latency_seconds histogram")
             for phase, snapshot in phases.items():

@@ -36,6 +36,16 @@ from ..db.instance import DatabaseInstance
 from ..engine.engine import EngineStats
 
 
+def ref_digest(ref: str) -> str:
+    """The ring digest of a named-instance ref.
+
+    Namespaced apart from problem-class digests so a ref that happens to
+    spell a class fingerprint cannot collide with it; shared by the
+    thread-shard and fleet engines so both agree on every ref placement.
+    """
+    return hashlib.sha256(f"instance-ref:{ref}".encode("utf-8")).hexdigest()
+
+
 class HashRing:
     """A consistent-hash ring mapping hex digests to shard indexes."""
 
@@ -114,6 +124,15 @@ class ShardedEngine:
         and share its one prepared plan.
         """
         return self._ring.shard_for(problem.fingerprint.digest)
+
+    def shard_for_ref(self, ref: str) -> int:
+        """The shard index owning the named instance *ref*.
+
+        Ref-affinity routing: decides by reference go to the shard that
+        holds the instance (and its incremental states), not to the shard
+        the problem class would hash to.
+        """
+        return self._ring.shard_for(ref_digest(ref))
 
     def session(self, shard: int) -> Session:
         """The shard's session (for executing on a known shard)."""

@@ -1,4 +1,4 @@
-"""A dual-Horn SAT substrate.
+"""SAT substrates: dual-Horn (Proposition 17) and general CNF (fallback).
 
 Proposition 17 places ``CERTAINTY(q, FK)`` for ``q = {N(x,c,y), O(y)}``,
 ``FK = {N[3] → O}`` in P by mutual reduction with DUAL HORN SAT — CNF
@@ -6,6 +6,16 @@ satisfiability where every clause has **at most one negative literal**
 (the dual of Horn; P-complete by Schaefer).  This module implements the
 substrate: formula representation, dual-Horn validation, and a linear-time
 unit-propagation solver computing the *maximal* satisfying assignment.
+
+Beyond the polynomial island, the coNP-hard residue of the trichotomy
+admits the classical *falsifying-repair* encoding: with ``FK = ∅`` a
+subset repair picks exactly one fact per key-equal block, and the query is
+certain iff **no** repair falsifies it — i.e. iff the CNF «exactly one
+fact per block, and for every valuation image θ(q) ⊆ db at least one of
+its facts is unchosen» is unsatisfiable.  :func:`solve_cnf` is the
+general-CNF decision procedure (iterative DPLL with unit propagation) and
+:class:`SatRepairSolver` the prepared solver the router can place between
+the polynomial islands and the exhaustive enumerators.
 """
 
 from __future__ import annotations
@@ -14,7 +24,11 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
+from ..core.query import ConjunctiveQuery
+from ..db.instance import DatabaseInstance
+from ..db.matching import apply_valuation, valuations
 from ..exceptions import ReproError
+from .base import PreparedSolverMixin
 
 
 class NotDualHornError(ReproError):
@@ -160,6 +174,117 @@ def solve_dual_horn(formula: DualHornFormula) -> SatResult:
 
     assignment = {v: v not in false_set for v in formula.variables}
     return SatResult(True, assignment)
+
+
+def solve_cnf(clauses: Iterable[Iterable[int]]) -> bool:
+    """General-CNF satisfiability by iterative DPLL with unit propagation.
+
+    Clauses are DIMACS-style integer literal lists (``v`` positive,
+    ``-v`` negated, variables numbered from 1).  An empty clause set is
+    satisfiable; an empty clause is not.  The search is an explicit-stack
+    backtracker, so deep formulas never hit the recursion limit.
+    """
+    normalized: list[tuple[int, ...]] = []
+    for clause in clauses:
+        literals = tuple(dict.fromkeys(clause))
+        if any(lit == 0 for lit in literals):
+            raise ValueError("literal 0 is not a valid DIMACS literal")
+        if any(-lit in literals for lit in literals):
+            continue  # tautology: v ∨ ¬v
+        normalized.append(literals)
+
+    def propagate(
+        pending: list[tuple[int, ...]], assignment: dict[int, bool]
+    ) -> list[tuple[int, ...]] | None:
+        """Simplify under *assignment* until no unit clause remains;
+        ``None`` on conflict."""
+        while True:
+            forced = False
+            remaining: list[tuple[int, ...]] = []
+            for clause in pending:
+                open_literals: list[int] = []
+                satisfied = False
+                for lit in clause:
+                    value = assignment.get(abs(lit))
+                    if value is None:
+                        open_literals.append(lit)
+                    elif (lit > 0) == value:
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if not open_literals:
+                    return None
+                if len(open_literals) == 1:
+                    lit = open_literals[0]
+                    assignment[abs(lit)] = lit > 0
+                    forced = True
+                else:
+                    remaining.append(tuple(open_literals))
+            if not forced:
+                return remaining
+            pending = remaining
+
+    stack: list[tuple[dict[int, bool], list[tuple[int, ...]]]] = [
+        ({}, normalized)
+    ]
+    while stack:
+        assignment, pending = stack.pop()
+        simplified = propagate(pending, assignment)
+        if simplified is None:
+            continue  # conflict: backtrack
+        if not simplified:
+            return True
+        branch = simplified[0][0]
+        variable = abs(branch)
+        for value in (branch < 0, branch > 0):  # satisfy the literal last:
+            trail = dict(assignment)            # LIFO pops it first
+            trail[variable] = value
+            stack.append((trail, simplified))
+    return False
+
+
+@dataclass
+class SatRepairSolver(PreparedSolverMixin):
+    """``CERTAINTY(q, ∅)`` by refuting a falsifying subset repair in CNF.
+
+    Variables are the instance's facts (over the query's relations); the
+    formula asserts a repair — exactly one fact per key-equal block — that
+    makes ``q`` false: for every valuation image ``θ(q) ⊆ db`` the clause
+    ``¬f₁ ∨ … ∨ ¬fₖ`` forbids choosing the whole image.  The query is
+    certain iff that formula is **unsatisfiable**.  Exponential in the
+    worst case (the residue class is coNP-hard), like the enumeration
+    fallbacks — but the solver prunes through propagation instead of
+    walking all ``∏ |block|`` repairs, and the prepared instance is reused
+    across every decide of its plan.
+    """
+
+    query: ConjunctiveQuery
+    name: str = "sat-repairs"
+
+    def decide(self, db: DatabaseInstance) -> bool:
+        relevant = sorted(
+            (
+                fact
+                for relation in self.query.relations
+                for fact in db.relation_facts(relation)
+            ),
+            key=lambda fact: (fact.relation, fact.values),
+        )
+        index = {fact: i + 1 for i, fact in enumerate(relevant)}
+        blocks: dict[tuple, list[int]] = defaultdict(list)
+        for fact in relevant:
+            blocks[fact.block_id].append(index[fact])
+        clauses: list[list[int]] = []
+        for members in blocks.values():
+            clauses.append(members)  # pick at least one per block...
+            for i, a in enumerate(members):  # ...and at most one
+                for b in members[i + 1:]:
+                    clauses.append([-a, -b])
+        for valuation in valuations(self.query, db):
+            image = apply_valuation(self.query, valuation)
+            clauses.append([-index[fact] for fact in image])
+        return not solve_cnf(clauses)
 
 
 def brute_force_satisfiable(formula: DualHornFormula) -> bool:

@@ -1,0 +1,29 @@
+"""``repro.store``: server-side named instances, deltas, incremental decides.
+
+The serving stack's answer to mutation-heavy workloads: clients ``put`` an
+instance once under a chosen *ref*, ``patch`` it with small
+:class:`Delta`\\ s, and issue decides *by reference* — the server keeps the
+instance (bounded, versioned, byte-accounted: :class:`InstanceRegistry`)
+and, per ``(plan, ref)``, backend-native incremental state that absorbs
+the delta chain instead of re-deciding from scratch
+(:class:`InstanceStore`).  See ``docs/protocol.md`` for the wire verbs and
+``docs/architecture.md`` for where the registry sits in the data flow.
+"""
+
+from .delta import Delta
+from .incremental import InstanceStore
+from .registry import (
+    InstanceRegistry,
+    StoredInstance,
+    estimate_fact_bytes,
+    estimate_instance_bytes,
+)
+
+__all__ = [
+    "Delta",
+    "InstanceRegistry",
+    "InstanceStore",
+    "StoredInstance",
+    "estimate_fact_bytes",
+    "estimate_instance_bytes",
+]

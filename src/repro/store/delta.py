@@ -1,0 +1,169 @@
+"""Instance deltas: ``+fact`` / ``-fact`` mutation sets with conflict rules.
+
+A :class:`Delta` is the unit of mutation in the ``repro.store`` registry: a
+pair of disjoint fact sets to add and to remove.  Deltas are value objects
+with a lossless JSON wire form that mirrors the instance document
+(:mod:`repro.db.io`) — each side is a relation map carrying signature and
+rows — so the same value domain (strings and non-boolean integers) and the
+same validation applies::
+
+    {"format": "repro/delta", "version": 1,
+     "add":    {"R": {"arity": 2, "key_size": 1, "rows": [["a", "c"]]}},
+     "remove": {"R": {"arity": 2, "key_size": 1, "rows": [["a", "b"]]}}}
+
+Strict application (the registry default) enforces the conflict rules the
+serve protocol surfaces as the ``conflict`` error code: removing an absent
+fact and adding an already-present fact are both errors, because silently
+ignoring either would let a client's picture of the instance drift from the
+server's.  ``strict=False`` application treats both as no-ops, which is what
+:func:`Delta.diff` round-trips rely on: ``Delta.diff(a, b).apply(a) == b``
+holds for any two instances over compatible signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..db import io as db_io
+from ..db.facts import Fact
+from ..db.instance import DatabaseInstance
+from ..exceptions import DeltaConflictError, InstanceFormatError
+
+_FORMAT = "repro/delta"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A disjoint pair of fact sets: ``adds`` to insert, ``removes`` to delete.
+
+    >>> a = DatabaseInstance([Fact("R", ("x", 1), 1)])
+    >>> b = DatabaseInstance([Fact("R", ("x", 2), 1)])
+    >>> Delta.diff(a, b).apply(a) == b
+    True
+    """
+
+    adds: frozenset[Fact] = field(default_factory=frozenset)
+    removes: frozenset[Fact] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "adds", frozenset(self.adds))
+        object.__setattr__(self, "removes", frozenset(self.removes))
+        overlap = self.adds & self.removes
+        if overlap:
+            sample = sorted(overlap, key=repr)[0]
+            raise DeltaConflictError(
+                f"delta both adds and removes {sample!r} "
+                f"({len(overlap)} overlapping fact(s))"
+            )
+
+    @staticmethod
+    def of(
+        adds: Iterable[Fact] = (), removes: Iterable[Fact] = ()
+    ) -> "Delta":
+        return Delta(frozenset(adds), frozenset(removes))
+
+    @staticmethod
+    def diff(a: DatabaseInstance, b: DatabaseInstance) -> "Delta":
+        """The delta turning *a* into *b*: ``diff(a, b).apply(a) == b``."""
+        return Delta(adds=b.facts - a.facts, removes=a.facts - b.facts)
+
+    # -- application ----------------------------------------------------------
+
+    def apply(
+        self, db: DatabaseInstance, *, strict: bool = True
+    ) -> DatabaseInstance:
+        """*db* with this delta applied.
+
+        Under ``strict`` (the default), removing a fact absent from *db* or
+        adding a fact already present raises
+        :class:`~repro.exceptions.DeltaConflictError`; with ``strict=False``
+        both are no-ops.  Signature conflicts between added facts and *db*
+        propagate as :class:`~repro.exceptions.SchemaError` from instance
+        construction either way.
+        """
+        if strict:
+            missing = self.removes - db.facts
+            if missing:
+                sample = sorted(missing, key=repr)[0]
+                raise DeltaConflictError(
+                    f"delta removes absent fact {sample!r} "
+                    f"({len(missing)} such fact(s))"
+                )
+            duplicate = self.adds & db.facts
+            if duplicate:
+                sample = sorted(duplicate, key=repr)[0]
+                raise DeltaConflictError(
+                    f"delta adds already-present fact {sample!r} "
+                    f"({len(duplicate)} such fact(s))"
+                )
+        return DatabaseInstance((db.facts - self.removes) | self.adds)
+
+    def inverse(self) -> "Delta":
+        """The delta undoing this one (on the post-application instance)."""
+        return Delta(adds=self.removes, removes=self.adds)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """Relation names touched by either side."""
+        return frozenset(
+            f.relation for side in (self.adds, self.removes) for f in side
+        )
+
+    def __len__(self) -> int:
+        return len(self.adds) + len(self.removes)
+
+    def __bool__(self) -> bool:
+        return bool(self.adds or self.removes)
+
+    # -- wire form ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-JSON-compatible dict losslessly encoding this delta."""
+        return {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "add": db_io.to_dict(DatabaseInstance(self.adds))["relations"],
+            "remove": db_io.to_dict(DatabaseInstance(self.removes))[
+                "relations"
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: object) -> "Delta":
+        """Rebuild a delta from :meth:`to_dict` output.
+
+        Raises :class:`~repro.exceptions.InstanceFormatError` on malformed
+        input and :class:`~repro.exceptions.DeltaConflictError` when the two
+        sides overlap.
+        """
+        if not isinstance(data, Mapping):
+            raise InstanceFormatError(
+                f"delta document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        if data.get("format") != _FORMAT:
+            raise InstanceFormatError(
+                f"not a delta document: format={data.get('format')!r} "
+                f"(expected {_FORMAT!r})"
+            )
+        if data.get("version") != _VERSION:
+            raise InstanceFormatError(
+                f"unsupported delta version {data.get('version')!r} "
+                f"(this library reads version {_VERSION})"
+            )
+        sides = {}
+        for side in ("add", "remove"):
+            relations = data.get(side, {})
+            # reuse the instance document decoder for signature/value checks
+            sides[side] = db_io.from_dict(
+                {
+                    "format": db_io._FORMAT,
+                    "version": db_io._VERSION,
+                    "relations": relations,
+                }
+            ).facts
+        return Delta(adds=sides["add"], removes=sides["remove"])

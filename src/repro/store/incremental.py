@@ -1,0 +1,645 @@
+"""Incremental re-decision over registry-held instances.
+
+The :class:`InstanceStore` combines the named-instance registry with a
+bounded cache of **incremental decision states**, keyed by ``(ref,
+canonical class, request spelling)``.  A state is a backend-native data
+structure seeded from one transported instance that can (a) absorb a
+:class:`~repro.store.Delta` chain and (b) re-answer the certainty question
+from what it already holds — skipping the per-request transport and
+from-scratch evaluation a plain ``decide`` pays:
+
+``fo-sql`` / ``fo-duckdb``
+    a dedicated warm connection per state; deltas become row ``DELETE`` /
+    ``INSERT`` DML and re-deciding runs the plan's precompiled ``SELECT``
+    (first-order view maintenance in its database-native form).
+``nl-reachability``
+    the Proposition 16 digraph is maintained delta-locally — blocks, the
+    diagonal, and a mentions index confine edge re-derivation to vertices
+    the delta touched — and the linear forced-capture attractor re-runs
+    over the maintained graph.
+``p-dual-horn``
+    semi-naive closure repair: per-block satisfying/falsifying counters
+    back a persistent dual-unit-propagation state; *strengthening* deltas
+    (new clauses, shrinking clause bodies) propagate forward from the
+    existing false-set, while *weakening* deltas mark the state dirty and
+    re-propagate from the maintained counters at the next solve.
+
+Every other backend falls back to a full re-decide of the registry
+instance, with the decision's provenance saying so (``incremental=False``,
+strategy ``full``).  Incremental answers are definitionally equal to
+from-scratch answers; the randomized oracle-agreement tests in
+``tests/test_store_incremental.py`` enforce that across mutation streams.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, OrderedDict
+
+from ..api.decision import Decision
+from ..db.instance import DatabaseInstance
+from ..obs.trace import record_span
+from .delta import Delta
+from .registry import InstanceRegistry, StoredInstance
+
+_BOTTOM = ("⊥",)
+
+
+class _UnsupportedDelta(Exception):
+    """Internal: this state cannot maintain itself through the delta (or
+    the seed instance); the store falls back to a full re-decide."""
+
+
+def _transport_delta(form, delta: Delta) -> Delta:
+    """Rename *delta* into the canonical spelling, fact by fact.
+
+    Transport is a per-fact map (rename through the recorded renaming,
+    drop reserved-alphabet strays), so it distributes over set union and
+    difference: applying the transported delta to the transported instance
+    equals transporting the patched instance.
+    """
+    return Delta(
+        adds=form.transport_instance(DatabaseInstance(delta.adds)).facts,
+        removes=form.transport_instance(
+            DatabaseInstance(delta.removes)
+        ).facts,
+    )
+
+
+# -- backend-native incremental states ----------------------------------------
+
+
+class _SqlState:
+    """Row-DML maintenance over a dedicated warm SQL connection."""
+
+    strategy = "sql-dml"
+
+    def __init__(self, solver, db: DatabaseInstance):
+        from ..fo.sql import _quote_identifier, create_table_statements
+
+        schema = solver.query.schema()
+        self._relations = frozenset(solver.query.relations)
+        self._encoder = solver.dialect.value_encoder or (lambda v: v)
+        self._select = solver.sql
+        self._insert = {}
+        self._delete = {}
+        for relation in self._relations:
+            arity = schema[relation].arity
+            quoted = _quote_identifier(relation)
+            marks = ", ".join("?" * arity)
+            where = " AND ".join(f"c{i + 1} = ?" for i in range(arity))
+            self._insert[relation] = f"INSERT INTO {quoted} VALUES ({marks})"
+            self._delete[relation] = f"DELETE FROM {quoted} WHERE {where}"
+        self._connection = solver.dialect.connect()
+        for ddl in create_table_statements(schema, solver.dialect.column_type):
+            self._connection.execute(ddl)
+        for fact in db.restrict_relations(self._relations):
+            self._execute(self._insert, fact)
+
+    def _execute(self, statements: dict, fact) -> None:
+        self._connection.execute(
+            statements[fact.relation],
+            tuple(self._encoder(v) for v in fact.values),
+        )
+
+    def apply(self, delta: Delta) -> None:
+        for fact in delta.removes:
+            if fact.relation in self._relations:
+                self._execute(self._delete, fact)
+        for fact in delta.adds:
+            if fact.relation in self._relations:
+                self._execute(self._insert, fact)
+
+    def solve(self) -> bool:
+        (result,) = self._connection.execute(self._select).fetchone()
+        return bool(result)
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except Exception:
+            pass
+
+
+class _ReachabilityState:
+    """Delta-local maintenance of the Proposition 16 digraph.
+
+    ``blocks`` maps each ``N``-key to its second-position values, the
+    ``mentions`` reverse index maps a value to the keys whose block
+    contains it, and ``dirty`` accumulates the keys whose outgoing edges
+    must be re-derived — a delta touching vertex ``c`` dirties ``c`` and,
+    when ``c``'s diagonal membership flips, exactly the keys mentioning
+    ``c``.  ``solve`` repairs the dirty edges and re-runs the linear
+    attractor over the maintained graph.
+    """
+
+    strategy = "p16-attractor"
+
+    def __init__(self, solver, db: DatabaseInstance):
+        self._n = solver.n_relation
+        self._o = solver.o_relation
+        self._blocks: dict[object, set[object]] = {}
+        self._mentions: dict[object, set[object]] = {}
+        self._diagonal: set[object] = set()
+        self._o_count: Counter = Counter()
+        self._edges: dict[object, set[object]] = {}
+        self._dirty: set[object] = set()
+        for fact in db.relation_facts(self._n):
+            self._apply_n(fact, added=True)
+        for fact in db.relation_facts(self._o):
+            self._o_count[fact.value_at(1)] += 1
+
+    def _apply_n(self, fact, *, added: bool) -> None:
+        if fact.arity != 2 or fact.key_size != 1:
+            raise _UnsupportedDelta(
+                f"{self._n}-fact {fact!r} is outside the (2, 1) signature"
+            )
+        c, d = fact.value_at(1), fact.value_at(2)
+        if added:
+            self._blocks.setdefault(c, set()).add(d)
+            self._mentions.setdefault(d, set()).add(c)
+        else:
+            block = self._blocks.get(c)
+            if block is not None:
+                block.discard(d)
+                if not block:
+                    del self._blocks[c]
+            keys = self._mentions.get(d)
+            if keys is not None:
+                keys.discard(c)
+                if not keys:
+                    del self._mentions[d]
+        self._dirty.add(c)
+        if c == d:
+            if added:
+                self._diagonal.add(c)
+            else:
+                self._diagonal.discard(c)
+            # c's diagonal membership flipped: every block containing c
+            # may gain or lose its escape edge
+            self._dirty.update(self._mentions.get(c, ()))
+
+    def apply(self, delta: Delta) -> None:
+        for fact in delta.removes:
+            if fact.relation == self._n:
+                self._apply_n(fact, added=False)
+            elif fact.relation == self._o:
+                self._o_count[fact.value_at(1)] -= 1
+        for fact in delta.adds:
+            if fact.relation == self._n:
+                self._apply_n(fact, added=True)
+            elif fact.relation == self._o:
+                self._o_count[fact.value_at(1)] += 1
+
+    def solve(self) -> bool:
+        from ..solvers.reachability import ReachabilityGraph
+
+        for c in self._dirty:
+            if c in self._diagonal:
+                others = self._blocks.get(c, set()) - {c}
+                if others <= self._diagonal:
+                    self._edges[c] = others
+                else:
+                    self._edges[c] = {_BOTTOM}
+            else:
+                self._edges.pop(c, None)
+        self._dirty.clear()
+        marked = {
+            v
+            for v, count in self._o_count.items()
+            if count > 0 and v in self._diagonal
+        }
+        graph = ReachabilityGraph(
+            vertices=set(self._diagonal) | {_BOTTOM},
+            edges=self._edges,
+            marked=marked,
+        )
+        return graph.some_marked_doomed()
+
+    def close(self) -> None:
+        pass
+
+
+class _DualHornState:
+    """Semi-naive repair of the Proposition 17 dual-Horn closure.
+
+    The ground truth is a pair of per-block counters (satisfying values,
+    falsifying values) plus an ``O``-value counter; on top sits a
+    persistent dual-unit-propagation state (clauses with open-positive
+    counts, a watching index, the forced-false set).  *Strengthening*
+    mutations — a new positive unit clause, a new block clause, a literal
+    leaving a clause body — extend the closure forward from the existing
+    false-set; *weakening* mutations — a clause or literal coming back —
+    cannot be repaired monotonically, so they mark the state dirty and the
+    next solve re-propagates from the counters (still skipping instance
+    transport and reduction re-derivation).
+    """
+
+    strategy = "dual-horn-repair"
+
+    def __init__(self, solver, db: DatabaseInstance):
+        self._constant = solver.constant
+        self._n = solver.n_relation
+        self._o = solver.o_relation
+        self._o_count: Counter = Counter()
+        # key -> (satisfying value counter, falsifying value counter)
+        self._blocks: dict[tuple, tuple[Counter, Counter]] = {}
+        self._dirty = True
+        self._reset_propagation()
+        for fact in db.relation_facts(self._o):
+            self._o_count[fact.value_at(1)] += 1
+        for fact in db.relation_facts(self._n):
+            self._count_n(fact, step=1)
+
+    # -- ground-truth counters ------------------------------------------------
+
+    def _count_n(self, fact, step: int) -> tuple[tuple, object, bool, bool]:
+        if fact.arity != 3:
+            raise _UnsupportedDelta(
+                f"{self._n}-fact {fact!r} is outside the arity-3 signature"
+            )
+        satisfying = fact.value_at(2) == self._constant
+        sat, fal = self._blocks.setdefault(fact.key, (Counter(), Counter()))
+        counter = sat if satisfying else fal
+        value = fact.value_at(3)
+        counter[value] += step
+        crossed = (
+            counter[value] == 1 if step > 0 else counter[value] == 0
+        )
+        return fact.key, value, satisfying, crossed
+
+    # -- persistent propagation state ----------------------------------------
+
+    def _reset_propagation(self) -> None:
+        # clause -> [open positive count, negative value or None]
+        self._clauses: list[list] = []
+        # positive value -> clause indexes still counting it open
+        self._watching: dict[object, set[int]] = {}
+        # block key -> {satisfying value p -> clause index}
+        self._block_clauses: dict[tuple, dict[object, int]] = {}
+        self._false: set[object] = set()
+        self._unsat = False
+
+    def _new_clause(self, positives, negative) -> None:
+        index = len(self._clauses)
+        open_count = 0
+        for value in positives:
+            if value not in self._false:
+                self._watching.setdefault(value, set()).add(index)
+                open_count += 1
+        self._clauses.append([open_count, negative])
+        if negative is not None and negative in self._false:
+            # already-forced negatives make the clause vacuously true
+            return
+        if open_count == 0:
+            self._fire(index)
+
+    def _fire(self, index: int) -> None:
+        queue = [index]
+        while queue:
+            clause = self._clauses[queue.pop()]
+            negative = clause[1]
+            if negative is None:
+                self._unsat = True
+                continue
+            if negative in self._false:
+                continue
+            self._false.add(negative)
+            for watcher in self._watching.pop(negative, ()):  # noqa: B020
+                watched = self._clauses[watcher]
+                watched[0] -= 1
+                if watched[0] == 0:
+                    queue.append(watcher)
+
+    def _drop_literal(self, key: tuple, value: object) -> None:
+        # a falsifying value left the block: remove the literal from every
+        # clause of the block that still counts it open
+        for index in self._block_clauses.get(key, {}).values():
+            watchers = self._watching.get(value)
+            if watchers is not None and index in watchers:
+                watchers.discard(index)
+                if not watchers:
+                    del self._watching[value]
+                clause = self._clauses[index]
+                clause[0] -= 1
+                if clause[0] == 0:
+                    self._fire(index)
+
+    def _add_block_clause(self, key: tuple, p: object) -> None:
+        sat, fal = self._blocks[key]
+        positives = [q for q, count in fal.items() if count > 0]
+        index = len(self._clauses)
+        self._block_clauses.setdefault(key, {})[p] = index
+        self._new_clause(positives, p)
+
+    def _rebuild(self) -> None:
+        self._reset_propagation()
+        for value, count in self._o_count.items():
+            if count > 0:
+                self._new_clause((value,), None)
+        for key, (sat, fal) in self._blocks.items():
+            for p, count in sat.items():
+                if count > 0:
+                    self._add_block_clause(key, p)
+        self._dirty = False
+
+    # -- delta application ----------------------------------------------------
+
+    def apply(self, delta: Delta) -> None:
+        for fact in delta.removes:
+            if fact.relation == self._o:
+                value = fact.value_at(1)
+                self._o_count[value] -= 1
+                if self._o_count[value] == 0:
+                    self._dirty = True  # weakening: unit clause retracted
+            elif fact.relation == self._n:
+                key, value, satisfying, crossed = self._count_n(fact, -1)
+                if not crossed or self._dirty:
+                    continue
+                if satisfying:
+                    self._dirty = True  # weakening: block clause retracted
+                else:
+                    self._drop_literal(key, value)  # strengthening
+        for fact in delta.adds:
+            if fact.relation == self._o:
+                value = fact.value_at(1)
+                self._o_count[value] += 1
+                if self._o_count[value] == 1 and not self._dirty:
+                    self._new_clause((value,), None)  # strengthening
+            elif fact.relation == self._n:
+                key, value, satisfying, crossed = self._count_n(fact, 1)
+                if not crossed or self._dirty:
+                    continue
+                if satisfying:
+                    self._add_block_clause(key, value)  # strengthening
+                else:
+                    self._dirty = True  # weakening: literal re-enters bodies
+
+    def solve(self) -> bool:
+        if self._dirty:
+            self._rebuild()
+        # certain iff the dual-Horn encoding is unsatisfiable
+        return self._unsat
+
+    def close(self) -> None:
+        pass
+
+
+def _build_state(plan, db: DatabaseInstance):
+    """The backend-native state for *plan* seeded from canonical *db*, or
+    ``None`` when the backend has no incremental form."""
+    backend = plan.backend
+    if backend in ("fo-sql", "fo-duckdb"):
+        return _SqlState(plan.solver, db)
+    if backend == "nl-reachability":
+        return _ReachabilityState(plan.solver, db)
+    if backend == "p-dual-horn":
+        return _DualHornState(plan.solver, db)
+    return None
+
+
+# -- the store facade ---------------------------------------------------------
+
+
+class _StateEntry:
+    __slots__ = ("state", "version", "answer")
+
+    def __init__(self, state, version: int, answer: bool):
+        self.state = state
+        self.version = version
+        self.answer = answer
+
+    def close(self) -> None:
+        self.state.close()
+
+
+class InstanceStore:
+    """Registry + incremental-state cache + ref-decide orchestration.
+
+    One store lives per serving shard owner (the thread-mode server, or
+    each fleet worker).  ``decide`` routes the problem through the given
+    session's engine exactly like a payload decide, then answers from the
+    freshest of: a version-matched memo, a delta-caught-up incremental
+    state, or a full re-decide (building a fresh state for backends that
+    support one).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = 64 * 1024 * 1024,
+        delta_log: int = 64,
+        state_capacity: int = 128,
+    ):
+        self._registry = InstanceRegistry(
+            max_bytes=max_bytes,
+            delta_log=delta_log,
+            on_evict=self._invalidate,
+        )
+        self._state_capacity = state_capacity
+        self._states: OrderedDict[tuple, _StateEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._incremental_decides = 0
+        self._full_decides = 0
+
+    @property
+    def registry(self) -> InstanceRegistry:
+        return self._registry
+
+    # -- registry proxies (with state invalidation) ---------------------------
+
+    def put(
+        self,
+        ref: str,
+        instance: DatabaseInstance,
+        *,
+        version: int | None = None,
+    ) -> StoredInstance:
+        info = self._registry.put(ref, instance, version=version)
+        self._invalidate(ref)
+        return info
+
+    def patch(
+        self,
+        ref: str,
+        delta: Delta,
+        *,
+        expect_version: int | None = None,
+    ) -> tuple[StoredInstance, Delta]:
+        # states are not invalidated: they catch up from the delta log
+        return self._registry.patch(ref, delta, expect_version=expect_version)
+
+    def drop(self, ref: str) -> bool:
+        dropped = self._registry.drop(ref)
+        self._invalidate(ref)
+        return dropped
+
+    def get(self, ref: str) -> tuple[DatabaseInstance, int]:
+        return self._registry.get(ref)
+
+    def list(self) -> list[StoredInstance]:
+        return self._registry.list()
+
+    def stats(self) -> dict:
+        stats = self._registry.stats()
+        with self._lock:
+            stats["states"] = len(self._states)
+            stats["incremental_decides"] = self._incremental_decides
+            stats["full_decides"] = self._full_decides
+        return stats
+
+    def close(self) -> None:
+        with self._lock:
+            entries, self._states = list(self._states.values()), OrderedDict()
+        for entry in entries:
+            entry.close()
+
+    # -- the ref decide -------------------------------------------------------
+
+    def decide(self, session, problem, ref: str) -> tuple[Decision, dict]:
+        """Answer ``CERTAINTY(problem)`` over the instance stored at *ref*.
+
+        Returns the :class:`~repro.api.Decision` (with ``incremental``
+        provenance) plus a metadata dict (``ref``, ``version``,
+        ``strategy``) the serve layer attaches to the response.  Raises
+        :class:`~repro.exceptions.UnknownInstanceError` when *ref* is not
+        held (never stored, dropped, or evicted).
+        """
+        start = time.perf_counter()
+        instance, version = self._registry.get(ref)
+        plan, hit, form = session.engine.route(problem)
+        key = (ref, plan.fingerprint.digest, form.fingerprint.raw)
+        labels = {
+            "class": plan.fingerprint.digest,
+            "backend": plan.backend,
+            "ref": ref,
+        }
+        entry = self._take_state(key)
+        answer: bool | None = None
+        strategy = "full"
+        if entry is not None:
+            answer, strategy = self._try_incremental(
+                entry, key, ref, version, form, labels
+            )
+            if answer is None:
+                entry = None  # consumed (closed) by the failed catch-up
+        incremental = answer is not None
+        if answer is None:
+            answer, strategy, entry = self._decide_full(
+                plan, form, instance, version, labels
+            )
+        if entry is not None:
+            self._store_state(key, entry)
+        wall = time.perf_counter() - start
+        record_span(
+            "solve", wall,
+            labels={"class": plan.fingerprint.digest,
+                    "backend": plan.backend},
+        )
+        with self._lock:
+            if incremental:
+                self._incremental_decides += 1
+            else:
+                self._full_decides += 1
+        decision = Decision(
+            certain=answer,
+            fingerprint=plan.fingerprint.digest,
+            raw_fingerprint=form.fingerprint.raw,
+            verdict=plan.classification.verdict.name,
+            backend=plan.backend,
+            cache_hit=hit,
+            wall_seconds=wall,
+            incremental=incremental,
+        )
+        meta = {
+            "ref": ref,
+            "version": version,
+            "strategy": strategy,
+            "incremental": incremental,
+        }
+        return decision, meta
+
+    def _try_incremental(
+        self, entry: _StateEntry, key, ref, version, form, labels
+    ) -> tuple[bool | None, str]:
+        """A memoized or caught-up answer, or ``(None, "full")`` after
+        closing the entry when it cannot be carried forward."""
+        if entry.version == version:
+            return entry.answer, "memo"
+        chain = self._registry.deltas_since(ref, entry.version)
+        if chain is None:  # log trimmed or instance replaced: rebuild
+            entry.close()
+            return None, "full"
+        try:
+            applied = time.perf_counter()
+            for _version, delta in chain:
+                entry.state.apply(_transport_delta(form, delta))
+            record_span(
+                "delta_apply", time.perf_counter() - applied, labels=labels
+            )
+            solved = time.perf_counter()
+            answer = entry.state.solve()
+            record_span(
+                "incremental_solve",
+                time.perf_counter() - solved,
+                labels=labels,
+            )
+        except Exception:
+            # any maintenance failure (unsupported signature, connection
+            # loss, ...) degrades to a from-scratch decide
+            entry.close()
+            return None, "full"
+        entry.version = version
+        entry.answer = answer
+        return answer, entry.state.strategy
+
+    def _decide_full(
+        self, plan, form, instance, version, labels
+    ) -> tuple[bool, str, _StateEntry | None]:
+        transported = form.transport_instance(instance)
+        try:
+            state = _build_state(plan, transported)
+        except Exception:
+            state = None
+        if state is not None:
+            try:
+                solved = time.perf_counter()
+                answer = state.solve()
+                record_span(
+                    "incremental_solve",
+                    time.perf_counter() - solved,
+                    labels=labels,
+                )
+                return answer, "rebuild", _StateEntry(state, version, answer)
+            except Exception:
+                state.close()
+        return plan.decide_canonical(transported), "full", None
+
+    # -- state cache ----------------------------------------------------------
+
+    def _take_state(self, key) -> _StateEntry | None:
+        """Pop the state for exclusive use (concurrent decides of the same
+        key simply rebuild; the freshest state wins on put-back)."""
+        with self._lock:
+            return self._states.pop(key, None)
+
+    def _store_state(self, key, entry: _StateEntry) -> None:
+        evicted: list[_StateEntry] = []
+        with self._lock:
+            old = self._states.pop(key, None)
+            if old is not None:
+                evicted.append(old)
+            self._states[key] = entry
+            while len(self._states) > self._state_capacity:
+                _, oldest = self._states.popitem(last=False)
+                evicted.append(oldest)
+        for stale in evicted:
+            stale.close()
+
+    def _invalidate(self, ref: str) -> None:
+        with self._lock:
+            doomed = [k for k in self._states if k[0] == ref]
+            entries = [self._states.pop(k) for k in doomed]
+        for entry in entries:
+            entry.close()

@@ -1,0 +1,287 @@
+"""The named-instance registry: bounded, versioned, byte-accounted.
+
+An :class:`InstanceRegistry` maps client-chosen instance *refs* (names) to
+:class:`~repro.db.DatabaseInstance` values plus a monotonically increasing
+integer *version*.  ``put`` installs a whole instance (version 1, or an
+explicitly seeded version during fleet migration); ``patch`` applies a
+:class:`~repro.store.Delta` and bumps the version.  Every entry keeps a
+bounded log of recent deltas keyed by the version they produced, which is
+what lets :mod:`repro.store.incremental` catch a cached per-plan state up
+from version *v* to the current version without replaying the whole
+instance.
+
+The registry is bounded in *bytes*, not entries: each entry carries an
+estimate of its fact payload, and whenever the total exceeds ``max_bytes``
+the least-recently-used entries are evicted (the entry just touched is never
+evicted, even if it alone exceeds the budget — a put you just accepted must
+be decidable at least once).  Evictions invoke the optional ``on_evict``
+callback outside the registry lock so the serve layer can invalidate
+incremental states without lock-ordering hazards.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..db.instance import DatabaseInstance
+from ..exceptions import UnknownInstanceError, VersionConflictError
+from .delta import Delta
+
+_DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+_DEFAULT_DELTA_LOG = 64
+
+# per-fact overhead (python object headers, index slots) added to the
+# payload estimate; values are costed at their string length or a fixed
+# size for integers
+_FACT_OVERHEAD = 48
+_INT_BYTES = 8
+
+
+def estimate_fact_bytes(fact) -> int:
+    """A stable, cheap estimate of one fact's resident size."""
+    total = _FACT_OVERHEAD + len(fact.relation)
+    for value in fact.values:
+        total += len(value) if isinstance(value, str) else _INT_BYTES
+    return total
+
+
+def estimate_instance_bytes(db: DatabaseInstance) -> int:
+    return sum(estimate_fact_bytes(f) for f in db.facts)
+
+
+@dataclass(frozen=True)
+class StoredInstance:
+    """Public metadata snapshot of one registry entry."""
+
+    ref: str
+    version: int
+    facts: int
+    bytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "ref": self.ref,
+            "version": self.version,
+            "facts": self.facts,
+            "bytes": self.bytes,
+        }
+
+
+class _Entry:
+    __slots__ = ("instance", "version", "nbytes", "log")
+
+    def __init__(self, instance: DatabaseInstance, version: int, nbytes: int):
+        self.instance = instance
+        self.version = version
+        self.nbytes = nbytes
+        # version -> the Delta that produced that version
+        self.log: OrderedDict[int, Delta] = OrderedDict()
+
+
+class InstanceRegistry:
+    """Thread-safe bounded store of named, versioned instances."""
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = _DEFAULT_MAX_BYTES,
+        delta_log: int = _DEFAULT_DELTA_LOG,
+        on_evict: Callable[[str], None] | None = None,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if delta_log < 0:
+            raise ValueError(f"delta_log must be >= 0, got {delta_log}")
+        self._max_bytes = max_bytes
+        self._delta_log = delta_log
+        self._on_evict = on_evict
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._bytes = 0
+        self._evictions = 0
+        self._puts = 0
+        self._patches = 0
+        self._lock = threading.RLock()
+
+    # -- mutation -------------------------------------------------------------
+
+    def put(
+        self,
+        ref: str,
+        instance: DatabaseInstance,
+        *,
+        version: int | None = None,
+    ) -> StoredInstance:
+        """Install (or wholesale replace) *ref* at ``version`` (default 1).
+
+        A put resets the delta log: states built against an older payload
+        cannot catch up across a replace and must rebuild.
+        """
+        if version is not None and version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        nbytes = estimate_instance_bytes(instance)
+        with self._lock:
+            entry = _Entry(instance, 1 if version is None else version, nbytes)
+            old = self._entries.pop(ref, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[ref] = entry
+            self._bytes += nbytes
+            self._puts += 1
+            info = self._info(ref, entry)
+            evicted = self._evict_over_budget(keep=ref)
+        self._notify_evicted(evicted)
+        return info
+
+    def patch(
+        self,
+        ref: str,
+        delta: Delta,
+        *,
+        expect_version: int | None = None,
+    ) -> tuple[StoredInstance, Delta]:
+        """Apply *delta* to *ref* under strict conflict rules; bump version.
+
+        ``expect_version`` is a compare-and-swap precondition: when given and
+        different from the stored version, the patch fails with
+        :class:`~repro.exceptions.VersionConflictError` without touching the
+        instance.  Returns the new metadata and the applied delta.
+        """
+        with self._lock:
+            entry = self._entries.get(ref)
+            if entry is None:
+                raise UnknownInstanceError(ref)
+            if expect_version is not None and expect_version != entry.version:
+                raise VersionConflictError(ref, expect_version, entry.version)
+            # strict apply: raises DeltaConflictError before any state change
+            entry.instance = delta.apply(entry.instance)
+            entry.version += 1
+            added = sum(estimate_fact_bytes(f) for f in delta.adds)
+            removed = sum(estimate_fact_bytes(f) for f in delta.removes)
+            self._bytes += added - removed
+            entry.nbytes += added - removed
+            if self._delta_log:
+                entry.log[entry.version] = delta
+                while len(entry.log) > self._delta_log:
+                    entry.log.popitem(last=False)
+            self._entries.move_to_end(ref)
+            self._patches += 1
+            info = self._info(ref, entry)
+            evicted = self._evict_over_budget(keep=ref)
+        self._notify_evicted(evicted)
+        return info, delta
+
+    def drop(self, ref: str) -> bool:
+        """Remove *ref*; True iff it was present."""
+        with self._lock:
+            entry = self._entries.pop(ref, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+            return True
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, ref: str) -> tuple[DatabaseInstance, int]:
+        """The instance and version stored under *ref* (touches LRU order)."""
+        with self._lock:
+            entry = self._entries.get(ref)
+            if entry is None:
+                raise UnknownInstanceError(ref)
+            self._entries.move_to_end(ref)
+            return entry.instance, entry.version
+
+    def info(self, ref: str) -> StoredInstance:
+        with self._lock:
+            entry = self._entries.get(ref)
+            if entry is None:
+                raise UnknownInstanceError(ref)
+            return self._info(ref, entry)
+
+    def deltas_since(
+        self, ref: str, version: int
+    ) -> list[tuple[int, Delta]] | None:
+        """The ``(version, delta)`` chain from *version* (exclusive) to now.
+
+        Returns ``None`` when the chain is broken — the log was trimmed, or
+        the entry was replaced by a put — in which case the caller must
+        rebuild from the full instance.
+        """
+        with self._lock:
+            entry = self._entries.get(ref)
+            if entry is None:
+                raise UnknownInstanceError(ref)
+            if version == entry.version:
+                return []
+            if version > entry.version:
+                return None
+            chain = []
+            for v in range(version + 1, entry.version + 1):
+                delta = entry.log.get(v)
+                if delta is None:
+                    return None
+                chain.append((v, delta))
+            return chain
+
+    def refs(self) -> list[str]:
+        """All refs, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def list(self) -> list[StoredInstance]:
+        """Metadata for every entry, least-recently-used first."""
+        with self._lock:
+            return [self._info(ref, e) for ref, e in self._entries.items()]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "instances": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self._max_bytes,
+                "puts": self._puts,
+                "patches": self._patches,
+                "evictions": self._evictions,
+            }
+
+    def __contains__(self, ref: str) -> bool:
+        with self._lock:
+            return ref in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- internals ------------------------------------------------------------
+
+    def _info(self, ref: str, entry: _Entry) -> StoredInstance:
+        return StoredInstance(
+            ref=ref,
+            version=entry.version,
+            facts=entry.instance.size,
+            bytes=entry.nbytes,
+        )
+
+    def _evict_over_budget(self, *, keep: str) -> list[str]:
+        # caller holds the lock; returns refs evicted, LRU first
+        evicted: list[str] = []
+        while self._bytes > self._max_bytes and len(self._entries) > 1:
+            ref = next(iter(self._entries))
+            if ref == keep:
+                # keep is LRU-first only when it is the sole other entry;
+                # rotate it to the back and retry
+                self._entries.move_to_end(ref)
+                continue
+            entry = self._entries.pop(ref)
+            self._bytes -= entry.nbytes
+            self._evictions += 1
+            evicted.append(ref)
+        return evicted
+
+    def _notify_evicted(self, evicted: Iterable[str]) -> None:
+        if self._on_evict is None:
+            return
+        for ref in evicted:
+            self._on_evict(ref)

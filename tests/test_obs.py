@@ -171,7 +171,7 @@ class TestSpanRecorder:
     def test_phase_vocabulary_is_fixed(self):
         assert PHASES == (
             "queue_wait", "batch_linger", "canonicalize", "transport",
-            "solve", "respond",
+            "delta_apply", "incremental_solve", "solve", "respond",
         )
 
 

@@ -1,0 +1,305 @@
+"""Serve-layer tests for the instance registry: the ``instance_*`` verbs
+and ref decides over the loopback wire (CAS conflicts, eviction →
+``unknown-instance``, incremental provenance in the response), mutation
+replay gating in the retrying client, and ref affinity plus resize
+migration on the multi-process fleet."""
+
+import pytest
+
+from repro.api import Problem
+from repro.core.schema import Schema
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import RemoteError
+from repro.serve import (
+    BackgroundServer,
+    FleetEngine,
+    ServeClient,
+    ServerConfig,
+)
+from repro.serve.protocol import (
+    MUTATION_VERBS,
+    Request,
+    replay_safe,
+)
+from repro.serve.shard import ref_digest
+from repro.store import Delta
+from repro.store.registry import estimate_instance_bytes
+
+
+def _fo_problem() -> Problem:
+    return Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+
+
+def _p16_problem() -> Problem:
+    return Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"])
+
+
+def _small_db() -> DatabaseInstance:
+    schema = Schema.of(R=(2, 1), S=(2, 1))
+    return DatabaseInstance.build(
+        schema, {"R": [("a", "b")], "S": [("b", "c")]}
+    )
+
+
+def _p16_db() -> DatabaseInstance:
+    return DatabaseInstance([
+        Fact("N", (1, 1), 1),
+        Fact("N", (1, 2), 1),
+        Fact("N", (2, 2), 1),
+        Fact("O", (1,), 1),
+    ])
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(
+        ServerConfig(shards=2, linger_ms=5, plan_cache_size=16)
+    ) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServeClient(host, port) as serve_client:
+        yield serve_client
+
+
+class TestReplaySafety:
+    def test_mutation_verbs_are_flagged(self):
+        assert MUTATION_VERBS == {
+            "instance_put", "instance_patch", "instance_drop"
+        }
+
+    @pytest.mark.parametrize("verb", sorted(MUTATION_VERBS))
+    def test_mutations_are_not_replay_safe(self, verb):
+        assert replay_safe(verb) is False
+
+    def test_cas_patch_is_replay_safe(self):
+        assert replay_safe("instance_patch", expect_version=3) is True
+
+    @pytest.mark.parametrize(
+        "verb", ["decide", "ping", "stats", "instance_get", "instance_list"]
+    )
+    def test_reads_are_replay_safe(self, verb):
+        assert replay_safe(verb) is True
+
+    def test_client_skips_retries_for_blind_mutations(self, server):
+        host, port = server.address
+        with ServeClient(host, port, retries=3) as retrying:
+            # observable contract: the request still works, and the CAS
+            # variant self-reports as replayable
+            retrying.put_instance("replay-probe", _small_db())
+            retrying.patch_instance(
+                "replay-probe",
+                Delta.of(adds=[Fact("R", ("z", "w"), 1)]),
+                expect_version=1,
+            )
+            retrying.drop_instance("replay-probe")
+
+
+class TestInstanceVerbsOverTheWire:
+    def test_put_decide_patch_decide_flow(self, client):
+        problem = _fo_problem()
+        result = client.put_instance("wire-flow", _small_db())
+        assert result["instance"]["version"] == 1
+        assert result["instance"]["facts"] == 2
+        assert "shard" in result
+
+        first = client.decide(problem, ref="wire-flow")
+        assert first.certain is True
+
+        patched = client.patch_instance(
+            "wire-flow",
+            Delta.of(removes=[Fact("S", ("b", "c"), 1)]),
+            expect_version=1,
+        )
+        assert patched["instance"]["version"] == 2
+        assert patched["applied"] == {"adds": 0, "removes": 1}
+
+        second = client.decide(problem, ref="wire-flow")
+        assert second.certain is False
+        client.drop_instance("wire-flow")
+
+    def test_stale_cas_is_a_conflict_envelope(self, client):
+        client.put_instance("wire-cas", _small_db())
+        delta = Delta.of(adds=[Fact("R", ("p", "q"), 1)])
+        client.patch_instance("wire-cas", delta, expect_version=1)
+        with pytest.raises(RemoteError) as excinfo:
+            client.patch_instance("wire-cas", delta, expect_version=1)
+        assert excinfo.value.code == "conflict"
+        client.drop_instance("wire-cas")
+
+    def test_delta_conflict_is_a_conflict_envelope(self, client):
+        client.put_instance("wire-strict", _small_db())
+        with pytest.raises(RemoteError) as excinfo:
+            client.patch_instance(
+                "wire-strict",
+                Delta.of(removes=[Fact("R", ("nope", "nope"), 1)]),
+            )
+        assert excinfo.value.code == "conflict"
+        client.drop_instance("wire-strict")
+
+    def test_unknown_ref_envelope(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client.decide(_fo_problem(), ref="ghost")
+        assert excinfo.value.code == "unknown-instance"
+        with pytest.raises(RemoteError) as excinfo:
+            client.request("instance_get", instance_ref="ghost")
+        assert excinfo.value.code == "unknown-instance"
+
+    def test_get_round_trips_the_instance(self, client):
+        db = _small_db()
+        client.put_instance("wire-get", db)
+        stored, version = client.get_instance("wire-get")
+        assert stored == db and version == 1
+        client.drop_instance("wire-get")
+
+    def test_drop_reports_existence(self, client):
+        client.put_instance("wire-drop", _small_db())
+        assert client.drop_instance("wire-drop")["dropped"] is True
+        assert client.drop_instance("wire-drop")["dropped"] is False
+
+    def test_list_and_stats_carry_the_registry(self, client):
+        client.put_instance("wire-list", _small_db())
+        listing = client.list_instances()
+        refs = [info["ref"] for info in listing["instances"]]
+        assert "wire-list" in refs
+        assert listing["stats"]["instances"] >= 1
+        stats = client.stats()
+        assert stats["server"]["store"]["instances"] >= 1
+        client.drop_instance("wire-list")
+
+    def test_decide_needs_instance_or_ref(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client.request("decide", problem=_fo_problem())
+        assert "instance" in str(excinfo.value)
+
+    def test_mutation_verbs_validate_the_ref(self, client):
+        with pytest.raises(RemoteError):
+            client.request("instance_put", instance=_small_db())
+
+    def test_incremental_provenance_in_the_response(self, client):
+        problem = _p16_problem()
+        client.put_instance("wire-inc", _p16_db())
+        first = client.request(
+            "decide",
+            problem=problem,
+            instance_ref="wire-inc",
+        )
+        assert first["instance"]["strategy"] == "rebuild"
+        assert first["instance"]["incremental"] is False
+        assert first["decision"]["incremental"] is False
+        # an escape successor outside the diagonal un-dooms vertex 1,
+        # flipping certainty
+        client.patch_instance(
+            "wire-inc", Delta.of(adds=[Fact("N", (1, "esc"), 1)])
+        )
+        second = client.request(
+            "decide", problem=problem, instance_ref="wire-inc"
+        )
+        assert second["instance"]["strategy"] == "p16-attractor"
+        assert second["instance"]["incremental"] is True
+        assert second["decision"]["incremental"] is True
+        assert second["decision"]["certain"] != first["decision"]["certain"]
+        client.drop_instance("wire-inc")
+
+
+class TestEvictionOverTheWire:
+    def test_lru_eviction_surfaces_as_unknown_instance(self):
+        db = _small_db()
+        budget = estimate_instance_bytes(db) * 2 + 1
+        config = ServerConfig(shards=1, linger_ms=5, store_bytes=budget)
+        with BackgroundServer(config) as background:
+            host, port = background.address
+            with ServeClient(host, port) as client:
+                client.put_instance("keep", db)
+                client.put_instance("middle", db)
+                client.get_instance("keep")  # touch: middle becomes LRU
+                client.put_instance("new", db)  # over budget: evicts middle
+                stats = client.stats()["server"]["store"]
+                assert stats["evictions"] == 1
+                with pytest.raises(RemoteError) as excinfo:
+                    client.decide(_fo_problem(), ref="middle")
+                assert excinfo.value.code == "unknown-instance"
+                # survivors still decide
+                assert client.decide(_fo_problem(), ref="keep").certain
+
+    def test_store_bytes_is_validated(self):
+        with pytest.raises(ValueError, match="store_bytes"):
+            ServerConfig(store_bytes=0)
+
+
+class TestFleetRefAffinity:
+    def test_refs_route_by_digest_and_survive_resize(self):
+        problem = _fo_problem()
+        db = _small_db()
+        refs = [f"aff-{i}" for i in range(8)]
+        with FleetEngine(2) as fleet:
+            for ref in refs:
+                request = Request(
+                    id=1, verb="instance_put", instance_ref=ref,
+                    instance={"format": "repro/instance", "version": 1,
+                              "relations": {}},
+                )
+                result = fleet.instance_request(request)
+                expected = fleet.shard_for_ref(ref)
+                assert result["shard"] == expected
+                assert expected == fleet._ring.shard_for(ref_digest(ref))
+            # a real payload on one ref; decide through its owner
+            fleet.instance_request(Request(
+                id=1, verb="instance_put", instance_ref="aff-real",
+                instance=_db_doc(db),
+            ))
+            before = fleet.decide_ref(
+                fleet.shard_for_ref("aff-real"), problem, "aff-real", None
+            )
+            assert before["decision"]["certain"] is True
+
+            # grow the fleet: moved refs must follow their new owner
+            fleet.resize(3)
+            listing = fleet.instance_request(Request(id=1, verb="instance_list"))
+            live = {info["ref"] for info in listing["instances"]}
+            assert live == set(refs) | {"aff-real"}
+            for ref in refs + ["aff-real"]:
+                shard = fleet.shard_for_ref(ref)
+                got = fleet.instance_request(
+                    Request(id=1, verb="instance_get", instance_ref=ref)
+                )
+                assert got["shard"] == shard
+            after = fleet.decide_ref(
+                fleet.shard_for_ref("aff-real"), problem, "aff-real", None
+            )
+            assert after["decision"]["certain"] is True
+
+            # shrink back: refs from the dropped worker are re-homed
+            fleet.resize(2)
+            listing = fleet.instance_request(Request(id=1, verb="instance_list"))
+            assert {info["ref"] for info in listing["instances"]} == \
+                set(refs) | {"aff-real"}
+
+    def test_migration_preserves_versions(self):
+        with FleetEngine(2) as fleet:
+            fleet.instance_request(Request(
+                id=1, verb="instance_put", instance_ref="ver",
+                instance=_db_doc(_small_db()),
+            ))
+            fleet.instance_request(Request(
+                id=1, verb="instance_patch", instance_ref="ver",
+                delta=Delta.of(
+                    adds=[Fact("R", ("m", "n"), 1)]
+                ).to_dict(),
+            ))
+            fleet.resize(3)
+            fleet.resize(2)
+            got = fleet.instance_request(
+                Request(id=1, verb="instance_get", instance_ref="ver")
+            )
+            assert got["version"] == 2
+
+
+def _db_doc(db: DatabaseInstance) -> dict:
+    from repro.db import io as db_io
+
+    return db_io.to_dict(db)

@@ -1,0 +1,383 @@
+"""Tests for ``repro.store``: delta algebra (diff/apply/inverse round
+trips, strict conflict rules, JSON wire form), the bounded versioned
+instance registry (CAS patches, delta logs, byte-budget LRU eviction),
+and the Session-level named-instance facade."""
+
+import random
+
+import pytest
+
+from repro.api import Problem, connect
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.exceptions import (
+    DeltaConflictError,
+    InstanceFormatError,
+    UnknownInstanceError,
+    VersionConflictError,
+)
+from repro.store import Delta, InstanceRegistry, InstanceStore
+from repro.store.registry import estimate_instance_bytes
+
+
+def _db(*rows) -> DatabaseInstance:
+    """Facts from ``(relation, values...)`` rows, key size 1."""
+    return DatabaseInstance(
+        Fact(relation, tuple(values), 1) for relation, *values in rows
+    )
+
+
+def _random_instance(rng: random.Random, pool: list[Fact]) -> DatabaseInstance:
+    return DatabaseInstance(f for f in pool if rng.random() < 0.5)
+
+
+def _fact_pool() -> list[Fact]:
+    return [
+        Fact("R", (f"a{i}", f"b{j}"), 1)
+        for i in range(4)
+        for j in range(4)
+    ] + [Fact("S", (f"b{j}",), 1) for j in range(4)]
+
+
+class TestDeltaAlgebra:
+    def test_diff_apply_round_trip_randomized(self):
+        rng = random.Random(7)
+        pool = _fact_pool()
+        for _ in range(100):
+            a = _random_instance(rng, pool)
+            b = _random_instance(rng, pool)
+            assert Delta.diff(a, b).apply(a) == b
+
+    def test_diff_of_equal_instances_is_empty(self):
+        a = _db(("R", "x", "y"))
+        delta = Delta.diff(a, a)
+        assert not delta
+        assert len(delta) == 0
+        assert delta.apply(a) == a
+
+    def test_inverse_undoes_randomized(self):
+        rng = random.Random(11)
+        pool = _fact_pool()
+        for _ in range(100):
+            a = _random_instance(rng, pool)
+            b = _random_instance(rng, pool)
+            delta = Delta.diff(a, b)
+            assert delta.inverse().apply(delta.apply(a)) == a
+
+    def test_strict_apply_rejects_removing_absent_fact(self):
+        delta = Delta.of(removes=[Fact("R", ("x", "y"), 1)])
+        with pytest.raises(DeltaConflictError, match="absent"):
+            delta.apply(DatabaseInstance())
+
+    def test_strict_apply_rejects_adding_present_fact(self):
+        fact = Fact("R", ("x", "y"), 1)
+        delta = Delta.of(adds=[fact])
+        with pytest.raises(DeltaConflictError, match="already-present"):
+            delta.apply(DatabaseInstance([fact]))
+
+    def test_lenient_apply_is_idempotent(self):
+        rng = random.Random(13)
+        pool = _fact_pool()
+        for _ in range(50):
+            a = _random_instance(rng, pool)
+            b = _random_instance(rng, pool)
+            delta = Delta.diff(a, b)
+            once = delta.apply(a, strict=False)
+            assert delta.apply(once, strict=False) == once == b
+
+    def test_overlapping_sides_are_rejected(self):
+        fact = Fact("R", ("x", "y"), 1)
+        with pytest.raises(DeltaConflictError, match="adds and removes"):
+            Delta.of(adds=[fact], removes=[fact])
+
+    def test_relations_and_sizes(self):
+        delta = Delta.of(
+            adds=[Fact("R", ("x", "y"), 1)],
+            removes=[Fact("S", ("z",), 1)],
+        )
+        assert delta.relations == {"R", "S"}
+        assert len(delta) == 2
+        assert bool(delta)
+
+
+class TestDeltaWireForm:
+    def test_round_trip_randomized(self):
+        rng = random.Random(17)
+        pool = _fact_pool()
+        for _ in range(50):
+            a = _random_instance(rng, pool)
+            b = _random_instance(rng, pool)
+            delta = Delta.diff(a, b)
+            assert Delta.from_dict(delta.to_dict()) == delta
+
+    def test_wire_document_shape(self):
+        delta = Delta.of(adds=[Fact("R", ("a", "b"), 1)])
+        doc = delta.to_dict()
+        assert doc["format"] == "repro/delta"
+        assert doc["version"] == 1
+        assert doc["add"]["R"]["rows"] == [["a", "b"]]
+        assert doc["remove"] == {}
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InstanceFormatError, match="format"):
+            Delta.from_dict({"format": "repro/instance", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(InstanceFormatError, match="version"):
+            Delta.from_dict({"format": "repro/delta", "version": 99})
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(InstanceFormatError, match="object"):
+            Delta.from_dict([1, 2])
+
+    def test_rejects_overlap_across_the_wire(self):
+        doc = {
+            "format": "repro/delta",
+            "version": 1,
+            "add": {"R": {"arity": 2, "key_size": 1, "rows": [["a", "b"]]}},
+            "remove": {"R": {"arity": 2, "key_size": 1, "rows": [["a", "b"]]}},
+        }
+        with pytest.raises(DeltaConflictError):
+            Delta.from_dict(doc)
+
+
+class TestInstanceRegistry:
+    def test_put_get_round_trip(self):
+        registry = InstanceRegistry()
+        db = _db(("R", "a", "b"))
+        info = registry.put("inv", db)
+        assert (info.ref, info.version, info.facts) == ("inv", 1, 1)
+        stored, version = registry.get("inv")
+        assert stored == db and version == 1
+
+    def test_patch_bumps_version_and_applies(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        delta = Delta.of(adds=[Fact("R", ("a2", "b2"), 1)])
+        info, applied = registry.patch("inv", delta)
+        assert info.version == 2 and info.facts == 2
+        assert applied == delta
+        stored, version = registry.get("inv")
+        assert version == 2 and stored.size == 2
+
+    def test_cas_precondition(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        delta = Delta.of(adds=[Fact("R", ("a2", "b2"), 1)])
+        registry.patch("inv", delta, expect_version=1)
+        with pytest.raises(VersionConflictError, match="version 2"):
+            registry.patch("inv", delta, expect_version=1)
+        # the failed CAS touched nothing
+        assert registry.get("inv")[1] == 2
+
+    def test_patch_conflict_leaves_entry_untouched(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        bad = Delta.of(removes=[Fact("R", ("zz", "zz"), 1)])
+        with pytest.raises(DeltaConflictError):
+            registry.patch("inv", bad)
+        assert registry.get("inv")[1] == 1
+
+    def test_unknown_ref_raises(self):
+        registry = InstanceRegistry()
+        with pytest.raises(UnknownInstanceError, match="nope"):
+            registry.get("nope")
+        with pytest.raises(UnknownInstanceError):
+            registry.patch("nope", Delta())
+        assert registry.drop("nope") is False
+
+    def test_deltas_since_chains(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        d2 = Delta.of(adds=[Fact("R", ("c", "d"), 1)])
+        d3 = Delta.of(removes=[Fact("R", ("a", "b"), 1)])
+        registry.patch("inv", d2)
+        registry.patch("inv", d3)
+        assert registry.deltas_since("inv", 3) == []
+        assert registry.deltas_since("inv", 1) == [(2, d2), (3, d3)]
+        assert registry.deltas_since("inv", 2) == [(3, d3)]
+        # a future version means the caller's state is from a replaced
+        # entry: broken chain
+        assert registry.deltas_since("inv", 9) is None
+
+    def test_put_resets_the_delta_log(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        registry.patch("inv", Delta.of(adds=[Fact("R", ("c", "d"), 1)]))
+        registry.patch("inv", Delta.of(adds=[Fact("R", ("e", "f"), 1)]))
+        registry.put("inv", _db(("R", "e", "f")))
+        # a state caught at the pre-replace version 3 cannot catch up
+        # across the replace (the version went backwards)
+        assert registry.deltas_since("inv", 3) is None
+        assert registry.get("inv")[1] == 1
+
+    def test_trimmed_log_breaks_the_chain(self):
+        registry = InstanceRegistry(delta_log=2)
+        registry.put("inv", DatabaseInstance())
+        for i in range(5):
+            registry.patch(
+                "inv", Delta.of(adds=[Fact("R", (f"a{i}", "b"), 1)])
+            )
+        assert registry.deltas_since("inv", 1) is None
+        assert registry.deltas_since("inv", 4) == [
+            (6, Delta.of(adds=[Fact("R", ("a4", "b"), 1)])),
+        ] or len(registry.deltas_since("inv", 4)) == 2
+
+    def test_lru_eviction_over_byte_budget(self):
+        db = _db(("R", "aaaa", "bbbb"))
+        budget = estimate_instance_bytes(db) * 2 + 1
+        evicted = []
+        registry = InstanceRegistry(max_bytes=budget,
+                                    on_evict=evicted.append)
+        registry.put("one", db)
+        registry.put("two", db)
+        assert evicted == []
+        registry.get("one")  # touch: "two" becomes LRU
+        registry.put("three", db)
+        assert evicted == ["two"]
+        assert "two" not in registry and "one" in registry
+
+    def test_just_touched_entry_is_never_evicted(self):
+        db = _db(("R", "aaaa", "bbbb"))
+        registry = InstanceRegistry(max_bytes=1)  # everything over budget
+        registry.put("one", db)
+        assert "one" in registry  # sole entry survives its own put
+        registry.put("two", db)
+        assert "two" in registry and "one" not in registry
+
+    def test_stats(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        registry.patch("inv", Delta.of(adds=[Fact("R", ("c", "d"), 1)]))
+        stats = registry.stats()
+        assert stats["instances"] == 1
+        assert stats["puts"] == 1 and stats["patches"] == 1
+        assert 0 < stats["bytes"] <= stats["max_bytes"]
+
+    def test_byte_accounting_tracks_patches(self):
+        registry = InstanceRegistry()
+        registry.put("inv", _db(("R", "a", "b")))
+        before = registry.stats()["bytes"]
+        fact = Fact("R", ("c", "d"), 1)
+        registry.patch("inv", Delta.of(adds=[fact]))
+        grown = registry.stats()["bytes"]
+        assert grown > before
+        registry.patch("inv", Delta.of(removes=[fact]))
+        assert registry.stats()["bytes"] == before
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            InstanceRegistry(max_bytes=0)
+        with pytest.raises(ValueError, match="delta_log"):
+            InstanceRegistry(delta_log=-1)
+        registry = InstanceRegistry()
+        with pytest.raises(ValueError, match="version"):
+            registry.put("inv", DatabaseInstance(), version=0)
+
+
+class TestSessionFacade:
+    PROBLEM = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+
+    def test_put_patch_decide_by_ref(self):
+        db = _db(("R", "a", "b"), ("S", "b", "c"))
+        with connect() as session:
+            session.put_instance("inv", db)
+            first = session.decide(self.PROBLEM, ref="inv")
+            assert first.certain is True
+            session.patch_instance(
+                "inv",
+                Delta.of(removes=[Fact("S", ("b", "c"), 1)]),
+                expect_version=1,
+            )
+            second = session.decide(self.PROBLEM, ref="inv")
+            assert second.certain is False
+
+    def test_decide_needs_exactly_one_source(self):
+        with connect() as session:
+            with pytest.raises(TypeError, match="exactly one"):
+                session.decide(self.PROBLEM)
+            with pytest.raises(TypeError, match="exactly one"):
+                session.decide(self.PROBLEM, DatabaseInstance(), ref="inv")
+
+    def test_unknown_ref_raises(self):
+        with connect() as session:
+            with pytest.raises(UnknownInstanceError):
+                session.decide(self.PROBLEM, ref="ghost")
+
+    def test_get_and_drop(self):
+        db = _db(("R", "a", "b"))
+        with connect() as session:
+            session.put_instance("inv", db)
+            stored, version = session.get_instance("inv")
+            assert stored == db and version == 1
+            assert session.drop_instance("inv") is True
+            assert session.drop_instance("inv") is False
+
+    def test_store_closes_with_the_session(self):
+        session = connect()
+        session.put_instance("inv", _db(("R", "a", "b")))
+        store = session.store
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.put_instance("other", DatabaseInstance())
+        assert store.stats()["instances"] == 1  # registry outlives; harmless
+
+
+class TestInstanceStoreStates:
+    """State bookkeeping on the InstanceStore facade itself."""
+
+    PROBLEM = Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"])
+
+    def _db(self):
+        return DatabaseInstance([
+            Fact("N", (1, 1), 1),
+            Fact("N", (1, 2), 1),
+            Fact("N", (2, 2), 1),
+            Fact("O", (1,), 1),
+        ])
+
+    def test_decide_meta_and_incremental_counters(self):
+        with connect() as session:
+            store = session.store
+            store.put("inv", self._db())
+            decision, meta = store.decide(session, self.PROBLEM, "inv")
+            assert decision.backend == "nl-reachability"
+            assert meta["strategy"] == "rebuild"
+            assert meta["incremental"] is False
+            # memo: same version answers from the cached state
+            _, meta = store.decide(session, self.PROBLEM, "inv")
+            assert meta["strategy"] == "memo" and meta["incremental"]
+            store.patch(
+                "inv", Delta.of(removes=[Fact("N", (1, 2), 1)])
+            )
+            decision, meta = store.decide(session, self.PROBLEM, "inv")
+            assert meta["strategy"] == "p16-attractor"
+            assert meta["incremental"] is True
+            stats = store.stats()
+            assert stats["incremental_decides"] == 2
+            assert stats["full_decides"] == 1
+            assert stats["states"] == 1
+
+    def test_put_invalidates_states(self):
+        with connect() as session:
+            store = session.store
+            store.put("inv", self._db())
+            store.decide(session, self.PROBLEM, "inv")
+            assert store.stats()["states"] == 1
+            store.put("inv", self._db())
+            assert store.stats()["states"] == 0
+            _, meta = store.decide(session, self.PROBLEM, "inv")
+            assert meta["incremental"] is False
+
+    def test_eviction_invalidates_states(self):
+        db = self._db()
+        budget = estimate_instance_bytes(db) + 1
+        store = InstanceStore(max_bytes=budget)
+        with connect() as session:
+            store.put("one", db)
+            store.decide(session, self.PROBLEM, "one")
+            store.put("two", db)  # evicts "one" and its state
+            assert store.stats()["states"] == 0
+            with pytest.raises(UnknownInstanceError):
+                store.decide(session, self.PROBLEM, "one")
+        store.close()

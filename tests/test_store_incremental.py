@@ -1,0 +1,234 @@
+"""Oracle-agreement tests for incremental re-decision.
+
+Each polynomial backend with an incremental state (``fo-sql``,
+``nl-reachability``, ``p-dual-horn``) is driven through randomized
+mutation streams against a named instance; at every step the incremental
+answer must agree with a from-scratch decide of the same instance in a
+fresh session.  The ``sat-repairs`` satellite backend is tested the same
+way against subset-repair enumeration (both are oracles for the coNP-hard
+``FK = ∅`` residue)."""
+
+import random
+
+import pytest
+
+from repro.api import Problem, connect
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.solvers.sat import SatRepairSolver, solve_cnf
+from repro.store import Delta
+
+
+def _mutate(rng: random.Random, db: DatabaseInstance,
+            pool: list[Fact]) -> Delta:
+    """A random non-trivial delta toward a random subset of *pool*."""
+    present = set(db.facts)
+    removable = sorted(present, key=repr)
+    addable = sorted(set(pool) - present, key=repr)
+    removes = [f for f in removable if rng.random() < 0.25]
+    adds = [f for f in addable if rng.random() < 0.25]
+    if not removes and not adds:
+        side = removable or addable
+        fact = rng.choice(side)
+        if fact in present:
+            removes = [fact]
+        else:
+            adds = [fact]
+    return Delta.of(adds=adds, removes=removes)
+
+
+def _stream_agrees(problem, initial, pool, *, steps=12, seed=0,
+                   session_kwargs=None, expect_backend=None,
+                   expect_strategies=()):
+    """Drive a mutation stream; assert incremental/oracle agreement."""
+    rng = random.Random(seed)
+    strategies = set()
+    with connect(**(session_kwargs or {})) as live, \
+            connect(**(session_kwargs or {})) as oracle:
+        store = live.store
+        store.put("inv", initial)
+        current = initial
+        decision, meta = store.decide(live, problem, "inv")
+        if expect_backend:
+            assert decision.backend == expect_backend
+        assert decision.certain == oracle.decide(problem, current).certain
+        for _ in range(steps):
+            delta = _mutate(rng, current, pool)
+            current = delta.apply(current)
+            store.patch("inv", delta)
+            decision, meta = store.decide(live, problem, "inv")
+            strategies.add(meta["strategy"])
+            expected = oracle.decide(problem, current).certain
+            assert decision.certain == expected, (
+                f"incremental={decision.certain} oracle={expected} "
+                f"strategy={meta['strategy']} instance={sorted(current.facts, key=repr)}"
+            )
+    for strategy in expect_strategies:
+        assert strategy in strategies, (
+            f"expected strategy {strategy!r}, saw {strategies}"
+        )
+
+
+class TestSqlIncremental:
+    PROBLEM = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+
+    def _pool(self):
+        return [
+            Fact("R", (f"a{i}", f"b{j}"), 1)
+            for i in range(3) for j in range(3)
+        ] + [Fact("S", (f"b{j}", f"c{j % 2}"), 1) for j in range(3)]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mutation_stream_agrees(self, seed):
+        pool = self._pool()
+        rng = random.Random(100 + seed)
+        initial = DatabaseInstance(
+            f for f in pool if rng.random() < 0.6
+        )
+        _stream_agrees(
+            self.PROBLEM, initial, pool, seed=seed,
+            session_kwargs={"fo_backend": "sql"},
+            expect_backend="fo-sql",
+            expect_strategies=("sql-dml",),
+        )
+
+
+class TestReachabilityIncremental:
+    PROBLEM = Problem.of("N(x | x)", "O(x |)", fks=["N[2]->O"])
+
+    def _pool(self, n=5):
+        pool = [Fact("N", (v, v), 1) for v in range(n)]
+        pool += [
+            Fact("N", (v, w), 1)
+            for v in range(n) for w in range(n) if v != w
+        ]
+        pool += [Fact("N", (v, f"esc:{v}"), 1) for v in range(n)]
+        pool += [Fact("O", (v,), 1) for v in range(n)]
+        return pool
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mutation_stream_agrees(self, seed):
+        pool = self._pool()
+        rng = random.Random(200 + seed)
+        initial = DatabaseInstance(
+            f for f in pool if rng.random() < 0.4
+        )
+        _stream_agrees(
+            self.PROBLEM, initial, pool, seed=seed,
+            expect_backend="nl-reachability",
+            expect_strategies=("p16-attractor",),
+        )
+
+
+class TestDualHornIncremental:
+    PROBLEM = Problem.of("N(x | 'c', y)", "O(y |)", fks=["N[3]->O"])
+
+    def _pool(self, blocks=4, values=4):
+        pool = []
+        for b in range(blocks):
+            for v in range(values):
+                pool.append(Fact("N", (f"b{b}", "c", v), 1))
+                pool.append(Fact("N", (f"b{b}", "d", v), 1))
+        pool += [Fact("O", (v,), 1) for v in range(values)]
+        return pool
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mutation_stream_agrees(self, seed):
+        pool = self._pool()
+        rng = random.Random(300 + seed)
+        initial = DatabaseInstance(
+            f for f in pool if rng.random() < 0.4
+        )
+        _stream_agrees(
+            self.PROBLEM, initial, pool, seed=seed,
+            expect_backend="p-dual-horn",
+            expect_strategies=("dual-horn-repair",),
+        )
+
+
+# ---------------------------------------------------------------------------
+# the sat-repairs satellite backend
+
+
+class TestSolveCnf:
+    def test_empty_formula_is_satisfiable(self):
+        assert solve_cnf([]) is True
+
+    def test_empty_clause_is_unsatisfiable(self):
+        assert solve_cnf([[]]) is False
+
+    def test_unit_propagation(self):
+        assert solve_cnf([[1], [-1, 2], [-2, 3]]) is True
+        assert solve_cnf([[1], [-1, 2], [-2], []]) is False
+
+    def test_contradiction(self):
+        assert solve_cnf([[1], [-1]]) is False
+
+    def test_requires_branching(self):
+        # no unit clauses: (a ∨ b)(¬a ∨ b)(a ∨ ¬b) forces a=b=true
+        assert solve_cnf([[1, 2], [-1, 2], [1, -2]]) is True
+        assert solve_cnf([[1, 2], [-1, 2], [1, -2], [-1, -2]]) is False
+
+    def test_tautologies_are_skipped(self):
+        assert solve_cnf([[1, -1], [2]]) is True
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError, match="literal 0"):
+            solve_cnf([[0]])
+
+
+class TestSatRepairsRouting:
+    # outside FO, FK = ∅: the coNP-hard subset-repairs residue
+    PROBLEM = Problem.of("R(x | y)", "S(y | x)")
+
+    def test_opt_in_flag_flips_the_backend(self):
+        with connect() as session:
+            assert "subset-repairs" in session.explain(self.PROBLEM)
+        with connect(sat_fallback=True) as session:
+            assert "sat-repairs" in session.explain(self.PROBLEM)
+
+    def test_fo_problems_ignore_the_flag(self):
+        problem = Problem.of("R(x | y)", "S(y | z)", fks=["R[2]->S"])
+        with connect(sat_fallback=True) as session:
+            assert session.decide(
+                problem,
+                DatabaseInstance([Fact("R", ("a", "b"), 1),
+                                  Fact("S", ("b", "c"), 1)]),
+            ).backend == "fo-rewriting"
+
+    def test_fk_problems_ignore_the_flag(self):
+        # the flag only covers the FK = ∅ residue; with FKs the oracle
+        # backends keep the problem
+        problem = Problem.of("R(x | y)", "S(y | x)", fks=["R[2]->S"])
+        with connect(sat_fallback=True) as session:
+            assert "sat-repairs" not in session.explain(problem)
+
+
+class TestSatRepairsOracleAgreement:
+    PROBLEM = Problem.of("R(x | y)", "S(y | x)")
+
+    def _pool(self):
+        return [
+            Fact("R", (f"a{i}", f"b{j}"), 1)
+            for i in range(3) for j in range(2)
+        ] + [
+            Fact("S", (f"b{j}", f"a{i}"), 1)
+            for i in range(2) for j in range(2)
+        ]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_subset_repairs(self, seed):
+        rng = random.Random(400 + seed)
+        pool = self._pool()
+        db = DatabaseInstance(f for f in pool if rng.random() < 0.6)
+        with connect() as enumerate_session, \
+                connect(sat_fallback=True) as sat_session:
+            expected = enumerate_session.decide(self.PROBLEM, db)
+            got = sat_session.decide(self.PROBLEM, db)
+            assert expected.backend == "subset-repairs"
+            assert got.backend == "sat-repairs"
+            assert got.certain == expected.certain
+
+    def test_solver_name(self):
+        solver = SatRepairSolver(self.PROBLEM.query)
+        assert solver.name == "sat-repairs"
