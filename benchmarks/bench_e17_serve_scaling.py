@@ -52,6 +52,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from benchmarks.conftest import report
+from benchmarks.result_io import record_result
 from repro.api import Problem
 from repro.serve import (
     AsyncServeClient,
@@ -122,6 +123,19 @@ def test_e17_throughput_scales_with_shard_count():
     for n_shards in SHARD_COUNTS:
         elapsed, answers = _serve_stream(n_shards, items)
         results[n_shards] = (elapsed, answers)
+        record_result(
+            "e17_serve_scaling", f"threads-{n_shards}",
+            metrics={
+                "elapsed_ms": elapsed * 1e3,
+                "throughput_rps": requests / elapsed,
+            },
+            config={
+                "shards": n_shards,
+                "cache_per_shard": PER_SHARD_CACHE,
+                "distinct_classes": len(items),
+                "requests": requests,
+            },
+        )
         rows.append(
             (
                 f"{n_shards} shard(s)",
@@ -183,6 +197,15 @@ def test_e17_micro_batching_groups_requests():
     for max_batch in (1, 16):
         elapsed, answers, stats = _burst_through_server(max_batch)
         outcomes[max_batch] = (answers, stats)
+        record_result(
+            "e17_serve_scaling", f"micro-batch-{max_batch}",
+            metrics={
+                "elapsed_ms": elapsed * 1e3,
+                "throughput_rps": len(answers) / elapsed,
+                "micro_batches": stats["micro_batches"],
+            },
+            config={"max_batch": max_batch, "burst": BURST},
+        )
         rows.append(
             (
                 f"max_batch={max_batch}",
@@ -328,6 +351,19 @@ def test_e17c_process_shards_beat_thread_shards_when_cpu_bound():
                 phases["processes"] = merged
         for mode in ("threads", "processes"):
             elapsed, _ = results[mode, n_shards]
+            record_result(
+                "e17_serve_scaling", f"cpu-bound-{mode}-{n_shards}",
+                metrics={
+                    "elapsed_ms": elapsed * 1e3,
+                    "throughput_rps": requests / elapsed,
+                },
+                config={
+                    "mode": mode,
+                    "shards": n_shards,
+                    "requests": requests,
+                    "cores": cores,
+                },
+            )
             rows.append(
                 (
                     f"{n_shards} × {mode}",

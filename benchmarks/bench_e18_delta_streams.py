@@ -34,6 +34,7 @@ import time
 import pytest
 
 from benchmarks.conftest import report
+from benchmarks.result_io import record_result
 from repro.api import Problem
 from repro.db.facts import Fact
 from repro.db.instance import DatabaseInstance
@@ -165,6 +166,20 @@ def test_e18_delta_streams_beat_full_ship_at_low_churn():
                 speedup = full_s / delta_s
                 speedups[churn] = speedup
                 mean_delta = sum(len(d) for d in deltas) / len(deltas)
+                record_result(
+                    "e18_delta_streams", f"churn-{churn:g}",
+                    metrics={
+                        "full_ship_rps": STEPS / full_s,
+                        "delta_ref_rps": STEPS / delta_s,
+                        "speedup": speedup,
+                        "mean_delta_facts": mean_delta,
+                    },
+                    config={
+                        "churn": churn,
+                        "steps": STEPS,
+                        "instance_facts": db.size,
+                    },
+                )
                 rows.append(
                     (
                         f"{churn:.0%} churn",

@@ -1,0 +1,367 @@
+"""E19 — overload behavior: admission control vs the unbounded queue,
+and metrics-driven autoscaling through a burst.
+
+Extension experiment closing ROADMAP open item 3 (production traffic
+realism).  Two reports, both driven by the :mod:`repro.load` open-loop
+harness — arrivals are scheduled before the first request is sent, so a
+server that falls behind cannot slow the offered load down; it can only
+queue or shed.
+
+**Admission control (E19a).**  A short closed-loop pass first calibrates
+the one-shard server's *sustainable* rate for a CPU-bound FO class
+(millisecond decides — the regime where queueing is visible).  The same
+open-loop steady schedule at **2x the sustainable rate** then drives two
+servers:
+
+* admission **off** (no budgets): the open loop piles work into the
+  micro-batch queue without bound — sampled inflight climbs to the
+  hundreds, and late arrivals' client-observed p99 grows toward the full
+  run length (every request waits behind the whole backlog);
+* admission **on** (a small global inflight budget): the server answers
+  what it admits quickly — sampled inflight stays at the budget, the
+  in-queue p99 stays near ``budget × service time`` — and sheds the
+  excess with structured ``overloaded`` envelopes carrying a
+  ``retry_after_ms`` hint.
+
+The test **asserts** the trichotomy of graceful degradation: sheds and
+retry-after hints appear only with admission on, the admission-on p99
+is a small fraction of the admission-off p99, and the sampled queue
+stays bounded by the budget while the unbounded server's climbs past
+several multiples of it.
+
+**Autoscaling (E19b).**  A process-fleet server starts at one worker
+with the autoscaler watching pure queue pressure (shed and latency
+signals disabled).  A burst schedule (idle → 2x one worker's sustainable
+rate → idle) drives it; the test **asserts** the autoscaler grew the
+fleet from the queue-depth signal (an ``up`` decision whose reason names
+queue pressure, and the `repro_server_workers` gauge reaching
+``max_workers``) and shrank back to ``min_workers`` after the calm
+hysteresis window — the observability loop closed end to end.
+
+Both result tables are reproduced in ``docs/deployment.md``; the
+machine-readable trajectory lands in ``BENCH_e19_overload.json``.
+"""
+
+import threading
+import time
+
+from benchmarks.conftest import report
+from benchmarks.result_io import record_result
+from repro.api import Problem
+from repro.load import LoadProfile, LoadRequest, run_loadgen
+from repro.serve import (
+    AutoscaleConfig,
+    BackgroundServer,
+    ServeClient,
+    ServerConfig,
+)
+from repro.workloads.random_instances import (
+    RandomInstanceParams,
+    random_instances_for_query,
+)
+
+DURATION = 3.0  # offered-load window per series, seconds
+BUDGET = 8  # admission-on global inflight budget
+N_INSTANCES = 6
+
+
+def _cpu_bound_items() -> list[tuple[Problem, object]]:
+    """One FO chain class over instances big enough that a decide costs
+    milliseconds of pure Python — small enough that a few hundred queued
+    requests still drain within the harness's drain window."""
+    problem = Problem.of(
+        "R(x | y)", "S(y | 'e19')", fks=["R[2]->S"], name="e19"
+    )
+    params = RandomInstanceParams(
+        blocks_per_relation=220, max_block_size=3, domain_size=440
+    )
+    dbs = list(
+        random_instances_for_query(
+            problem.query, problem.fks, N_INSTANCES, seed=19, params=params
+        )
+    )
+    return [(problem, db) for db in dbs]
+
+
+class _FixedWorkload:
+    """A load-harness workload over one fixed CPU-bound class."""
+
+    def __init__(self, items):
+        self._items = items
+
+    def plan(self, n: int) -> list[LoadRequest]:
+        return [
+            LoadRequest(
+                tenant=0, label="e19", tier="fo", size=0,
+                problem=self._items[i % len(self._items)][0],
+                db=self._items[i % len(self._items)][1],
+            )
+            for i in range(n)
+        ]
+
+
+class _GaugeSampler(threading.Thread):
+    """Poll a server's inflight/queue/worker gauges while load runs."""
+
+    def __init__(self, host: str, port: int, period: float = 0.05):
+        super().__init__(daemon=True)
+        self._host = host
+        self._port = port
+        self._period = period
+        self._halt = threading.Event()
+        self.max_inflight = 0
+        self.max_queue_depth = 0
+        self.max_workers = 0
+
+    def run(self) -> None:
+        with ServeClient(self._host, self._port, timeout=30.0) as client:
+            while not self._halt.is_set():
+                server = client.stats()["server"]
+                self.max_inflight = max(
+                    self.max_inflight, int(server.get("inflight", 0))
+                )
+                self.max_queue_depth = max(
+                    self.max_queue_depth, int(server.get("queue_depth", 0))
+                )
+                autoscale = server.get("autoscale") or {}
+                self.max_workers = max(
+                    self.max_workers, int(autoscale.get("workers", 0))
+                )
+                self._halt.wait(self._period)
+
+    def stop(self) -> "_GaugeSampler":
+        self._halt.set()
+        self.join(timeout=10)
+        return self
+
+
+def _calibrate(host: str, port: int, items) -> float:
+    """The closed-loop sustainable rate: warm the plan, then time
+    sequential decides (send, wait, send — the server never queues)."""
+    with ServeClient(host, port, timeout=60.0) as client:
+        for problem, db in items:  # warm plan cache + solver
+            client.decide(problem, db)
+        n = 40
+        start = time.perf_counter()
+        for i in range(n):
+            problem, db = items[i % len(items)]
+            client.decide(problem, db)
+        elapsed = time.perf_counter() - start
+    return n / elapsed
+
+
+def _offered_profile(rate: float) -> LoadProfile:
+    return LoadProfile(
+        duration_seconds=DURATION,
+        rate_rps=rate,
+        schedule="steady",
+        connections=4,
+        seed=19,
+    )
+
+
+def _drive(config: ServerConfig, rate: float, items, drain: float):
+    with BackgroundServer(config) as background:
+        host, port = background.address
+        sustainable = _calibrate(host, port, items)
+        sampler = _GaugeSampler(host, port)
+        sampler.start()
+        try:
+            load_report = run_loadgen(
+                host, port, _offered_profile(rate),
+                workload=_FixedWorkload(items),
+                drain_seconds=drain,
+            )
+        finally:
+            sampler.stop()
+    return load_report, sampler, sustainable
+
+
+def _overall_p99_ms(load_report) -> float:
+    values = [
+        snapshot.p99_seconds
+        for snapshot in load_report.tier_metrics.values()
+        if snapshot.p99_seconds is not None
+    ]
+    return max(values) * 1e3 if values else 0.0
+
+
+def test_e19a_admission_bounds_queue_and_sheds_excess():
+    items = _cpu_bound_items()
+
+    # calibrate once on a throwaway unbudgeted server, then offer 2x
+    with BackgroundServer(ServerConfig(shards=1)) as background:
+        sustainable = _calibrate(*background.address, items)
+    offered = 2.0 * sustainable
+
+    off_report, off_gauges, _ = _drive(
+        ServerConfig(shards=1), offered, items, drain=60.0
+    )
+    on_report, on_gauges, _ = _drive(
+        ServerConfig(shards=1, max_inflight=BUDGET, retry_after_ms=20),
+        offered, items, drain=60.0,
+    )
+
+    rows = []
+    for label, run, gauges in (
+        ("admission off", off_report, off_gauges),
+        (f"admission on (budget {BUDGET})", on_report, on_gauges),
+    ):
+        rows.append(
+            (
+                label,
+                f"{run.offered} @ {run.offered_rps:.0f}/s",
+                f"{run.ok}",
+                f"{run.overloaded}",
+                f"{gauges.max_inflight}",
+                f"{_overall_p99_ms(run):,.0f} ms",
+                f"{run.retry_after_ms_max} ms",
+            )
+        )
+        record_result(
+            "e19_overload", label.split(" (")[0].replace(" ", "-"),
+            metrics={
+                "offered": run.offered,
+                "ok": run.ok,
+                "overloaded": run.overloaded,
+                "incomplete": run.incomplete,
+                "p99_ms": _overall_p99_ms(run),
+                "max_inflight_sampled": gauges.max_inflight,
+                "retry_after_ms_max": run.retry_after_ms_max,
+            },
+            config={
+                "budget": BUDGET if "on" in label else 0,
+                "offered_rps": offered,
+                "sustainable_rps": sustainable,
+                "duration_seconds": DURATION,
+            },
+        )
+    report(
+        f"E19a: open-loop steady load at 2x sustainable "
+        f"({offered:.0f}/s offered, ~{sustainable:.0f}/s sustainable, "
+        "1 shard)",
+        rows,
+        (
+            "series", "offered", "ok", "shed", "max inflight",
+            "client p99", "max retry-after",
+        ),
+    )
+
+    # no silent failure modes in either run
+    assert off_report.errors == 0 and on_report.errors == 0
+    assert off_report.incomplete == 0 and on_report.incomplete == 0
+
+    # without budgets nothing is shed: the queue absorbs all of it ...
+    assert off_report.overloaded == 0
+    assert off_gauges.max_inflight >= 4 * BUDGET, (
+        f"the unbudgeted server's inflight peaked at "
+        f"{off_gauges.max_inflight} — 2x sustainable load should have "
+        f"queued far past {4 * BUDGET}"
+    )
+    # ... with the budget the excess is shed with retry-after hints and
+    # the in-server queue never exceeds the admitted budget
+    assert on_report.overloaded > 0
+    assert on_report.retry_after_ms_max >= 1
+    assert on_gauges.max_inflight <= BUDGET
+    # graceful degradation: bounded queue → bounded client-observed p99
+    off_p99, on_p99 = _overall_p99_ms(off_report), _overall_p99_ms(on_report)
+    assert on_p99 < 0.5 * off_p99, (
+        f"admission-on p99 ({on_p99:.0f} ms) should be a small fraction "
+        f"of the unbounded queue's ({off_p99:.0f} ms)"
+    )
+
+
+def test_e19b_autoscaler_grows_on_queue_pressure_and_shrinks_after():
+    items = _cpu_bound_items()
+    autoscale = AutoscaleConfig(
+        min_workers=1,
+        max_workers=2,
+        interval_seconds=0.25,
+        queue_high=4.0,
+        queue_low=0.5,
+        shed_high=0,  # queue-depth signal only (the acceptance criterion)
+        scale_down_consecutive=3,
+        cooldown_seconds=0.5,
+    )
+    config = ServerConfig(
+        shards=1, processes=1, autoscale=autoscale, linger_ms=1
+    )
+    with BackgroundServer(config) as background:
+        host, port = background.address
+        sustainable = _calibrate(host, port, items)
+        sampler = _GaugeSampler(host, port, period=0.1)
+        sampler.start()
+        # idle lead-in, then a burst at 2x one worker's sustainable rate
+        profile = LoadProfile(
+            duration_seconds=4.0,
+            rate_rps=0.5 * sustainable,
+            schedule="burst",
+            burst_factor=4.0,  # burst window runs at 2x sustainable
+            burst_start=0.25,
+            burst_end=1.0,
+            connections=4,
+            seed=19,
+        )
+        load_report = run_loadgen(
+            host, port, profile,
+            workload=_FixedWorkload(items), drain_seconds=60.0,
+        )
+        # after the burst: wait out drain + calm hysteresis + cooldown
+        deadline = time.monotonic() + 30.0
+        final_status = None
+        with ServeClient(host, port, timeout=30.0) as client:
+            while time.monotonic() < deadline:
+                final_status = client.stats()["server"]["autoscale"]
+                if (
+                    final_status["workers"] == autoscale.min_workers
+                    and final_status["resizes"] >= 2
+                ):
+                    break
+                time.sleep(0.25)
+        sampler.stop()
+
+    assert final_status is not None
+    decisions = final_status["decisions"]
+    ups = [d for d in decisions if d["action"] == "up"]
+    downs = [d for d in decisions if d["action"] == "down"]
+    rows = [
+        (
+            d["action"], str(d["workers"]),
+            f"{d['pressure']:g}", str(d["shed_delta"]), d["reason"],
+        )
+        for d in decisions
+    ]
+    report(
+        f"E19b: autoscale decisions through a burst at 2x one worker's "
+        f"sustainable rate (~{sustainable:.0f}/s, bounds "
+        f"[{autoscale.min_workers}, {autoscale.max_workers}])",
+        rows,
+        ("action", "workers", "pressure", "shed Δ", "reason"),
+    )
+    record_result(
+        "e19_overload", "autoscale-burst",
+        metrics={
+            "offered": load_report.offered,
+            "ok": load_report.ok,
+            "errors": load_report.errors,
+            "max_workers_sampled": sampler.max_workers,
+            "final_workers": final_status["workers"],
+            "resizes": final_status["resizes"],
+        },
+        config={
+            "min_workers": autoscale.min_workers,
+            "max_workers": autoscale.max_workers,
+            "interval_seconds": autoscale.interval_seconds,
+            "sustainable_rps": sustainable,
+        },
+    )
+
+    assert load_report.errors == 0 and load_report.incomplete == 0
+    # grew: an `up` decision fired, driven by the queue-pressure signal,
+    # and the worker gauge really reached the upper bound
+    assert ups, f"no scale-up decision in {decisions}"
+    assert any("queue pressure" in d["reason"] for d in ups)
+    assert sampler.max_workers == autoscale.max_workers
+    # ...and shrank back once calm: the loop closes in both directions
+    assert downs, f"no scale-down decision in {decisions}"
+    assert final_status["workers"] == autoscale.min_workers

@@ -1,0 +1,104 @@
+"""Machine-readable benchmark trajectories: ``BENCH_<name>.json``.
+
+The ``report()`` tables in :mod:`benchmarks.conftest` are for humans
+reading a ``pytest -s`` run; nothing in them survives the terminal.
+This module is the durable half: each experiment records its headline
+metrics and configuration as JSON under ``benchmarks/results/``, stamped
+with the git revision, so runs on different commits can be diffed into a
+performance trajectory (``git log`` for the code, ``BENCH_*.json`` for
+what it did to the numbers).
+
+One file per experiment id, one *series* per measured configuration::
+
+    from benchmarks.result_io import record_result
+
+    record_result(
+        "e17_serve_scaling", "shards-4",
+        metrics={"throughput_rps": 1234.5, "elapsed_ms": 812.0},
+        config={"shards": 4, "cache_per_shard": 16},
+    )
+
+produces/updates ``benchmarks/results/BENCH_e17_serve_scaling.json``::
+
+    {
+      "bench": "e17_serve_scaling",
+      "git_rev": "c88c8ad…",
+      "written_at": "2026-08-08T12:00:00+00:00",
+      "series": {"shards-4": {"metrics": {…}, "config": {…}}}
+    }
+
+Series accumulate across calls within a run *and* across runs on the
+same revision; a run on a new revision starts the file over (mixing
+revisions in one trajectory point would make every diff a lie).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def git_rev() -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def result_path(name: str) -> Path:
+    return RESULTS_DIR / f"BENCH_{name}.json"
+
+
+def record_result(
+    name: str,
+    series: str,
+    metrics: dict,
+    config: dict | None = None,
+) -> Path:
+    """Merge one series' metrics into ``BENCH_<name>.json``; return its path.
+
+    *metrics* must be JSON-serializable numbers/strings (it is the part
+    a trajectory plot consumes); *config* is the free-form knob record
+    that makes the numbers reproducible.
+    """
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"bench name must be a bare token, got {name!r}")
+    path = result_path(name)
+    rev = git_rev()
+    document = {"bench": name, "git_rev": rev, "series": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        # keep accumulating only within the same revision: one file is
+        # one trajectory point, never a mix of commits
+        if (
+            isinstance(existing, dict)
+            and existing.get("git_rev") == rev
+            and isinstance(existing.get("series"), dict)
+        ):
+            document["series"] = existing["series"]
+    document["series"][series] = {
+        "metrics": dict(metrics),
+        "config": dict(config or {}),
+    }
+    document["written_at"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

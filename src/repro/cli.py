@@ -15,6 +15,14 @@ Commands
                in-process thread shards, or worker processes with
                ``--processes N``; ``--log-level/--log-format/--span-log``
                control structured logging and span capture;
+               ``--max-inflight`` bounds admission (overload shedding),
+               ``--autoscale MIN:MAX`` resizes a process fleet from its
+               own metrics;
+``loadgen``    offer open-loop load (zipfian multi-tenant mixes, burst/
+               diurnal schedules, or ``--replay`` of a recorded span
+               log) to a running server and report client-observed
+               per-tier latency;
+``fleet-status``  admission and autoscaler readout of a running server;
 ``trace``      fetch one traced request's phase spans from a running
                server (``repro decide --connect --trace`` prints the id);
 ``slo``        per-tier latency/error report (fo / p16 / p17 / sat /
@@ -567,6 +575,36 @@ def _cmd_instance_list(args) -> int:
     return 0
 
 
+def _parse_autoscale_bounds(text: str) -> tuple[int, int]:
+    low, sep, high = text.partition(":")
+    if not sep:
+        raise ReproError(
+            f"--autoscale needs MIN:MAX worker bounds, got {text!r}"
+        )
+    try:
+        return int(low), int(high)
+    except ValueError:
+        raise ReproError(
+            f"--autoscale bounds must be integers, got {text!r}"
+        ) from None
+
+
+def _autoscale_config_from_args(args):
+    from .serve import AutoscaleConfig
+
+    if not args.autoscale:
+        return None
+    min_workers, max_workers = _parse_autoscale_bounds(args.autoscale)
+    return AutoscaleConfig(
+        min_workers=min_workers,
+        max_workers=max_workers,
+        interval_seconds=args.autoscale_interval,
+        queue_high=args.autoscale_queue_high,
+        queue_low=args.autoscale_queue_low,
+        cooldown_seconds=args.autoscale_cooldown,
+    )
+
+
 def _cmd_serve(args) -> int:
     from .serve import ServerConfig, run_server
 
@@ -584,6 +622,10 @@ def _cmd_serve(args) -> int:
             log_level=args.log_level,
             log_format=args.log_format,
             span_log=args.span_log,
+            max_inflight=args.max_inflight,
+            max_connection_inflight=args.max_connection_inflight,
+            retry_after_ms=args.retry_after_ms,
+            autoscale=_autoscale_config_from_args(args),
         )
     except ValueError as error:
         # config validation speaks ValueError; give it the CLI's friendly
@@ -591,6 +633,115 @@ def _cmd_serve(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     run_server(config)
+    return 0
+
+
+def _parse_float_list(text: str, flag: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise ReproError(
+            f"{flag} needs comma-separated numbers, got {text!r}"
+        ) from None
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from .load import LoadProfile, arrivals_from_trace, run_loadgen
+
+    host, port = _parse_endpoint(args.connect)
+    sizes = tuple(
+        int(s) for s in _parse_float_list(args.sizes, "--sizes")
+    )
+    weights = _parse_float_list(args.size_weights, "--size-weights")
+    try:
+        profile = LoadProfile(
+            duration_seconds=args.duration,
+            rate_rps=args.rate,
+            schedule=args.schedule,
+            burst_factor=args.burst_factor,
+            n_classes=args.classes,
+            zipf_s=args.zipf,
+            tenants=args.tenants,
+            instance_sizes=sizes,
+            instance_size_weights=weights,
+            connections=args.connections,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    arrivals = None
+    if args.replay:
+        arrivals = arrivals_from_trace(args.replay, speed=args.speed)
+    report = run_loadgen(
+        host, port, profile,
+        arrivals=arrivals,
+        retries=args.retries,
+        drain_seconds=args.drain,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    # an error-free run exits 0 even with sheds (shedding is the server
+    # working as configured); transport/internal errors exit 1
+    return 0 if report.errors == 0 and report.incomplete == 0 else 1
+
+
+def _cmd_fleet_status(args) -> int:
+    with _remote_client(args) as client:
+        payload = client.stats()
+    server = payload.get("server", {})
+    shards = payload.get("shards", [])
+    budgets = []
+    if server.get("max_inflight"):
+        budgets.append(f"max_inflight={server['max_inflight']}")
+    if server.get("max_connection_inflight"):
+        budgets.append(
+            f"max_connection_inflight={server['max_connection_inflight']}"
+        )
+    print(
+        f"serving: {len(shards)} engine(s)  "
+        f"inflight={server.get('inflight', '?')}  "
+        f"queue_depth={server.get('queue_depth', '?')}"
+    )
+    print(
+        f"admission: {' '.join(budgets) if budgets else 'off (no budgets)'}"
+        f"  shed={server.get('shed', 0)}"
+        + (
+            f" ({', '.join(f'{k}={v}' for k, v in sorted(scopes.items()))})"
+            if (scopes := server.get("shed_scopes"))
+            else ""
+        )
+    )
+    autoscale = server.get("autoscale")
+    if not autoscale:
+        print("autoscale: off")
+        return 0
+    print(
+        f"autoscale: workers={autoscale['workers']} "
+        f"[{autoscale['min_workers']}..{autoscale['max_workers']}]  "
+        f"interval={autoscale['interval_seconds']:g}s  "
+        f"resizes={autoscale['resizes']}  "
+        f"calm_ticks={autoscale['calm_ticks']}"
+    )
+    last = autoscale.get("last_decision")
+    if last:
+        print(
+            f"  last: {last['action']} -> {last['workers']} worker(s)  "
+            f"pressure={last['pressure']:g}  "
+            f"shed_delta={last['shed_delta']}  ({last['reason']})"
+        )
+    decisions = autoscale.get("decisions") or []
+    if decisions:
+        print("  recent resizes (oldest first):")
+        for decision in decisions:
+            print(
+                f"    {decision['action']:<4} -> "
+                f"{decision['workers']} worker(s)  {decision['reason']}"
+            )
     return 0
 
 
@@ -824,7 +975,91 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--span-log", metavar="FILE", default=None,
                    help="also append every traced span to this "
                         "JSON-lines file")
+    p.add_argument("--max-inflight", type=int, default=0, metavar="N",
+                   help="admission control: shed decide/decide_batch "
+                        "requests (overloaded envelope + retry_after_ms) "
+                        "past N admitted-but-unanswered ones server-wide "
+                        "(0 disables)")
+    p.add_argument("--max-connection-inflight", type=int, default=0,
+                   metavar="N",
+                   help="per-connection inflight budget (0 disables); "
+                        "keeps one pipelining client from monopolizing "
+                        "the global budget")
+    p.add_argument("--retry-after-ms", type=int, default=50, metavar="MS",
+                   help="base retry-after hint on overloaded envelopes "
+                        "(scaled up to 8x with queue pressure)")
+    p.add_argument("--autoscale", metavar="MIN:MAX", default=None,
+                   help="with --processes: autoscale the worker fleet "
+                        "between MIN and MAX from queue/shed/latency "
+                        "signals (see `repro fleet-status`)")
+    p.add_argument("--autoscale-interval", type=float, default=1.0,
+                   metavar="S", help="autoscaler sampling cadence")
+    p.add_argument("--autoscale-cooldown", type=float, default=3.0,
+                   metavar="S", help="minimum spacing between resizes")
+    p.add_argument("--autoscale-queue-high", type=float, default=4.0,
+                   help="scale up at this (queue+inflight)/worker "
+                        "pressure")
+    p.add_argument("--autoscale-queue-low", type=float, default=0.5,
+                   help="count an interval calm below this pressure "
+                        "(scale down after 3 consecutive calm intervals)")
     p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="offer open-loop load to a running server and report "
+             "client-observed per-tier latency",
+    )
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="the running `repro serve` to load")
+    p.add_argument("--duration", type=float, default=5.0, metavar="S",
+                   help="offered-load window in seconds")
+    p.add_argument("--rate", type=float, default=50.0, metavar="RPS",
+                   help="mean arrival rate (requests per second)")
+    p.add_argument("--schedule", choices=("steady", "burst", "diurnal"),
+                   default="steady", help="arrival-rate shape over time")
+    p.add_argument("--burst-factor", type=float, default=4.0,
+                   help="rate multiplier inside the burst window")
+    p.add_argument("--classes", type=_positive_int, default=8,
+                   help="problem classes in the mix")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="class-popularity zipf exponent (0 = uniform)")
+    p.add_argument("--tenants", type=_positive_int, default=1,
+                   help="tenants with rotated class hotsets")
+    p.add_argument("--sizes", default="2,3,5",
+                   help="instance sizes (blocks per relation), "
+                        "comma-separated")
+    p.add_argument("--size-weights", default="0.6,0.3,0.1",
+                   help="draw weights matching --sizes")
+    p.add_argument("--connections", type=_positive_int, default=4,
+                   help="client connections to spread arrivals over")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload + schedule seed (same seed, same "
+                        "requests)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="client retries on overloaded envelopes (honors "
+                        "retry_after_ms with jittered backoff)")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="replay arrival gaps from a span-log JSON-lines "
+                        "file (`repro serve --span-log`) instead of the "
+                        "synthetic schedule")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="replay speed multiplier for --replay")
+    p.add_argument("--drain", type=float, default=10.0, metavar="S",
+                   help="wait this long after the last arrival before "
+                        "counting stragglers incomplete")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of the table")
+    p.set_defaults(handler=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "fleet-status",
+        help="admission and autoscaler readout of a running server",
+    )
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="the running `repro serve` to inspect")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds (0 waits forever)")
+    p.set_defaults(handler=_cmd_fleet_status)
 
     p = sub.add_parser(
         "trace",

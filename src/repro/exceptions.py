@@ -44,16 +44,39 @@ class WorkerUnavailableError(ReproError):
     server the error surfaces as the ``unavailable`` envelope code."""
 
 
+class ServerOverloadedError(ReproError):
+    """A ``repro.serve`` server shed this request at admission: an
+    inflight/queue budget was exhausted, so the request was **not**
+    executed (nothing was queued either — shedding happens before any
+    work is done, which is what makes the request safe to retry).
+
+    Surfaces over the wire as the ``overloaded`` envelope code, whose
+    error object carries ``retry_after_ms`` — the server's backoff hint,
+    scaled by how far over budget it currently is."""
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class RemoteError(ReproError):
     """A ``repro.serve`` server answered a request with an error envelope.
 
     Carries the structured ``code`` next to the human-readable message so
-    clients can branch without parsing text."""
+    clients can branch without parsing text.  An ``overloaded`` envelope
+    also carries the server's ``retry_after_ms`` backoff hint (``None``
+    for every other code)."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_ms: int | None = None,
+    ):
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after_ms = retry_after_ms
 
     def __str__(self) -> str:
         return f"[{self.code}] {self.message}"

@@ -1,0 +1,51 @@
+"""repro.load — the open-loop load harness for the serving stack.
+
+The missing half of the observability loop: ``repro.obs`` taught the
+server to *report* per-tier latency, queue depth and sheds; this
+package generates the traffic that makes those numbers mean something.
+
+* :mod:`repro.load.profile` — open-loop arrival schedules (steady /
+  burst / diurnal Poisson processes, plus recorded-trace replay from
+  ``repro serve --span-log`` output);
+* :mod:`repro.load.workload` — zipfian multi-tenant request
+  populations over the mixed trichotomy problem stream, with an
+  instance-size distribution;
+* :mod:`repro.load.harness` — the async runner that fires arrivals on
+  schedule (never waiting for responses — that is what "open loop"
+  means) and accounts outcomes per SLO tier through the same
+  machinery ``repro slo`` uses server-side.
+
+Typical use::
+
+    from repro.load import LoadProfile, run_loadgen
+
+    report = run_loadgen(
+        "127.0.0.1", 7432,
+        LoadProfile(duration_seconds=10, rate_rps=200, schedule="burst"),
+    )
+    print(report.render())
+
+or ``python -m repro loadgen --port 7432 --rate 200 --schedule burst``.
+"""
+
+from .harness import LoadReport, run_loadgen, run_loadgen_async
+from .profile import (
+    SCHEDULES,
+    LoadProfile,
+    arrival_times,
+    arrivals_from_trace,
+)
+from .workload import LoadRequest, SyntheticWorkload, zipf_weights
+
+__all__ = [
+    "SCHEDULES",
+    "LoadProfile",
+    "LoadReport",
+    "LoadRequest",
+    "SyntheticWorkload",
+    "arrival_times",
+    "arrivals_from_trace",
+    "run_loadgen",
+    "run_loadgen_async",
+    "zipf_weights",
+]

@@ -1,0 +1,293 @@
+"""The open-loop load harness: fire arrivals, account outcomes.
+
+The runner replays a pre-computed arrival schedule against the wall
+clock, firing each request as an independent task over a small pool of
+pipelined :class:`~repro.serve.client.AsyncServeClient` connections and
+**never waiting for a response before the next arrival** — the open
+loop.  A server that falls behind sees its queue (or its shed counter)
+grow; the harness keeps offering load on schedule either way.
+
+Accounting reuses the serving stack's own SLO machinery, not a parallel
+stats path: each completed ``decide``'s client-observed latency is
+recorded into a per-tier :class:`~repro.engine.metrics.PlanMetrics`
+(tier from :func:`repro.obs.slo.tier_for` on the decision's verdict and
+backend), and :meth:`LoadReport.render` formats the result through
+:func:`repro.obs.slo.format_slo_report` — the same table ``repro slo``
+prints for the server side, so client-observed and server-observed
+tiers line up column for column.
+
+Outcome taxonomy:
+
+``ok``
+    a decision came back;
+``overloaded``
+    the server shed the request at admission (``overloaded`` envelope)
+    — counted, *never* recorded as tier latency (a shed is not a slow
+    answer, and folding it in would poison the percentiles);
+``errors``
+    any other envelope or transport failure;
+``incomplete``
+    still unanswered when the post-run drain window closed — the
+    signature of an unbounded queue under overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..engine.metrics import MetricsSnapshot, PlanMetrics
+from ..exceptions import RemoteError, ServeProtocolError
+from ..obs.slo import format_slo_report, tier_for, tier_sort_key
+from ..serve.backoff import BackoffPolicy
+from ..serve.client import AsyncServeClient
+from .profile import LoadProfile, arrival_times
+from .workload import LoadRequest, SyntheticWorkload
+
+__all__ = ["LoadReport", "run_loadgen", "run_loadgen_async"]
+
+
+@dataclass(frozen=True)
+class _TierRow:
+    """Adapter matching ``format_slo_report``'s row protocol."""
+
+    tier: str
+    plans: int  # distinct problem classes observed in this tier
+    metrics: MetricsSnapshot
+
+
+@dataclass
+class LoadReport:
+    """What one load run offered and what came back."""
+
+    schedule: str
+    offered: int  # arrivals in the schedule
+    sent: int
+    ok: int
+    overloaded: int
+    errors: int
+    incomplete: int
+    duration_seconds: float  # first arrival to last settled response
+    offered_rps: float
+    retry_after_ms_max: int = 0  # largest overloaded-envelope hint seen
+    tier_metrics: dict[str, MetricsSnapshot] = field(default_factory=dict)
+    tier_classes: dict[str, int] = field(default_factory=dict)
+    tenants: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.ok / self.duration_seconds
+
+    @property
+    def shed_rate(self) -> float:
+        return self.overloaded / self.sent if self.sent else 0.0
+
+    def tier_rows(self) -> list[_TierRow]:
+        return [
+            _TierRow(
+                tier=tier,
+                plans=self.tier_classes.get(tier, 0),
+                metrics=snapshot,
+            )
+            for tier, snapshot in sorted(
+                self.tier_metrics.items(),
+                key=lambda item: tier_sort_key(item[0]),
+            )
+        ]
+
+    def render(self) -> str:
+        """The human-facing run summary (the ``repro loadgen`` output)."""
+        lines = [
+            f"schedule={self.schedule} offered={self.offered} "
+            f"({self.offered_rps:.1f} rps) sent={self.sent}",
+            f"ok={self.ok} overloaded={self.overloaded} "
+            f"errors={self.errors} incomplete={self.incomplete} "
+            f"shed_rate={self.shed_rate:.1%} "
+            f"completed={self.completed_rps:.1f} rps "
+            f"in {self.duration_seconds:.2f}s",
+            "",
+            "client-observed latency by tier:",
+            format_slo_report(self.tier_rows()),
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": self.schedule,
+            "offered": self.offered,
+            "sent": self.sent,
+            "ok": self.ok,
+            "overloaded": self.overloaded,
+            "errors": self.errors,
+            "incomplete": self.incomplete,
+            "duration_seconds": self.duration_seconds,
+            "offered_rps": self.offered_rps,
+            "retry_after_ms_max": self.retry_after_ms_max,
+            "completed_rps": self.completed_rps,
+            "shed_rate": self.shed_rate,
+            "tenants": dict(self.tenants),
+            "tiers": {
+                tier: {
+                    "classes": self.tier_classes.get(tier, 0),
+                    **snapshot.to_dict(),
+                }
+                for tier, snapshot in self.tier_metrics.items()
+            },
+        }
+
+
+class _Accounting:
+    """Mutable run counters (single event loop — no locking)."""
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.overloaded = 0
+        self.retry_after_ms_max = 0
+        self.errors = 0
+        self.tier_metrics: dict[str, PlanMetrics] = {}
+        self.tier_labels: dict[str, set[str]] = {}
+        self.tenants: dict[str, int] = {}
+        self.last_settled = 0.0
+
+    def record_ok(
+        self, request: LoadRequest, decision: dict, seconds: float
+    ) -> None:
+        self.ok += 1
+        tier = tier_for(
+            str(decision.get("verdict", "")),
+            str(decision.get("backend", "")),
+        )
+        self.tier_metrics.setdefault(tier, PlanMetrics()).record(seconds)
+        self.tier_labels.setdefault(tier, set()).add(request.label)
+        key = f"tenant-{request.tenant}"
+        self.tenants[key] = self.tenants.get(key, 0) + 1
+
+
+async def _fire(
+    client: AsyncServeClient,
+    request: LoadRequest,
+    accounting: _Accounting,
+) -> None:
+    started = time.monotonic()
+    try:
+        result = await client.decide(request.problem, request.db)
+    except RemoteError as error:
+        if error.code == "overloaded":
+            accounting.overloaded += 1
+            accounting.retry_after_ms_max = max(
+                accounting.retry_after_ms_max,
+                int(error.retry_after_ms or 0),
+            )
+        else:
+            accounting.errors += 1
+    except (OSError, ServeProtocolError, asyncio.IncompleteReadError):
+        accounting.errors += 1
+    else:
+        accounting.record_ok(
+            request, result.get("decision", {}), time.monotonic() - started
+        )
+    finally:
+        accounting.last_settled = time.monotonic()
+
+
+async def run_loadgen_async(
+    host: str,
+    port: int,
+    profile: LoadProfile | None = None,
+    *,
+    arrivals: list[float] | None = None,
+    workload: SyntheticWorkload | None = None,
+    retries: int = 0,
+    backoff: BackoffPolicy | None = None,
+    drain_seconds: float = 10.0,
+) -> LoadReport:
+    """Offer one profile's load to ``host:port``; return the report.
+
+    *arrivals* overrides the synthetic schedule (trace replay passes
+    :func:`~repro.load.profile.arrivals_from_trace` output here).
+    ``retries`` forwards to the client: with the default 0, every shed
+    is reported as ``overloaded``; with retries the client backs off
+    per the envelope's ``retry_after_ms`` and only terminal sheds
+    count.  Responses still pending ``drain_seconds`` after the last
+    arrival are cancelled and counted ``incomplete``.
+    """
+    profile = profile or LoadProfile()
+    workload = workload or SyntheticWorkload(profile)
+    if arrivals is None:
+        arrivals = arrival_times(profile)
+    requests = workload.plan(len(arrivals))
+    accounting = _Accounting()
+    clients = [
+        await AsyncServeClient.connect(
+            host, port, retries=retries, backoff=backoff
+        )
+        for _ in range(profile.connections)
+    ]
+    pending: set[asyncio.Task] = set()
+    started = time.monotonic()
+    accounting.last_settled = started
+    sent = 0
+    try:
+        for index, (offset, request) in enumerate(zip(arrivals, requests)):
+            delay = started + offset - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            task = asyncio.get_running_loop().create_task(
+                _fire(clients[index % len(clients)], request, accounting)
+            )
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+            sent += 1
+        incomplete = 0
+        if pending:
+            done, still_pending = await asyncio.wait(
+                set(pending), timeout=drain_seconds
+            )
+            incomplete = len(still_pending)
+            for task in still_pending:
+                task.cancel()
+            if still_pending:
+                await asyncio.gather(
+                    *still_pending, return_exceptions=True
+                )
+    finally:
+        for client in clients:
+            await client.close()
+    duration = max(accounting.last_settled - started, 1e-9)
+    offered_rps = (
+        len(arrivals) / max(arrivals[-1], 1e-9) if arrivals else 0.0
+    )
+    return LoadReport(
+        schedule=profile.schedule,
+        offered=len(arrivals),
+        sent=sent,
+        ok=accounting.ok,
+        overloaded=accounting.overloaded,
+        errors=accounting.errors,
+        incomplete=incomplete,
+        duration_seconds=duration,
+        offered_rps=offered_rps,
+        retry_after_ms_max=accounting.retry_after_ms_max,
+        tier_metrics={
+            tier: metrics.snapshot()
+            for tier, metrics in accounting.tier_metrics.items()
+        },
+        tier_classes={
+            tier: len(labels)
+            for tier, labels in accounting.tier_labels.items()
+        },
+        tenants=dict(sorted(accounting.tenants.items())),
+    )
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    profile: LoadProfile | None = None,
+    **kwargs,
+) -> LoadReport:
+    """Synchronous wrapper around :func:`run_loadgen_async`."""
+    return asyncio.run(run_loadgen_async(host, port, profile, **kwargs))

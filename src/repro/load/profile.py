@@ -1,0 +1,201 @@
+"""Load profiles and open-loop arrival schedules.
+
+The defining property of an **open-loop** generator is that arrival
+times are fixed *before* the first request is sent: a slow server does
+not slow the offered load down, it grows the server's queue — exactly
+how traffic from millions of independent users behaves, and exactly
+what a closed-loop bench (send, wait, send) can never show.  So this
+module's output is a plain list of arrival offsets in seconds; the
+harness replays them against the wall clock.
+
+Three synthetic schedules (all inhomogeneous Poisson processes, drawn
+with per-gap exponential sampling at the instantaneous rate):
+
+``steady``
+    constant rate — the calibration baseline;
+``burst``
+    constant rate with a ``burst_factor``× window in the middle
+    (``burst_start``..``burst_end`` as fractions of the duration) — the
+    overload experiment and the autoscaler's reason to exist;
+``diurnal``
+    a sinusoidal day: the rate swings between near-zero and ``2×`` the
+    mean over ``diurnal_cycles`` cycles — the slow swell autoscaling
+    should track without flapping.
+
+Plus **recorded-trace replay**: :func:`arrivals_from_trace` reads a
+span-sink JSON-lines file (``repro serve --span-log``, one
+``Span.to_dict()`` per line), takes each trace's earliest span start as
+its arrival instant, and returns the normalized offsets — production
+traffic's own gaps, replayable at ``speed``×.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import ReproError
+
+SCHEDULES = ("steady", "burst", "diurnal")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Knobs of one synthetic open-loop run."""
+
+    duration_seconds: float = 5.0
+    rate_rps: float = 50.0  # mean offered arrival rate
+    schedule: str = "steady"  # one of SCHEDULES
+    burst_factor: float = 4.0  # burst window rate multiplier
+    burst_start: float = 0.4  # burst window, as fractions of the duration
+    burst_end: float = 0.7
+    diurnal_cycles: float = 1.0  # sine cycles across the duration
+    n_classes: int = 8  # problem classes in the mix
+    zipf_s: float = 1.1  # class-popularity exponent (0: uniform)
+    tenants: int = 1  # tenants with rotated class hotsets
+    instance_sizes: tuple[int, ...] = (2, 3, 5)  # blocks per relation
+    instance_size_weights: tuple[float, ...] = (0.6, 0.3, 0.1)
+    connections: int = 4  # client connections the harness spreads over
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError(
+                f"duration_seconds must be positive, got "
+                f"{self.duration_seconds}"
+            )
+        if self.rate_rps <= 0:
+            raise ValueError(
+                f"rate_rps must be positive, got {self.rate_rps}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; expected one of "
+                f"{SCHEDULES}"
+            )
+        if self.burst_factor < 1:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if not 0 <= self.burst_start < self.burst_end <= 1:
+            raise ValueError(
+                f"need 0 <= burst_start < burst_end <= 1, got "
+                f"[{self.burst_start}, {self.burst_end}]"
+            )
+        if self.n_classes < 1:
+            raise ValueError(
+                f"n_classes must be positive, got {self.n_classes}"
+            )
+        if self.zipf_s < 0:
+            raise ValueError(
+                f"zipf_s must be non-negative, got {self.zipf_s}"
+            )
+        if self.tenants < 1:
+            raise ValueError(
+                f"tenants must be positive, got {self.tenants}"
+            )
+        if not self.instance_sizes:
+            raise ValueError("instance_sizes must not be empty")
+        if any(size < 1 for size in self.instance_sizes):
+            raise ValueError(
+                f"instance_sizes must be positive, got "
+                f"{self.instance_sizes}"
+            )
+        if len(self.instance_size_weights) != len(self.instance_sizes):
+            raise ValueError(
+                "instance_size_weights must match instance_sizes "
+                f"({len(self.instance_size_weights)} != "
+                f"{len(self.instance_sizes)})"
+            )
+        if any(w <= 0 for w in self.instance_size_weights):
+            raise ValueError(
+                f"instance_size_weights must be positive, got "
+                f"{self.instance_size_weights}"
+            )
+        if self.connections < 1:
+            raise ValueError(
+                f"connections must be positive, got {self.connections}"
+            )
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate at offset *t* seconds."""
+        if self.schedule == "steady":
+            return self.rate_rps
+        if self.schedule == "burst":
+            fraction = t / self.duration_seconds
+            if self.burst_start <= fraction < self.burst_end:
+                return self.rate_rps * self.burst_factor
+            return self.rate_rps
+        # diurnal: mean-preserving sine in [~0, 2 * rate], starting at
+        # the trough (the "overnight" lull) so the swell is visible even
+        # in a single-cycle run
+        phase = 2 * math.pi * self.diurnal_cycles * t / self.duration_seconds
+        return self.rate_rps * (1.0 - math.cos(phase)) + 1e-9
+
+
+def arrival_times(profile: LoadProfile) -> list[float]:
+    """Open-loop arrival offsets in ``[0, duration)`` (sorted).
+
+    An inhomogeneous Poisson draw: each inter-arrival gap is exponential
+    at the *current* instantaneous rate — accurate when the rate changes
+    slowly against the gap length, which every schedule here satisfies.
+    Deterministic in ``profile.seed``.
+    """
+    rng = random.Random(profile.seed)
+    arrivals: list[float] = []
+    t = rng.expovariate(profile.rate_at(0.0))
+    while t < profile.duration_seconds:
+        arrivals.append(t)
+        t += rng.expovariate(profile.rate_at(t))
+    return arrivals
+
+
+def arrivals_from_trace(
+    path: str | Path, *, speed: float = 1.0
+) -> list[float]:
+    """Arrival offsets recovered from a span-sink JSON-lines file.
+
+    Each line is one ``Span.to_dict()`` document (the ``repro serve
+    --span-log`` format); a trace's arrival instant is its earliest
+    span's ``start``.  Offsets are normalized to the first arrival and
+    divided by *speed* (``speed=2`` replays twice as fast).  Lines that
+    are not valid span documents are skipped — a live sink may have a
+    torn final line.
+    """
+    if speed <= 0:
+        raise ReproError(f"replay speed must be positive, got {speed}")
+    starts: dict[str, float] = {}
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ReproError(
+            f"cannot read span log {str(path)!r}: {error}"
+        ) from error
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail line of a live sink
+        if not isinstance(span, dict):
+            continue
+        trace_id = span.get("trace_id")
+        start = span.get("start")
+        if not isinstance(trace_id, str) or not isinstance(
+            start, (int, float)
+        ):
+            continue
+        if trace_id not in starts or start < starts[trace_id]:
+            starts[trace_id] = float(start)
+    if not starts:
+        raise ReproError(
+            f"span log {str(path)!r} holds no replayable spans "
+            "(need trace_id + start fields)"
+        )
+    base = min(starts.values())
+    return sorted((start - base) / speed for start in starts.values())

@@ -1,0 +1,165 @@
+"""Synthetic request populations for the load harness.
+
+A load run needs a *population* of requests matching serving reality:
+
+* a handful of problem **classes** (drawn through
+  :func:`repro.workloads.streams.mixed_problem_stream`, so all three
+  trichotomy regimes plus the pinned Proposition 16/17 problems appear)
+  with **zipfian popularity** — class at popularity rank *r* drawn with
+  weight ``1 / (r + 1)**s``, the skew every production trace shows and
+  the reason the plan cache and class-digest sharding pay off;
+* **multi-tenant** mixes: tenant *t*'s popularity ranking is the base
+  ranking rotated by *t* hotset offsets, so tenants are hot on
+  *different* classes (uniform tenant traffic over shared-hot classes
+  would be the easy case for a shared cache);
+* an **instance-size distribution**: each request carries a fresh-ish
+  instance drawn from per-``(class, size)`` pools, sizes weighted by
+  ``instance_size_weights`` — a long tail of big instances is what
+  pushes oracle-tier latency around.
+
+The whole population and every draw are deterministic in
+``profile.seed``: two runs of the same profile offer byte-identical
+request sequences, so A/B comparisons (admission on vs off, 1 worker
+vs autoscaled) differ only in the server under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..api.problem import Problem
+from ..db.instance import DatabaseInstance
+from ..obs.slo import tier_for
+from ..workloads.graphs import proposition16_instance
+from ..workloads.random_instances import (
+    RandomInstanceParams,
+    random_instances_for_query,
+)
+from ..workloads.streams import StreamParams, mixed_problem_stream
+from .profile import LoadProfile
+
+#: Instances pre-drawn per (class, size) pool; requests cycle over them.
+_POOL_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One scheduled request: who sends what."""
+
+    tenant: int
+    label: str  # problem-class label (stream label)
+    tier: str  # expected SLO tier (from the recognizer verdict)
+    size: int  # instance size (blocks per relation)
+    problem: Problem
+    db: DatabaseInstance
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Normalized zipfian weights for *n* ranks (``s=0`` is uniform)."""
+    if n < 1:
+        raise ValueError(f"need at least one rank, got {n}")
+    raw = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class SyntheticWorkload:
+    """The pre-drawn request population of one :class:`LoadProfile`."""
+
+    def __init__(self, profile: LoadProfile):
+        self.profile = profile
+        self._rng = random.Random(profile.seed ^ 0x5EED10AD)
+        self._classes = self._synthesize_classes(profile)
+        self._weights = zipf_weights(len(self._classes), profile.zipf_s)
+        # tenant t draws from the base ranking rotated by t offsets, so
+        # each tenant's hotset leads with a different class
+        offset = max(1, len(self._classes) // profile.tenants)
+        self._tenant_rankings = [
+            [
+                self._classes[(rank + tenant * offset) % len(self._classes)]
+                for rank in range(len(self._classes))
+            ]
+            for tenant in range(profile.tenants)
+        ]
+
+    def _synthesize_classes(self, profile: LoadProfile):
+        """Problem classes plus per-size instance pools.
+
+        Returns ``[(label, tier, problem, {size: [instances]}), ...]``.
+        The stream's own instances are discarded — pools are re-drawn
+        per configured size so the size distribution is the profile's,
+        not the stream default's.
+        """
+        stream = mixed_problem_stream(
+            StreamParams(
+                n_problems=profile.n_classes,
+                instances_per_problem=1,
+                seed=profile.seed,
+            )
+        )
+        classes = []
+        for item in stream:
+            pools: dict[int, list[DatabaseInstance]] = {}
+            for size in profile.instance_sizes:
+                if item.label == "prop16":
+                    pools[size] = [
+                        proposition16_instance(
+                            2 + size, self._rng, marked_fraction=0.5
+                        )
+                        for _ in range(_POOL_DEPTH)
+                    ]
+                else:
+                    pools[size] = list(
+                        random_instances_for_query(
+                            item.query,
+                            item.fks,
+                            _POOL_DEPTH,
+                            seed=self._rng.randrange(2**32),
+                            params=RandomInstanceParams(
+                                blocks_per_relation=size,
+                                max_block_size=3,
+                                domain_size=2 * size + 2,
+                            ),
+                        )
+                    )
+            # expected tier: the pinned islands are their backends;
+            # everything else bins by recognizer verdict alone
+            if item.label == "prop16":
+                tier = "p16"
+            elif item.label == "prop17":
+                tier = "p17"
+            else:
+                tier = tier_for(item.verdict.name, "")
+            classes.append((item.label, tier, item.problem, pools))
+        return classes
+
+    @property
+    def class_labels(self) -> list[str]:
+        return [label for label, _, _, _ in self._classes]
+
+    def draw(self) -> LoadRequest:
+        """One weighted request draw (deterministic in construction
+        order — the harness draws exactly once per arrival)."""
+        rng = self._rng
+        tenant = rng.randrange(self.profile.tenants)
+        ranking = self._tenant_rankings[tenant]
+        label, tier, problem, pools = rng.choices(
+            ranking, weights=self._weights
+        )[0]
+        size = rng.choices(
+            self.profile.instance_sizes,
+            weights=self.profile.instance_size_weights,
+        )[0]
+        return LoadRequest(
+            tenant=tenant,
+            label=label,
+            tier=tier,
+            size=size,
+            problem=problem,
+            db=rng.choice(pools[size]),
+        )
+
+    def plan(self, n: int) -> list[LoadRequest]:
+        """The next *n* request draws as a list (one per arrival)."""
+        return [self.draw() for _ in range(n)]

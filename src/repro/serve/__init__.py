@@ -44,8 +44,16 @@ server on a daemon thread.
 from ..exceptions import (
     RemoteError,
     ServeProtocolError,
+    ServerOverloadedError,
     WorkerUnavailableError,
 )
+from .autoscale import (
+    AutoscaleConfig,
+    AutoscaleDecision,
+    AutoscaleSample,
+    Autoscaler,
+)
+from .backoff import BackoffPolicy, backoff_delay_seconds
 from .client import AsyncServeClient, ServeClient
 from .fleet import FleetConfig, FleetEngine
 from .supervisor import FleetSupervisor, WorkerHandle
@@ -77,7 +85,12 @@ __all__ = [
     "PROTOCOL",
     "VERSION",
     "AsyncServeClient",
+    "AutoscaleConfig",
+    "AutoscaleDecision",
+    "AutoscaleSample",
+    "Autoscaler",
     "BackgroundServer",
+    "BackoffPolicy",
     "CertaintyServer",
     "FleetConfig",
     "FleetEngine",
@@ -90,11 +103,13 @@ __all__ = [
     "ServeProtocolError",
     "ServerConfig",
     "ServerMetrics",
+    "ServerOverloadedError",
     "ShardStats",
     "ShardedEngine",
     "UnsupportedVerbError",
     "WorkerHandle",
     "WorkerUnavailableError",
+    "backoff_delay_seconds",
     "decode_frame",
     "decode_request",
     "decode_response",

@@ -1,0 +1,285 @@
+"""Metrics-driven autoscaling: the observability loop, closed.
+
+``repro.obs`` made the serving stack *report* queue depth, per-tier
+latency and shed counts; this module makes it *act* on them.  An
+:class:`Autoscaler` periodically receives an :class:`AutoscaleSample`
+(built by the server from the same counters the ``stats``/``metrics``
+verbs export — there is no second bookkeeping path) and drives
+``FleetEngine.resize()`` between ``min_workers`` and ``max_workers``:
+
+* **scale up** when any pressure signal breaches — per-worker queue
+  pressure above ``queue_high``, sheds during the last interval at or
+  above ``shed_high``, or a tier's observed p99 above its target;
+* **scale down** one worker at a time, only after
+  ``scale_down_consecutive`` *consecutive* calm intervals (pressure
+  below ``queue_low``, zero sheds) — the hysteresis that keeps a bursty
+  workload from flapping the fleet;
+* **cooldown** after every resize: ``cooldown_seconds`` must pass
+  before the next one, so a resize's own migration cost never triggers
+  the next resize.
+
+Every tick emits an ``autoscale.decision`` structured log event (INFO
+for resizes, DEBUG for holds), and :meth:`Autoscaler.status` serves the
+recent decision ring through the ``stats`` verb — what the
+``repro fleet-status`` CLI renders.
+
+The policy is a pure function of ``(sample, internal state, clock)``;
+tests pin the clock and a recording ``resize`` callable to assert the
+whole decision trajectory.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..obs.log import get_logger, log_event
+
+_logger = get_logger("serve.autoscale")
+
+__all__ = [
+    "AutoscaleConfig",
+    "AutoscaleDecision",
+    "AutoscaleSample",
+    "Autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Policy knobs (see the module docstring for the loop itself)."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    interval_seconds: float = 1.0  # sampling cadence
+    queue_high: float = 4.0  # (queue_depth + inflight) / workers: scale up
+    queue_low: float = 0.5  # ... below this (and no sheds): calm interval
+    shed_high: int = 1  # sheds per interval that force a scale-up (0: off)
+    #: tier → p99 target in ms; an observed p99 above target is a breach.
+    tier_p99_targets_ms: dict[str, float] = field(default_factory=dict)
+    scale_up_step: int = 1  # workers added per scale-up
+    scale_down_consecutive: int = 3  # calm intervals before one scale-down
+    cooldown_seconds: float = 3.0  # min spacing between resizes
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError(
+                f"min_workers must be positive, got {self.min_workers}"
+            )
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= min_workers "
+                f"({self.min_workers})"
+            )
+        if self.interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got "
+                f"{self.interval_seconds}"
+            )
+        if self.queue_low > self.queue_high:
+            raise ValueError(
+                f"queue_low ({self.queue_low}) must be <= queue_high "
+                f"({self.queue_high}) — the gap *is* the hysteresis band"
+            )
+        if self.scale_up_step < 1:
+            raise ValueError(
+                f"scale_up_step must be positive, got {self.scale_up_step}"
+            )
+        if self.scale_down_consecutive < 1:
+            raise ValueError(
+                f"scale_down_consecutive must be positive, got "
+                f"{self.scale_down_consecutive}"
+            )
+
+
+@dataclass(frozen=True)
+class AutoscaleSample:
+    """One tick's worth of merged fleet metrics."""
+
+    queue_depth: int  # requests in open micro-batch groups
+    inflight: int  # admitted engine requests not yet answered
+    shed: int  # the *cumulative* shed counter (deltas computed here)
+    workers: int  # current fleet width
+    tier_p99_ms: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One tick's outcome (``up``/``down``/``hold``) and its evidence."""
+
+    action: str
+    workers: int  # the fleet width after this decision
+    reason: str
+    pressure: float  # (queue_depth + inflight) per worker, this tick
+    shed_delta: int  # sheds since the previous tick
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "workers": self.workers,
+            "reason": self.reason,
+            "pressure": round(self.pressure, 3),
+            "shed_delta": self.shed_delta,
+        }
+
+
+class Autoscaler:
+    """The policy loop state machine around a ``resize`` callable.
+
+    ``resize`` is :meth:`FleetEngine.resize` in production and a
+    recording stub in tests; ``clock`` defaults to ``time.monotonic``
+    and is injectable for deterministic cooldown tests.  Thread-safe:
+    the server calls :meth:`observe` from its thread pool while
+    :meth:`status` answers ``stats`` verbs concurrently.
+    """
+
+    def __init__(
+        self,
+        config: AutoscaleConfig | None = None,
+        *,
+        resize: Callable[[int], object],
+        initial_workers: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or AutoscaleConfig()
+        self._resize = resize
+        self._workers = initial_workers
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_shed: int | None = None
+        self._calm_ticks = 0
+        self._last_resize_at: float | None = None
+        self._resizes = 0
+        self._decisions: deque[AutoscaleDecision] = deque(maxlen=64)
+
+    # -- the policy ----------------------------------------------------------
+
+    def observe(self, sample: AutoscaleSample) -> AutoscaleDecision:
+        """Ingest one sample; maybe resize; always return the decision."""
+        with self._lock:
+            decision = self._decide(sample)
+            self._last_shed = sample.shed
+            if decision.action in ("up", "down"):
+                self._resize(decision.workers)
+                self._workers = decision.workers
+                self._last_resize_at = self._clock()
+                self._resizes += 1
+                self._calm_ticks = 0
+            self._decisions.append(decision)
+        level = (
+            logging.INFO if decision.action != "hold" else logging.DEBUG
+        )
+        if _logger.isEnabledFor(level):
+            log_event(
+                _logger, level, "autoscale.decision",
+                action=decision.action,
+                workers=decision.workers,
+                reason=decision.reason,
+                pressure=round(decision.pressure, 3),
+                shed_delta=decision.shed_delta,
+                queue_depth=sample.queue_depth,
+                inflight=sample.inflight,
+            )
+        return decision
+
+    def _decide(self, sample: AutoscaleSample) -> AutoscaleDecision:
+        config = self.config
+        workers = max(1, sample.workers)
+        pressure = (sample.queue_depth + sample.inflight) / workers
+        shed_delta = (
+            max(0, sample.shed - self._last_shed)
+            if self._last_shed is not None
+            else 0
+        )
+        breaches = []
+        if config.queue_high and pressure >= config.queue_high:
+            breaches.append(
+                f"queue pressure {pressure:.1f}/worker >= "
+                f"{config.queue_high:g}"
+            )
+        if config.shed_high and shed_delta >= config.shed_high:
+            breaches.append(f"{shed_delta} shed(s) last interval")
+        for tier, target in sorted(config.tier_p99_targets_ms.items()):
+            observed = sample.tier_p99_ms.get(tier)
+            if observed is not None and observed > target:
+                breaches.append(
+                    f"{tier} p99 {observed:.1f}ms > {target:g}ms"
+                )
+        now = self._clock()
+        cooling = (
+            self._last_resize_at is not None
+            and now - self._last_resize_at < config.cooldown_seconds
+        )
+        if breaches:
+            self._calm_ticks = 0
+            target = min(
+                sample.workers + config.scale_up_step, config.max_workers
+            )
+            reason = "; ".join(breaches)
+            if target <= sample.workers:
+                return AutoscaleDecision(
+                    "hold", sample.workers,
+                    f"at max_workers ({config.max_workers}): {reason}",
+                    pressure, shed_delta,
+                )
+            if cooling:
+                return AutoscaleDecision(
+                    "hold", sample.workers, f"cooldown: {reason}",
+                    pressure, shed_delta,
+                )
+            return AutoscaleDecision(
+                "up", target, reason, pressure, shed_delta
+            )
+        if pressure <= config.queue_low and shed_delta == 0:
+            self._calm_ticks += 1
+            if (
+                self._calm_ticks >= config.scale_down_consecutive
+                and sample.workers > config.min_workers
+                and not cooling
+            ):
+                return AutoscaleDecision(
+                    "down", sample.workers - 1,
+                    f"calm for {self._calm_ticks} interval(s) "
+                    f"(pressure {pressure:.1f} <= {config.queue_low:g})",
+                    pressure, shed_delta,
+                )
+            return AutoscaleDecision(
+                "hold", sample.workers,
+                f"calm {self._calm_ticks}/{config.scale_down_consecutive}",
+                pressure, shed_delta,
+            )
+        # between the watermarks: neither breach nor calm — hysteresis band
+        self._calm_ticks = 0
+        return AutoscaleDecision(
+            "hold", sample.workers,
+            f"pressure {pressure:.1f} within "
+            f"[{config.queue_low:g}, {config.queue_high:g})",
+            pressure, shed_delta,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        """The ``stats`` verb's ``autoscale`` block (and the
+        ``repro fleet-status`` payload): bounds, current width, and the
+        recent non-hold decisions newest-last."""
+        with self._lock:
+            decisions = list(self._decisions)
+            return {
+                "workers": self._workers,
+                "min_workers": self.config.min_workers,
+                "max_workers": self.config.max_workers,
+                "interval_seconds": self.config.interval_seconds,
+                "resizes": self._resizes,
+                "calm_ticks": self._calm_ticks,
+                "last_decision": (
+                    decisions[-1].to_dict() if decisions else None
+                ),
+                "decisions": [
+                    d.to_dict() for d in decisions if d.action != "hold"
+                ][-10:],
+            }

@@ -1,0 +1,91 @@
+"""Capped exponential backoff with jitter, shared by every retry path.
+
+Two callers, one schedule:
+
+* :class:`~repro.serve.client.ServeClient`'s reconnect-and-resend loop —
+  a transport failure used to retry *immediately*, which turns a worker
+  restart into a reconnect stampede; now each attempt waits
+  ``base * 2**attempt`` capped at ``cap``, with "full jitter" (uniform in
+  ``[0, delay]``, the AWS-style variant that decorrelates a thundering
+  herd best for a given mean delay);
+* the ``overloaded``/``retry_after_ms`` path — the server's hint is the
+  *floor* of the wait (it reflects actual queue pressure), the capped
+  exponential is layered on top so repeated rejections still back off.
+
+The schedule is a pure function of ``(attempt, policy, rng)`` so tests
+can assert its exact shape by pinning the rng.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["BackoffPolicy", "backoff_delay_seconds"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """The knobs of one capped-exponential-with-jitter schedule.
+
+    ``jitter=1.0`` (the default) is full jitter: the wait is uniform in
+    ``[0, delay]``.  ``jitter=0.0`` disables randomness (the wait is the
+    deterministic capped exponential — what the schedule-shape tests
+    pin).  Values between interpolate: the wait is uniform in
+    ``[(1 - jitter) * delay, delay]``.
+    """
+
+    base_ms: float = 50.0
+    cap_ms: float = 2000.0
+    jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_ms <= 0:
+            raise ValueError(f"base_ms must be positive, got {self.base_ms}")
+        if self.cap_ms < self.base_ms:
+            raise ValueError(
+                f"cap_ms must be >= base_ms, got cap_ms={self.cap_ms} "
+                f"base_ms={self.base_ms}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_ms(
+        self,
+        attempt: int,
+        *,
+        floor_ms: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> float:
+        """The wait before retry number *attempt* (0-based), in ms.
+
+        ``floor_ms`` is the server's ``retry_after_ms`` hint when there
+        is one: the jittered wait never undercuts it (the hint already
+        prices in the server's queue pressure; jittering *below* it
+        would land the retry back in the same rejection window).
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        # 2**attempt overflows no float for any sane retry count, but an
+        # adversarial attempt=1000 must not either: cap the exponent at
+        # the point the cap dominates anyway.
+        exponent = min(attempt, 63)
+        delay = min(self.base_ms * (2.0 ** exponent), self.cap_ms)
+        if self.jitter > 0.0:
+            low = (1.0 - self.jitter) * delay
+            delay = (rng or random).uniform(low, delay)
+        return max(delay, floor_ms)
+
+
+def backoff_delay_seconds(
+    attempt: int,
+    policy: BackoffPolicy | None = None,
+    *,
+    retry_after_ms: float | None = None,
+    rng: random.Random | None = None,
+) -> float:
+    """One schedule step in seconds (the sleep-call-ready convenience)."""
+    policy = policy or BackoffPolicy()
+    return policy.delay_ms(
+        attempt, floor_ms=retry_after_ms or 0.0, rng=rng
+    ) / 1e3

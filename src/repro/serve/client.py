@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
+import time
 
 from ..api.decision import BatchDecision, Decision
 from ..api.problem import Problem
@@ -35,6 +37,7 @@ from ..db.instance import DatabaseInstance
 from ..exceptions import RemoteError, ServeProtocolError
 from ..obs.trace import new_trace_id
 from ..store.delta import Delta
+from .backoff import BackoffPolicy, backoff_delay_seconds
 from .protocol import Request, decode_response, encode_frame, replay_safe
 
 #: Verbs the clients auto-assign a fresh trace id to when none is given:
@@ -88,11 +91,18 @@ class ServeClient:
     With ``retries=n`` a request that dies on a transport failure — the
     connection refused, reset, or closed mid-cycle, as happens when a
     fleet worker restarts — reconnects and resends up to *n* more times
-    before raising.  This is safe because every verb is idempotent:
-    decides are pure functions of problem + instance, the introspection
-    verbs only read, and ``shutdown`` converges.  Structured error
-    envelopes (:class:`~repro.exceptions.RemoteError`) are never retried —
-    the server answered; the answer was no.
+    before raising, waiting a capped-exponential, jittered backoff step
+    (:class:`~repro.serve.backoff.BackoffPolicy`) before each attempt so
+    a worker restart never meets a reconnect stampede.  This is safe
+    because every verb is idempotent: decides are pure functions of
+    problem + instance, the introspection verbs only read, and
+    ``shutdown`` converges.  Structured error envelopes
+    (:class:`~repro.exceptions.RemoteError`) are never retried — the
+    server answered; the answer was no — with one exception:
+    ``overloaded`` envelopes, which the server sent *instead of*
+    executing the request; those are retried on the same connection
+    after honoring the envelope's ``retry_after_ms`` hint (jittered
+    upward, never below the hint).
     """
 
     def __init__(
@@ -102,6 +112,7 @@ class ServeClient:
         *,
         timeout: float | None = 30.0,
         retries: int = 0,
+        backoff: BackoffPolicy | None = None,
     ):
         if retries < 0:
             raise ValueError(f"retries must be non-negative, got {retries}")
@@ -109,6 +120,9 @@ class ServeClient:
         self._port = port
         self._timeout = timeout
         self._retries = retries
+        self._backoff = backoff or BackoffPolicy()
+        self._sleep = time.sleep  # injectable: schedule-shape tests
+        self._rng = random.Random()
         self._ids = itertools.count(1)
         self._closed = False
         self._connect()
@@ -174,7 +188,10 @@ class ServeClient:
         double-apply.  The exception is ``instance_patch`` with
         ``expect_version`` — the CAS precondition makes a replay safe (a
         double-apply comes back as a structured ``conflict`` envelope
-        instead of silently landing twice).
+        instead of silently landing twice).  The same gate covers
+        ``overloaded`` retries — even though a shed mutation was *not*
+        executed, a retry's transport failure could still double-apply,
+        so the simple rule stays simple: no replay without the CAS.
         """
         if self._closed:
             raise ServeProtocolError("client is closed")
@@ -189,9 +206,24 @@ class ServeClient:
         for attempt in range(retries + 1):
             try:
                 return self._cycle(*frame_args)
+            except RemoteError as error:
+                # the server answered; only "overloaded" invites a retry
+                # (the request was shed at admission, never executed) —
+                # wait at least the server's hint, then resend on the
+                # same healthy connection
+                if error.code != "overloaded" or attempt >= retries:
+                    raise
+                self._sleep(backoff_delay_seconds(
+                    attempt, self._backoff,
+                    retry_after_ms=error.retry_after_ms,
+                    rng=self._rng,
+                ))
             except (OSError, ServeProtocolError):
                 if attempt >= retries:
                     raise
+                self._sleep(backoff_delay_seconds(
+                    attempt, self._backoff, rng=self._rng
+                ))
                 self.reconnect()
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -343,13 +375,32 @@ class ServeClient:
 
 class AsyncServeClient:
     """An asyncio client that pipelines: many requests in flight, responses
-    routed back by echoed id."""
+    routed back by echoed id.
+
+    With ``retries=n``, an ``overloaded`` envelope (the server shed the
+    request at admission — it was never executed) is retried up to *n*
+    more times on the same connection, sleeping a jittered backoff step
+    floored at the envelope's ``retry_after_ms`` hint first; mutation
+    verbs stay gated by :func:`~repro.serve.protocol.replay_safe`.
+    Transport failures are not retried here — a pipelining client's
+    reconnect story belongs to its caller.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        retries: int = 0,
+        backoff: BackoffPolicy | None = None,
     ):
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
         self._reader = reader
         self._writer = writer
+        self._retries = retries
+        self._backoff = backoff or BackoffPolicy()
+        self._rng = random.Random()
         self._ids = itertools.count(1)
         self._waiting: dict[int | str, asyncio.Future] = {}
         self._read_task = asyncio.get_running_loop().create_task(
@@ -364,13 +415,15 @@ class AsyncServeClient:
         port: int,
         *,
         max_frame_bytes: int = 16 * 1024 * 1024,
+        retries: int = 0,
+        backoff: BackoffPolicy | None = None,
     ) -> "AsyncServeClient":
         # limit= mirrors the server's frame cap: a large decide_batch or
         # stats response must not overrun asyncio's 64 KiB line default
         reader, writer = await asyncio.open_connection(
             host, port, limit=max_frame_bytes
         )
-        return cls(reader, writer)
+        return cls(reader, writer, retries=retries, backoff=backoff)
 
     async def _read_loop(self) -> None:
         try:
@@ -432,10 +485,32 @@ class AsyncServeClient:
         expect_version: int | None = None,
         version: int | None = None,
     ) -> dict:
-        if self._closed:
-            raise ServeProtocolError("client is closed")
         if trace_id is None and verb in _TRACED_VERBS:
             trace_id = new_trace_id()
+        frame_args = (verb, problem, instance, instances, trace_id,
+                      parent_span, instance_ref, delta, expect_version,
+                      version)
+        retries = (
+            self._retries if replay_safe(verb, expect_version) else 0
+        )
+        for attempt in range(retries + 1):
+            try:
+                return await self._request_once(*frame_args)
+            except RemoteError as error:
+                if error.code != "overloaded" or attempt >= retries:
+                    raise
+                await asyncio.sleep(backoff_delay_seconds(
+                    attempt, self._backoff,
+                    retry_after_ms=error.retry_after_ms,
+                    rng=self._rng,
+                ))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _request_once(self, verb, problem, instance, instances,
+                            trace_id, parent_span, instance_ref, delta,
+                            expect_version, version) -> dict:
+        if self._closed:
+            raise ServeProtocolError("client is closed")
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiting[request_id] = future

@@ -78,7 +78,10 @@ Responses are either ``{"id": ..., "ok": true, "result": {...}}`` or the
 structured error envelope ``{"id": ..., "ok": false, "error": {"code":
 ..., "message": ...}}``.  Error codes are stable strings (see
 :data:`ERROR_CODES`); clients surface them as
-:class:`~repro.exceptions.RemoteError`.
+:class:`~repro.exceptions.RemoteError`.  An ``overloaded`` envelope's
+error object additionally carries ``retry_after_ms`` — the server's
+jitterable backoff hint; the request was shed at admission and never
+executed, so retrying it is always safe.
 
 Versioning: within one :data:`VERSION`, changes are additive only (new
 verbs, new optional fields, new error codes); anything that would break an
@@ -100,6 +103,7 @@ from ..exceptions import (
     RemoteError,
     ReproError,
     ServeProtocolError,
+    ServerOverloadedError,
     UnknownInstanceError,
     WorkerUnavailableError,
 )
@@ -127,6 +131,9 @@ ERROR_CODES = {
                 "the delta's strict conflict rules; nothing was applied",
     "unknown-instance": "the named instance ref is not held (never put, "
                         "dropped, or evicted); re-put and retry",
+    "overloaded": "the server shed the request at admission (an inflight/"
+                  "queue budget is exhausted); it was not executed — retry "
+                  "after the envelope's retry_after_ms hint",
     "internal": "unexpected server-side failure",
 }
 
@@ -286,14 +293,19 @@ def ok_response(request_id: int | str, result: dict) -> dict:
 
 
 def error_response(
-    request_id: int | str | None, code: str, message: str
+    request_id: int | str | None,
+    code: str,
+    message: str,
+    retry_after_ms: int | None = None,
 ) -> dict:
+    """The structured error envelope.  ``retry_after_ms`` is additive
+    within :data:`VERSION`: only ``overloaded`` envelopes carry it, and
+    clients that predate it simply ignore the extra field."""
     assert code in ERROR_CODES, f"unknown error code {code!r}"
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+    error: dict = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = int(retry_after_ms)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 class UnsupportedVerbError(ServeProtocolError):
@@ -314,6 +326,8 @@ def error_code_for(error: Exception) -> str:
         return "unavailable"
     if isinstance(error, UnknownInstanceError):
         return "unknown-instance"
+    if isinstance(error, ServerOverloadedError):
+        return "overloaded"
     if isinstance(error, DeltaConflictError):
         return "conflict"
     if isinstance(error, ReproError):
@@ -341,8 +355,16 @@ def decode_response(line: bytes | str) -> tuple[int | str | None, dict]:
     error = data.get("error")
     if not isinstance(error, dict):
         raise ServeProtocolError(f"malformed response frame: {data!r}")
+    retry_after = error.get("retry_after_ms")
     remote = RemoteError(
-        str(error.get("code", "internal")), str(error.get("message", ""))
+        str(error.get("code", "internal")),
+        str(error.get("message", "")),
+        retry_after_ms=(
+            int(retry_after)
+            if isinstance(retry_after, (int, float))
+            and not isinstance(retry_after, bool)
+            else None
+        ),
     )
     remote.request_id = request_id
     raise remote

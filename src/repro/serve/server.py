@@ -47,7 +47,7 @@ from ..api.session import SessionConfig
 from ..db import io as db_io
 from ..db.instance import DatabaseInstance
 from ..engine.metrics import merge_snapshots
-from ..exceptions import ServeProtocolError
+from ..exceptions import ServeProtocolError, ServerOverloadedError
 from ..obs.log import (
     LOG_FORMATS,
     LOG_LEVELS,
@@ -77,9 +77,16 @@ from .protocol import (
 # loop (small frames stay inline: a pool round-trip costs more than the
 # parse).
 _OFFLOAD_FRAME_BYTES = 64 * 1024
+from .autoscale import AutoscaleConfig, Autoscaler, AutoscaleSample
 from .shard import ShardedEngine
 
 _logger = get_logger("serve.server")
+
+#: Verbs the admission budgets apply to: the ones that reach the engine
+#: and can pile up behind it.  Control-plane verbs (ping/stats/metrics/
+#: trace/shutdown) and the registry verbs always answer — an operator
+#: must be able to inspect and drain an overloaded server.
+_BUDGETED_VERBS = frozenset({"decide", "decide_batch"})
 
 
 @dataclass(frozen=True)
@@ -107,6 +114,12 @@ class ServerConfig:
     log_level: str = "warning"  # repro.obs.log level for the server process
     log_format: str = "human"  # "human" or "json"
     span_log: str | None = None  # JSON-lines span sink (front process only)
+    # -- admission control (0 disables a budget; see docs/deployment.md) --
+    max_inflight: int = 0  # global admitted-but-unanswered decide budget
+    max_connection_inflight: int = 0  # the same budget, per connection
+    retry_after_ms: int = 50  # base of the overloaded envelope's hint
+    # -- metrics-driven autoscaling (fleet fronts only) --
+    autoscale: AutoscaleConfig | None = None
 
     def __post_init__(self) -> None:
         if self.log_level not in LOG_LEVELS:
@@ -141,6 +154,25 @@ class ServerConfig:
         if self.store_bytes < 1:
             raise ValueError(
                 f"store_bytes must be positive, got {self.store_bytes}"
+            )
+        if self.max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be non-negative (0 disables), got "
+                f"{self.max_inflight}"
+            )
+        if self.max_connection_inflight < 0:
+            raise ValueError(
+                f"max_connection_inflight must be non-negative (0 "
+                f"disables), got {self.max_connection_inflight}"
+            )
+        if self.retry_after_ms < 1:
+            raise ValueError(
+                f"retry_after_ms must be positive, got {self.retry_after_ms}"
+            )
+        if self.autoscale is not None and self.processes < 1:
+            raise ValueError(
+                "autoscale needs a process fleet (processes >= 1): thread "
+                "shards cannot be resized live"
             )
 
     def session_config(self) -> SessionConfig:
@@ -185,6 +217,10 @@ class ServerConfig:
             # so concurrent workers never interleave on one file
             log_level=self.log_level,
             log_format=self.log_format,
+            # admission stays off on workers (the defaults): the front
+            # already shed what the fleet cannot absorb, and a worker
+            # shedding a forwarded micro-batch would surface as a spurious
+            # error to requests the front *did* admit
         )
 
 
@@ -197,6 +233,8 @@ class ServerMetrics:
         self.errors = 0
         self.micro_batches = 0
         self.batched_requests = 0  # requests that shared their micro-batch
+        self.shed = 0  # requests rejected at admission (overloaded)
+        self.shed_scopes: dict[str, int] = {}  # which budget tripped
         self.verbs: dict[str, int] = {}
 
     def count_request(self, verb: str) -> None:
@@ -214,6 +252,14 @@ class ServerMetrics:
             if size > 1:
                 self.batched_requests += size
 
+    def count_shed(self, scope: str) -> None:
+        """One request shed at admission (*scope*: which budget tripped,
+        ``server`` or ``connection``).  The generic error counter still
+        ticks separately — a shed answer is an error envelope too."""
+        with self._lock:
+            self.shed += 1
+            self.shed_scopes[scope] = self.shed_scopes.get(scope, 0) + 1
+
     def to_dict(self) -> dict:
         with self._lock:
             return {
@@ -221,6 +267,8 @@ class ServerMetrics:
                 "errors": self.errors,
                 "micro_batches": self.micro_batches,
                 "batched_requests": self.batched_requests,
+                "shed": self.shed,
+                "shed_scopes": dict(self.shed_scopes),
                 "verbs": dict(self.verbs),
             }
 
@@ -272,6 +320,13 @@ class MicroBatcher:
         self._linger = linger_seconds
         self._pending: dict[str, _PendingGroup] = {}
         self._inflight: set[asyncio.Future] = set()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests sitting in open (not yet flushed) micro-batch groups —
+        the ``repro_server_queue_depth`` gauge and the autoscaler's
+        primary scale-up signal."""
+        return sum(len(group.items) for group in self._pending.values())
 
     async def submit(
         self,
@@ -409,6 +464,15 @@ class MicroBatcher:
             await asyncio.gather(*self._inflight, return_exceptions=True)
 
 
+class _ConnectionState:
+    """Per-connection admission bookkeeping (event-loop-confined)."""
+
+    __slots__ = ("inflight",)
+
+    def __init__(self) -> None:
+        self.inflight = 0
+
+
 class CertaintyServer:
     """The asyncio JSON-lines server over a sharded engine.
 
@@ -417,6 +481,13 @@ class CertaintyServer:
     :class:`~repro.serve.fleet.FleetEngine` (process-per-shard workers) —
     the two expose the same decide/stats surface, so everything above the
     engine (batching, verbs, observability, drain) is identical.
+
+    With ``max_inflight``/``max_connection_inflight`` set, the engine
+    verbs are admission-controlled: a request arriving while the budget
+    is exhausted is *shed* — answered immediately with the ``overloaded``
+    envelope and a ``retry_after_ms`` hint — instead of queued without
+    bound.  Every counter lives on the event loop, so admission is
+    race-free without locks.
     """
 
     def __init__(self, config: ServerConfig | None = None):
@@ -460,6 +531,15 @@ class CertaintyServer:
         self._stop = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0  # admitted engine requests not yet answered
+        self._autoscaler: Autoscaler | None = None
+        self._autoscale_task: asyncio.Task | None = None
+        if self.config.autoscale is not None:
+            self._autoscaler = Autoscaler(
+                self.config.autoscale,
+                resize=self._sharded.resize,
+                initial_workers=self._sharded.n_shards,
+            )
 
     @property
     def sharded_engine(self) -> ShardedEngine:
@@ -484,6 +564,10 @@ class CertaintyServer:
             self.config.port,
             limit=self.config.max_frame_bytes,
         )
+        if self._autoscaler is not None:
+            self._autoscale_task = asyncio.get_running_loop().create_task(
+                self._autoscale_loop()
+            )
 
     async def serve_until_stopped(self) -> None:
         """Serve until :meth:`request_shutdown`, then drain and release."""
@@ -494,6 +578,10 @@ class CertaintyServer:
         # Python >= 3.12.1 ``wait_closed()`` blocks until every connection
         # handler finishes, so the handlers must be unblocked first.
         self._server.close()
+        if self._autoscale_task is not None:
+            # the loop exits on the stop event; awaiting it here means no
+            # resize is mid-flight when the engine is closed below
+            await self._autoscale_task
         await self._batcher.drain()
         for writer in list(self._writers):  # EOF every connection loop
             writer.close()
@@ -510,6 +598,60 @@ class CertaintyServer:
     def request_shutdown(self) -> None:
         self._stop.set()
 
+    # -- the autoscale loop ----------------------------------------------------
+
+    async def _autoscale_loop(self) -> None:
+        """Sample → decide → (maybe) resize, every ``interval_seconds``.
+
+        The loop-confined gauges (queue depth, inflight) are read here on
+        the event loop; the tier p99s (wire calls to every worker) and
+        the resize itself run on the thread pool — the loop never blocks
+        on either.
+        """
+        autoscaler = self._autoscaler
+        assert autoscaler is not None
+        targets = autoscaler.config.tier_p99_targets_ms
+        while True:
+            try:
+                await asyncio.wait_for(
+                    self._stop.wait(),
+                    timeout=autoscaler.config.interval_seconds,
+                )
+                return  # shutting down
+            except asyncio.TimeoutError:
+                pass  # interval elapsed: take a sample
+
+            def _sample_and_observe(
+                queue_depth=self._batcher.queue_depth,
+                inflight=self._inflight,
+                shed=self.metrics.to_dict()["shed"],
+                workers=self._sharded.n_shards,
+            ):
+                tier_p99_ms: dict[str, float] = {}
+                if targets:  # worker wire calls — only when targets exist
+                    stats = self._sharded.merged_stats()
+                    for report in stats.tiers:
+                        p99 = report.metrics.p99_seconds
+                        if p99 is not None:
+                            tier_p99_ms[report.tier] = p99 * 1e3
+                return autoscaler.observe(AutoscaleSample(
+                    queue_depth=queue_depth,
+                    inflight=inflight,
+                    shed=shed,
+                    workers=workers,
+                    tier_p99_ms=tier_p99_ms,
+                ))
+
+            try:
+                await self._run_on_pool(_sample_and_observe)
+            except Exception as error:
+                # a failed tick (e.g. a worker restarting mid-sample) must
+                # not kill the loop — the next interval samples again
+                log_event(
+                    _logger, logging.WARNING, "autoscale.tick_failed",
+                    error=type(error).__name__, detail=str(error),
+                )
+
     # -- the connection loop -------------------------------------------------
 
     async def _handle_connection(
@@ -517,6 +659,7 @@ class CertaintyServer:
     ) -> None:
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        state = _ConnectionState()
         connection = asyncio.current_task()
         if connection is not None:
             self._connections.add(connection)
@@ -546,7 +689,7 @@ class CertaintyServer:
                 if not line:
                     break
                 task = asyncio.create_task(
-                    self._serve_frame(line, writer, write_lock)
+                    self._serve_frame(line, writer, write_lock, state)
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -572,6 +715,7 @@ class CertaintyServer:
         line: bytes,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        state: _ConnectionState,
     ) -> None:
         request_id: int | str | None = None
         trace_id: str | None = None
@@ -595,12 +739,29 @@ class CertaintyServer:
             self.metrics.count_request(
                 request.verb if request.verb in VERBS else "<unknown>"
             )
-            result = await self._dispatch(request, offload=offload)
+            budgeted = verb in _BUDGETED_VERBS
+            if budgeted:
+                self._admit(verb, state)  # raises ServerOverloadedError
+                state.inflight += 1
+                self._inflight += 1
+            try:
+                result = await self._dispatch(request, offload=offload)
+            finally:
+                if budgeted:
+                    state.inflight -= 1
+                    self._inflight -= 1
             response = ok_response(request.id, result)
         except Exception as error:  # every failure becomes an envelope
             self.metrics.count_error()
             error_code = error_code_for(error)
-            response = error_response(request_id, error_code, str(error))
+            response = error_response(
+                request_id, error_code, str(error),
+                retry_after_ms=(
+                    getattr(error, "retry_after_ms", None)
+                    if error_code == "overloaded"
+                    else None
+                ),
+            )
         respond_start = time.perf_counter()
         async with write_lock:
             try:
@@ -625,6 +786,47 @@ class CertaintyServer:
                 error=error_code,
                 ms=round((time.perf_counter() - started) * 1e3, 3),
             )
+
+    # -- admission control ---------------------------------------------------
+
+    def _admit(self, verb: str, state: _ConnectionState) -> None:
+        """Admit or shed one engine request against the inflight budgets.
+
+        Shedding happens *before* any decoding or queueing work, so a
+        shed request costs the server one envelope write and nothing
+        else — and costs the client nothing but the hinted wait: the
+        request was never executed, so retrying is unconditionally safe.
+        The ``retry_after_ms`` hint scales with how far over budget the
+        server is (bounded, so a deep overload never hints an hour).
+        """
+        config = self.config
+        if config.max_inflight and self._inflight >= config.max_inflight:
+            scope, budget, depth = "server", config.max_inflight, self._inflight
+        elif (
+            config.max_connection_inflight
+            and state.inflight >= config.max_connection_inflight
+        ):
+            scope, budget, depth = (
+                "connection", config.max_connection_inflight, state.inflight
+            )
+        else:
+            return
+        pressure = min(max(depth / budget, 1.0), 8.0)
+        retry_after = max(1, int(config.retry_after_ms * pressure))
+        self.metrics.count_shed(scope)
+        if _logger.isEnabledFor(logging.INFO):
+            log_event(
+                _logger, logging.INFO, "server.shed",
+                verb=verb, scope=scope, budget=budget,
+                inflight=self._inflight,
+                queue_depth=self._batcher.queue_depth,
+                retry_after_ms=retry_after,
+            )
+        raise ServerOverloadedError(
+            f"overloaded: the {scope} inflight budget ({budget}) is "
+            f"exhausted; retry after {retry_after} ms",
+            retry_after_ms=retry_after,
+        )
 
     # -- verb dispatch -------------------------------------------------------
 
@@ -858,9 +1060,16 @@ class CertaintyServer:
             "max_batch": self.config.max_batch,
             "linger_ms": self.config.linger_ms,
             "fo_backend": self.config.fo_backend,
+            # the admission gauges + budgets (0 budget = unbounded)
+            "inflight": self._inflight,
+            "queue_depth": self._batcher.queue_depth,
+            "max_inflight": self.config.max_inflight,
+            "max_connection_inflight": self.config.max_connection_inflight,
         }
         if self._store is not None:  # fleet workers report their own slices
             server_block["store"] = self._store.stats()
+        if self._autoscaler is not None:
+            server_block["autoscale"] = self._autoscaler.status()
         return {
             "server": server_block,
             "shards": [entry.to_dict() for entry in shard_stats],
@@ -906,10 +1115,26 @@ class CertaintyServer:
             ("micro_batches", "Engine batches flushed by the batcher."),
             ("batched_requests",
              "Requests that shared their micro-batch with others."),
+            ("shed",
+             "Requests shed at admission (overloaded envelopes)."),
         ):
             lines.append(f"# HELP repro_server_{name}_total {help_text}")
             lines.append(f"# TYPE repro_server_{name}_total counter")
             lines.append(f"repro_server_{name}_total {counters[name]}")
+        for name, help_text, value in (
+            ("inflight",
+             "Admitted engine requests currently in flight.",
+             self._inflight),
+            ("queue_depth",
+             "Requests waiting in open micro-batch groups.",
+             self._batcher.queue_depth),
+            ("workers",
+             "Shards (or fleet workers) currently serving.",
+             self._sharded.n_shards),
+        ):
+            lines.append(f"# HELP repro_server_{name} {help_text}")
+            lines.append(f"# TYPE repro_server_{name} gauge")
+            lines.append(f"repro_server_{name} {value}")
         if phases:
             lines.append(
                 "# HELP repro_phase_latency_seconds Request phase latency "

@@ -1,0 +1,263 @@
+"""Admission control: budgets, overloaded envelopes, overload telemetry.
+
+Covers the server half of the overload contract: decide verbs past an
+inflight budget are shed *at admission* with a structured ``overloaded``
+envelope carrying ``retry_after_ms``; control-plane verbs always answer;
+sheds land in the ``shed`` counters and ``repro_server_*`` gauge/counter
+families — and never in the per-tier engine latency percentiles, which
+only ever see admitted work (the satellite guarantee: an error-heavy
+overload stream cannot skew p99).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import Problem
+from repro.engine.engine import EngineStats, merge_engine_stats
+from repro.exceptions import RemoteError
+from repro.serve import (
+    AsyncServeClient,
+    BackgroundServer,
+    ServeClient,
+    ServerConfig,
+    ServerMetrics,
+)
+from repro.workloads.random_instances import (
+    RandomInstanceParams,
+    random_instances_for_query,
+)
+
+BURST = 24
+
+
+@pytest.fixture(scope="module")
+def slow_item():
+    """One FO problem whose decide costs real milliseconds, so a
+    pipelined burst reliably overlaps at the admission gate."""
+    problem = Problem.of(
+        "R(x | y)", "S(y | 'adm')", fks=["R[2]->S"], name="admission"
+    )
+    db = next(
+        iter(
+            random_instances_for_query(
+                problem.query, problem.fks, 1, seed=7,
+                params=RandomInstanceParams(
+                    blocks_per_relation=150, max_block_size=3,
+                    domain_size=300,
+                ),
+            )
+        )
+    )
+    return problem, db
+
+
+def _burst(host, port, problem, db, n=BURST, retries=0):
+    """Fire *n* pipelined decides on ONE connection; return
+    (ok, overloaded envelopes)."""
+
+    async def drive():
+        async with await AsyncServeClient.connect(
+            host, port, retries=retries
+        ) as client:
+            results = await asyncio.gather(
+                *[client.decide(problem, db) for _ in range(n)],
+                return_exceptions=True,
+            )
+        ok = [r for r in results if isinstance(r, dict)]
+        shed = [
+            r for r in results
+            if isinstance(r, RemoteError) and r.code == "overloaded"
+        ]
+        other = [
+            r for r in results
+            if isinstance(r, BaseException)
+            and not (isinstance(r, RemoteError) and r.code == "overloaded")
+        ]
+        assert not other, f"unexpected failures: {other!r}"
+        return ok, shed
+
+    return asyncio.run(drive())
+
+
+class TestConnectionBudget:
+    def test_pipelined_burst_past_budget_sheds_with_retry_after(
+        self, slow_item
+    ):
+        problem, db = slow_item
+        config = ServerConfig(
+            shards=1, max_connection_inflight=1, retry_after_ms=30
+        )
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            ok, shed = _burst(host, port, problem, db)
+            with ServeClient(host, port) as control:
+                stats = control.stats()["server"]
+        assert ok, "the first admitted request must be answered"
+        assert shed, "a 1-deep budget must shed a pipelined burst"
+        assert len(ok) + len(shed) == BURST
+        for envelope in shed:
+            assert envelope.retry_after_ms >= 30  # the hint, maybe scaled
+            assert "connection" in str(envelope)
+        assert stats["shed"] == len(shed)
+        assert stats["shed_scopes"] == {"connection": len(shed)}
+
+    def test_separate_connections_have_separate_budgets(self, slow_item):
+        problem, db = slow_item
+        config = ServerConfig(shards=1, max_connection_inflight=1)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+
+            async def two_clients():
+                a = await AsyncServeClient.connect(host, port)
+                b = await AsyncServeClient.connect(host, port)
+                try:
+                    # one request per connection: nobody exceeds their
+                    # own budget, so nothing is shed
+                    results = await asyncio.gather(
+                        a.decide(problem, db), b.decide(problem, db)
+                    )
+                finally:
+                    await a.close()
+                    await b.close()
+                return results
+
+            results = asyncio.run(two_clients())
+        assert all(r["decision"]["certain"] in (True, False)
+                   for r in results)
+
+
+class TestGlobalBudget:
+    def test_global_budget_sheds_across_connections(self, slow_item):
+        problem, db = slow_item
+        config = ServerConfig(shards=1, max_inflight=2, retry_after_ms=10)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            ok, shed = _burst(host, port, problem, db)
+            with ServeClient(host, port) as control:
+                stats = control.stats()["server"]
+        assert ok and shed
+        assert stats["shed_scopes"] == {"server": len(shed)}
+        # pressure scaling: the hint never exceeds 8x the base
+        for envelope in shed:
+            assert 10 <= envelope.retry_after_ms <= 80
+
+    def test_control_verbs_answer_while_saturated(self, slow_item):
+        problem, db = slow_item
+        config = ServerConfig(shards=1, max_inflight=1)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+
+            async def saturate_and_inspect():
+                async with await AsyncServeClient.connect(
+                    host, port
+                ) as client:
+                    decides = [
+                        asyncio.ensure_future(client.decide(problem, db))
+                        for _ in range(8)
+                    ]
+                    # un-budgeted verbs answer even mid-overload: an
+                    # operator can always inspect a drowning server
+                    pong = await client.ping()
+                    stats = await client.stats()
+                    exposition = await client.metrics()
+                    await asyncio.gather(*decides, return_exceptions=True)
+                return pong, stats, exposition
+
+            pong, stats, exposition = asyncio.run(saturate_and_inspect())
+        assert pong["pong"] is True
+        assert "server" in stats
+        assert "repro_server_inflight" in exposition
+
+    def test_budgets_off_by_default(self, slow_item):
+        problem, db = slow_item
+        with BackgroundServer(ServerConfig(shards=1)) as server:
+            ok, shed = _burst(*server.address, problem, db)
+        assert len(ok) == BURST
+        assert not shed
+
+
+class TestClientRetries:
+    def test_async_retries_ride_out_the_overload(self, slow_item):
+        problem, db = slow_item
+        config = ServerConfig(
+            shards=1, max_connection_inflight=2, retry_after_ms=5
+        )
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            ok, shed = _burst(
+                host, port, problem, db, n=12, retries=8
+            )
+        # with retries honoring retry-after, every request eventually
+        # lands: the burst serializes instead of failing
+        assert len(ok) == 12
+        assert not shed
+
+
+class TestOverloadTelemetry:
+    def test_prometheus_families_and_stats_gauges(self, slow_item):
+        problem, db = slow_item
+        config = ServerConfig(shards=1, max_inflight=1)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            _burst(host, port, problem, db)
+            with ServeClient(host, port) as control:
+                stats = control.stats()["server"]
+                exposition = control.metrics()
+        assert "# TYPE repro_server_shed_total counter" in exposition
+        assert "# TYPE repro_server_inflight gauge" in exposition
+        assert "# TYPE repro_server_queue_depth gauge" in exposition
+        assert "# TYPE repro_server_workers gauge" in exposition
+        assert "repro_server_workers 1" in exposition
+        # settled after the burst: gauges read zero, the counter stuck
+        assert stats["inflight"] == 0
+        assert stats["queue_depth"] == 0
+        assert stats["shed"] > 0
+        assert stats["max_inflight"] == 1
+
+    def test_server_metrics_counts_shed_scopes(self):
+        metrics = ServerMetrics()
+        metrics.count_shed("server")
+        metrics.count_shed("connection")
+        metrics.count_shed("connection")
+        document = metrics.to_dict()
+        assert document["shed"] == 3
+        assert document["shed_scopes"] == {"server": 1, "connection": 2}
+
+    def test_sheds_never_skew_tier_percentiles(self, slow_item):
+        """The satellite guarantee: an error-heavy overload stream lands
+        in shed counters, not in the per-tier latency distribution."""
+        problem, db = slow_item
+        config = ServerConfig(shards=2, max_inflight=1, retry_after_ms=5)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            ok, shed = _burst(host, port, problem, db)
+            with ServeClient(host, port) as control:
+                payload = control.stats()
+        assert shed, "the test needs real overload to mean anything"
+        merged = merge_engine_stats(
+            EngineStats.from_dict(doc) for doc in payload["shards"]
+        )
+        tier_evals = sum(t.metrics.evaluations for t in merged.tiers)
+        tier_errors = sum(t.metrics.errors for t in merged.tiers)
+        # only admitted decides ever reach the engine: the tier
+        # distribution counts exactly the ok responses, and the shed
+        # excess shows up in the server's shed counter instead
+        assert tier_evals == len(ok)
+        assert tier_errors == 0
+        assert payload["server"]["shed"] == len(shed)
+
+    def test_merge_engine_stats_keeps_tier_shape_across_shards(
+        self, slow_item
+    ):
+        problem, db = slow_item
+        with BackgroundServer(ServerConfig(shards=2)) as server:
+            ok, _ = _burst(*server.address, problem, db, n=6)
+            with ServeClient(*server.address) as control:
+                payload = control.stats()
+        merged = merge_engine_stats(
+            EngineStats.from_dict(doc) for doc in payload["shards"]
+        )
+        fo = {t.tier: t for t in merged.tiers}["fo"]
+        assert fo.metrics.evaluations == len(ok) == 6
+        assert fo.metrics.p99_seconds is not None

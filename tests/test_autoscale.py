@@ -1,0 +1,230 @@
+"""Autoscaler policy trajectories with a pinned clock.
+
+The policy is a pure function of (sample, internal state, clock), so a
+recording ``resize`` callable plus a hand-advanced clock lets the tests
+assert whole decision trajectories — breach → up, hysteresis band →
+hold, calm run → down, cooldown suppression — deterministically.
+"""
+
+import pytest
+
+from repro.serve import AutoscaleConfig, Autoscaler, AutoscaleSample
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(config=None, workers=1):
+    clock = FakeClock()
+    resizes = []
+    scaler = Autoscaler(
+        config or AutoscaleConfig(),
+        resize=resizes.append,
+        initial_workers=workers,
+        clock=clock,
+    )
+    return scaler, resizes, clock
+
+
+def sample(queue=0, inflight=0, shed=0, workers=1, tiers=None):
+    return AutoscaleSample(
+        queue_depth=queue, inflight=inflight, shed=shed,
+        workers=workers, tier_p99_ms=tiers or {},
+    )
+
+
+class TestScaleUp:
+    def test_queue_pressure_breach_scales_up(self):
+        scaler, resizes, _ = make()
+        decision = scaler.observe(sample(queue=7, inflight=1, workers=1))
+        assert decision.action == "up"
+        assert decision.workers == 2
+        assert "queue pressure" in decision.reason
+        assert resizes == [2]
+
+    def test_pressure_is_per_worker(self):
+        scaler, resizes, _ = make(workers=4)
+        # 8 queued over 4 workers: pressure 2.0 < queue_high 4.0 → hold
+        decision = scaler.observe(sample(queue=8, workers=4))
+        assert decision.action == "hold"
+        assert resizes == []
+
+    def test_shed_delta_breach_scales_up(self):
+        config = AutoscaleConfig(shed_high=5, queue_high=1e9)
+        scaler, resizes, clock = make(config)
+        # first tick establishes the cumulative baseline: no delta yet
+        assert scaler.observe(sample(shed=100)).action == "hold"
+        clock.tick(10)
+        decision = scaler.observe(sample(shed=106))
+        assert decision.action == "up"
+        assert decision.shed_delta == 6
+        assert "shed" in decision.reason
+        assert resizes == [2]
+
+    def test_tier_p99_target_breach_scales_up(self):
+        config = AutoscaleConfig(
+            queue_high=1e9, shed_high=0,
+            tier_p99_targets_ms={"fo": 10.0},
+        )
+        scaler, resizes, _ = make(config)
+        assert scaler.observe(
+            sample(tiers={"fo": 9.0})
+        ).action == "hold"
+        decision = scaler.observe(sample(tiers={"fo": 25.0}))
+        assert decision.action == "up"
+        assert "fo p99" in decision.reason
+
+    def test_up_steps_and_clamps_at_max(self):
+        config = AutoscaleConfig(
+            max_workers=4, scale_up_step=2, cooldown_seconds=0.0
+        )
+        scaler, resizes, clock = make(config)
+        assert scaler.observe(sample(queue=40, workers=1)).workers == 3
+        clock.tick(1)
+        assert scaler.observe(sample(queue=40, workers=3)).workers == 4
+        clock.tick(1)
+        held = scaler.observe(sample(queue=40, workers=4))
+        assert held.action == "hold"
+        assert "at max_workers" in held.reason
+        assert resizes == [3, 4]
+
+    def test_cooldown_suppresses_back_to_back_ups(self):
+        config = AutoscaleConfig(max_workers=8, cooldown_seconds=3.0)
+        scaler, resizes, clock = make(config)
+        assert scaler.observe(sample(queue=40, workers=1)).action == "up"
+        clock.tick(1.0)  # still cooling
+        held = scaler.observe(sample(queue=40, workers=2))
+        assert held.action == "hold"
+        assert "cooldown" in held.reason
+        clock.tick(2.5)  # past the cooldown
+        assert scaler.observe(sample(queue=40, workers=2)).action == "up"
+        assert resizes == [2, 3]
+
+
+class TestScaleDown:
+    def test_down_only_after_consecutive_calm_ticks(self):
+        config = AutoscaleConfig(
+            scale_down_consecutive=3, cooldown_seconds=0.0
+        )
+        scaler, resizes, _ = make(config, workers=3)
+        assert scaler.observe(sample(workers=3)).action == "hold"
+        assert scaler.observe(sample(workers=3)).action == "hold"
+        decision = scaler.observe(sample(workers=3))
+        assert decision.action == "down"
+        assert decision.workers == 2
+        assert resizes == [2]
+
+    def test_mid_band_pressure_resets_the_calm_run(self):
+        config = AutoscaleConfig(
+            queue_low=0.5, queue_high=4.0,
+            scale_down_consecutive=2, cooldown_seconds=0.0,
+        )
+        scaler, resizes, _ = make(config, workers=2)
+        assert scaler.observe(sample(workers=2)).action == "hold"
+        # pressure 1.0 sits between the watermarks: neither calm nor breach
+        mid = scaler.observe(sample(queue=2, workers=2))
+        assert mid.action == "hold"
+        assert "within" in mid.reason
+        # the calm run starts over: one calm tick is not enough
+        assert scaler.observe(sample(workers=2)).action == "hold"
+        assert scaler.observe(sample(workers=2)).action == "down"
+        assert resizes == [1]
+
+    def test_sheds_during_calm_pressure_block_scale_down(self):
+        config = AutoscaleConfig(
+            scale_down_consecutive=1, cooldown_seconds=0.0
+        )
+        scaler, resizes, clock = make(config, workers=2)
+        scaler.observe(sample(workers=2, shed=0))
+        clock.tick(1)
+        # pressure is calm but sheds arrived: not a calm interval
+        # (shed_high=1 also makes it a breach → up, clamped by max=4)
+        decision = scaler.observe(sample(workers=2, shed=3))
+        assert decision.action != "down"
+
+    def test_never_below_min_workers(self):
+        config = AutoscaleConfig(
+            min_workers=2, scale_down_consecutive=1, cooldown_seconds=0.0
+        )
+        scaler, resizes, _ = make(config, workers=2)
+        for _ in range(5):
+            assert scaler.observe(sample(workers=2)).action == "hold"
+        assert resizes == []
+
+    def test_full_burst_trajectory(self):
+        """The E19b shape: idle → burst → up → drain → calm → down."""
+        config = AutoscaleConfig(
+            min_workers=1, max_workers=2,
+            scale_down_consecutive=2, cooldown_seconds=1.0,
+        )
+        scaler, resizes, clock = make(config, workers=1)
+        trajectory = []
+        plan = [
+            sample(queue=0, workers=1),  # idle
+            sample(queue=9, inflight=2, workers=1),  # burst hits
+            sample(queue=4, inflight=2, workers=2),  # cooling + draining
+            sample(queue=0, workers=2),  # calm 1
+            sample(queue=0, workers=2),  # calm 2 → down
+            sample(queue=0, workers=1),  # idle again, at min
+        ]
+        for s in plan:
+            trajectory.append(scaler.observe(s).action)
+            clock.tick(2.0)
+        assert trajectory == ["hold", "up", "hold", "hold", "down", "hold"]
+        assert resizes == [2, 1]
+
+
+class TestIntrospection:
+    def test_status_reports_bounds_resizes_and_decision_ring(self):
+        config = AutoscaleConfig(
+            min_workers=1, max_workers=4, cooldown_seconds=0.0
+        )
+        scaler, _, clock = make(config)
+        scaler.observe(sample(queue=40, workers=1))
+        clock.tick(1)
+        scaler.observe(sample(queue=1, workers=2))
+        status = scaler.status()
+        assert status["workers"] == 2
+        assert status["min_workers"] == 1
+        assert status["max_workers"] == 4
+        assert status["resizes"] == 1
+        assert status["last_decision"]["action"] == "hold"
+        # the ring keeps only non-hold decisions
+        assert [d["action"] for d in status["decisions"]] == ["up"]
+
+    def test_decision_to_dict_shape(self):
+        scaler, _, _ = make()
+        decision = scaler.observe(sample(queue=40, workers=1))
+        document = decision.to_dict()
+        assert document == {
+            "action": "up",
+            "workers": 2,
+            "reason": decision.reason,
+            "pressure": 40.0,
+            "shed_delta": 0,
+        }
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_workers": 0},
+            {"min_workers": 3, "max_workers": 2},
+            {"interval_seconds": 0},
+            {"queue_low": 5.0, "queue_high": 4.0},
+            {"scale_up_step": 0},
+            {"scale_down_consecutive": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscaleConfig(**kwargs)

@@ -1,0 +1,177 @@
+"""Backoff policy and client retry-schedule shape.
+
+The satellite contract: reconnect and overloaded retries share one
+capped-exponential-plus-jitter policy, the ``retry_after_ms`` hint is a
+*floor* on the jittered wait (never rounded down below what the server
+asked for), and the schedule's shape — doubling from ``base_ms`` to
+``cap_ms`` — is assertable deterministically with ``jitter=0``.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import RemoteError, ServeProtocolError
+from repro.serve import BackoffPolicy, ServeClient, backoff_delay_seconds
+from repro.serve.backoff import BackoffPolicy as _ReExport
+
+
+class TestBackoffPolicy:
+    def test_deterministic_schedule_doubles_to_cap(self):
+        policy = BackoffPolicy(base_ms=50, cap_ms=400, jitter=0.0)
+        delays = [policy.delay_ms(attempt) for attempt in range(6)]
+        assert delays == [50, 100, 200, 400, 400, 400]
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = BackoffPolicy(base_ms=50, cap_ms=2000, jitter=0.0)
+        assert policy.delay_ms(10_000) == 2000
+
+    def test_jitter_stays_within_band(self):
+        policy = BackoffPolicy(base_ms=100, cap_ms=1000, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(5):
+            full = min(100 * 2**attempt, 1000)
+            for _ in range(50):
+                delay = policy.delay_ms(attempt, rng=rng)
+                assert 0.5 * full <= delay <= full
+
+    def test_retry_after_floor_wins_over_small_backoff(self):
+        policy = BackoffPolicy(base_ms=10, cap_ms=100, jitter=1.0)
+        rng = random.Random(3)
+        for _ in range(50):
+            seconds = backoff_delay_seconds(
+                0, policy, retry_after_ms=80, rng=rng
+            )
+            assert seconds >= 0.080
+
+    def test_delay_seconds_conversion(self):
+        policy = BackoffPolicy(base_ms=50, cap_ms=400, jitter=0.0)
+        assert backoff_delay_seconds(1, policy) == pytest.approx(0.100)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_ms": 0},
+            {"base_ms": -1},
+            {"base_ms": 100, "cap_ms": 50},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_reexport_is_the_same_class(self):
+        assert _ReExport is BackoffPolicy
+
+
+def _offline_client(retries: int, policy: BackoffPolicy) -> ServeClient:
+    """A ServeClient that never dialed anywhere: transport stubbed out."""
+    client = ServeClient.__new__(ServeClient)
+    client._host, client._port = "stub", 0
+    client._timeout = None
+    client._retries = retries
+    client._backoff = policy
+    client._rng = random.Random(0)
+    client._closed = False
+    import itertools
+
+    client._ids = itertools.count(1)
+    client._sock = client._file = None
+    return client
+
+
+class TestClientRetrySchedule:
+    def test_overloaded_retries_sleep_retry_after_floored_schedule(self):
+        policy = BackoffPolicy(base_ms=50, cap_ms=400, jitter=0.0)
+        client = _offline_client(retries=4, policy=policy)
+        sleeps: list[float] = []
+        client._sleep = sleeps.append
+        attempts = 0
+
+        def shed_then_answer(*args):
+            nonlocal attempts
+            attempts += 1
+            if attempts <= 3:
+                raise RemoteError("overloaded", "busy", retry_after_ms=120)
+            return {"pong": True}
+
+        client._cycle = shed_then_answer
+        client.reconnect = lambda: pytest.fail(
+            "overloaded retries must stay on the same connection"
+        )
+        assert client.request("ping") == {"pong": True}
+        # attempts 0,1 back off below the 120 ms hint → floored at it;
+        # attempt 2 would wait 200 ms > hint → the backoff curve wins
+        assert sleeps == [0.120, 0.120, 0.200]
+
+    def test_transport_retries_follow_backoff_and_reconnect(self):
+        policy = BackoffPolicy(base_ms=50, cap_ms=400, jitter=0.0)
+        client = _offline_client(retries=3, policy=policy)
+        sleeps: list[float] = []
+        reconnects = []
+        client._sleep = sleeps.append
+        client.reconnect = lambda: reconnects.append(True)
+        attempts = 0
+
+        def die_then_answer(*args):
+            nonlocal attempts
+            attempts += 1
+            if attempts <= 3:
+                raise ServeProtocolError("server closed the connection")
+            return {"pong": True}
+
+        client._cycle = die_then_answer
+        assert client.request("ping") == {"pong": True}
+        assert sleeps == [0.050, 0.100, 0.200]  # pure doubling, no floor
+        assert len(reconnects) == 3
+
+    def test_exhausted_retries_reraise_overloaded(self):
+        policy = BackoffPolicy(base_ms=1, cap_ms=2, jitter=0.0)
+        client = _offline_client(retries=2, policy=policy)
+        sleeps: list[float] = []
+        client._sleep = sleeps.append
+
+        def always_shed(*args):
+            raise RemoteError("overloaded", "busy", retry_after_ms=5)
+
+        client._cycle = always_shed
+        with pytest.raises(RemoteError) as excinfo:
+            client.request("ping")
+        assert excinfo.value.code == "overloaded"
+        assert excinfo.value.retry_after_ms == 5
+        assert len(sleeps) == 2  # slept before each retry, not the raise
+
+    def test_non_overloaded_envelopes_never_retry(self):
+        client = _offline_client(
+            retries=5, policy=BackoffPolicy(jitter=0.0)
+        )
+        client._sleep = lambda _: pytest.fail("must not sleep")
+        calls = []
+
+        def internal_error(*args):
+            calls.append(True)
+            raise RemoteError("internal", "boom")
+
+        client._cycle = internal_error
+        with pytest.raises(RemoteError):
+            client.request("ping")
+        assert len(calls) == 1
+
+    def test_mutations_without_cas_never_retry_on_overload(self):
+        client = _offline_client(
+            retries=5, policy=BackoffPolicy(jitter=0.0)
+        )
+        client._sleep = lambda _: pytest.fail("must not sleep")
+        calls = []
+
+        def shed(*args):
+            calls.append(True)
+            raise RemoteError("overloaded", "busy", retry_after_ms=9)
+
+        client._cycle = shed
+        with pytest.raises(RemoteError):
+            # instance_drop is a mutation with no CAS: replay_safe says no
+            client.request("instance_drop", instance_ref="r1")
+        assert len(calls) == 1

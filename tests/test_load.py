@@ -1,0 +1,290 @@
+"""The open-loop load harness: schedules, populations, accounting, CLI."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ReproError
+from repro.load import (
+    LoadProfile,
+    SyntheticWorkload,
+    arrival_times,
+    arrivals_from_trace,
+    run_loadgen,
+    zipf_weights,
+)
+from repro.load.harness import LoadReport
+from repro.serve import BackgroundServer, ServerConfig
+
+
+class TestLoadProfile:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_seconds": 0},
+            {"rate_rps": -1},
+            {"schedule": "sawtooth"},
+            {"burst_factor": 0.5},
+            {"burst_start": 0.7, "burst_end": 0.4},
+            {"n_classes": 0},
+            {"zipf_s": -0.1},
+            {"tenants": 0},
+            {"instance_sizes": ()},
+            {"instance_sizes": (2, 0)},
+            {"instance_sizes": (2, 3), "instance_size_weights": (1.0,)},
+            {"connections": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadProfile(**kwargs)
+
+    def test_burst_rate_shape(self):
+        profile = LoadProfile(
+            duration_seconds=10, rate_rps=100, schedule="burst",
+            burst_factor=3.0, burst_start=0.4, burst_end=0.7,
+        )
+        assert profile.rate_at(1.0) == 100
+        assert profile.rate_at(5.0) == 300
+        assert profile.rate_at(8.0) == 100
+
+    def test_diurnal_starts_at_trough_and_peaks_mid_cycle(self):
+        profile = LoadProfile(
+            duration_seconds=10, rate_rps=100, schedule="diurnal",
+            diurnal_cycles=1.0,
+        )
+        assert profile.rate_at(0.0) < 1.0  # the overnight lull
+        assert profile.rate_at(5.0) == pytest.approx(200, rel=1e-6)
+
+
+class TestArrivals:
+    def test_deterministic_in_seed(self):
+        profile = LoadProfile(duration_seconds=3, rate_rps=50, seed=11)
+        assert arrival_times(profile) == arrival_times(profile)
+        other = LoadProfile(duration_seconds=3, rate_rps=50, seed=12)
+        assert arrival_times(profile) != arrival_times(other)
+
+    def test_sorted_within_duration_near_expected_count(self):
+        profile = LoadProfile(duration_seconds=20, rate_rps=100, seed=5)
+        arrivals = arrival_times(profile)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 20 for t in arrivals)
+        # Poisson with mean 2000: ±5 sigma
+        assert abs(len(arrivals) - 2000) < 5 * math.sqrt(2000)
+
+    def test_burst_window_is_denser(self):
+        profile = LoadProfile(
+            duration_seconds=10, rate_rps=100, schedule="burst",
+            burst_factor=4.0, burst_start=0.5, burst_end=0.8, seed=2,
+        )
+        arrivals = arrival_times(profile)
+        inside = sum(1 for t in arrivals if 5 <= t < 8)
+        before = sum(1 for t in arrivals if 0 <= t < 3)
+        # equal-width windows at 4x vs 1x the rate
+        assert inside > 2.5 * before
+
+
+class TestTraceReplay:
+    def test_recovers_per_trace_arrival_gaps(self, tmp_path):
+        spans = [
+            # trace a: two spans; the earlier start is the arrival
+            {"trace_id": "a", "start": 1000.50, "seconds": 0.01},
+            {"trace_id": "a", "start": 1000.48, "seconds": 0.02},
+            {"trace_id": "b", "start": 1001.48, "seconds": 0.01},
+            {"trace_id": "c", "start": 1002.48, "seconds": 0.01},
+        ]
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            "".join(json.dumps(s) + "\n" for s in spans) + "{torn"
+        )
+        offsets = arrivals_from_trace(path)
+        assert offsets == pytest.approx([0.0, 1.0, 2.0])
+        assert arrivals_from_trace(path, speed=2.0) == pytest.approx(
+            [0.0, 0.5, 1.0]
+        )
+
+    def test_rejects_empty_and_missing_logs(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("not json\n[1,2]\n")
+        with pytest.raises(ReproError):
+            arrivals_from_trace(empty)
+        with pytest.raises(ReproError):
+            arrivals_from_trace(tmp_path / "nope.jsonl")
+        with pytest.raises(ReproError):
+            arrivals_from_trace(empty, speed=0)
+
+
+class TestSyntheticWorkload:
+    def test_zipf_weights_normalized_and_skewed(self):
+        weights = zipf_weights(6, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_plan_is_deterministic_in_seed(self):
+        profile = LoadProfile(n_classes=5, tenants=2, seed=9)
+        first = SyntheticWorkload(profile).plan(30)
+        second = SyntheticWorkload(profile).plan(30)
+        assert [
+            (r.label, r.tenant, r.size, r.tier) for r in first
+        ] == [(r.label, r.tenant, r.size, r.tier) for r in second]
+
+    def test_popularity_follows_zipf_rank(self):
+        profile = LoadProfile(n_classes=6, zipf_s=1.4, tenants=1, seed=1)
+        workload = SyntheticWorkload(profile)
+        counts = {}
+        for request in workload.plan(600):
+            counts[request.label] = counts.get(request.label, 0) + 1
+        ranked = workload.class_labels
+        # rank 0 must clearly dominate the tail
+        assert counts[ranked[0]] > 2 * counts.get(ranked[-1], 0)
+
+    def test_tenants_lead_with_different_hot_classes(self):
+        profile = LoadProfile(n_classes=6, zipf_s=2.0, tenants=3, seed=4)
+        workload = SyntheticWorkload(profile)
+        hot = {}
+        for request in workload.plan(900):
+            per = hot.setdefault(request.tenant, {})
+            per[request.label] = per.get(request.label, 0) + 1
+        leaders = {
+            tenant: max(per, key=per.get) for tenant, per in hot.items()
+        }
+        assert len(set(leaders.values())) > 1, (
+            f"tenant hotsets should rotate, all lead with {leaders}"
+        )
+
+    def test_draws_cover_the_configured_sizes(self):
+        profile = LoadProfile(
+            n_classes=3, instance_sizes=(2, 4),
+            instance_size_weights=(0.5, 0.5), seed=0,
+        )
+        sizes = {r.size for r in SyntheticWorkload(profile).plan(60)}
+        assert sizes == {2, 4}
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with BackgroundServer(ServerConfig(shards=2)) as background:
+            yield background.address
+
+    def test_run_reports_per_tier_latency(self, server):
+        host, port = server
+        profile = LoadProfile(
+            duration_seconds=1.0, rate_rps=40, n_classes=5,
+            connections=2, seed=3,
+        )
+        report = run_loadgen(host, port, profile)
+        assert report.sent == report.offered > 0
+        assert report.ok == report.sent
+        assert report.overloaded == report.errors == 0
+        assert report.incomplete == 0
+        assert report.tier_metrics, "ok decides must land in tiers"
+        for snapshot in report.tier_metrics.values():
+            assert snapshot.evaluations > 0
+            assert snapshot.p99_seconds is not None
+        assert sum(
+            s.evaluations for s in report.tier_metrics.values()
+        ) == report.ok
+
+    def test_render_and_to_dict(self, server):
+        host, port = server
+        profile = LoadProfile(
+            duration_seconds=0.5, rate_rps=30, n_classes=4,
+            tenants=2, connections=2, seed=6,
+        )
+        report = run_loadgen(host, port, profile)
+        text = report.render()
+        assert "client-observed latency by tier" in text
+        assert "p99 ms" in text
+        document = report.to_dict()
+        assert document["ok"] == report.ok
+        assert set(document["tiers"]) == set(report.tier_metrics)
+        assert document["tenants"], "per-tenant counts must be reported"
+        json.dumps(document)  # the --json path must serialize
+
+    def test_sheds_counted_not_recorded_as_latency(self, server_overload):
+        host, port = server_overload
+        profile = LoadProfile(
+            duration_seconds=1.0, rate_rps=150, n_classes=4,
+            connections=4, seed=3,
+        )
+        report = run_loadgen(host, port, profile)
+        assert report.overloaded > 0
+        assert report.retry_after_ms_max >= 1
+        # the accounting satellite: sheds are counters, never samples
+        assert sum(
+            s.evaluations for s in report.tier_metrics.values()
+        ) == report.ok
+        assert report.ok + report.overloaded + report.errors == report.sent
+
+    @pytest.fixture(scope="class")
+    def server_overload(self):
+        config = ServerConfig(shards=1, max_inflight=2, retry_after_ms=10)
+        with BackgroundServer(config) as background:
+            yield background.address
+
+    def test_empty_report_renders(self):
+        report = LoadReport(
+            schedule="steady", offered=0, sent=0, ok=0, overloaded=0,
+            errors=0, incomplete=0, duration_seconds=0.0, offered_rps=0.0,
+        )
+        assert "no tiers recorded" in report.render()
+        assert report.completed_rps == 0.0
+        assert report.shed_rate == 0.0
+
+
+class TestCli:
+    def test_loadgen_and_fleet_status_commands(self, capsys):
+        config = ServerConfig(shards=1, max_inflight=2, retry_after_ms=10)
+        with BackgroundServer(config) as background:
+            host, port = background.address
+            exit_code = main([
+                "loadgen", "--connect", f"{host}:{port}",
+                "--duration", "0.6", "--rate", "120",
+                "--schedule", "burst", "--classes", "4",
+                "--connections", "4", "--seed", "3",
+            ])
+            loadgen_out = capsys.readouterr().out
+            status_code = main(
+                ["fleet-status", "--connect", f"{host}:{port}"]
+            )
+            status_out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "overloaded=" in loadgen_out
+        assert "client-observed latency by tier" in loadgen_out
+        assert status_code == 0
+        assert "admission: max_inflight=2" in status_out
+        assert "shed=" in status_out
+        assert "autoscale: off" in status_out
+
+    def test_loadgen_json_output(self, capsys):
+        with BackgroundServer(ServerConfig(shards=1)) as background:
+            host, port = background.address
+            exit_code = main([
+                "loadgen", "--connect", f"{host}:{port}",
+                "--duration", "0.4", "--rate", "40", "--json",
+                "--classes", "3", "--seed", "1",
+            ])
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sent"] > 0
+        assert document["errors"] == 0
+
+    def test_loadgen_rejects_bad_profile(self, capsys):
+        exit_code = main([
+            "loadgen", "--connect", "127.0.0.1:1",
+            "--schedule", "steady", "--rate", "-5",
+        ])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_autoscale_without_processes(self, capsys):
+        exit_code = main([
+            "serve", "--port", "0", "--autoscale", "1:4",
+        ])
+        assert exit_code == 2
+        assert "process fleet" in capsys.readouterr().err

@@ -110,6 +110,43 @@ def check_links(files: list[Path]) -> list[str]:
     return failures
 
 
+#: Topics that must stay documented: doc name → literal strings that
+#: must appear in it.  A renamed metric family or a dropped section
+#: fails here instead of silently rotting.
+REQUIRED_TOPICS = {
+    "deployment.md": (
+        "## Overload and autoscaling",
+        "--max-inflight",
+        "retry_after_ms",
+        "repro loadgen",
+        "--autoscale",
+        "## Measured: E19",
+    ),
+    "observability.md": (
+        "repro_server_shed_total",
+        "repro_server_inflight",
+        "repro_server_queue_depth",
+        "repro_server_workers",
+        "`server.shed`",
+        "`autoscale.decision`",
+    ),
+}
+
+
+def check_required_topics() -> list[str]:
+    failures = []
+    for name, topics in REQUIRED_TOPICS.items():
+        path = REPO_ROOT / "docs" / name
+        if not path.exists():  # reported by the required-files pass
+            continue
+        text = path.read_text()
+        failures.extend(
+            f"docs/{name}: required topic {topic!r} is no longer covered"
+            for topic in topics if topic not in text
+        )
+    return failures
+
+
 def _runnable_snippets(doc: Path) -> list[tuple[int, str]]:
     snippets = []
     lines = doc.read_text().splitlines()
@@ -173,6 +210,7 @@ def main() -> int:
         f"missing required document docs/{path.name}"
         for path in required if not path.exists()
     ]
+    failures += check_required_topics()
     failures += check_links(files)
     failures += check_snippets(files)
     if failures:
