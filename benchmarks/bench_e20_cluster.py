@@ -1,0 +1,160 @@
+"""E20 — distributed fleet: local worker processes vs TCP cluster workers.
+
+Extension experiment, companion to E17c: the `repro.cluster` control
+plane serves the same verbs as the local process fleet, but its workers
+are *joined* over the wire (registration + heartbeats + HMAC auth)
+instead of spawned by a supervisor, and the controller reaches them
+through ``RemoteWorkerHandle``s speaking the client protocol to each
+worker's advertised address.
+
+The experiment drives one decide-cheap mixed stream (8 distinct problem
+classes, the plan-cache-bound regime of E17a) through two deployments at
+1, 2 and 4 shards, both behind the same loopback front and driven by the
+same blocking client:
+
+* **processes-N** — ``repro serve --processes N``: the supervisor spawns
+  N local single-shard workers over private loopback sockets;
+* **cluster-N** — a ``--controller`` front plus N ``--join`` worker
+  agents with shared-secret auth: same wire hops, plus the control
+  plane (membership, heartbeats, auth handshake on every dial).
+
+Answers must be identical everywhere — routing by canonical class digest
+over the same ring guarantees the two fleets agree on placement. The
+table quantifies what the control plane costs on top of the process
+fleet's wire overhead (at equal width the two should be close: the auth
+handshake is per-connection, not per-request, and heartbeats are
+off-path). Results land in ``BENCH_e20_cluster.json``.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from benchmarks.result_io import record_result
+from repro.api import Problem
+from repro.cluster import AgentConfig, ClusterMembership, WorkerAgent
+from repro.cluster.controller import controller_factory
+from repro.serve import BackgroundServer, ServeClient, ServerConfig
+from repro.workloads import random_instances_for_query
+
+SECRET = "bench-e20-secret"
+SHARD_COUNTS = (1, 2, 4)
+N_CLASSES = 8
+ROUNDS = 6
+
+
+def _working_set():
+    """Distinct decide-cheap classes (the per-class constant keeps them
+    distinct under canonicalization, spreading them over the ring)."""
+    items = []
+    for i in range(N_CLASSES):
+        problem = Problem.of(
+            "R(x | y)", f"S(y | 'e20-{i}')", fks=["R[2]->S"],
+            name=f"e20-{i}",
+        )
+        db = next(
+            iter(
+                random_instances_for_query(
+                    problem.query, problem.fks, 1, seed=2000 + i
+                )
+            )
+        )
+        items.append((problem, db))
+    return items
+
+
+def _drive(client: ServeClient, items) -> tuple[float, list[bool]]:
+    """Warm every class's plan, then time ROUNDS sequential passes."""
+    for problem, db in items:
+        client.decide(problem, db)
+    answers: list[bool] = []
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for problem, db in items:
+            answers.append(bool(client.decide(problem, db).certain))
+    return time.perf_counter() - start, answers
+
+
+def _process_fleet(n: int, items) -> tuple[float, list[bool]]:
+    config = ServerConfig(processes=n, linger_ms=0.0)
+    with BackgroundServer(config) as background:
+        with ServeClient(*background.address, timeout=60.0) as client:
+            return _drive(client, items)
+
+
+def _tcp_cluster(n: int, items) -> tuple[float, list[bool]]:
+    ctrl_config = ServerConfig(
+        shards=1, linger_ms=0.0, auth_secret=SECRET
+    )
+    factory = controller_factory(
+        membership=ClusterMembership(heartbeat_timeout=30.0)
+    )
+    agents = []
+    with BackgroundServer(ctrl_config, server_factory=factory) as ctrl:
+        host, port = ctrl.address
+        try:
+            for i in range(n):
+                agents.append(
+                    WorkerAgent(
+                        ServerConfig(shards=1, linger_ms=0.0),
+                        AgentConfig(
+                            controller_host=host,
+                            controller_port=port,
+                            name=f"bench-{i}",
+                            auth_secret=SECRET,
+                        ),
+                    ).start()
+                )
+            with ServeClient(
+                host, port, auth_secret=SECRET, timeout=60.0
+            ) as client:
+                status = client.stats()["server"]["cluster"]
+                assert status["workers"] == n, status
+                return _drive(client, items)
+        finally:
+            for agent in agents:
+                agent.stop()
+
+
+def test_e20_cluster_matches_process_fleet_answers():
+    items = _working_set()
+    requests = ROUNDS * len(items)
+    results: dict[tuple[str, int], tuple[float, list[bool]]] = {}
+    rows = []
+    for n in SHARD_COUNTS:
+        results["processes", n] = _process_fleet(n, items)
+        results["cluster", n] = _tcp_cluster(n, items)
+        for mode in ("processes", "cluster"):
+            elapsed, answers = results[mode, n]
+            assert len(answers) == requests
+            record_result(
+                "e20_cluster", f"{mode}-{n}",
+                metrics={
+                    "elapsed_ms": elapsed * 1e3,
+                    "throughput_rps": requests / elapsed,
+                },
+                config={
+                    "mode": mode,
+                    "shards": n,
+                    "requests": requests,
+                    "distinct_classes": len(items),
+                },
+            )
+            rows.append(
+                (
+                    f"{n} × {mode}",
+                    f"{elapsed * 1e3:.0f} ms",
+                    f"{requests / elapsed:,.0f}/s",
+                    f"{elapsed / results['processes', n][0]:.2f}x of "
+                    "local processes",
+                )
+            )
+    report(
+        f"E20: local process fleet vs TCP cluster workers "
+        f"({requests} requests over {len(items)} classes)",
+        rows,
+        ("series", "elapsed", "throughput", "vs same-width processes"),
+    )
+
+    baseline = results["processes", SHARD_COUNTS[0]][1]
+    for key, (_, answers) in results.items():
+        assert answers == baseline, f"{key}: answers must not differ"

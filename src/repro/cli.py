@@ -17,12 +17,18 @@ Commands
                control structured logging and span capture;
                ``--max-inflight`` bounds admission (overload shedding),
                ``--autoscale MIN:MAX`` resizes a process fleet from its
-               own metrics;
+               own metrics; ``--controller`` runs a cluster controller
+               (workers join with ``--join HOST:PORT``), ``--secret``
+               requires the shared-secret handshake (mandatory for
+               non-loopback binds), ``--tls-cert/--tls-key`` add TLS;
 ``loadgen``    offer open-loop load (zipfian multi-tenant mixes, burst/
                diurnal schedules, or ``--replay`` of a recorded span
                log) to a running server and report client-observed
                per-tier latency;
 ``fleet-status``  admission and autoscaler readout of a running server;
+``fleet``      operate a fleet: ``status`` (membership + admission +
+               autoscaler), ``drain NAME`` (graceful worker removal with
+               instance migration), ``resize N``;
 ``trace``      fetch one traced request's phase spans from a running
                server (``repro decide --connect --trace`` prints the id);
 ``slo``        per-tier latency/error report (fo / p16 / p17 / sat /
@@ -175,16 +181,25 @@ def _backend_description(name: str) -> str:
         return name
 
 
-def _parse_endpoint(text: str) -> tuple[str, int]:
+def _parse_endpoint(text: str, flag: str = "--connect") -> tuple[str, int]:
     host, sep, port = text.rpartition(":")
     if not sep or not host:
-        raise ReproError(f"--connect needs HOST:PORT, got {text!r}")
+        raise ReproError(f"{flag} needs HOST:PORT, got {text!r}")
     try:
         return host, int(port)
     except ValueError:
         raise ReproError(
-            f"--connect port must be an integer, got {port!r}"
+            f"{flag} port must be an integer, got {port!r}"
         ) from None
+
+
+def _secret_from_args(args) -> str | None:
+    """The fleet shared secret: ``--secret`` or REPRO_CLUSTER_SECRET."""
+    import os
+
+    return getattr(args, "secret", None) or os.environ.get(
+        "REPRO_CLUSTER_SECRET"
+    ) or None
 
 
 def _cmd_decide(args) -> int:
@@ -213,7 +228,10 @@ def _cmd_decide(args) -> int:
             from .obs.trace import new_trace_id
 
             trace_id = new_trace_id()
-        with ServeClient(host, port, timeout=timeout) as client:
+        with ServeClient(
+            host, port, timeout=timeout,
+            auth_secret=_secret_from_args(args),
+        ) as client:
             decision = client.decide(problem, db, ref=ref, trace_id=trace_id)
         cache = "hit" if decision.cache_hit else "miss"
         extra = ", incremental" if decision.incremental else ""
@@ -356,7 +374,9 @@ def _cmd_trace(args) -> int:
 
     host, port = _parse_endpoint(args.connect)
     timeout = args.timeout if args.timeout > 0 else None
-    with ServeClient(host, port, timeout=timeout) as client:
+    with ServeClient(
+        host, port, timeout=timeout, auth_secret=_secret_from_args(args)
+    ) as client:
         payload = client.trace(args.trace_id)
     spans = payload.get("spans") or []
     _print_trace(payload.get("trace_id", args.trace_id), spans)
@@ -395,7 +415,10 @@ def _cmd_slo(args) -> int:
 
         host, port = _parse_endpoint(args.connect)
         timeout = args.timeout if args.timeout > 0 else None
-        with ServeClient(host, port, timeout=timeout) as client:
+        with ServeClient(
+            host, port, timeout=timeout,
+            auth_secret=_secret_from_args(args),
+        ) as client:
             documents = client.stats().get("shards") or []
     else:
         documents = _slo_documents_from_file(args.file)
@@ -497,7 +520,9 @@ def _remote_client(args):
         )
     host, port = _parse_endpoint(args.connect)
     timeout = args.timeout if args.timeout > 0 else None
-    return ServeClient(host, port, timeout=timeout)
+    return ServeClient(
+        host, port, timeout=timeout, auth_secret=_secret_from_args(args)
+    )
 
 
 def _cmd_instance_put(args) -> int:
@@ -608,6 +633,16 @@ def _autoscale_config_from_args(args):
 def _cmd_serve(args) -> int:
     from .serve import ServerConfig, run_server
 
+    secret = _secret_from_args(args)
+    if args.controller and args.join:
+        print("error: --controller and --join are mutually exclusive "
+              "(a process is one or the other)", file=sys.stderr)
+        return 2
+    if args.controller and args.processes:
+        print("error: --controller routes over workers that join with "
+              "`repro serve --join`; it spawns none (--processes does "
+              "not apply)", file=sys.stderr)
+        return 2
     try:
         config = ServerConfig(
             host=args.host,
@@ -625,13 +660,55 @@ def _cmd_serve(args) -> int:
             max_inflight=args.max_inflight,
             max_connection_inflight=args.max_connection_inflight,
             retry_after_ms=args.retry_after_ms,
-            autoscale=_autoscale_config_from_args(args),
+            # a controller's autoscaler drives the *remote* fleet, so its
+            # policy rides to ClusterServer below, not into ServerConfig
+            # (which reserves config.autoscale for process fleets)
+            autoscale=(
+                None if args.controller
+                else _autoscale_config_from_args(args)
+            ),
+            auth_secret=secret,
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
         )
     except ValueError as error:
         # config validation speaks ValueError; give it the CLI's friendly
         # `error:` shape instead of a traceback
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.controller:
+        from .cluster import ClusterMembership, controller_factory
+
+        run_server(config, server_factory=controller_factory(
+            membership=ClusterMembership(
+                heartbeat_timeout=args.heartbeat_timeout
+            ),
+            autoscale=_autoscale_config_from_args(args),
+        ))
+        return 0
+    if args.join:
+        from .cluster import AgentConfig, run_worker_agent
+
+        controller_host, controller_port = _parse_endpoint(
+            args.join, "--join"
+        )
+        try:
+            agent_config = AgentConfig(
+                controller_host=controller_host,
+                controller_port=controller_port,
+                name=args.worker_name,
+                advertise_host=args.advertise,
+                heartbeat_seconds=args.heartbeat,
+                auth_secret=secret,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        from .obs.log import setup_logging
+
+        setup_logging(config.log_level, config.log_format)
+        run_worker_agent(config, agent_config)
+        return 0
     run_server(config)
     return 0
 
@@ -690,11 +767,34 @@ def _cmd_loadgen(args) -> int:
     return 0 if report.errors == 0 and report.incomplete == 0 else 1
 
 
+def _print_cluster_block(cluster: dict) -> None:
+    """The controller's membership readout (``repro fleet status``)."""
+    target = cluster.get("target_workers")
+    print(
+        f"cluster: {cluster.get('workers', '?')} worker(s)"
+        + (f" (target {target})" if target else "")
+        + f"  ring_epoch={cluster.get('ring_epoch', '?')}"
+        f"  rebalances={cluster.get('rebalances', 0)}"
+        f"  evictions={cluster.get('evictions', 0)}"
+        f"  warmed_plans={cluster.get('warmed_plans', 0)}"
+    )
+    for member in cluster.get("members") or []:
+        print(
+            f"  {member['name']}: {member['host']}:{member['port']}  "
+            f"gen={member['generation']}  "
+            f"age={member.get('age_seconds', '?')}s  "
+            f"silence={member.get('silence_seconds', '?')}s"
+        )
+
+
 def _cmd_fleet_status(args) -> int:
     with _remote_client(args) as client:
         payload = client.stats()
     server = payload.get("server", {})
     shards = payload.get("shards", [])
+    cluster = server.get("cluster")
+    if cluster:
+        _print_cluster_block(cluster)
     budgets = []
     if server.get("max_inflight"):
         budgets.append(f"max_inflight={server['max_inflight']}")
@@ -745,6 +845,40 @@ def _cmd_fleet_status(args) -> int:
     return 0
 
 
+def _cmd_fleet_drain(args) -> int:
+    with _remote_client(args) as client:
+        result = client.request(
+            "deregister",
+            worker={"name": args.name, "stop": args.stop},
+        )
+    if not result.get("removed"):
+        print(f"no worker named {args.name!r} is registered")
+        return 1
+    print(
+        f"drained {args.name!r}"
+        + (" (and asked it to shut down)" if args.stop else "")
+        + f": {result.get('workers', '?')} worker(s) remain, "
+        f"ring_epoch={result.get('ring_epoch', '?')}"
+    )
+    return 0
+
+
+def _cmd_fleet_resize(args) -> int:
+    with _remote_client(args) as client:
+        result = client.request("resize", workers=args.workers)
+    workers = result.get("workers", "?")
+    requested = result.get("requested", args.workers)
+    if workers == requested:
+        print(f"fleet resized to {workers} worker(s)")
+    else:
+        print(
+            f"fleet at {workers} worker(s), target recorded as "
+            f"{requested} (a controller cannot spawn machines: start "
+            f"more `repro serve --join` workers to grow)"
+        )
+    return 0
+
+
 def _cmd_repairs(args) -> int:
     problem = _build_problem(args)
     db = load(args.database)
@@ -777,6 +911,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_secret_argument(parser):
+        parser.add_argument(
+            "--secret", metavar="SECRET", default=None,
+            help="shared fleet secret for servers requiring the HMAC "
+                 "handshake (default: $REPRO_CLUSTER_SECRET)",
+        )
 
     p = sub.add_parser("classify", help="Theorem 12 decision procedure")
     _add_problem_arguments(p, with_json=True)
@@ -816,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="with --connect: run under a fresh trace id and "
                         "print it (inspect with `repro trace <id>`)")
+    _add_secret_argument(p)
     p.set_defaults(handler=_cmd_decide)
 
     p = sub.add_parser(
@@ -898,6 +1040,7 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--timeout", type=float, default=30.0,
                             help="socket timeout in seconds "
                                  "(0 waits forever)")
+        _add_secret_argument(parser)
 
     ip = instance_sub.add_parser(
         "put", help="store (or replace) a named instance on a server"
@@ -1002,6 +1145,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--autoscale-queue-low", type=float, default=0.5,
                    help="count an interval calm below this pressure "
                         "(scale down after 3 consecutive calm intervals)")
+    cluster = p.add_argument_group(
+        "distributed fleet (see docs/deployment.md)"
+    )
+    cluster.add_argument(
+        "--controller", action="store_true",
+        help="run as a cluster controller: accept worker registration "
+             "(register/heartbeat verbs) and route decides over the "
+             "registered workers instead of local shards")
+    cluster.add_argument(
+        "--join", metavar="HOST:PORT", default=None,
+        help="run as a worker: serve normally and register this "
+             "process's address with the controller at HOST:PORT")
+    cluster.add_argument(
+        "--advertise", metavar="HOST", default=None,
+        help="with --join: the address workers tell the controller to "
+             "dial back (default: the bind host)")
+    cluster.add_argument(
+        "--worker-name", metavar="NAME", default=None,
+        help="with --join: stable worker name (ring identity; rejoining "
+             "under the same name reclaims the same ring ranges)")
+    cluster.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="S",
+        help="with --join: heartbeat cadence to the controller")
+    cluster.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0, metavar="S",
+        help="with --controller: evict a worker silent for this long")
+    _add_secret_argument(cluster)
+    cluster.add_argument(
+        "--tls-cert", metavar="PEM", default=None,
+        help="serve TLS with this certificate chain (needs --tls-key)")
+    cluster.add_argument(
+        "--tls-key", metavar="PEM", default=None,
+        help="the private key matching --tls-cert")
     p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
@@ -1059,7 +1235,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the running `repro serve` to inspect")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="socket timeout in seconds (0 waits forever)")
+    _add_secret_argument(p)
     p.set_defaults(handler=_cmd_fleet_status)
+
+    p = sub.add_parser(
+        "fleet",
+        help="inspect and operate a serving fleet (cluster controllers "
+             "and process fleets)",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    fs = fleet_sub.add_parser(
+        "status",
+        help="membership, admission and autoscaler readout",
+    )
+    _add_remote_arguments(fs)
+    fs.set_defaults(handler=_cmd_fleet_status)
+
+    fd = fleet_sub.add_parser(
+        "drain",
+        help="gracefully remove a registered worker (its stored "
+             "instances migrate to the survivors first)",
+    )
+    fd.add_argument("name", help="the worker's registered name")
+    fd.add_argument("--stop", action="store_true",
+                    help="also ask the drained worker to shut down")
+    _add_remote_arguments(fd)
+    fd.set_defaults(handler=_cmd_fleet_drain)
+
+    fr = fleet_sub.add_parser(
+        "resize",
+        help="resize a fleet: process fleets spawn/retire workers; a "
+             "cluster controller drains down or records a grow target",
+    )
+    fr.add_argument("workers", type=_positive_int,
+                    help="the desired worker count")
+    _add_remote_arguments(fr)
+    fr.set_defaults(handler=_cmd_fleet_resize)
 
     p = sub.add_parser(
         "trace",
@@ -1072,6 +1284,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the running `repro serve` to query")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="socket timeout in seconds (0 waits forever)")
+    _add_secret_argument(p)
     p.set_defaults(handler=_cmd_trace)
 
     p = sub.add_parser(
@@ -1089,6 +1302,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "document, or a list of them)")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="socket timeout in seconds for --connect")
+    _add_secret_argument(p)
     p.set_defaults(handler=_cmd_slo)
 
     p = sub.add_parser("repairs", help="enumerate canonical ⊕-repairs")

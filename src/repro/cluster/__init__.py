@@ -1,0 +1,73 @@
+"""``repro.cluster`` — the host-per-shard control plane.
+
+Where :mod:`repro.serve.fleet` spawns loopback worker *processes*, this
+package dials worker *addresses*: a **controller**
+(:class:`ClusterServer`) accepts worker registration over the wire
+(``register``/``deregister``/``heartbeat`` verbs), maintains fleet
+membership with liveness timeouts (:class:`ClusterMembership`), and
+routes the same decide/stats surface over the registered workers
+(:class:`ClusterEngine`) via per-worker :class:`ServeClient` connections.
+A **worker agent** (:class:`WorkerAgent`, ``repro serve --join``) runs an
+ordinary :class:`~repro.serve.CertaintyServer` and phones home.
+
+Membership changes drive a **live ring rebalance**: the class-digest
+ring is re-keyed by worker *name* (so an arbitrary leave remaps only
+~1/N of the digest space), stored-instance refs migrate with their
+versions preserved, and the receiving workers' plan caches are warmed by
+replaying the hot classes they just inherited.
+
+Transport hardening lives in :mod:`repro.cluster.auth`: a shared-secret
+HMAC handshake on every connection of a secret-configured server (the
+``auth`` verb, ``unauthorized`` error code) and optional stdlib TLS.
+
+Submodules are imported lazily: the serving layer imports
+``repro.cluster.auth`` without dragging the controller (which imports
+the serving layer back) into every worker process.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AgentConfig",
+    "ClusterEngine",
+    "ClusterMembership",
+    "ClusterServer",
+    "RemoteWorkerHandle",
+    "WorkerAgent",
+    "client_ssl_context",
+    "compute_mac",
+    "controller_factory",
+    "new_nonce",
+    "run_worker_agent",
+    "server_ssl_context",
+    "verify_mac",
+]
+
+_EXPORTS = {
+    "AgentConfig": "agent",
+    "WorkerAgent": "agent",
+    "run_worker_agent": "agent",
+    "ClusterMembership": "membership",
+    "RemoteWorkerHandle": "membership",
+    "ClusterEngine": "controller",
+    "ClusterServer": "controller",
+    "controller_factory": "controller",
+    "compute_mac": "auth",
+    "verify_mac": "auth",
+    "new_nonce": "auth",
+    "client_ssl_context": "auth",
+    "server_ssl_context": "auth",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

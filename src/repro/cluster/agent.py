@@ -1,0 +1,253 @@
+"""The worker agent: an ordinary serving process that phones home.
+
+``repro serve --join controller:port`` runs exactly the server a
+standalone deployment runs — same verbs, same store slice, same plan
+cache — plus this agent beside it: it **registers** the worker's
+advertised address with the controller, **heartbeats** on a fixed
+cadence so silence means death, and **re-registers** (with a bumped
+agent generation) whenever the controller answers ``known: false`` —
+the signal that the worker was evicted (e.g. it was partitioned past
+the heartbeat timeout) and must rejoin.  Rejoining under the same name
+reclaims the exact same ring ranges, so a blip costs a redial and a
+plan-cache warmup, not a rebalance.
+
+The agent is deliberately one-way: the controller never dials workers
+it has not met, and a worker that cannot reach the controller keeps
+serving whatever connections it already has — membership is for
+*routing*, not for permission to exist.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+
+from ..obs.log import get_logger, log_event
+from ..serve.client import ServeClient
+from ..serve.server import BackgroundServer, ServerConfig
+
+_logger = get_logger("cluster.agent")
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """How a worker joins and stays joined to its controller."""
+
+    controller_host: str
+    controller_port: int
+    name: str | None = None  # default: worker-<host>-<port> after bind
+    advertise_host: str | None = None  # default: the worker's bind host
+    capacity: int = 1
+    heartbeat_seconds: float = 1.0
+    auth_secret: str | None = None  # the fleet's shared secret
+    retry_seconds: float = 1.0  # reconnect backoff to the controller
+    request_timeout: float = 10.0  # per control-plane wire call
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_seconds <= 0:
+            raise ValueError("heartbeat_seconds must be positive")
+        if self.retry_seconds <= 0:
+            raise ValueError("retry_seconds must be positive")
+
+
+class WorkerAgent:
+    """One serving process + its registration/heartbeat loop.
+
+    The server is a :class:`~repro.serve.BackgroundServer` (the worker
+    must serve while the agent heartbeats); :meth:`start` blocks until
+    the socket is bound *and* the first registration succeeded, so a
+    started agent is immediately routable.  :meth:`stop` deregisters
+    gracefully (the controller migrates this worker's refs to the
+    survivors); :meth:`kill` simulates a crash — the server vanishes,
+    heartbeats stop, and the controller finds out by timeout.
+    """
+
+    def __init__(
+        self,
+        worker_config: ServerConfig | None = None,
+        agent_config: AgentConfig | None = None,
+    ):
+        if agent_config is None:
+            raise ValueError("agent_config is required (who do we join?)")
+        self.agent_config = agent_config
+        self.worker_config = worker_config or ServerConfig(shards=1)
+        self._background = BackgroundServer(self.worker_config)
+        self._client: ServeClient | None = None
+        self._client_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._name: str | None = agent_config.name
+        # bumped on every (re-)registration: lets the controller tell a
+        # restarted agent from a repeated heartbeat of the same one
+        self._agent_generation = 0
+        self._registered = threading.Event()
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        assert self._name is not None, "agent not started"
+        return self._name
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._background.address
+        return self.agent_config.advertise_host or host, port
+
+    @property
+    def server(self) -> BackgroundServer:
+        return self._background
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "WorkerAgent":
+        self._background.start()
+        host, port = self.address
+        if self._name is None:
+            self._name = f"worker-{host.replace('.', '-')}-{port}"
+        self._register()  # raises on a refused first join (bad secret etc.)
+        self._registered.set()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-agent-{self._name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, deregister: bool = True) -> None:
+        """Graceful leave: stop heartbeating, tell the controller (so it
+        migrates this worker's refs off before the socket dies), then
+        drain the server."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        if deregister and self._name is not None:
+            try:
+                self._controller().request(
+                    "deregister", worker={"name": self._name}
+                )
+            except Exception as error:
+                log_event(
+                    _logger, logging.WARNING, "agent.deregister_failed",
+                    worker=self._name, error=type(error).__name__,
+                )
+        self._close_client()
+        self._background.stop()
+
+    def kill(self) -> None:
+        """Crash simulation: the worker disappears without a goodbye —
+        the controller learns from the heartbeat timeout."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._close_client()
+        self._background.stop()
+
+    def __enter__(self) -> "WorkerAgent":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the control-plane loop -----------------------------------------------
+
+    def _controller(self) -> ServeClient:
+        with self._client_lock:
+            if self._client is None:
+                config = self.agent_config
+                self._client = ServeClient(
+                    config.controller_host,
+                    config.controller_port,
+                    timeout=config.request_timeout,
+                    auth_secret=config.auth_secret,
+                )
+            return self._client
+
+    def _close_client(self) -> None:
+        with self._client_lock:
+            if self._client is not None:
+                try:
+                    self._client.close()
+                except OSError:
+                    pass
+                self._client = None
+
+    def _register(self) -> dict:
+        host, port = self.address
+        self._agent_generation += 1
+        result = self._controller().request(
+            "register",
+            worker={
+                "name": self._name,
+                "host": host,
+                "port": port,
+                "capacity": self.agent_config.capacity,
+                "generation": self._agent_generation,
+            },
+        )
+        log_event(
+            _logger, logging.INFO, "agent.registered",
+            worker=self._name, host=host, port=port,
+            joined=result.get("joined"),
+            workers=result.get("workers"),
+            ring_epoch=result.get("ring_epoch"),
+        )
+        return result
+
+    def _heartbeat_loop(self) -> None:
+        config = self.agent_config
+        while not self._stop_event.wait(config.heartbeat_seconds):
+            try:
+                answer = self._controller().request(
+                    "heartbeat",
+                    worker={
+                        "name": self._name,
+                        "generation": self._agent_generation,
+                    },
+                )
+                if not answer.get("known"):
+                    # evicted (a partition outlasted the timeout): rejoin
+                    # under the same name to reclaim the same ring ranges
+                    log_event(
+                        _logger, logging.WARNING, "agent.rejoining",
+                        worker=self._name,
+                    )
+                    self._register()
+            except Exception as error:
+                # the controller is unreachable: drop the connection, keep
+                # serving, and retry — registration state is controller-side,
+                # so nothing is lost but time
+                log_event(
+                    _logger, logging.WARNING, "agent.heartbeat_failed",
+                    worker=self._name, error=type(error).__name__,
+                )
+                self._close_client()
+                if self._stop_event.wait(config.retry_seconds):
+                    return
+
+
+def run_worker_agent(
+    worker_config: ServerConfig | None = None,
+    agent_config: AgentConfig | None = None,
+) -> None:
+    """Run a joined worker in the foreground (``repro serve --join``):
+    serve until interrupted, then deregister and drain."""
+    agent = WorkerAgent(worker_config, agent_config)
+    agent.start()
+    host, port = agent.address
+    print(
+        f"repro serve: worker {agent.name!r} on {host}:{port} joined "
+        f"controller {agent_config.controller_host}:"
+        f"{agent_config.controller_port}",
+        flush=True,
+    )
+    try:
+        while agent.server._thread.is_alive():
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.stop()

@@ -1,0 +1,87 @@
+"""Shared-secret authentication and TLS helpers for ``repro.cluster``.
+
+Non-loopback serving needs two things the loopback fleet never did: proof
+that the peer knows the cluster secret, and (optionally) an encrypted
+transport.  Both are deliberately boring:
+
+* **Handshake** — client-initiated challenge/response over the normal
+  JSON-lines protocol (the ``auth`` verb).  The server mints a random
+  nonce per connection; the client answers with
+  ``HMAC-SHA256(secret, "repro/cluster-auth:" + nonce)``.  The secret
+  never crosses the wire, a captured MAC is useless on any other
+  connection (fresh nonce), and comparison is constant-time.  This is
+  *authentication only* — it does not encrypt; pair it with TLS (or a
+  private network) when the wire itself is hostile.
+
+* **TLS** — plain ``ssl`` stdlib contexts wrapping the same byte
+  streams.  The protocol layer is transport-agnostic (newline-delimited
+  JSON either way), so TLS is purely a socket concern: servers load a
+  cert/key pair, clients pin the cluster CA (self-signed deployments
+  simply distribute the server cert as the CA).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import ssl
+
+#: Domain-separation prefix: an attacker who can make the server MAC
+#: arbitrary strings in some future protocol extension cannot forge an
+#: auth response, because auth MACs are computed over this namespace.
+_MAC_NAMESPACE = "repro/cluster-auth:"
+
+#: Nonce entropy in bytes (hex-encoded on the wire).
+_NONCE_BYTES = 16
+
+
+def new_nonce() -> str:
+    """A fresh per-connection challenge (hex, 128 bits of entropy)."""
+    return secrets.token_hex(_NONCE_BYTES)
+
+
+def compute_mac(secret: str, nonce: str) -> str:
+    """The handshake response for *nonce* under *secret* (hex digest)."""
+    return hmac.new(
+        secret.encode("utf-8"),
+        (_MAC_NAMESPACE + nonce).encode("utf-8"),
+        hashlib.sha256,
+    ).hexdigest()
+
+
+def verify_mac(secret: str, nonce: str, mac: object) -> bool:
+    """Constant-time check of a client's handshake response."""
+    if not isinstance(mac, str):
+        return False
+    return hmac.compare_digest(compute_mac(secret, nonce), mac)
+
+
+def server_ssl_context(certfile: str, keyfile: str) -> ssl.SSLContext:
+    """A TLS server context for the given cert/key pair."""
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    return context
+
+
+def client_ssl_context(
+    cafile: str | None = None,
+    *,
+    check_hostname: bool = False,
+) -> ssl.SSLContext:
+    """A TLS client context pinned to the cluster CA.
+
+    With *cafile* the peer must present a cert signed by (or equal to)
+    it; hostname checks default off because cluster workers dial each
+    other by IP.  Without *cafile* verification is disabled — encryption
+    only, for lab setups; pass the CA in production.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    if cafile is not None:
+        context.load_verify_locations(cafile)
+        context.check_hostname = check_hostname
+        context.verify_mode = ssl.CERT_REQUIRED
+    else:
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_NONE
+    return context

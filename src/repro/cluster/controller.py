@@ -1,0 +1,616 @@
+"""The cluster controller: remote workers behind the serving surface.
+
+Two classes:
+
+* :class:`ClusterEngine` — a :class:`~repro.serve.fleet.BaseWorkerFleet`
+  whose worker provider is a
+  :class:`~repro.cluster.membership.ClusterMembership`: the same ring
+  routing, retried wire calls and replay-safety gating as the local
+  process fleet, but over workers that *registered themselves* and can
+  vanish without a waitpid.  Membership changes drive the live ring
+  rebalance: instance-ref migration (versions preserved — the PR 7
+  resize path) and plan-cache warmup on the receiving workers.
+
+* :class:`ClusterServer` — a :class:`~repro.serve.CertaintyServer`
+  subclass that serves *clients and workers on the same socket*: the
+  usual decide/stats surface routed through the :class:`ClusterEngine`,
+  plus the control-plane verbs (``register`` / ``deregister`` /
+  ``heartbeat``) and ``repro_cluster_*`` telemetry.
+
+**Rebalance mechanics.**  The ring is keyed by worker *name*
+(:class:`~repro.serve.shard.HashRing` with ``names=``), so a membership
+change remaps only the joining/leaving member's ~1/N share.  On join,
+refs that now hash to the joiner are snapshotted from their current
+owners and re-``put`` (version preserved) before being dropped at the
+source.  On graceful leave (``deregister``), the leaver's refs are
+snapshotted *while it is still addressable*, the ring shrinks, and the
+snapshots land on the survivors.  On eviction (heartbeat timeout) there
+is nothing to read — the evicted worker's refs become
+``unknown-instance`` on their new owners, the same contract as a cache
+eviction, and clients re-``put``.  In every case the controller replays
+its hottest class fingerprints (an LRU it maintains as a side effect of
+routing) at the new owners via the ``explain`` verb, which compiles and
+caches the plan worker-side — so the first post-rebalance decide of a
+hot class meets a warm cache.
+
+Decides issued *during* a rebalance never hang and are never silently
+dropped: routing reads one volatile ring reference, wire calls carry
+timeouts, and a request that lands on a just-removed worker surfaces a
+structured ``unavailable``/``unknown-instance`` envelope the client can
+retry.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import OrderedDict
+
+from ..api.problem import Problem
+from ..engine.engine import EngineStats, merge_engine_stats
+from ..exceptions import ServeProtocolError
+from ..obs.log import get_logger, log_event
+from ..serve.autoscale import AutoscaleConfig, Autoscaler
+from ..serve.fleet import BaseWorkerFleet, FleetConfig
+from ..serve.server import CertaintyServer, ServerConfig
+from ..serve.shard import HashRing, ShardStats, ref_digest
+from .membership import ClusterMembership, RemoteWorkerHandle
+
+_logger = get_logger("cluster.controller")
+
+
+class ClusterEngine(BaseWorkerFleet):
+    """The fleet surface over registered remote workers.
+
+    Starts empty: until the first worker registers, every decide answers
+    a structured ``unavailable`` envelope (never a hang).  A daemon
+    eviction loop sweeps the membership at a fraction of the heartbeat
+    timeout so a crashed worker leaves the ring within ~one timeout.
+    """
+
+    def __init__(
+        self,
+        membership: ClusterMembership | None = None,
+        *,
+        config: FleetConfig | None = None,
+        auth_secret: str | None = None,
+        client_ssl=None,
+        hot_classes: int = 128,
+    ):
+        self._membership = membership or ClusterMembership()
+        super().__init__(
+            self._membership,
+            None,  # ring materializes with the first registration
+            config=config,
+            client_auth=auth_secret,
+            client_ssl=client_ssl,
+        )
+        self._rebalance_lock = threading.RLock()
+        self._hot_lock = threading.Lock()
+        self._hot: OrderedDict[str, Problem] = OrderedDict()
+        self._hot_limit = hot_classes
+        self._target_width: int | None = None
+        self._rebalances = 0
+        self._warmed = 0
+        self._evict_stop = threading.Event()
+        self._evict_thread = threading.Thread(
+            target=self._eviction_loop, name="repro-cluster-evict",
+            daemon=True,
+        )
+        self._evict_thread.start()
+
+    @property
+    def membership(self) -> ClusterMembership:
+        return self._membership
+
+    # -- routing (hot-class tracking rides along) ----------------------------
+
+    def shard_for(self, problem: Problem) -> int:
+        digest = problem.fingerprint.digest
+        if self._hot_limit > 0:
+            with self._hot_lock:
+                self._hot[digest] = problem
+                self._hot.move_to_end(digest)
+                while len(self._hot) > self._hot_limit:
+                    self._hot.popitem(last=False)
+        return super().shard_for(problem)
+
+    # -- membership changes → ring rebalance ---------------------------------
+
+    def register_worker(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        capacity: int = 1,
+        agent_generation: int = 0,
+    ) -> tuple[RemoteWorkerHandle, bool]:
+        """Admit a worker and rebalance: ~1/N of the ring (refs included)
+        moves to a joiner; a re-registration keeps the ring but redials
+        connections and re-warms the (now cold) worker's hot classes."""
+        with self._rebalance_lock:
+            old_ring = self._ring
+            handle, joined = self._membership.register(
+                name, host, port, capacity=capacity,
+                agent_generation=agent_generation,
+            )
+            names = self._membership.ring_names()
+            new_ring = HashRing(
+                len(names), replicas=self.config.replicas, names=names
+            )
+            moves = []
+            if joined and old_ring is not None:
+                # survivors keep their indexes (joins append), so the
+                # resize collector applies as-is: snapshot every ref whose
+                # owner under the new ring is not its current holder
+                moves = self._collect_moves(
+                    old_ring.n_shards, new_ring.n_shards, new_ring
+                )
+            with self._state_lock:
+                self._ring = new_ring
+            if moves:
+                self._migrate(moves, new_ring.n_shards)
+            if joined:
+                self._warm_moved(old_ring, new_ring)
+            else:
+                # same ranges, fresh process: its plan cache is empty
+                self._warm_digests(
+                    [
+                        digest for digest in self._hot_digests()
+                        if new_ring.shard_for(digest) == handle.shard
+                    ],
+                    new_ring,
+                )
+            self._rebalances += 1
+            log_event(
+                _logger, logging.INFO, "cluster.rebalance",
+                cause="join" if joined else "rejoin", worker=name,
+                workers=new_ring.n_shards, moved_refs=len(moves),
+                epoch=self._membership.ring_epoch,
+            )
+            return handle, joined
+
+    def deregister_worker(self, name: str, *, stop: bool = False) -> dict:
+        """Graceful drain: snapshot the leaver's refs while it still
+        answers, shrink the ring, re-home the refs on the survivors."""
+        with self._rebalance_lock:
+            leaver = self._membership.handle_for(name)
+            if leaver is None:
+                return {
+                    "removed": False,
+                    "workers": self._membership.n_workers,
+                    "ring_epoch": self._membership.ring_epoch,
+                }
+            old_ring = self._ring
+            survivors = [
+                ring_name for ring_name in self._membership.ring_names()
+                if ring_name != name
+            ]
+            new_ring = (
+                HashRing(
+                    len(survivors), replicas=self.config.replicas,
+                    names=survivors,
+                )
+                if survivors else None
+            )
+            moves: list[dict] = []
+            if new_ring is not None:
+                moves = self._collect_leaver_refs(leaver.shard, new_ring)
+            if stop:
+                try:
+                    self._request(leaver.shard, "shutdown")
+                except Exception as error:
+                    log_event(
+                        _logger, logging.WARNING, "cluster.drain.shutdown",
+                        worker=name, error=type(error).__name__,
+                    )
+            self._membership.deregister(name)
+            self._swap_ring(new_ring)
+            for move in moves:
+                try:
+                    self._request(
+                        move["target"], "instance_put",
+                        instance_ref=move["ref"],
+                        instance=move["instance"],
+                        version=move["version"],
+                    )
+                except Exception as error:
+                    log_event(
+                        _logger, logging.WARNING, "cluster.migrate.put_failed",
+                        shard=move["target"], ref=move["ref"],
+                        error=type(error).__name__,
+                    )
+            if new_ring is not None:
+                self._warm_moved(old_ring, new_ring)
+            self._rebalances += 1
+            log_event(
+                _logger, logging.INFO, "cluster.rebalance",
+                cause="leave", worker=name,
+                workers=len(survivors), moved_refs=len(moves),
+                epoch=self._membership.ring_epoch,
+            )
+            return {
+                "removed": True,
+                "workers": len(survivors),
+                "ring_epoch": self._membership.ring_epoch,
+            }
+
+    def evict_stale(self) -> list[RemoteWorkerHandle]:
+        """Heartbeat-timeout eviction: the membership drops the silent
+        workers, the ring shrinks, and the survivors that inherited their
+        ranges get their plan caches warmed.  Nothing migrates — the
+        evicted workers' stored refs died with them and answer
+        ``unknown-instance`` on their new owners until clients re-put."""
+        with self._rebalance_lock:
+            evicted = self._membership.evict_stale()
+            if not evicted:
+                return []
+            old_ring = self._ring
+            names = self._membership.ring_names()
+            new_ring = (
+                HashRing(
+                    len(names), replicas=self.config.replicas, names=names
+                )
+                if names else None
+            )
+            self._swap_ring(new_ring)
+            if new_ring is not None:
+                self._warm_moved(old_ring, new_ring)
+            self._rebalances += 1
+            log_event(
+                _logger, logging.WARNING, "cluster.rebalance",
+                cause="eviction",
+                workers=len(names),
+                evicted=[handle.name for handle in evicted],
+                epoch=self._membership.ring_epoch,
+            )
+            return evicted
+
+    def _swap_ring(self, new_ring: HashRing | None) -> None:
+        """Install the post-change ring and discard now-out-of-range
+        cached connections (in-range entries self-heal: connection
+        caching keys on the globally unique registration generation, so
+        an index that now names a different worker redials on first
+        use)."""
+        width = new_ring.n_shards if new_ring is not None else 0
+        with self._state_lock:
+            self._ring = new_ring
+            for shard in list(self._clients):
+                if shard >= width:
+                    _, client = self._clients.pop(shard)
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+
+    def _collect_leaver_refs(
+        self, leaver_shard: int, new_ring: HashRing
+    ) -> list[dict]:
+        """Snapshot every ref the leaver holds, targeting post-shrink
+        indexes (no drop needed — the source is leaving the fleet)."""
+        moves: list[dict] = []
+        try:
+            payload = self._request(leaver_shard, "instance_list")
+        except Exception as error:
+            log_event(
+                _logger, logging.WARNING, "cluster.migrate.list_failed",
+                shard=leaver_shard, error=type(error).__name__,
+            )
+            return moves
+        for info in payload.get("instances") or []:
+            ref = info.get("ref")
+            if not isinstance(ref, str) or not ref:
+                continue
+            try:
+                doc = self._request(
+                    leaver_shard, "instance_get", instance_ref=ref
+                )
+            except Exception as error:
+                log_event(
+                    _logger, logging.WARNING, "cluster.migrate.snapshot",
+                    shard=leaver_shard, ref=ref, error=type(error).__name__,
+                )
+                continue
+            moves.append({
+                "ref": ref,
+                "target": new_ring.shard_for(ref_digest(ref)),
+                "version": doc.get("version"),
+                "instance": doc.get("instance"),
+            })
+        return moves
+
+    # -- plan-cache warmup ----------------------------------------------------
+
+    def _hot_digests(self) -> list[str]:
+        with self._hot_lock:
+            return list(self._hot)
+
+    def _warm_moved(
+        self, old_ring: HashRing | None, new_ring: HashRing
+    ) -> None:
+        """Warm every hot class whose owning *worker* changed (ownership
+        compares by name — an index shuffle alone moves nothing)."""
+        moved = []
+        for digest in self._hot_digests():
+            new_shard = new_ring.shard_for(digest)
+            if old_ring is not None:
+                old_name = old_ring.names[old_ring.shard_for(digest)]
+                if old_name == new_ring.names[new_shard]:
+                    continue
+            moved.append(digest)
+        self._warm_digests(moved, new_ring)
+
+    def _warm_digests(self, digests, new_ring: HashRing) -> None:
+        """Replay hot plan fingerprints at their (new) owners: ``explain``
+        compiles and caches the plan worker-side, so the warmup is one
+        cheap pure call per class — no instance data moves."""
+        warmed = 0
+        for digest in digests:
+            with self._hot_lock:
+                problem = self._hot.get(digest)
+            if problem is None:
+                continue
+            try:
+                self._request(
+                    new_ring.shard_for(digest), "explain", problem=problem
+                )
+                warmed += 1
+            except Exception as error:
+                log_event(
+                    _logger, logging.DEBUG, "cluster.warmup.failed",
+                    digest=digest[:12], error=type(error).__name__,
+                )
+        if warmed:
+            self._warmed += warmed
+            log_event(
+                _logger, logging.INFO, "cluster.warmup",
+                plans=warmed, epoch=self._membership.ring_epoch,
+            )
+
+    # -- resize (the autoscaler's and `repro fleet resize`'s entry) ----------
+
+    def resize(self, n_workers: int) -> "ClusterEngine":
+        """Shrink by draining surplus members (youngest first — graceful,
+        refs migrate); grow by *recording* the target width — a
+        controller cannot spawn machines, so growth happens when
+        operators (or an orchestrator watching ``target_workers``) start
+        more ``repro serve --join`` workers."""
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        with self._rebalance_lock:
+            self._target_width = n_workers
+            names = self._membership.ring_names()
+            if n_workers >= len(names):
+                if n_workers > len(names):
+                    log_event(
+                        _logger, logging.INFO, "cluster.resize.waiting",
+                        workers=len(names), target=n_workers,
+                    )
+                return self
+            for name in reversed(names[n_workers:]):
+                self.deregister_worker(name, stop=True)
+            return self
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> tuple[ShardStats, ...]:
+        """Every *reachable* worker's engine stats.  Unlike the local
+        fleet (where the supervisor respawns a dead worker under the
+        stats call), a crashed remote worker stays dead until evicted —
+        and an operator must be able to inspect a cluster *during* that
+        window, so an unreachable worker is skipped, not fatal."""
+        entries = []
+        for shard in range(self.n_shards):
+            try:
+                payload = self._request(shard, "stats")
+            except Exception as error:
+                log_event(
+                    _logger, logging.DEBUG, "cluster.stats.skipped",
+                    shard=shard, error=type(error).__name__,
+                )
+                continue
+            merged = merge_engine_stats(
+                EngineStats.from_dict(entry)
+                for entry in payload.get("shards") or []
+            )
+            entries.append(ShardStats(shard=shard, stats=merged))
+        return tuple(entries)
+
+    def cluster_status(self) -> dict:
+        """The ``cluster`` block of the controller's ``stats`` verb."""
+        return {
+            **self._membership.status(),
+            "target_workers": self._target_width,
+            "rebalances": self._rebalances,
+            "warmed_plans": self._warmed,
+            "hot_classes": len(self._hot),
+        }
+
+    # -- the eviction loop -----------------------------------------------------
+
+    def _eviction_loop(self) -> None:
+        interval = max(0.05, self._membership.heartbeat_timeout / 4)
+        while not self._evict_stop.wait(interval):
+            try:
+                self.evict_stale()
+            except Exception as error:  # a failed sweep must not kill the loop
+                log_event(
+                    _logger, logging.WARNING, "cluster.evict.sweep_failed",
+                    error=type(error).__name__, detail=str(error),
+                )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self._evict_stop.set()
+        super().close()
+        self._evict_thread.join(timeout=5)
+
+
+class ClusterServer(CertaintyServer):
+    """A controller front: the full serving surface over a
+    :class:`ClusterEngine`, plus the registration verbs.
+
+    Workers and clients share the listener (and the shared-secret
+    handshake — configure ``auth_secret`` on any non-loopback bind).
+    ``autoscale`` drives :meth:`ClusterEngine.resize`: scale-down drains
+    real workers; scale-up records ``target_workers`` for orchestrators.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        membership: ClusterMembership | None = None,
+        fleet_config: FleetConfig | None = None,
+        autoscale: AutoscaleConfig | None = None,
+        hot_classes: int = 128,
+    ):
+        config = config or ServerConfig()
+        if config.processes > 0:
+            raise ValueError(
+                "a cluster controller routes over registered remote "
+                "workers; processes must be 0"
+            )
+        self._membership = membership or ClusterMembership()
+        self._fleet_config = fleet_config or FleetConfig()
+        self._hot_classes = hot_classes
+        super().__init__(config)
+        if autoscale is not None:
+            self._autoscaler = Autoscaler(
+                autoscale,
+                resize=self._sharded.resize,
+                initial_workers=max(1, self._sharded.n_shards),
+            )
+
+    def _build_engine(self):
+        return ClusterEngine(
+            self._membership,
+            config=self._fleet_config,
+            auth_secret=self.config.auth_secret,
+            hot_classes=self._hot_classes,
+        )
+
+    def _build_store(self):
+        return None  # every ref lives on its owning worker's registry slice
+
+    @property
+    def cluster_engine(self) -> ClusterEngine:
+        return self._sharded
+
+    # -- the control-plane verbs ----------------------------------------------
+
+    async def _dispatch(self, request, offload: bool = False) -> dict:
+        verb = request.verb
+        if verb == "register":
+            worker = self._require_worker(request, "name", "host", "port")
+            handle, joined = await self._run_on_pool(
+                lambda: self._sharded.register_worker(
+                    str(worker["name"]),
+                    str(worker["host"]),
+                    int(worker["port"]),
+                    capacity=int(worker.get("capacity") or 1),
+                    agent_generation=int(worker.get("generation") or 0),
+                )
+            )
+            return {
+                "worker": handle.to_dict(),
+                "joined": joined,
+                "workers": self._membership.n_workers,
+                "ring_epoch": self._membership.ring_epoch,
+            }
+        if verb == "deregister":
+            worker = self._require_worker(request, "name")
+            return await self._run_on_pool(
+                lambda: self._sharded.deregister_worker(
+                    str(worker["name"]), stop=bool(worker.get("stop"))
+                )
+            )
+        if verb == "heartbeat":
+            worker = self._require_worker(request, "name")
+            known = self._membership.heartbeat(
+                str(worker["name"]),
+                int(worker.get("generation") or 0),
+            )
+            return {
+                "known": known,
+                "workers": self._membership.n_workers,
+                "ring_epoch": self._membership.ring_epoch,
+            }
+        return await super()._dispatch(request, offload=offload)
+
+    @staticmethod
+    def _require_worker(request, *required: str) -> dict:
+        worker = request.worker
+        if not isinstance(worker, dict):
+            raise ServeProtocolError(
+                f"{request.verb!r} needs a 'worker' object"
+            )
+        for key in required:
+            if not worker.get(key):
+                raise ServeProtocolError(
+                    f"{request.verb!r} needs worker.{key}"
+                )
+        return worker
+
+    # -- observability ----------------------------------------------------------
+
+    async def _stats(self) -> dict:
+        result = await super()._stats()
+        result["server"]["cluster"] = await self._run_on_pool(
+            self._sharded.cluster_status
+        )
+        return result
+
+    async def _prom_metrics(self) -> dict:
+        page = await super()._prom_metrics()
+        status = await self._run_on_pool(self._sharded.cluster_status)
+        lines = []
+        for name, help_text, value in (
+            ("workers", "Registered live workers.", status["workers"]),
+            ("ring_epoch", "Membership change counter.",
+             status["ring_epoch"]),
+            ("target_workers", "Desired width recorded by resize.",
+             status["target_workers"] or 0),
+            ("hot_classes", "Problem classes tracked for warmup.",
+             status["hot_classes"]),
+        ):
+            lines.append(f"# HELP repro_cluster_{name} {help_text}")
+            lines.append(f"# TYPE repro_cluster_{name} gauge")
+            lines.append(f"repro_cluster_{name} {value}")
+        for name, help_text, value in (
+            ("evictions", "Workers evicted on heartbeat timeout.",
+             status["evictions"]),
+            ("rebalances", "Ring rebalances (join/leave/eviction).",
+             status["rebalances"]),
+            ("warmed_plans", "Plans replayed into receiving workers.",
+             status["warmed_plans"]),
+        ):
+            lines.append(f"# HELP repro_cluster_{name}_total {help_text}")
+            lines.append(f"# TYPE repro_cluster_{name}_total counter")
+            lines.append(f"repro_cluster_{name}_total {value}")
+        page["exposition"] = "\n".join(lines) + "\n" + page["exposition"]
+        return page
+
+
+def controller_factory(
+    *,
+    membership: ClusterMembership | None = None,
+    fleet_config: FleetConfig | None = None,
+    autoscale: AutoscaleConfig | None = None,
+    hot_classes: int = 128,
+):
+    """A ``server_factory`` for :func:`repro.serve.run_server` /
+    :class:`repro.serve.BackgroundServer` that builds a controller."""
+
+    def factory(config: ServerConfig) -> ClusterServer:
+        return ClusterServer(
+            config,
+            membership=membership,
+            fleet_config=fleet_config,
+            autoscale=autoscale,
+            hot_classes=hot_classes,
+        )
+
+    return factory

@@ -1,0 +1,305 @@
+"""Fleet membership for the cluster controller.
+
+:class:`ClusterMembership` is the **worker provider** behind a
+:class:`~repro.cluster.controller.ClusterEngine` — the remote twin of
+:class:`~repro.serve.supervisor.FleetSupervisor`, satisfying the same
+provider surface the fleet's retried wire call consumes
+(``n_workers`` / ``ensure_alive`` / ``restart`` / ``stop``; see
+:class:`~repro.serve.fleet.BaseWorkerFleet`).  The difference is the
+direction of control: a supervisor *spawns* workers and knows they died
+by waitpid; a membership is *told* about workers (``register``) and
+infers death from silence (heartbeat timeout).
+
+Generations are controller-assigned and globally monotonic: every
+(re-)registration gets a fresh one, so the fleet's generation-keyed
+connection cache can never reuse a stale socket against a replaced
+worker — the same mechanism that makes supervisor respawns safe.
+
+Shard indexes are positions in the member list and *compact on
+removal*; ring stability across arbitrary leaves comes from the
+name-keyed :class:`~repro.serve.shard.HashRing` the controller rebuilds
+from :meth:`ring_names`, not from index stability.  ``ring_epoch``
+increments on every membership change so clients and operators can
+observe rebalances.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+
+from ..exceptions import WorkerUnavailableError
+from ..obs.log import get_logger, log_event
+
+_logger = get_logger("cluster.membership")
+
+
+@dataclass
+class RemoteWorkerHandle:
+    """One registered remote worker (the cluster twin of
+    :class:`~repro.serve.supervisor.WorkerHandle`): its advertised dial
+    address, the controller-assigned generation, and liveness state."""
+
+    name: str
+    host: str
+    port: int
+    generation: int  # controller-assigned, unique per registration
+    shard: int  # current index in the member list (compacts on removal)
+    capacity: int = 1
+    agent_generation: int = 0  # the worker's own restart counter
+    registered_at: float = 0.0
+    last_seen: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "generation": self.generation,
+            "shard": self.shard,
+            "capacity": self.capacity,
+            "agent_generation": self.agent_generation,
+        }
+
+
+class ClusterMembership:
+    """Thread-safe registry of remote workers with liveness timeouts.
+
+    ``heartbeat_timeout`` is the silence budget: a worker whose last
+    heartbeat (or registration) is older than this is *stale* —
+    ``ensure_alive`` refuses to route to it, and :meth:`evict_stale`
+    (driven by the controller's eviction loop) removes it from the
+    member list, which shrinks the ring.
+    """
+
+    def __init__(
+        self,
+        *,
+        heartbeat_timeout: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.heartbeat_timeout = heartbeat_timeout
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._members: list[RemoteWorkerHandle] = []
+        self._generation = 0
+        self._epoch = 0
+        self._evictions = 0
+        self._stopped = False
+
+    # -- the provider surface (BaseWorkerFleet's contract) -------------------
+
+    @property
+    def n_workers(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    def ensure_alive(self, shard: int) -> RemoteWorkerHandle:
+        """The shard's current handle, refusing stale members: a worker
+        that stopped heartbeating gets no new requests even before the
+        eviction loop removes it."""
+        with self._lock:
+            if self._stopped:
+                raise WorkerUnavailableError("the cluster membership is stopped")
+            if shard >= len(self._members):
+                raise WorkerUnavailableError(
+                    f"no worker at shard {shard} (fleet has "
+                    f"{len(self._members)} members)"
+                )
+            handle = self._members[shard]
+            if self._clock() - handle.last_seen > self.heartbeat_timeout:
+                raise WorkerUnavailableError(
+                    f"worker {handle.name!r} has missed heartbeats for "
+                    f"over {self.heartbeat_timeout}s"
+                )
+            return handle
+
+    def restart(self, shard: int, observed_generation: int):
+        """The remote analogue of a supervisor respawn: a controller
+        cannot restart a machine it does not own, so recovery means *a
+        newer registration already arrived* (the worker re-joined under
+        the same name, or a replacement took the slot).  If the shard's
+        generation moved past what the caller observed, hand back the
+        new handle — the retry dials it; otherwise the worker is simply
+        gone and the caller gets a structured failure, never a hang."""
+        with self._lock:
+            if self._stopped:
+                raise WorkerUnavailableError("the cluster membership is stopped")
+            if shard < len(self._members):
+                handle = self._members[shard]
+                if handle.generation != observed_generation:
+                    return handle  # a fresh registration took the slot
+            raise WorkerUnavailableError(
+                f"worker at shard {shard} is unreachable and the "
+                "controller cannot respawn remote workers; waiting for it "
+                "to re-register"
+            )
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    # -- registration / liveness ---------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        capacity: int = 1,
+        agent_generation: int = 0,
+    ) -> tuple[RemoteWorkerHandle, bool]:
+        """Admit (or refresh) a worker; returns ``(handle, joined)``.
+
+        ``joined`` is ``True`` only when the *name* is new to the ring —
+        a re-registration (worker restart, new port, heartbeat refresh)
+        updates the existing slot in place and bumps its generation so
+        cached connections are redialed, but does not move any ring
+        range (same name → same virtual points).
+        """
+        if not name:
+            raise ValueError("worker name must be non-empty")
+        now = self._clock()
+        with self._lock:
+            self._generation += 1
+            for handle in self._members:
+                if handle.name == name:
+                    handle.host = host
+                    handle.port = port
+                    handle.capacity = capacity
+                    handle.agent_generation = agent_generation
+                    handle.generation = self._generation
+                    handle.registered_at = now
+                    handle.last_seen = now
+                    self._epoch += 1
+                    log_event(
+                        _logger, logging.INFO, "cluster.register",
+                        worker=name, host=host, port=port, rejoined=True,
+                        generation=handle.generation, epoch=self._epoch,
+                    )
+                    return handle, False
+            handle = RemoteWorkerHandle(
+                name=name, host=host, port=port,
+                generation=self._generation,
+                shard=len(self._members), capacity=capacity,
+                agent_generation=agent_generation,
+                registered_at=now, last_seen=now,
+            )
+            self._members.append(handle)
+            self._epoch += 1
+            log_event(
+                _logger, logging.INFO, "cluster.register",
+                worker=name, host=host, port=port, rejoined=False,
+                generation=handle.generation, epoch=self._epoch,
+                workers=len(self._members),
+            )
+            return handle, True
+
+    def deregister(self, name: str) -> RemoteWorkerHandle | None:
+        """Remove a worker by name (graceful leave); compacts indexes."""
+        with self._lock:
+            for index, handle in enumerate(self._members):
+                if handle.name == name:
+                    del self._members[index]
+                    self._compact()
+                    self._epoch += 1
+                    log_event(
+                        _logger, logging.INFO, "cluster.deregister",
+                        worker=name, epoch=self._epoch,
+                        workers=len(self._members),
+                    )
+                    return handle
+            return None
+
+    def heartbeat(self, name: str, agent_generation: int = 0) -> bool:
+        """Record one heartbeat; ``False`` tells an unknown (evicted)
+        worker to re-register."""
+        with self._lock:
+            for handle in self._members:
+                if handle.name == name:
+                    handle.last_seen = self._clock()
+                    if agent_generation:
+                        handle.agent_generation = agent_generation
+                    return True
+            return False
+
+    def evict_stale(self) -> list[RemoteWorkerHandle]:
+        """Drop every member whose silence exceeds the timeout."""
+        now = self._clock()
+        with self._lock:
+            stale = [
+                handle for handle in self._members
+                if now - handle.last_seen > self.heartbeat_timeout
+            ]
+            if not stale:
+                return []
+            names = {handle.name for handle in stale}
+            self._members = [
+                handle for handle in self._members
+                if handle.name not in names
+            ]
+            self._compact()
+            self._epoch += 1
+            self._evictions += len(stale)
+            log_event(
+                _logger, logging.WARNING, "cluster.evict",
+                workers=sorted(names), epoch=self._epoch,
+                remaining=len(self._members),
+            )
+            return stale
+
+    def _compact(self) -> None:
+        """Re-index shard positions after a removal (lock held)."""
+        for index, handle in enumerate(self._members):
+            handle.shard = index
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def ring_epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def ring_names(self) -> list[str]:
+        """Member names in shard order — the ring's token keys."""
+        with self._lock:
+            return [handle.name for handle in self._members]
+
+    def handles(self) -> list[RemoteWorkerHandle]:
+        with self._lock:
+            return list(self._members)
+
+    def handle_for(self, name: str) -> RemoteWorkerHandle | None:
+        with self._lock:
+            for handle in self._members:
+                if handle.name == name:
+                    return handle
+            return None
+
+    def status(self) -> dict:
+        """The membership block of the controller's ``stats`` verb."""
+        now = self._clock()
+        with self._lock:
+            return {
+                "workers": len(self._members),
+                "ring_epoch": self._epoch,
+                "evictions": self._evictions,
+                "heartbeat_timeout": self.heartbeat_timeout,
+                "members": [
+                    {
+                        **handle.to_dict(),
+                        "age_seconds": round(now - handle.registered_at, 3),
+                        "silence_seconds": round(now - handle.last_seen, 3),
+                    }
+                    for handle in self._members
+                ],
+            }

@@ -59,6 +59,14 @@ class ServerOverloadedError(ReproError):
         self.retry_after_ms = retry_after_ms
 
 
+class UnauthorizedError(ReproError):
+    """A ``repro.serve`` connection failed the shared-secret handshake —
+    no credentials on an auth-required server, a bad HMAC, or a
+    cluster-control verb from an unauthenticated peer.  Surfaces over the
+    wire as the ``unauthorized`` envelope code.  The request was **not**
+    executed."""
+
+
 class RemoteError(ReproError):
     """A ``repro.serve`` server answered a request with an error envelope.
 

@@ -164,11 +164,32 @@ class Autoscaler:
             decision = self._decide(sample)
             self._last_shed = sample.shed
             if decision.action in ("up", "down"):
-                self._resize(decision.workers)
-                self._workers = decision.workers
-                self._last_resize_at = self._clock()
-                self._resizes += 1
-                self._calm_ticks = 0
+                try:
+                    self._resize(decision.workers)
+                except Exception as error:
+                    # a resize can fail live (a cluster draining a worker
+                    # that just crashed, a spawn hitting a resource limit);
+                    # the loop must survive it.  Record a hold, but start
+                    # the cooldown anyway so a persistently failing resize
+                    # is retried at the cooldown cadence, not every tick.
+                    log_event(
+                        _logger, logging.WARNING, "autoscale.resize_failed",
+                        target=decision.workers,
+                        error=type(error).__name__, detail=str(error),
+                    )
+                    self._last_resize_at = self._clock()
+                    self._calm_ticks = 0
+                    decision = AutoscaleDecision(
+                        "hold", sample.workers,
+                        f"resize to {decision.workers} failed: "
+                        f"{type(error).__name__}",
+                        decision.pressure, decision.shed_delta,
+                    )
+                else:
+                    self._workers = decision.workers
+                    self._last_resize_at = self._clock()
+                    self._resizes += 1
+                    self._calm_ticks = 0
             self._decisions.append(decision)
         level = (
             logging.INFO if decision.action != "hold" else logging.DEBUG

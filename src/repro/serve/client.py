@@ -57,6 +57,9 @@ def _request_frame(
     delta=None,  # Delta, or an already-encoded wire dict
     expect_version: int | None = None,
     version: int | None = None,
+    mac: str | None = None,
+    worker: dict | None = None,
+    workers: int | None = None,
 ) -> bytes:
     # raw dicts pass through untouched: a fleet front forwarding a verb
     # to its owning worker must not re-materialize the payloads
@@ -81,6 +84,9 @@ def _request_frame(
             delta=delta,
             expect_version=expect_version,
             version=version,
+            mac=mac,
+            worker=worker,
+            workers=workers,
         ).to_dict()
     )
 
@@ -113,6 +119,8 @@ class ServeClient:
         timeout: float | None = 30.0,
         retries: int = 0,
         backoff: BackoffPolicy | None = None,
+        auth_secret: str | None = None,
+        ssl_context=None,  # an ssl.SSLContext; see repro.cluster.auth
     ):
         if retries < 0:
             raise ValueError(f"retries must be non-negative, got {retries}")
@@ -121,6 +129,8 @@ class ServeClient:
         self._timeout = timeout
         self._retries = retries
         self._backoff = backoff or BackoffPolicy()
+        self._auth_secret = auth_secret
+        self._ssl_context = ssl_context
         self._sleep = time.sleep  # injectable: schedule-shape tests
         self._rng = random.Random()
         self._ids = itertools.count(1)
@@ -134,12 +144,38 @@ class ServeClient:
             (self._host, self._port), timeout=self._timeout
         )
         try:
+            if self._ssl_context is not None:
+                sock = self._ssl_context.wrap_socket(
+                    sock, server_hostname=self._host
+                )
             file = sock.makefile("rwb")
         except OSError:
             sock.close()  # never leak the socket on a half-open connect
             raise
         self._sock = sock
         self._file = file
+        if self._auth_secret is not None:
+            self._authenticate()
+
+    def _authenticate(self) -> None:
+        """The client half of the shared-secret handshake: runs on every
+        (re)connect, before any caller request touches the stream.  A
+        no-auth server answers ``required: false`` and the handshake is a
+        no-op, so a credentialed client works everywhere."""
+        from ..cluster.auth import compute_mac
+
+        hello = self._cycle("auth", None, None, None, None, None)
+        if not hello.get("required"):
+            return
+        nonce = hello.get("nonce")
+        if not isinstance(nonce, str):
+            raise ServeProtocolError(
+                f"auth handshake returned no nonce: {hello!r}"
+            )
+        self._cycle(
+            "auth", None, None, None, None, None,
+            mac=compute_mac(self._auth_secret, nonce),
+        )
 
     def reconnect(self) -> None:
         """Drop the current connection and dial the same endpoint again."""
@@ -176,6 +212,8 @@ class ServeClient:
         delta=None,
         expect_version: int | None = None,
         version: int | None = None,
+        worker: dict | None = None,
+        workers: int | None = None,
     ) -> dict:
         """One request → the response's ``result`` payload (or a raise).
 
@@ -197,15 +235,18 @@ class ServeClient:
             raise ServeProtocolError("client is closed")
         if trace_id is None and verb in _TRACED_VERBS:
             trace_id = new_trace_id()
-        frame_args = (verb, problem, instance, instances, trace_id,
-                      parent_span, instance_ref, delta, expect_version,
-                      version)
+        frame_kwargs = dict(
+            instance_ref=instance_ref, delta=delta,
+            expect_version=expect_version, version=version,
+            worker=worker, workers=workers,
+        )
         retries = (
             self._retries if replay_safe(verb, expect_version) else 0
         )
         for attempt in range(retries + 1):
             try:
-                return self._cycle(*frame_args)
+                return self._cycle(verb, problem, instance, instances,
+                                   trace_id, parent_span, **frame_kwargs)
             except RemoteError as error:
                 # the server answered; only "overloaded" invites a retry
                 # (the request was shed at admission, never executed) —
@@ -229,12 +270,13 @@ class ServeClient:
 
     def _cycle(self, verb, problem, instance, instances, trace_id,
                parent_span, instance_ref=None, delta=None,
-               expect_version=None, version=None) -> dict:
+               expect_version=None, version=None, mac=None, worker=None,
+               workers=None) -> dict:
         request_id = next(self._ids)
         self._file.write(
             _request_frame(request_id, verb, problem, instance, instances,
                            trace_id, parent_span, instance_ref, delta,
-                           expect_version, version)
+                           expect_version, version, mac, worker, workers)
         )
         self._file.flush()
         line = self._file.readline()
@@ -417,13 +459,36 @@ class AsyncServeClient:
         max_frame_bytes: int = 16 * 1024 * 1024,
         retries: int = 0,
         backoff: BackoffPolicy | None = None,
+        auth_secret: str | None = None,
+        ssl_context=None,  # an ssl.SSLContext; see repro.cluster.auth
     ) -> "AsyncServeClient":
         # limit= mirrors the server's frame cap: a large decide_batch or
         # stats response must not overrun asyncio's 64 KiB line default
         reader, writer = await asyncio.open_connection(
-            host, port, limit=max_frame_bytes
+            host, port, limit=max_frame_bytes, ssl=ssl_context,
+            server_hostname=(host if ssl_context is not None else None),
         )
-        return cls(reader, writer, retries=retries, backoff=backoff)
+        client = cls(reader, writer, retries=retries, backoff=backoff)
+        if auth_secret is not None:
+            try:
+                await client._authenticate(auth_secret)
+            except BaseException:
+                await client.close()
+                raise
+        return client
+
+    async def _authenticate(self, secret: str) -> None:
+        from ..cluster.auth import compute_mac
+
+        hello = await self.request("auth")
+        if not hello.get("required"):
+            return
+        nonce = hello.get("nonce")
+        if not isinstance(nonce, str):
+            raise ServeProtocolError(
+                f"auth handshake returned no nonce: {hello!r}"
+            )
+        await self.request("auth", mac=compute_mac(secret, nonce))
 
     async def _read_loop(self) -> None:
         try:
@@ -484,12 +549,15 @@ class AsyncServeClient:
         delta=None,
         expect_version: int | None = None,
         version: int | None = None,
+        mac: str | None = None,
+        worker: dict | None = None,
+        workers: int | None = None,
     ) -> dict:
         if trace_id is None and verb in _TRACED_VERBS:
             trace_id = new_trace_id()
         frame_args = (verb, problem, instance, instances, trace_id,
                       parent_span, instance_ref, delta, expect_version,
-                      version)
+                      version, mac, worker, workers)
         retries = (
             self._retries if replay_safe(verb, expect_version) else 0
         )
@@ -508,7 +576,8 @@ class AsyncServeClient:
 
     async def _request_once(self, verb, problem, instance, instances,
                             trace_id, parent_span, instance_ref, delta,
-                            expect_version, version) -> dict:
+                            expect_version, version, mac=None, worker=None,
+                            workers=None) -> dict:
         if self._closed:
             raise ServeProtocolError("client is closed")
         request_id = next(self._ids)
@@ -517,7 +586,7 @@ class AsyncServeClient:
         self._writer.write(
             _request_frame(request_id, verb, problem, instance, instances,
                            trace_id, parent_span, instance_ref, delta,
-                           expect_version, version)
+                           expect_version, version, mac, worker, workers)
         )
         await self._writer.drain()
         return await future

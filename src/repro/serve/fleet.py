@@ -89,7 +89,7 @@ class _WorkerSession:
 
     __slots__ = ("_fleet", "_shard")
 
-    def __init__(self, fleet: "FleetEngine", shard: int):
+    def __init__(self, fleet: "BaseWorkerFleet", shard: int):
         self._fleet = fleet
         self._shard = shard
 
@@ -121,13 +121,34 @@ class _WorkerSession:
         return result
 
 
-class FleetEngine:
-    """*N* worker processes behind the :class:`ShardedEngine` surface.
+class BaseWorkerFleet:
+    """The :class:`ShardedEngine` surface over *remote* workers, with the
+    transport abstracted behind a **worker provider**.
 
-    Drop-in for the in-process engine everywhere the serving layer cares:
-    ``decide`` / ``decide_batch`` / ``classify`` / ``explain`` / ``stats``
-    / ``close`` / ``shard_for`` / ``session``, every problem-taking call
-    routed by the canonical class digest over the shared hash ring.
+    The provider is the only thing that differs between a loopback
+    process fleet and a distributed cluster.  It must expose:
+
+    ``n_workers`` (property)
+        how many workers the fleet currently routes over;
+    ``ensure_alive(shard) -> handle``
+        the shard's current endpoint — any object with ``host``, ``port``
+        and ``generation`` attributes (a
+        :class:`~repro.serve.supervisor.WorkerHandle` or a
+        :class:`~repro.cluster.RemoteWorkerHandle`).  ``generation`` must
+        change whenever the endpoint does: the connection cache keys on
+        it, so a stale client is never reused against a new worker;
+    ``restart(shard, observed_generation) -> handle``
+        recover the shard after a transport failure.  A local supervisor
+        respawns the process (generation CAS); a cluster membership can
+        only hand back a *newer* registration if one arrived, else raise
+        :class:`~repro.exceptions.WorkerUnavailableError` — either way
+        the caller retries at most once and never hangs;
+    ``stop()``
+        release every worker this provider owns.
+
+    Everything above the provider — ring routing, the respawn-aware
+    retried wire call, replay-safety gating, ref affinity, stats/trace
+    merging — is identical for both transports and lives here.
     Thread-safe: per-worker connections are lock-protected, and the
     asyncio front drives this from its thread pool exactly like a
     :class:`ShardedEngine`.
@@ -135,32 +156,18 @@ class FleetEngine:
 
     def __init__(
         self,
-        n_workers: int = 2,
-        worker_config=None,
+        provider,
+        ring: HashRing | None,
         *,
         config: FleetConfig | None = None,
+        client_auth: str | None = None,
+        client_ssl=None,
     ):
-        from .server import ServerConfig
-        from .supervisor import FleetSupervisor
-
         self.config = config or FleetConfig()
-        if worker_config is None:
-            worker_config = ServerConfig(host="127.0.0.1", port=0, shards=1)
-        if worker_config.port != 0:
-            raise ValueError(
-                "worker_config.port must be 0 (each worker binds its own "
-                "ephemeral loopback port)"
-            )
-        self._worker_config = worker_config
-        self._supervisor = FleetSupervisor(
-            worker_config,
-            n_workers,
-            spawn_timeout=self.config.spawn_timeout,
-            heartbeat_seconds=self.config.heartbeat_seconds,
-            respawn=self.config.respawn,
-            drain_timeout=self.config.drain_timeout,
-        )
-        self._ring = HashRing(n_workers, replicas=self.config.replicas)
+        self._provider = provider
+        self._ring = ring
+        self._client_auth = client_auth
+        self._client_ssl = client_ssl
         self._clients: dict[int, tuple[int, ServeClient]] = {}
         self._client_locks: dict[int, threading.Lock] = {}
         self._state_lock = threading.Lock()
@@ -170,23 +177,28 @@ class FleetEngine:
 
     @property
     def n_shards(self) -> int:
-        return self._supervisor.n_workers
+        return self._provider.n_workers
 
-    @property
-    def supervisor(self):
-        return self._supervisor
+    def _require_ring(self) -> HashRing:
+        ring = self._ring
+        if ring is None:
+            raise WorkerUnavailableError(
+                "the fleet has no workers to route to (none registered "
+                "yet, or all evicted); the request was not executed"
+            )
+        return ring
 
     def shard_for(self, problem: Problem) -> int:
         """The worker owning *problem*'s canonical class (deterministic,
         and identical to an in-process :class:`ShardedEngine` of the same
         width)."""
-        return self._ring.shard_for(problem.fingerprint.digest)
+        return self._require_ring().shard_for(problem.fingerprint.digest)
 
     def shard_for_ref(self, ref: str) -> int:
         """The worker owning the named instance *ref* (ref-affinity:
         decides by reference go where the instance and its incremental
         states live, agreeing with :class:`ShardedEngine` placement)."""
-        return self._ring.shard_for(ref_digest(ref))
+        return self._require_ring().shard_for(ref_digest(ref))
 
     def session(self, shard: int) -> _WorkerSession:
         """The shard's session-shaped worker proxy."""
@@ -204,13 +216,14 @@ class FleetEngine:
     def _connected_client(self, shard: int) -> tuple[int, ServeClient]:
         """A client bound to the shard's *current* worker generation
         (caller must hold the shard's client lock)."""
-        handle = self._supervisor.ensure_alive(shard)
+        handle = self._provider.ensure_alive(shard)
         entry = self._clients.get(shard)
         if entry is not None and entry[0] == handle.generation:
             return entry
         self._drop_client(shard)
         client = ServeClient(
-            handle.host, handle.port, timeout=self.config.request_timeout
+            handle.host, handle.port, timeout=self.config.request_timeout,
+            auth_secret=self._client_auth, ssl_context=self._client_ssl,
         )
         self._clients[shard] = (handle.generation, client)
         return self._clients[shard]
@@ -272,7 +285,7 @@ class FleetEngine:
             # restart is a generation CAS: it respawns only if the worker
             # really died; if it merely hung up on us, the fresh
             # connection below is the whole repair
-            self._supervisor.restart(shard, generation)
+            self._provider.restart(shard, generation)
             _, client = self._connected_client(shard)
             try:
                 return client.request(verb, **payload)
@@ -407,42 +420,7 @@ class FleetEngine:
                 merged[name] = snapshot
         return merged
 
-    # -- resizing ------------------------------------------------------------
-
-    def resize(self, n_workers: int) -> "FleetEngine":
-        """Grow or shrink the fleet; ~1/N of class digests remap.
-
-        Named instances follow the ring: before the worker set changes,
-        every ref whose owner moves (or whose worker is being retired) is
-        snapshotted at its current version, then re-``put`` — version
-        preserved, so client CAS preconditions keep holding — on its new
-        owner and dropped from the surviving old one.  The per-``(plan,
-        ref)`` incremental states do not migrate (they rebuild from the
-        instance on the next ref-decide); the delta *log* restarts at the
-        migrated version, which only costs a rebuild, never an answer.
-        Migration is best-effort: a ref that cannot be snapshotted or
-        re-put is logged and becomes ``unknown-instance`` on its new
-        owner — the same contract as an eviction.
-        """
-        old_n = self.n_shards
-        new_ring = HashRing(n_workers, replicas=self.config.replicas)
-        moves = (
-            self._collect_moves(old_n, n_workers, new_ring)
-            if n_workers != old_n
-            else []
-        )
-        self._supervisor.resize(n_workers)
-        with self._state_lock:
-            self._ring = new_ring
-            for shard in list(self._clients):
-                if shard >= n_workers:
-                    _, client = self._clients.pop(shard)
-                    try:
-                        client.close()
-                    except OSError:
-                        pass
-        self._migrate(moves, n_workers)
-        return self
+    # -- instance migration (shared by resize and cluster rebalance) ---------
 
     def _collect_moves(
         self, old_n: int, n_workers: int, new_ring: HashRing
@@ -534,13 +512,13 @@ class FleetEngine:
                 client.close()
             except OSError:
                 pass
-        self._supervisor.stop()
+        self._provider.stop()
 
     @property
     def closed(self) -> bool:
         return self._closed
 
-    def __enter__(self) -> "FleetEngine":
+    def __enter__(self) -> "BaseWorkerFleet":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -548,7 +526,91 @@ class FleetEngine:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
-        return f"FleetEngine({state}, workers={self.n_shards})"
+        return f"{type(self).__name__}({state}, workers={self.n_shards})"
+
+
+class FleetEngine(BaseWorkerFleet):
+    """*N* locally spawned worker processes behind the fleet surface.
+
+    The provider here is a :class:`~repro.serve.supervisor.FleetSupervisor`
+    — pipe-spawned loopback processes with readiness handshakes, heartbeat
+    respawn and drain-on-stop.  Retry/respawn semantics are exactly the
+    base class's: this subclass only adds spawning and tail-resize.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        worker_config=None,
+        *,
+        config: FleetConfig | None = None,
+    ):
+        from .server import ServerConfig
+        from .supervisor import FleetSupervisor
+
+        config = config or FleetConfig()
+        if worker_config is None:
+            worker_config = ServerConfig(host="127.0.0.1", port=0, shards=1)
+        if worker_config.port != 0:
+            raise ValueError(
+                "worker_config.port must be 0 (each worker binds its own "
+                "ephemeral loopback port)"
+            )
+        self._worker_config = worker_config
+        supervisor = FleetSupervisor(
+            worker_config,
+            n_workers,
+            spawn_timeout=config.spawn_timeout,
+            heartbeat_seconds=config.heartbeat_seconds,
+            respawn=config.respawn,
+            drain_timeout=config.drain_timeout,
+        )
+        super().__init__(
+            supervisor,
+            HashRing(n_workers, replicas=config.replicas),
+            config=config,
+        )
+
+    @property
+    def supervisor(self):
+        return self._provider
+
+    # -- resizing ------------------------------------------------------------
+
+    def resize(self, n_workers: int) -> "FleetEngine":
+        """Grow or shrink the fleet; ~1/N of class digests remap.
+
+        Named instances follow the ring: before the worker set changes,
+        every ref whose owner moves (or whose worker is being retired) is
+        snapshotted at its current version, then re-``put`` — version
+        preserved, so client CAS preconditions keep holding — on its new
+        owner and dropped from the surviving old one.  The per-``(plan,
+        ref)`` incremental states do not migrate (they rebuild from the
+        instance on the next ref-decide); the delta *log* restarts at the
+        migrated version, which only costs a rebuild, never an answer.
+        Migration is best-effort: a ref that cannot be snapshotted or
+        re-put is logged and becomes ``unknown-instance`` on its new
+        owner — the same contract as an eviction.
+        """
+        old_n = self.n_shards
+        new_ring = HashRing(n_workers, replicas=self.config.replicas)
+        moves = (
+            self._collect_moves(old_n, n_workers, new_ring)
+            if n_workers != old_n
+            else []
+        )
+        self._provider.resize(n_workers)
+        with self._state_lock:
+            self._ring = new_ring
+            for shard in list(self._clients):
+                if shard >= n_workers:
+                    _, client = self._clients.pop(shard)
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+        self._migrate(moves, n_workers)
+        return self
 
 
 def _is_transport(error: Exception) -> bool:

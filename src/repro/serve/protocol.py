@@ -66,6 +66,33 @@ Verbs and their payloads:
     answers the ``unknown-instance`` error code.
 ``shutdown``
     no payload; answers ``{"stopping": true}`` and the server drains.
+``auth``
+    the shared-secret handshake (client-initiated, two steps).  Step one
+    carries no payload and answers ``{"required": bool, "nonce": ...}``;
+    when ``required`` the client answers with a second ``auth`` frame
+    carrying ``mac`` = HMAC-SHA256(secret, nonce) and receives
+    ``{"authenticated": true}``.  On an auth-required server every other
+    verb before a successful handshake answers the ``unauthorized`` code.
+``register``
+    cluster controllers only; ``worker`` = ``{"name", "host", "port",
+    "capacity", "generation"}`` — the worker's advertised dial address.
+    Answers ``{"worker": {...}, "workers": n, "ring_epoch": e}`` and
+    triggers a live ring rebalance (ref migration + plan-cache warmup).
+``deregister``
+    cluster controllers only; ``worker`` = ``{"name"}`` (+ optional
+    ``"stop": true`` to also shut the worker down).  Graceful drain: the
+    leaver's stored instances migrate (versions preserved) before the
+    ring shrinks.  Answers ``{"removed": bool, "workers": n,
+    "ring_epoch": e}``.
+``heartbeat``
+    cluster controllers only; ``worker`` = ``{"name", "generation"}``.
+    Answers ``{"known": bool, "workers": n, "ring_epoch": e}`` —
+    ``known: false`` tells an evicted worker to re-register.
+``resize``
+    ``workers`` (an int); fleet fronts resize the local supervisor,
+    cluster controllers drain surplus members (shrink) or record the
+    target width for joining workers (grow).  Answers ``{"workers": n,
+    "requested": m}``.
 
 Any request may carry the optional tracing fields ``trace_id`` (an
 opaque string naming the request's distributed trace; clients generate
@@ -104,6 +131,7 @@ from ..exceptions import (
     ReproError,
     ServeProtocolError,
     ServerOverloadedError,
+    UnauthorizedError,
     UnknownInstanceError,
     WorkerUnavailableError,
 )
@@ -114,7 +142,8 @@ VERSION = 1
 VERBS = (
     "ping", "decide", "decide_batch", "classify", "explain", "stats",
     "metrics", "trace", "instance_put", "instance_patch", "instance_drop",
-    "instance_get", "instance_list", "shutdown",
+    "instance_get", "instance_list", "shutdown", "auth", "register",
+    "deregister", "heartbeat", "resize",
 )
 
 #: code → meaning of the structured error envelope.
@@ -134,6 +163,9 @@ ERROR_CODES = {
     "overloaded": "the server shed the request at admission (an inflight/"
                   "queue budget is exhausted); it was not executed — retry "
                   "after the envelope's retry_after_ms hint",
+    "unauthorized": "the connection has not completed the shared-secret "
+                    "handshake (or presented a bad MAC); authenticate via "
+                    "the 'auth' verb and retry",
     "internal": "unexpected server-side failure",
 }
 
@@ -174,6 +206,9 @@ class Request:
     delta: dict | None = None
     expect_version: int | None = None
     version: int | None = None
+    mac: str | None = None
+    worker: dict | None = None
+    workers: int | None = None
 
     def to_dict(self) -> dict:
         data: dict = {"id": self.id, "verb": self.verb}
@@ -195,6 +230,12 @@ class Request:
             data["expect_version"] = self.expect_version
         if self.version is not None:
             data["version"] = self.version
+        if self.mac is not None:
+            data["mac"] = self.mac
+        if self.worker is not None:
+            data["worker"] = self.worker
+        if self.workers is not None:
+            data["workers"] = self.workers
         return data
 
 
@@ -273,6 +314,17 @@ def decode_request(line: bytes | str | dict) -> Request:
         not isinstance(version, int) or isinstance(version, bool)
     ):
         raise ServeProtocolError("request 'version' must be an integer")
+    mac = data.get("mac")
+    if mac is not None and not isinstance(mac, str):
+        raise ServeProtocolError("request 'mac' must be a string")
+    worker = data.get("worker")
+    if worker is not None and not isinstance(worker, dict):
+        raise ServeProtocolError("request 'worker' must be an object")
+    workers = data.get("workers")
+    if workers is not None and (
+        not isinstance(workers, int) or isinstance(workers, bool)
+    ):
+        raise ServeProtocolError("request 'workers' must be an integer")
     return Request(
         id=request_id,
         verb=verb,
@@ -285,6 +337,9 @@ def decode_request(line: bytes | str | dict) -> Request:
         delta=delta,
         expect_version=expect_version,
         version=version,
+        mac=mac,
+        worker=worker,
+        workers=workers,
     )
 
 
@@ -328,6 +383,8 @@ def error_code_for(error: Exception) -> str:
         return "unknown-instance"
     if isinstance(error, ServerOverloadedError):
         return "overloaded"
+    if isinstance(error, UnauthorizedError):
+        return "unauthorized"
     if isinstance(error, DeltaConflictError):
         return "conflict"
     if isinstance(error, ReproError):

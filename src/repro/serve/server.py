@@ -47,7 +47,11 @@ from ..api.session import SessionConfig
 from ..db import io as db_io
 from ..db.instance import DatabaseInstance
 from ..engine.metrics import merge_snapshots
-from ..exceptions import ServeProtocolError, ServerOverloadedError
+from ..exceptions import (
+    ServeProtocolError,
+    ServerOverloadedError,
+    UnauthorizedError,
+)
 from ..obs.log import (
     LOG_FORMATS,
     LOG_LEVELS,
@@ -88,6 +92,14 @@ _logger = get_logger("serve.server")
 #: must be able to inspect and drain an overloaded server.
 _BUDGETED_VERBS = frozenset({"decide", "decide_batch"})
 
+#: Bind addresses that never leave the host: safe without authentication.
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
+
+
+def is_loopback(host: str) -> bool:
+    """Does *host* name the loopback interface (never leaves the machine)?"""
+    return host in _LOOPBACK_HOSTS or host.startswith("127.")
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -120,6 +132,10 @@ class ServerConfig:
     retry_after_ms: int = 50  # base of the overloaded envelope's hint
     # -- metrics-driven autoscaling (fleet fronts only) --
     autoscale: AutoscaleConfig | None = None
+    # -- transport hardening (required for non-loopback binds) --
+    auth_secret: str | None = None  # shared-secret HMAC handshake
+    tls_cert: str | None = None  # PEM cert chain (enables TLS)
+    tls_key: str | None = None  # PEM private key
 
     def __post_init__(self) -> None:
         if self.log_level not in LOG_LEVELS:
@@ -173,6 +189,17 @@ class ServerConfig:
             raise ValueError(
                 "autoscale needs a process fleet (processes >= 1): thread "
                 "shards cannot be resized live"
+            )
+        if not is_loopback(self.host) and not self.auth_secret:
+            raise ValueError(
+                f"refusing to bind {self.host!r} without authentication: "
+                "a non-loopback listener is reachable from the network, so "
+                "it requires auth_secret (repro serve --secret / "
+                "REPRO_CLUSTER_SECRET); loopback binds stay open"
+            )
+        if (self.tls_cert is None) != (self.tls_key is None):
+            raise ValueError(
+                "tls_cert and tls_key must be configured together"
             )
 
     def session_config(self) -> SessionConfig:
@@ -465,12 +492,14 @@ class MicroBatcher:
 
 
 class _ConnectionState:
-    """Per-connection admission bookkeeping (event-loop-confined)."""
+    """Per-connection admission + auth bookkeeping (event-loop-confined)."""
 
-    __slots__ = ("inflight",)
+    __slots__ = ("inflight", "authenticated", "nonce")
 
     def __init__(self) -> None:
         self.inflight = 0
+        self.authenticated = False
+        self.nonce: str | None = None
 
 
 class CertaintyServer:
@@ -495,27 +524,8 @@ class CertaintyServer:
         self.metrics = ServerMetrics()
         if self.config.span_log:
             configure_recorder(span_log=self.config.span_log)
-        if self.config.processes > 0:
-            # imported here: fleet -> supervisor -> server is the worker's
-            # import path, so the module level must stay acyclic
-            from .fleet import FleetEngine
-
-            self._sharded = FleetEngine(
-                self.config.processes, self.config.worker_config()
-            )
-        else:
-            self._sharded = ShardedEngine(
-                self.config.shards, self.config.session_config()
-            )
-        # thread mode holds the one instance store here; a fleet front
-        # holds none — every ref hashes to a worker process whose own
-        # server (processes=0) owns that slice of the registry
-        if self.config.processes > 0:
-            self._store = None
-        else:
-            from ..store import InstanceStore
-
-            self._store = InstanceStore(max_bytes=self.config.store_bytes)
+        self._sharded = self._build_engine()
+        self._store = self._build_store()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.max_workers or self.config.engine_width,
             thread_name_prefix="repro-serve",
@@ -541,6 +551,32 @@ class CertaintyServer:
                 initial_workers=self._sharded.n_shards,
             )
 
+    def _build_engine(self):
+        """The engine behind the batcher — overridden by the cluster
+        controller (:class:`repro.cluster.ClusterServer`), which routes
+        over *registered remote* workers instead."""
+        if self.config.processes > 0:
+            # imported here: fleet -> supervisor -> server is the worker's
+            # import path, so the module level must stay acyclic
+            from .fleet import FleetEngine
+
+            return FleetEngine(
+                self.config.processes, self.config.worker_config()
+            )
+        return ShardedEngine(
+            self.config.shards, self.config.session_config()
+        )
+
+    def _build_store(self):
+        """Thread mode holds the one instance store here; a fleet front
+        (and a cluster controller) holds none — every ref hashes to a
+        worker whose own server owns that slice of the registry."""
+        if self.config.processes > 0:
+            return None
+        from ..store import InstanceStore
+
+        return InstanceStore(max_bytes=self.config.store_bytes)
+
     @property
     def sharded_engine(self) -> ShardedEngine:
         return self._sharded
@@ -556,6 +592,13 @@ class CertaintyServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
+        ssl_context = None
+        if self.config.tls_cert is not None:
+            from ..cluster.auth import server_ssl_context
+
+            ssl_context = server_ssl_context(
+                self.config.tls_cert, self.config.tls_key
+            )
         # limit= raises the 64 KiB default line cap: one frame carries a
         # whole instance document, which easily exceeds it
         self._server = await asyncio.start_server(
@@ -563,6 +606,7 @@ class CertaintyServer:
             self.config.host,
             self.config.port,
             limit=self.config.max_frame_bytes,
+            ssl=ssl_context,
         )
         if self._autoscaler is not None:
             self._autoscale_task = asyncio.get_running_loop().create_task(
@@ -739,17 +783,28 @@ class CertaintyServer:
             self.metrics.count_request(
                 request.verb if request.verb in VERBS else "<unknown>"
             )
-            budgeted = verb in _BUDGETED_VERBS
-            if budgeted:
-                self._admit(verb, state)  # raises ServerOverloadedError
-                state.inflight += 1
-                self._inflight += 1
-            try:
-                result = await self._dispatch(request, offload=offload)
-            finally:
+            if verb == "auth":
+                result = self._handle_auth(request, state)
+            else:
+                if (
+                    self.config.auth_secret is not None
+                    and not state.authenticated
+                ):
+                    raise UnauthorizedError(
+                        "this server requires the shared-secret handshake: "
+                        "authenticate with the 'auth' verb first"
+                    )
+                budgeted = verb in _BUDGETED_VERBS
                 if budgeted:
-                    state.inflight -= 1
-                    self._inflight -= 1
+                    self._admit(verb, state)  # raises ServerOverloadedError
+                    state.inflight += 1
+                    self._inflight += 1
+                try:
+                    result = await self._dispatch(request, offload=offload)
+                finally:
+                    if budgeted:
+                        state.inflight -= 1
+                        self._inflight -= 1
             response = ok_response(request.id, result)
         except Exception as error:  # every failure becomes an envelope
             self.metrics.count_error()
@@ -786,6 +841,35 @@ class CertaintyServer:
                 error=error_code,
                 ms=round((time.perf_counter() - started) * 1e3, 3),
             )
+
+    # -- the shared-secret handshake -----------------------------------------
+
+    def _handle_auth(self, request: Request, state: _ConnectionState) -> dict:
+        """The client-initiated two-step handshake (``auth`` verb).
+
+        Step one (no ``mac``) mints a fresh per-connection nonce; step two
+        proves knowledge of the shared secret with
+        ``HMAC-SHA256(secret, nonce)``.  A server with no secret
+        configured answers ``required: false`` so a credentialed client
+        works against open loopback servers too.  A bad MAC burns the
+        nonce — the client must restart the handshake.
+        """
+        from ..cluster.auth import new_nonce, verify_mac
+
+        secret = self.config.auth_secret
+        if secret is None:
+            state.authenticated = True
+            return {"required": False, "authenticated": True}
+        if request.mac is None:
+            state.nonce = new_nonce()
+            return {"required": True, "nonce": state.nonce}
+        nonce, state.nonce = state.nonce, None  # single-use challenge
+        if nonce is None or not verify_mac(secret, nonce, request.mac):
+            raise UnauthorizedError(
+                "bad MAC (or no outstanding nonce): the handshake failed"
+            )
+        state.authenticated = True
+        return {"required": True, "authenticated": True}
 
     # -- admission control ---------------------------------------------------
 
@@ -841,6 +925,23 @@ class CertaintyServer:
         if verb == "shutdown":
             self.request_shutdown()
             return {"stopping": True}
+        if verb == "resize":
+            if request.workers is None or request.workers < 1:
+                raise ServeProtocolError(
+                    "'resize' needs a positive 'workers' count"
+                )
+            resize = getattr(self._sharded, "resize", None)
+            if resize is None:
+                raise UnsupportedVerbError(
+                    "this server's engine cannot resize live (in-process "
+                    "thread shards; run --processes N or a cluster "
+                    "controller)"
+                )
+            await self._run_on_pool(resize, request.workers)
+            return {
+                "workers": self._sharded.n_shards,
+                "requested": request.workers,
+            }
         if verb == "decide":
             if request.instance_ref is not None:
                 return await self._decide_ref(request, offload=offload)
@@ -1204,17 +1305,22 @@ class CertaintyServer:
         return Problem.from_dict(request.problem)
 
 
-async def _serve_async(config: ServerConfig, *, ready=None) -> None:
-    server = CertaintyServer(config)
+async def _serve_async(
+    config: ServerConfig, *, ready=None, server_factory=None
+) -> None:
+    server = (server_factory or CertaintyServer)(config)
     await server.start()
     if ready is not None:
         ready(server)
     await server.serve_until_stopped()
 
 
-def run_server(config: ServerConfig | None = None) -> None:
+def run_server(
+    config: ServerConfig | None = None, *, server_factory=None
+) -> None:
     """Run a server in the foreground until interrupted or told to stop
-    (the ``repro serve`` entry point)."""
+    (the ``repro serve`` entry point).  *server_factory* swaps the server
+    class (the cluster controller reuses this whole runner)."""
     config = config or ServerConfig()
     setup_logging(config.log_level, config.log_format)
 
@@ -1242,7 +1348,9 @@ def run_server(config: ServerConfig | None = None) -> None:
         )
 
     try:
-        asyncio.run(_serve_async(config, ready=announce))
+        asyncio.run(
+            _serve_async(config, ready=announce, server_factory=server_factory)
+        )
     except KeyboardInterrupt:
         pass
 
@@ -1260,8 +1368,11 @@ class BackgroundServer:
     and joins the thread.
     """
 
-    def __init__(self, config: ServerConfig | None = None):
+    def __init__(
+        self, config: ServerConfig | None = None, *, server_factory=None
+    ):
         self.config = config or ServerConfig()
+        self._server_factory = server_factory
         self._ready = threading.Event()
         self._server: CertaintyServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -1277,7 +1388,10 @@ class BackgroundServer:
             self._ready.set()
 
         try:
-            asyncio.run(_serve_async(self.config, ready=remember))
+            asyncio.run(_serve_async(
+                self.config, ready=remember,
+                server_factory=self._server_factory,
+            ))
         except BaseException as error:  # surface bind failures to the waiter
             self._startup_error = error
             self._ready.set()

@@ -47,19 +47,45 @@ def ref_digest(ref: str) -> str:
 
 
 class HashRing:
-    """A consistent-hash ring mapping hex digests to shard indexes."""
+    """A consistent-hash ring mapping hex digests to shard indexes.
 
-    def __init__(self, n_shards: int, replicas: int = 64):
+    Ring tokens are keyed by member *name* (``names``), defaulting to
+    ``shard-{i}`` — which preserves every historical placement for the
+    index-addressed thread/process fleets.  A cluster controller keys
+    the ring by worker name instead: a member's virtual points depend
+    only on its own name, so an arbitrary member leaving (not just the
+    tail) remaps only ~``1/N`` of the digest space, and a worker that
+    rejoins under the same name reclaims exactly its old ranges.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        replicas: int = 64,
+        *,
+        names: tuple[str, ...] | list[str] | None = None,
+    ):
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
         if replicas < 1:
             raise ValueError(f"replicas must be positive, got {replicas}")
+        if names is None:
+            names = tuple(f"shard-{shard}" for shard in range(n_shards))
+        else:
+            names = tuple(names)
+            if len(names) != n_shards:
+                raise ValueError(
+                    f"ring has {n_shards} shards but {len(names)} names"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError("ring member names must be unique")
         self.n_shards = n_shards
         self.replicas = replicas
+        self.names = names
         points: list[tuple[int, int]] = []
-        for shard in range(n_shards):
+        for shard, name in enumerate(names):
             for replica in range(replicas):
-                token = f"shard-{shard}/{replica}".encode("ascii")
+                token = f"{name}/{replica}".encode("utf-8")
                 point = int.from_bytes(
                     hashlib.sha256(token).digest()[:8], "big"
                 )

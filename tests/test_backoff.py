@@ -90,7 +90,7 @@ class TestClientRetrySchedule:
         client._sleep = sleeps.append
         attempts = 0
 
-        def shed_then_answer(*args):
+        def shed_then_answer(*args, **kwargs):
             nonlocal attempts
             attempts += 1
             if attempts <= 3:
@@ -115,7 +115,7 @@ class TestClientRetrySchedule:
         client.reconnect = lambda: reconnects.append(True)
         attempts = 0
 
-        def die_then_answer(*args):
+        def die_then_answer(*args, **kwargs):
             nonlocal attempts
             attempts += 1
             if attempts <= 3:
@@ -133,7 +133,7 @@ class TestClientRetrySchedule:
         sleeps: list[float] = []
         client._sleep = sleeps.append
 
-        def always_shed(*args):
+        def always_shed(*args, **kwargs):
             raise RemoteError("overloaded", "busy", retry_after_ms=5)
 
         client._cycle = always_shed
@@ -150,7 +150,7 @@ class TestClientRetrySchedule:
         client._sleep = lambda _: pytest.fail("must not sleep")
         calls = []
 
-        def internal_error(*args):
+        def internal_error(*args, **kwargs):
             calls.append(True)
             raise RemoteError("internal", "boom")
 
@@ -166,7 +166,7 @@ class TestClientRetrySchedule:
         client._sleep = lambda _: pytest.fail("must not sleep")
         calls = []
 
-        def shed(*args):
+        def shed(*args, **kwargs):
             calls.append(True)
             raise RemoteError("overloaded", "busy", retry_after_ms=9)
 

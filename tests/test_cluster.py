@@ -1,0 +1,483 @@
+"""Tests for the distributed cluster control plane (`repro.cluster`).
+
+Covers the acceptance scenario end to end over real 127.0.0.1 TCP: a
+worker on a second address joins a secret-requiring controller, receives
+~1/N of the ring (stored refs migrate with versions preserved), serves
+decides whose trace ids survive the extra hop, and — after a crash — is
+evicted by heartbeat timeout with the ring rebalanced and no in-flight
+request hung.  Plus the unit layers underneath: the HMAC handshake and
+``unauthorized`` envelope, non-loopback bind validation, the name-keyed
+ring's ~1/N remap guarantees, and the membership registry.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Problem
+from repro.cluster import (
+    AgentConfig,
+    ClusterMembership,
+    WorkerAgent,
+    compute_mac,
+    verify_mac,
+)
+from repro.cluster.controller import ClusterEngine, ClusterServer
+from repro.exceptions import RemoteError, WorkerUnavailableError
+from repro.serve import BackgroundServer, HashRing, ServeClient, ServerConfig
+from repro.serve.shard import ref_digest
+
+SECRET = "test-fleet-secret"
+
+
+def _class_problem(i: int) -> Problem:
+    """Problems in pairwise-distinct canonical classes (constants are not
+    renamed away, so each constant makes its own class)."""
+    return Problem.of("R(x | y)", f"S(y | 'c{i}')", fks=["R[2]->S"])
+
+
+def _class_instance(i: int):
+    from repro.core.schema import Schema
+    from repro.db.instance import DatabaseInstance
+
+    schema = Schema.of(R=(2, 1), S=(2, 1))
+    return DatabaseInstance.build(
+        schema, {"R": [("a", "b")], "S": [("b", f"c{i}")]}
+    )
+
+
+def _controller_factory(heartbeat_timeout: float = 1.0):
+    def factory(config: ServerConfig) -> ClusterServer:
+        return ClusterServer(
+            config,
+            membership=ClusterMembership(
+                heartbeat_timeout=heartbeat_timeout
+            ),
+        )
+
+    return factory
+
+
+def _agent(ctrl_addr, name, **overrides) -> WorkerAgent:
+    host, port = ctrl_addr
+    return WorkerAgent(
+        ServerConfig(shards=1, linger_ms=0.0),
+        AgentConfig(
+            controller_host=host,
+            controller_port=port,
+            name=name,
+            heartbeat_seconds=overrides.pop("heartbeat_seconds", 0.2),
+            auth_secret=overrides.pop("auth_secret", SECRET),
+            **overrides,
+        ),
+    )
+
+
+def _wait_for_workers(client: ServeClient, n: int, timeout: float = 10.0):
+    deadline = time.monotonic() + timeout
+    status = None
+    while time.monotonic() < deadline:
+        status = client.stats()["server"]["cluster"]
+        if status["workers"] == n:
+            return status
+        time.sleep(0.1)
+    raise AssertionError(
+        f"cluster never reached {n} workers; last status: {status}"
+    )
+
+
+class TestAuth:
+    def test_mac_round_trip(self):
+        mac = compute_mac("s", "nonce-1")
+        assert verify_mac("s", "nonce-1", mac)
+        assert not verify_mac("s", "nonce-2", mac)
+        assert not verify_mac("other", "nonce-1", mac)
+        assert not verify_mac("s", "nonce-1", None)
+
+    def test_open_server_accepts_credentialed_client(self):
+        # a no-secret loopback server answers required=False, so a client
+        # configured with a secret works against it unchanged
+        with BackgroundServer(ServerConfig(shards=1)) as server:
+            host, port = server.address
+            with ServeClient(host, port, auth_secret="anything") as client:
+                assert client.ping()["pong"] is True
+
+    def test_unauthenticated_request_is_refused(self):
+        config = ServerConfig(shards=1, auth_secret=SECRET)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.ping()
+                assert excinfo.value.code == "unauthorized"
+
+    def test_bad_secret_is_refused(self):
+        config = ServerConfig(shards=1, auth_secret=SECRET)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            with pytest.raises(RemoteError) as excinfo:
+                ServeClient(host, port, auth_secret="wrong").ping()
+            assert excinfo.value.code == "unauthorized"
+
+    def test_good_secret_authenticates(self):
+        config = ServerConfig(shards=1, auth_secret=SECRET)
+        with BackgroundServer(config) as server:
+            host, port = server.address
+            with ServeClient(host, port, auth_secret=SECRET) as client:
+                assert client.ping()["pong"] is True
+
+
+class TestHostValidation:
+    def test_non_loopback_bind_requires_secret(self):
+        with pytest.raises(ValueError, match="without authentication"):
+            ServerConfig(host="0.0.0.0")
+
+    def test_non_loopback_bind_with_secret_is_allowed(self):
+        config = ServerConfig(host="0.0.0.0", auth_secret=SECRET)
+        assert config.auth_secret == SECRET
+
+    @pytest.mark.parametrize("host", ["127.0.0.1", "localhost", "::1",
+                                      "127.1.2.3"])
+    def test_loopback_bind_stays_open(self, host):
+        assert ServerConfig(host=host).auth_secret is None
+
+    def test_tls_cert_and_key_must_pair(self):
+        with pytest.raises(ValueError, match="together"):
+            ServerConfig(tls_cert="cert.pem")
+        with pytest.raises(ValueError, match="together"):
+            ServerConfig(tls_key="key.pem")
+
+
+class TestNamedRing:
+    def _placements(self, ring: HashRing, count: int = 2000) -> dict:
+        return {
+            i: ring.shard_for(ref_digest(f"key-{i}")) for i in range(count)
+        }
+
+    def test_default_names_preserve_historical_placement(self):
+        # tokens default to shard-<i>/<replica>, so an unnamed ring of the
+        # same width places every digest exactly where it always did
+        plain = HashRing(3)
+        named = HashRing(3, names=("shard-0", "shard-1", "shard-2"))
+        assert self._placements(plain) == self._placements(named)
+
+    def test_join_remaps_about_one_nth(self):
+        old = HashRing(3, names=("a", "b", "c"))
+        new = HashRing(4, names=("a", "b", "c", "d"))
+        before = self._placements(old)
+        after = self._placements(new)
+        moved = [i for i in before if after[i] != before[i]]
+        # everything that moved went TO the joiner (index 3)
+        assert all(after[i] == 3 for i in moved)
+        assert 0.10 <= len(moved) / len(before) <= 0.45  # ~1/4
+
+    def test_arbitrary_leave_remaps_only_the_leaver(self):
+        old = HashRing(3, names=("a", "b", "c"))
+        # the MIDDLE member leaves: survivors keep their names but "c"
+        # compacts from index 2 to index 1
+        new = HashRing(2, names=("a", "c"))
+        before = self._placements(old)
+        after = self._placements(new)
+        for i, shard in before.items():
+            name = old.names[shard]
+            if name == "b":
+                continue  # the leaver's keys may go anywhere
+            assert new.names[after[i]] == name, (
+                "a surviving member's keys must not move on another "
+                "member's leave"
+            )
+        orphaned = [i for i, s in before.items() if old.names[s] == "b"]
+        assert 0.15 <= len(orphaned) / len(before) <= 0.55  # ~1/3
+
+    def test_same_name_rejoin_reclaims_exact_ranges(self):
+        assert self._placements(
+            HashRing(3, names=("a", "b", "c"))
+        ) == self._placements(HashRing(3, names=("a", "b", "c")))
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(2, names=("a",))  # length mismatch
+        with pytest.raises(ValueError):
+            HashRing(2, names=("a", "a"))  # duplicates
+
+
+class TestMembership:
+    def test_register_heartbeat_deregister(self):
+        clock = [0.0]
+        m = ClusterMembership(heartbeat_timeout=5.0, clock=lambda: clock[0])
+        h1, joined = m.register("w1", "10.0.0.1", 7000)
+        assert joined and h1.shard == 0
+        h2, joined = m.register("w2", "10.0.0.2", 7000)
+        assert joined and h2.shard == 1
+        assert m.ring_names() == ["w1", "w2"]
+        # re-registration: same slot, new generation (redials connections)
+        h1b, joined = m.register("w1", "10.0.0.1", 7001)
+        assert not joined
+        assert h1b.shard == 0 and h1b.port == 7001
+        assert h1b.generation > h2.generation
+        assert m.heartbeat("w1") and not m.heartbeat("ghost")
+        m.deregister("w1")
+        assert m.ring_names() == ["w2"]
+        assert m.handle_for("w2").shard == 0  # compacted
+
+    def test_stale_members_are_refused_and_evicted(self):
+        clock = [0.0]
+        m = ClusterMembership(heartbeat_timeout=1.0, clock=lambda: clock[0])
+        m.register("w1", "10.0.0.1", 7000)
+        m.register("w2", "10.0.0.2", 7000)
+        clock[0] = 0.9
+        m.heartbeat("w2")
+        clock[0] = 1.5  # w1 silent for 1.5s, w2 for 0.6s
+        with pytest.raises(WorkerUnavailableError, match="heartbeats"):
+            m.ensure_alive(0)
+        assert m.ensure_alive(1).name == "w2"
+        evicted = m.evict_stale()
+        assert [h.name for h in evicted] == ["w1"]
+        assert m.ring_names() == ["w2"]
+
+    def test_restart_waits_for_a_newer_registration(self):
+        m = ClusterMembership(heartbeat_timeout=5.0)
+        handle, _ = m.register("w1", "10.0.0.1", 7000)
+        # the connection cache snapshots the generation *int* at dial time
+        # (the handle itself is updated in place by a re-registration)
+        observed = handle.generation
+        # no newer registration arrived: structured failure, never a hang
+        with pytest.raises(WorkerUnavailableError, match="re-register"):
+            m.restart(0, observed)
+        # the worker re-registered (restart bumped its port): hand it back
+        newer, _ = m.register("w1", "10.0.0.1", 7001)
+        recovered = m.restart(0, observed)
+        assert recovered.generation == newer.generation
+        assert recovered.port == 7001
+
+    def test_engine_with_no_workers_fails_structured(self):
+        engine = ClusterEngine()
+        try:
+            with pytest.raises(WorkerUnavailableError, match="no workers"):
+                engine.shard_for_ref("some-ref")
+        finally:
+            engine.close()
+
+
+class TestClusterEndToEnd:
+    """The acceptance scenario over real loopback TCP with auth."""
+
+    def test_join_serve_migrate_crash_evict(self):
+        ctrl_config = ServerConfig(
+            shards=2, linger_ms=0.0, auth_secret=SECRET
+        )
+        factory = _controller_factory(heartbeat_timeout=1.0)
+        with BackgroundServer(ctrl_config, server_factory=factory) as ctrl:
+            with ServeClient(
+                *ctrl.address, auth_secret=SECRET, timeout=30.0
+            ) as client:
+                self._scenario(ctrl, client)
+
+    def _scenario(self, ctrl, client):
+        problem, db = _class_problem(0), _class_instance(0)
+
+        # before any worker joins: structured unavailable, never a hang
+        with pytest.raises(RemoteError) as excinfo:
+            client.decide(problem, db)
+        assert excinfo.value.code == "unavailable"
+
+        worker_a = _agent(ctrl.address, "worker-a").start()
+        try:
+            status = _wait_for_workers(client, 1)
+            assert [m["name"] for m in status["members"]] == ["worker-a"]
+
+            # decide end-to-end, trace id intact through the extra hop
+            result = client.request(
+                "decide", problem=problem, instance=db, trace_id="tr-1"
+            )
+            assert result["decision"]["certain"] is True
+            assert result["trace_id"] == "tr-1"
+            spans = client.trace("tr-1")["spans"]
+            names = {span["name"] for span in spans}
+            assert "transport" in names  # the controller→worker hop
+            assert "solve" in names  # recorded worker-side
+
+            # seed named instances, some at an explicit non-default
+            # version (migration must carry versions, not reset them)
+            for i in range(12):
+                client.put_instance(f"ref-{i}", _class_instance(i))
+            for i in range(0, 12, 3):
+                info = client.put_instance(
+                    f"ref-{i}", _class_instance(i), version=7
+                )
+                assert info["instance"]["version"] == 7
+
+            self._join_and_migrate(ctrl, client)
+        finally:
+            worker_a.stop()
+
+    def _join_and_migrate(self, ctrl, client):
+        # concurrent decides DURING the join must neither hang nor be
+        # silently dropped: every one resolves to an answer or a
+        # structured envelope within the client timeout
+        outcomes: list = []
+
+        def hammer():
+            with ServeClient(
+                *ctrl.address, auth_secret=SECRET, timeout=20.0
+            ) as c:
+                for i in range(30):
+                    try:
+                        r = c.request(
+                            "decide",
+                            problem=_class_problem(i % 6),
+                            instance=_class_instance(i % 6),
+                        )
+                        outcomes.append(r["decision"]["certain"])
+                    except RemoteError as error:
+                        outcomes.append(error.code)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        worker_b = _agent(ctrl.address, "worker-b").start()
+        status = _wait_for_workers(client, 2)
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive(), "a decide hung during the rebalance"
+        assert len(outcomes) == 60  # nothing silently dropped
+        assert all(o is True or isinstance(o, str) for o in outcomes)
+
+        # ~1/N of the ring belongs to the joiner now
+        engine = ctrl.server.cluster_engine
+        ring = engine._require_ring()
+        owned = sum(
+            1 for i in range(2000)
+            if ring.names[ring.shard_for(ref_digest(f"key-{i}"))]
+            == "worker-b"
+        )
+        assert 0.15 <= owned / 2000 <= 0.85
+
+        # every ref survived the migration, versions preserved
+        listing = client.list_instances()
+        refs = {i["ref"]: i["version"] for i in listing["instances"]}
+        assert set(refs) == {f"ref-{i}" for i in range(12)}
+        for i in range(12):
+            assert refs[f"ref-{i}"] == (7 if i % 3 == 0 else 1)
+        # ...and some land on the joiner (ref-affinity followed the ring)
+        b_shard = engine.membership.handle_for("worker-b").shard
+        moved = [
+            i for i in range(12)
+            if engine.shard_for_ref(f"ref-{i}") == b_shard
+        ]
+        assert moved, "the joiner received none of the stored refs"
+        _, version = client.get_instance(f"ref-{moved[0]}")
+        assert version == refs[f"ref-{moved[0]}"]
+
+        # a decide against a migrated ref works (stored on the new owner)
+        r = client.request(
+            "decide", problem=_class_problem(moved[0]),
+            instance_ref=f"ref-{moved[0]}",
+        )
+        assert r["decision"]["certain"] is True
+
+        self._crash_and_evict(client, engine, worker_b)
+
+    def _crash_and_evict(self, client, engine, worker_b):
+        epoch_before = engine.membership.ring_epoch
+        worker_b.kill()  # no deregister: the controller learns by timeout
+
+        # an in-flight request routed at the dead worker answers a
+        # structured envelope (unavailable), not a hang
+        dead_class = next(
+            i for i in range(50)
+            if engine._require_ring().names[
+                engine.shard_for(_class_problem(i))
+            ] == "worker-b"
+        )
+        started = time.monotonic()
+        with pytest.raises(RemoteError) as excinfo:
+            client.request(
+                "decide", problem=_class_problem(dead_class),
+                instance=_class_instance(dead_class),
+            )
+        assert excinfo.value.code == "unavailable"
+        assert time.monotonic() - started < 30.0
+
+        # heartbeat-timeout eviction shrinks the ring...
+        status = _wait_for_workers(client, 1, timeout=15.0)
+        assert status["evictions"] == 1
+        assert status["ring_epoch"] > epoch_before
+        assert [m["name"] for m in status["members"]] == ["worker-a"]
+
+        # ...and service continues on the survivor, dead classes included
+        result = client.request(
+            "decide", problem=_class_problem(dead_class),
+            instance=_class_instance(dead_class),
+        )
+        assert result["decision"]["certain"] is True
+
+        # cluster telemetry is exported on the metrics page
+        page = client.metrics()
+        assert "repro_cluster_workers 1" in page
+        assert "repro_cluster_evictions_total 1" in page
+
+
+class TestResizeVerb:
+    def test_thread_shard_server_cannot_resize(self):
+        with BackgroundServer(ServerConfig(shards=2)) as server:
+            with ServeClient(*server.address) as client:
+                with pytest.raises(RemoteError, match="cannot resize"):
+                    client.request("resize", workers=3)
+
+    def test_controller_resize_drains_and_records_target(self):
+        config = ServerConfig(shards=2, linger_ms=0.0, auth_secret=SECRET)
+        factory = _controller_factory(heartbeat_timeout=30.0)
+        with BackgroundServer(config, server_factory=factory) as ctrl:
+            a = _agent(ctrl.address, "wa").start()
+            b = _agent(ctrl.address, "wb").start()
+            try:
+                with ServeClient(
+                    *ctrl.address, auth_secret=SECRET
+                ) as client:
+                    _wait_for_workers(client, 2)
+                    client.put_instance("keep-me", _class_instance(1))
+                    # shrink: the youngest member drains; its refs move
+                    result = client.request("resize", workers=1)
+                    assert result["workers"] == 1
+                    listing = client.list_instances()
+                    assert [i["ref"] for i in listing["instances"]] == [
+                        "keep-me"
+                    ]
+                    # grow: nothing to spawn — the target is recorded
+                    result = client.request("resize", workers=3)
+                    assert result["workers"] == 1
+                    status = client.stats()["server"]["cluster"]
+                    assert status["target_workers"] == 3
+            finally:
+                b.kill()  # resize already shut the drained worker down
+                a.stop()
+
+
+class TestAgentRejoin:
+    def test_evicted_agent_reregisters_on_unknown_heartbeat(self):
+        config = ServerConfig(shards=1, linger_ms=0.0, auth_secret=SECRET)
+        factory = _controller_factory(heartbeat_timeout=30.0)
+        with BackgroundServer(config, server_factory=factory) as ctrl:
+            agent = _agent(ctrl.address, "phoenix").start()
+            try:
+                engine = ctrl.server.cluster_engine
+                with ServeClient(
+                    *ctrl.address, auth_secret=SECRET
+                ) as client:
+                    _wait_for_workers(client, 1)
+                    # simulate a controller-side eviction (as a partition
+                    # outlasting the timeout would): the agent's next
+                    # heartbeat answers known=false and it rejoins
+                    engine.deregister_worker("phoenix")
+                    status = _wait_for_workers(client, 1, timeout=10.0)
+                    assert [m["name"] for m in status["members"]] == [
+                        "phoenix"
+                    ]
+                    assert client.request(
+                        "decide", problem=_class_problem(2),
+                        instance=_class_instance(2),
+                    )["decision"]["certain"] is True
+            finally:
+                agent.stop()

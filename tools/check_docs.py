@@ -121,6 +121,12 @@ REQUIRED_TOPICS = {
         "repro loadgen",
         "--autoscale",
         "## Measured: E19",
+        "## Distributed fleet",
+        "--controller",
+        "--join",
+        "--heartbeat-timeout",
+        "repro fleet",
+        "## Measured: E20",
     ),
     "observability.md": (
         "repro_server_shed_total",
@@ -129,6 +135,18 @@ REQUIRED_TOPICS = {
         "repro_server_workers",
         "`server.shed`",
         "`autoscale.decision`",
+        "repro_cluster_workers",
+        "repro_cluster_evictions_total",
+        "`cluster.rebalance`",
+        "`agent.heartbeat_failed`",
+    ),
+    "protocol.md": (
+        "### Transport hardening: the `auth` handshake",
+        "### Cluster membership",
+        "`register`",
+        "`heartbeat`",
+        "`unauthorized`",
+        "HMAC-SHA256",
     ),
 }
 

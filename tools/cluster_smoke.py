@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Cluster smoke: a real controller + 2 workers over 127.0.0.1 TCP.
+
+The CI-shaped end-to-end drill for ``repro.cluster``, using nothing but
+the public CLI surface (three ``python -m repro serve`` subprocesses)
+and the public client. The script asserts, in order:
+
+1. **join** — two ``--join`` workers register with a shared-secret
+   controller and the cluster reports both members;
+2. **auth** — a client with no secret and a client with a wrong secret
+   both get the structured ``unauthorized`` envelope; the right secret
+   serves;
+3. **decide** — a decide round-trips through controller → worker and
+   back, and spreads over both workers' ring ranges;
+4. **crash** — one worker is SIGKILLed (no goodbye): the controller
+   evicts it by heartbeat timeout, shrinks the ring, and keeps serving
+   the dead worker's classes from the survivor — with no request ever
+   hanging.
+
+Run locally (from the repository root):
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+
+Exit code 0 on success; every step prints an ``ok:`` line.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SECRET = "cluster-smoke-secret"
+PYTHON = sys.executable
+DEADLINE_SECONDS = 180.0
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Problem  # noqa: E402
+from repro.core.schema import Schema  # noqa: E402
+from repro.db.instance import DatabaseInstance  # noqa: E402
+from repro.exceptions import RemoteError  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+_DEADLINE = time.monotonic() + DEADLINE_SECONDS
+
+
+def _remaining() -> float:
+    left = _DEADLINE - time.monotonic()
+    if left <= 0:
+        raise SystemExit("FAIL smoke exceeded its global deadline")
+    return left
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    env["REPRO_CLUSTER_SECRET"] = SECRET
+    return env
+
+
+def _spawn(args: list[str]) -> subprocess.Popen:
+    return subprocess.Popen(
+        [PYTHON, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_line(proc: subprocess.Popen, marker: str, what: str) -> str:
+    """Read the process's stdout until *marker* appears (ports are
+    ephemeral, so the announce line is the handshake)."""
+    deadline = time.monotonic() + min(30.0, _remaining())
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"FAIL {what} exited {proc.returncode} before announcing"
+            )
+        line = proc.stdout.readline()
+        if marker in line:
+            return line
+    raise SystemExit(f"FAIL {what} never announced {marker!r}")
+
+
+def _problem(i: int) -> Problem:
+    return Problem.of("R(x | y)", f"S(y | 'c{i}')", fks=["R[2]->S"])
+
+
+def _instance(i: int) -> DatabaseInstance:
+    return DatabaseInstance.build(
+        Schema.of(R=(2, 1), S=(2, 1)),
+        {"R": [("a", "b")], "S": [("b", f"c{i}")]},
+    )
+
+
+def _wait_for_workers(client: ServeClient, n: int) -> dict:
+    deadline = time.monotonic() + min(30.0, _remaining())
+    status = None
+    while time.monotonic() < deadline:
+        status = client.stats()["server"]["cluster"]
+        if status["workers"] == n:
+            return status
+        time.sleep(0.2)
+    raise SystemExit(f"FAIL never reached {n} worker(s): {status}")
+
+
+def main() -> int:
+    procs: list[subprocess.Popen] = []
+    try:
+        controller = _spawn([
+            "serve", "--controller", "--port", "0",
+            "--heartbeat-timeout", "3", "--linger-ms", "0",
+        ])
+        procs.append(controller)
+        announce = _await_line(controller, "listening on", "controller")
+        endpoint = announce.split("listening on ", 1)[1].split()[0]
+        host, port_text = endpoint.rsplit(":", 1)
+        port = int(port_text)
+        print(f"ok: controller listening on {host}:{port}")
+
+        workers = {}
+        for name in ("smoke-a", "smoke-b"):
+            worker = _spawn([
+                "serve", "--join", f"{host}:{port}", "--port", "0",
+                "--worker-name", name, "--heartbeat", "0.5",
+                "--linger-ms", "0",
+            ])
+            procs.append(worker)
+            _await_line(worker, "joined controller", f"worker {name}")
+            workers[name] = worker
+            print(f"ok: worker {name} joined")
+
+        # auth: no secret and a wrong secret both answer `unauthorized`
+        for label, kwargs in (
+            ("no secret", {}),
+            ("bad secret", {"auth_secret": "not-the-secret"}),
+        ):
+            try:
+                with ServeClient(host, port, **kwargs) as bad:
+                    bad.ping()
+            except RemoteError as error:
+                assert error.code == "unauthorized", error
+                print(f"ok: {label} refused with `unauthorized`")
+            else:
+                raise SystemExit(f"FAIL {label} was not refused")
+
+        with ServeClient(
+            host, port, auth_secret=SECRET, timeout=30.0
+        ) as client:
+            status = _wait_for_workers(client, 2)
+            names = sorted(m["name"] for m in status["members"])
+            assert names == ["smoke-a", "smoke-b"], status
+            print(f"ok: cluster reports both workers (epoch "
+                  f"{status['ring_epoch']})")
+
+            # decide round-trips; enough classes to touch both workers
+            shards = set()
+            for i in range(12):
+                result = client.request(
+                    "decide", problem=_problem(i), instance=_instance(i)
+                )
+                assert result["decision"]["certain"] is True, result
+                shards.add(result["shard"])
+            assert len(shards) == 2, f"one worker served everything: {shards}"
+            print(f"ok: 12 decides served across both workers {sorted(shards)}")
+
+            # crash one worker without a goodbye: SIGKILL, not stop()
+            victim = workers["smoke-b"]
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+            print("ok: worker smoke-b SIGKILLed")
+
+            # service continues: every decide during the crash window
+            # answers or fails structured — and once the heartbeat
+            # timeout evicts the corpse, all classes serve again
+            status = _wait_for_workers(client, 1)
+            assert status["evictions"] >= 1, status
+            assert [m["name"] for m in status["members"]] == ["smoke-a"]
+            print(f"ok: heartbeat timeout evicted smoke-b (epoch "
+                  f"{status['ring_epoch']})")
+
+            for i in range(12):
+                result = client.request(
+                    "decide", problem=_problem(i), instance=_instance(i)
+                )
+                assert result["decision"]["certain"] is True, result
+            page = client.metrics()
+            assert "repro_cluster_workers 1" in page
+            assert "repro_cluster_evictions_total" in page
+            print("ok: survivor serves all classes; cluster metrics exported")
+
+            client.shutdown()
+        controller.wait(timeout=30)
+        print("cluster smoke: all steps passed")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
