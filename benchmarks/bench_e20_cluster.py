@@ -33,13 +33,22 @@ from benchmarks.result_io import record_result
 from repro.api import Problem
 from repro.cluster import AgentConfig, ClusterMembership, WorkerAgent
 from repro.cluster.controller import controller_factory
+from repro.core.schema import Schema
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
 from repro.serve import BackgroundServer, ServeClient, ServerConfig
+from repro.store.delta import Delta
 from repro.workloads import random_instances_for_query
 
 SECRET = "bench-e20-secret"
 SHARD_COUNTS = (1, 2, 4)
 N_CLASSES = 8
 ROUNDS = 6
+
+# the replication series: a mutation-heavy stored-ref stream
+N_REFS = 6
+MUTATION_ROUNDS = 5
+REPLICATION_WIDTH = 2
 
 
 def _working_set():
@@ -158,3 +167,130 @@ def test_e20_cluster_matches_process_fleet_answers():
     baseline = results["processes", SHARD_COUNTS[0]][1]
     for key, (_, answers) in results.items():
         assert answers == baseline, f"{key}: answers must not differ"
+
+
+def _ref_problem(i: int) -> Problem:
+    return Problem.of(
+        "R(x | y)", f"S(y | 'rep-{i}')", fks=["R[2]->S"],
+        name=f"e20-rep-{i}",
+    )
+
+
+def _ref_instance(i: int) -> DatabaseInstance:
+    return DatabaseInstance.build(
+        Schema.of(R=(2, 1), S=(2, 1)),
+        {"R": [("a", "b")], "S": [("b", f"rep-{i}")]},
+    )
+
+
+def _drive_mutations(
+    replication: bool,
+) -> tuple[float, list[int], dict]:
+    """Put N_REFS stored refs, then MUTATION_ROUNDS rounds of patch +
+    ref decide each, through a REPLICATION_WIDTH-wide TCP cluster.
+    The clock includes the final mirror-backlog flush, so the `on`
+    series pays replication's full end-to-end cost, not just the
+    enqueue."""
+    ctrl_config = ServerConfig(
+        shards=1, linger_ms=0.0, auth_secret=SECRET
+    )
+    factory = controller_factory(
+        membership=ClusterMembership(heartbeat_timeout=30.0),
+        replication=replication,
+    )
+    agents = []
+    with BackgroundServer(ctrl_config, server_factory=factory) as ctrl:
+        host, port = ctrl.address
+        try:
+            for i in range(REPLICATION_WIDTH):
+                agents.append(
+                    WorkerAgent(
+                        ServerConfig(shards=1, linger_ms=0.0),
+                        AgentConfig(
+                            controller_host=host,
+                            controller_port=port,
+                            name=f"bench-rep-{i}",
+                            auth_secret=SECRET,
+                        ),
+                    ).start()
+                )
+            engine = ctrl.server.cluster_engine
+            with ServeClient(
+                host, port, auth_secret=SECRET, timeout=60.0
+            ) as client:
+                status = client.stats()["server"]["cluster"]
+                assert status["workers"] == REPLICATION_WIDTH, status
+                start = time.perf_counter()
+                for i in range(N_REFS):
+                    client.put_instance(f"rep-{i}", _ref_instance(i))
+                for round_no in range(MUTATION_ROUNDS):
+                    for i in range(N_REFS):
+                        delta = Delta.of(adds=[
+                            Fact("R", (f"k{round_no}", "b"), 1)
+                        ])
+                        client.patch_instance(
+                            f"rep-{i}", delta,
+                            expect_version=round_no + 1,
+                        )
+                        client.decide(_ref_problem(i), ref=f"rep-{i}")
+                assert engine.flush_replication(timeout=60.0)
+                elapsed = time.perf_counter() - start
+                versions = [
+                    client.get_instance(f"rep-{i}")[1]
+                    for i in range(N_REFS)
+                ]
+                replication_stats = client.stats()["server"]["cluster"][
+                    "replication"
+                ]
+                return elapsed, versions, replication_stats
+        finally:
+            for agent in agents:
+                agent.stop()
+
+
+def test_e20_replication_overhead_at_equal_width():
+    """Replication on vs off at equal width: what mirroring every
+    mutation to the ring successor costs a mutation-heavy stream."""
+    mutations = N_REFS * (1 + MUTATION_ROUNDS)
+    series: dict[str, tuple[float, list[int], dict]] = {}
+    for label, enabled in (("off", False), ("on", True)):
+        series[label] = _drive_mutations(enabled)
+        elapsed, versions, stats = series[label]
+        assert versions == [MUTATION_ROUNDS + 1] * N_REFS, versions
+        assert stats["enabled"] is enabled
+        record_result(
+            "e20_cluster", f"replication-{label}-{REPLICATION_WIDTH}",
+            metrics={
+                "elapsed_ms": elapsed * 1e3,
+                "mutations_per_s": mutations / elapsed,
+                "replicated": stats["replicated"],
+                "catchups": stats["catchups"],
+            },
+            config={
+                "mode": "replication",
+                "replication": enabled,
+                "shards": REPLICATION_WIDTH,
+                "refs": N_REFS,
+                "mutations": mutations,
+                "decides": N_REFS * MUTATION_ROUNDS,
+            },
+        )
+    on, off = series["on"], series["off"]
+    assert on[2]["replicated"] >= N_REFS  # every ref reached its successor
+    assert off[2]["replicated"] == 0
+    report(
+        f"E20: replication overhead at width {REPLICATION_WIDTH} "
+        f"({mutations} mutations + {N_REFS * MUTATION_ROUNDS} ref "
+        f"decides, mirror flush included)",
+        [
+            (
+                f"replication {label}",
+                f"{elapsed * 1e3:.0f} ms",
+                f"{mutations / elapsed:,.0f} mut/s",
+                f"replicated={stats['replicated']} "
+                f"catchups={stats['catchups']}",
+            )
+            for label, (elapsed, _, stats) in series.items()
+        ],
+        ("series", "elapsed", "mutation throughput", "mirror traffic"),
+    )

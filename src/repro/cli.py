@@ -778,6 +778,18 @@ def _print_cluster_block(cluster: dict) -> None:
         f"  evictions={cluster.get('evictions', 0)}"
         f"  warmed_plans={cluster.get('warmed_plans', 0)}"
     )
+    replication = cluster.get("replication")
+    if replication:
+        if replication.get("enabled"):
+            print(
+                f"replication: on  pending={replication.get('pending', 0)}"
+                f"  replicated={replication.get('replicated', 0)}"
+                f"  promotions={replication.get('promotions', 0)}"
+                f"  repairs={replication.get('repairs', 0)}"
+                f"  failures={replication.get('failures', 0)}"
+            )
+        else:
+            print("replication: off (a worker crash loses its refs)")
     for member in cluster.get("members") or []:
         print(
             f"  {member['name']}: {member['host']}:{member['port']}  "
@@ -876,6 +888,117 @@ def _cmd_fleet_resize(args) -> int:
             f"{requested} (a controller cannot spawn machines: start "
             f"more `repro serve --join` workers to grow)"
         )
+    return 0
+
+
+def _cluster_block(client) -> dict:
+    """The cluster block of a controller's ``stats`` verb ({} elsewhere)."""
+    return (client.stats().get("server") or {}).get("cluster") or {}
+
+
+def _await_cluster(client, predicate, timeout: float) -> bool:
+    """Poll the controller's cluster block until *predicate* holds."""
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    while True:
+        try:
+            if predicate(_cluster_block(client)):
+                return True
+        except (ReproError, OSError):
+            pass  # the controller may be mid-rebalance; keep polling
+        if _time.monotonic() >= deadline:
+            return False
+        _time.sleep(0.2)
+
+
+def _cmd_fleet_rolling_restart(args) -> int:
+    """Drain → restart → same-name rejoin, one worker at a time, each
+    step gated on the controller's replica backlog being empty — so at
+    every instant all but one worker hold their full primary+replica
+    sets and no decide has to fail."""
+
+    def pending_zero(cluster: dict) -> bool:
+        replication = cluster.get("replication") or {}
+        return replication.get("pending", 0) == 0
+
+    with _remote_client(args) as client:
+        cluster = _cluster_block(client)
+        members = cluster.get("members") or []
+        if not members:
+            print("no workers are registered; nothing to restart")
+            return 1
+        replication = cluster.get("replication") or {}
+        if not replication.get("enabled"):
+            print(
+                "warning: replication is off — the drill relies on "
+                "graceful migration alone",
+                file=sys.stderr,
+            )
+        names = [member["name"] for member in members]
+        print(
+            f"rolling restart over {len(names)} worker(s): "
+            + ", ".join(names)
+        )
+        for name in names:
+            if not _await_cluster(client, pending_zero, args.step_timeout):
+                print(
+                    f"error: replica backlog did not drain before "
+                    f"restarting {name!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            cluster = _cluster_block(client)
+            recorded = next(
+                (
+                    member["generation"]
+                    for member in cluster.get("members") or []
+                    if member["name"] == name
+                ),
+                None,
+            )
+            if recorded is None:
+                print(f"  {name}: no longer registered; skipping")
+                continue
+            client.request(
+                "deregister", worker={"name": name, "stop": args.stop}
+            )
+            print(
+                f"  {name}: drained (was gen {recorded}); waiting for a "
+                f"same-name rejoin"
+            )
+
+            def rejoined(cluster: dict, name=name, recorded=recorded) -> bool:
+                return any(
+                    member["name"] == name
+                    and member["generation"] > recorded
+                    for member in cluster.get("members") or []
+                )
+
+            if not _await_cluster(client, rejoined, args.step_timeout):
+                print(
+                    f"error: {name!r} did not rejoin within "
+                    f"{args.step_timeout:g}s"
+                    + (
+                        " (with --stop the worker process must be "
+                        "restarted externally)" if args.stop else ""
+                    ),
+                    file=sys.stderr,
+                )
+                return 1
+            if not _await_cluster(client, pending_zero,
+                                  args.step_timeout):
+                print(
+                    f"error: replicas did not catch up after {name!r} "
+                    f"rejoined",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"  {name}: rejoined with replicas caught up")
+    print(
+        "rolling restart complete: every worker drained, rejoined under "
+        "its own name, and the replica backlog is empty"
+    )
     return 0
 
 
@@ -1272,6 +1395,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="the desired worker count")
     _add_remote_arguments(fr)
     fr.set_defaults(handler=_cmd_fleet_resize)
+
+    frr = fleet_sub.add_parser(
+        "rolling-restart",
+        help="restart a cluster one worker at a time: drain, wait for a "
+             "same-name rejoin, gate each step on replica freshness — "
+             "zero failed decides throughout",
+    )
+    frr.add_argument("--stop", action="store_true",
+                     help="also shut each drained worker's process down "
+                          "(an external supervisor must restart it; "
+                          "without --stop the worker agent rejoins on "
+                          "its own next heartbeat)")
+    frr.add_argument("--step-timeout", type=float, default=60.0,
+                     help="seconds to wait for each drain/rejoin/"
+                          "catch-up step")
+    _add_remote_arguments(frr)
+    frr.set_defaults(handler=_cmd_fleet_rolling_restart)
 
     p = sub.add_parser(
         "trace",

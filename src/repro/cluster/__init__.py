@@ -16,6 +16,13 @@ ring is re-keyed by worker *name* (so an arbitrary leave remaps only
 versions preserved, and the receiving workers' plan caches are warmed by
 replaying the hot classes they just inherited.
 
+Stored refs are **replicated**: every primary mutation is mirrored
+asynchronously to the ref's next distinct ring successor, and after any
+membership change a repair pass (:mod:`repro.cluster.replication`)
+restores one-primary-on-owner + one-replica-on-successor — promoting
+replicas in place after an eviction, so a worker crash no longer loses
+its refs (only a double failure does).
+
 Transport hardening lives in :mod:`repro.cluster.auth`: a shared-secret
 HMAC handshake on every connection of a secret-configured server (the
 ``auth`` verb, ``unauthorized`` error code) and optional stdlib TLS.
@@ -33,11 +40,13 @@ __all__ = [
     "ClusterMembership",
     "ClusterServer",
     "RemoteWorkerHandle",
+    "RepairAction",
     "WorkerAgent",
     "client_ssl_context",
     "compute_mac",
     "controller_factory",
     "new_nonce",
+    "plan_replica_repairs",
     "run_worker_agent",
     "server_ssl_context",
     "verify_mac",
@@ -52,6 +61,8 @@ _EXPORTS = {
     "ClusterEngine": "controller",
     "ClusterServer": "controller",
     "controller_factory": "controller",
+    "RepairAction": "replication",
+    "plan_replica_repairs": "replication",
     "compute_mac": "auth",
     "verify_mac": "auth",
     "new_nonce": "auth",

@@ -100,6 +100,13 @@ class WorkerAgent:
     def server(self) -> BackgroundServer:
         return self._background
 
+    @property
+    def agent_generation(self) -> int:
+        """This agent's own restart counter: 1 after the first join,
+        bumped on every eviction-triggered rejoin — the chaos tests read
+        it to assert that a partition really forced a re-registration."""
+        return self._agent_generation
+
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> "WorkerAgent":

@@ -25,9 +25,15 @@ owners and re-``put`` (version preserved) before being dropped at the
 source.  On graceful leave (``deregister``), the leaver's refs are
 snapshotted *while it is still addressable*, the ring shrinks, and the
 snapshots land on the survivors.  On eviction (heartbeat timeout) there
-is nothing to read — the evicted worker's refs become
-``unknown-instance`` on their new owners, the same contract as a cache
-eviction, and clients re-``put``.  In every case the controller replays
+is nothing to read from the dead worker — but with replication on (the
+default), every ref it owned already has a replica on its ring
+successor, which by the successor property is exactly the worker the
+ring now routes that ref to: the post-eviction repair pass *promotes*
+those replicas in place (version preserved), re-replicates to the new
+successors, and ref decides keep answering.  ``unknown-instance`` on
+crash is the contract only with ``replication=False`` — or when both
+the owner and its successor die inside one repair interval (a double
+failure).  In every case the controller replays
 its hottest class fingerprints (an LRU it maintains as a side effect of
 routing) at the new owners via the ``explain`` verb, which compiles and
 caches the plan worker-side — so the first post-rebalance decide of a
@@ -44,17 +50,20 @@ from __future__ import annotations
 
 import logging
 import threading
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 
 from ..api.problem import Problem
 from ..engine.engine import EngineStats, merge_engine_stats
-from ..exceptions import ServeProtocolError
+from ..exceptions import RemoteError, ServeProtocolError
 from ..obs.log import get_logger, log_event
 from ..serve.autoscale import AutoscaleConfig, Autoscaler
 from ..serve.fleet import BaseWorkerFleet, FleetConfig
+from ..serve.protocol import Request
 from ..serve.server import CertaintyServer, ServerConfig
 from ..serve.shard import HashRing, ShardStats, ref_digest
 from .membership import ClusterMembership, RemoteWorkerHandle
+from .replication import RepairAction, plan_replica_repairs
 
 _logger = get_logger("cluster.controller")
 
@@ -76,6 +85,7 @@ class ClusterEngine(BaseWorkerFleet):
         auth_secret: str | None = None,
         client_ssl=None,
         hot_classes: int = 128,
+        replication: bool = True,
     ):
         self._membership = membership or ClusterMembership()
         super().__init__(
@@ -92,7 +102,23 @@ class ClusterEngine(BaseWorkerFleet):
         self._target_width: int | None = None
         self._rebalances = 0
         self._warmed = 0
+        self._replication = replication
+        self._mirror_cond = threading.Condition()
+        self._mirror_tasks: deque[tuple] = deque()
+        self._mirror_pending = 0
+        self._replicated = 0       # replica snapshots/deltas delivered
+        self._replica_catchups = 0  # delta fell back to a snapshot
+        self._replica_failures = 0  # mirror/repair steps that gave up
+        self._promotions = 0       # replicas promoted to primaries
+        self._repairs = 0          # repair-plan actions executed
         self._evict_stop = threading.Event()
+        self._mirror_thread: threading.Thread | None = None
+        if replication:
+            self._mirror_thread = threading.Thread(
+                target=self._mirror_loop, name="repro-cluster-mirror",
+                daemon=True,
+            )
+            self._mirror_thread.start()
         self._evict_thread = threading.Thread(
             target=self._eviction_loop, name="repro-cluster-evict",
             daemon=True,
@@ -114,6 +140,216 @@ class ClusterEngine(BaseWorkerFleet):
                 while len(self._hot) > self._hot_limit:
                     self._hot.popitem(last=False)
         return super().shard_for(problem)
+
+    # -- replication: the write-path mirror ----------------------------------
+
+    def _mutation_gate(self):
+        """Registry mutations serialize against whole-ring rebalances:
+        route-and-apply is atomic under the rebalance lock, so a patch
+        arriving during a member's leave either lands before the leaver's
+        refs are snapshotted (and migrates with them) or routes by the
+        post-shrink ring to the survivor — never into the migration
+        window where it would be applied and then silently dropped."""
+        return self._rebalance_lock
+
+    def _on_mutation(self, request: Request, result: dict) -> None:
+        """Mirror one just-applied primary mutation to the ref's ring
+        successor, asynchronously: the client's ack never waits on the
+        replica hop.  Tasks resolve owner/successor at execution time, so
+        a task that outlives a rebalance mirrors to the *current*
+        successor (any stray it leaves behind is swept by the next repair
+        pass)."""
+        if not self._replication:
+            return
+        ref = request.instance_ref
+        verb = request.verb
+        if verb == "instance_put":
+            task = ("snapshot", ref)
+        elif verb == "instance_patch":
+            version = (result.get("instance") or {}).get("version")
+            task = ("delta", ref, request.delta, version)
+        else:  # instance_drop
+            task = ("drop", ref)
+        with self._mirror_cond:
+            self._mirror_tasks.append(task)
+            self._mirror_pending += 1
+            self._mirror_cond.notify_all()
+
+    def _mirror_loop(self) -> None:
+        while True:
+            with self._mirror_cond:
+                while not self._mirror_tasks:
+                    if self._evict_stop.is_set():
+                        return
+                    self._mirror_cond.wait(0.2)
+                task = self._mirror_tasks.popleft()
+            try:
+                self._mirror(task)
+            except Exception as error:
+                self._replica_failures += 1
+                log_event(
+                    _logger, logging.WARNING, "cluster.replicate.failed",
+                    ref=task[1], kind=task[0], error=type(error).__name__,
+                )
+            finally:
+                with self._mirror_cond:
+                    self._mirror_pending -= 1
+                    self._mirror_cond.notify_all()
+
+    def _mirror(self, task: tuple) -> None:
+        kind, ref = task[0], task[1]
+        ring = self._ring
+        if ring is None:
+            return
+        digest = ref_digest(ref)
+        succ = ring.successor_for(digest)
+        if succ is None:
+            return  # single-member ring: nowhere distinct to mirror
+        if kind == "drop":
+            self._request(succ, "replicate", instance_ref=ref)
+            return
+        if kind == "delta":
+            _, _, delta, version = task
+            if delta is not None and version is not None:
+                try:
+                    self._request(
+                        succ, "replicate", instance_ref=ref,
+                        delta=delta, version=version,
+                    )
+                    self._replicated += 1
+                    return
+                except RemoteError as error:
+                    if error.code not in ("conflict", "unknown-instance"):
+                        raise
+                    self._replica_catchups += 1
+            # fall through: stale/missing replica → snapshot catch-up
+        owner = ring.shard_for(digest)
+        try:
+            doc = self._request(owner, "instance_get", instance_ref=ref)
+        except RemoteError as error:
+            if error.code == "unknown-instance":
+                # the ref vanished between mutation and mirror (dropped,
+                # or evicted by the store LRU): retract the replica too
+                self._request(succ, "replicate", instance_ref=ref)
+                return
+            raise
+        self._request(
+            succ, "replicate", instance_ref=ref,
+            instance=doc.get("instance"), version=doc.get("version"),
+        )
+        self._replicated += 1
+
+    def flush_replication(self, timeout: float | None = None) -> bool:
+        """Block until every queued mirror task has executed (the
+        rolling-restart freshness gate).  True iff the queue drained
+        inside *timeout* seconds (no timeout: wait forever)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mirror_cond:
+            while self._mirror_pending > 0:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._mirror_cond.wait(
+                    0.5 if remaining is None else min(remaining, 0.5)
+                )
+            return True
+
+    @property
+    def replication_pending(self) -> int:
+        with self._mirror_cond:
+            return self._mirror_pending
+
+    # -- replication: placement repair ---------------------------------------
+
+    def _repair_placements(self) -> None:
+        """Census the fleet and restore one-primary-on-owner plus
+        one-replica-on-successor for every ref (caller holds the
+        rebalance lock).  Runs synchronously at the end of every
+        membership change: after an eviction, the orphaned refs' promote
+        actions have executed before ``evict_stale`` returns, so the
+        next ref decide answers from the promoted replica."""
+        ring = self._ring
+        if not self._replication or ring is None:
+            return
+        shard_of = {name: i for i, name in enumerate(ring.names)}
+        primaries: dict[str, dict[str, int]] = {}
+        replicas: dict[str, dict[str, int]] = {}
+        for name, shard in shard_of.items():
+            try:
+                held = self._request(shard, "instance_list")
+                mirrored = self._request(shard, "replica_inventory")
+            except Exception as error:
+                log_event(
+                    _logger, logging.WARNING, "cluster.repair.census",
+                    worker=name, error=type(error).__name__,
+                )
+                continue
+            primaries[name] = {
+                info["ref"]: info["version"]
+                for info in held.get("instances") or []
+            }
+            replicas[name] = {
+                info["ref"]: info["version"]
+                for info in mirrored.get("replicas") or []
+            }
+        plan = plan_replica_repairs(ring, primaries, replicas)
+        executed = promoted = 0
+        for action in plan:
+            try:
+                if self._execute_repair(action, shard_of):
+                    promoted += 1
+                executed += 1
+            except Exception as error:
+                self._replica_failures += 1
+                log_event(
+                    _logger, logging.WARNING, "cluster.repair.failed",
+                    kind=action.kind, worker=action.worker, ref=action.ref,
+                    error=type(error).__name__,
+                )
+        self._repairs += executed
+        self._promotions += promoted
+        if plan:
+            log_event(
+                _logger, logging.INFO, "cluster.repair",
+                actions=executed, planned=len(plan), promoted=promoted,
+                epoch=self._membership.ring_epoch,
+            )
+
+    def _execute_repair(
+        self, action: RepairAction, shard_of: dict[str, int]
+    ) -> bool:
+        """Run one repair action; True iff it promoted a replica."""
+        shard = shard_of[action.worker]
+        ref = action.ref
+        if action.kind == "promote":
+            result = self._request(shard, "promote", instance_ref=ref)
+            return bool(result.get("promoted"))
+        if action.kind in ("copy_primary", "replicate"):
+            source = shard_of[action.source]
+            read = "instance_get" if action.source_primary else "replica_get"
+            doc = self._request(source, read, instance_ref=ref)
+            if action.kind == "copy_primary":
+                self._request(
+                    shard, "instance_put", instance_ref=ref,
+                    instance=doc.get("instance"),
+                    version=doc.get("version"),
+                )
+            else:
+                self._request(
+                    shard, "replicate", instance_ref=ref,
+                    instance=doc.get("instance"),
+                    version=doc.get("version"),
+                )
+                self._replicated += 1
+            return False
+        if action.kind == "drop_primary":
+            self._request(shard, "instance_drop", instance_ref=ref)
+            return False
+        self._request(shard, "replicate", instance_ref=ref)  # drop_replica
+        return False
 
     # -- membership changes → ring rebalance ---------------------------------
 
@@ -162,6 +398,7 @@ class ClusterEngine(BaseWorkerFleet):
                     ],
                     new_ring,
                 )
+            self._repair_placements()
             self._rebalances += 1
             log_event(
                 _logger, logging.INFO, "cluster.rebalance",
@@ -223,6 +460,7 @@ class ClusterEngine(BaseWorkerFleet):
                     )
             if new_ring is not None:
                 self._warm_moved(old_ring, new_ring)
+            self._repair_placements()
             self._rebalances += 1
             log_event(
                 _logger, logging.INFO, "cluster.rebalance",
@@ -239,9 +477,15 @@ class ClusterEngine(BaseWorkerFleet):
     def evict_stale(self) -> list[RemoteWorkerHandle]:
         """Heartbeat-timeout eviction: the membership drops the silent
         workers, the ring shrinks, and the survivors that inherited their
-        ranges get their plan caches warmed.  Nothing migrates — the
-        evicted workers' stored refs died with them and answer
-        ``unknown-instance`` on their new owners until clients re-put."""
+        ranges get their plan caches warmed.  Nothing can be read from
+        the dead workers — but with replication on, every ref they owned
+        has a replica on its ring successor, and the successor property
+        makes that successor exactly the ref's *new* owner: the repair
+        pass below promotes those replicas in place (version preserved)
+        and re-replicates to the new successors before this method
+        returns, so ref decides keep answering.  Only with
+        ``replication=False`` (or after a double failure) do the evicted
+        workers' refs answer ``unknown-instance`` until clients re-put."""
         with self._rebalance_lock:
             evicted = self._membership.evict_stale()
             if not evicted:
@@ -255,8 +499,16 @@ class ClusterEngine(BaseWorkerFleet):
                 if names else None
             )
             self._swap_ring(new_ring)
+            # break any request still blocked on an evicted worker's
+            # socket (a frozen process accepts but never answers): the
+            # caller fails over now instead of holding its shard's
+            # client lock for the full request timeout
+            self._abort_connections(
+                {handle.generation for handle in evicted}
+            )
             if new_ring is not None:
                 self._warm_moved(old_ring, new_ring)
+            self._repair_placements()
             self._rebalances += 1
             log_event(
                 _logger, logging.WARNING, "cluster.rebalance",
@@ -425,6 +677,15 @@ class ClusterEngine(BaseWorkerFleet):
             "rebalances": self._rebalances,
             "warmed_plans": self._warmed,
             "hot_classes": len(self._hot),
+            "replication": {
+                "enabled": self._replication,
+                "pending": self.replication_pending,
+                "replicated": self._replicated,
+                "catchups": self._replica_catchups,
+                "promotions": self._promotions,
+                "repairs": self._repairs,
+                "failures": self._replica_failures,
+            },
         }
 
     # -- the eviction loop -----------------------------------------------------
@@ -444,8 +705,12 @@ class ClusterEngine(BaseWorkerFleet):
 
     def close(self) -> None:
         self._evict_stop.set()
+        with self._mirror_cond:  # wake the mirror thread to observe stop
+            self._mirror_cond.notify_all()
         super().close()
         self._evict_thread.join(timeout=5)
+        if self._mirror_thread is not None:
+            self._mirror_thread.join(timeout=5)
 
 
 class ClusterServer(CertaintyServer):
@@ -466,6 +731,7 @@ class ClusterServer(CertaintyServer):
         fleet_config: FleetConfig | None = None,
         autoscale: AutoscaleConfig | None = None,
         hot_classes: int = 128,
+        replication: bool = True,
     ):
         config = config or ServerConfig()
         if config.processes > 0:
@@ -476,6 +742,7 @@ class ClusterServer(CertaintyServer):
         self._membership = membership or ClusterMembership()
         self._fleet_config = fleet_config or FleetConfig()
         self._hot_classes = hot_classes
+        self._replication_enabled = replication
         super().__init__(config)
         if autoscale is not None:
             self._autoscaler = Autoscaler(
@@ -490,6 +757,7 @@ class ClusterServer(CertaintyServer):
             config=self._fleet_config,
             auth_secret=self.config.auth_secret,
             hot_classes=self._hot_classes,
+            replication=self._replication_enabled,
         )
 
     def _build_store(self):
@@ -567,6 +835,7 @@ class ClusterServer(CertaintyServer):
         page = await super()._prom_metrics()
         status = await self._run_on_pool(self._sharded.cluster_status)
         lines = []
+        replication = status["replication"]
         for name, help_text, value in (
             ("workers", "Registered live workers.", status["workers"]),
             ("ring_epoch", "Membership change counter.",
@@ -575,6 +844,8 @@ class ClusterServer(CertaintyServer):
              status["target_workers"] or 0),
             ("hot_classes", "Problem classes tracked for warmup.",
              status["hot_classes"]),
+            ("replication_pending", "Queued replica mirror tasks.",
+             replication["pending"]),
         ):
             lines.append(f"# HELP repro_cluster_{name} {help_text}")
             lines.append(f"# TYPE repro_cluster_{name} gauge")
@@ -586,6 +857,16 @@ class ClusterServer(CertaintyServer):
              status["rebalances"]),
             ("warmed_plans", "Plans replayed into receiving workers.",
              status["warmed_plans"]),
+            ("replications", "Replica snapshots and deltas delivered.",
+             replication["replicated"]),
+            ("replica_catchups", "Replica deltas upgraded to snapshots.",
+             replication["catchups"]),
+            ("promotions", "Replicas promoted to primaries.",
+             replication["promotions"]),
+            ("replica_repairs", "Placement repair actions executed.",
+             replication["repairs"]),
+            ("replica_failures", "Mirror or repair steps that gave up.",
+             replication["failures"]),
         ):
             lines.append(f"# HELP repro_cluster_{name}_total {help_text}")
             lines.append(f"# TYPE repro_cluster_{name}_total counter")
@@ -600,6 +881,7 @@ def controller_factory(
     fleet_config: FleetConfig | None = None,
     autoscale: AutoscaleConfig | None = None,
     hot_classes: int = 128,
+    replication: bool = True,
 ):
     """A ``server_factory`` for :func:`repro.serve.run_server` /
     :class:`repro.serve.BackgroundServer` that builds a controller."""
@@ -611,6 +893,7 @@ def controller_factory(
             fleet_config=fleet_config,
             autoscale=autoscale,
             hot_classes=hot_classes,
+            replication=replication,
         )
 
     return factory

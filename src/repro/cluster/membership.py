@@ -285,6 +285,17 @@ class ClusterMembership:
                     return handle
             return None
 
+    def member_generation(self, name: str) -> int | None:
+        """The controller-assigned generation of *name*'s current
+        registration (``None`` if not a member).  A rolling restart
+        watches this: a same-name rejoin is complete exactly when the
+        generation has moved past the one recorded before the restart."""
+        with self._lock:
+            for handle in self._members:
+                if handle.name == name:
+                    return handle.generation
+            return None
+
     def status(self) -> dict:
         """The membership block of the controller's ``stats`` verb."""
         now = self._clock()

@@ -1,0 +1,149 @@
+"""Replica placement planning: pure decisions, no wire traffic.
+
+The cluster invariant this module encodes: **every live ref has exactly
+one primary copy (on its ring owner) and exactly one replica (on the
+ring's next distinct successor), and the two are never the same
+worker.**  :func:`plan_replica_repairs` takes the current ring plus a
+census of who actually holds what — primaries from ``instance_list``,
+replicas from ``replica_inventory`` — and returns the ordered list of
+:class:`RepairAction`\\ s that restores the invariant.  It is a pure
+function of its inputs, which is what makes the invariant *testable*:
+the property suite drives random join/leave/evict histories through a
+model fleet and asserts the planner always converges to a state where
+it has nothing left to say.
+
+The planner leans on :meth:`~repro.serve.shard.HashRing.successor_for`'s
+load-bearing property: the successor holding a ref's replica is exactly
+the worker that *becomes* the ring owner when the current owner's tokens
+vanish — so after an eviction the plan for every orphaned ref is a
+local ``promote`` on the worker that already holds the bytes, never a
+transfer from a dead machine.
+
+Action order matters and is fixed: promotes and primary copies first
+(they may read from stray copies), then replica installs (they read
+from the now-correct owner), then stray drops (nothing reads a stray
+after this point).  Every action is idempotent on the wire, so a crash
+mid-plan followed by a fresh plan converges the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..serve.shard import HashRing, ref_digest
+
+#: The kinds a repair action can take, in execution-order groups.
+_KIND_ORDER = {
+    "promote": 0,        # owner turns its replica into the primary
+    "copy_primary": 0,   # owner installs the primary read from `source`
+    "replicate": 1,      # successor installs a replica read from `source`
+    "drop_primary": 2,   # a non-owner discards its stray primary
+    "drop_replica": 2,   # a non-successor discards its stray replica
+}
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One idempotent step toward the owner+successor invariant.
+
+    ``worker`` is the worker the action runs on; ``source`` (for copies
+    and replica installs) names the worker to read the bytes from, with
+    ``source_primary`` saying which of its two stores holds them.
+    """
+
+    kind: str
+    worker: str
+    ref: str
+    version: int | None = None
+    source: str | None = None
+    source_primary: bool = True
+
+    def __post_init__(self):
+        if self.kind not in _KIND_ORDER:
+            raise ValueError(f"unknown repair kind {self.kind!r}")
+
+
+def plan_replica_repairs(
+    ring: HashRing,
+    primaries: dict[str, dict[str, int]],
+    replicas: dict[str, dict[str, int]],
+) -> list[RepairAction]:
+    """The actions restoring one-primary-on-owner + one-replica-on-successor.
+
+    ``primaries``/``replicas`` map worker name → {ref → version} — the
+    fleet census.  Workers absent from the ring contribute nothing (their
+    copies are unreachable, not strays to drop).  The freshest version of
+    a ref anywhere in the census wins; versions are preserved end to end.
+    Returns actions sorted ref-major in the fixed execution order.
+    """
+    members = set(ring.names)
+    refs: set[str] = set()
+    for census in (primaries, replicas):
+        for worker, held in census.items():
+            if worker in members:
+                refs.update(held)
+
+    actions: list[RepairAction] = []
+    for ref in sorted(refs):
+        digest = ref_digest(ref)
+        owner = ring.names[ring.shard_for(digest)]
+        succ_index = ring.successor_for(digest)
+        succ = None if succ_index is None else ring.names[succ_index]
+
+        # the census restricted to ring members, freshest copy first
+        copies = sorted(
+            (
+                (version, is_primary, worker)
+                for census, is_primary in ((primaries, True),
+                                           (replicas, False))
+                for worker, held in census.items()
+                if worker in members and ref in held
+                for version in (held[ref],)
+            ),
+            key=lambda c: (-c[0], not c[1], c[2]),
+        )
+        best_version, _, _ = copies[0]
+
+        def held(census: dict[str, dict[str, int]], worker: str) -> int | None:
+            return census.get(worker, {}).get(ref)
+
+        # 1. the owner's primary
+        owner_primary = held(primaries, owner)
+        owner_replica = held(replicas, owner)
+        promoting = False
+        if owner_primary != best_version:
+            if owner_replica == best_version:
+                promoting = True
+                actions.append(RepairAction("promote", owner, ref))
+            else:
+                version, src_primary, src = next(
+                    c for c in copies if c[0] == best_version
+                )
+                actions.append(RepairAction(
+                    "copy_primary", owner, ref,
+                    version=version, source=src, source_primary=src_primary,
+                ))
+
+        # 2. the successor's replica (read from the owner, who holds the
+        #    best primary once group-0 actions ran)
+        if succ is not None and held(replicas, succ) != best_version:
+            actions.append(RepairAction(
+                "replicate", succ, ref,
+                version=best_version, source=owner, source_primary=True,
+            ))
+
+        # 3. strays
+        for worker, held_map in sorted(primaries.items()):
+            if worker in members and worker != owner and ref in held_map:
+                actions.append(RepairAction("drop_primary", worker, ref))
+        for worker, held_map in sorted(replicas.items()):
+            if worker not in members or ref not in held_map:
+                continue
+            if worker == succ:
+                continue  # stale successor replicas are overwritten above
+            if worker == owner and promoting:
+                continue  # the promote consumes the owner's replica
+            actions.append(RepairAction("drop_replica", worker, ref))
+
+    actions.sort(key=lambda a: (a.ref, _KIND_ORDER[a.kind], a.worker))
+    return actions

@@ -182,6 +182,27 @@ class ServeClient:
         self._teardown()
         self._connect()
 
+    def abort(self) -> None:
+        """Hard-close the connection from *another* thread.
+
+        :meth:`close` flushes and closes the buffered stream — which
+        deadlocks against a concurrent blocked read, because the buffer
+        lock is held for the whole read.  This bypasses the buffer and
+        shuts the raw socket down, so a thread blocked mid-request fails
+        immediately with a transport error instead of waiting out its
+        timeout.  The client is unusable afterwards."""
+        self._closed = True
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
     def _teardown(self) -> None:
         """Close the stream pair, tolerating half-open or failed connects."""
         file, self._file = self._file, None

@@ -40,6 +40,7 @@ micro-batch, one plan-cache lookup per batch on the worker.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import threading
 import time
@@ -55,7 +56,7 @@ from ..exceptions import WorkerUnavailableError
 from ..obs.log import get_logger, log_event
 from ..obs.trace import current_trace_id, recorder
 from .client import ServeClient
-from .protocol import Request, replay_safe
+from .protocol import MUTATION_VERBS, Request, replay_safe
 from .shard import HashRing, ShardStats, ref_digest
 
 _logger = get_logger("serve.fleet")
@@ -242,6 +243,28 @@ class BaseWorkerFleet:
             except OSError:
                 pass
 
+    def _abort_connections(self, generations: set[int]) -> None:
+        """Force-close cached connections to the given worker
+        generations *without* taking the per-shard client locks.
+
+        A request currently blocked on such a connection — e.g. a stats
+        fan-out into a worker frozen mid-flight — would otherwise hold
+        its shard's client lock for the full ``request_timeout``,
+        wedging every later request to whichever worker now occupies
+        that shard index.  Closing the socket out-of-band makes the
+        blocked call fail immediately; its own failure path then drops
+        the entry and redials the shard's *current* worker."""
+        with self._state_lock:
+            doomed = [
+                client
+                for generation, client in self._clients.values()
+                if generation in generations
+            ]
+        for client in doomed:
+            # abort(), not close(): close() flushes the buffered stream
+            # and would deadlock against the very read we are breaking
+            client.abort()
+
     def _request(self, shard: int, verb: str, **payload) -> dict:
         """One wire request to *shard*, retrying once across a respawn.
 
@@ -360,18 +383,49 @@ class BaseWorkerFleet:
                     if isinstance(value, (int, float)):
                         stats[key] = stats.get(key, 0) + value
             return {"instances": instances, "stats": stats}
-        shard = self.shard_for_ref(request.instance_ref)
-        result = self._request(
-            shard, verb,
-            instance_ref=request.instance_ref,
-            instance=request.instance,
-            delta=request.delta,
-            expect_version=request.expect_version,
-            version=request.version,
-        )
-        if isinstance(result, dict):
-            result["shard"] = shard  # the worker index, not its local 0
+        mutation = verb in MUTATION_VERBS
+        # mutations serialize against whole-ring rebalances: routing by the
+        # ring and landing on the routed worker must be one atomic step, or
+        # a put/patch racing a member leave can land on a worker whose refs
+        # were already migrated away — applied, then silently lost
+        with self._mutation_gate() if mutation else contextlib.nullcontext():
+            shard = self.shard_for_ref(request.instance_ref)
+            result = self._request(
+                shard, verb,
+                instance_ref=request.instance_ref,
+                instance=request.instance,
+                delta=request.delta,
+                expect_version=request.expect_version,
+                version=request.version,
+            )
+            if isinstance(result, dict):
+                result["shard"] = shard  # the worker index, not its local 0
+            if mutation:
+                self._on_mutation(request, result)
         return result
+
+    def _mutation_gate(self):
+        """The context mutations run under.  The base fleet needs no gate
+        (resize is caller-serialized); the cluster engine returns its
+        rebalance lock so a mutation can never interleave with a live
+        join/leave migration."""
+        return contextlib.nullcontext()
+
+    def _on_mutation(self, request: Request, result: dict) -> None:
+        """Hook: one registry mutation just applied on its routed owner.
+        The cluster engine enqueues replica mirroring here; the base
+        fleet does nothing."""
+
+    def replica_inventory(self) -> dict:
+        """Every worker's replica side-store metadata, tagged with the
+        worker index — the ``replica_inventory`` fan-out a controller
+        answers with (and the census half of replica repair planning)."""
+        replicas: list[dict] = []
+        for shard in range(self.n_shards):
+            payload = self._request(shard, "replica_inventory")
+            for info in payload.get("replicas") or []:
+                replicas.append({**info, "worker": shard})
+        return {"replicas": replicas}
 
     # -- observability -------------------------------------------------------
 

@@ -58,6 +58,31 @@ Verbs and their payloads:
 ``instance_list``
     no payload; answers ``{"instances": [...], "bytes": ..., "max_bytes":
     ..., "evictions": ...}`` aggregated across shards/workers.
+``replicate``
+    replica maintenance (cluster controllers drive it, workers hold the
+    copies).  ``instance_ref`` + ``instance`` + ``version`` upserts a
+    replica snapshot at exactly that version; ``instance_ref`` + ``delta``
+    + ``version`` applies one delta on a replica already at ``version - 1``
+    (a stale replica answers ``conflict`` and the controller falls back to
+    a snapshot); a bare ``instance_ref`` drops the replica.  Answers
+    ``{"ref": ..., "replica": bool, "version": ...}``.  Idempotent — the
+    snapshot form overwrites, the delta form is CAS-guarded — so clients
+    may replay it after transport failures.
+``replica_get``
+    ``instance_ref``; answers ``{"ref": ..., "version": ..., "instance":
+    {... db document ...}}`` from the replica side-store (re-replication's
+    read side).  An absent replica answers ``unknown-instance``.
+``replica_inventory``
+    no payload; answers ``{"replicas": [{"ref", "version", "facts",
+    "bytes"}, ...]}`` — the replica side-store's metadata, which a cold
+    controller combines with ``instance_list`` to rebuild ref placement
+    without any state of its own.
+``promote``
+    ``instance_ref``; the worker moves its replica of the ref into its
+    primary store (version preserved) unless the primary copy is already
+    as new, then drops the replica.  Answers ``{"ref": ..., "promoted":
+    bool, "version": ...}``.  Idempotent: promoting an absent replica is
+    a no-op answering ``promoted: false``.
 ``decide`` with ``instance_ref`` instead of ``instance``
     decides over the stored instance; the result gains ``{"instance":
     {"ref", "version", "strategy", "incremental"}}`` and the decision's
@@ -143,7 +168,8 @@ VERBS = (
     "ping", "decide", "decide_batch", "classify", "explain", "stats",
     "metrics", "trace", "instance_put", "instance_patch", "instance_drop",
     "instance_get", "instance_list", "shutdown", "auth", "register",
-    "deregister", "heartbeat", "resize",
+    "deregister", "heartbeat", "resize", "replicate", "replica_get",
+    "replica_inventory", "promote",
 )
 
 #: code → meaning of the structured error envelope.
@@ -173,7 +199,10 @@ ERROR_CODES = {
 #: them after a transport failure (the first copy may have applied).  An
 #: ``instance_patch`` carrying ``expect_version`` is the exception — its
 #: compare-and-swap precondition turns a double-apply into a structured
-#: ``conflict`` — which is what :func:`replay_safe` encodes.
+#: ``conflict`` — which is what :func:`replay_safe` encodes.  The replica
+#: maintenance verbs (``replicate``/``promote``) write state too, but are
+#: idempotent by construction (snapshots overwrite, deltas are version-
+#: guarded), so they stay replayable and out of this set.
 MUTATION_VERBS = frozenset(
     {"instance_put", "instance_patch", "instance_drop"}
 )
@@ -387,6 +416,11 @@ def error_code_for(error: Exception) -> str:
         return "unauthorized"
     if isinstance(error, DeltaConflictError):
         return "conflict"
+    if isinstance(error, RemoteError):
+        # a front forwarding a verb relays the worker's structured code
+        # instead of laundering it into "domain" (unknown codes from a
+        # newer peer still degrade to the generic bucket)
+        return error.code if error.code in ERROR_CODES else "domain"
     if isinstance(error, ReproError):
         return "domain"
     return "internal"

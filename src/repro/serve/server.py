@@ -51,6 +51,7 @@ from ..exceptions import (
     ServeProtocolError,
     ServerOverloadedError,
     UnauthorizedError,
+    UnknownInstanceError,
 )
 from ..obs.log import (
     LOG_FORMATS,
@@ -526,6 +527,7 @@ class CertaintyServer:
             configure_recorder(span_log=self.config.span_log)
         self._sharded = self._build_engine()
         self._store = self._build_store()
+        self._replicas = self._build_replicas()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.max_workers or self.config.engine_width,
             thread_name_prefix="repro-serve",
@@ -576,6 +578,18 @@ class CertaintyServer:
         from ..store import InstanceStore
 
         return InstanceStore(max_bytes=self.config.store_bytes)
+
+    def _build_replicas(self):
+        """The replica side-store: copies of refs this server is ring
+        *successor* for, held apart from the primary store so they never
+        appear in ``instance_list``, never shadow a primary decide, and
+        never migrate as primaries during a rebalance.  Only servers that
+        own a primary store hold replicas."""
+        if self._store is None:
+            return None
+        from ..store.registry import InstanceRegistry
+
+        return InstanceRegistry(max_bytes=self.config.store_bytes)
 
     @property
     def sharded_engine(self) -> ShardedEngine:
@@ -1038,6 +1052,9 @@ class CertaintyServer:
             "instance_get", "instance_list"
         ):
             return await self._instance_verb(request)
+        if verb in ("replicate", "replica_get", "replica_inventory",
+                    "promote"):
+            return await self._replica_verb(request)
         raise UnsupportedVerbError(
             f"unknown verb {verb!r} (this server speaks "
             f"{PROTOCOL} v{VERSION})"
@@ -1151,6 +1168,96 @@ class CertaintyServer:
 
         return await self._run_on_pool(_list)
 
+    async def _replica_verb(self, request: Request) -> dict:
+        """The replica maintenance verbs (see ``protocol.py``): cluster
+        controllers drive them against workers, whose replica side-store
+        answers here.  ``replica_inventory`` additionally works on a
+        store-less front (controller) by fanning out to every worker."""
+        verb = request.verb
+        ref = request.instance_ref
+        if verb != "replica_inventory" and not ref:
+            raise ServeProtocolError(f"{verb!r} needs an 'instance_ref'")
+        if self._replicas is None:
+            if verb == "replica_inventory":
+                collect = getattr(self._sharded, "replica_inventory", None)
+                if collect is not None:
+                    return await self._run_on_pool(collect)
+            raise UnsupportedVerbError(
+                f"{verb!r} is answered by workers holding a store, not by "
+                "this front"
+            )
+        replicas = self._replicas
+        store = self._store
+        if verb == "replicate":
+
+            def _replicate():
+                if request.instance is not None:
+                    if request.version is None:
+                        raise ServeProtocolError(
+                            "'replicate' snapshots need a 'version'"
+                        )
+                    db = db_io.from_dict(request.instance)
+                    info = replicas.put(ref, db, version=request.version)
+                    return {"ref": ref, "replica": True,
+                            "version": info.version}
+                if request.delta is not None:
+                    if request.version is None:
+                        raise ServeProtocolError(
+                            "'replicate' deltas need a 'version'"
+                        )
+                    delta = Delta.from_dict(request.delta)
+                    info = replicas.apply_at(ref, delta, request.version)
+                    return {"ref": ref, "replica": True,
+                            "version": info.version}
+                return {"ref": ref, "replica": False,
+                        "dropped": replicas.drop(ref)}
+
+            return await self._run_on_pool(_replicate)
+        if verb == "replica_get":
+
+            def _get():
+                db, version = replicas.get(ref)
+                return {
+                    "ref": ref,
+                    "version": version,
+                    "instance": db_io.to_dict(db),
+                }
+
+            return await self._run_on_pool(_get)
+        if verb == "promote":
+
+            def _promote():
+                def held_version():
+                    try:
+                        return store.get(ref)[1]
+                    except UnknownInstanceError:
+                        return None
+
+                try:
+                    db, version = replicas.get(ref)
+                except UnknownInstanceError:
+                    # idempotent: nothing to promote (already promoted, or
+                    # never replicated here)
+                    return {"ref": ref, "promoted": False,
+                            "version": held_version()}
+                held = held_version()
+                promoted = held is None or held < version
+                if promoted:
+                    store.put(ref, db, version=version)
+                replicas.drop(ref)
+                return {"ref": ref, "promoted": promoted,
+                        "version": version if promoted else held}
+
+            return await self._run_on_pool(_promote)
+
+        def _inventory():  # replica_inventory
+            return {
+                "replicas": [info.to_dict() for info in replicas.list()],
+                "stats": replicas.stats(),
+            }
+
+        return await self._run_on_pool(_inventory)
+
     async def _stats(self) -> dict:
         shard_stats = await self._run_on_pool(self._sharded.stats)
         phases = await self._run_on_pool(self._merged_phases)
@@ -1169,6 +1276,8 @@ class CertaintyServer:
         }
         if self._store is not None:  # fleet workers report their own slices
             server_block["store"] = self._store.stats()
+        if self._replicas is not None:
+            server_block["replicas"] = self._replicas.stats()
         if self._autoscaler is not None:
             server_block["autoscale"] = self._autoscaler.status()
         return {

@@ -96,13 +96,38 @@ class HashRing:
 
     def shard_for(self, digest: str) -> int:
         """The owning shard of a fingerprint digest (hex string)."""
+        return self._shards[self._owner_index(digest)]
+
+    def successor_for(self, digest: str) -> int | None:
+        """The next *distinct* shard after the digest's owner, walking the
+        ring clockwise — where the cluster controller places a ref's
+        replica.  ``None`` on a single-member ring (nowhere distinct).
+
+        The load-bearing property: when the owner's tokens are removed
+        (its member evicted), the first remaining token at the digest's
+        position belongs to exactly this successor — so a replica placed
+        here *becomes the ring owner* the moment its owner dies, and
+        promotion is a local move, not a transfer.
+        """
+        if self.n_shards < 2:
+            return None
+        index = self._owner_index(digest)
+        owner = self._shards[index]
+        n = len(self._points)
+        for step in range(1, n):
+            shard = self._shards[(index + step) % n]
+            if shard != owner:
+                return shard
+        return None  # pragma: no cover — unreachable with n_shards >= 2
+
+    def _owner_index(self, digest: str) -> int:
         point = int.from_bytes(
             hashlib.sha256(digest.encode("ascii")).digest()[:8], "big"
         )
         index = bisect_right(self._points, point)
         if index == len(self._points):  # wrap around the ring
             index = 0
-        return self._shards[index]
+        return index
 
 
 @dataclass(frozen=True)

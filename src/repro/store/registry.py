@@ -173,6 +173,22 @@ class InstanceRegistry:
         self._notify_evicted(evicted)
         return info, delta
 
+    def apply_at(self, ref: str, delta: Delta, version: int) -> StoredInstance:
+        """Apply the delta that produced *version* on a copy at ``version - 1``.
+
+        The replica-side mirror of :meth:`patch`: a ring successor holding
+        *ref* at ``version - 1`` applies the owner's delta and lands at
+        exactly ``version`` — same strict conflict rules, same delta log,
+        so a promoted replica can itself serve incremental catch-up.  A
+        copy at any other version raises
+        :class:`~repro.exceptions.VersionConflictError`, telling the
+        replicator to fall back to a snapshot.
+        """
+        if version < 2:
+            raise ValueError(f"a delta cannot produce version {version}")
+        info, _ = self.patch(ref, delta, expect_version=version - 1)
+        return info
+
     def drop(self, ref: str) -> bool:
         """Remove *ref*; True iff it was present."""
         with self._lock:

@@ -1,0 +1,341 @@
+"""Fault injection for cluster chaos tests (`tests/test_chaos.py`).
+
+Two layers of mischief over real ``127.0.0.1`` TCP:
+
+- **process faults** — :func:`spawn_controller` / :func:`spawn_worker`
+  start genuine ``python -m repro serve`` subprocesses, and
+  :class:`ManagedProcess` kills them without a goodbye (``SIGKILL``),
+  freezes them mid-flight (``SIGSTOP`` / ``SIGCONT``), or stops them
+  cleanly;
+- **wire faults** — :class:`VerbProxy` sits between an agent (or
+  client) and a server, parses the newline-delimited JSON frames of the
+  serve protocol, and **drops** or **delays** requests by verb, or
+  **partitions** the link entirely (bytes black-holed both ways until
+  :meth:`VerbProxy.heal`).
+
+The proxy only inspects the client→server direction (requests carry the
+verb); responses pass through verbatim, so auth handshakes and every
+unmatched verb are unaffected.  This module is a helper, not a test
+file — pytest does not collect it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PYTHON = sys.executable
+SECRET = "chaos-fleet-secret"
+
+
+def chaos_env(secret: str = SECRET) -> dict:
+    """Subprocess environment: the repo's ``src`` on PYTHONPATH and the
+    fleet secret both sides read from ``REPRO_CLUSTER_SECRET``."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    env["REPRO_CLUSTER_SECRET"] = secret
+    return env
+
+
+def free_port() -> int:
+    """An ephemeral port that was free a moment ago (good enough for a
+    restart-on-the-same-address drill on loopback)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ManagedProcess:
+    """One serve subprocess plus its fault injectors."""
+
+    def __init__(self, proc: subprocess.Popen, label: str):
+        self.proc = proc
+        self.label = label
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def await_line(self, marker: str, timeout: float = 30.0) -> str:
+        """Read stdout until *marker* appears (ports are ephemeral, so
+        the announce line is the startup handshake)."""
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    f"{self.label} exited {self.proc.returncode} "
+                    f"before announcing {marker!r}"
+                )
+            line = self.proc.stdout.readline()
+            if marker in line:
+                return line
+        raise AssertionError(
+            f"{self.label} never announced {marker!r} within {timeout}s"
+        )
+
+    # -- faults ---------------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL: the process vanishes without deregistering — the
+        controller finds out by heartbeat timeout."""
+        if self.alive:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=30)
+
+    def pause(self) -> None:
+        """SIGSTOP: frozen mid-flight — sockets stay open, heartbeats
+        stop.  Indistinguishable from a long GC pause or a hung VM."""
+        self.proc.send_signal(signal.SIGSTOP)
+
+    def resume(self) -> None:
+        """SIGCONT: thaw a paused process; its next heartbeat discovers
+        whether it was evicted while frozen."""
+        self.proc.send_signal(signal.SIGCONT)
+
+    def terminate(self) -> None:
+        """Clean shutdown (teardown, not a fault)."""
+        if not self.alive:
+            return
+        self.proc.send_signal(signal.SIGCONT)  # in case it is paused
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def _spawn(args: list[str], label: str, secret: str) -> ManagedProcess:
+    proc = subprocess.Popen(
+        [PYTHON, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=chaos_env(secret),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return ManagedProcess(proc, label)
+
+
+def spawn_controller(
+    *,
+    port: int = 0,
+    heartbeat_timeout: float = 2.0,
+    secret: str = SECRET,
+) -> tuple[ManagedProcess, str, int]:
+    """Start ``repro serve --controller``; returns (process, host, port)
+    once the socket is announced."""
+    controller = _spawn(
+        [
+            "serve", "--controller", "--port", str(port),
+            "--heartbeat-timeout", str(heartbeat_timeout),
+            "--linger-ms", "0",
+        ],
+        "controller", secret,
+    )
+    announce = controller.await_line("listening on")
+    endpoint = announce.split("listening on ", 1)[1].split()[0]
+    host, port_text = endpoint.rsplit(":", 1)
+    return controller, host, int(port_text)
+
+
+def spawn_worker(
+    controller_host: str,
+    controller_port: int,
+    name: str,
+    *,
+    heartbeat: float = 0.5,
+    secret: str = SECRET,
+) -> ManagedProcess:
+    """Start one ``repro serve --join`` worker; returns once joined."""
+    worker = _spawn(
+        [
+            "serve", "--join", f"{controller_host}:{controller_port}",
+            "--port", "0", "--worker-name", name,
+            "--heartbeat", str(heartbeat), "--linger-ms", "0",
+        ],
+        f"worker {name}", secret,
+    )
+    worker.await_line("joined controller")
+    return worker
+
+
+class VerbProxy:
+    """A TCP proxy that injects wire faults between one dialer and one
+    serve endpoint.
+
+    Point an agent at :attr:`address` instead of the controller (or a
+    client at it instead of a server) and script the link::
+
+        proxy = VerbProxy(ctrl_host, ctrl_port)
+        agent joins via proxy.address ...
+        proxy.drop("heartbeat")     # the controller hears silence
+        proxy.delay("register", 1)  # slow-path a rejoin
+        proxy.partition()           # black-hole everything both ways
+        proxy.heal()                # all faults lifted at once
+
+    Dropped requests never reach upstream (the dialer times out, exactly
+    as on a lossy network); counts land in :attr:`dropped`.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int):
+        self.upstream = (upstream_host, upstream_port)
+        self.dropped: dict[str, int] = {}
+        self._drop: set[str] = set()
+        self._delay: dict[str, float] = {}
+        self._partitioned = threading.Event()
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self._listener = socket.socket()
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._conns: list[socket.socket] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()
+        return host, port
+
+    # -- fault controls -------------------------------------------------------
+
+    def drop(self, *verbs: str) -> None:
+        with self._lock:
+            self._drop.update(verbs)
+
+    def delay(self, verb: str, seconds: float) -> None:
+        with self._lock:
+            self._delay[verb] = seconds
+
+    def partition(self) -> None:
+        self._partitioned.set()
+
+    def heal(self) -> None:
+        """Lift every fault: partition, drops and delays."""
+        with self._lock:
+            self._drop.clear()
+            self._delay.clear()
+        self._partitioned.clear()
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "VerbProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the pumps ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(
+                    self.upstream, timeout=10
+                )
+            except OSError:
+                downstream.close()
+                continue
+            with self._lock:
+                self._conns += [downstream, upstream]
+            threading.Thread(
+                target=self._pump_requests,
+                args=(downstream, upstream),
+                name="chaos-proxy-up", daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._pump_bytes, args=(upstream, downstream),
+                name="chaos-proxy-down", daemon=True,
+            ).start()
+
+    def _pump_requests(self, source: socket.socket,
+                       sink: socket.socket) -> None:
+        """client→server: frame-aware — this is where verbs are visible."""
+        reader = source.makefile("rb")
+        try:
+            for line in reader:
+                if self._closed.is_set():
+                    return
+                if self._partitioned.is_set():
+                    continue  # black-holed: read and discard
+                verb = None
+                try:
+                    verb = json.loads(line).get("verb")
+                except (ValueError, AttributeError):
+                    pass  # not a request frame: pass through
+                with self._lock:
+                    dropping = verb in self._drop
+                    delay = self._delay.get(verb, 0.0)
+                    if dropping:
+                        self.dropped[verb] = self.dropped.get(verb, 0) + 1
+                if dropping:
+                    continue
+                if delay:
+                    time.sleep(delay)
+                sink.sendall(line)
+        except (OSError, ValueError):
+            pass
+        finally:
+            for sock in (source, sink):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _pump_bytes(self, source: socket.socket,
+                    sink: socket.socket) -> None:
+        """server→client: verb-less, so plain bytes — but a partition
+        still swallows everything."""
+        try:
+            while not self._closed.is_set():
+                chunk = source.recv(65536)
+                if not chunk:
+                    return
+                if self._partitioned.is_set():
+                    continue
+                sink.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            for sock in (source, sink):
+                try:
+                    sock.close()
+                except OSError:
+                    pass

@@ -1,0 +1,362 @@
+"""Chaos tests: the cluster under injected faults (see `tests/chaos.py`).
+
+Everything here runs real ``python -m repro serve`` subprocesses over
+127.0.0.1 TCP and hurts them on purpose: SIGKILL without a goodbye,
+SIGSTOP freezes, dropped heartbeat frames, and a controller cold
+restart.  The assertions are the PR's hardening contract — a single
+worker failure no longer loses refs (replicas promote, versions
+preserved), a rolling restart drills through the fleet with zero failed
+decides, and a restarted controller rebuilds its picture from agent
+re-registration alone.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import RemoteError
+from repro.serve import HashRing, ServeClient
+from repro.serve.shard import ref_digest
+
+from tests.chaos import (
+    SECRET,
+    VerbProxy,
+    free_port,
+    spawn_controller,
+    spawn_worker,
+)
+from tests.test_cluster import _class_instance, _class_problem
+
+
+def _client(host: str, port: int, timeout: float = 30.0) -> ServeClient:
+    return ServeClient(host, port, auth_secret=SECRET, timeout=timeout)
+
+
+def _await(predicate, timeout: float = 30.0, interval: float = 0.2):
+    """Poll *predicate* (returning a truthy value or raising) until it
+    delivers; transport errors count as 'not yet' — this is the retrying
+    client the acceptance scenarios are specified against."""
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            value = predicate()
+            if value:
+                return value
+            last = value
+        except (RemoteError, OSError) as error:
+            last = error
+        time.sleep(interval)
+    raise AssertionError(f"condition never held; last: {last!r}")
+
+
+def _cluster_status(client: ServeClient) -> dict:
+    return client.stats()["server"]["cluster"]
+
+
+def _workers(client: ServeClient, n: int, timeout: float = 30.0) -> dict:
+    return _await(
+        lambda: (lambda s: s if s["workers"] == n else None)(
+            _cluster_status(client)
+        ),
+        timeout=timeout,
+    )
+
+
+def _drained(client: ServeClient, timeout: float = 30.0) -> dict:
+    """Wait until the mirror backlog is empty (replicas caught up)."""
+    return _await(
+        lambda: (lambda s: s if s["replication"]["pending"] == 0 else None)(
+            _cluster_status(client)
+        ),
+        timeout=timeout,
+    )
+
+
+def _workers_fresh(host: str, port: int, n: int,
+                   timeout: float = 30.0) -> dict:
+    """Like :func:`_workers`, but with a fresh short-timeout client per
+    attempt — for windows where a stats fan-out can hang on a frozen
+    worker and poison the polling connection."""
+    def probe():
+        with _client(host, port, timeout=3.0) as client:
+            status = _cluster_status(client)
+            return status if status["workers"] == n else None
+
+    return _await(probe, timeout=timeout)
+
+
+def _member_ring(status: dict) -> HashRing:
+    """The controller's routing ring, rebuilt client-side from the
+    membership block — lets a test pick a ref's owning *process*."""
+    members = sorted(status["members"], key=lambda m: m["shard"])
+    names = tuple(m["name"] for m in members)
+    return HashRing(len(names), names=names)
+
+
+class TestChaosPromotion:
+    def test_sigkill_owner_serves_from_promoted_replica(self):
+        """The acceptance scenario over real processes: put refs, SIGKILL
+        the owning worker, heartbeat eviction — decides on its refs
+        answer from the promoted replicas with versions preserved."""
+        procs = []
+        try:
+            controller, host, port = spawn_controller(
+                heartbeat_timeout=2.0
+            )
+            procs.append(controller)
+            workers = {}
+            for name in ("chaos-a", "chaos-b", "chaos-c"):
+                workers[name] = spawn_worker(host, port, name)
+                procs.append(workers[name])
+            with _client(host, port) as client:
+                status = _workers(client, 3)
+                for i in range(8):
+                    client.put_instance(
+                        f"ref-{i}", _class_instance(i), version=5
+                    )
+                _drained(client)
+
+                ring = _member_ring(status)
+                victim = ring.names[ring.shard_for(ref_digest("ref-0"))]
+                orphans = [
+                    f"ref-{i}" for i in range(8)
+                    if ring.names[ring.shard_for(ref_digest(f"ref-{i}"))]
+                    == victim
+                ]
+                workers[victim].kill()
+                status = _workers(client, 2)
+                assert status["evictions"] >= 1
+                # the repair pass runs inside the eviction sweep, but a
+                # stats read can land between the membership shrink and
+                # the promotions — poll the counter instead of snapshotting
+                status = _await(lambda: (
+                    lambda s: s
+                    if s["replication"]["promotions"] >= len(orphans)
+                    else None
+                )(_cluster_status(client)))
+
+                for i in range(8):
+                    result = _await(lambda i=i: client.request(
+                        "decide", problem=_class_problem(i),
+                        instance_ref=f"ref-{i}",
+                    ))
+                    assert result["decision"]["certain"] is True
+                    assert result["instance"]["version"] == 5
+
+                page = client.metrics()
+                assert "repro_cluster_workers 2" in page
+                assert "repro_cluster_promotions_total" in page
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+    def test_paused_worker_is_evicted_and_rejoins_on_thaw(self):
+        """SIGSTOP is a crash the process survives: frozen past the
+        heartbeat timeout it gets evicted; thawed, its next heartbeat
+        discovers the eviction and it rejoins under the same name."""
+        procs = []
+        try:
+            controller, host, port = spawn_controller(
+                heartbeat_timeout=2.0
+            )
+            procs.append(controller)
+            frozen = spawn_worker(host, port, "freeze-a")
+            other = spawn_worker(host, port, "freeze-b")
+            procs += [frozen, other]
+            # fresh clients per poll: a stats fan-out that reaches the
+            # frozen worker hangs instead of erroring, so an attempt
+            # must be abandoned connection and all
+            _workers_fresh(host, port, 2)
+            frozen.pause()
+            status = _workers_fresh(host, port, 1)
+            assert status["evictions"] >= 1
+            assert [m["name"] for m in status["members"]] == [
+                "freeze-b"
+            ]
+            frozen.resume()
+            status = _workers_fresh(host, port, 2, timeout=60.0)
+            thawed = next(
+                m for m in status["members"]
+                if m["name"] == "freeze-a"
+            )
+            # the agent's own restart counter proves a real rejoin
+            assert thawed["agent_generation"] >= 2
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+
+class TestVerbProxy:
+    def test_dropped_heartbeats_evict_then_heal_rejoins(self):
+        """Selective frame loss: only ``heartbeat`` frames are dropped —
+        the TCP link stays up, yet the controller hears silence and
+        evicts.  Healing the link lets the very same agent rejoin."""
+        procs = []
+        try:
+            controller, host, port = spawn_controller(
+                heartbeat_timeout=2.0
+            )
+            procs.append(controller)
+            with VerbProxy(host, port) as proxy:
+                proxy_host, proxy_port = proxy.address
+                worker = spawn_worker(proxy_host, proxy_port, "lossy-a")
+                procs.append(worker)
+                with _client(host, port) as client:
+                    _workers(client, 1)
+                    proxy.drop("heartbeat")
+                    status = _workers(client, 0)
+                    assert status["evictions"] >= 1
+                    assert proxy.dropped.get("heartbeat", 0) >= 1
+                    proxy.heal()
+                    # the agent's hung heartbeat must first time out
+                    # (its frame was dropped, so no answer ever comes),
+                    # then the retry passes and `known: false` triggers
+                    # the re-register
+                    status = _workers(client, 1, timeout=60.0)
+                    member = status["members"][0]
+                    assert member["name"] == "lossy-a"
+                    assert member["agent_generation"] >= 2
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+
+class TestControllerColdRestart:
+    def test_controller_restart_recovers_from_reregistration(self):
+        """SIGKILL the controller, restart it cold on the same address:
+        the new process knows nobody, the agents' heartbeat loops fail
+        over and re-register, the repair pass rebuilds replicas — and a
+        retrying client sees zero failed requests end to end."""
+        procs = []
+        fixed_port = free_port()
+        try:
+            controller, host, port = spawn_controller(
+                port=fixed_port, heartbeat_timeout=2.0
+            )
+            procs.append(controller)
+            for name in ("cold-a", "cold-b", "cold-c"):
+                procs.append(spawn_worker(host, port, name))
+            with _client(host, port) as client:
+                _workers(client, 3)
+                for i in range(6):
+                    client.put_instance(
+                        f"ref-{i}", _class_instance(i), version=4
+                    )
+                _drained(client)
+
+            controller.kill()
+            replacement, host, port = spawn_controller(
+                port=fixed_port, heartbeat_timeout=2.0
+            )
+            procs.append(replacement)
+
+            # a fresh client per attempt: the old connection died with
+            # the old process, and that must not count as a failure
+            def _recovered():
+                with _client(host, port, timeout=10.0) as probe:
+                    status = _cluster_status(probe)
+                    return status if status["workers"] == 3 else None
+
+            status = _await(_recovered, timeout=60.0)
+            assert sorted(m["name"] for m in status["members"]) == [
+                "cold-a", "cold-b", "cold-c"
+            ]
+
+            with _client(host, port) as client:
+                failures = []
+                for i in range(6):
+                    try:
+                        result = _await(lambda i=i: client.request(
+                            "decide", problem=_class_problem(i),
+                            instance_ref=f"ref-{i}",
+                        ))
+                    except AssertionError:
+                        failures.append(f"ref-{i}")
+                        continue
+                    assert result["instance"]["version"] == 4
+                assert failures == [], (
+                    f"refs lost across controller restart: {failures}"
+                )
+                _drained(client)  # replicas rebuilt on the new watch
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+
+class TestRollingRestart:
+    def test_drill_completes_with_zero_failed_decides(self):
+        """`repro fleet rolling-restart` drains and rejoins each worker
+        in turn while a client hammers ref decides — every decide must
+        eventually answer (retries allowed, definitive failures not)."""
+        import subprocess
+        import sys
+
+        from tests.chaos import PYTHON, REPO_ROOT, chaos_env
+
+        procs = []
+        try:
+            controller, host, port = spawn_controller(
+                heartbeat_timeout=5.0
+            )
+            procs.append(controller)
+            for name in ("roll-a", "roll-b", "roll-c"):
+                procs.append(spawn_worker(host, port, name))
+            with _client(host, port) as client:
+                _workers(client, 3)
+                for i in range(6):
+                    client.put_instance(f"ref-{i}", _class_instance(i))
+                _drained(client)
+
+                stop = threading.Event()
+                failures: list[str] = []
+                decided = [0]
+
+                def _hammer():
+                    with _client(host, port, timeout=10.0) as hammer:
+                        i = 0
+                        while not stop.is_set():
+                            ref = f"ref-{i % 6}"
+                            try:
+                                _await(lambda: hammer.request(
+                                    "decide",
+                                    problem=_class_problem(i % 6),
+                                    instance_ref=ref,
+                                ), timeout=20.0, interval=0.05)
+                                decided[0] += 1
+                            except AssertionError:
+                                failures.append(ref)
+                            i += 1
+
+                thread = threading.Thread(target=_hammer, daemon=True)
+                thread.start()
+                drill = subprocess.run(
+                    [
+                        PYTHON, "-m", "repro", "fleet", "rolling-restart",
+                        "--connect", f"{host}:{port}",
+                        "--step-timeout", "60",
+                    ],
+                    cwd=REPO_ROOT, env=chaos_env(),
+                    capture_output=True, text=True, timeout=240,
+                )
+                stop.set()
+                thread.join(timeout=30)
+                assert drill.returncode == 0, (
+                    f"drill failed:\n{drill.stdout}\n{drill.stderr}"
+                )
+                assert failures == [], (
+                    f"decides failed during the drill: {failures}"
+                )
+                assert decided[0] > 0
+
+                status = _workers(client, 3)
+                # every worker rejoined: its agent bumped its own counter
+                for member in status["members"]:
+                    assert member["agent_generation"] >= 2, member
+                for i in range(6):
+                    _, version = client.get_instance(f"ref-{i}")
+                    assert version == 1
+        finally:
+            for proc in procs:
+                proc.terminate()

@@ -1,0 +1,484 @@
+"""Tests for ref replication (`repro.cluster.replication` + the wire).
+
+Four layers, bottom up: the ring successor property that makes
+promotion a local move; the replica maintenance verbs on a single
+server; the pure repair planner driven through random join/leave/evict
+histories (the owner+successor invariant as a property test); and the
+live cluster paths — asynchronous mirroring, eviction → promotion with
+versions preserved, and the graceful-leave mutation gate that closes
+the silent-loss window.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterMembership, plan_replica_repairs
+from repro.cluster.controller import ClusterServer
+from repro.db.facts import Fact
+from repro.exceptions import RemoteError
+from repro.serve import BackgroundServer, HashRing, ServeClient, ServerConfig
+from repro.serve.shard import ref_digest
+from repro.store.delta import Delta
+
+from tests.test_cluster import (
+    SECRET,
+    _agent,
+    _class_instance,
+    _class_problem,
+    _wait_for_workers,
+)
+
+
+def _controller_factory(heartbeat_timeout: float = 1.0, **kwargs):
+    def factory(config: ServerConfig) -> ClusterServer:
+        return ClusterServer(
+            config,
+            membership=ClusterMembership(
+                heartbeat_timeout=heartbeat_timeout
+            ),
+            **kwargs,
+        )
+
+    return factory
+
+
+class TestSuccessor:
+    def test_single_member_ring_has_no_successor(self):
+        assert HashRing(1, names=("solo",)).successor_for("d" * 16) is None
+
+    def test_successor_is_distinct_from_owner(self):
+        ring = HashRing(4, names=("a", "b", "c", "d"))
+        for i in range(500):
+            digest = ref_digest(f"key-{i}")
+            owner = ring.shard_for(digest)
+            succ = ring.successor_for(digest)
+            assert succ is not None and succ != owner
+
+    def test_successor_becomes_owner_when_owner_leaves(self):
+        # THE property replication rests on: remove the owner's name and
+        # the old successor is the new owner — so an eviction's orphaned
+        # refs already live (as replicas) on the worker that now owns them
+        names = ("a", "b", "c", "d")
+        ring = HashRing(4, names=names)
+        for i in range(500):
+            digest = ref_digest(f"key-{i}")
+            owner = ring.names[ring.shard_for(digest)]
+            succ = ring.names[ring.successor_for(digest)]
+            survivors = tuple(n for n in names if n != owner)
+            shrunk = HashRing(3, names=survivors)
+            assert shrunk.names[shrunk.shard_for(digest)] == succ
+
+
+class TestReplicaVerbs:
+    """The wire surface on one thread-mode server (store + side-store)."""
+
+    def test_snapshot_delta_and_drop(self):
+        with BackgroundServer(ServerConfig(shards=1)) as server:
+            with ServeClient(*server.address) as client:
+                r = client.request(
+                    "replicate", instance_ref="r1",
+                    instance=_class_instance(1), version=5,
+                )
+                assert r["replica"] is True and r["version"] == 5
+                got = client.request("replica_get", instance_ref="r1")
+                assert got["version"] == 5
+                # the delta that produces version 6 applies on a 5-replica
+                delta = Delta.of(adds=[Fact("R", ("x", "y"), 1)])
+                r = client.request(
+                    "replicate", instance_ref="r1", delta=delta, version=6
+                )
+                assert r["version"] == 6
+                # a replayed (or stale) delta conflicts instead of forking
+                with pytest.raises(RemoteError) as excinfo:
+                    client.request(
+                        "replicate", instance_ref="r1", delta=delta,
+                        version=6,
+                    )
+                assert excinfo.value.code == "conflict"
+                inventory = client.request("replica_inventory")
+                assert [e["ref"] for e in inventory["replicas"]] == ["r1"]
+                # replicas never shadow the primary surface
+                assert client.list_instances()["instances"] == []
+                r = client.request("replicate", instance_ref="r1")
+                assert r["replica"] is False and r["dropped"] is True
+                with pytest.raises(RemoteError) as excinfo:
+                    client.request("replica_get", instance_ref="r1")
+                assert excinfo.value.code == "unknown-instance"
+
+    def test_promote_moves_replica_into_primary(self):
+        with BackgroundServer(ServerConfig(shards=1)) as server:
+            with ServeClient(*server.address) as client:
+                client.request(
+                    "replicate", instance_ref="r2",
+                    instance=_class_instance(2), version=9,
+                )
+                r = client.request("promote", instance_ref="r2")
+                assert r["promoted"] is True and r["version"] == 9
+                _, version = client.get_instance("r2")
+                assert version == 9  # version preserved across promotion
+                assert client.request("replica_inventory")["replicas"] == []
+                # idempotent: nothing left to promote
+                r = client.request("promote", instance_ref="r2")
+                assert r["promoted"] is False and r["version"] == 9
+
+    def test_promote_never_downgrades_a_newer_primary(self):
+        with BackgroundServer(ServerConfig(shards=1)) as server:
+            with ServeClient(*server.address) as client:
+                client.put_instance("r3", _class_instance(3), version=7)
+                client.request(
+                    "replicate", instance_ref="r3",
+                    instance=_class_instance(3), version=4,
+                )
+                r = client.request("promote", instance_ref="r3")
+                assert r["promoted"] is False and r["version"] == 7
+                _, version = client.get_instance("r3")
+                assert version == 7
+
+
+class _ModelFleet:
+    """A pure model of worker stores for driving the repair planner."""
+
+    def __init__(self):
+        self.primaries: dict[str, dict[str, int]] = {}
+        self.replicas: dict[str, dict[str, int]] = {}
+
+    def ring(self, names: list[str]) -> HashRing | None:
+        return (
+            HashRing(len(names), names=names) if names else None
+        )
+
+    def apply(self, action) -> None:
+        if action.kind == "promote":
+            version = self.replicas[action.worker].pop(action.ref)
+            held = self.primaries[action.worker].get(action.ref)
+            if held is None or held < version:
+                self.primaries[action.worker][action.ref] = version
+        elif action.kind in ("copy_primary", "replicate"):
+            census = (
+                self.primaries if action.source_primary else self.replicas
+            )
+            version = census[action.source][action.ref]
+            assert version == action.version, "planner read a phantom copy"
+            target = (
+                self.primaries if action.kind == "copy_primary"
+                else self.replicas
+            )
+            target[action.worker][action.ref] = version
+        elif action.kind == "drop_primary":
+            self.primaries[action.worker].pop(action.ref, None)
+        else:  # drop_replica
+            self.replicas[action.worker].pop(action.ref, None)
+
+
+class TestRepairPlannerProperty:
+    """Satellite: random join/leave/evict histories keep the invariant —
+    every live ref has exactly one owner-held primary and one replica on
+    a distinct successor (n >= 2), never both on the same worker."""
+
+    def _assert_invariant(self, model, names, live_refs):
+        ring = model.ring(names)
+        for ref in sorted(live_refs):
+            digest = ref_digest(ref)
+            owner = ring.names[ring.shard_for(digest)]
+            holders = [
+                w for w, held in model.primaries.items() if ref in held
+            ]
+            assert holders == [owner], (
+                f"{ref}: primaries on {holders}, ring owner {owner}"
+            )
+            succ_index = ring.successor_for(digest)
+            replica_holders = [
+                w for w, held in model.replicas.items() if ref in held
+            ]
+            if succ_index is None:
+                assert replica_holders == []
+                continue
+            succ = ring.names[succ_index]
+            assert replica_holders == [succ], (
+                f"{ref}: replicas on {replica_holders}, successor {succ}"
+            )
+            assert succ != owner
+            assert (
+                model.replicas[succ][ref] == model.primaries[owner][ref]
+            ), f"{ref}: replica version diverged"
+
+    def _repair(self, model, names):
+        ring = model.ring(names)
+        if ring is None:
+            return
+        plan = plan_replica_repairs(ring, model.primaries, model.replicas)
+        for action in plan:
+            model.apply(action)
+        # convergence: a repaired fleet has nothing left to repair
+        assert plan_replica_repairs(
+            ring, model.primaries, model.replicas
+        ) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_histories_preserve_the_invariant(self, seed):
+        rng = random.Random(seed)
+        model = _ModelFleet()
+        names: list[str] = []
+        live_refs: set[str] = set()
+        next_worker = 0
+        versions = {f"ref-{i}": 1 for i in range(16)}
+
+        def add_worker(name, stale_state=False):
+            model.primaries.setdefault(name, {})
+            model.replicas.setdefault(name, {})
+            if stale_state:
+                # a rejoiner may come back holding old copies: strictly
+                # older versions the planner must treat as stale
+                for ref in rng.sample(sorted(live_refs),
+                                      k=min(3, len(live_refs))):
+                    model.primaries[name][ref] = max(
+                        1, versions[ref] - 1
+                    )
+            names.append(name)
+
+        for _ in range(3):
+            add_worker(f"w{next_worker}")
+            next_worker += 1
+        ring = model.ring(names)
+        for ref in versions:
+            owner = ring.names[ring.shard_for(ref_digest(ref))]
+            model.primaries[owner][ref] = versions[ref]
+            live_refs.add(ref)
+        self._repair(model, names)
+        self._assert_invariant(model, names, live_refs)
+
+        for _ in range(24):
+            event = rng.choice(["join", "leave", "evict", "patch"])
+            if event == "join" and len(names) < 6:
+                rejoin = rng.random() < 0.3 and next_worker > 3
+                name = (
+                    f"w{rng.randrange(next_worker)}" if rejoin
+                    else f"w{next_worker}"
+                )
+                if name in names:
+                    continue
+                add_worker(name, stale_state=rejoin)
+                if not rejoin:
+                    next_worker += 1
+            elif event == "patch" and live_refs:
+                # a primary mutation lands on the owner, and (as the
+                # mirror pipeline would) on the successor replica
+                ref = rng.choice(sorted(live_refs))
+                versions[ref] += 1
+                ring = model.ring(names)
+                owner = ring.names[ring.shard_for(ref_digest(ref))]
+                model.primaries[owner][ref] = versions[ref]
+                succ_index = ring.successor_for(ref_digest(ref))
+                if succ_index is not None:
+                    succ = ring.names[succ_index]
+                    model.replicas[succ][ref] = versions[ref]
+                continue  # no membership change, no repair needed
+            elif event == "leave" and len(names) > 1:
+                name = rng.choice(names)
+                names.remove(name)
+                # graceful drain: primaries migrate to post-shrink owners
+                ring = model.ring(names)
+                for ref, version in model.primaries[name].items():
+                    owner = ring.names[ring.shard_for(ref_digest(ref))]
+                    held = model.primaries[owner].get(ref)
+                    if held is None or held < version:
+                        model.primaries[owner][ref] = version
+                del model.primaries[name]
+                del model.replicas[name]
+            elif event == "evict" and len(names) > 1:
+                name = rng.choice(names)  # crash: everything it held dies
+                names.remove(name)
+                del model.primaries[name]
+                del model.replicas[name]
+            else:
+                continue
+            self._repair(model, names)
+            self._assert_invariant(model, names, live_refs)
+
+
+class TestLiveReplication:
+    """Mirroring, promotion and the leave-window gate over real TCP."""
+
+    def _start(self, ctrl, names, client):
+        agents = [_agent(ctrl.address, name).start() for name in names]
+        _wait_for_workers(client, len(names))
+        return agents
+
+    def test_eviction_promotes_replicas_and_preserves_versions(self):
+        config = ServerConfig(shards=2, linger_ms=0.0, auth_secret=SECRET)
+        factory = _controller_factory(heartbeat_timeout=1.0)
+        with BackgroundServer(config, server_factory=factory) as ctrl:
+            with ServeClient(
+                *ctrl.address, auth_secret=SECRET, timeout=30.0
+            ) as client:
+                agents = self._start(
+                    ctrl, ["rep-a", "rep-b", "rep-c"], client
+                )
+                try:
+                    self._evict_scenario(ctrl, client, agents)
+                finally:
+                    for agent in agents:
+                        agent.stop(deregister=False)
+
+    def _evict_scenario(self, ctrl, client, agents):
+        engine = ctrl.server.cluster_engine
+        for i in range(9):
+            client.put_instance(f"ref-{i}", _class_instance(i), version=7)
+        assert engine.flush_replication(timeout=30.0)
+
+        # every ref is mirrored on its distinct ring successor
+        inventory = client.request("replica_inventory")["replicas"]
+        mirrored = {e["ref"]: e["version"] for e in inventory}
+        assert set(mirrored) == {f"ref-{i}" for i in range(9)}
+        assert all(version == 7 for version in mirrored.values())
+        ring = engine._require_ring()
+        for i in range(9):
+            digest = ref_digest(f"ref-{i}")
+            assert ring.successor_for(digest) != ring.shard_for(digest)
+
+        # SIGKILL-equivalent: the owner of ref-0 vanishes silently
+        victim = ring.names[engine.shard_for_ref("ref-0")]
+        victim_agent = next(a for a in agents if a.name == victim)
+        orphans = [
+            f"ref-{i}" for i in range(9)
+            if ring.names[engine.shard_for_ref(f"ref-{i}")] == victim
+        ]
+        victim_agent.kill()
+        status = _wait_for_workers(client, 2, timeout=15.0)
+        assert status["replication"]["promotions"] >= len(orphans)
+
+        # the acceptance bar: decides on the dead worker's refs answer
+        # from the promoted replicas, versions intact — no re-put needed
+        for i in range(9):
+            _, version = client.get_instance(f"ref-{i}")
+            assert version == 7
+            result = client.request(
+                "decide", problem=_class_problem(i),
+                instance_ref=f"ref-{i}",
+            )
+            assert result["decision"]["certain"] is True
+            assert result["instance"]["version"] == 7
+
+        # and the orphans were re-replicated onto the shrunk ring
+        assert engine.flush_replication(timeout=30.0)
+        inventory = client.request("replica_inventory")["replicas"]
+        assert {e["ref"] for e in inventory} == {
+            f"ref-{i}" for i in range(9)
+        }
+        page = client.metrics()
+        assert "repro_cluster_promotions_total" in page
+        assert "repro_cluster_replications_total" in page
+
+    def test_patch_during_leave_lands_exactly_once(self):
+        """Satellite: the silent-loss window.  A patch racing a graceful
+        leave must land exactly once, on exactly one owner, at the right
+        version — the mutation gate serializes it against the migration
+        instead of letting it apply on the leaver after the snapshot."""
+        config = ServerConfig(shards=2, linger_ms=0.0, auth_secret=SECRET)
+        factory = _controller_factory(heartbeat_timeout=30.0)
+        with BackgroundServer(config, server_factory=factory) as ctrl:
+            with ServeClient(
+                *ctrl.address, auth_secret=SECRET, timeout=30.0
+            ) as client:
+                agents = self._start(ctrl, ["gate-a", "gate-b"], client)
+                try:
+                    self._leave_race(ctrl, client)
+                finally:
+                    for agent in agents:
+                        agent.stop(deregister=False)
+
+    def _leave_race(self, ctrl, client):
+        engine = ctrl.server.cluster_engine
+        ring = engine._require_ring()
+        # a ref owned by the worker that will leave
+        leaver = "gate-a"
+        ref = next(
+            f"race-{i}" for i in range(100)
+            if ring.names[ring.shard_for(ref_digest(f"race-{i}"))] == leaver
+        )
+        client.put_instance(ref, _class_instance(1))
+        assert engine.flush_replication(timeout=30.0)
+
+        migration_started = threading.Event()
+        original = engine._collect_leaver_refs
+
+        def stalled_collect(shard, new_ring):
+            moves = original(shard, new_ring)
+            migration_started.set()
+            time.sleep(0.8)  # hold the window open: snapshot taken, not
+            return moves     # yet re-homed — the classic loss interval
+
+        engine._collect_leaver_refs = stalled_collect
+        leave = threading.Thread(
+            target=engine.deregister_worker, args=(leaver,)
+        )
+        leave.start()
+        assert migration_started.wait(timeout=20.0)
+        # the patch arrives inside the migration window
+        delta = Delta.of(adds=[Fact("R", ("x", "y"), 1)])
+        result = client.request(
+            "instance_patch", instance_ref=ref, delta=delta,
+            expect_version=1,
+        )
+        leave.join(timeout=30)
+        assert not leave.is_alive()
+        assert result["instance"]["version"] == 2
+
+        # exactly one copy, on the survivor, at the patched version
+        listing = client.list_instances()["instances"]
+        copies = [e for e in listing if e["ref"] == ref]
+        assert len(copies) == 1 and copies[0]["version"] == 2
+        assert (
+            engine._require_ring().names[engine.shard_for_ref(ref)]
+            == "gate-b"
+        )
+        doc, version = client.get_instance(ref)
+        assert version == 2
+        assert any(
+            fact.relation == "R" and fact.values == ("x", "y")
+            for fact in doc.facts
+        ), "the racing patch's facts must survive the migration"
+
+    def test_replication_off_restores_the_lossy_contract(self):
+        config = ServerConfig(shards=2, linger_ms=0.0, auth_secret=SECRET)
+        factory = _controller_factory(
+            heartbeat_timeout=1.0, replication=False
+        )
+        with BackgroundServer(config, server_factory=factory) as ctrl:
+            with ServeClient(
+                *ctrl.address, auth_secret=SECRET, timeout=30.0
+            ) as client:
+                agents = self._start(ctrl, ["off-a", "off-b"], client)
+                try:
+                    engine = ctrl.server.cluster_engine
+                    for i in range(8):
+                        client.put_instance(f"ref-{i}", _class_instance(i))
+                    ring = engine._require_ring()
+                    victim = "off-a"
+                    orphan = next(
+                        f"ref-{i}" for i in range(8)
+                        if ring.names[engine.shard_for_ref(f"ref-{i}")]
+                        == victim
+                    )
+                    status = client.stats()["server"]["cluster"]
+                    assert status["replication"]["enabled"] is False
+                    assert (
+                        client.request("replica_inventory")["replicas"]
+                        == []
+                    )
+                    next(
+                        a for a in agents if a.name == victim
+                    ).kill()
+                    _wait_for_workers(client, 1, timeout=15.0)
+                    with pytest.raises(RemoteError) as excinfo:
+                        client.request(
+                            "decide", problem=_class_problem(0),
+                            instance_ref=orphan,
+                        )
+                    assert excinfo.value.code == "unknown-instance"
+                finally:
+                    for agent in agents:
+                        agent.stop(deregister=False)

@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""Chaos smoke: replication, promotion and a rolling restart under fire.
+
+The CI-shaped fault drill for the hardened cluster, using nothing but
+the public CLI surface (``python -m repro`` subprocesses) and the
+public client.  A controller and three workers serve a stream of
+stored-ref decides from a retrying client while the script injects
+faults, asserting in order:
+
+1. **replicate** — stored refs are mirrored to their ring successors
+   (the mirror backlog drains to zero);
+2. **SIGKILL** — one worker dies without a goodbye mid-traffic: the
+   heartbeat timeout evicts it, its refs answer from promoted replicas
+   with versions preserved, and ``repro_cluster_promotions_total``
+   lands on the metrics page;
+3. **rejoin** — a replacement worker under the same name rejoins and
+   the fleet is back at full width;
+4. **rolling restart** — ``repro fleet rolling-restart`` drains and
+   rejoins every worker in turn, exit code 0;
+5. **zero failed decides** — the decide hammer that ran through all of
+   the above reports no request that exhausted its retries.
+
+Run locally (from the repository root):
+
+    PYTHONPATH=src python tools/chaos_smoke.py
+
+Exit code 0 on success; every step prints an ``ok:`` line.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SECRET = "chaos-smoke-secret"
+PYTHON = sys.executable
+DEADLINE_SECONDS = 300.0
+N_REFS = 6
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Problem  # noqa: E402
+from repro.core.schema import Schema  # noqa: E402
+from repro.db.instance import DatabaseInstance  # noqa: E402
+from repro.exceptions import RemoteError  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+_DEADLINE = time.monotonic() + DEADLINE_SECONDS
+
+
+def _remaining() -> float:
+    left = _DEADLINE - time.monotonic()
+    if left <= 0:
+        raise SystemExit("FAIL smoke exceeded its global deadline")
+    return left
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    env["REPRO_CLUSTER_SECRET"] = SECRET
+    return env
+
+
+def _spawn(args: list[str]) -> subprocess.Popen:
+    return subprocess.Popen(
+        [PYTHON, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_line(proc: subprocess.Popen, marker: str, what: str) -> str:
+    deadline = time.monotonic() + min(30.0, _remaining())
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"FAIL {what} exited {proc.returncode} before announcing"
+            )
+        line = proc.stdout.readline()
+        if marker in line:
+            return line
+    raise SystemExit(f"FAIL {what} never announced {marker!r}")
+
+
+def _spawn_worker(host: str, port: int, name: str) -> subprocess.Popen:
+    worker = _spawn([
+        "serve", "--join", f"{host}:{port}", "--port", "0",
+        "--worker-name", name, "--heartbeat", "0.5",
+        "--linger-ms", "0",
+    ])
+    _await_line(worker, "joined controller", f"worker {name}")
+    return worker
+
+
+def _problem(i: int) -> Problem:
+    return Problem.of("R(x | y)", f"S(y | 'c{i}')", fks=["R[2]->S"])
+
+
+def _instance(i: int) -> DatabaseInstance:
+    return DatabaseInstance.build(
+        Schema.of(R=(2, 1), S=(2, 1)),
+        {"R": [("a", "b")], "S": [("b", f"c{i}")]},
+    )
+
+
+def _await_status(client: ServeClient, predicate, what: str) -> dict:
+    deadline = time.monotonic() + min(60.0, _remaining())
+    status = None
+    while time.monotonic() < deadline:
+        try:
+            status = client.stats()["server"]["cluster"]
+            if predicate(status):
+                return status
+        except (RemoteError, OSError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit(f"FAIL never observed {what}: {status}")
+
+
+class DecideHammer(threading.Thread):
+    """Stored-ref decides in a loop; a request only counts as failed
+    when its retries are exhausted — the zero-failed-decides bar."""
+
+    def __init__(self, host: str, port: int):
+        super().__init__(name="chaos-hammer", daemon=True)
+        self._address = (host, port)
+        # NOT named _stop: threading.Thread owns that attribute
+        self._halt = threading.Event()
+        self.decided = 0
+        self.failures: list[str] = []
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        i = 0
+        while not self._halt.is_set():
+            ref = f"smoke-ref-{i % N_REFS}"
+            deadline = time.monotonic() + 30.0
+            answered = False
+            while time.monotonic() < deadline and not answered:
+                try:
+                    with ServeClient(
+                        *self._address, auth_secret=SECRET, timeout=10.0
+                    ) as client:
+                        result = client.request(
+                            "decide", problem=_problem(i % N_REFS),
+                            instance_ref=ref,
+                        )
+                    assert result["decision"]["certain"] is True
+                    answered = True
+                except (RemoteError, OSError, AssertionError):
+                    time.sleep(0.1)
+            if answered:
+                self.decided += 1
+            else:
+                self.failures.append(ref)
+            i += 1
+            time.sleep(0.05)
+
+
+def main() -> int:
+    procs: list[subprocess.Popen] = []
+    hammer: DecideHammer | None = None
+    try:
+        controller = _spawn([
+            "serve", "--controller", "--port", "0",
+            "--heartbeat-timeout", "3", "--linger-ms", "0",
+        ])
+        procs.append(controller)
+        announce = _await_line(controller, "listening on", "controller")
+        endpoint = announce.split("listening on ", 1)[1].split()[0]
+        host, port_text = endpoint.rsplit(":", 1)
+        port = int(port_text)
+        print(f"ok: controller listening on {host}:{port}")
+
+        workers: dict[str, subprocess.Popen] = {}
+        for name in ("chaos-a", "chaos-b", "chaos-c"):
+            workers[name] = _spawn_worker(host, port, name)
+            procs.append(workers[name])
+            print(f"ok: worker {name} joined")
+
+        with ServeClient(
+            host, port, auth_secret=SECRET, timeout=30.0
+        ) as client:
+            _await_status(
+                client, lambda s: s["workers"] == 3, "3 workers"
+            )
+            for i in range(N_REFS):
+                client.put_instance(
+                    f"smoke-ref-{i}", _instance(i), version=3
+                )
+            status = _await_status(
+                client,
+                lambda s: s["replication"]["pending"] == 0,
+                "a drained mirror backlog",
+            )
+            assert status["replication"]["enabled"], status
+            print(f"ok: {N_REFS} refs stored and replicated "
+                  f"(replicated={status['replication']['replicated']})")
+
+            hammer = DecideHammer(host, port)
+            hammer.start()
+
+            # SIGKILL one worker mid-traffic: no goodbye, no drain
+            victim = "chaos-b"
+            workers[victim].send_signal(signal.SIGKILL)
+            workers[victim].wait(timeout=30)
+            status = _await_status(
+                client, lambda s: s["workers"] == 2, "the eviction"
+            )
+            print(f"ok: {victim} SIGKILLed and evicted (epoch "
+                  f"{status['ring_epoch']})")
+            status = _await_status(
+                client,
+                lambda s: s["replication"]["promotions"] >= 1,
+                "replica promotion",
+            )
+            print(f"ok: replicas promoted "
+                  f"(promotions={status['replication']['promotions']})")
+            for i in range(N_REFS):
+                _, version = client.get_instance(f"smoke-ref-{i}")
+                assert version == 3, f"smoke-ref-{i} lost its version"
+            print("ok: all refs answer with versions preserved")
+
+            # a same-name replacement rejoins the ring
+            workers[victim] = _spawn_worker(host, port, victim)
+            procs.append(workers[victim])
+            _await_status(
+                client, lambda s: s["workers"] == 3, "the rejoin"
+            )
+            print(f"ok: replacement {victim} rejoined; fleet back at 3")
+
+            # the rolling-restart drill, with the hammer still swinging
+            drill = subprocess.run(
+                [
+                    PYTHON, "-m", "repro", "fleet", "rolling-restart",
+                    "--connect", f"{host}:{port}",
+                    "--step-timeout", "90",
+                ],
+                cwd=REPO_ROOT, env=_env(),
+                capture_output=True, text=True,
+                timeout=min(240.0, _remaining()),
+            )
+            if drill.returncode != 0:
+                print(drill.stdout)
+                print(drill.stderr, file=sys.stderr)
+                raise SystemExit(
+                    f"FAIL rolling-restart exited {drill.returncode}"
+                )
+            print("ok: rolling-restart drill completed (exit 0)")
+
+            hammer.stop()
+            hammer.join(timeout=60)
+            if hammer.failures:
+                raise SystemExit(
+                    f"FAIL {len(hammer.failures)} decides exhausted "
+                    f"their retries: {hammer.failures[:5]}"
+                )
+            assert hammer.decided > 0, "the hammer never decided anything"
+            print(f"ok: zero failed decides across every fault "
+                  f"({hammer.decided} served)")
+
+            page = client.metrics()
+            for needle in (
+                "repro_cluster_promotions_total",
+                "repro_cluster_replications_total",
+                "repro_cluster_replication_pending",
+                "repro_cluster_evictions_total",
+            ):
+                assert needle in page, f"metrics page lacks {needle}"
+            print("ok: replication counters exported on the metrics page")
+
+            client.shutdown()
+        controller.wait(timeout=30)
+        print("chaos smoke: all steps passed")
+        return 0
+    finally:
+        if hammer is not None:
+            hammer.stop()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -127,6 +127,8 @@ REQUIRED_TOPICS = {
         "--heartbeat-timeout",
         "repro fleet",
         "## Measured: E20",
+        "## Failure domains and replication",
+        "repro fleet rolling-restart",
     ),
     "observability.md": (
         "repro_server_shed_total",
@@ -139,6 +141,9 @@ REQUIRED_TOPICS = {
         "repro_cluster_evictions_total",
         "`cluster.rebalance`",
         "`agent.heartbeat_failed`",
+        "repro_cluster_replication_pending",
+        "repro_cluster_promotions_total",
+        "repro_cluster_replications_total",
     ),
     "protocol.md": (
         "### Transport hardening: the `auth` handshake",
@@ -147,6 +152,10 @@ REQUIRED_TOPICS = {
         "`heartbeat`",
         "`unauthorized`",
         "HMAC-SHA256",
+        "### Replication",
+        "`replicate`",
+        "`replica_inventory`",
+        "`promote`",
     ),
 }
 
