@@ -787,6 +787,10 @@ def _print_cluster_block(cluster: dict) -> None:
                 f"  promotions={replication.get('promotions', 0)}"
                 f"  repairs={replication.get('repairs', 0)}"
                 f"  failures={replication.get('failures', 0)}"
+                + (
+                    "  repair_pending=yes"
+                    if replication.get("repair_pending") else ""
+                )
             )
         else:
             print("replication: off (a worker crash loses its refs)")

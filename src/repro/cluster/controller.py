@@ -86,6 +86,7 @@ class ClusterEngine(BaseWorkerFleet):
         client_ssl=None,
         hot_classes: int = 128,
         replication: bool = True,
+        repair_interval: float = 30.0,
     ):
         self._membership = membership or ClusterMembership()
         super().__init__(
@@ -111,6 +112,9 @@ class ClusterEngine(BaseWorkerFleet):
         self._replica_failures = 0  # mirror/repair steps that gave up
         self._promotions = 0       # replicas promoted to primaries
         self._repairs = 0          # repair-plan actions executed
+        self._repair_pending = False  # a pass was deferred or partly failed
+        self._repair_interval = repair_interval
+        self._last_repair = time.monotonic()
         self._evict_stop = threading.Event()
         self._mirror_thread: threading.Thread | None = None
         if replication:
@@ -270,9 +274,17 @@ class ClusterEngine(BaseWorkerFleet):
         rebalance lock).  Runs synchronously at the end of every
         membership change: after an eviction, the orphaned refs' promote
         actions have executed before ``evict_stale`` returns, so the
-        next ref decide answers from the promoted replica."""
+        next ref decide answers from the promoted replica.
+
+        The pass is all-or-nothing on the census: planning against a
+        live ring member whose inventory could not be read would treat
+        it as holding nothing, and the resulting ``copy_primary`` would
+        wholesale-replace whatever (possibly newer) copy it actually
+        holds.  A census failure therefore defers the whole pass — the
+        eviction loop retries it on a later sweep."""
         ring = self._ring
         if not self._replication or ring is None:
+            self._last_repair = time.monotonic()
             return
         shard_of = {name: i for i, name in enumerate(ring.names)}
         primaries: dict[str, dict[str, int]] = {}
@@ -282,11 +294,12 @@ class ClusterEngine(BaseWorkerFleet):
                 held = self._request(shard, "instance_list")
                 mirrored = self._request(shard, "replica_inventory")
             except Exception as error:
+                self._repair_pending = True
                 log_event(
                     _logger, logging.WARNING, "cluster.repair.census",
-                    worker=name, error=type(error).__name__,
+                    worker=name, error=type(error).__name__, deferred=True,
                 )
-                continue
+                return
             primaries[name] = {
                 info["ref"]: info["version"]
                 for info in held.get("instances") or []
@@ -297,12 +310,23 @@ class ClusterEngine(BaseWorkerFleet):
             }
         plan = plan_replica_repairs(ring, primaries, replicas)
         executed = promoted = 0
+        failed_refs: set[str] = set()
         for action in plan:
+            if (
+                action.kind in ("drop_primary", "drop_replica")
+                and action.ref in failed_refs
+            ):
+                # an earlier copy/promote/replicate for this ref did not
+                # land, so the "stray" this drop targets may hold the
+                # freshest (possibly only) surviving copy — keep it and
+                # let the retry pass converge
+                continue
             try:
                 if self._execute_repair(action, shard_of):
                     promoted += 1
                 executed += 1
             except Exception as error:
+                failed_refs.add(action.ref)
                 self._replica_failures += 1
                 log_event(
                     _logger, logging.WARNING, "cluster.repair.failed",
@@ -311,12 +335,31 @@ class ClusterEngine(BaseWorkerFleet):
                 )
         self._repairs += executed
         self._promotions += promoted
+        self._repair_pending = bool(failed_refs)
+        self._last_repair = time.monotonic()
         if plan:
             log_event(
                 _logger, logging.INFO, "cluster.repair",
                 actions=executed, planned=len(plan), promoted=promoted,
                 epoch=self._membership.ring_epoch,
             )
+
+    def repair_now(self, *, block: bool = True) -> bool:
+        """One repair pass outside a membership change: the eviction
+        loop's retry for a deferred or partly failed pass, and the
+        periodic anti-entropy sweep that re-establishes replicas the
+        workers' side-stores LRU-evicted under byte pressure.  The loop
+        passes ``block=False`` so a rebalance lock wedged by a mutation
+        mid-wire never stalls its sweeps (the retry condition stays set,
+        so a skipped pass runs on a later sweep); ``False`` means the
+        pass was skipped, not that it failed."""
+        if not self._rebalance_lock.acquire(blocking=block):
+            return False
+        try:
+            self._repair_placements()
+        finally:
+            self._rebalance_lock.release()
+        return True
 
     def _execute_repair(
         self, action: RepairAction, shard_of: dict[str, int]
@@ -486,6 +529,24 @@ class ClusterEngine(BaseWorkerFleet):
         returns, so ref decides keep answering.  Only with
         ``replication=False`` (or after a double failure) do the evicted
         workers' refs answer ``unknown-instance`` until clients re-put."""
+        stale = self._membership.stale_members()
+        if not stale:
+            # nothing to evict — and crucially, no reason to queue behind
+            # the rebalance lock, which a mutation wedged on a frozen
+            # worker's socket may be holding for its full wire timeout.
+            # An idle sweep that blocked here would wedge the eviction
+            # loop itself, leaving no thread to run the abort below once
+            # the worker does go stale.  (The peek can miss a member
+            # going stale this very instant; the next sweep gets it.)
+            return []
+        # break any request still blocked on a doomed worker's socket (a
+        # frozen process accepts but never answers) *before* taking the
+        # rebalance lock: a mutation wedged mid-wire holds that lock
+        # through the mutation gate, so aborting first is what lets this
+        # sweep — and every queued mutation, rebalance and eviction
+        # behind it — proceed now instead of after the full request
+        # timeout
+        self._abort_connections({handle.generation for handle in stale})
         with self._rebalance_lock:
             evicted = self._membership.evict_stale()
             if not evicted:
@@ -499,10 +560,9 @@ class ClusterEngine(BaseWorkerFleet):
                 if names else None
             )
             self._swap_ring(new_ring)
-            # break any request still blocked on an evicted worker's
-            # socket (a frozen process accepts but never answers): the
-            # caller fails over now instead of holding its shard's
-            # client lock for the full request timeout
+            # catch any connection that went stale between the pre-lock
+            # peek and the authoritative eviction (idempotent: already
+            # aborted generations are simply absent from the cache)
             self._abort_connections(
                 {handle.generation for handle in evicted}
             )
@@ -685,6 +745,7 @@ class ClusterEngine(BaseWorkerFleet):
                 "promotions": self._promotions,
                 "repairs": self._repairs,
                 "failures": self._replica_failures,
+                "repair_pending": self._repair_pending,
             },
         }
 
@@ -695,6 +756,12 @@ class ClusterEngine(BaseWorkerFleet):
         while not self._evict_stop.wait(interval):
             try:
                 self.evict_stale()
+                if self._replication and (
+                    self._repair_pending
+                    or time.monotonic() - self._last_repair
+                    >= self._repair_interval
+                ):
+                    self.repair_now(block=False)
             except Exception as error:  # a failed sweep must not kill the loop
                 log_event(
                     _logger, logging.WARNING, "cluster.evict.sweep_failed",

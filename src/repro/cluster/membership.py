@@ -232,6 +232,19 @@ class ClusterMembership:
                     return True
             return False
 
+    def stale_members(self) -> list[RemoteWorkerHandle]:
+        """A read-only peek at the members :meth:`evict_stale` would drop
+        right now — no state changes, no epoch bump.  The eviction sweep
+        uses this to abort the doomed workers' cached connections
+        *before* taking the rebalance lock, which a request wedged on a
+        frozen worker's socket may be holding."""
+        now = self._clock()
+        with self._lock:
+            return [
+                handle for handle in self._members
+                if now - handle.last_seen > self.heartbeat_timeout
+            ]
+
     def evict_stale(self) -> list[RemoteWorkerHandle]:
         """Drop every member whose silence exceeds the timeout."""
         now = self._clock()

@@ -417,15 +417,29 @@ class BaseWorkerFleet:
         fleet does nothing."""
 
     def replica_inventory(self) -> dict:
-        """Every worker's replica side-store metadata, tagged with the
-        worker index — the ``replica_inventory`` fan-out a controller
-        answers with (and the census half of replica repair planning)."""
+        """Every *reachable* worker's replica side-store metadata, tagged
+        with the worker index — the ``replica_inventory`` fan-out a
+        controller answers with (and the census half of replica repair
+        planning).  One unreachable worker must not fail the whole
+        inventory — a cold-restarted controller reads this while the
+        fleet may still be re-registering — so transport failures are
+        logged and surfaced in ``unreachable``, and the caller gets the
+        partial picture."""
         replicas: list[dict] = []
+        unreachable: list[int] = []
         for shard in range(self.n_shards):
-            payload = self._request(shard, "replica_inventory")
+            try:
+                payload = self._request(shard, "replica_inventory")
+            except Exception as error:
+                unreachable.append(shard)
+                log_event(
+                    _logger, logging.WARNING, "fleet.inventory.skipped",
+                    shard=shard, error=type(error).__name__,
+                )
+                continue
             for info in payload.get("replicas") or []:
                 replicas.append({**info, "worker": shard})
-        return {"replicas": replicas}
+        return {"replicas": replicas, "unreachable": unreachable}
 
     # -- observability -------------------------------------------------------
 

@@ -584,12 +584,33 @@ class CertaintyServer:
         *successor* for, held apart from the primary store so they never
         appear in ``instance_list``, never shadow a primary decide, and
         never migrate as primaries during a rebalance.  Only servers that
-        own a primary store hold replicas."""
+        own a primary store hold replicas.
+
+        The side-store carries its own ``store_bytes`` budget — a worker
+        in a replicated cluster holds up to **2×** ``store_bytes`` of ref
+        payload (its primary slice plus its successor slice); size the
+        process accordingly.  Under byte pressure it LRU-evicts like the
+        primary store, which silently degrades that ref to one copy until
+        the controller's periodic anti-entropy repair re-installs it — so
+        every replica eviction is logged and counted
+        (``server.replicas.evictions`` in the stats block) rather than
+        dropped on the floor."""
         if self._store is None:
             return None
         from ..store.registry import InstanceRegistry
 
-        return InstanceRegistry(max_bytes=self.config.store_bytes)
+        return InstanceRegistry(
+            max_bytes=self.config.store_bytes,
+            on_evict=self._on_replica_evicted,
+        )
+
+    def _on_replica_evicted(self, ref: str) -> None:
+        """A replica fell to the side-store's byte budget: redundancy for
+        *ref* is degraded until the controller's next repair pass.  Keep
+        the signal loud — the eviction is silent on the wire."""
+        log_event(
+            _logger, logging.WARNING, "serve.replica.evicted", ref=ref,
+        )
 
     @property
     def sharded_engine(self) -> ShardedEngine:

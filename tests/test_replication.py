@@ -16,7 +16,7 @@ import time
 import pytest
 
 from repro.cluster import ClusterMembership, plan_replica_repairs
-from repro.cluster.controller import ClusterServer
+from repro.cluster.controller import ClusterEngine, ClusterServer
 from repro.db.facts import Fact
 from repro.exceptions import RemoteError
 from repro.serve import BackgroundServer, HashRing, ServeClient, ServerConfig
@@ -297,6 +297,220 @@ class TestRepairPlannerProperty:
                 continue
             self._repair(model, names)
             self._assert_invariant(model, names, live_refs)
+
+
+class _RepairWire:
+    """In-memory worker stores answering every verb the repair pass
+    issues, with injectable per-``(worker, verb)`` failures — lets the
+    safety tests wedge one wire call without real sockets."""
+
+    def __init__(self, names):
+        self.names = list(names)
+        self.primaries = {n: {} for n in names}  # name -> ref -> version
+        self.replicas = {n: {} for n in names}
+        self.fail: set[tuple[str, str]] = set()
+
+    def request(self, shard, verb, **payload):
+        name = self.names[shard]
+        if (name, verb) in self.fail:
+            raise OSError(f"injected failure: {name} {verb}")
+        ref = payload.get("instance_ref")
+        if verb == "instance_list":
+            return {"instances": [
+                {"ref": r, "version": v, "facts": 0, "bytes": 0}
+                for r, v in self.primaries[name].items()
+            ]}
+        if verb == "replica_inventory":
+            return {"replicas": [
+                {"ref": r, "version": v, "facts": 0, "bytes": 0}
+                for r, v in self.replicas[name].items()
+            ]}
+        if verb == "instance_get":
+            if ref not in self.primaries[name]:
+                raise RemoteError("unknown-instance", ref)
+            return {"instance": None, "version": self.primaries[name][ref]}
+        if verb == "replica_get":
+            if ref not in self.replicas[name]:
+                raise RemoteError("unknown-instance", ref)
+            return {"instance": None, "version": self.replicas[name][ref]}
+        if verb == "instance_put":
+            self.primaries[name][ref] = payload["version"]
+            return {"instance": {"ref": ref, "version": payload["version"]}}
+        if verb == "replicate":
+            if payload.get("version") is None:
+                return {"replica": False,
+                        "dropped": self.replicas[name].pop(ref, None)
+                        is not None}
+            self.replicas[name][ref] = payload["version"]
+            return {"replica": True, "version": payload["version"]}
+        if verb == "instance_drop":
+            return {"dropped": self.primaries[name].pop(ref, None)
+                    is not None}
+        if verb == "promote":
+            version = self.replicas[name].pop(ref, None)
+            if version is None:
+                return {"promoted": False}
+            self.primaries[name][ref] = version
+            return {"promoted": True, "version": version}
+        raise AssertionError(f"unexpected verb {verb!r}")
+
+
+def _stub_engine(names, wire) -> ClusterEngine:
+    """A ClusterEngine whose wire is the in-memory :class:`_RepairWire`
+    (generous heartbeat: the background loops stay out of the way)."""
+    membership = ClusterMembership(heartbeat_timeout=60.0)
+    engine = ClusterEngine(membership, replication=True)
+    for name in names:
+        membership.register(name, "127.0.0.1", 9)
+    engine._ring = HashRing(len(names), names=tuple(names))
+    engine._request = wire.request
+    return engine
+
+
+class TestRepairSafety:
+    """The repair pass must never destroy data it failed to move: a
+    failed copy keeps its source, and an unreadable census defers the
+    whole pass instead of being planned against as 'holds nothing'."""
+
+    def test_failed_copy_never_drops_the_only_fresh_copy(self):
+        names = ("ra", "rb", "rc")
+        wire = _RepairWire(names)
+        engine = _stub_engine(names, wire)
+        try:
+            ring = engine._require_ring()
+            # the ref's only copy sits as a stray primary off-owner (the
+            # post-rebalance shape a repair pass exists to fix)
+            ref = "stranded"
+            owner = ring.names[ring.shard_for(ref_digest(ref))]
+            stray = next(n for n in names if n != owner)
+            wire.primaries[stray][ref] = 9
+            # the copy to the new owner fails transiently: the planned
+            # drop_primary on the stray must NOT run — it holds the only
+            # freshest copy
+            wire.fail.add((owner, "instance_put"))
+            engine.repair_now()
+            assert wire.primaries[stray].get(ref) == 9
+            assert engine._repair_pending is True
+            # the wire heals; the retried pass converges with the
+            # version intact
+            wire.fail.clear()
+            engine.repair_now()
+            assert engine._repair_pending is False
+            assert wire.primaries[owner][ref] == 9
+            assert ref not in wire.primaries[stray]
+            succ = ring.names[ring.successor_for(ref_digest(ref))]
+            assert wire.replicas[succ][ref] == 9
+        finally:
+            engine.close()
+
+    def test_census_failure_defers_the_whole_pass(self):
+        names = ("ca", "cb")
+        wire = _RepairWire(names)
+        engine = _stub_engine(names, wire)
+        try:
+            ring = engine._require_ring()
+            ref = "census-ref"
+            owner = ring.names[ring.shard_for(ref_digest(ref))]
+            other = next(n for n in names if n != owner)
+            wire.primaries[owner][ref] = 3
+            # the other member holds a NEWER copy but its census is down:
+            # planning would treat it as empty and roll the ref back
+            wire.primaries[other][ref] = 5
+            wire.fail.add((other, "instance_list"))
+            engine.repair_now()
+            assert engine._repair_pending is True
+            assert wire.primaries[other][ref] == 5  # untouched
+            assert all(not held for held in wire.replicas.values())
+            wire.fail.clear()
+            engine.repair_now()
+            assert engine._repair_pending is False
+            assert wire.primaries[owner][ref] == 5  # the newer copy won
+            succ = ring.names[ring.successor_for(ref_digest(ref))]
+            assert wire.replicas[succ][ref] == 5
+        finally:
+            engine.close()
+
+    def test_eviction_aborts_doomed_sockets_before_the_rebalance_lock(self):
+        """A mutation wedged on a frozen worker holds the rebalance lock
+        for its whole wire timeout; the eviction sweep's socket abort
+        must land *without* waiting for that lock, or it could never
+        break the very stall it exists to break."""
+        membership = ClusterMembership(heartbeat_timeout=0.2)
+        engine = ClusterEngine(membership, replication=False)
+        try:
+            membership.register("wedge-a", "127.0.0.1", 9)
+            engine._ring = HashRing(1, names=("wedge-a",))
+            aborted = threading.Event()
+            engine._abort_connections = lambda generations: aborted.set()
+            held = threading.Event()
+            release = threading.Event()
+
+            def wedged_mutation():
+                with engine._rebalance_lock:
+                    held.set()
+                    release.wait(10.0)
+
+            holder = threading.Thread(target=wedged_mutation, daemon=True)
+            holder.start()
+            assert held.wait(5.0)
+            # the member goes stale while the lock is wedged; the
+            # background sweep must abort its sockets anyway — with the
+            # abort inside the lock this event could only fire after
+            # `release`, and the assertion below would time out
+            assert aborted.wait(5.0), (
+                "the sweep never aborted the stale worker's sockets "
+                "while the rebalance lock was held"
+            )
+            # the eviction itself still serializes behind the lock
+            assert membership.n_workers == 1
+            release.set()
+            holder.join(10.0)
+            deadline = time.monotonic() + 5.0
+            while membership.n_workers and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert membership.n_workers == 0
+        finally:
+            engine.close()
+
+    def test_stale_members_is_a_pure_peek(self):
+        now = [0.0]
+        m = ClusterMembership(heartbeat_timeout=1.0, clock=lambda: now[0])
+        m.register("peek-a", "127.0.0.1", 1)
+        m.register("peek-b", "127.0.0.1", 2)
+        now[0] = 0.5
+        m.heartbeat("peek-b")
+        now[0] = 1.2
+        stale = m.stale_members()
+        assert [h.name for h in stale] == ["peek-a"]
+        # no eviction, no epoch bump: the peek mutates nothing
+        assert m.n_workers == 2
+        assert m.ring_epoch == 2
+
+
+class TestInventoryFanout:
+    def test_one_unreachable_worker_yields_partial_inventory(self):
+        from repro.serve.fleet import BaseWorkerFleet
+
+        class _Provider:
+            n_workers = 2
+
+            def stop(self):
+                pass
+
+        fleet = BaseWorkerFleet(_Provider(), HashRing(2))
+
+        def fake_request(shard, verb, **payload):
+            assert verb == "replica_inventory"
+            if shard == 0:
+                raise OSError("unreachable")
+            return {"replicas": [{"ref": "r1", "version": 2}]}
+
+        fleet._request = fake_request
+        inventory = fleet.replica_inventory()
+        assert inventory["unreachable"] == [0]
+        assert inventory["replicas"] == [
+            {"ref": "r1", "version": 2, "worker": 1}
+        ]
 
 
 class TestLiveReplication:
